@@ -1,0 +1,70 @@
+#ifndef DSMS_BENCH_BENCH_UTIL_H_
+#define DSMS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "sim/scenario.h"
+
+namespace dsms::bench {
+
+/// Options common to every figure/table harness:
+///   --csv    emit CSV instead of an aligned table (for plotting)
+///   --quick  1/5 horizon (CI-friendly); headline numbers are noisier
+///   --seed N override the workload seed
+struct BenchOptions {
+  bool csv = false;
+  bool quick = false;
+  uint64_t seed = 42;
+};
+
+inline BenchOptions ParseArgs(int argc, char** argv) {
+  BenchOptions options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0) {
+      options.csv = true;
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      options.quick = true;
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      options.seed = static_cast<uint64_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+    }
+  }
+  return options;
+}
+
+/// The paper's measurement window: 600 s steady state after 30 s warmup
+/// (120 s / 10 s with --quick).
+inline void ApplyWindow(const BenchOptions& options, ScenarioConfig* config) {
+  config->seed = options.seed;
+  if (options.quick) {
+    config->horizon = 120 * kSecond;
+    config->warmup = 10 * kSecond;
+  } else {
+    config->horizon = 600 * kSecond;
+    config->warmup = 30 * kSecond;
+  }
+}
+
+/// The heartbeat-rate sweep (punctuations/second into the sparse stream)
+/// used by the Figure 7/8 reproductions.
+inline std::vector<double> HeartbeatRates(bool quick) {
+  if (quick) return {0.1, 1.0, 10.0, 100.0};
+  return {0.01, 0.05, 0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0,
+          100.0, 200.0, 500.0, 1000.0};
+}
+
+inline void PrintHeader(const char* title, const char* paper_ref,
+                        const char* expectation) {
+  std::printf("=== %s ===\n", title);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("paper-shape expectation: %s\n\n", expectation);
+}
+
+}  // namespace dsms::bench
+
+#endif  // DSMS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,120 @@
+// Clickstream dashboard: page views from a web frontend and a mobile app
+// are unioned into one event stream and aggregated into per-page view
+// counts over tumbling 10 s windows (GROUP BY page). The web feed is
+// replayed from a recorded arrival trace; the mobile feed is synthetic.
+//
+// Demonstrates: the textual plan language end to end (union + grouped
+// aggregate), trace replay, and how on-demand ETS keeps dashboard windows
+// fresh when one feed goes quiet.
+//
+//   $ ./clickstream
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+#include "common/clock.h"
+#include "common/random.h"
+#include "exec/dfs_executor.h"
+#include "graph/plan_parser.h"
+#include "metrics/stats_report.h"
+#include "operators/sink.h"
+#include "operators/source.h"
+#include "sim/arrival_process.h"
+#include "sim/simulation.h"
+#include "sim/trace_loader.h"
+
+namespace {
+
+constexpr char kPlan[] = R"(
+# Page-view dashboard: union two frontends, count views per page per 10s.
+stream WEB ts=internal
+stream MOBILE ts=internal
+union EVENTS in=WEB,MOBILE
+gaggregate VIEWS in=EVENTS fn=count key=0 window=10s
+sink DASH in=VIEWS
+)";
+
+// A short recorded burst of web traffic (arrival times); after it ends the
+// web feed goes quiet and ETS keeps the dashboard's windows closing.
+constexpr char kWebTrace[] = R"(
+0.4s
+0.9s
+1.1s
+1.15s
+2.3s
+2.31s
+3.8s
+4.2s
+5.0s
+5.05s
+5.1s
+8.9s
+12.5s
+13.1s
+17.8s
+)";
+
+}  // namespace
+
+int main() {
+  using namespace dsms;
+
+  Result<ParsedPlan> plan = ParsePlan(kPlan);
+  DSMS_CHECK_OK(plan.status());
+  auto* web = dynamic_cast<Source*>(plan->Find("WEB"));
+  auto* mobile = dynamic_cast<Source*>(plan->Find("MOBILE"));
+  auto* dash = dynamic_cast<Sink*>(plan->Find("DASH"));
+  DSMS_CHECK(web != nullptr && mobile != nullptr && dash != nullptr);
+
+  Result<std::vector<Timestamp>> trace = ParseArrivalTrace(kWebTrace);
+  DSMS_CHECK_OK(trace.status());
+
+  VirtualClock clock;
+  ExecConfig config;
+  config.ets.mode = EtsMode::kOnDemand;
+  DfsExecutor executor(plan->graph.get(), &clock, config);
+  Simulation sim(plan->graph.get(), &executor, &clock);
+
+  // Payload: [page:string]. Pages are drawn from a small zipf-ish set.
+  auto page_payload = [](uint64_t seed) {
+    auto rng = std::make_shared<Pcg32>(seed);
+    return [rng](uint64_t, Timestamp) {
+      static const char* kPages[] = {"/home", "/home", "/home", "/search",
+                                     "/search", "/product/42", "/checkout"};
+      return std::vector<Value>{
+          Value(kPages[rng->NextBelow(7)])};
+    };
+  };
+  sim.AddFeed(web, std::make_unique<TraceProcess>(*trace),
+              page_payload(1));
+  sim.AddFeed(mobile, std::make_unique<PoissonProcess>(0.8, 2),
+              page_payload(2));
+
+  dash->set_collect(true);
+  sim.Run(60 * kSecond);
+
+  std::printf("per-page view counts (10 s tumbling windows):\n");
+  for (const Tuple& t : dash->collected()) {
+    std::printf("  [%2llds..%2llds)  %-12s %3.0f views\n",
+                static_cast<long long>(t.value(0).int64_value() / kSecond),
+                static_cast<long long>(t.value(0).int64_value() / kSecond +
+                                       10),
+                t.value(1).string_value().c_str(), t.value(2).AsDouble());
+  }
+  std::printf(
+      "\nwindow freshness: results appear %.2f ms (mean) after each window "
+      "closes; on-demand ETS generated %llu punctuations.\n"
+      "(On-demand ETS is execution-driven: a window can close at the first "
+      "activation after its end, so freshness here is bounded by the feeds' "
+      "arrival cadence. A dashboard needing sharper deadlines would add a "
+      "periodic heartbeat — see bench/abl_aggregate for the trade-off.)\n",
+      dash->latency().mean_ms(),
+      static_cast<unsigned long long>(executor.ets_generated()));
+
+  std::printf("\noperator statistics:\n");
+  PrintOperatorStats(*plan->graph, std::cout);
+  return 0;
+}

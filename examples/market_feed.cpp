@@ -1,0 +1,112 @@
+// Market-feed consolidation: union two exchange feeds into one national
+// tape. The feeds carry *external* (application) timestamps with a bounded
+// skew δ — exactly the setting of Section 5's t + τ − δ ETS rule. A regional
+// exchange trades rarely; without ETS, every trade from the busy exchange
+// waits for the quiet one before it can appear on the consolidated tape in
+// timestamp order.
+//
+// The query is written in the textual plan DSL (the stand-in for Stream
+// Mill's ESL), and the example compares no-ETS vs on-demand ETS.
+//
+//   $ ./market_feed
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+#include "common/clock.h"
+#include "common/random.h"
+#include "exec/dfs_executor.h"
+#include "graph/plan_parser.h"
+#include "operators/sink.h"
+#include "operators/source.h"
+#include "sim/arrival_process.h"
+#include "sim/simulation.h"
+
+namespace {
+
+constexpr char kPlan[] = R"(
+# Consolidated tape: two externally timestamped exchange feeds.
+stream NYSE ts=external skew=50ms
+stream REGIONAL ts=external skew=50ms
+filter BIG_NYSE in=NYSE field=1 op=ge value=100       # size >= 100 shares
+filter BIG_REG  in=REGIONAL field=1 op=ge value=100
+union TAPE in=BIG_NYSE,BIG_REG
+sink CONSOLIDATED in=TAPE
+)";
+
+struct RunResult {
+  double mean_ms;
+  double p99_ms;
+  unsigned long long trades;
+};
+
+RunResult RunTape(dsms::EtsMode ets_mode) {
+  using namespace dsms;
+  Result<ParsedPlan> plan = ParsePlan(kPlan);
+  DSMS_CHECK_OK(plan.status());
+
+  auto* nyse = dynamic_cast<Source*>(plan->Find("NYSE"));
+  auto* regional = dynamic_cast<Source*>(plan->Find("REGIONAL"));
+  auto* tape = dynamic_cast<Sink*>(plan->Find("CONSOLIDATED"));
+  DSMS_CHECK(nyse != nullptr && regional != nullptr && tape != nullptr);
+
+  VirtualClock clock;
+  ExecConfig config;
+  config.ets.mode = ets_mode;
+  DfsExecutor executor(plan->graph.get(), &clock, config);
+  Simulation sim(plan->graph.get(), &executor, &clock);
+
+  // Payload: [price_cents:int64, size:int64]. Seeded => reproducible.
+  auto trade_payload = [](uint64_t base_seed) {
+    auto rng = std::make_shared<Pcg32>(base_seed);
+    return [rng](uint64_t seq, Timestamp) {
+      (void)seq;
+      return std::vector<Value>{
+          Value(static_cast<int64_t>(10000 + rng->NextInt(-500, 500))),
+          Value(rng->NextInt(1, 1000))};
+    };
+  };
+  sim.AddFeed(nyse, std::make_unique<PoissonProcess>(80.0, 11),
+              trade_payload(100), /*jitter_seed=*/21);
+  sim.AddFeed(regional, std::make_unique<PoissonProcess>(0.1, 12),
+              trade_payload(200), /*jitter_seed=*/22);
+
+  // Market-open messages. The paper's external ETS rule t + τ − δ needs a
+  // first tuple to extrapolate from; until one arrives, no bound exists and
+  // the tape would block on the quiet exchange (a cold-start effect real
+  // feeds avoid with session-open messages — the same reason modern
+  // watermark systems emit an initial watermark on connect).
+  nyse->IngestExternal(0, {Value(int64_t{10000}), Value(int64_t{100})}, 0);
+  regional->IngestExternal(0, {Value(int64_t{10000}), Value(int64_t{100})},
+                           0);
+
+  sim.Run(120 * kSecond, /*warmup=*/10 * kSecond);
+
+  return RunResult{tape->latency().mean_ms(),
+                   tape->latency().p99_us() / 1000.0,
+                   static_cast<unsigned long long>(tape->data_delivered())};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Consolidated-tape example (external timestamps, skew 50 ms)\n");
+  std::printf("NYSE: 80 trades/s; regional exchange: 0.1 trades/s\n\n");
+
+  RunResult no_ets = RunTape(dsms::EtsMode::kNone);
+  std::printf("without ETS:    %llu trades on tape, mean delay %10.3f ms, "
+              "p99 %10.3f ms\n",
+              no_ets.trades, no_ets.mean_ms, no_ets.p99_ms);
+
+  RunResult on_demand = RunTape(dsms::EtsMode::kOnDemand);
+  std::printf("on-demand ETS:  %llu trades on tape, mean delay %10.3f ms, "
+              "p99 %10.3f ms\n",
+              on_demand.trades, on_demand.mean_ms, on_demand.p99_ms);
+
+  std::printf("\nspeedup: %.0fx — the tape no longer waits for the quiet "
+              "exchange (delay is bounded by the 50 ms skew)\n",
+              no_ets.mean_ms / on_demand.mean_ms);
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Network monitoring: correlate packets observed at two taps of a network
+// (e.g. ingress and egress of a middlebox) with a symmetric window join on
+// the flow id — the Gigascope-style workload that motivated heartbeat
+// punctuation in the first place (Johnson et al., VLDB'05, the paper's [9]).
+//
+// The egress tap is quiet at night; without punctuation the join idle-waits
+// on it and ingress packets pile up in the join's input buffer. The example
+// runs the same trace under periodic heartbeats and under on-demand ETS and
+// prints matched-pair latency plus buffer/window occupancy.
+//
+//   $ ./network_monitor
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+#include "common/clock.h"
+#include "common/random.h"
+#include "exec/dfs_executor.h"
+#include "graph/graph_builder.h"
+#include "sim/arrival_process.h"
+#include "sim/simulation.h"
+
+namespace {
+
+struct RunResult {
+  unsigned long long matches;
+  double mean_ms;
+  long long peak_queue;
+  double join_idle_pct;
+  unsigned long long punctuation_processed;
+};
+
+RunResult RunMonitor(bool on_demand, double heartbeat_hz) {
+  using namespace dsms;
+
+  GraphBuilder builder;
+  Source* ingress = builder.AddSource("ingress", TimestampKind::kInternal);
+  Source* egress = builder.AddSource("egress", TimestampKind::kInternal);
+  // Match packets of the same flow seen within 5 s at both taps.
+  WindowJoin* join = builder.AddWindowJoin(
+      "correlate", /*left_window=*/5 * kSecond, /*right_window=*/5 * kSecond,
+      WindowJoin::EquiJoin(/*left_field=*/0, /*right_field=*/0));
+  Sink* alerts = builder.AddSink("pairs");
+  builder.Connect(ingress, join);
+  builder.Connect(egress, join);
+  builder.Connect(join, alerts);
+  Result<std::unique_ptr<QueryGraph>> graph = builder.Build();
+  DSMS_CHECK_OK(graph.status());
+
+  VirtualClock clock;
+  ExecConfig config;
+  config.ets.mode = on_demand ? EtsMode::kOnDemand : EtsMode::kNone;
+  DfsExecutor executor(graph->get(), &clock, config);
+  Simulation sim(graph->get(), &executor, &clock);
+
+  // Payload: [flow_id:int64, bytes:int64]. 64 active flows.
+  auto packet_payload = [](uint64_t seed) {
+    auto rng = std::make_shared<Pcg32>(seed);
+    return [rng](uint64_t, Timestamp) {
+      return std::vector<Value>{Value(rng->NextInt(0, 63)),
+                                Value(rng->NextInt(64, 1500))};
+    };
+  };
+  sim.AddFeed(ingress, std::make_unique<PoissonProcess>(30.0, 31),
+              packet_payload(1));
+  // Egress: bursty and mostly quiet (maintenance window at night).
+  sim.AddFeed(egress,
+              std::make_unique<BurstyProcess>(
+                  /*burst_rate=*/20.0, /*idle_rate=*/0.02,
+                  /*mean_burst_length=*/2 * kSecond,
+                  /*mean_idle_length=*/40 * kSecond, /*seed=*/32),
+              packet_payload(2));
+  if (!on_demand && heartbeat_hz > 0) {
+    sim.AddHeartbeat(egress, SecondsToDuration(1.0 / heartbeat_hz));
+    sim.AddHeartbeat(ingress, SecondsToDuration(1.0 / heartbeat_hz));
+  }
+  sim.Run(300 * kSecond, /*warmup=*/20 * kSecond);
+
+  const IdleWaitTracker* tracker = executor.idle_tracker(join->id());
+  return RunResult{
+      static_cast<unsigned long long>(alerts->data_delivered()),
+      alerts->latency().mean_ms(),
+      static_cast<long long>(sim.queue_tracker().peak_total()),
+      tracker == nullptr ? 0.0
+                         : tracker->IdleFraction(0, clock.now()) * 100.0,
+      static_cast<unsigned long long>(join->stats().punctuation_in)};
+}
+
+void Report(const char* label, const RunResult& r) {
+  std::printf(
+      "%-22s matches=%-6llu mean_latency=%9.3f ms  peak_queue=%-5lld "
+      "join_idle=%6.2f%%  punct_seen=%llu\n",
+      label, r.matches, r.mean_ms, r.peak_queue, r.join_idle_pct,
+      r.punctuation_processed);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Two-tap flow correlation (window join, 5 s windows)\n");
+  std::printf("ingress: 30 pkt/s steady; egress: bursts of 20 pkt/s, "
+              "mostly idle\n\n");
+  Report("no punctuation:", RunMonitor(false, 0.0));
+  Report("heartbeats @ 1 Hz:", RunMonitor(false, 1.0));
+  Report("heartbeats @ 100 Hz:", RunMonitor(false, 100.0));
+  Report("on-demand ETS:", RunMonitor(true, 0.0));
+  std::printf("\nOn-demand ETS matches the dense-heartbeat latency without "
+              "its constant punctuation load.\n");
+  return 0;
+}

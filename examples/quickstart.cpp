@@ -1,0 +1,73 @@
+// Quickstart: build the paper's query (two streams -> selection -> union ->
+// sink) with the GraphBuilder API, run it for 30 virtual seconds under
+// on-demand ETS, and print what happened.
+//
+//   $ ./quickstart
+//
+// Everything is deterministic: run it twice, get the same numbers.
+
+#include <cstdio>
+#include <memory>
+
+#include "common/check.h"
+#include "common/clock.h"
+#include "exec/dfs_executor.h"
+#include "graph/graph_builder.h"
+#include "sim/arrival_process.h"
+#include "sim/simulation.h"
+
+int main() {
+  using namespace dsms;
+
+  // 1. Describe the query graph. Sources are internally timestamped: each
+  //    tuple is stamped with the (virtual) clock when it enters the DSMS.
+  GraphBuilder builder;
+  Source* fast = builder.AddSource("fast", TimestampKind::kInternal);
+  Source* slow = builder.AddSource("slow", TimestampKind::kInternal);
+  auto* f1 = builder.AddRandomDropFilter("sel_fast", /*selectivity=*/0.95,
+                                         /*seed=*/7);
+  auto* f2 = builder.AddRandomDropFilter("sel_slow", 0.95, 8);
+  Union* u = builder.AddUnion("union");
+  Sink* out = builder.AddSink("out");
+  builder.Connect(fast, f1);
+  builder.Connect(slow, f2);
+  builder.Connect(f1, u);
+  builder.Connect(f2, u);
+  builder.Connect(u, out);
+
+  Result<std::unique_ptr<QueryGraph>> graph = builder.Build();
+  DSMS_CHECK_OK(graph.status());
+  std::printf("%s\n", (*graph)->ToString().c_str());
+
+  // 2. Pick an executor. On-demand ETS (the paper's contribution) keeps the
+  //    union from idle-waiting on the sparse stream.
+  VirtualClock clock;
+  ExecConfig config;
+  config.ets.mode = EtsMode::kOnDemand;
+  DfsExecutor executor(graph->get(), &clock, config);
+
+  // 3. Feed it: Poisson arrivals at 50 and 0.05 tuples per second — the
+  //    paper's workload — and run 30 virtual seconds.
+  Simulation sim(graph->get(), &executor, &clock);
+  sim.AddFeed(fast, std::make_unique<PoissonProcess>(50.0, /*seed=*/1));
+  sim.AddFeed(slow, std::make_unique<PoissonProcess>(0.05, /*seed=*/2));
+  sim.Run(/*end_time=*/30 * kSecond);
+
+  // 4. Report.
+  std::printf("delivered %llu tuples; mean latency %.3f ms; "
+              "p99 %.3f ms\n",
+              static_cast<unsigned long long>(out->data_delivered()),
+              out->latency().mean_ms(),
+              out->latency().p99_us() / 1000.0);
+  std::printf("on-demand ETS generated: %llu; union consumed %llu "
+              "punctuations\n",
+              static_cast<unsigned long long>(executor.ets_generated()),
+              static_cast<unsigned long long>(u->stats().punctuation_in));
+  std::printf("peak buffered tuples across all arcs: %lld\n",
+              static_cast<long long>(sim.queue_tracker().peak_total()));
+  std::printf("executor: %s\n", executor.stats().ToString().c_str());
+
+  // Try it yourself: set config.ets.mode = EtsMode::kNone above and watch
+  // the latency jump by four orders of magnitude.
+  return 0;
+}

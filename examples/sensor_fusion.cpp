@@ -1,0 +1,99 @@
+// Sensor fusion: a field deployment reports temperature readings over a
+// lossy radio link, so readings arrive out of order (bounded disorder).
+// The pipeline repairs the order with a slack Reorder operator, aggregates
+// per-minute averages with a sliding window, and unions the result with a
+// second (wired, in-order) sensor's aggregate stream.
+//
+// Demonstrates: Reorder (out-of-order repair, cf. Srivastava & Widom),
+// WindowAggregate (punctuation-driven window close), punctuation flowing
+// through a multi-operator pipeline, and on-demand ETS keeping the final
+// union responsive.
+//
+//   $ ./sensor_fusion
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+#include "common/clock.h"
+#include "common/random.h"
+#include "exec/dfs_executor.h"
+#include "graph/graph_builder.h"
+#include "operators/reorder.h"
+#include "sim/arrival_process.h"
+#include "sim/simulation.h"
+
+int main() {
+  using namespace dsms;
+
+  GraphBuilder builder;
+  Source* radio = builder.AddSource("radio", TimestampKind::kExternal,
+                                    /*skew_bound=*/2 * kSecond);
+  Source* wired = builder.AddSource("wired", TimestampKind::kInternal);
+
+  // The radio sensor's application timestamps arrive jittered; repair with
+  // 2 s of slack before windowing.
+  Reorder* repair = builder.AddReorder("repair", /*slack=*/2 * kSecond);
+  WindowAggregate* radio_avg = builder.AddWindowAggregate(
+      "radio_avg", AggKind::kAvg, /*field=*/0, /*window=*/60 * kSecond,
+      /*slide=*/30 * kSecond);
+  WindowAggregate* wired_avg = builder.AddWindowAggregate(
+      "wired_avg", AggKind::kAvg, 0, 60 * kSecond, 30 * kSecond);
+  Union* fused = builder.AddUnion("fused");
+  Sink* dashboard = builder.AddSink("dashboard");
+
+  builder.Connect(radio, repair);
+  builder.Connect(repair, radio_avg);
+  builder.Connect(wired, wired_avg);
+  builder.Connect(radio_avg, fused);
+  builder.Connect(wired_avg, fused);
+  builder.Connect(fused, dashboard);
+
+  Result<std::unique_ptr<QueryGraph>> graph = builder.Build();
+  DSMS_CHECK_OK(graph.status());
+
+  VirtualClock clock;
+  ExecConfig config;
+  config.ets.mode = EtsMode::kOnDemand;
+  DfsExecutor executor(graph->get(), &clock, config);
+  Simulation sim(graph->get(), &executor, &clock);
+
+  // Temperature payloads: a slow sinusoid-ish walk, seeded.
+  auto temperature = [](uint64_t seed, double base) {
+    auto rng = std::make_shared<Pcg32>(seed);
+    auto value = std::make_shared<double>(base);
+    return [rng, value](uint64_t, Timestamp) {
+      *value += rng->NextDouble(-0.1, 0.1);
+      return std::vector<Value>{Value(*value)};
+    };
+  };
+  sim.AddFeed(radio, std::make_unique<PoissonProcess>(2.0, 41),
+              temperature(1, 21.0), /*jitter_seed=*/51);
+  sim.AddFeed(wired, std::make_unique<PoissonProcess>(5.0, 42),
+              temperature(2, 23.0));
+
+  dashboard->set_collect(true);
+  sim.Run(10 * 60 * kSecond);  // ten virtual minutes
+
+  std::printf("fused per-30s average-temperature stream "
+              "(window_start_s, avg_deg_c):\n");
+  int shown = 0;
+  for (const Tuple& t : dashboard->collected()) {
+    if (++shown > 10) break;
+    std::printf("  window@%6.1fs  avg=%.2f C\n",
+                static_cast<double>(t.value(0).int64_value()) / kSecond,
+                t.value(1).AsDouble());
+  }
+  std::printf("  ... %zu windows total\n", dashboard->collected().size());
+
+  std::printf("\nwindow emission delay: mean %.2f ms, p99 %.2f ms "
+              "(delay past each window's semantic close)\n",
+              dashboard->latency().mean_ms(),
+              dashboard->latency().p99_us() / 1000.0);
+  std::printf("radio stragglers dropped beyond slack: %llu\n",
+              static_cast<unsigned long long>(repair->late_dropped()));
+  std::printf("on-demand ETS generated: %llu\n",
+              static_cast<unsigned long long>(executor.ets_generated()));
+  return 0;
+}

@@ -1,0 +1,40 @@
+#ifndef DSMS_COMMON_CHECK_H_
+#define DSMS_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/status.h"
+
+/// Failure discipline: the library does not use exceptions (per the style
+/// guide). Recoverable, caller-visible errors are reported via Status /
+/// Result. Violations of internal invariants — programmer errors — abort via
+/// the DSMS_CHECK family, in both debug and release builds.
+
+#define DSMS_CHECK(condition)                                         \
+  do {                                                                \
+    if (!(condition)) {                                               \
+      std::fprintf(stderr, "%s:%d: DSMS_CHECK failed: %s\n", __FILE__, \
+                   __LINE__, #condition);                             \
+      std::abort();                                                   \
+    }                                                                 \
+  } while (false)
+
+#define DSMS_CHECK_OK(status_expr)                                        \
+  do {                                                                    \
+    ::dsms::Status dsms_check_ok_status = (status_expr);                  \
+    if (!dsms_check_ok_status.ok()) {                                     \
+      std::fprintf(stderr, "%s:%d: DSMS_CHECK_OK failed: %s\n", __FILE__, \
+                   __LINE__, dsms_check_ok_status.ToString().c_str());    \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (false)
+
+#define DSMS_CHECK_EQ(a, b) DSMS_CHECK((a) == (b))
+#define DSMS_CHECK_NE(a, b) DSMS_CHECK((a) != (b))
+#define DSMS_CHECK_LT(a, b) DSMS_CHECK((a) < (b))
+#define DSMS_CHECK_LE(a, b) DSMS_CHECK((a) <= (b))
+#define DSMS_CHECK_GT(a, b) DSMS_CHECK((a) > (b))
+#define DSMS_CHECK_GE(a, b) DSMS_CHECK((a) >= (b))
+
+#endif  // DSMS_COMMON_CHECK_H_

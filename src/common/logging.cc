@@ -1,0 +1,41 @@
+#include "common/logging.h"
+
+#include <cstdio>
+
+namespace dsms {
+namespace {
+
+LogLevel g_log_level = LogLevel::kWarning;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARNING";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_log_level = level; }
+LogLevel GetLogLevel() { return g_log_level; }
+
+namespace internal_logging {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : enabled_(level >= g_log_level), level_(level), file_(file), line_(line) {}
+
+LogMessage::~LogMessage() {
+  if (!enabled_) return;
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level_), file_, line_,
+               stream_.str().c_str());
+}
+
+}  // namespace internal_logging
+}  // namespace dsms

@@ -1,0 +1,53 @@
+#ifndef DSMS_COMMON_LOGGING_H_
+#define DSMS_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace dsms {
+
+enum class LogLevel {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+};
+
+/// Sets the minimum level that is emitted to stderr. Defaults to kWarning so
+/// benchmarks and tests stay quiet unless something is wrong.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log sink; emits its accumulated message on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace dsms
+
+#define DSMS_LOG(severity)                                              \
+  ::dsms::internal_logging::LogMessage(::dsms::LogLevel::k##severity,   \
+                                       __FILE__, __LINE__)
+
+#endif  // DSMS_COMMON_LOGGING_H_

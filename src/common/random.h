@@ -1,0 +1,50 @@
+#ifndef DSMS_COMMON_RANDOM_H_
+#define DSMS_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+#include "common/time.h"
+
+namespace dsms {
+
+/// PCG32 pseudo-random generator (O'Neill, pcg-random.org; minimal variant).
+/// Deterministic across platforms, which the simulation relies on: every
+/// experiment in bench/ is reproducible bit-for-bit from its seed.
+class Pcg32 {
+ public:
+  /// Seeds the generator. Two generators with equal (seed, stream) produce
+  /// identical sequences; distinct streams are statistically independent.
+  explicit Pcg32(uint64_t seed = 0x853c49e6748fea9bULL, uint64_t stream = 1);
+
+  /// Returns the next 32 uniformly distributed bits.
+  uint32_t NextUint32();
+
+  /// Returns a uniform integer in [0, bound) using unbiased rejection.
+  /// `bound` must be positive.
+  uint32_t NextBelow(uint32_t bound);
+
+  /// Returns a uniform double in [0, 1).
+  double NextDouble();
+
+  /// Returns a uniform double in [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  /// Returns true with probability `p` (clamped to [0, 1]).
+  bool NextBernoulli(double p);
+
+  /// Samples Exp(rate): the inter-arrival gap of a Poisson process with
+  /// `rate` events per second, returned as a positive microsecond duration
+  /// (at least 1 microsecond so virtual time always advances).
+  Duration NextExponentialGap(double events_per_second);
+
+  /// Returns a uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+ private:
+  uint64_t state_;
+  uint64_t inc_;
+};
+
+}  // namespace dsms
+
+#endif  // DSMS_COMMON_RANDOM_H_

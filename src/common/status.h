@@ -1,0 +1,138 @@
+#ifndef DSMS_COMMON_STATUS_H_
+#define DSMS_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace dsms {
+
+/// Canonical error codes, modeled after absl::StatusCode.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kFailedPrecondition = 4,
+  kOutOfRange = 5,
+  kUnimplemented = 6,
+  kInternal = 7,
+};
+
+/// Returns a stable human-readable name for `code` ("OK", "INVALID_ARGUMENT",
+/// ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Lightweight success-or-error result used throughout the library instead of
+/// exceptions. An OK status carries no message; error statuses carry a code
+/// and a free-form message for diagnostics.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message. `code` should not
+  /// be kOk; use the default constructor (or `OkStatus()`) for success.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Returns e.g. "OK" or "INVALID_ARGUMENT: window must be positive".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+inline Status OkStatus() { return Status(); }
+
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status OutOfRangeError(std::string message);
+Status UnimplementedError(std::string message);
+Status InternalError(std::string message);
+
+/// A value-or-error holder, a minimal analogue of absl::StatusOr<T>.
+/// Accessing `value()` on an error Result aborts the process (see
+/// common/check.h for the failure discipline used by this library).
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding a value. Intentionally implicit so functions
+  /// can `return value;`.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : status_(), value_(std::move(value)), has_value_(true) {}
+
+  /// Constructs a Result holding an error. Intentionally implicit so
+  /// functions can `return InvalidArgumentError(...);`.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)), value_(), has_value_(false) {}
+
+  bool ok() const { return has_value_; }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    AbortIfError();
+    return value_;
+  }
+  T& value() & {
+    AbortIfError();
+    return value_;
+  }
+  T&& value() && {
+    AbortIfError();
+    return std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void AbortIfError() const;
+
+  Status status_;
+  T value_;
+  bool has_value_;
+};
+
+namespace internal_status {
+[[noreturn]] void DieBecauseResultError(const Status& status);
+}  // namespace internal_status
+
+template <typename T>
+void Result<T>::AbortIfError() const {
+  if (!has_value_) internal_status::DieBecauseResultError(status_);
+}
+
+}  // namespace dsms
+
+/// Evaluates `expr` (a Status expression); returns it from the enclosing
+/// function if it is not OK.
+#define DSMS_RETURN_IF_ERROR(expr)                        \
+  do {                                                    \
+    ::dsms::Status dsms_return_if_error_status = (expr);  \
+    if (!dsms_return_if_error_status.ok()) {              \
+      return dsms_return_if_error_status;                 \
+    }                                                     \
+  } while (false)
+
+#endif  // DSMS_COMMON_STATUS_H_

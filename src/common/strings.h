@@ -1,0 +1,36 @@
+#ifndef DSMS_COMMON_STRINGS_H_
+#define DSMS_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dsms {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Splits `text` on `delimiter`, keeping empty pieces.
+std::vector<std::string> StrSplit(std::string_view text, char delimiter);
+
+/// Returns `text` with leading/trailing ASCII whitespace removed.
+std::string_view StripWhitespace(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Parses a decimal double. Returns false (leaving *out untouched) on any
+/// trailing garbage or empty input.
+bool ParseDouble(std::string_view text, double* out);
+
+/// Parses a decimal int64. Returns false on overflow or trailing garbage.
+bool ParseInt64(std::string_view text, int64_t* out);
+
+/// Joins `pieces` with `separator`.
+std::string StrJoin(const std::vector<std::string>& pieces,
+                    std::string_view separator);
+
+}  // namespace dsms
+
+#endif  // DSMS_COMMON_STRINGS_H_

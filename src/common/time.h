@@ -1,0 +1,46 @@
+#ifndef DSMS_COMMON_TIME_H_
+#define DSMS_COMMON_TIME_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace dsms {
+
+/// All times in the library are integral microseconds on a single virtual
+/// timeline that starts at 0 when a simulation starts. `Timestamp` is a point
+/// on that timeline; `Duration` is a difference of two points.
+using Timestamp = int64_t;
+using Duration = int64_t;
+
+/// Sentinel meaning "no timestamp observed yet"; orders before every valid
+/// timestamp. TSM registers start here.
+inline constexpr Timestamp kMinTimestamp =
+    std::numeric_limits<Timestamp>::min();
+
+/// Sentinel ordering after every valid timestamp.
+inline constexpr Timestamp kMaxTimestamp =
+    std::numeric_limits<Timestamp>::max();
+
+inline constexpr Duration kMicrosecond = 1;
+inline constexpr Duration kMillisecond = 1000;
+inline constexpr Duration kSecond = 1000 * 1000;
+
+/// Converts a duration expressed in (possibly fractional) seconds to
+/// microseconds, rounding to nearest.
+constexpr Duration SecondsToDuration(double seconds) {
+  return static_cast<Duration>(seconds * static_cast<double>(kSecond) + 0.5);
+}
+
+/// Converts a microsecond duration to fractional seconds.
+constexpr double DurationToSeconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+/// Converts a microsecond duration to fractional milliseconds.
+constexpr double DurationToMillis(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+
+}  // namespace dsms
+
+#endif  // DSMS_COMMON_TIME_H_

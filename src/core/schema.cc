@@ -1,0 +1,66 @@
+#include "core/schema.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace dsms {
+
+const Field& Schema::field(int index) const {
+  DSMS_CHECK_GE(index, 0);
+  DSMS_CHECK_LT(index, num_fields());
+  return fields_[static_cast<size_t>(index)];
+}
+
+int Schema::FieldIndex(const std::string& name) const {
+  for (int i = 0; i < num_fields(); ++i) {
+    if (fields_[static_cast<size_t>(i)].name == name) return i;
+  }
+  return -1;
+}
+
+Schema Schema::Concat(const Schema& other) const {
+  std::vector<Field> combined = fields_;
+  combined.reserve(fields_.size() + other.fields_.size());
+  for (const Field& f : other.fields_) {
+    Field copy = f;
+    if (FieldIndex(f.name) >= 0) copy.name = "right." + f.name;
+    combined.push_back(std::move(copy));
+  }
+  return Schema(std::move(combined));
+}
+
+Status CheckFieldAccess(const Schema& schema, int field, bool require_numeric,
+                        std::string_view context) {
+  if (field < 0 || field >= schema.num_fields()) {
+    return InvalidArgumentError(
+        StrFormat("%.*s: field %d out of bounds for schema %s",
+                  static_cast<int>(context.size()), context.data(), field,
+                  schema.ToString().c_str()));
+  }
+  if (require_numeric && !IsNumeric(schema.field(field).type)) {
+    return InvalidArgumentError(StrFormat(
+        "%.*s: field %d ('%s') must be numeric but has type %s",
+        static_cast<int>(context.size()), context.data(), field,
+        schema.field(field).name.c_str(),
+        ValueTypeToString(schema.field(field).type)));
+  }
+  return OkStatus();
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += ":";
+    out += ValueTypeToString(fields_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace dsms

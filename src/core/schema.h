@@ -1,0 +1,71 @@
+#ifndef DSMS_CORE_SCHEMA_H_
+#define DSMS_CORE_SCHEMA_H_
+
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/value.h"
+
+namespace dsms {
+
+/// One attribute of a stream schema.
+struct Field {
+  std::string name;
+  ValueType type = ValueType::kInt64;
+
+  friend bool operator==(const Field& a, const Field& b) {
+    return a.name == b.name && a.type == b.type;
+  }
+};
+
+/// The (flat, relational) schema of a stream: an ordered list of named,
+/// typed fields. Schemas are small value types copied freely between
+/// operators at graph-construction time.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+  Schema(std::initializer_list<Field> fields) : fields_(fields) {}
+
+  const std::vector<Field>& fields() const { return fields_; }
+  int num_fields() const { return static_cast<int>(fields_.size()); }
+  const Field& field(int index) const;
+
+  /// Returns the index of the field named `name`, or -1 if absent.
+  int FieldIndex(const std::string& name) const;
+
+  /// Returns a schema holding this schema's fields followed by `other`'s,
+  /// disambiguating duplicate names with a `right.` prefix. Used by joins.
+  Schema Concat(const Schema& other) const;
+
+  /// e.g. "(ts:int64, price:double)".
+  std::string ToString() const;
+
+  friend bool operator==(const Schema& a, const Schema& b) {
+    return a.fields_ == b.fields_;
+  }
+  friend bool operator!=(const Schema& a, const Schema& b) {
+    return !(a == b);
+  }
+
+ private:
+  std::vector<Field> fields_;
+};
+
+/// True for types with a numeric interpretation (Value::AsDouble works).
+constexpr bool IsNumeric(ValueType type) {
+  return type != ValueType::kString;
+}
+
+/// Validates a field reference against a schema: index in bounds and, when
+/// `require_numeric`, a numeric type. `context` names the referencing
+/// operator for the error message.
+Status CheckFieldAccess(const Schema& schema, int field, bool require_numeric,
+                        std::string_view context);
+
+}  // namespace dsms
+
+#endif  // DSMS_CORE_SCHEMA_H_

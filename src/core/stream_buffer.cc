@@ -1,0 +1,50 @@
+#include "core/stream_buffer.h"
+
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+namespace dsms {
+
+StreamBuffer::StreamBuffer(std::string name) : name_(std::move(name)) {}
+
+const Tuple& StreamBuffer::Front() const {
+  DSMS_CHECK(!tuples_.empty());
+  return tuples_.front();
+}
+
+void StreamBuffer::AddListener(BufferListener* listener) {
+  DSMS_CHECK(listener != nullptr);
+  listeners_.push_back(listener);
+}
+
+void StreamBuffer::Push(Tuple tuple) {
+  ++total_pushed_;
+  if (tuple.is_data()) {
+    ++data_pushed_;
+    ++data_in_queue_;
+  } else {
+    ++punctuation_pushed_;
+  }
+  tuples_.push_back(std::move(tuple));
+  for (BufferListener* listener : listeners_) {
+    listener->OnPush(*this, tuples_.back());
+  }
+}
+
+Tuple StreamBuffer::Pop() {
+  DSMS_CHECK(!tuples_.empty());
+  Tuple tuple = std::move(tuples_.front());
+  tuples_.pop_front();
+  if (tuple.is_data()) {
+    DSMS_CHECK_GT(data_in_queue_, 0u);
+    --data_in_queue_;
+  }
+  for (BufferListener* listener : listeners_) {
+    listener->OnPop(*this, tuple);
+  }
+  return tuple;
+}
+
+}  // namespace dsms

@@ -1,0 +1,86 @@
+#ifndef DSMS_CORE_STREAM_BUFFER_H_
+#define DSMS_CORE_STREAM_BUFFER_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "core/tuple.h"
+
+namespace dsms {
+
+class StreamBuffer;
+
+/// Observer notified on every enqueue/dequeue of a StreamBuffer. The
+/// simulation attaches one global listener (metrics/QueueSizeTracker) to
+/// every arc of a query graph so that "peak total queue size" (Figure 8) can
+/// be maintained incrementally.
+class BufferListener {
+ public:
+  virtual ~BufferListener() = default;
+  virtual void OnPush(const StreamBuffer& buffer, const Tuple& tuple) = 0;
+  virtual void OnPop(const StreamBuffer& buffer, const Tuple& tuple) = 0;
+};
+
+/// A FIFO arc of the query graph (Section 3: "our directed arc from Qi to Qj
+/// represents a buffer"). Exactly one producer appends at the tail and one
+/// consumer removes from the front. Unbounded: the experiments measure how
+/// large buffers grow under idle-waiting, so no backpressure is applied.
+class StreamBuffer {
+ public:
+  explicit StreamBuffer(std::string name);
+
+  StreamBuffer(const StreamBuffer&) = delete;
+  StreamBuffer& operator=(const StreamBuffer&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Identifier assigned by the owning QueryGraph (index of the arc);
+  /// -1 for free-standing buffers created in tests.
+  int id() const { return id_; }
+  void set_id(int id) { id_ = id; }
+
+  bool empty() const { return tuples_.empty(); }
+  size_t size() const { return tuples_.size(); }
+
+  /// The consumer-side head. Requires !empty().
+  const Tuple& Front() const;
+
+  /// Appends to the tail (production).
+  void Push(Tuple tuple);
+
+  /// Removes and returns the head (consumption). Requires !empty().
+  Tuple Pop();
+
+  /// Lifetime counters, split by tuple kind.
+  uint64_t total_pushed() const { return total_pushed_; }
+  uint64_t data_pushed() const { return data_pushed_; }
+  uint64_t punctuation_pushed() const { return punctuation_pushed_; }
+
+  /// Number of data tuples currently queued (punctuation excluded).
+  size_t data_size() const { return data_in_queue_; }
+
+  /// Replaces all listeners with `listener` (nullptr detaches). Not owned.
+  void set_listener(BufferListener* listener) {
+    listeners_.clear();
+    if (listener != nullptr) listeners_.push_back(listener);
+  }
+
+  /// Registers an additional listener (metrics and validators compose).
+  void AddListener(BufferListener* listener);
+
+ private:
+  std::string name_;
+  int id_ = -1;
+  std::deque<Tuple> tuples_;
+  size_t data_in_queue_ = 0;
+  uint64_t total_pushed_ = 0;
+  uint64_t data_pushed_ = 0;
+  uint64_t punctuation_pushed_ = 0;
+  std::vector<BufferListener*> listeners_;
+};
+
+}  // namespace dsms
+
+#endif  // DSMS_CORE_STREAM_BUFFER_H_

@@ -1,0 +1,46 @@
+#ifndef DSMS_CORE_TSM_REGISTER_H_
+#define DSMS_CORE_TSM_REGISTER_H_
+
+#include "common/time.h"
+
+namespace dsms {
+
+/// Time-Stamp Memory register (Section 4.1). One register is attached to
+/// each input of an IWP operator; it remembers the largest timestamp bound
+/// ever observed on that input:
+///
+///  - observing a data tuple at the buffer head advances the register to the
+///    tuple's timestamp;
+///  - consuming a punctuation with timestamp p advances the register to p
+///    (the producer guarantees no future tuple below p).
+///
+/// The register "remains until the next tuple updates it" — in particular it
+/// survives the consumption of the tuple that set it, which is what lets the
+/// relaxed `more` condition process simultaneous tuples without idle-waiting.
+class TsmRegister {
+ public:
+  TsmRegister() = default;
+
+  /// The current lower bound for future timestamps on this input.
+  /// kMinTimestamp until anything has been observed.
+  Timestamp value() const { return value_; }
+
+  /// True once at least one tuple or punctuation has been observed.
+  bool initialized() const { return value_ != kMinTimestamp; }
+
+  /// Advances the register; streams are timestamp-ordered so observations
+  /// are monotone, but equal or stale values (simultaneous tuples, duplicate
+  /// ETS) are tolerated and ignored.
+  void Observe(Timestamp timestamp) {
+    if (timestamp > value_) value_ = timestamp;
+  }
+
+  void Reset() { value_ = kMinTimestamp; }
+
+ private:
+  Timestamp value_ = kMinTimestamp;
+};
+
+}  // namespace dsms
+
+#endif  // DSMS_CORE_TSM_REGISTER_H_

@@ -1,0 +1,87 @@
+#include "core/tuple.h"
+
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace dsms {
+
+const char* TimestampKindToString(TimestampKind kind) {
+  switch (kind) {
+    case TimestampKind::kExternal:
+      return "external";
+    case TimestampKind::kInternal:
+      return "internal";
+    case TimestampKind::kLatent:
+      return "latent";
+  }
+  return "unknown";
+}
+
+Tuple Tuple::MakeData(Timestamp timestamp, std::vector<Value> values,
+                      TimestampKind ts_kind) {
+  DSMS_CHECK(ts_kind != TimestampKind::kLatent);
+  Tuple t;
+  t.kind_ = TupleKind::kData;
+  t.ts_kind_ = ts_kind;
+  t.has_timestamp_ = true;
+  t.timestamp_ = timestamp;
+  t.values_ = std::move(values);
+  return t;
+}
+
+Tuple Tuple::MakeLatent(std::vector<Value> values) {
+  Tuple t;
+  t.kind_ = TupleKind::kData;
+  t.ts_kind_ = TimestampKind::kLatent;
+  t.has_timestamp_ = false;
+  t.values_ = std::move(values);
+  return t;
+}
+
+Tuple Tuple::MakePunctuation(Timestamp timestamp) {
+  Tuple t;
+  t.kind_ = TupleKind::kPunctuation;
+  t.ts_kind_ = TimestampKind::kInternal;
+  t.has_timestamp_ = true;
+  t.timestamp_ = timestamp;
+  return t;
+}
+
+Timestamp Tuple::timestamp() const {
+  DSMS_CHECK(has_timestamp_);
+  return timestamp_;
+}
+
+void Tuple::set_timestamp(Timestamp timestamp) {
+  has_timestamp_ = true;
+  timestamp_ = timestamp;
+}
+
+const Value& Tuple::value(int index) const {
+  DSMS_CHECK_GE(index, 0);
+  DSMS_CHECK_LT(index, num_values());
+  return values_[static_cast<size_t>(index)];
+}
+
+std::string Tuple::ToString() const {
+  std::string out = is_punctuation() ? "punct" : "data";
+  if (has_timestamp_) {
+    out += StrFormat("@%lld", static_cast<long long>(timestamp_));
+  } else {
+    out += "@latent";
+  }
+  if (is_data()) {
+    out += "[";
+    for (size_t i = 0; i < values_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += values_[i].ToString();
+    }
+    out += "]";
+  }
+  return out;
+}
+
+}  // namespace dsms

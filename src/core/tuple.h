@@ -1,0 +1,108 @@
+#ifndef DSMS_CORE_TUPLE_H_
+#define DSMS_CORE_TUPLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "core/value.h"
+
+namespace dsms {
+
+/// Whether a tuple carries application data or only timestamp information.
+/// Punctuation tuples are the carriers of Enabling Time-Stamps (ETS) and of
+/// periodic heartbeats; they flow through the operator network and are
+/// eliminated at sinks (Section 3 of the paper, footnote 3).
+enum class TupleKind {
+  kData = 0,
+  kPunctuation = 1,
+};
+
+/// The three timestamp disciplines supported by Stream Mill (Section 5):
+///  - kExternal: stamped by the producing application; skew-bounded ETS.
+///  - kInternal: stamped with system (virtual) time on entry to the DSMS;
+///    ETS value is the current clock.
+///  - kLatent:   no timestamp until an operator needs one; IWP operators
+///    never idle-wait (the paper's optimal baseline, scenario D).
+enum class TimestampKind {
+  kExternal = 0,
+  kInternal = 1,
+  kLatent = 2,
+};
+
+const char* TimestampKindToString(TimestampKind kind);
+
+/// A stream element. Tuples are plain value types moved through buffers.
+///
+/// Invariants:
+///  - data tuples of external/internal kind always have a timestamp;
+///  - latent data tuples have no timestamp until an operator stamps them;
+///  - punctuation tuples always have a timestamp and an empty payload. A
+///    punctuation with timestamp `p` asserts that every future tuple on the
+///    same stream has timestamp >= p.
+class Tuple {
+ public:
+  Tuple() = default;
+
+  /// Makes a data tuple with an assigned timestamp.
+  static Tuple MakeData(Timestamp timestamp, std::vector<Value> values,
+                        TimestampKind ts_kind = TimestampKind::kInternal);
+
+  /// Makes a latent data tuple (no timestamp yet).
+  static Tuple MakeLatent(std::vector<Value> values);
+
+  /// Makes a punctuation (ETS / heartbeat) tuple.
+  static Tuple MakePunctuation(Timestamp timestamp);
+
+  TupleKind kind() const { return kind_; }
+  bool is_data() const { return kind_ == TupleKind::kData; }
+  bool is_punctuation() const { return kind_ == TupleKind::kPunctuation; }
+
+  TimestampKind timestamp_kind() const { return ts_kind_; }
+
+  bool has_timestamp() const { return has_timestamp_; }
+  /// Requires has_timestamp().
+  Timestamp timestamp() const;
+
+  /// Stamps a latent tuple (or restamps after reformatting); used by
+  /// operators that require timestamps on latent streams.
+  void set_timestamp(Timestamp timestamp);
+
+  /// Wall (virtual) time at which the tuple entered the DSMS; the latency of
+  /// an output tuple is `emit_time - arrival_time`. Punctuations carry the
+  /// time they were generated.
+  Timestamp arrival_time() const { return arrival_time_; }
+  void set_arrival_time(Timestamp t) { arrival_time_ = t; }
+
+  /// Identifier of the source stream that produced this tuple (set by Source
+  /// operators; joins keep the left lineage). Useful for tests and metrics.
+  int32_t source_id() const { return source_id_; }
+  void set_source_id(int32_t id) { source_id_ = id; }
+
+  /// Monotone per-source sequence number assigned at ingestion.
+  uint64_t sequence() const { return sequence_; }
+  void set_sequence(uint64_t s) { sequence_ = s; }
+
+  const std::vector<Value>& values() const { return values_; }
+  std::vector<Value>& mutable_values() { return values_; }
+  int num_values() const { return static_cast<int>(values_.size()); }
+  const Value& value(int index) const;
+
+  /// Debug rendering, e.g. "data@1500[42, \"x\"]" or "punct@2000".
+  std::string ToString() const;
+
+ private:
+  TupleKind kind_ = TupleKind::kData;
+  TimestampKind ts_kind_ = TimestampKind::kInternal;
+  bool has_timestamp_ = false;
+  Timestamp timestamp_ = kMinTimestamp;
+  Timestamp arrival_time_ = 0;
+  int32_t source_id_ = -1;
+  uint64_t sequence_ = 0;
+  std::vector<Value> values_;
+};
+
+}  // namespace dsms
+
+#endif  // DSMS_CORE_TUPLE_H_

@@ -1,0 +1,66 @@
+#include "core/value.h"
+
+#include <string>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace dsms {
+
+const char* ValueTypeToString(ValueType type) {
+  switch (type) {
+    case ValueType::kInt64:
+      return "int64";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+    case ValueType::kBool:
+      return "bool";
+  }
+  return "unknown";
+}
+
+ValueType Value::type() const {
+  if (is_int64()) return ValueType::kInt64;
+  if (is_double()) return ValueType::kDouble;
+  if (is_string()) return ValueType::kString;
+  return ValueType::kBool;
+}
+
+int64_t Value::int64_value() const {
+  DSMS_CHECK(is_int64());
+  return std::get<int64_t>(data_);
+}
+
+double Value::double_value() const {
+  DSMS_CHECK(is_double());
+  return std::get<double>(data_);
+}
+
+const std::string& Value::string_value() const {
+  DSMS_CHECK(is_string());
+  return std::get<std::string>(data_);
+}
+
+bool Value::bool_value() const {
+  DSMS_CHECK(is_bool());
+  return std::get<bool>(data_);
+}
+
+double Value::AsDouble() const {
+  if (is_double()) return std::get<double>(data_);
+  if (is_int64()) return static_cast<double>(std::get<int64_t>(data_));
+  if (is_bool()) return std::get<bool>(data_) ? 1.0 : 0.0;
+  DSMS_CHECK(false);  // Strings have no numeric interpretation.
+  return 0.0;
+}
+
+std::string Value::ToString() const {
+  if (is_int64()) return StrFormat("%lld", static_cast<long long>(int64_value()));
+  if (is_double()) return StrFormat("%g", double_value());
+  if (is_bool()) return bool_value() ? "true" : "false";
+  return "\"" + string_value() + "\"";
+}
+
+}  // namespace dsms

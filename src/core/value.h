@@ -1,0 +1,69 @@
+#ifndef DSMS_CORE_VALUE_H_
+#define DSMS_CORE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace dsms {
+
+/// Runtime type of a Value / schema field.
+enum class ValueType {
+  kInt64 = 0,
+  kDouble = 1,
+  kString = 2,
+  kBool = 3,
+};
+
+const char* ValueTypeToString(ValueType type);
+
+/// A dynamically typed tuple attribute. Small, copyable value type; the
+/// operator library manipulates tuples as vectors of Values.
+class Value {
+ public:
+  /// Default-constructed Value is int64 0.
+  Value() : data_(int64_t{0}) {}
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(double v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+  explicit Value(const char* v) : data_(std::string(v)) {}
+  explicit Value(bool v) : data_(v) {}
+
+  Value(const Value&) = default;
+  Value& operator=(const Value&) = default;
+  Value(Value&&) = default;
+  Value& operator=(Value&&) = default;
+
+  ValueType type() const;
+
+  bool is_int64() const { return std::holds_alternative<int64_t>(data_); }
+  bool is_double() const { return std::holds_alternative<double>(data_); }
+  bool is_string() const { return std::holds_alternative<std::string>(data_); }
+  bool is_bool() const { return std::holds_alternative<bool>(data_); }
+
+  /// Typed accessors; aborts (DSMS_CHECK) on type mismatch.
+  int64_t int64_value() const;
+  double double_value() const;
+  const std::string& string_value() const;
+  bool bool_value() const;
+
+  /// Returns the value as a double, converting from int64/bool when needed;
+  /// aborts for strings. Convenient for numeric predicates and aggregates.
+  double AsDouble() const;
+
+  /// Human-readable rendering (ints as decimal, doubles with %g, strings
+  /// quoted, bools as true/false).
+  std::string ToString() const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.data_ == b.data_;
+  }
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+
+ private:
+  std::variant<int64_t, double, std::string, bool> data_;
+};
+
+}  // namespace dsms
+
+#endif  // DSMS_CORE_VALUE_H_

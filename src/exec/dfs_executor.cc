@@ -1,0 +1,56 @@
+#include "exec/dfs_executor.h"
+
+#include "common/check.h"
+
+namespace dsms {
+
+DfsExecutor::DfsExecutor(QueryGraph* graph, VirtualClock* clock,
+                         ExecConfig config)
+    : Executor(graph, clock, config) {}
+
+int DfsExecutor::FindWork() {
+  ++stats_.work_scans;
+  for (const auto& op : graph_->operators()) {
+    if (op->HasWork()) return op->id();
+  }
+  return -1;
+}
+
+bool DfsExecutor::RunStep() {
+  if (current_ < 0) {
+    current_ = FindWork();
+    if (current_ < 0) {
+      Operator* resumed = TryEtsSweep();
+      if (resumed == nullptr) {
+        ++stats_.idle_returns;
+        return false;
+      }
+      current_ = resumed->id();
+    }
+  }
+
+  Operator* op = graph_->op(current_);
+  StepResult result = op->Step(ctx_);
+  ChargeStep(result);
+  UpdateIdleTracker(op, result);
+
+  // Next-Operator-Selection.
+  if (result.yield && op->num_outputs() > 0) {
+    current_ = FirstSuccessorWithInput(op)->id();  // Forward
+    return true;
+  }
+  if (result.more) {
+    return true;  // Encore: next := self
+  }
+  if (op->num_inputs() == 0) {
+    // A source relay step with nothing buffered; nothing upstream to visit.
+    current_ = -1;
+    return true;
+  }
+  Operator* next =
+      BacktrackToWork(op, result.blocked_input, result.idle_waiting);
+  current_ = next == nullptr ? -1 : next->id();
+  return true;
+}
+
+}  // namespace dsms

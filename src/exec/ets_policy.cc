@@ -1,0 +1,40 @@
+#include "exec/ets_policy.h"
+
+#include <optional>
+
+#include "common/time.h"
+
+namespace dsms {
+
+const char* EtsModeToString(EtsMode mode) {
+  switch (mode) {
+    case EtsMode::kNone:
+      return "none";
+    case EtsMode::kOnDemand:
+      return "on-demand";
+  }
+  return "unknown";
+}
+
+bool EtsGate::MaybeGenerate(Source* source, Timestamp now,
+                            bool downstream_idle_waiting,
+                            Timestamp release_bound) {
+  if (policy_.mode != EtsMode::kOnDemand) return false;
+  if (!downstream_idle_waiting) return false;
+  if (policy_.min_interval > 0) {
+    auto it = last_generation_.find(source->stream_id());
+    if (it != last_generation_.end() &&
+        now - it->second < policy_.min_interval) {
+      return false;
+    }
+  }
+  std::optional<Timestamp> ets = source->ComputeEts(now);
+  if (!ets.has_value()) return false;
+  if (*ets < release_bound) return false;  // Could not unblock anything.
+  if (!source->EmitEts(now)) return false;
+  ++generated_;
+  last_generation_[source->stream_id()] = now;
+  return true;
+}
+
+}  // namespace dsms

@@ -1,0 +1,23 @@
+#include "exec/exec_stats.h"
+
+#include <string>
+
+#include "common/strings.h"
+
+namespace dsms {
+
+std::string ExecStats::ToString() const {
+  return StrFormat(
+      "data_steps=%llu punct_steps=%llu empty_steps=%llu backtracks=%llu "
+      "hops=%llu ets=%llu idle_returns=%llu scans=%llu",
+      static_cast<unsigned long long>(data_steps),
+      static_cast<unsigned long long>(punctuation_steps),
+      static_cast<unsigned long long>(empty_steps),
+      static_cast<unsigned long long>(backtracks),
+      static_cast<unsigned long long>(backtrack_hops),
+      static_cast<unsigned long long>(ets_generated),
+      static_cast<unsigned long long>(idle_returns),
+      static_cast<unsigned long long>(work_scans));
+}
+
+}  // namespace dsms

@@ -1,0 +1,37 @@
+#ifndef DSMS_EXEC_EXEC_STATS_H_
+#define DSMS_EXEC_EXEC_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace dsms {
+
+/// Counters maintained by executors; one instance per executor run.
+struct ExecStats {
+  /// Operator steps that consumed a data tuple.
+  uint64_t data_steps = 0;
+  /// Operator steps that consumed a punctuation tuple.
+  uint64_t punctuation_steps = 0;
+  /// Operator steps that consumed nothing (blocked probes).
+  uint64_t empty_steps = 0;
+  /// Backtrack walks initiated (Backtrack NOS rule firings).
+  uint64_t backtracks = 0;
+  /// Individual hops taken during backtrack walks.
+  uint64_t backtrack_hops = 0;
+  /// On-demand ETS punctuations generated at sources.
+  uint64_t ets_generated = 0;
+  /// Times control returned to the scheduler with nothing runnable.
+  uint64_t idle_returns = 0;
+  /// Scans over the operator table looking for runnable work.
+  uint64_t work_scans = 0;
+
+  uint64_t total_steps() const {
+    return data_steps + punctuation_steps + empty_steps;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace dsms
+
+#endif  // DSMS_EXEC_EXEC_STATS_H_

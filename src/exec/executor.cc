@@ -1,0 +1,142 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "operators/iwp_operator.h"
+#include "operators/source.h"
+
+namespace dsms {
+
+Executor::Executor(QueryGraph* graph, VirtualClock* clock, ExecConfig config)
+    : graph_(graph),
+      clock_(clock),
+      config_(config),
+      ets_gate_(config.ets),
+      ctx_(clock) {
+  DSMS_CHECK(graph != nullptr);
+  DSMS_CHECK(clock != nullptr);
+  DSMS_CHECK(graph->validated());
+  for (const auto& op : graph->operators()) {
+    if (op->is_iwp()) idle_trackers_.emplace(op->id(), IdleWaitTracker());
+  }
+}
+
+uint64_t Executor::RunUntilIdle() {
+  uint64_t steps = 0;
+  while (RunStep()) ++steps;
+  return steps;
+}
+
+const IdleWaitTracker* Executor::idle_tracker(int op_id) const {
+  auto it = idle_trackers_.find(op_id);
+  return it == idle_trackers_.end() ? nullptr : &it->second;
+}
+
+void Executor::ChargeStep(const StepResult& result) {
+  if (result.processed_data) {
+    ++stats_.data_steps;
+    clock_->Advance(config_.costs.data_step);
+  } else if (result.processed_punctuation) {
+    ++stats_.punctuation_steps;
+    clock_->Advance(config_.costs.punctuation_step);
+  } else {
+    ++stats_.empty_steps;
+    clock_->Advance(config_.costs.empty_step);
+  }
+}
+
+void Executor::UpdateIdleTracker(Operator* op, const StepResult& result) {
+  auto it = idle_trackers_.find(op->id());
+  if (it == idle_trackers_.end()) return;
+  if (result.idle_waiting) {
+    it->second.MarkBlocked(clock_->now());
+  } else {
+    it->second.MarkUnblocked(clock_->now());
+  }
+}
+
+Operator* Executor::FirstSuccessorWithInput(Operator* op) const {
+  DSMS_CHECK_GE(op->num_outputs(), 1);
+  for (int i = 0; i < op->num_outputs(); ++i) {
+    if (!op->output(i)->empty()) {
+      return graph_->op(graph_->consumer_of(op->output(i)->id()));
+    }
+  }
+  return graph_->op(graph_->consumer_of(op->output(0)->id()));
+}
+
+Operator* Executor::BacktrackToWork(Operator* op, int blocked_input,
+                                    bool wants_ets) {
+  ++stats_.backtracks;
+  Operator* node = op;
+  wants_ets = wants_ets || op->WantsEts();
+  Timestamp release_bound = op->EtsReleaseBound();
+  int blocked = blocked_input >= 0 ? blocked_input : 0;
+  for (;;) {
+    if (node->num_inputs() == 0) {
+      // Reached a source node. If the wrapper delivered tuples meanwhile,
+      // resume forward; otherwise this is the on-demand ETS point
+      // (Section 4: "once the backtracking process takes us all the way
+      // back to the source node, we can generate a new ETS value and send
+      // it down along the path on which backtracking just occurred").
+      auto* source = dynamic_cast<Source*>(node);
+      DSMS_CHECK(source != nullptr);
+      if (!source->output()->empty()) return FirstSuccessorWithInput(node);
+      if (ets_gate_.MaybeGenerate(source, clock_->now(), wants_ets,
+                                  release_bound)) {
+        ++stats_.ets_generated;
+        clock_->Advance(config_.costs.ets_generation);
+        return FirstSuccessorWithInput(node);
+      }
+      return nullptr;  // Return control to the scheduler.
+    }
+
+    Operator* pred = graph_->predecessor(node, blocked);
+    ++stats_.backtrack_hops;
+    clock_->Advance(config_.costs.backtrack_hop);
+
+    // Apply the NOS rules to pred without stepping it: Forward if it has
+    // produced output, Encore if it has processable input, otherwise keep
+    // backtracking. Never Forward back into the operator we just came from:
+    // its pending output there is exactly what it cannot consume (e.g. a
+    // punctuation a strict-mode union is holding), so bouncing back would
+    // livelock.
+    for (int i = 0; i < pred->num_outputs(); ++i) {
+      if (pred->output(i)->empty()) continue;
+      Operator* succ = graph_->op(graph_->consumer_of(pred->output(i)->id()));
+      if (succ != node) return succ;
+    }
+    if (pred->HasWork()) return pred;
+
+    if (pred->WantsEts()) {
+      wants_ets = true;
+      release_bound = std::min(release_bound, pred->EtsReleaseBound());
+    }
+    if (pred->is_iwp()) {
+      auto* iwp = dynamic_cast<IwpOperator*>(pred);
+      DSMS_CHECK(iwp != nullptr);
+      blocked = iwp->BlockedInput();
+    } else {
+      blocked = 0;
+    }
+    node = pred;
+  }
+}
+
+Operator* Executor::TryEtsSweep() {
+  if (config_.ets.mode != EtsMode::kOnDemand) return nullptr;
+  for (const auto& op : graph_->operators()) {
+    if (op->HasWork() || !op->WantsEts()) continue;
+    int blocked = 0;
+    if (auto* iwp = dynamic_cast<IwpOperator*>(op.get())) {
+      blocked = iwp->BlockedInput();
+    }
+    Operator* next =
+        BacktrackToWork(op.get(), blocked, /*wants_ets=*/true);
+    if (next != nullptr) return next;
+  }
+  return nullptr;
+}
+
+}  // namespace dsms

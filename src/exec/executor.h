@@ -1,0 +1,117 @@
+#ifndef DSMS_EXEC_EXECUTOR_H_
+#define DSMS_EXEC_EXECUTOR_H_
+
+#include <map>
+#include <memory>
+
+#include "common/clock.h"
+#include "common/time.h"
+#include "exec/ets_policy.h"
+#include "exec/exec_stats.h"
+#include "graph/query_graph.h"
+#include "metrics/idle_wait_tracker.h"
+#include "operators/operator.h"
+
+namespace dsms {
+
+/// Virtual CPU cost model: how much the clock advances per operator step.
+/// Defaults are calibrated so the reproduced figures land in the paper's
+/// regime (see EXPERIMENTS.md); every bench states the values it uses.
+struct CostModel {
+  /// Step that consumed a data tuple.
+  Duration data_step = 25;
+  /// Step that consumed a punctuation tuple.
+  Duration punctuation_step = 20;
+  /// Step that consumed nothing (blocked/empty probe).
+  Duration empty_step = 2;
+  /// One hop of a backtrack walk (scheduling overhead).
+  Duration backtrack_hop = 2;
+  /// Generating one ETS at a source.
+  Duration ets_generation = 5;
+};
+
+/// Execution configuration shared by all executors.
+struct ExecConfig {
+  CostModel costs;
+  EtsPolicy ets;
+};
+
+/// Common machinery for executors: cost charging, idle-waiting trackers for
+/// IWP operators, and the on-demand ETS walk. Concrete strategies (DFS,
+/// round-robin) implement RunStep.
+///
+/// Protocol with the simulation driver: RunStep() performs one operator step
+/// (advancing the virtual clock by its cost) and returns true; when nothing
+/// is runnable — even after an ETS attempt — it returns false and the driver
+/// advances the clock to the next external event.
+class Executor {
+ public:
+  /// `graph` must be validated and outlive the executor; `clock` is shared
+  /// with the simulation driver.
+  Executor(QueryGraph* graph, VirtualClock* clock, ExecConfig config);
+  virtual ~Executor() = default;
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Executes one step; returns false when idle (see class comment).
+  virtual bool RunStep() = 0;
+
+  /// Runs steps until idle. Returns the number of steps executed.
+  uint64_t RunUntilIdle();
+
+  const ExecStats& stats() const { return stats_; }
+  uint64_t ets_generated() const { return ets_gate_.generated(); }
+  Timestamp now() const { return clock_->now(); }
+  const ExecConfig& config() const { return config_; }
+
+  /// Idle-waiting tracker of an IWP operator (by operator id); null for
+  /// non-IWP operators.
+  const IdleWaitTracker* idle_tracker(int op_id) const;
+
+ protected:
+  class ClockContext : public ExecContext {
+   public:
+    explicit ClockContext(VirtualClock* clock) : clock_(clock) {}
+    Timestamp now() const override { return clock_->now(); }
+
+   private:
+    VirtualClock* clock_;
+  };
+
+  /// Advances the clock per the cost model and bumps step counters.
+  void ChargeStep(const StepResult& result);
+
+  /// Updates the IWP idle tracker for `op` after a step.
+  void UpdateIdleTracker(Operator* op, const StepResult& result);
+
+  /// First successor of `op` whose input arc is non-empty; falls back to
+  /// the first successor. Requires num_outputs >= 1.
+  Operator* FirstSuccessorWithInput(Operator* op) const;
+
+  /// Walks upstream from (`op`, `blocked_input`) to a source, applying the
+  /// Backtrack NOS rule of Section 3.2 at every hop. Returns the operator to
+  /// execute next (an Encore/Forward target found on the way, or the
+  /// successor of a source that has buffered tuples or just produced an
+  /// on-demand ETS), or nullptr when control must return to the scheduler.
+  /// `wants_ets` seeds the idle-waiting flag (true when the walk starts at
+  /// an idle-waiting IWP operator).
+  Operator* BacktrackToWork(Operator* op, int blocked_input, bool wants_ets);
+
+  /// When nothing is runnable: resume every idle-waiting IWP operator's
+  /// backtrack at its blocking source and try to generate ETS. Returns an
+  /// operator made runnable by a generated ETS, or nullptr.
+  Operator* TryEtsSweep();
+
+  QueryGraph* graph_;
+  VirtualClock* clock_;
+  ExecConfig config_;
+  ExecStats stats_;
+  EtsGate ets_gate_;
+  ClockContext ctx_;
+  std::map<int, IdleWaitTracker> idle_trackers_;
+};
+
+}  // namespace dsms
+
+#endif  // DSMS_EXEC_EXECUTOR_H_

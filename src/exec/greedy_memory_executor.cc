@@ -1,0 +1,91 @@
+#include "exec/greedy_memory_executor.h"
+
+#include <deque>
+#include <vector>
+
+#include "common/check.h"
+#include "operators/operator.h"
+
+namespace dsms {
+
+GreedyMemoryExecutor::GreedyMemoryExecutor(QueryGraph* graph,
+                                           VirtualClock* clock,
+                                           ExecConfig config)
+    : Executor(graph, clock, config) {
+  // Reverse BFS from the sinks over producer->consumer arcs.
+  int n = graph->num_operators();
+  depth_to_sink_.assign(static_cast<size_t>(n), n + 1);
+  std::deque<int> frontier;
+  for (int i = 0; i < n; ++i) {
+    if (graph->op(i)->num_outputs() == 0) {
+      depth_to_sink_[static_cast<size_t>(i)] = 0;
+      frontier.push_back(i);
+    }
+  }
+  while (!frontier.empty()) {
+    int v = frontier.front();
+    frontier.pop_front();
+    Operator* op = graph->op(v);
+    for (int j = 0; j < op->num_inputs(); ++j) {
+      int pred = graph->producer_of(op->input(j)->id());
+      if (depth_to_sink_[static_cast<size_t>(pred)] >
+          depth_to_sink_[static_cast<size_t>(v)] + 1) {
+        depth_to_sink_[static_cast<size_t>(pred)] =
+            depth_to_sink_[static_cast<size_t>(v)] + 1;
+        frontier.push_back(pred);
+      }
+    }
+  }
+}
+
+double GreedyMemoryExecutor::Priority(const Operator& op) const {
+  // One step consumes ~1 buffered tuple and emits `out_rate` tuples into
+  // downstream buffers (estimated from lifetime counters; optimistic 0
+  // before any observation, so new operators get tried).
+  const OperatorStats& stats = op.stats();
+  uint64_t in = stats.data_in + stats.punctuation_in;
+  uint64_t out = stats.data_out + stats.punctuation_out;
+  double out_rate = in == 0 ? 0.0
+                            : static_cast<double>(out) /
+                                  static_cast<double>(in);
+  if (op.num_outputs() == 0) out_rate = 0.0;  // sinks retire tuples
+  return 1.0 - out_rate;
+}
+
+bool GreedyMemoryExecutor::RunStep() {
+  Operator* best = nullptr;
+  double best_priority = 0.0;
+  int best_depth = 0;
+  for (const auto& op : graph_->operators()) {
+    // Blocked IWP operators are never selected (no HasWork); account for
+    // their idle-waiting as we pass by.
+    if (op->is_iwp() && !op->HasWork() && op->HasPendingData()) {
+      auto it = idle_trackers_.find(op->id());
+      if (it != idle_trackers_.end()) it->second.MarkBlocked(clock_->now());
+    }
+    if (!op->HasWork()) continue;
+    double priority = Priority(*op);
+    int depth = depth_to_sink_[static_cast<size_t>(op->id())];
+    if (best == nullptr || priority > best_priority ||
+        (priority == best_priority && depth < best_depth)) {
+      best = op.get();
+      best_priority = priority;
+      best_depth = depth;
+    }
+  }
+  ++stats_.work_scans;
+  if (best == nullptr) {
+    Operator* resumed = TryEtsSweep();
+    if (resumed == nullptr) {
+      ++stats_.idle_returns;
+      return false;
+    }
+    best = resumed;
+  }
+  StepResult result = best->Step(ctx_);
+  ChargeStep(result);
+  UpdateIdleTracker(best, result);
+  return true;
+}
+
+}  // namespace dsms

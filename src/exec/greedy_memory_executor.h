@@ -1,0 +1,48 @@
+#ifndef DSMS_EXEC_GREEDY_MEMORY_EXECUTOR_H_
+#define DSMS_EXEC_GREEDY_MEMORY_EXECUTOR_H_
+
+#include <vector>
+
+#include "common/clock.h"
+#include "exec/executor.h"
+#include "graph/query_graph.h"
+
+namespace dsms {
+
+/// Memory-greedy scheduling in the spirit of Chain (Babcock et al.,
+/// SIGMOD'03 — the operator-scheduling line of work the paper's conclusion
+/// contrasts with timestamp management). Each activation runs the runnable
+/// operator with the best expected buffer-shrinkage per step:
+///
+///   priority(op) = expected(tuples consumed − tuples kept buffered)
+///
+/// estimated online from the operator's lifetime counters (a filter that
+/// has dropped 95% of its input scores ~1.0 −0.05; a sink scores 1; a
+/// fan-out copy scores negatively). Ties break toward operators closer to
+/// the sink (drain before admitting more).
+///
+/// On-demand ETS composes exactly as with the other executors: when nothing
+/// is runnable, the pending backtrack of any ETS-wanting operator is
+/// resumed at its blocking source (TryEtsSweep).
+///
+/// This executor minimizes buffer occupancy, not latency — the
+/// bench/abl_scheduler comparison quantifies the trade against DFS.
+class GreedyMemoryExecutor : public Executor {
+ public:
+  GreedyMemoryExecutor(QueryGraph* graph, VirtualClock* clock,
+                       ExecConfig config);
+
+  bool RunStep() override;
+
+ private:
+  /// Expected net buffered-tuple reduction of one step of `op`.
+  double Priority(const Operator& op) const;
+
+  /// Distance (in arcs) from each operator to the nearest sink; the
+  /// tie-breaker favoring drainage.
+  std::vector<int> depth_to_sink_;
+};
+
+}  // namespace dsms
+
+#endif  // DSMS_EXEC_GREEDY_MEMORY_EXECUTOR_H_

@@ -1,0 +1,50 @@
+#include "exec/round_robin_executor.h"
+
+#include "common/check.h"
+#include "operators/operator.h"
+
+namespace dsms {
+
+RoundRobinExecutor::RoundRobinExecutor(QueryGraph* graph, VirtualClock* clock,
+                                       ExecConfig config, int quantum)
+    : Executor(graph, clock, config), quantum_(quantum) {
+  DSMS_CHECK_GE(quantum, 1);
+}
+
+void RoundRobinExecutor::AdvanceCursor() {
+  cursor_ = (cursor_ + 1) % graph_->num_operators();
+  used_in_quantum_ = 0;
+}
+
+bool RoundRobinExecutor::RunStep() {
+  int n = graph_->num_operators();
+  for (int scanned = 0; scanned < n; ++scanned) {
+    Operator* op = graph_->op(cursor_);
+    if (op->HasWork() && used_in_quantum_ < quantum_) {
+      StepResult result = op->Step(ctx_);
+      ChargeStep(result);
+      UpdateIdleTracker(op, result);
+      ++used_in_quantum_;
+      if (!result.more || used_in_quantum_ >= quantum_) AdvanceCursor();
+      return true;
+    }
+    // An IWP operator that is blocked while holding data is idle-waiting
+    // even though it is never stepped; account for it as we pass by.
+    if (op->is_iwp() && !op->HasWork() && op->HasPendingData()) {
+      auto it = idle_trackers_.find(op->id());
+      if (it != idle_trackers_.end()) it->second.MarkBlocked(clock_->now());
+    }
+    AdvanceCursor();
+  }
+  ++stats_.work_scans;
+  Operator* resumed = TryEtsSweep();
+  if (resumed != nullptr) {
+    cursor_ = resumed->id();
+    used_in_quantum_ = 0;
+    return true;
+  }
+  ++stats_.idle_returns;
+  return false;
+}
+
+}  // namespace dsms

@@ -1,0 +1,112 @@
+#include "graph/graph_builder.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace dsms {
+
+GraphBuilder::GraphBuilder() : graph_(std::make_unique<QueryGraph>()) {}
+
+Source* GraphBuilder::AddSource(std::string name, TimestampKind kind,
+                                Duration skew_bound) {
+  return graph_->Add(std::make_unique<Source>(std::move(name),
+                                              next_stream_id_++, kind,
+                                              skew_bound));
+}
+
+Sink* GraphBuilder::AddSink(std::string name) {
+  return graph_->Add(std::make_unique<Sink>(std::move(name)));
+}
+
+Filter* GraphBuilder::AddFilter(std::string name,
+                                Filter::Predicate predicate) {
+  return graph_->Add(
+      std::make_unique<Filter>(std::move(name), std::move(predicate)));
+}
+
+RandomDropFilter* GraphBuilder::AddRandomDropFilter(std::string name,
+                                                    double selectivity,
+                                                    uint64_t seed) {
+  return graph_->Add(
+      std::make_unique<RandomDropFilter>(std::move(name), selectivity, seed));
+}
+
+Project* GraphBuilder::AddProject(std::string name,
+                                  std::vector<int> keep_indices) {
+  return graph_->Add(
+      std::make_unique<Project>(std::move(name), std::move(keep_indices)));
+}
+
+MapOp* GraphBuilder::AddMap(std::string name, MapOp::Transform transform) {
+  return graph_->Add(
+      std::make_unique<MapOp>(std::move(name), std::move(transform)));
+}
+
+CopyOp* GraphBuilder::AddCopy(std::string name) {
+  return graph_->Add(std::make_unique<CopyOp>(std::move(name)));
+}
+
+Union* GraphBuilder::AddUnion(std::string name, bool ordered,
+                              bool use_tsm_registers) {
+  return graph_->Add(
+      std::make_unique<Union>(std::move(name), ordered, use_tsm_registers));
+}
+
+WindowJoin* GraphBuilder::AddWindowJoin(std::string name, Duration left_window,
+                                        Duration right_window,
+                                        WindowJoin::Predicate predicate,
+                                        bool ordered) {
+  return graph_->Add(std::make_unique<WindowJoin>(
+      std::move(name), left_window, right_window, std::move(predicate),
+      ordered));
+}
+
+WindowAggregate* GraphBuilder::AddWindowAggregate(std::string name,
+                                                  AggKind kind, int field,
+                                                  Duration window,
+                                                  Duration slide) {
+  return graph_->Add(std::make_unique<WindowAggregate>(std::move(name), kind,
+                                                       field, window, slide));
+}
+
+GroupedWindowAggregate* GraphBuilder::AddGroupedWindowAggregate(
+    std::string name, AggKind kind, int key_field, int agg_field,
+    Duration window, Duration slide) {
+  return graph_->Add(std::make_unique<GroupedWindowAggregate>(
+      std::move(name), kind, key_field, agg_field, window, slide));
+}
+
+MultiWayJoin* GraphBuilder::AddMultiWayJoin(std::string name,
+                                            std::vector<Duration> windows,
+                                            MultiWayJoin::Predicate predicate,
+                                            bool ordered) {
+  return graph_->Add(std::make_unique<MultiWayJoin>(
+      std::move(name), std::move(windows), std::move(predicate), ordered));
+}
+
+Split* GraphBuilder::AddSplit(std::string name,
+                              std::vector<Split::Predicate> predicates) {
+  return graph_->Add(
+      std::make_unique<Split>(std::move(name), std::move(predicates)));
+}
+
+Reorder* GraphBuilder::AddReorder(std::string name, Duration slack) {
+  return graph_->Add(std::make_unique<Reorder>(std::move(name), slack));
+}
+
+void GraphBuilder::Connect(Operator* producer, Operator* consumer) {
+  graph_->Connect(producer, consumer);
+}
+
+Result<std::unique_ptr<QueryGraph>> GraphBuilder::Build() {
+  DSMS_CHECK(graph_ != nullptr);  // Build() consumed twice.
+  Status status = graph_->Validate();
+  if (!status.ok()) return status;
+  return std::move(graph_);
+}
+
+}  // namespace dsms

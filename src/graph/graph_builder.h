@@ -1,0 +1,91 @@
+#ifndef DSMS_GRAPH_GRAPH_BUILDER_H_
+#define DSMS_GRAPH_GRAPH_BUILDER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+#include "core/tuple.h"
+#include "graph/query_graph.h"
+#include "operators/filter.h"
+#include "operators/grouped_aggregate.h"
+#include "operators/map.h"
+#include "operators/multiway_join.h"
+#include "operators/project.h"
+#include "operators/reorder.h"
+#include "operators/split.h"
+#include "operators/sink.h"
+#include "operators/source.h"
+#include "operators/union_op.h"
+#include "operators/window_aggregate.h"
+#include "operators/window_join.h"
+
+namespace dsms {
+
+/// Fluent construction of query graphs:
+///
+///   GraphBuilder b;
+///   Source* s1 = b.AddSource("S1", TimestampKind::kInternal);
+///   Source* s2 = b.AddSource("S2", TimestampKind::kInternal);
+///   auto* f1 = b.AddRandomDropFilter("F1", 0.95, /*seed=*/1);
+///   auto* f2 = b.AddRandomDropFilter("F2", 0.95, /*seed=*/2);
+///   auto* u = b.AddUnion("U");
+///   auto* out = b.AddSink("OUT");
+///   b.Connect(s1, f1); b.Connect(s2, f2);
+///   b.Connect(f1, u);  b.Connect(f2, u);
+///   b.Connect(u, out);
+///   Result<std::unique_ptr<QueryGraph>> graph = b.Build();
+///
+/// Build() validates and transfers ownership; the builder is then empty.
+/// Stream ids for sources are assigned in creation order (0, 1, ...).
+class GraphBuilder {
+ public:
+  GraphBuilder();
+
+  Source* AddSource(std::string name, TimestampKind kind,
+                    Duration skew_bound = 0);
+  Sink* AddSink(std::string name);
+  Filter* AddFilter(std::string name, Filter::Predicate predicate);
+  RandomDropFilter* AddRandomDropFilter(std::string name, double selectivity,
+                                        uint64_t seed);
+  Project* AddProject(std::string name, std::vector<int> keep_indices);
+  MapOp* AddMap(std::string name, MapOp::Transform transform);
+  CopyOp* AddCopy(std::string name);
+  Union* AddUnion(std::string name, bool ordered = true,
+                  bool use_tsm_registers = true);
+  WindowJoin* AddWindowJoin(std::string name, Duration left_window,
+                            Duration right_window,
+                            WindowJoin::Predicate predicate,
+                            bool ordered = true);
+  WindowAggregate* AddWindowAggregate(std::string name, AggKind kind,
+                                      int field, Duration window,
+                                      Duration slide);
+  GroupedWindowAggregate* AddGroupedWindowAggregate(std::string name,
+                                                    AggKind kind,
+                                                    int key_field,
+                                                    int agg_field,
+                                                    Duration window,
+                                                    Duration slide);
+  MultiWayJoin* AddMultiWayJoin(std::string name,
+                                std::vector<Duration> windows,
+                                MultiWayJoin::Predicate predicate,
+                                bool ordered = true);
+  Split* AddSplit(std::string name, std::vector<Split::Predicate> predicates);
+  Reorder* AddReorder(std::string name, Duration slack);
+
+  void Connect(Operator* producer, Operator* consumer);
+
+  /// Validates and returns the graph, or the validation error.
+  Result<std::unique_ptr<QueryGraph>> Build();
+
+ private:
+  std::unique_ptr<QueryGraph> graph_;
+  int32_t next_stream_id_ = 0;
+};
+
+}  // namespace dsms
+
+#endif  // DSMS_GRAPH_GRAPH_BUILDER_H_

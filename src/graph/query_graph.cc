@@ -1,0 +1,352 @@
+#include "graph/query_graph.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "core/tuple.h"
+
+namespace dsms {
+namespace {
+
+/// Upstream timestamp discipline of an operator's output, folded over the
+/// graph during validation.
+enum class Discipline {
+  kUnknown = 0,
+  kTimestamped = 1,
+  kLatent = 2,
+  kMixed = 3,
+};
+
+Discipline Join(Discipline a, Discipline b) {
+  if (a == Discipline::kUnknown) return b;
+  if (b == Discipline::kUnknown) return a;
+  if (a == b) return a;
+  return Discipline::kMixed;
+}
+
+}  // namespace
+
+Operator* QueryGraph::AddOperator(std::unique_ptr<Operator> op) {
+  DSMS_CHECK(op != nullptr);
+  DSMS_CHECK(!validated_);
+  op->set_id(num_operators());
+  operators_.push_back(std::move(op));
+  return operators_.back().get();
+}
+
+StreamBuffer* QueryGraph::Connect(Operator* producer, Operator* consumer) {
+  DSMS_CHECK(producer != nullptr);
+  DSMS_CHECK(consumer != nullptr);
+  DSMS_CHECK(!validated_);
+  auto buffer = std::make_unique<StreamBuffer>(producer->name() + "->" +
+                                               consumer->name());
+  buffer->set_id(num_buffers());
+  StreamBuffer* raw = buffer.get();
+  buffers_.push_back(std::move(buffer));
+  buffer_producer_.push_back(producer->id());
+  buffer_consumer_.push_back(consumer->id());
+  producer->AddOutput(raw);
+  consumer->AddInput(raw);
+  return raw;
+}
+
+Operator* QueryGraph::op(int id) const {
+  DSMS_CHECK_GE(id, 0);
+  DSMS_CHECK_LT(id, num_operators());
+  return operators_[static_cast<size_t>(id)].get();
+}
+
+StreamBuffer* QueryGraph::buffer(int id) const {
+  DSMS_CHECK_GE(id, 0);
+  DSMS_CHECK_LT(id, num_buffers());
+  return buffers_[static_cast<size_t>(id)].get();
+}
+
+int QueryGraph::producer_of(int buffer_id) const {
+  DSMS_CHECK_GE(buffer_id, 0);
+  DSMS_CHECK_LT(buffer_id, num_buffers());
+  return buffer_producer_[static_cast<size_t>(buffer_id)];
+}
+
+int QueryGraph::consumer_of(int buffer_id) const {
+  DSMS_CHECK_GE(buffer_id, 0);
+  DSMS_CHECK_LT(buffer_id, num_buffers());
+  return buffer_consumer_[static_cast<size_t>(buffer_id)];
+}
+
+std::vector<Source*> QueryGraph::sources() const {
+  std::vector<Source*> result;
+  for (const auto& op : operators_) {
+    if (auto* source = dynamic_cast<Source*>(op.get())) {
+      result.push_back(source);
+    }
+  }
+  return result;
+}
+
+std::vector<Sink*> QueryGraph::sinks() const {
+  std::vector<Sink*> result;
+  for (const auto& op : operators_) {
+    if (auto* sink = dynamic_cast<Sink*>(op.get())) {
+      result.push_back(sink);
+    }
+  }
+  return result;
+}
+
+std::vector<Operator*> QueryGraph::successors(const Operator* op) const {
+  std::vector<Operator*> result;
+  for (int i = 0; i < op->num_outputs(); ++i) {
+    int consumer = consumer_of(op->output(i)->id());
+    result.push_back(this->op(consumer));
+  }
+  return result;
+}
+
+Operator* QueryGraph::predecessor(const Operator* op, int index) const {
+  return this->op(producer_of(op->input(index)->id()));
+}
+
+bool QueryGraph::IsLastBeforeSink(const Operator* op) const {
+  if (op->num_outputs() == 0) return false;
+  for (Operator* succ : successors(op)) {
+    if (dynamic_cast<Sink*>(succ) == nullptr) return false;
+  }
+  return true;
+}
+
+std::vector<std::vector<int>> QueryGraph::Components() const {
+  int n = num_operators();
+  std::vector<int> component(static_cast<size_t>(n), -1);
+  // Undirected adjacency via the arcs.
+  std::vector<std::vector<int>> adjacency(static_cast<size_t>(n));
+  for (int b = 0; b < num_buffers(); ++b) {
+    int p = producer_of(b);
+    int c = consumer_of(b);
+    adjacency[static_cast<size_t>(p)].push_back(c);
+    adjacency[static_cast<size_t>(c)].push_back(p);
+  }
+  std::vector<std::vector<int>> components;
+  for (int start = 0; start < n; ++start) {
+    if (component[static_cast<size_t>(start)] >= 0) continue;
+    int label = static_cast<int>(components.size());
+    components.emplace_back();
+    std::vector<int> stack = {start};
+    component[static_cast<size_t>(start)] = label;
+    while (!stack.empty()) {
+      int v = stack.back();
+      stack.pop_back();
+      components[static_cast<size_t>(label)].push_back(v);
+      for (int next : adjacency[static_cast<size_t>(v)]) {
+        if (component[static_cast<size_t>(next)] < 0) {
+          component[static_cast<size_t>(next)] = label;
+          stack.push_back(next);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+void QueryGraph::SetBufferListener(BufferListener* listener) {
+  for (const auto& buffer : buffers_) buffer->set_listener(listener);
+}
+
+void QueryGraph::AddBufferListener(BufferListener* listener) {
+  for (const auto& buffer : buffers_) buffer->AddListener(listener);
+}
+
+size_t QueryGraph::TotalBufferedTuples() const {
+  size_t total = 0;
+  for (const auto& buffer : buffers_) total += buffer->size();
+  return total;
+}
+
+bool QueryGraph::AnyDataBuffered() const {
+  for (const auto& buffer : buffers_) {
+    if (buffer->data_size() > 0) return true;
+  }
+  return false;
+}
+
+Status QueryGraph::ValidateArities() const {
+  for (const auto& op : operators_) {
+    if (op->num_inputs() < op->min_inputs() ||
+        op->num_inputs() > op->max_inputs()) {
+      return InvalidArgumentError(StrFormat(
+          "operator %s has %d inputs, requires [%d, %d]", op->name().c_str(),
+          op->num_inputs(), op->min_inputs(), op->max_inputs()));
+    }
+    if (op->num_outputs() < op->min_outputs() ||
+        op->num_outputs() > op->max_outputs()) {
+      return InvalidArgumentError(StrFormat(
+          "operator %s has %d outputs, requires [%d, %d]", op->name().c_str(),
+          op->num_outputs(), op->min_outputs(), op->max_outputs()));
+    }
+  }
+  return OkStatus();
+}
+
+Status QueryGraph::ValidateAcyclic() const {
+  // Iterative three-color DFS over producer->consumer edges.
+  int n = num_operators();
+  enum : char { kWhite = 0, kGray = 1, kBlack = 2 };
+  std::vector<char> color(static_cast<size_t>(n), kWhite);
+  for (int start = 0; start < n; ++start) {
+    if (color[static_cast<size_t>(start)] != kWhite) continue;
+    // Stack of (operator id, next successor index).
+    std::vector<std::pair<int, int>> stack = {{start, 0}};
+    color[static_cast<size_t>(start)] = kGray;
+    while (!stack.empty()) {
+      auto& [v, next_index] = stack.back();
+      Operator* vertex = op(v);
+      if (next_index >= vertex->num_outputs()) {
+        color[static_cast<size_t>(v)] = kBlack;
+        stack.pop_back();
+        continue;
+      }
+      int succ = consumer_of(vertex->output(next_index)->id());
+      ++next_index;
+      char& succ_color = color[static_cast<size_t>(succ)];
+      if (succ_color == kGray) {
+        return InvalidArgumentError(
+            StrFormat("query graph has a cycle through operator %s",
+                      op(succ)->name().c_str()));
+      }
+      if (succ_color == kWhite) {
+        succ_color = kGray;
+        stack.emplace_back(succ, 0);
+      }
+    }
+  }
+  return OkStatus();
+}
+
+Status QueryGraph::ValidateTimestampKinds() const {
+  // Fold each operator's output discipline in topological order (the graph
+  // is already known acyclic). Memoized recursion via explicit worklist:
+  // compute by repeated passes (graphs are small; O(V*E) worst case).
+  int n = num_operators();
+  std::vector<Discipline> out(static_cast<size_t>(n), Discipline::kUnknown);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int i = 0; i < n; ++i) {
+      Operator* o = op(i);
+      Discipline d;
+      if (const auto* source = dynamic_cast<const Source*>(o)) {
+        d = source->timestamp_kind() == TimestampKind::kLatent
+                ? Discipline::kLatent
+                : Discipline::kTimestamped;
+      } else if (o->stamps_latent()) {
+        d = Discipline::kTimestamped;
+      } else {
+        d = Discipline::kUnknown;
+        for (int j = 0; j < o->num_inputs(); ++j) {
+          int pred = producer_of(o->input(j)->id());
+          d = Join(d, out[static_cast<size_t>(pred)]);
+        }
+      }
+      if (d != out[static_cast<size_t>(i)]) {
+        out[static_cast<size_t>(i)] = d;
+        changed = true;
+      }
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    Operator* o = op(i);
+    for (int j = 0; j < o->num_inputs(); ++j) {
+      int pred = producer_of(o->input(j)->id());
+      Discipline d = out[static_cast<size_t>(pred)];
+      if (d == Discipline::kMixed && o->is_iwp()) {
+        return InvalidArgumentError(StrFormat(
+            "operator %s mixes latent and timestamped lineages on input %d",
+            o->name().c_str(), j));
+      }
+      if (o->requires_timestamped_input() && d == Discipline::kLatent) {
+        return InvalidArgumentError(StrFormat(
+            "operator %s requires timestamped input but input %d is latent "
+            "(use unordered mode for scenario-D graphs)",
+            o->name().c_str(), j));
+      }
+      if (o->requires_latent_input() && d == Discipline::kTimestamped) {
+        return InvalidArgumentError(StrFormat(
+            "operator %s is in unordered (latent) mode but input %d carries "
+            "timestamps",
+            o->name().c_str(), j));
+      }
+    }
+  }
+  return OkStatus();
+}
+
+Status QueryGraph::ValidateSchemas() {
+  // Topological fold (the graph is already known acyclic): derive every
+  // operator's output schema from its inputs'. Iterate to a fixed point the
+  // same way as the discipline pass; schemas only ever go from unknown to
+  // known, so this terminates in <= V rounds.
+  int n = num_operators();
+  output_schemas_.assign(static_cast<size_t>(n), std::nullopt);
+  std::vector<bool> derived(static_cast<size_t>(n), false);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int i = 0; i < n; ++i) {
+      Operator* o = op(i);
+      std::vector<std::optional<Schema>> inputs;
+      inputs.reserve(static_cast<size_t>(o->num_inputs()));
+      bool preds_ready = true;
+      for (int j = 0; j < o->num_inputs(); ++j) {
+        int pred = producer_of(o->input(j)->id());
+        preds_ready = preds_ready && derived[static_cast<size_t>(pred)];
+        inputs.push_back(output_schemas_[static_cast<size_t>(pred)]);
+      }
+      if (derived[static_cast<size_t>(i)] || !preds_ready) continue;
+      Result<std::optional<Schema>> schema = o->DeriveSchema(inputs);
+      if (!schema.ok()) return schema.status();
+      output_schemas_[static_cast<size_t>(i)] = *schema;
+      derived[static_cast<size_t>(i)] = true;
+      changed = true;
+    }
+  }
+  return OkStatus();
+}
+
+const std::optional<Schema>& QueryGraph::output_schema(int op_id) const {
+  DSMS_CHECK(validated_);
+  DSMS_CHECK_GE(op_id, 0);
+  DSMS_CHECK_LT(op_id, num_operators());
+  return output_schemas_[static_cast<size_t>(op_id)];
+}
+
+Status QueryGraph::Validate() {
+  if (operators_.empty()) {
+    return FailedPreconditionError("query graph has no operators");
+  }
+  DSMS_RETURN_IF_ERROR(ValidateArities());
+  DSMS_RETURN_IF_ERROR(ValidateAcyclic());
+  DSMS_RETURN_IF_ERROR(ValidateTimestampKinds());
+  DSMS_RETURN_IF_ERROR(ValidateSchemas());
+  validated_ = true;
+  return OkStatus();
+}
+
+std::string QueryGraph::ToString() const {
+  std::string result = StrFormat("QueryGraph{%d operators, %d buffers}\n",
+                                 num_operators(), num_buffers());
+  for (int b = 0; b < num_buffers(); ++b) {
+    result += StrFormat("  %s -> %s  [%s, %zu queued]\n",
+                        op(producer_of(b))->name().c_str(),
+                        op(consumer_of(b))->name().c_str(),
+                        buffer(b)->name().c_str(), buffer(b)->size());
+  }
+  return result;
+}
+
+}  // namespace dsms

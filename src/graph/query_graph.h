@@ -1,0 +1,125 @@
+#ifndef DSMS_GRAPH_QUERY_GRAPH_H_
+#define DSMS_GRAPH_QUERY_GRAPH_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/schema.h"
+#include "core/stream_buffer.h"
+#include "operators/operator.h"
+#include "operators/sink.h"
+#include "operators/source.h"
+
+namespace dsms {
+
+/// The continuous-query operator graph of Section 3: nodes are query
+/// operators (plus source and sink nodes), directed arcs are the buffers
+/// connecting them. The graph owns both. A graph may have several weakly
+/// connected components; each component is a scheduling unit (Section 3).
+///
+/// Construction: AddOperator to create nodes, Connect to create arcs, then
+/// Validate once; executors require a validated graph.
+class QueryGraph {
+ public:
+  QueryGraph() = default;
+
+  QueryGraph(const QueryGraph&) = delete;
+  QueryGraph& operator=(const QueryGraph&) = delete;
+
+  /// Takes ownership of `op`, assigns its id, and returns a raw handle that
+  /// remains valid for the graph's lifetime.
+  Operator* AddOperator(std::unique_ptr<Operator> op);
+
+  /// Typed convenience for `graph.Add(std::make_unique<Union>("u"))`.
+  template <typename T>
+  T* Add(std::unique_ptr<T> op) {
+    T* raw = op.get();
+    AddOperator(std::move(op));
+    return raw;
+  }
+
+  /// Creates the buffer arc `producer -> consumer` and wires both ends.
+  /// The buffer is named "<producer>-><consumer>".
+  StreamBuffer* Connect(Operator* producer, Operator* consumer);
+
+  /// Checks arities, connectivity, acyclicity, timestamp-kind consistency
+  /// (an IWP operator must not mix latent and timestamped source lineages),
+  /// and — where sources declare schemas — propagates and type-checks
+  /// schemas through every operator. Must be called (and succeed) before
+  /// execution.
+  Status Validate();
+
+  /// The schema of `op_id`'s output as derived during Validate();
+  /// std::nullopt when upstream is untyped. Requires validated().
+  const std::optional<Schema>& output_schema(int op_id) const;
+
+  bool validated() const { return validated_; }
+
+  int num_operators() const { return static_cast<int>(operators_.size()); }
+  Operator* op(int id) const;
+  int num_buffers() const { return static_cast<int>(buffers_.size()); }
+  StreamBuffer* buffer(int id) const;
+
+  const std::vector<std::unique_ptr<Operator>>& operators() const {
+    return operators_;
+  }
+
+  /// Producer/consumer operator of an arc (by buffer id); -1 if unset.
+  int producer_of(int buffer_id) const;
+  int consumer_of(int buffer_id) const;
+
+  /// All Source / Sink nodes, in insertion order.
+  std::vector<Source*> sources() const;
+  std::vector<Sink*> sinks() const;
+
+  /// Downstream operators of `op` (consumers of its output arcs).
+  std::vector<Operator*> successors(const Operator* op) const;
+  /// The operator feeding input `index` of `op`.
+  Operator* predecessor(const Operator* op, int index) const;
+
+  /// True if `op`'s only successor... — an operator is "last before the
+  /// sink" (the Encore special case of Section 3.1) when every successor is
+  /// a Sink node.
+  bool IsLastBeforeSink(const Operator* op) const;
+
+  /// Weakly connected components as lists of operator ids; each is a
+  /// scheduling unit.
+  std::vector<std::vector<int>> Components() const;
+
+  /// Replaces every arc's listeners with `listener` (nullptr detaches all).
+  void SetBufferListener(BufferListener* listener);
+
+  /// Registers an additional listener on every arc (metrics and validators
+  /// compose).
+  void AddBufferListener(BufferListener* listener);
+
+  /// Sum of all arc buffer sizes right now.
+  size_t TotalBufferedTuples() const;
+
+  /// True if any arc buffer holds a data tuple.
+  bool AnyDataBuffered() const;
+
+  /// Multi-line structural dump for debugging.
+  std::string ToString() const;
+
+ private:
+  Status ValidateArities() const;
+  Status ValidateAcyclic() const;
+  Status ValidateTimestampKinds() const;
+  Status ValidateSchemas();
+
+  std::vector<std::unique_ptr<Operator>> operators_;
+  std::vector<std::unique_ptr<StreamBuffer>> buffers_;
+  std::vector<int> buffer_producer_;  // by buffer id
+  std::vector<int> buffer_consumer_;  // by buffer id
+  std::vector<std::optional<Schema>> output_schemas_;  // by operator id
+  bool validated_ = false;
+};
+
+}  // namespace dsms
+
+#endif  // DSMS_GRAPH_QUERY_GRAPH_H_

@@ -1,0 +1,108 @@
+#include "metrics/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace dsms {
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
+
+int Histogram::BucketIndex(int64_t value) {
+  if (value <= 0) return 0;
+  if (value < kSubBucketsPerOctave) return static_cast<int>(value);
+  // Octave = position of the highest set bit; sub-bucket = next 5 bits.
+  int octave = 63 - __builtin_clzll(static_cast<uint64_t>(value));
+  int sub_shift = octave - 5;  // 2^5 == kSubBucketsPerOctave
+  int sub = static_cast<int>((static_cast<uint64_t>(value) >> sub_shift) &
+                             (kSubBucketsPerOctave - 1));
+  int index = (octave - 4) * kSubBucketsPerOctave + sub;
+  return std::min(index, kNumBuckets - 1);
+}
+
+double Histogram::BucketValue(int index) {
+  if (index < kSubBucketsPerOctave) return static_cast<double>(index);
+  int octave = index / kSubBucketsPerOctave + 4;
+  int sub = index % kSubBucketsPerOctave;
+  double base = std::ldexp(1.0, octave);           // 2^octave
+  double step = std::ldexp(1.0, octave - 5);       // bucket width
+  return base + (static_cast<double>(sub) + 0.5) * step;
+}
+
+void Histogram::Record(int64_t value) {
+  if (value < 0) value = 0;
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += static_cast<double>(value);
+  ++buckets_[static_cast<size_t>(BucketIndex(value))];
+}
+
+int64_t Histogram::min() const { return count_ == 0 ? 0 : min_; }
+int64_t Histogram::max() const { return count_ == 0 ? 0 : max_; }
+
+double Histogram::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  if (q <= 0.0) return static_cast<double>(min_);
+  if (q >= 1.0) return static_cast<double>(max_);
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count_ - 1));
+  uint64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    cumulative += buckets_[static_cast<size_t>(i)];
+    if (cumulative > rank) {
+      double v = BucketValue(i);
+      // Clamp the representative into the observed range for fidelity at the
+      // extremes.
+      return std::clamp(v, static_cast<double>(min_),
+                        static_cast<double>(max_));
+    }
+  }
+  return static_cast<double>(max_);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  DSMS_CHECK_EQ(buckets_.size(), other.buckets_.size());
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0;
+  max_ = 0;
+}
+
+std::string Histogram::ToString() const {
+  return StrFormat(
+      "count=%llu mean=%.3f p50=%.0f p99=%.0f min=%lld max=%lld",
+      static_cast<unsigned long long>(count_), mean(), Quantile(0.5),
+      Quantile(0.99), static_cast<long long>(min()),
+      static_cast<long long>(max()));
+}
+
+}  // namespace dsms

@@ -1,0 +1,58 @@
+#ifndef DSMS_METRICS_HISTOGRAM_H_
+#define DSMS_METRICS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dsms {
+
+/// A log-bucketed histogram of non-negative int64 samples (latencies in
+/// microseconds, queue sizes, ...). Buckets are geometric with 32 sub-buckets
+/// per octave, giving ~2% relative quantile error across the full range while
+/// keeping memory constant. Mean/min/max are exact.
+class Histogram {
+ public:
+  Histogram();
+
+  /// Records one sample. Negative samples are clamped to zero (latency can
+  /// round to zero in virtual time, never below).
+  void Record(int64_t value);
+
+  uint64_t count() const { return count_; }
+  int64_t min() const;
+  int64_t max() const;
+  double mean() const;
+  double sum() const { return sum_; }
+
+  /// Approximate quantile in [0, 1]; exact for min (q=0 with any samples
+  /// recorded) and max (q=1). Returns 0 when empty.
+  double Quantile(double q) const;
+
+  /// Merges another histogram into this one.
+  void Merge(const Histogram& other);
+
+  void Reset();
+
+  /// Debug summary, e.g. "count=100 mean=12.3us p50=11 p99=40 max=55".
+  std::string ToString() const;
+
+ private:
+  static constexpr int kSubBucketsPerOctave = 32;
+  static constexpr int kNumOctaves = 63;
+  static constexpr int kNumBuckets = kSubBucketsPerOctave * kNumOctaves + 1;
+
+  static int BucketIndex(int64_t value);
+  /// Representative (geometric-ish midpoint) value of a bucket.
+  static double BucketValue(int index);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+};
+
+}  // namespace dsms
+
+#endif  // DSMS_METRICS_HISTOGRAM_H_

@@ -1,0 +1,41 @@
+#include "metrics/idle_wait_tracker.h"
+
+#include "common/check.h"
+#include "common/time.h"
+
+namespace dsms {
+
+void IdleWaitTracker::MarkBlocked(Timestamp now) {
+  if (blocked_) return;
+  blocked_ = true;
+  blocked_since_ = now;
+  ++blocked_intervals_;
+}
+
+void IdleWaitTracker::MarkUnblocked(Timestamp now) {
+  if (!blocked_) return;
+  DSMS_CHECK_GE(now, blocked_since_);
+  accumulated_ += now - blocked_since_;
+  blocked_ = false;
+}
+
+Duration IdleWaitTracker::total_idle(Timestamp now) const {
+  Duration total = accumulated_;
+  if (blocked_ && now > blocked_since_) total += now - blocked_since_;
+  return total;
+}
+
+double IdleWaitTracker::IdleFraction(Timestamp start, Timestamp now) const {
+  Duration window = now - start;
+  if (window <= 0) return 0.0;
+  return static_cast<double>(total_idle(now)) / static_cast<double>(window);
+}
+
+void IdleWaitTracker::Reset() {
+  blocked_ = false;
+  blocked_since_ = 0;
+  accumulated_ = 0;
+  blocked_intervals_ = 0;
+}
+
+}  // namespace dsms

@@ -1,0 +1,49 @@
+#ifndef DSMS_METRICS_IDLE_WAIT_TRACKER_H_
+#define DSMS_METRICS_IDLE_WAIT_TRACKER_H_
+
+#include <cstdint>
+
+#include "common/time.h"
+
+namespace dsms {
+
+/// Accumulates the time an IWP operator spends idle-waiting: intervals
+/// during which the operator holds at least one pending *data* tuple on some
+/// input but its (relaxed) `more` condition is false, so it cannot make
+/// progress. Section 6 of the paper reports this as a percentage of total
+/// time (A: 99%, B@100/s: 15%, C: <0.1%).
+///
+/// The executor drives the state machine: MarkBlocked when a step finds the
+/// operator blocked with pending data, MarkUnblocked when a step consumes or
+/// emits. Repeated marks in the same state are idempotent.
+class IdleWaitTracker {
+ public:
+  IdleWaitTracker() = default;
+
+  void MarkBlocked(Timestamp now);
+  void MarkUnblocked(Timestamp now);
+
+  bool blocked() const { return blocked_; }
+
+  /// Total idle-waiting accumulated up to `now` (includes the current open
+  /// interval if the operator is still blocked).
+  Duration total_idle(Timestamp now) const;
+
+  /// Convenience: idle fraction of the observation window [start, now].
+  double IdleFraction(Timestamp start, Timestamp now) const;
+
+  /// Number of distinct blocked intervals entered.
+  int64_t blocked_intervals() const { return blocked_intervals_; }
+
+  void Reset();
+
+ private:
+  bool blocked_ = false;
+  Timestamp blocked_since_ = 0;
+  Duration accumulated_ = 0;
+  int64_t blocked_intervals_ = 0;
+};
+
+}  // namespace dsms
+
+#endif  // DSMS_METRICS_IDLE_WAIT_TRACKER_H_

@@ -1,0 +1,13 @@
+#include "metrics/latency_recorder.h"
+
+#include "common/time.h"
+#include "core/tuple.h"
+
+namespace dsms {
+
+void LatencyRecorder::RecordEmission(const Tuple& tuple, Timestamp emit_time) {
+  if (!tuple.is_data()) return;
+  histogram_.Record(emit_time - tuple.arrival_time());
+}
+
+}  // namespace dsms

@@ -1,0 +1,38 @@
+#ifndef DSMS_METRICS_LATENCY_RECORDER_H_
+#define DSMS_METRICS_LATENCY_RECORDER_H_
+
+#include <cstdint>
+
+#include "common/time.h"
+#include "core/tuple.h"
+#include "metrics/histogram.h"
+
+namespace dsms {
+
+/// Records per-tuple output latency at a sink: the difference between the
+/// (virtual) time a data tuple is delivered to the sink and the time it
+/// entered the DSMS. This is the metric of Figure 7.
+class LatencyRecorder {
+ public:
+  LatencyRecorder() = default;
+
+  /// Records the latency of `tuple` emitted at `emit_time`. Punctuation
+  /// tuples are ignored (they are bookkeeping, not results).
+  void RecordEmission(const Tuple& tuple, Timestamp emit_time);
+
+  const Histogram& histogram() const { return histogram_; }
+  uint64_t count() const { return histogram_.count(); }
+  double mean_us() const { return histogram_.mean(); }
+  double mean_ms() const { return histogram_.mean() / 1000.0; }
+  double p99_us() const { return histogram_.Quantile(0.99); }
+  int64_t max_us() const { return histogram_.max(); }
+
+  void Reset() { histogram_.Reset(); }
+
+ private:
+  Histogram histogram_;
+};
+
+}  // namespace dsms
+
+#endif  // DSMS_METRICS_LATENCY_RECORDER_H_

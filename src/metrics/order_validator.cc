@@ -1,0 +1,34 @@
+#include "metrics/order_validator.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace dsms {
+
+void OrderValidator::OnPush(const StreamBuffer& buffer, const Tuple& tuple) {
+  if (!tuple.has_timestamp()) return;  // Latent tuples carry no order.
+  Timestamp ts = tuple.timestamp();
+  auto [it, inserted] = bound_.try_emplace(&buffer, ts);
+  if (!inserted) {
+    if (ts < it->second) {
+      ++violations_;
+      if (first_violation_.empty()) {
+        first_violation_ = StrFormat(
+            "buffer '%s': %s pushed at ts=%lld after bound %lld",
+            buffer.name().c_str(),
+            tuple.is_punctuation() ? "punctuation" : "data",
+            static_cast<long long>(ts), static_cast<long long>(it->second));
+      }
+    }
+    it->second = std::max(it->second, ts);
+  }
+}
+
+void OrderValidator::Reset() {
+  bound_.clear();
+  violations_ = 0;
+  first_violation_.clear();
+}
+
+}  // namespace dsms

@@ -1,0 +1,48 @@
+#ifndef DSMS_METRICS_ORDER_VALIDATOR_H_
+#define DSMS_METRICS_ORDER_VALIDATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/time.h"
+#include "core/stream_buffer.h"
+#include "core/tuple.h"
+
+namespace dsms {
+
+/// Watches every arc it is attached to and checks the library's central
+/// invariant: each stream is timestamp-ordered, and a punctuation's promise
+/// ("no future tuple below my timestamp") is never broken by a later push.
+/// Violations are counted per buffer rather than aborting, so tests can
+/// assert zero while benches can surface regressions without dying.
+///
+/// Attach with StreamBuffer::AddListener (or QueryGraph::SetBufferListener
+/// in single-listener setups). Latent tuples (no timestamp) are skipped.
+class OrderValidator : public BufferListener {
+ public:
+  OrderValidator() = default;
+
+  void OnPush(const StreamBuffer& buffer, const Tuple& tuple) override;
+  void OnPop(const StreamBuffer& buffer, const Tuple& tuple) override {
+    (void)buffer;
+    (void)tuple;
+  }
+
+  /// Total pushes whose timestamp was below the same buffer's running bound.
+  uint64_t violations() const { return violations_; }
+
+  /// Description of the first violation seen (empty if none).
+  const std::string& first_violation() const { return first_violation_; }
+
+  void Reset();
+
+ private:
+  std::map<const StreamBuffer*, Timestamp> bound_;  // per-buffer high water
+  uint64_t violations_ = 0;
+  std::string first_violation_;
+};
+
+}  // namespace dsms
+
+#endif  // DSMS_METRICS_ORDER_VALIDATOR_H_

@@ -1,0 +1,36 @@
+#include "metrics/queue_size_tracker.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dsms {
+
+void QueueSizeTracker::OnPush(const StreamBuffer& buffer, const Tuple& tuple) {
+  (void)buffer;
+  ++current_total_;
+  peak_total_ = std::max(peak_total_, current_total_);
+  if (tuple.is_data()) {
+    ++current_data_;
+    peak_data_ = std::max(peak_data_, current_data_);
+  }
+}
+
+void QueueSizeTracker::OnPop(const StreamBuffer& buffer, const Tuple& tuple) {
+  (void)buffer;
+  DSMS_CHECK_GT(current_total_, 0);
+  --current_total_;
+  if (tuple.is_data()) {
+    DSMS_CHECK_GT(current_data_, 0);
+    --current_data_;
+  }
+}
+
+void QueueSizeTracker::Reset() {
+  current_total_ = 0;
+  peak_total_ = 0;
+  current_data_ = 0;
+  peak_data_ = 0;
+}
+
+}  // namespace dsms

@@ -1,0 +1,50 @@
+#ifndef DSMS_METRICS_QUEUE_SIZE_TRACKER_H_
+#define DSMS_METRICS_QUEUE_SIZE_TRACKER_H_
+
+#include <cstdint>
+
+#include "core/stream_buffer.h"
+#include "core/tuple.h"
+
+namespace dsms {
+
+/// Maintains the instantaneous and peak *total* number of tuples across all
+/// buffers it listens to — "peak total buffer size, in terms of total number
+/// of tuples in the buffers" (Figure 8). Data and punctuation tuples are
+/// tracked together (punctuation occupies buffer space; the paper's line B
+/// grows at high heartbeat rates exactly because of this) and also broken out
+/// separately for analysis.
+class QueueSizeTracker : public BufferListener {
+ public:
+  QueueSizeTracker() = default;
+
+  void OnPush(const StreamBuffer& buffer, const Tuple& tuple) override;
+  void OnPop(const StreamBuffer& buffer, const Tuple& tuple) override;
+
+  int64_t current_total() const { return current_total_; }
+  int64_t peak_total() const { return peak_total_; }
+  int64_t current_data() const { return current_data_; }
+  int64_t peak_data() const { return peak_data_; }
+  int64_t current_punctuation() const {
+    return current_total_ - current_data_;
+  }
+
+  void Reset();
+
+  /// Restarts peak tracking from the current occupancy (used when a warmup
+  /// period ends and steady-state peaks are wanted).
+  void ResetPeak() {
+    peak_total_ = current_total_;
+    peak_data_ = current_data_;
+  }
+
+ private:
+  int64_t current_total_ = 0;
+  int64_t peak_total_ = 0;
+  int64_t current_data_ = 0;
+  int64_t peak_data_ = 0;
+};
+
+}  // namespace dsms
+
+#endif  // DSMS_METRICS_QUEUE_SIZE_TRACKER_H_

@@ -1,0 +1,39 @@
+#include "metrics/stats_report.h"
+
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "common/strings.h"
+#include "metrics/table_printer.h"
+#include "operators/operator.h"
+
+namespace dsms {
+
+void PrintOperatorStats(const QueryGraph& graph, std::ostream& os) {
+  TablePrinter table({"operator", "data_in", "punct_in", "data_out",
+                      "punct_out", "steps", "buffered_in"});
+  for (const auto& op : graph.operators()) {
+    size_t buffered = 0;
+    for (int i = 0; i < op->num_inputs(); ++i) buffered += op->input(i)->size();
+    const OperatorStats& s = op->stats();
+    table.AddRow(
+        {op->name(),
+         StrFormat("%llu", static_cast<unsigned long long>(s.data_in)),
+         StrFormat("%llu", static_cast<unsigned long long>(s.punctuation_in)),
+         StrFormat("%llu", static_cast<unsigned long long>(s.data_out)),
+         StrFormat("%llu",
+                   static_cast<unsigned long long>(s.punctuation_out)),
+         StrFormat("%llu", static_cast<unsigned long long>(s.steps)),
+         StrFormat("%zu", buffered)});
+  }
+  table.Print(os);
+}
+
+std::string OperatorStatsString(const QueryGraph& graph) {
+  std::ostringstream os;
+  PrintOperatorStats(graph, os);
+  return os.str();
+}
+
+}  // namespace dsms

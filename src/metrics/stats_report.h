@@ -1,0 +1,21 @@
+#ifndef DSMS_METRICS_STATS_REPORT_H_
+#define DSMS_METRICS_STATS_REPORT_H_
+
+#include <ostream>
+#include <string>
+
+#include "graph/query_graph.h"
+
+namespace dsms {
+
+/// Renders a per-operator table of lifetime counters (data/punctuation in
+/// and out, steps) plus current buffer occupancy — the "EXPLAIN ANALYZE" of
+/// this little DSMS. Used by examples and handy in tests.
+void PrintOperatorStats(const QueryGraph& graph, std::ostream& os);
+
+/// Same, as a string.
+std::string OperatorStatsString(const QueryGraph& graph);
+
+}  // namespace dsms
+
+#endif  // DSMS_METRICS_STATS_REPORT_H_

@@ -1,0 +1,37 @@
+#ifndef DSMS_METRICS_TABLE_PRINTER_H_
+#define DSMS_METRICS_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dsms {
+
+/// Renders benchmark results as an aligned text table (for terminals) and as
+/// CSV (for plotting). Every bench/ binary reports through this so the
+/// series that regenerate the paper's figures have one consistent format.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with %.6g.
+  void AddNumericRow(const std::vector<double>& cells);
+
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+
+  /// Aligned, pipe-separated table with a header rule.
+  void Print(std::ostream& os) const;
+
+  /// RFC-4180-ish CSV (no quoting needed for our numeric content).
+  void PrintCsv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dsms
+
+#endif  // DSMS_METRICS_TABLE_PRINTER_H_

@@ -1,0 +1,77 @@
+#include "operators/filter.h"
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "core/schema.h"
+
+namespace dsms {
+
+Filter::Filter(std::string name, Predicate predicate)
+    : Operator(std::move(name)), predicate_(std::move(predicate)) {
+  DSMS_CHECK(predicate_ != nullptr);
+}
+
+Result<std::optional<Schema>> Filter::DeriveSchema(
+    const std::vector<std::optional<Schema>>& inputs) const {
+  if (inputs.empty() || !inputs[0].has_value()) {
+    return std::optional<Schema>();
+  }
+  if (required_numeric_field_ >= 0) {
+    DSMS_RETURN_IF_ERROR(CheckFieldAccess(*inputs[0], required_numeric_field_,
+                                          /*require_numeric=*/true, name()));
+  }
+  return inputs[0];
+}
+
+StepResult Filter::Step(ExecContext& ctx) {
+  (void)ctx;
+  ++stats_.steps;
+  StepResult result;
+  if (!input(0)->empty()) {
+    Tuple tuple = TakeInput(0);
+    if (tuple.is_punctuation()) {
+      result.processed_punctuation = true;
+      Emit(std::move(tuple));
+    } else {
+      result.processed_data = true;
+      if (predicate_(tuple)) Emit(std::move(tuple));
+    }
+  }
+  result.more = !input(0)->empty();
+  result.yield = AnyOutputNonEmpty(*this);
+  return result;
+}
+
+RandomDropFilter::RandomDropFilter(std::string name, double selectivity,
+                                   uint64_t seed)
+    : Operator(std::move(name)),
+      selectivity_(selectivity),
+      rng_(seed, /*stream=*/0x5e1ec7) {
+  DSMS_CHECK_GE(selectivity, 0.0);
+  DSMS_CHECK_LE(selectivity, 1.0);
+}
+
+StepResult RandomDropFilter::Step(ExecContext& ctx) {
+  (void)ctx;
+  ++stats_.steps;
+  StepResult result;
+  if (!input(0)->empty()) {
+    Tuple tuple = TakeInput(0);
+    if (tuple.is_punctuation()) {
+      result.processed_punctuation = true;
+      Emit(std::move(tuple));
+    } else {
+      result.processed_data = true;
+      if (rng_.NextBernoulli(selectivity_)) Emit(std::move(tuple));
+    }
+  }
+  result.more = !input(0)->empty();
+  result.yield = AnyOutputNonEmpty(*this);
+  return result;
+}
+
+}  // namespace dsms

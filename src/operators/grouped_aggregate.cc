@@ -1,0 +1,184 @@
+#include "operators/grouped_aggregate.h"
+
+#include <algorithm>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/strings.h"
+#include "core/schema.h"
+
+namespace dsms {
+namespace {
+
+int64_t FloorDiv(int64_t a, int64_t b) {
+  int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+int TypeRank(const Value& v) { return static_cast<int>(v.type()); }
+
+}  // namespace
+
+bool GroupedWindowAggregate::KeyLess::operator()(const Value& a,
+                                                 const Value& b) const {
+  if (TypeRank(a) != TypeRank(b)) return TypeRank(a) < TypeRank(b);
+  switch (a.type()) {
+    case ValueType::kInt64:
+      return a.int64_value() < b.int64_value();
+    case ValueType::kDouble:
+      return a.double_value() < b.double_value();
+    case ValueType::kString:
+      return a.string_value() < b.string_value();
+    case ValueType::kBool:
+      return a.bool_value() < b.bool_value();
+  }
+  return false;
+}
+
+GroupedWindowAggregate::GroupedWindowAggregate(std::string name, AggKind kind,
+                                               int key_field, int agg_field,
+                                               Duration window,
+                                               Duration slide)
+    : Operator(std::move(name)),
+      kind_(kind),
+      key_field_(key_field),
+      agg_field_(agg_field),
+      window_(window),
+      slide_(slide) {
+  DSMS_CHECK_GT(window, 0);
+  DSMS_CHECK_GT(slide, 0);
+  DSMS_CHECK_LE(slide, window);
+}
+
+Result<std::optional<Schema>> GroupedWindowAggregate::DeriveSchema(
+    const std::vector<std::optional<Schema>>& inputs) const {
+  if (inputs.empty() || !inputs[0].has_value()) {
+    // Without an input schema the key's type is unknown, so the output
+    // schema is too.
+    return std::optional<Schema>();
+  }
+  DSMS_RETURN_IF_ERROR(CheckFieldAccess(*inputs[0], key_field_,
+                                        /*require_numeric=*/false, name()));
+  if (kind_ != AggKind::kCount) {
+    DSMS_RETURN_IF_ERROR(CheckFieldAccess(*inputs[0], agg_field_,
+                                          /*require_numeric=*/true, name()));
+  }
+  return std::optional<Schema>(
+      Schema{{"window_start", ValueType::kInt64},
+             inputs[0]->field(key_field_),
+             {AggKindToString(kind_), ValueType::kDouble}});
+}
+
+int64_t GroupedWindowAggregate::WindowIndexLow(Timestamp ts) const {
+  return FloorDiv(ts - window_, slide_) + 1;
+}
+
+int64_t GroupedWindowAggregate::WindowIndexHigh(Timestamp ts) const {
+  return FloorDiv(ts, slide_);
+}
+
+void GroupedWindowAggregate::Accumulate(const Tuple& tuple) {
+  const Value& key = tuple.value(key_field_);
+  double v =
+      kind_ == AggKind::kCount ? 0.0 : tuple.value(agg_field_).AsDouble();
+  Timestamp ts = tuple.timestamp();
+  for (int64_t k = WindowIndexLow(ts); k <= WindowIndexHigh(ts); ++k) {
+    if (k < next_emit_k_ && first_seen_) continue;
+    Accumulator& acc = windows_[k][key];
+    if (acc.count == 0) {
+      acc.min = v;
+      acc.max = v;
+    } else {
+      acc.min = std::min(acc.min, v);
+      acc.max = std::max(acc.max, v);
+    }
+    ++acc.count;
+    acc.sum += v;
+  }
+}
+
+void GroupedWindowAggregate::EmitWindow(int64_t k, const GroupMap& groups) {
+  Timestamp start = k * slide_;
+  Timestamp end = start + window_;
+  for (const auto& [key, acc] : groups) {
+    double value = 0.0;
+    switch (kind_) {
+      case AggKind::kCount:
+        value = static_cast<double>(acc.count);
+        break;
+      case AggKind::kSum:
+        value = acc.sum;
+        break;
+      case AggKind::kAvg:
+        value = acc.sum / static_cast<double>(acc.count);
+        break;
+      case AggKind::kMin:
+        value = acc.min;
+        break;
+      case AggKind::kMax:
+        value = acc.max;
+        break;
+    }
+    std::vector<Value> payload;
+    payload.emplace_back(static_cast<int64_t>(start));
+    payload.push_back(key);
+    payload.emplace_back(value);
+    Tuple result = Tuple::MakeData(end, std::move(payload));
+    result.set_arrival_time(end);  // latency downstream = emission delay
+    ++results_emitted_;
+    Emit(std::move(result));
+  }
+}
+
+void GroupedWindowAggregate::CloseWindowsUpTo(Timestamp bound) {
+  if (!first_seen_) return;
+  int64_t closable_end = FloorDiv(bound - window_, slide_);
+  while (next_emit_k_ <= closable_end) {
+    auto it = windows_.find(next_emit_k_);
+    if (it != windows_.end()) {
+      EmitWindow(next_emit_k_, it->second);
+      windows_.erase(it);
+    }
+    ++next_emit_k_;
+  }
+}
+
+StepResult GroupedWindowAggregate::Step(ExecContext& ctx) {
+  ++stats_.steps;
+  StepResult result;
+  if (!input(0)->empty()) {
+    Tuple tuple = TakeInput(0);
+    Timestamp ts;
+    if (tuple.is_punctuation()) {
+      result.processed_punctuation = true;
+      ts = tuple.timestamp();
+    } else {
+      result.processed_data = true;
+      if (!tuple.has_timestamp()) tuple.set_timestamp(ctx.now());
+      ts = tuple.timestamp();
+    }
+    if (!first_seen_) {
+      first_seen_ = true;
+      next_emit_k_ = WindowIndexLow(ts);
+    }
+    if (tuple.is_data()) Accumulate(tuple);
+    bound_ = std::max(bound_, ts);
+    CloseWindowsUpTo(bound_);
+    if (tuple.is_punctuation()) {
+      Timestamp next_end = next_emit_k_ * slide_ + window_;
+      if (next_end > last_punct_out_) {
+        last_punct_out_ = next_end;
+        Emit(Tuple::MakePunctuation(next_end));
+      }
+    }
+  }
+  result.more = !input(0)->empty();
+  result.yield = AnyOutputNonEmpty(*this);
+  return result;
+}
+
+}  // namespace dsms

@@ -1,0 +1,92 @@
+#ifndef DSMS_OPERATORS_GROUPED_AGGREGATE_H_
+#define DSMS_OPERATORS_GROUPED_AGGREGATE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "common/time.h"
+#include "core/tuple.h"
+#include "core/value.h"
+#include "operators/operator.h"
+#include "operators/window_aggregate.h"
+
+namespace dsms {
+
+/// GROUP BY + time-window aggregation: like WindowAggregate, but keyed by a
+/// grouping attribute. Windows are aligned (window k covers
+/// [k*slide, k*slide + window)); when a window closes, one result tuple is
+/// emitted per group observed in it, payload
+/// [window_start:int64, key:value, aggregate:double], ordered by window
+/// then key (deterministic). Groups absent from a window emit nothing
+/// (there is no universe of keys to enumerate).
+///
+/// Window closing follows the same bound discipline as WindowAggregate:
+/// data timestamps and punctuation advance the bound; punctuation is
+/// forwarded with the strengthened next-window-end bound; latent input is
+/// stamped on the fly. Open windows with data make the operator want an
+/// ETS (extension; see WindowAggregate).
+class GroupedWindowAggregate : public Operator {
+ public:
+  /// `key_field` is the grouping attribute's value index; `agg_field` the
+  /// aggregated one (ignored for kCount). Keys may be any Value type with
+  /// equality; int64/string are typical.
+  GroupedWindowAggregate(std::string name, AggKind kind, int key_field,
+                         int agg_field, Duration window, Duration slide);
+
+  StepResult Step(ExecContext& ctx) override;
+
+  bool stamps_latent() const override { return true; }
+
+  /// Output schema: (window_start:int64, key:<key type>, value:double);
+  /// validates key and aggregated fields against the input schema.
+  Result<std::optional<Schema>> DeriveSchema(
+      const std::vector<std::optional<Schema>>& inputs) const override;
+
+  bool WantsEts() const override { return !windows_.empty(); }
+  Timestamp EtsReleaseBound() const override {
+    if (windows_.empty()) return kMaxTimestamp;
+    return windows_.begin()->first * slide_ + window_;
+  }
+
+  Duration window() const { return window_; }
+  Duration slide() const { return slide_; }
+  uint64_t results_emitted() const { return results_emitted_; }
+  size_t open_windows() const { return windows_.size(); }
+
+ private:
+  struct Accumulator {
+    uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+  /// Keys ordered by (type, rendered value) for deterministic emission.
+  struct KeyLess {
+    bool operator()(const Value& a, const Value& b) const;
+  };
+  using GroupMap = std::map<Value, Accumulator, KeyLess>;
+
+  int64_t WindowIndexLow(Timestamp ts) const;
+  int64_t WindowIndexHigh(Timestamp ts) const;
+  void Accumulate(const Tuple& tuple);
+  void CloseWindowsUpTo(Timestamp bound);
+  void EmitWindow(int64_t k, const GroupMap& groups);
+
+  AggKind kind_;
+  int key_field_;
+  int agg_field_;
+  Duration window_;
+  Duration slide_;
+  std::map<int64_t, GroupMap> windows_;
+  bool first_seen_ = false;
+  int64_t next_emit_k_ = 0;
+  Timestamp bound_ = kMinTimestamp;
+  Timestamp last_punct_out_ = kMinTimestamp;
+  uint64_t results_emitted_ = 0;
+};
+
+}  // namespace dsms
+
+#endif  // DSMS_OPERATORS_GROUPED_AGGREGATE_H_

@@ -1,0 +1,135 @@
+#include "operators/iwp_operator.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+namespace dsms {
+
+IwpOperator::IwpOperator(std::string name, bool ordered)
+    : Operator(std::move(name)), ordered_(ordered) {}
+
+void IwpOperator::EnsureTsms() const {
+  if (tsms_.size() != static_cast<size_t>(num_inputs())) {
+    tsms_.resize(static_cast<size_t>(num_inputs()));
+  }
+}
+
+Timestamp IwpOperator::tsm(int index) const {
+  EnsureTsms();
+  DSMS_CHECK_GE(index, 0);
+  DSMS_CHECK_LT(index, num_inputs());
+  return tsms_[static_cast<size_t>(index)].value();
+}
+
+Timestamp IwpOperator::EffectiveTsm(int index) const {
+  EnsureTsms();
+  Timestamp reg = tsms_[static_cast<size_t>(index)].value();
+  const StreamBuffer* in = input(index);
+  if (!in->empty() && in->Front().has_timestamp()) {
+    reg = std::max(reg, in->Front().timestamp());
+  }
+  return reg;
+}
+
+Timestamp IwpOperator::MinEffectiveTsm() const {
+  Timestamp min_ts = kMaxTimestamp;
+  for (int i = 0; i < num_inputs(); ++i) {
+    min_ts = std::min(min_ts, EffectiveTsm(i));
+  }
+  return min_ts;
+}
+
+void IwpOperator::ObserveHeads() {
+  EnsureTsms();
+  for (int i = 0; i < num_inputs(); ++i) {
+    const StreamBuffer* in = input(i);
+    if (!in->empty() && in->Front().has_timestamp()) {
+      tsms_[static_cast<size_t>(i)].Observe(in->Front().timestamp());
+    }
+  }
+}
+
+bool IwpOperator::RelaxedMore() const {
+  Timestamp tau = MinEffectiveTsm();
+  for (int i = 0; i < num_inputs(); ++i) {
+    const StreamBuffer* in = input(i);
+    if (in->empty()) continue;
+    if (in->Front().is_punctuation()) return true;  // Always absorbable.
+    if (tau != kMinTimestamp && in->Front().has_timestamp() &&
+        in->Front().timestamp() == tau) {
+      return true;
+    }
+  }
+  return false;
+}
+
+int IwpOperator::FindReadyInput() const {
+  Timestamp tau = MinEffectiveTsm();
+  int punct_ready = -1;
+  for (int i = 0; i < num_inputs(); ++i) {
+    const StreamBuffer* in = input(i);
+    if (in->empty()) continue;
+    const Tuple& head = in->Front();
+    if (head.is_punctuation()) {
+      if (punct_ready < 0) punct_ready = i;
+      continue;
+    }
+    if (tau != kMinTimestamp && head.has_timestamp() &&
+        head.timestamp() == tau) {
+      return i;
+    }
+  }
+  return punct_ready;
+}
+
+Timestamp IwpOperator::EtsReleaseBound() const {
+  if (!ordered_) return kMaxTimestamp;
+  Timestamp bound = kMaxTimestamp;
+  for (int i = 0; i < num_inputs(); ++i) {
+    const StreamBuffer* in = input(i);
+    if (!in->empty() && in->Front().is_data() &&
+        in->Front().has_timestamp()) {
+      bound = std::min(bound, in->Front().timestamp());
+    }
+  }
+  return bound;
+}
+
+int IwpOperator::BlockedInput() const {
+  int blocked = 0;
+  Timestamp min_ts = kMaxTimestamp;
+  for (int i = 0; i < num_inputs(); ++i) {
+    Timestamp ts = EffectiveTsm(i);
+    if (ts < min_ts) {
+      min_ts = ts;
+      blocked = i;
+    }
+  }
+  return blocked;
+}
+
+bool IwpOperator::HasWork() const {
+  if (!ordered_) return Operator::HasWork();
+  return RelaxedMore();
+}
+
+void IwpOperator::MaybeEmitPunctuation(Timestamp watermark) {
+  if (watermark == kMinTimestamp || watermark <= downstream_bound_) return;
+  downstream_bound_ = watermark;
+  Emit(Tuple::MakePunctuation(watermark));
+}
+
+void IwpOperator::NoteDataEmitted(Timestamp ts) {
+  downstream_bound_ = std::max(downstream_bound_, ts);
+}
+
+void IwpOperator::FillBlockedResult(StepResult* result) const {
+  result->more = false;
+  result->blocked_input = BlockedInput();
+  result->idle_waiting = HasPendingData();
+}
+
+}  // namespace dsms

@@ -1,0 +1,108 @@
+#ifndef DSMS_OPERATORS_IWP_OPERATOR_H_
+#define DSMS_OPERATORS_IWP_OPERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "core/tsm_register.h"
+#include "core/tuple.h"
+#include "operators/operator.h"
+
+namespace dsms {
+
+/// Common machinery for Idle-Waiting-Prone operators (union, window join):
+/// one TSM register per input (Section 4.1), the relaxed `more` condition
+/// (Figure 5), and watermark-punctuation emission with deduplication.
+///
+/// Two operating modes:
+///  - ordered (default): inputs are timestamp-ordered; the operator only
+///    emits in global timestamp order and may idle-wait;
+///  - unordered (latent timestamps, scenario D): no ordering constraint;
+///    any available input tuple may be consumed immediately and the
+///    operator never idle-waits (Section 5).
+class IwpOperator : public Operator {
+ public:
+  IwpOperator(std::string name, bool ordered);
+
+  bool is_iwp() const override { return true; }
+  bool ordered() const { return ordered_; }
+  bool requires_timestamped_input() const override { return ordered_; }
+  bool requires_latent_input() const override { return !ordered_; }
+
+  /// Relaxed more for ordered mode; "any input non-empty" for unordered.
+  bool HasWork() const override;
+
+  /// Ordered IWP operators want an ETS whenever they hold blocked data.
+  bool WantsEts() const override { return ordered_ && HasPendingData(); }
+
+  /// The smallest pending data timestamp: once every input's TSM register
+  /// reaches it, the relaxed `more` condition holds and the tuple flows.
+  Timestamp EtsReleaseBound() const override;
+
+  /// TSM register value for input `index` as persisted by the last Step.
+  Timestamp tsm(int index) const;
+
+  /// Largest timestamp bound already sent downstream (max over emitted data
+  /// timestamps and forwarded watermarks); watermarks are deduplicated
+  /// against it.
+  Timestamp downstream_bound() const { return downstream_bound_; }
+
+  /// Index of the input that blocks progress: the (first) input achieving
+  /// the minimal effective TSM. When the relaxed `more` is false this input
+  /// is necessarily empty and is the Backtrack target (Section 3.2). Public
+  /// because executors need it when a backtrack walk passes through an IWP
+  /// operator that was not itself stepped. Virtual: strict-mode (Figure 1)
+  /// operators block on any empty input instead.
+  virtual int BlockedInput() const;
+
+ protected:
+  /// The TSM value input `index` would have after observing its current
+  /// head, without persisting the observation (const-safe view used by
+  /// HasWork and `more` recomputation).
+  Timestamp EffectiveTsm(int index) const;
+
+  /// Minimum of EffectiveTsm over all inputs (kMinTimestamp when some input
+  /// has never been observed).
+  Timestamp MinEffectiveTsm() const;
+
+  /// Persists head observations into the TSM registers.
+  void ObserveHeads();
+
+  /// Relaxed `more` (Figure 5): true iff some input's head data tuple
+  /// carries timestamp equal to the minimal effective TSM value — or any
+  /// head is a punctuation, which can always be absorbed (its entire
+  /// content, the timestamp bound, is captured by the register the moment
+  /// it is observed, so consuming it is safe at any τ and keeps punctuation
+  /// from clogging the buffers).
+  bool RelaxedMore() const;
+
+  /// Index of the input to consume from: an input whose head is a *data*
+  /// tuple at τ == MinEffectiveTsm() if one exists (Figure 6 processes data
+  /// at τ before producing punctuation at τ), otherwise any input whose
+  /// head is a punctuation. Returns -1 if none.
+  int FindReadyInput() const;
+
+  /// Emits a punctuation carrying `watermark` unless an equal-or-better
+  /// bound has already been sent downstream (every data emission at ts t
+  /// also advances the downstream bound to t).
+  void MaybeEmitPunctuation(Timestamp watermark);
+
+  /// Records that a data tuple with timestamp `ts` was emitted (advances the
+  /// downstream bound used for punctuation dedup).
+  void NoteDataEmitted(Timestamp ts);
+
+  /// Fills `result`'s blocked/idle fields for a step that made no progress.
+  void FillBlockedResult(StepResult* result) const;
+
+ private:
+  void EnsureTsms() const;
+
+  bool ordered_;
+  mutable std::vector<TsmRegister> tsms_;
+  Timestamp downstream_bound_ = kMinTimestamp;
+};
+
+}  // namespace dsms
+
+#endif  // DSMS_OPERATORS_IWP_OPERATOR_H_

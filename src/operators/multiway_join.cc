@@ -1,0 +1,217 @@
+#include "operators/multiway_join.h"
+
+#include <algorithm>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/strings.h"
+#include "core/schema.h"
+#include "core/value.h"
+
+namespace dsms {
+
+MultiWayJoin::MultiWayJoin(std::string name, std::vector<Duration> windows,
+                           Predicate predicate, bool ordered)
+    : IwpOperator(std::move(name), ordered),
+      window_durations_(std::move(windows)),
+      predicate_(std::move(predicate)) {
+  DSMS_CHECK_GE(window_durations_.size(), 2u);
+  for (Duration w : window_durations_) DSMS_CHECK_GE(w, 0);
+  windows_.resize(window_durations_.size());
+}
+
+MultiWayJoin::Predicate MultiWayJoin::EquiJoin(int field) {
+  return [field](const std::vector<const Tuple*>& match) {
+    for (size_t i = 1; i < match.size(); ++i) {
+      if (!(match[i]->value(field) == match[0]->value(field))) return false;
+    }
+    return true;
+  };
+}
+
+Result<std::optional<Schema>> MultiWayJoin::DeriveSchema(
+    const std::vector<std::optional<Schema>>& inputs) const {
+  for (const auto& schema : inputs) {
+    if (!schema.has_value()) return std::optional<Schema>();
+  }
+  if (inputs.empty()) return std::optional<Schema>();
+  if (equi_field_ >= 0) {
+    ValueType key_type = ValueType::kInt64;
+    for (size_t i = 0; i < inputs.size(); ++i) {
+      DSMS_RETURN_IF_ERROR(CheckFieldAccess(*inputs[i], equi_field_,
+                                            /*require_numeric=*/false,
+                                            name()));
+      ValueType t = inputs[i]->field(equi_field_).type;
+      if (i == 0) {
+        key_type = t;
+      } else if (t != key_type) {
+        return InvalidArgumentError(StrFormat(
+            "%s: key field %d has type %s on input %zu but %s on input 0",
+            name().c_str(), equi_field_, ValueTypeToString(t), i,
+            ValueTypeToString(key_type)));
+      }
+    }
+  }
+  Schema combined = *inputs[0];
+  for (size_t i = 1; i < inputs.size(); ++i) {
+    combined = combined.Concat(*inputs[i]);
+  }
+  return std::optional<Schema>(std::move(combined));
+}
+
+size_t MultiWayJoin::window_size(int input) const {
+  DSMS_CHECK_GE(input, 0);
+  DSMS_CHECK_LT(static_cast<size_t>(input), windows_.size());
+  return windows_[static_cast<size_t>(input)].size();
+}
+
+size_t MultiWayJoin::total_window_size() const {
+  size_t total = 0;
+  for (const auto& w : windows_) total += w.size();
+  return total;
+}
+
+bool MultiWayJoin::PairJoinable(int fresh_input, Timestamp fresh_ts,
+                                int stored_input, Timestamp stored_ts) const {
+  // The older tuple must lie within its own input's window of the newer
+  // tuple (same band rule as the binary join).
+  if (stored_ts <= fresh_ts) {
+    return (fresh_ts - stored_ts) <=
+           window_durations_[static_cast<size_t>(stored_input)];
+  }
+  return (stored_ts - fresh_ts) <=
+         window_durations_[static_cast<size_t>(fresh_input)];
+}
+
+void MultiWayJoin::ExpireWindow(int input, Timestamp bound) {
+  if (bound == kMinTimestamp) return;
+  std::deque<Tuple>& window = windows_[static_cast<size_t>(input)];
+  Timestamp cutoff =
+      bound - window_durations_[static_cast<size_t>(input)];
+  while (!window.empty() && window.front().timestamp() < cutoff) {
+    window.pop_front();
+  }
+}
+
+void MultiWayJoin::ExpireAllWindows(Timestamp bound) {
+  // Ordered execution consumes tuples in global timestamp order, so every
+  // future fresh tuple (on any input) has timestamp >= bound: a stored
+  // tuple of input j older than bound − w_j can never be probed again.
+  for (int j = 0; j < num_inputs(); ++j) ExpireWindow(j, bound);
+}
+
+void MultiWayJoin::EmitMatch(const std::vector<const Tuple*>& match,
+                             const Tuple& fresh) {
+  if (predicate_ && !predicate_(match)) return;
+  std::vector<Value> combined;
+  size_t total = 0;
+  for (const Tuple* t : match) total += t->values().size();
+  combined.reserve(total);
+  for (const Tuple* t : match) {
+    combined.insert(combined.end(), t->values().begin(), t->values().end());
+  }
+  Timestamp tau = fresh.timestamp();
+  Tuple result = Tuple::MakeData(
+      tau, std::move(combined),
+      fresh.timestamp_kind() == TimestampKind::kLatent
+          ? TimestampKind::kInternal
+          : fresh.timestamp_kind());
+  result.set_arrival_time(fresh.arrival_time());
+  result.set_source_id(fresh.source_id());
+  result.set_sequence(fresh.sequence());
+  NoteDataEmitted(tau);
+  ++matches_emitted_;
+  Emit(std::move(result));
+}
+
+void MultiWayJoin::ProbeRecursive(int input, int fresh_input,
+                                  const Tuple& fresh,
+                                  std::vector<const Tuple*>* match) {
+  if (input == num_inputs()) {
+    EmitMatch(*match, fresh);
+    return;
+  }
+  if (input == fresh_input) {
+    (*match)[static_cast<size_t>(input)] = &fresh;
+    ProbeRecursive(input + 1, fresh_input, fresh, match);
+    return;
+  }
+  for (const Tuple& stored : windows_[static_cast<size_t>(input)]) {
+    if (!PairJoinable(fresh_input, fresh.timestamp(), input,
+                      stored.timestamp())) {
+      continue;
+    }
+    (*match)[static_cast<size_t>(input)] = &stored;
+    ProbeRecursive(input + 1, fresh_input, fresh, match);
+  }
+}
+
+void MultiWayJoin::ProcessData(int input, Tuple tuple) {
+  Timestamp tau = tuple.timestamp();
+  ExpireAllWindows(tau);
+  std::vector<const Tuple*> match(static_cast<size_t>(num_inputs()),
+                                  nullptr);
+  ProbeRecursive(0, input, tuple, &match);
+  windows_[static_cast<size_t>(input)].push_back(std::move(tuple));
+}
+
+StepResult MultiWayJoin::Step(ExecContext& ctx) {
+  ++stats_.steps;
+  if (!ordered()) return StepUnordered(ctx);
+
+  StepResult result;
+  ObserveHeads();
+
+  int ready = FindReadyInput();
+  if (ready < 0) {
+    FillBlockedResult(&result);
+    result.yield = AnyOutputNonEmpty(*this);
+    return result;
+  }
+
+  Tuple tuple = TakeInput(ready);
+  if (tuple.is_data()) {
+    result.processed_data = true;
+    ProcessData(ready, std::move(tuple));
+  } else {
+    result.processed_punctuation = true;
+    ExpireAllWindows(MinEffectiveTsm());
+    MaybeEmitPunctuation(MinEffectiveTsm());
+  }
+
+  result.more = RelaxedMore();
+  if (!result.more) {
+    result.idle_waiting = HasPendingData();
+    result.blocked_input = BlockedInput();
+  }
+  result.yield = AnyOutputNonEmpty(*this);
+  return result;
+}
+
+StepResult MultiWayJoin::StepUnordered(ExecContext& ctx) {
+  StepResult result;
+  for (int scan = 0; scan < num_inputs(); ++scan) {
+    int i = (next_unordered_input_ + scan) % num_inputs();
+    if (input(i)->empty()) continue;
+    next_unordered_input_ = (i + 1) % num_inputs();
+    Tuple tuple = TakeInput(i);
+    if (tuple.is_punctuation()) {
+      result.processed_punctuation = true;
+      ExpireAllWindows(tuple.timestamp());
+      MaybeEmitPunctuation(tuple.timestamp());
+    } else {
+      result.processed_data = true;
+      if (!tuple.has_timestamp()) tuple.set_timestamp(ctx.now());
+      ProcessData(i, std::move(tuple));
+    }
+    break;
+  }
+  result.more = Operator::HasWork();
+  result.yield = AnyOutputNonEmpty(*this);
+  return result;
+}
+
+}  // namespace dsms

@@ -1,0 +1,104 @@
+#ifndef DSMS_OPERATORS_MULTIWAY_JOIN_H_
+#define DSMS_OPERATORS_MULTIWAY_JOIN_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "core/tuple.h"
+#include "operators/iwp_operator.h"
+#include "operators/operator.h"
+
+namespace dsms {
+
+/// N-ary symmetric window join (MJoin-style), the multi-way generalization
+/// the paper defers with "we omit here the discussion of multi-way joins
+/// ... whose treatment is however similar to that of binary joins"
+/// (Section 2).
+///
+/// Evaluation semantics (standard MJoin): each input i keeps a window
+/// buffer of duration w_i; when a data tuple arrives on input i at
+/// timestamp τ (selected by the same TSM / relaxed-`more` machinery as the
+/// binary join), it probes the other windows, and every combination of one
+/// stored tuple per other input that (a) lies within the band of the fresh
+/// tuple — stored.ts >= τ − w_stored (the fresh tuple is always the newest,
+/// because ordered execution consumes in global timestamp order) — and (b)
+/// satisfies the predicate, yields a result stamped τ. Because every future
+/// fresh tuple has timestamp >= τ, all windows can be pruned below
+/// τ − w_j.
+///
+/// The predicate receives the full tuple vector in input order (the fresh
+/// tuple occupying its own slot); null means cross product. EquiJoin(field)
+/// builds the common all-inputs-share-a-key predicate.
+///
+/// Punctuation is absorbed greedily, prunes every window via the operator's
+/// global bound, and is forwarded as a deduplicated watermark — Figure 6
+/// lifted to N inputs. Output payload: concatenation of all matched tuples'
+/// values in input order. Unordered (latent) mode stamps on consumption
+/// like the binary join.
+class MultiWayJoin : public IwpOperator {
+ public:
+  using Predicate =
+      std::function<bool(const std::vector<const Tuple*>& match)>;
+
+  /// `windows[i]` is input i's retention duration; its size fixes the
+  /// number of inputs (>= 2, enforced at validation).
+  MultiWayJoin(std::string name, std::vector<Duration> windows,
+               Predicate predicate, bool ordered = true);
+
+  /// All inputs carry the same value at position `field`.
+  static Predicate EquiJoin(int field);
+
+  /// Optional typing contract for an EquiJoin predicate: declares the key
+  /// field so QueryGraph::Validate can check it on every input schema.
+  void set_equi_field(int field) { equi_field_ = field; }
+
+  /// Output schema = concatenation of all input schemas (Concat pairwise);
+  /// validates the declared key field against every known input schema.
+  Result<std::optional<Schema>> DeriveSchema(
+      const std::vector<std::optional<Schema>>& inputs) const override;
+
+  int min_inputs() const override {
+    return static_cast<int>(window_durations_.size());
+  }
+  int max_inputs() const override {
+    return static_cast<int>(window_durations_.size());
+  }
+  bool stamps_latent() const override { return !ordered(); }
+
+  StepResult Step(ExecContext& ctx) override;
+
+  size_t window_size(int input) const;
+  size_t total_window_size() const;
+  uint64_t matches_emitted() const { return matches_emitted_; }
+
+ private:
+  StepResult StepUnordered(ExecContext& ctx);
+
+  void ProcessData(int input, Tuple tuple);
+  /// Recursively extends `match` across inputs != `fresh_input`; emits on
+  /// completion.
+  void ProbeRecursive(int input, int fresh_input, const Tuple& fresh,
+                      std::vector<const Tuple*>* match);
+  void EmitMatch(const std::vector<const Tuple*>& match, const Tuple& fresh);
+  /// Drops tuples of window `input` older than bound − w_input, where
+  /// `bound` is a lower bound on every future fresh tuple's timestamp.
+  void ExpireWindow(int input, Timestamp bound);
+  void ExpireAllWindows(Timestamp bound);
+  bool PairJoinable(int fresh_input, Timestamp fresh_ts, int stored_input,
+                    Timestamp stored_ts) const;
+
+  std::vector<Duration> window_durations_;
+  Predicate predicate_;
+  int equi_field_ = -1;
+  std::vector<std::deque<Tuple>> windows_;
+  uint64_t matches_emitted_ = 0;
+  int next_unordered_input_ = 0;
+};
+
+}  // namespace dsms
+
+#endif  // DSMS_OPERATORS_MULTIWAY_JOIN_H_

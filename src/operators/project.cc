@@ -1,0 +1,59 @@
+#include "operators/project.h"
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/strings.h"
+#include "core/value.h"
+
+namespace dsms {
+
+Project::Project(std::string name, std::vector<int> keep_indices)
+    : Operator(std::move(name)), keep_indices_(std::move(keep_indices)) {}
+
+Result<std::optional<Schema>> Project::DeriveSchema(
+    const std::vector<std::optional<Schema>>& inputs) const {
+  if (inputs.empty() || !inputs[0].has_value()) {
+    return std::optional<Schema>();
+  }
+  const Schema& in = *inputs[0];
+  std::vector<Field> fields;
+  fields.reserve(keep_indices_.size());
+  for (int idx : keep_indices_) {
+    if (idx < 0 || idx >= in.num_fields()) {
+      return InvalidArgumentError(StrFormat(
+          "%s: projected field %d out of bounds for input schema %s",
+          name().c_str(), idx, in.ToString().c_str()));
+    }
+    fields.push_back(in.field(idx));
+  }
+  return std::optional<Schema>(Schema(std::move(fields)));
+}
+
+StepResult Project::Step(ExecContext& ctx) {
+  (void)ctx;
+  ++stats_.steps;
+  StepResult result;
+  if (!input(0)->empty()) {
+    Tuple tuple = TakeInput(0);
+    if (tuple.is_punctuation()) {
+      result.processed_punctuation = true;
+      Emit(std::move(tuple));
+    } else {
+      result.processed_data = true;
+      std::vector<Value> projected;
+      projected.reserve(keep_indices_.size());
+      for (int idx : keep_indices_) projected.push_back(tuple.value(idx));
+      tuple.mutable_values() = std::move(projected);
+      Emit(std::move(tuple));
+    }
+  }
+  result.more = !input(0)->empty();
+  result.yield = AnyOutputNonEmpty(*this);
+  return result;
+}
+
+}  // namespace dsms

@@ -1,0 +1,61 @@
+#include "operators/reorder.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+namespace dsms {
+
+Reorder::Reorder(std::string name, Duration slack)
+    : Operator(std::move(name)), slack_(slack) {
+  DSMS_CHECK_GE(slack, 0);
+}
+
+void Reorder::Release(Timestamp bound) {
+  while (!pending_.empty() && pending_.begin()->first <= bound) {
+    Emit(std::move(pending_.begin()->second));
+    pending_.erase(pending_.begin());
+  }
+}
+
+StepResult Reorder::Step(ExecContext& ctx) {
+  (void)ctx;
+  ++stats_.steps;
+  StepResult result;
+  if (!input(0)->empty()) {
+    Tuple tuple = TakeInput(0);
+    if (tuple.is_punctuation()) {
+      result.processed_punctuation = true;
+      // Input punctuation p: no future input below p, so everything
+      // buffered below p is safe to release.
+      release_bound_ = std::max(release_bound_, tuple.timestamp());
+    } else {
+      result.processed_data = true;
+      DSMS_CHECK(tuple.has_timestamp());  // Reorder needs timestamps.
+      Timestamp ts = tuple.timestamp();
+      if (ts < release_bound_) {
+        // Beyond-slack straggler: the stream has already been released (and
+        // a punctuation promise made downstream) past this timestamp.
+        ++late_dropped_;
+      } else {
+        pending_.emplace(ts, std::move(tuple));
+        max_seen_ = std::max(max_seen_, ts);
+        if (max_seen_ != kMinTimestamp) {
+          release_bound_ = std::max(release_bound_, max_seen_ - slack_);
+        }
+      }
+    }
+    Release(release_bound_);
+    if (release_bound_ != kMinTimestamp && release_bound_ > last_punct_out_) {
+      last_punct_out_ = release_bound_;
+      Emit(Tuple::MakePunctuation(release_bound_));
+    }
+  }
+  result.more = !input(0)->empty();
+  result.yield = AnyOutputNonEmpty(*this);
+  return result;
+}
+
+}  // namespace dsms

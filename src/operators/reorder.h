@@ -1,0 +1,56 @@
+#ifndef DSMS_OPERATORS_REORDER_H_
+#define DSMS_OPERATORS_REORDER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/time.h"
+#include "core/tuple.h"
+#include "operators/operator.h"
+
+namespace dsms {
+
+/// Slack-based reordering (extension; cf. Srivastava & Widom, "Flexible time
+/// management in data stream systems", cited by the paper for out-of-order
+/// handling). The rest of the library assumes timestamp-ordered streams;
+/// Reorder repairs a stream whose disorder is bounded by `slack`:
+///
+///  - tuples are buffered in timestamp order;
+///  - a buffered tuple is released once the release bound
+///    max(max_seen_ts − slack, max punctuation ts) passes its timestamp;
+///  - tuples arriving with a timestamp already below the release bound
+///    (disorder beyond the slack) are dropped and counted;
+///  - the release bound is forwarded as (deduplicated) punctuation so
+///    downstream IWP operators see the stream's true progress.
+///
+/// Output is guaranteed timestamp-ordered regardless of input.
+class Reorder : public Operator {
+ public:
+  Reorder(std::string name, Duration slack);
+
+  StepResult Step(ExecContext& ctx) override;
+
+  /// Reordering is defined on timestamps; latent input is rejected.
+  bool requires_timestamped_input() const override { return true; }
+
+  Duration slack() const { return slack_; }
+  size_t buffered() const { return pending_.size(); }
+  uint64_t late_dropped() const { return late_dropped_; }
+
+ private:
+  void Release(Timestamp bound);
+
+  Duration slack_;
+  /// Buffered tuples keyed by timestamp; multimap keeps arrival order among
+  /// equal timestamps (deterministic ties).
+  std::multimap<Timestamp, Tuple> pending_;
+  Timestamp max_seen_ = kMinTimestamp;
+  Timestamp release_bound_ = kMinTimestamp;
+  Timestamp last_punct_out_ = kMinTimestamp;
+  uint64_t late_dropped_ = 0;
+};
+
+}  // namespace dsms
+
+#endif  // DSMS_OPERATORS_REORDER_H_

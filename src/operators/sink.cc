@@ -1,0 +1,31 @@
+#include "operators/sink.h"
+
+#include <string>
+#include <utility>
+
+#include "core/tuple.h"
+
+namespace dsms {
+
+Sink::Sink(std::string name) : Operator(std::move(name)) {}
+
+StepResult Sink::Step(ExecContext& ctx) {
+  ++stats_.steps;
+  StepResult result;
+  if (input(0)->empty()) return result;
+
+  Tuple tuple = TakeInput(0);
+  if (tuple.is_data()) {
+    result.processed_data = true;
+    latency_.RecordEmission(tuple, ctx.now());
+    if (callback_) callback_(tuple, ctx.now());
+    if (collect_) collected_.push_back(std::move(tuple));
+  } else {
+    // Punctuation dies here; it never reaches users.
+    result.processed_punctuation = true;
+  }
+  result.more = !input(0)->empty();
+  return result;
+}
+
+}  // namespace dsms

@@ -1,0 +1,53 @@
+#ifndef DSMS_OPERATORS_SINK_H_
+#define DSMS_OPERATORS_SINK_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "core/tuple.h"
+#include "metrics/latency_recorder.h"
+#include "operators/operator.h"
+
+namespace dsms {
+
+/// A sink node: consumes the final output buffer, measures per-tuple output
+/// latency, and eliminates punctuation tuples — "sink nodes should also
+/// eliminate punctuation tuples since they are only needed internally"
+/// (paper, footnote 3).
+class Sink : public Operator {
+ public:
+  /// Called for every data tuple delivered, with the virtual delivery time.
+  using EmitCallback = std::function<void(const Tuple&, Timestamp)>;
+
+  explicit Sink(std::string name);
+
+  int min_outputs() const override { return 0; }
+  int max_outputs() const override { return 0; }
+
+  StepResult Step(ExecContext& ctx) override;
+
+  void set_callback(EmitCallback callback) { callback_ = std::move(callback); }
+
+  /// When enabled, keeps every delivered data tuple (tests, examples).
+  void set_collect(bool collect) { collect_ = collect; }
+  const std::vector<Tuple>& collected() const { return collected_; }
+
+  const LatencyRecorder& latency() const { return latency_; }
+  LatencyRecorder& mutable_latency() { return latency_; }
+
+  uint64_t data_delivered() const { return stats().data_in; }
+  uint64_t punctuation_eliminated() const { return stats().punctuation_in; }
+
+ private:
+  EmitCallback callback_;
+  bool collect_ = false;
+  std::vector<Tuple> collected_;
+  LatencyRecorder latency_;
+};
+
+}  // namespace dsms
+
+#endif  // DSMS_OPERATORS_SINK_H_

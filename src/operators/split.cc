@@ -1,0 +1,40 @@
+#include "operators/split.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace dsms {
+
+Split::Split(std::string name, std::vector<Predicate> predicates)
+    : Operator(std::move(name)), predicates_(std::move(predicates)) {
+  DSMS_CHECK_GE(predicates_.size(), 1u);
+  for (const Predicate& p : predicates_) DSMS_CHECK(p != nullptr);
+}
+
+StepResult Split::Step(ExecContext& ctx) {
+  (void)ctx;
+  ++stats_.steps;
+  StepResult result;
+  if (!input(0)->empty()) {
+    Tuple tuple = TakeInput(0);
+    if (tuple.is_punctuation()) {
+      result.processed_punctuation = true;
+      Emit(std::move(tuple));  // replicated to every output
+    } else {
+      result.processed_data = true;
+      for (int k = 0; k < num_outputs(); ++k) {
+        if (predicates_[static_cast<size_t>(k)](tuple)) {
+          EmitTo(k, tuple);
+        }
+      }
+    }
+  }
+  result.more = !input(0)->empty();
+  result.yield = AnyOutputNonEmpty(*this);
+  return result;
+}
+
+}  // namespace dsms

@@ -1,0 +1,43 @@
+#ifndef DSMS_OPERATORS_SPLIT_H_
+#define DSMS_OPERATORS_SPLIT_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/tuple.h"
+#include "operators/operator.h"
+
+namespace dsms {
+
+/// Content-based router: output k receives the data tuples satisfying the
+/// k-th predicate (a tuple may match several outputs, or none and be
+/// dropped). Punctuation is replicated to every output — each branch's
+/// timestamp lower bound is the input's bound regardless of routing, so
+/// downstream IWP operators on *all* branches stay live (the non-IWP
+/// propagation rule of Section 4.2 applied per branch).
+///
+/// The number of predicates fixes the number of outputs; they must be
+/// connected in the same order.
+class Split : public Operator {
+ public:
+  using Predicate = std::function<bool(const Tuple&)>;
+
+  Split(std::string name, std::vector<Predicate> predicates);
+
+  int min_outputs() const override {
+    return static_cast<int>(predicates_.size());
+  }
+  int max_outputs() const override {
+    return static_cast<int>(predicates_.size());
+  }
+
+  StepResult Step(ExecContext& ctx) override;
+
+ private:
+  std::vector<Predicate> predicates_;
+};
+
+}  // namespace dsms
+
+#endif  // DSMS_OPERATORS_SPLIT_H_

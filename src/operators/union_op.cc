@@ -1,0 +1,157 @@
+#include "operators/union_op.h"
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+#include "common/strings.h"
+#include "core/schema.h"
+#include "core/tuple.h"
+
+namespace dsms {
+
+Union::Union(std::string name, bool ordered, bool use_tsm_registers)
+    : IwpOperator(std::move(name), ordered),
+      use_tsm_registers_(use_tsm_registers) {}
+
+bool Union::HasWork() const {
+  if (ordered() && !use_tsm_registers_) return StrictMore();
+  return IwpOperator::HasWork();
+}
+
+Result<std::optional<Schema>> Union::DeriveSchema(
+    const std::vector<std::optional<Schema>>& inputs) const {
+  std::optional<Schema> known;
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    if (!inputs[i].has_value()) continue;
+    if (!known.has_value()) {
+      known = inputs[i];
+    } else if (*known != *inputs[i]) {
+      return InvalidArgumentError(StrFormat(
+          "%s: input %zu schema %s does not match %s", name().c_str(), i,
+          inputs[i]->ToString().c_str(), known->ToString().c_str()));
+    }
+  }
+  return known;
+}
+
+int Union::BlockedInput() const {
+  if (ordered() && !use_tsm_registers_) {
+    for (int i = 0; i < num_inputs(); ++i) {
+      if (input(i)->empty()) return i;
+    }
+    return 0;
+  }
+  return IwpOperator::BlockedInput();
+}
+
+bool Union::StrictMore() const {
+  for (int i = 0; i < num_inputs(); ++i) {
+    if (input(i)->empty()) return false;
+  }
+  return true;
+}
+
+int Union::StrictMinInput() const {
+  int best = 0;
+  Timestamp best_ts = kMaxTimestamp;
+  for (int i = 0; i < num_inputs(); ++i) {
+    Timestamp ts = input(i)->Front().timestamp();
+    if (ts < best_ts) {
+      best_ts = ts;
+      best = i;
+    }
+  }
+  return best;
+}
+
+StepResult Union::StepStrict() {
+  StepResult result;
+  // Keep the registers observed so punctuation watermarks stay meaningful
+  // even in strict mode.
+  ObserveHeads();
+  if (!StrictMore()) {
+    result.more = false;
+    result.idle_waiting = HasPendingData();
+    result.blocked_input = BlockedInput();
+    result.yield = AnyOutputNonEmpty(*this);
+    return result;
+  }
+  Tuple tuple = TakeInput(StrictMinInput());
+  if (tuple.is_data()) {
+    result.processed_data = true;
+    NoteDataEmitted(tuple.timestamp());
+    Emit(std::move(tuple));
+  } else {
+    result.processed_punctuation = true;
+    MaybeEmitPunctuation(MinEffectiveTsm());
+  }
+  result.more = StrictMore();
+  if (!result.more) {
+    result.idle_waiting = HasPendingData();
+    result.blocked_input = BlockedInput();
+  }
+  result.yield = AnyOutputNonEmpty(*this);
+  return result;
+}
+
+StepResult Union::Step(ExecContext& ctx) {
+  (void)ctx;
+  ++stats_.steps;
+  if (!ordered()) return StepUnordered();
+  if (!use_tsm_registers_) return StepStrict();
+
+  StepResult result;
+  ObserveHeads();
+
+  int ready = FindReadyInput();
+  if (ready < 0) {
+    FillBlockedResult(&result);
+    result.yield = AnyOutputNonEmpty(*this);
+    return result;
+  }
+
+  Tuple tuple = TakeInput(ready);
+  if (tuple.is_data()) {
+    result.processed_data = true;
+    NoteDataEmitted(tuple.timestamp());
+    Emit(std::move(tuple));
+  } else {
+    result.processed_punctuation = true;
+    // The register already holds this punctuation's bound (observed at the
+    // head); forward the operator-wide watermark if it advanced.
+    MaybeEmitPunctuation(MinEffectiveTsm());
+  }
+
+  result.more = RelaxedMore();
+  if (!result.more) {
+    result.idle_waiting = HasPendingData();
+    result.blocked_input = BlockedInput();
+  }
+  result.yield = AnyOutputNonEmpty(*this);
+  return result;
+}
+
+StepResult Union::StepUnordered() {
+  StepResult result;
+  // Round-robin so no input can starve the others.
+  for (int scan = 0; scan < num_inputs(); ++scan) {
+    int i = (next_unordered_input_ + scan) % num_inputs();
+    if (input(i)->empty()) continue;
+    next_unordered_input_ = (i + 1) % num_inputs();
+    Tuple tuple = TakeInput(i);
+    if (tuple.is_data()) {
+      result.processed_data = true;
+    } else {
+      result.processed_punctuation = true;
+    }
+    Emit(std::move(tuple));
+    break;
+  }
+  result.more = Operator::HasWork();
+  result.yield = AnyOutputNonEmpty(*this);
+  return result;
+}
+
+}  // namespace dsms

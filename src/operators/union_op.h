@@ -1,0 +1,68 @@
+#ifndef DSMS_OPERATORS_UNION_OP_H_
+#define DSMS_OPERATORS_UNION_OP_H_
+
+#include <string>
+
+#include "operators/iwp_operator.h"
+#include "operators/operator.h"
+
+namespace dsms {
+
+/// N-ary order-preserving union — "in fact a sort-merge operation that
+/// combines its input data streams into a single output stream where tuples
+/// are ordered by their timestamp values" (Section 1). Implements the
+/// punctuation- and simultaneous-tuple-aware execution rules of Figure 6:
+///
+///   If `more` (relaxed, Figure 5) is true, select an input tuple with
+///   timestamp τ = min(TSM registers), deliver it to the output and remove
+///   it from the input; a punctuation head at τ is consumed and re-emitted
+///   as a (deduplicated) watermark.
+///
+/// In unordered mode (latent timestamps) tuples are forwarded as soon as
+/// they arrive, round-robin across inputs — the paper's scenario D.
+///
+/// `use_tsm_registers=false` selects the *basic* execution rules of
+/// Figure 1 instead: the union proceeds only when tuples are present in ALL
+/// inputs (punctuation counts as presence, which is how the heartbeats of
+/// [9] unblock basic operators). This is the pre-TSM baseline kept for the
+/// simultaneous-tuples ablation (bench/abl_simultaneous): it idle-waits on
+/// an input that empties even when the remaining tuples are simultaneous
+/// with already-seen ones.
+class Union : public IwpOperator {
+ public:
+  explicit Union(std::string name, bool ordered = true,
+                 bool use_tsm_registers = true);
+
+  int min_inputs() const override { return 2; }
+  int max_inputs() const override { return 1 << 20; }  // effectively n-ary
+
+  bool use_tsm_registers() const { return use_tsm_registers_; }
+
+  bool HasWork() const override;
+
+  /// Strict mode blocks on the first empty input rather than the minimal
+  /// TSM register.
+  int BlockedInput() const override;
+
+  /// All (known) input schemas must agree; the union of incompatible
+  /// streams is a type error.
+  Result<std::optional<Schema>> DeriveSchema(
+      const std::vector<std::optional<Schema>>& inputs) const override;
+
+  StepResult Step(ExecContext& ctx) override;
+
+ private:
+  StepResult StepUnordered();
+  StepResult StepStrict();
+  /// Basic `more` of Figure 1: every input buffer non-empty.
+  bool StrictMore() const;
+  /// Input with the minimal-timestamp head (ties: lowest index).
+  int StrictMinInput() const;
+
+  bool use_tsm_registers_;
+  int next_unordered_input_ = 0;
+};
+
+}  // namespace dsms
+
+#endif  // DSMS_OPERATORS_UNION_OP_H_

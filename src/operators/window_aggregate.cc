@@ -1,0 +1,180 @@
+#include "operators/window_aggregate.h"
+
+#include <algorithm>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/strings.h"
+#include "core/schema.h"
+#include "core/value.h"
+
+namespace dsms {
+namespace {
+
+int64_t FloorDiv(int64_t a, int64_t b) {
+  int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+}  // namespace
+
+const char* AggKindToString(AggKind kind) {
+  switch (kind) {
+    case AggKind::kCount:
+      return "count";
+    case AggKind::kSum:
+      return "sum";
+    case AggKind::kAvg:
+      return "avg";
+    case AggKind::kMin:
+      return "min";
+    case AggKind::kMax:
+      return "max";
+  }
+  return "unknown";
+}
+
+WindowAggregate::WindowAggregate(std::string name, AggKind kind, int field,
+                                 Duration window, Duration slide)
+    : Operator(std::move(name)),
+      kind_(kind),
+      field_(field),
+      window_(window),
+      slide_(slide) {
+  DSMS_CHECK_GT(window, 0);
+  DSMS_CHECK_GT(slide, 0);
+  DSMS_CHECK_LE(slide, window);
+}
+
+Result<std::optional<Schema>> WindowAggregate::DeriveSchema(
+    const std::vector<std::optional<Schema>>& inputs) const {
+  if (!inputs.empty() && inputs[0].has_value() && kind_ != AggKind::kCount) {
+    DSMS_RETURN_IF_ERROR(CheckFieldAccess(*inputs[0], field_,
+                                          /*require_numeric=*/true, name()));
+  }
+  return std::optional<Schema>(Schema{{"window_start", ValueType::kInt64},
+                                      {AggKindToString(kind_),
+                                       ValueType::kDouble}});
+}
+
+int64_t WindowAggregate::WindowIndexLow(Timestamp ts) const {
+  // Smallest k with k*slide + window > ts.
+  return FloorDiv(ts - window_, slide_) + 1;
+}
+
+int64_t WindowAggregate::WindowIndexHigh(Timestamp ts) const {
+  // Largest k with k*slide <= ts.
+  return FloorDiv(ts, slide_);
+}
+
+void WindowAggregate::Accumulate(const Tuple& tuple) {
+  Timestamp ts = tuple.timestamp();
+  double v = kind_ == AggKind::kCount ? 0.0 : tuple.value(field_).AsDouble();
+  for (int64_t k = WindowIndexLow(ts); k <= WindowIndexHigh(ts); ++k) {
+    if (k < next_emit_k_ && first_seen_) continue;  // Window already closed.
+    Accumulator& acc = accumulators_[k];
+    if (acc.count == 0) {
+      acc.min = v;
+      acc.max = v;
+    } else {
+      acc.min = std::min(acc.min, v);
+      acc.max = std::max(acc.max, v);
+    }
+    ++acc.count;
+    acc.sum += v;
+  }
+}
+
+void WindowAggregate::EmitWindow(int64_t k, const Accumulator& acc) {
+  if (acc.count == 0 &&
+      (kind_ == AggKind::kAvg || kind_ == AggKind::kMin ||
+       kind_ == AggKind::kMax)) {
+    return;
+  }
+  double value = 0.0;
+  switch (kind_) {
+    case AggKind::kCount:
+      value = static_cast<double>(acc.count);
+      break;
+    case AggKind::kSum:
+      value = acc.sum;
+      break;
+    case AggKind::kAvg:
+      value = acc.sum / static_cast<double>(acc.count);
+      break;
+    case AggKind::kMin:
+      value = acc.min;
+      break;
+    case AggKind::kMax:
+      value = acc.max;
+      break;
+  }
+  Timestamp start = k * slide_;
+  Timestamp end = start + window_;
+  std::vector<Value> payload;
+  payload.emplace_back(static_cast<int64_t>(start));
+  payload.emplace_back(value);
+  Tuple result = Tuple::MakeData(end, std::move(payload));
+  // Latency measured downstream = emission delay past the window's end.
+  result.set_arrival_time(end);
+  ++windows_emitted_;
+  Emit(std::move(result));
+}
+
+void WindowAggregate::CloseWindowsUpTo(Timestamp bound) {
+  if (!first_seen_) return;
+  // Window k closes when k*slide + window <= bound.
+  int64_t closable_end = FloorDiv(bound - window_, slide_);
+  while (next_emit_k_ <= closable_end) {
+    auto it = accumulators_.find(next_emit_k_);
+    if (it != accumulators_.end()) {
+      EmitWindow(next_emit_k_, it->second);
+      accumulators_.erase(it);
+    } else {
+      EmitWindow(next_emit_k_, Accumulator{});
+    }
+    ++next_emit_k_;
+  }
+}
+
+StepResult WindowAggregate::Step(ExecContext& ctx) {
+  ++stats_.steps;
+  StepResult result;
+  if (!input(0)->empty()) {
+    Tuple tuple = TakeInput(0);
+    Timestamp ts;
+    if (tuple.is_punctuation()) {
+      result.processed_punctuation = true;
+      ts = tuple.timestamp();
+    } else {
+      result.processed_data = true;
+      if (!tuple.has_timestamp()) tuple.set_timestamp(ctx.now());
+      ts = tuple.timestamp();
+    }
+    if (!first_seen_) {
+      first_seen_ = true;
+      next_emit_k_ = WindowIndexLow(ts);
+    }
+    if (tuple.is_data()) Accumulate(tuple);
+    bound_ = std::max(bound_, ts);
+    CloseWindowsUpTo(bound_);
+    if (tuple.is_punctuation()) {
+      // Future outputs carry timestamps >= the next window's end; propagate
+      // that (stronger) bound downstream, deduplicated.
+      Timestamp next_end = next_emit_k_ * slide_ + window_;
+      if (next_end > last_punct_out_) {
+        last_punct_out_ = next_end;
+        Emit(Tuple::MakePunctuation(next_end));
+      }
+    }
+  }
+  result.more = !input(0)->empty();
+  result.yield = AnyOutputNonEmpty(*this);
+  return result;
+}
+
+}  // namespace dsms

@@ -1,0 +1,186 @@
+#include "operators/window_join.h"
+
+#include <algorithm>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/strings.h"
+#include "core/schema.h"
+#include "core/value.h"
+
+namespace dsms {
+
+WindowJoin::WindowJoin(std::string name, Duration left_window,
+                       Duration right_window, Predicate predicate,
+                       bool ordered)
+    : IwpOperator(std::move(name), ordered),
+      predicate_(std::move(predicate)) {
+  DSMS_CHECK_GE(left_window, 0);
+  DSMS_CHECK_GE(right_window, 0);
+  window_duration_[0] = left_window;
+  window_duration_[1] = right_window;
+}
+
+WindowJoin::Predicate WindowJoin::EquiJoin(int left_field, int right_field) {
+  return [left_field, right_field](const Tuple& left, const Tuple& right) {
+    return left.value(left_field) == right.value(right_field);
+  };
+}
+
+Result<std::optional<Schema>> WindowJoin::DeriveSchema(
+    const std::vector<std::optional<Schema>>& inputs) const {
+  if (inputs.size() < 2 || !inputs[0].has_value() || !inputs[1].has_value()) {
+    return std::optional<Schema>();
+  }
+  const Schema& left = *inputs[0];
+  const Schema& right = *inputs[1];
+  if (equi_left_field_ >= 0) {
+    DSMS_RETURN_IF_ERROR(CheckFieldAccess(left, equi_left_field_,
+                                          /*require_numeric=*/false, name()));
+    DSMS_RETURN_IF_ERROR(CheckFieldAccess(right, equi_right_field_,
+                                          /*require_numeric=*/false, name()));
+    ValueType lt = left.field(equi_left_field_).type;
+    ValueType rt = right.field(equi_right_field_).type;
+    if (lt != rt) {
+      return InvalidArgumentError(StrFormat(
+          "%s: equi-join compares %s field %d with %s field %d",
+          name().c_str(), ValueTypeToString(lt), equi_left_field_,
+          ValueTypeToString(rt), equi_right_field_));
+    }
+  }
+  return std::optional<Schema>(left.Concat(right));
+}
+
+size_t WindowJoin::window_size(int side) const {
+  DSMS_CHECK(side == 0 || side == 1);
+  return window_[side].size();
+}
+
+void WindowJoin::NotePeak() {
+  peak_window_size_ =
+      std::max(peak_window_size_, window_[0].size() + window_[1].size());
+}
+
+void WindowJoin::ExpireWindow(int side, Timestamp bound) {
+  // A stored `side` tuple t remains joinable with future opposite tuples
+  // (all >= bound) while opposite.ts − t.ts <= w(side); expire the rest.
+  if (bound == kMinTimestamp) return;
+  std::deque<Tuple>& window = window_[side];
+  Timestamp cutoff = bound - window_duration_[side];
+  while (!window.empty() && window.front().timestamp() < cutoff) {
+    window.pop_front();
+  }
+}
+
+void WindowJoin::ProcessData(int side, Tuple tuple) {
+  int other = 1 - side;
+  Timestamp tau = tuple.timestamp();
+
+  // Future `side` tuples have ts >= tau, so prune the opposite window first.
+  ExpireWindow(other, tau);
+
+  for (const Tuple& stored : window_[other]) {
+    Timestamp stored_ts = stored.timestamp();
+    bool joinable;
+    if (stored_ts <= tau) {
+      joinable = (tau - stored_ts) <= window_duration_[other];
+    } else {
+      joinable = (stored_ts - tau) <= window_duration_[side];
+    }
+    if (!joinable) continue;
+    const Tuple& left = (side == 0) ? tuple : stored;
+    const Tuple& right = (side == 0) ? stored : tuple;
+    if (predicate_ && !predicate_(left, right)) continue;
+
+    std::vector<Value> combined;
+    combined.reserve(left.values().size() + right.values().size());
+    combined.insert(combined.end(), left.values().begin(),
+                    left.values().end());
+    combined.insert(combined.end(), right.values().begin(),
+                    right.values().end());
+    // Result tuples "take their timestamps from the tuple in A" (Figure 1):
+    // the newly consumed tuple defines timestamp and latency lineage.
+    Tuple result = Tuple::MakeData(tau, std::move(combined),
+                                   tuple.timestamp_kind() ==
+                                           TimestampKind::kLatent
+                                       ? TimestampKind::kInternal
+                                       : tuple.timestamp_kind());
+    result.set_arrival_time(tuple.arrival_time());
+    result.set_source_id(tuple.source_id());
+    result.set_sequence(tuple.sequence());
+    NoteDataEmitted(tau);
+    ++matches_emitted_;
+    Emit(std::move(result));
+  }
+
+  window_[side].push_back(std::move(tuple));
+  NotePeak();
+}
+
+StepResult WindowJoin::Step(ExecContext& ctx) {
+  ++stats_.steps;
+  if (!ordered()) return StepUnordered(ctx);
+
+  StepResult result;
+  ObserveHeads();
+
+  int ready = FindReadyInput();
+  if (ready < 0) {
+    FillBlockedResult(&result);
+    result.yield = AnyOutputNonEmpty(*this);
+    return result;
+  }
+
+  Tuple tuple = TakeInput(ready);
+  if (tuple.is_data()) {
+    result.processed_data = true;
+    ProcessData(ready, std::move(tuple));
+  } else {
+    result.processed_punctuation = true;
+    // The punctuation bounds future `ready`-side tuples; prune the opposite
+    // window and forward the watermark ("if neither A nor B contain an
+    // input data tuple with timestamp τ, add a punctuation tuple with
+    // timestamp τ", Figure 6).
+    ExpireWindow(1 - ready, tuple.timestamp());
+    MaybeEmitPunctuation(MinEffectiveTsm());
+  }
+
+  result.more = RelaxedMore();
+  if (!result.more) {
+    result.idle_waiting = HasPendingData();
+    result.blocked_input = BlockedInput();
+  }
+  result.yield = AnyOutputNonEmpty(*this);
+  return result;
+}
+
+StepResult WindowJoin::StepUnordered(ExecContext& ctx) {
+  StepResult result;
+  for (int scan = 0; scan < num_inputs(); ++scan) {
+    int i = (next_unordered_input_ + scan) % num_inputs();
+    if (input(i)->empty()) continue;
+    next_unordered_input_ = (i + 1) % num_inputs();
+    Tuple tuple = TakeInput(i);
+    if (tuple.is_punctuation()) {
+      result.processed_punctuation = true;
+      ExpireWindow(1 - i, tuple.timestamp());
+      MaybeEmitPunctuation(tuple.timestamp());
+    } else {
+      result.processed_data = true;
+      // The join requires timestamps, so latent tuples are stamped on the
+      // fly with the current virtual time (Section 5). Consumption order is
+      // stamping order, so stamped timestamps are monotone on both inputs.
+      if (!tuple.has_timestamp()) tuple.set_timestamp(ctx.now());
+      ProcessData(i, std::move(tuple));
+    }
+    break;
+  }
+  result.more = Operator::HasWork();
+  result.yield = AnyOutputNonEmpty(*this);
+  return result;
+}
+
+}  // namespace dsms

@@ -1,0 +1,101 @@
+#ifndef DSMS_OPERATORS_WINDOW_JOIN_H_
+#define DSMS_OPERATORS_WINDOW_JOIN_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "common/time.h"
+#include "core/tuple.h"
+#include "operators/iwp_operator.h"
+#include "operators/operator.h"
+
+namespace dsms {
+
+/// Symmetric sliding-window join over two timestamp-ordered streams, with
+/// the widely accepted semantics of Kang, Naughton & Viglas (ICDE'03) that
+/// the paper adopts (Figure 1), extended with TSM registers and punctuation
+/// handling (Figure 6):
+///
+///  - a left tuple `l` joins right tuples `r` with l.ts − r.ts ∈ [0, wR]
+///    and, symmetrically, r joins l with r.ts − l.ts ∈ [0, wL];
+///  - when `more` (relaxed) holds and the τ-head is a data tuple, probe the
+///    opposite window, emit results stamped τ, insert into the own window,
+///    and expire opposite-window tuples older than τ − w;
+///  - when the τ-head is punctuation, consume it, use it to expire the
+///    opposite window, and forward the watermark;
+///  - when neither input has a data tuple at τ, only a punctuation at τ is
+///    produced.
+///
+/// The output payload is the concatenation of the matching tuples' values;
+/// output timestamp, lineage and arrival time come from the newly consumed
+/// tuple (its arrival defines the result's latency).
+///
+/// In unordered mode (latent timestamps) the join stamps each tuple with the
+/// current virtual time on consumption — latent tuples are "timestamped
+/// on-the-fly by individual query operators that require timestamps"
+/// (Section 5) — and never idle-waits.
+class WindowJoin : public IwpOperator {
+ public:
+  using Predicate = std::function<bool(const Tuple& left, const Tuple& right)>;
+
+  /// `left_window` (wL) and `right_window` (wR) are the retention durations
+  /// of the left and right window buffers; must be >= 0. A null predicate
+  /// means cross product within the windows.
+  WindowJoin(std::string name, Duration left_window, Duration right_window,
+             Predicate predicate, bool ordered = true);
+
+  /// Predicate matching equality of left field `left_field` with right
+  /// field `right_field`.
+  static Predicate EquiJoin(int left_field, int right_field);
+
+  /// Optional typing contract for an equi-join predicate (predicates are
+  /// opaque std::functions): declares which fields the predicate compares,
+  /// so QueryGraph::Validate can bounds- and type-check them.
+  void set_equi_fields(int left_field, int right_field) {
+    equi_left_field_ = left_field;
+    equi_right_field_ = right_field;
+  }
+
+  /// Output schema = left schema ++ right schema (duplicate names prefixed
+  /// "right."); validates declared equi fields when schemas are known.
+  Result<std::optional<Schema>> DeriveSchema(
+      const std::vector<std::optional<Schema>>& inputs) const override;
+
+  int min_inputs() const override { return 2; }
+  int max_inputs() const override { return 2; }
+  /// Unordered joins stamp latent tuples with virtual time on consumption.
+  bool stamps_latent() const override { return !ordered(); }
+
+  StepResult Step(ExecContext& ctx) override;
+
+  size_t window_size(int side) const;
+  size_t peak_window_size() const { return peak_window_size_; }
+  uint64_t matches_emitted() const { return matches_emitted_; }
+
+ private:
+  StepResult StepUnordered(ExecContext& ctx);
+
+  /// Handles one data tuple from `side`: probe, emit, insert, expire.
+  void ProcessData(int side, Tuple tuple);
+
+  /// Drops tuples from window `side` that can no longer match any future
+  /// tuple of the opposite stream, whose timestamps are >= `bound`.
+  void ExpireWindow(int side, Timestamp bound);
+
+  void NotePeak();
+
+  Duration window_duration_[2];
+  Predicate predicate_;
+  int equi_left_field_ = -1;
+  int equi_right_field_ = -1;
+  std::deque<Tuple> window_[2];
+  size_t peak_window_size_ = 0;
+  uint64_t matches_emitted_ = 0;
+  int next_unordered_input_ = 0;
+};
+
+}  // namespace dsms
+
+#endif  // DSMS_OPERATORS_WINDOW_JOIN_H_

@@ -1,0 +1,75 @@
+#include "sim/arrival_process.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace dsms {
+
+PoissonProcess::PoissonProcess(double rate_per_second, uint64_t seed)
+    : rate_(rate_per_second), rng_(seed, /*stream=*/0xa771) {
+  DSMS_CHECK_GT(rate_per_second, 0.0);
+}
+
+Duration PoissonProcess::NextGap() { return rng_.NextExponentialGap(rate_); }
+
+ConstantRateProcess::ConstantRateProcess(double rate_per_second) {
+  DSMS_CHECK_GT(rate_per_second, 0.0);
+  gap_ = SecondsToDuration(1.0 / rate_per_second);
+  if (gap_ < 1) gap_ = 1;
+}
+
+Duration ConstantRateProcess::NextGap() { return gap_; }
+
+BurstyProcess::BurstyProcess(double burst_rate, double idle_rate,
+                             Duration mean_burst_length,
+                             Duration mean_idle_length, uint64_t seed)
+    : rng_(seed, /*stream=*/0xb0457) {
+  DSMS_CHECK_GT(burst_rate, 0.0);
+  DSMS_CHECK_GT(idle_rate, 0.0);
+  DSMS_CHECK_GT(mean_burst_length, 0);
+  DSMS_CHECK_GT(mean_idle_length, 0);
+  rate_[0] = burst_rate;
+  rate_[1] = idle_rate;
+  mean_dwell_[0] = mean_burst_length;
+  mean_dwell_[1] = mean_idle_length;
+  time_left_in_state_ = rng_.NextExponentialGap(
+      1.0 / DurationToSeconds(mean_dwell_[0]));
+}
+
+Duration BurstyProcess::NextGap() {
+  Duration total = 0;
+  for (;;) {
+    Duration gap = rng_.NextExponentialGap(rate_[state_]);
+    if (gap <= time_left_in_state_) {
+      time_left_in_state_ -= gap;
+      return total + gap;
+    }
+    // The state flips before the next arrival in this state would occur;
+    // consume the remaining dwell and resample in the new state.
+    total += time_left_in_state_;
+    state_ = 1 - state_;
+    time_left_in_state_ =
+        rng_.NextExponentialGap(1.0 / DurationToSeconds(mean_dwell_[state_]));
+  }
+}
+
+TraceProcess::TraceProcess(std::vector<Timestamp> arrival_times)
+    : times_(std::move(arrival_times)) {
+  Timestamp prev = -1;
+  for (Timestamp t : times_) {
+    DSMS_CHECK_GT(t, prev);
+    prev = t;
+  }
+}
+
+Duration TraceProcess::NextGap() {
+  if (index_ >= times_.size()) return -1;
+  Timestamp t = times_[index_++];
+  Duration gap = t - previous_;
+  previous_ = t;
+  return gap > 0 ? gap : 1;
+}
+
+}  // namespace dsms

@@ -1,0 +1,81 @@
+#ifndef DSMS_SIM_ARRIVAL_PROCESS_H_
+#define DSMS_SIM_ARRIVAL_PROCESS_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "common/time.h"
+
+namespace dsms {
+
+/// Generator of inter-arrival gaps for one stream. Stateful and seeded:
+/// the same process object always yields the same arrival pattern.
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+
+  /// Returns the gap to the next arrival (> 0), or a negative value when
+  /// the process is exhausted (finite traces).
+  virtual Duration NextGap() = 0;
+};
+
+/// Poisson arrivals — the paper's workload ("input data tuples were randomly
+/// generated under a Poisson arrival process with the desired average
+/// arrival rates").
+class PoissonProcess : public ArrivalProcess {
+ public:
+  PoissonProcess(double rate_per_second, uint64_t seed);
+  Duration NextGap() override;
+
+ private:
+  double rate_;
+  Pcg32 rng_;
+};
+
+/// Deterministic constant-rate arrivals.
+class ConstantRateProcess : public ArrivalProcess {
+ public:
+  explicit ConstantRateProcess(double rate_per_second);
+  Duration NextGap() override;
+
+ private:
+  Duration gap_;
+};
+
+/// Two-state Markov-modulated Poisson process: bursts at `burst_rate`
+/// alternate with quiet periods at `idle_rate`; exponential dwell times.
+/// Models the paper's motivating "bursty, non-stationary traffic" for which
+/// a fixed heartbeat period cannot be tuned.
+class BurstyProcess : public ArrivalProcess {
+ public:
+  BurstyProcess(double burst_rate, double idle_rate,
+                Duration mean_burst_length, Duration mean_idle_length,
+                uint64_t seed);
+  Duration NextGap() override;
+
+ private:
+  double rate_[2];       // [0]=burst, [1]=idle
+  Duration mean_dwell_[2];
+  int state_ = 0;
+  Duration time_left_in_state_;
+  Pcg32 rng_;
+};
+
+/// Replays a fixed list of arrival times (strictly increasing); exhausts
+/// afterwards. Used by tests and trace-driven examples.
+class TraceProcess : public ArrivalProcess {
+ public:
+  explicit TraceProcess(std::vector<Timestamp> arrival_times);
+  Duration NextGap() override;
+
+ private:
+  std::vector<Timestamp> times_;
+  size_t index_ = 0;
+  Timestamp previous_ = 0;
+};
+
+}  // namespace dsms
+
+#endif  // DSMS_SIM_ARRIVAL_PROCESS_H_

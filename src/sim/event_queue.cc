@@ -1,0 +1,31 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace dsms {
+
+void EventQueue::Schedule(Timestamp time, Action action) {
+  DSMS_CHECK(action != nullptr);
+  heap_.push(Event{time, next_seq_++, std::move(action)});
+}
+
+Timestamp EventQueue::NextTime() const {
+  DSMS_CHECK(!heap_.empty());
+  return heap_.top().time;
+}
+
+int EventQueue::FireDue(Timestamp now) {
+  int fired = 0;
+  while (!heap_.empty() && heap_.top().time <= now) {
+    // Copy out before pop so the action may schedule further events.
+    Action action = heap_.top().action;
+    heap_.pop();
+    action(now);
+    ++fired;
+  }
+  return fired;
+}
+
+}  // namespace dsms

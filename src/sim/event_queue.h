@@ -1,0 +1,58 @@
+#ifndef DSMS_SIM_EVENT_QUEUE_H_
+#define DSMS_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/time.h"
+
+namespace dsms {
+
+/// A discrete-event calendar: actions scheduled at virtual times, fired in
+/// time order (FIFO among equal times). The simulation driver pops due
+/// events between executor steps.
+class EventQueue {
+ public:
+  /// `action` runs when the event fires; it receives the *current* virtual
+  /// time (which may be later than the scheduled time if the executor was
+  /// busy — exactly like a busy DSMS input wrapper draining its socket
+  /// late).
+  using Action = std::function<void(Timestamp now)>;
+
+  EventQueue() = default;
+
+  void Schedule(Timestamp time, Action action);
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+
+  /// Scheduled time of the earliest event. Requires !empty().
+  Timestamp NextTime() const;
+
+  /// Fires all events with scheduled time <= now, in order. Returns the
+  /// number fired. Actions may schedule new events (including due ones,
+  /// which fire in the same call).
+  int FireDue(Timestamp now);
+
+ private:
+  struct Event {
+    Timestamp time;
+    uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace dsms
+
+#endif  // DSMS_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,396 @@
+#include "sim/experiment_spec.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "common/strings.h"
+#include "core/value.h"
+#include "exec/dfs_executor.h"
+#include "exec/greedy_memory_executor.h"
+#include "exec/round_robin_executor.h"
+#include "metrics/stats_report.h"
+#include "operators/sink.h"
+#include "operators/source.h"
+#include "sim/arrival_process.h"
+#include "sim/simulation.h"
+#include "sim/trace_loader.h"
+
+namespace dsms {
+namespace {
+
+/// A tokenized experiment statement: `type key=value ...` with an optional
+/// leading name token (feed/heartbeat have one; run does not).
+struct ExpStatement {
+  int line = 0;
+  std::string type;
+  std::string name;
+  std::map<std::string, std::string> args;
+};
+
+Status ParseExpStatement(int line_number, std::string_view line,
+                         bool has_name, ExpStatement* out) {
+  std::vector<std::string> tokens;
+  for (const std::string& piece : StrSplit(line, ' ')) {
+    std::string_view token = StripWhitespace(piece);
+    if (!token.empty()) tokens.emplace_back(token);
+  }
+  size_t arg_start = has_name ? 2 : 1;
+  if (tokens.size() < arg_start) {
+    return InvalidArgumentError(
+        StrFormat("line %d: malformed statement", line_number));
+  }
+  out->line = line_number;
+  out->type = tokens[0];
+  if (has_name) out->name = tokens[1];
+  for (size_t i = arg_start; i < tokens.size(); ++i) {
+    size_t eq = tokens[i].find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return InvalidArgumentError(StrFormat(
+          "line %d: malformed argument '%s'", line_number, tokens[i].c_str()));
+    }
+    out->args[tokens[i].substr(0, eq)] = tokens[i].substr(eq + 1);
+  }
+  return OkStatus();
+}
+
+Status GetArgDouble(const ExpStatement& s, const std::string& key,
+                    double default_value, bool required, double* out) {
+  auto it = s.args.find(key);
+  if (it == s.args.end()) {
+    if (required) {
+      return InvalidArgumentError(
+          StrFormat("line %d: missing %s=", s.line, key.c_str()));
+    }
+    *out = default_value;
+    return OkStatus();
+  }
+  if (!ParseDouble(it->second, out)) {
+    return InvalidArgumentError(
+        StrFormat("line %d: bad number for %s", s.line, key.c_str()));
+  }
+  return OkStatus();
+}
+
+Status GetArgInt(const ExpStatement& s, const std::string& key,
+                 int64_t default_value, int64_t* out) {
+  auto it = s.args.find(key);
+  if (it == s.args.end()) {
+    *out = default_value;
+    return OkStatus();
+  }
+  if (!ParseInt64(it->second, out)) {
+    return InvalidArgumentError(
+        StrFormat("line %d: bad integer for %s", s.line, key.c_str()));
+  }
+  return OkStatus();
+}
+
+Status GetArgDuration(const ExpStatement& s, const std::string& key,
+                      Duration default_value, Duration* out) {
+  auto it = s.args.find(key);
+  if (it == s.args.end()) {
+    *out = default_value;
+    return OkStatus();
+  }
+  Status status = ParseDuration(it->second, out);
+  if (!status.ok()) {
+    return InvalidArgumentError(
+        StrFormat("line %d: %s", s.line, status.message().c_str()));
+  }
+  return OkStatus();
+}
+
+Status ParseFeed(const ExpStatement& s, FeedSpec* feed) {
+  feed->source = s.name;
+  if (s.args.count("trace") > 0) {
+    feed->kind = FeedSpec::Kind::kTrace;
+    feed->trace_path = s.args.at("trace");
+  } else {
+    auto it = s.args.find("process");
+    std::string process = it == s.args.end() ? "poisson" : it->second;
+    if (process == "poisson") {
+      feed->kind = FeedSpec::Kind::kPoisson;
+      DSMS_RETURN_IF_ERROR(GetArgDouble(s, "rate", 0, true, &feed->rate));
+    } else if (process == "constant") {
+      feed->kind = FeedSpec::Kind::kConstant;
+      DSMS_RETURN_IF_ERROR(GetArgDouble(s, "rate", 0, true, &feed->rate));
+    } else if (process == "bursty") {
+      feed->kind = FeedSpec::Kind::kBursty;
+      DSMS_RETURN_IF_ERROR(
+          GetArgDouble(s, "burst_rate", 100, false, &feed->burst_rate));
+      DSMS_RETURN_IF_ERROR(
+          GetArgDouble(s, "idle_rate", 1, false, &feed->idle_rate));
+      DSMS_RETURN_IF_ERROR(GetArgDuration(s, "burst_len",
+                                          200 * kMillisecond,
+                                          &feed->burst_length));
+      DSMS_RETURN_IF_ERROR(
+          GetArgDuration(s, "idle_len", 5 * kSecond, &feed->idle_length));
+    } else {
+      return InvalidArgumentError(StrFormat(
+          "line %d: unknown process '%s'", s.line, process.c_str()));
+    }
+  }
+  int64_t seed = 1;
+  DSMS_RETURN_IF_ERROR(GetArgInt(s, "seed", 1, &seed));
+  feed->seed = static_cast<uint64_t>(seed);
+
+  auto payload = s.args.find("payload");
+  if (payload != s.args.end() && payload->second == "randint") {
+    feed->payload = FeedSpec::Payload::kRandInt;
+    DSMS_RETURN_IF_ERROR(GetArgInt(s, "lo", 0, &feed->randint_lo));
+    DSMS_RETURN_IF_ERROR(GetArgInt(s, "hi", 100, &feed->randint_hi));
+    int64_t fields = 1;
+    DSMS_RETURN_IF_ERROR(GetArgInt(s, "fields", 1, &fields));
+    feed->payload_fields = static_cast<int>(fields);
+    if (feed->randint_lo > feed->randint_hi || feed->payload_fields < 1) {
+      return InvalidArgumentError(
+          StrFormat("line %d: bad randint payload spec", s.line));
+    }
+  } else if (payload != s.args.end() && payload->second != "seq") {
+    return InvalidArgumentError(StrFormat("line %d: unknown payload '%s'",
+                                          s.line, payload->second.c_str()));
+  }
+  return OkStatus();
+}
+
+Status ParseRun(const ExpStatement& s, RunSpec* run) {
+  DSMS_RETURN_IF_ERROR(
+      GetArgDuration(s, "horizon", 600 * kSecond, &run->horizon));
+  DSMS_RETURN_IF_ERROR(GetArgDuration(s, "warmup", 0, &run->warmup));
+  DSMS_RETURN_IF_ERROR(GetArgDuration(s, "ets_min_interval", 0,
+                                      &run->ets_min_interval));
+  auto ets = s.args.find("ets");
+  if (ets != s.args.end()) {
+    if (ets->second == "on-demand") {
+      run->ets = EtsMode::kOnDemand;
+    } else if (ets->second == "none") {
+      run->ets = EtsMode::kNone;
+    } else {
+      return InvalidArgumentError(
+          StrFormat("line %d: bad ets= '%s'", s.line, ets->second.c_str()));
+    }
+  }
+  auto executor = s.args.find("executor");
+  if (executor != s.args.end()) {
+    if (executor->second == "dfs") {
+      run->executor = ExecutorKind::kDfs;
+    } else if (executor->second == "round-robin") {
+      run->executor = ExecutorKind::kRoundRobin;
+    } else if (executor->second == "greedy-memory") {
+      run->executor = ExecutorKind::kGreedyMemory;
+    } else {
+      return InvalidArgumentError(StrFormat(
+          "line %d: bad executor= '%s'", s.line, executor->second.c_str()));
+    }
+  }
+  int64_t quantum = 8;
+  DSMS_RETURN_IF_ERROR(GetArgInt(s, "quantum", 8, &quantum));
+  if (quantum < 1) {
+    return InvalidArgumentError(StrFormat("line %d: quantum must be >= 1",
+                                          s.line));
+  }
+  run->quantum = static_cast<int>(quantum);
+  return OkStatus();
+}
+
+Simulation::PayloadFn MakePayload(const FeedSpec& feed) {
+  if (feed.payload == FeedSpec::Payload::kSequence) {
+    return Simulation::SequencePayload();
+  }
+  auto rng = std::make_shared<Pcg32>(feed.seed * 977 + 5);
+  int64_t lo = feed.randint_lo;
+  int64_t hi = feed.randint_hi;
+  int fields = feed.payload_fields;
+  return [rng, lo, hi, fields](uint64_t, Timestamp) {
+    std::vector<Value> values;
+    values.reserve(static_cast<size_t>(fields));
+    for (int i = 0; i < fields; ++i) values.emplace_back(rng->NextInt(lo, hi));
+    return values;
+  };
+}
+
+Result<std::unique_ptr<ArrivalProcess>> MakeProcess(const FeedSpec& feed) {
+  switch (feed.kind) {
+    case FeedSpec::Kind::kPoisson:
+      if (feed.rate <= 0) {
+        return InvalidArgumentError("feed " + feed.source +
+                                    ": rate must be positive");
+      }
+      return std::unique_ptr<ArrivalProcess>(
+          std::make_unique<PoissonProcess>(feed.rate, feed.seed));
+    case FeedSpec::Kind::kConstant:
+      if (feed.rate <= 0) {
+        return InvalidArgumentError("feed " + feed.source +
+                                    ": rate must be positive");
+      }
+      return std::unique_ptr<ArrivalProcess>(
+          std::make_unique<ConstantRateProcess>(feed.rate));
+    case FeedSpec::Kind::kBursty:
+      return std::unique_ptr<ArrivalProcess>(std::make_unique<BurstyProcess>(
+          feed.burst_rate, feed.idle_rate, feed.burst_length,
+          feed.idle_length, feed.seed));
+    case FeedSpec::Kind::kTrace: {
+      Result<std::vector<Timestamp>> trace =
+          LoadArrivalTrace(feed.trace_path);
+      if (!trace.ok()) return trace.status();
+      return std::unique_ptr<ArrivalProcess>(
+          std::make_unique<TraceProcess>(*trace));
+    }
+  }
+  return InternalError("unreachable feed kind");
+}
+
+}  // namespace
+
+Result<Experiment> ParseExperiment(std::string_view text) {
+  std::vector<std::string> plan_lines;
+  std::vector<ExpStatement> feeds;
+  std::vector<ExpStatement> heartbeats;
+  std::vector<ExpStatement> runs;
+
+  int line_number = 0;
+  for (const std::string& raw_line : StrSplit(text, '\n')) {
+    ++line_number;
+    std::string_view line = raw_line;
+    size_t comment = line.find('#');
+    if (comment != std::string_view::npos) line = line.substr(0, comment);
+    std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty()) continue;
+    ExpStatement statement;
+    if (StartsWith(stripped, "feed ")) {
+      Status status =
+          ParseExpStatement(line_number, stripped, /*has_name=*/true,
+                            &statement);
+      if (!status.ok()) return status;
+      feeds.push_back(std::move(statement));
+    } else if (StartsWith(stripped, "heartbeat ")) {
+      Status status =
+          ParseExpStatement(line_number, stripped, /*has_name=*/true,
+                            &statement);
+      if (!status.ok()) return status;
+      heartbeats.push_back(std::move(statement));
+    } else if (stripped == "run" || StartsWith(stripped, "run ")) {
+      Status status = ParseExpStatement(line_number, stripped,
+                                        /*has_name=*/false, &statement);
+      if (!status.ok()) return status;
+      runs.push_back(std::move(statement));
+    } else {
+      plan_lines.push_back(raw_line);
+    }
+  }
+
+  if (runs.size() > 1) {
+    return InvalidArgumentError(
+        StrFormat("line %d: duplicate run statement", runs[1].line));
+  }
+
+  Result<ParsedPlan> plan = ParsePlan(StrJoin(plan_lines, "\n"));
+  if (!plan.ok()) return plan.status();
+
+  Experiment experiment;
+  experiment.plan = std::move(*plan);
+
+  auto check_stream = [&experiment](const ExpStatement& s) -> Status {
+    Operator* op = experiment.plan.Find(s.name);
+    if (op == nullptr || dynamic_cast<Source*>(op) == nullptr) {
+      return InvalidArgumentError(StrFormat(
+          "line %d: '%s' does not name a stream", s.line, s.name.c_str()));
+    }
+    return OkStatus();
+  };
+
+  for (const ExpStatement& s : feeds) {
+    DSMS_RETURN_IF_ERROR(check_stream(s));
+    FeedSpec feed;
+    DSMS_RETURN_IF_ERROR(ParseFeed(s, &feed));
+    experiment.feeds.push_back(std::move(feed));
+  }
+  for (const ExpStatement& s : heartbeats) {
+    DSMS_RETURN_IF_ERROR(check_stream(s));
+    HeartbeatSpec heartbeat;
+    heartbeat.source = s.name;
+    DSMS_RETURN_IF_ERROR(
+        GetArgDuration(s, "period", kSecond, &heartbeat.period));
+    if (heartbeat.period <= 0) {
+      return InvalidArgumentError(
+          StrFormat("line %d: period must be positive", s.line));
+    }
+    DSMS_RETURN_IF_ERROR(GetArgDuration(s, "phase", 0, &heartbeat.phase));
+    experiment.heartbeats.push_back(heartbeat);
+  }
+  if (!runs.empty()) {
+    DSMS_RETURN_IF_ERROR(ParseRun(runs[0], &experiment.run));
+  }
+  if (experiment.feeds.empty()) {
+    return InvalidArgumentError("experiment declares no feeds");
+  }
+  return experiment;
+}
+
+Result<ExperimentReport> RunExperiment(Experiment* experiment) {
+  QueryGraph* graph = experiment->plan.graph.get();
+  if (graph == nullptr || !graph->validated()) {
+    return FailedPreconditionError("experiment has no validated plan");
+  }
+
+  VirtualClock clock;
+  ExecConfig config;
+  config.ets.mode = experiment->run.ets;
+  config.ets.min_interval = experiment->run.ets_min_interval;
+  std::unique_ptr<Executor> executor;
+  switch (experiment->run.executor) {
+    case ExecutorKind::kDfs:
+      executor = std::make_unique<DfsExecutor>(graph, &clock, config);
+      break;
+    case ExecutorKind::kRoundRobin:
+      executor = std::make_unique<RoundRobinExecutor>(
+          graph, &clock, config, experiment->run.quantum);
+      break;
+    case ExecutorKind::kGreedyMemory:
+      executor =
+          std::make_unique<GreedyMemoryExecutor>(graph, &clock, config);
+      break;
+  }
+
+  Simulation sim(graph, executor.get(), &clock);
+  for (const FeedSpec& feed : experiment->feeds) {
+    auto* source = dynamic_cast<Source*>(experiment->plan.Find(feed.source));
+    DSMS_CHECK(source != nullptr);  // Checked during parse.
+    Result<std::unique_ptr<ArrivalProcess>> process = MakeProcess(feed);
+    if (!process.ok()) return process.status();
+    sim.AddFeed(source, std::move(*process), MakePayload(feed),
+                /*jitter_seed=*/feed.seed * 31 + 7);
+  }
+  for (const HeartbeatSpec& heartbeat : experiment->heartbeats) {
+    auto* source =
+        dynamic_cast<Source*>(experiment->plan.Find(heartbeat.source));
+    DSMS_CHECK(source != nullptr);
+    sim.AddHeartbeat(source, heartbeat.period, heartbeat.phase);
+  }
+
+  sim.Run(experiment->run.horizon, experiment->run.warmup);
+
+  ExperimentReport report;
+  report.end_time = clock.now();
+  for (Sink* sink : graph->sinks()) {
+    SinkReport sr;
+    sr.name = sink->name();
+    sr.tuples = sink->data_delivered();
+    sr.mean_latency_ms = sink->latency().mean_ms();
+    sr.p99_latency_ms = sink->latency().p99_us() / 1000.0;
+    report.sinks.push_back(std::move(sr));
+  }
+  report.peak_queue_total = sim.queue_tracker().peak_total();
+  report.ets_generated = executor->ets_generated();
+  report.exec = executor->stats();
+  report.operator_stats = OperatorStatsString(*graph);
+  return report;
+}
+
+}  // namespace dsms

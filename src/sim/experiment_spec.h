@@ -1,0 +1,104 @@
+#ifndef DSMS_SIM_EXPERIMENT_SPEC_H_
+#define DSMS_SIM_EXPERIMENT_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+#include "exec/ets_policy.h"
+#include "exec/exec_stats.h"
+#include "graph/plan_parser.h"
+#include "sim/scenario.h"
+
+namespace dsms {
+
+/// A self-contained experiment description: a query plan (the statements of
+/// graph/plan_parser.h) plus execution statements, all in one text file:
+///
+///   feed NAME process=poisson rate=50 [seed=N] [payload=seq]
+///   feed NAME process=constant rate=10
+///   feed NAME process=bursty burst_rate=500 idle_rate=1
+///        burst_len=200ms idle_len=5s [seed=N]
+///   feed NAME trace=/path/to/arrivals.txt
+///   feed NAME ... payload=randint lo=0 hi=100 fields=2
+///   heartbeat NAME period=100ms [phase=10ms]
+///   run [horizon=600s] [warmup=30s] [ets=on-demand|none]
+///       [executor=dfs|round-robin] [quantum=8] [ets_min_interval=DUR]
+///
+/// `feed` and `heartbeat` reference `stream` operators declared in the plan;
+/// `run` may appear at most once (defaults apply otherwise). This is what
+/// the `streamets_run` example binary executes.
+struct FeedSpec {
+  enum class Kind { kPoisson, kConstant, kBursty, kTrace };
+  enum class Payload { kSequence, kRandInt };
+
+  std::string source;
+  Kind kind = Kind::kPoisson;
+  double rate = 1.0;
+  double burst_rate = 100.0;
+  double idle_rate = 1.0;
+  Duration burst_length = 200 * kMillisecond;
+  Duration idle_length = 5 * kSecond;
+  std::string trace_path;
+  uint64_t seed = 1;
+  Payload payload = Payload::kSequence;
+  int64_t randint_lo = 0;
+  int64_t randint_hi = 100;
+  int payload_fields = 1;
+};
+
+struct HeartbeatSpec {
+  std::string source;
+  Duration period = kSecond;
+  Duration phase = 0;
+};
+
+struct RunSpec {
+  Duration horizon = 600 * kSecond;
+  Duration warmup = 0;
+  EtsMode ets = EtsMode::kOnDemand;
+  ExecutorKind executor = ExecutorKind::kDfs;
+  int quantum = 8;
+  Duration ets_min_interval = 0;
+};
+
+struct Experiment {
+  ParsedPlan plan;
+  std::vector<FeedSpec> feeds;
+  std::vector<HeartbeatSpec> heartbeats;
+  RunSpec run;
+};
+
+/// Parses a combined plan + experiment text. Feed/heartbeat source names
+/// are resolved against the plan (must name `stream` statements).
+Result<Experiment> ParseExperiment(std::string_view text);
+
+/// Per-sink results of an experiment run.
+struct SinkReport {
+  std::string name;
+  uint64_t tuples = 0;
+  double mean_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
+};
+
+struct ExperimentReport {
+  Timestamp end_time = 0;
+  std::vector<SinkReport> sinks;
+  int64_t peak_queue_total = 0;
+  uint64_t ets_generated = 0;
+  ExecStats exec;
+  /// Per-operator counters (metrics/stats_report.h), pre-rendered.
+  std::string operator_stats;
+};
+
+/// Builds the executor and simulation described by `experiment`, runs it,
+/// and collects the report. The experiment's graph is consumed (buffers
+/// retain final state, usable for further inspection).
+Result<ExperimentReport> RunExperiment(Experiment* experiment);
+
+}  // namespace dsms
+
+#endif  // DSMS_SIM_EXPERIMENT_SPEC_H_

@@ -1,0 +1,253 @@
+#include "sim/scenario.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/strings.h"
+#include "exec/dfs_executor.h"
+#include "exec/greedy_memory_executor.h"
+#include "exec/round_robin_executor.h"
+#include "graph/graph_builder.h"
+#include "sim/arrival_process.h"
+#include "sim/simulation.h"
+
+namespace dsms {
+namespace {
+
+TimestampKind EffectiveTsKind(const ScenarioConfig& config) {
+  return config.kind == ScenarioKind::kLatent ? TimestampKind::kLatent
+                                              : config.ts_kind;
+}
+
+std::unique_ptr<ArrivalProcess> MakeFastProcess(const ScenarioConfig& config) {
+  switch (config.arrivals) {
+    case ArrivalKind::kPoisson:
+      return std::make_unique<PoissonProcess>(config.fast_rate,
+                                              config.seed * 31 + 1);
+    case ArrivalKind::kConstant:
+      return std::make_unique<ConstantRateProcess>(config.fast_rate);
+    case ArrivalKind::kBursty:
+      return std::make_unique<BurstyProcess>(
+          config.burst_rate, config.idle_rate, config.mean_burst_length,
+          config.mean_idle_length, config.seed * 31 + 1);
+  }
+  return nullptr;
+}
+
+std::unique_ptr<ArrivalProcess> MakeSlowProcess(const ScenarioConfig& config,
+                                                int index) {
+  uint64_t seed = config.seed * 31 + 100 + static_cast<uint64_t>(index);
+  if (config.arrivals == ArrivalKind::kConstant) {
+    return std::make_unique<ConstantRateProcess>(config.slow_rate);
+  }
+  return std::make_unique<PoissonProcess>(config.slow_rate, seed);
+}
+
+}  // namespace
+
+const char* ScenarioKindToString(ScenarioKind kind) {
+  switch (kind) {
+    case ScenarioKind::kNoEts:
+      return "A:no-ets";
+    case ScenarioKind::kPeriodicEts:
+      return "B:periodic";
+    case ScenarioKind::kOnDemandEts:
+      return "C:on-demand";
+    case ScenarioKind::kLatent:
+      return "D:latent";
+  }
+  return "unknown";
+}
+
+std::string ScenarioResult::ToString() const {
+  return StrFormat(
+      "latency(ms) mean=%.4f p50=%.4f p99=%.4f max=%.4f | out=%llu | "
+      "peak_queue=%lld (data %lld) | idle=%.4f%% (%llu intervals) | "
+      "ets=%llu punct_steps=%llu punct_sink=%llu",
+      mean_latency_ms, p50_latency_ms, p99_latency_ms, max_latency_ms,
+      static_cast<unsigned long long>(tuples_delivered),
+      static_cast<long long>(peak_queue_total),
+      static_cast<long long>(peak_queue_data), idle_fraction * 100.0,
+      static_cast<unsigned long long>(blocked_intervals),
+      static_cast<unsigned long long>(ets_generated),
+      static_cast<unsigned long long>(punctuation_steps),
+      static_cast<unsigned long long>(punctuation_eliminated));
+}
+
+ScenarioResult RunScenario(const ScenarioConfig& config) {
+  TimestampKind ts_kind = EffectiveTsKind(config);
+  bool ordered = ts_kind != TimestampKind::kLatent;
+
+  GraphBuilder builder;
+  std::vector<Source*> sources;
+  Operator* measured = nullptr;  // The IWP / window operator under study.
+  Sink* sink = nullptr;
+
+  if (config.shape == QueryShape::kUnion) {
+    DSMS_CHECK_GE(config.num_slow_streams, 1);
+    Source* fast =
+        builder.AddSource("S1", ts_kind, config.skew_bound);
+    sources.push_back(fast);
+    auto* f1 = builder.AddRandomDropFilter("F1", config.selectivity,
+                                           config.seed * 7 + 11);
+    builder.Connect(fast, f1);
+    Union* u = builder.AddUnion("U", ordered, config.use_tsm_registers);
+    builder.Connect(f1, u);
+    for (int i = 0; i < config.num_slow_streams; ++i) {
+      Source* slow = builder.AddSource(StrFormat("S%d", i + 2), ts_kind,
+                                       config.skew_bound);
+      sources.push_back(slow);
+      auto* f = builder.AddRandomDropFilter(StrFormat("F%d", i + 2),
+                                            config.selectivity,
+                                            config.seed * 7 + 13 +
+                                                static_cast<uint64_t>(i));
+      builder.Connect(slow, f);
+      builder.Connect(f, u);
+    }
+    sink = builder.AddSink("OUT");
+    builder.Connect(u, sink);
+    measured = u;
+  } else if (config.shape == QueryShape::kJoin) {
+    Source* fast = builder.AddSource("S1", ts_kind, config.skew_bound);
+    Source* slow = builder.AddSource("S2", ts_kind, config.skew_bound);
+    sources.push_back(fast);
+    sources.push_back(slow);
+    auto* f1 = builder.AddRandomDropFilter("F1", config.selectivity,
+                                           config.seed * 7 + 11);
+    auto* f2 = builder.AddRandomDropFilter("F2", config.selectivity,
+                                           config.seed * 7 + 13);
+    builder.Connect(fast, f1);
+    builder.Connect(slow, f2);
+    WindowJoin* join = builder.AddWindowJoin(
+        "J", config.join_window, config.join_window,
+        /*predicate=*/nullptr, ordered);
+    builder.Connect(f1, join);
+    builder.Connect(f2, join);
+    sink = builder.AddSink("OUT");
+    builder.Connect(join, sink);
+    measured = join;
+  } else {  // kAggregate
+    // A busy side component shares the scheduler: every one of its
+    // activations gives the executor a chance to resume the aggregate's
+    // pending backtrack and close due windows (on-demand ETS is driven by
+    // execution, so an otherwise-idle DSMS cannot close windows by itself —
+    // see DESIGN.md).
+    Source* side = builder.AddSource("SIDE", ts_kind, config.skew_bound);
+    Sink* side_sink = builder.AddSink("SIDE_OUT");
+    builder.Connect(side, side_sink);
+    sources.push_back(side);
+
+    Source* slow = builder.AddSource("S1", ts_kind, config.skew_bound);
+    sources.push_back(slow);
+    auto* f1 = builder.AddRandomDropFilter("F1", config.selectivity,
+                                           config.seed * 7 + 11);
+    builder.Connect(slow, f1);
+    WindowAggregate* agg = builder.AddWindowAggregate(
+        "AGG", AggKind::kCount, /*field=*/0, config.agg_window,
+        config.agg_slide);
+    builder.Connect(f1, agg);
+    sink = builder.AddSink("OUT");
+    builder.Connect(agg, sink);
+    measured = agg;
+  }
+
+  for (Source* source : sources) {
+    source->set_timestamp_granularity(config.timestamp_granularity);
+  }
+
+  Result<std::unique_ptr<QueryGraph>> graph_or = builder.Build();
+  DSMS_CHECK_OK(graph_or.status());
+  std::unique_ptr<QueryGraph> graph = std::move(graph_or).value();
+
+  ExecConfig exec_config;
+  exec_config.costs = config.costs;
+  exec_config.ets.mode = config.kind == ScenarioKind::kOnDemandEts
+                             ? EtsMode::kOnDemand
+                             : EtsMode::kNone;
+  exec_config.ets.min_interval = config.ets_min_interval;
+
+  VirtualClock clock;
+  std::unique_ptr<Executor> executor;
+  switch (config.executor) {
+    case ExecutorKind::kDfs:
+      executor =
+          std::make_unique<DfsExecutor>(graph.get(), &clock, exec_config);
+      break;
+    case ExecutorKind::kRoundRobin:
+      executor = std::make_unique<RoundRobinExecutor>(
+          graph.get(), &clock, exec_config, config.rr_quantum);
+      break;
+    case ExecutorKind::kGreedyMemory:
+      executor = std::make_unique<GreedyMemoryExecutor>(graph.get(), &clock,
+                                                        exec_config);
+      break;
+  }
+
+  // Self-check every delivery for timestamp-order violations; the paper's
+  // operators are order-preserving by construction, so any violation is an
+  // implementation bug worth failing loudly in tests.
+  uint64_t order_violations = 0;
+  if (ordered) {
+    auto last_ts = std::make_shared<Timestamp>(kMinTimestamp);
+    sink->set_callback(
+        [last_ts, &order_violations](const Tuple& t, Timestamp) {
+          if (t.has_timestamp()) {
+            if (t.timestamp() < *last_ts) ++order_violations;
+            *last_ts = t.timestamp();
+          }
+        });
+  }
+
+  Simulation sim(graph.get(), executor.get(), &clock);
+  for (size_t i = 0; i < sources.size(); ++i) {
+    // sources[0] is the fast stream in every shape (the side component for
+    // kAggregate); all others are slow streams.
+    std::unique_ptr<ArrivalProcess> process =
+        i == 0 ? MakeFastProcess(config)
+               : MakeSlowProcess(config, static_cast<int>(i));
+    sim.AddFeed(sources[i], std::move(process), Simulation::SequencePayload(),
+                /*jitter_seed=*/config.seed * 131 + i);
+  }
+  if (config.kind == ScenarioKind::kPeriodicEts &&
+      config.heartbeat_rate > 0.0) {
+    Duration period = SecondsToDuration(1.0 / config.heartbeat_rate);
+    if (period < 1) period = 1;
+    for (size_t i = 0; i < sources.size(); ++i) {
+      bool is_fast = i == 0;
+      if (is_fast && !config.heartbeat_fast) continue;
+      // Stagger phases so heartbeats on different streams do not collide.
+      sim.AddHeartbeat(sources[i], period,
+                       static_cast<Duration>(i) * (period / 7 + 1));
+    }
+  }
+
+  sim.Run(config.horizon, config.warmup);
+
+  ScenarioResult result;
+  const LatencyRecorder& latency = sink->latency();
+  result.mean_latency_ms = latency.mean_us() / 1000.0;
+  result.p50_latency_ms = latency.histogram().Quantile(0.5) / 1000.0;
+  result.p99_latency_ms = latency.p99_us() / 1000.0;
+  result.max_latency_ms = static_cast<double>(latency.max_us()) / 1000.0;
+  result.tuples_delivered = latency.count();
+  result.peak_queue_total = sim.queue_tracker().peak_total();
+  result.peak_queue_data = sim.queue_tracker().peak_data();
+  if (const IdleWaitTracker* tracker =
+          executor->idle_tracker(measured->id())) {
+    result.idle_fraction = tracker->IdleFraction(0, clock.now());
+    result.blocked_intervals =
+        static_cast<uint64_t>(tracker->blocked_intervals());
+  }
+  result.ets_generated = executor->ets_generated();
+  result.punctuation_steps = executor->stats().punctuation_steps;
+  result.punctuation_eliminated = sink->punctuation_eliminated();
+  result.order_violations = order_violations;
+  result.buffer_order_violations = sim.order_validator().violations();
+  result.exec = executor->stats();
+  return result;
+}
+
+}  // namespace dsms

@@ -1,0 +1,139 @@
+#ifndef DSMS_SIM_SCENARIO_H_
+#define DSMS_SIM_SCENARIO_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/time.h"
+#include "core/tuple.h"
+#include "exec/exec_stats.h"
+#include "exec/executor.h"
+
+namespace dsms {
+
+/// The four timestamp-management strategies compared in Section 6.
+enum class ScenarioKind {
+  kNoEts = 0,       // A: internally timestamped, no punctuation at all
+  kPeriodicEts = 1, // B: internal timestamps + periodic heartbeats [9]
+  kOnDemandEts = 2, // C: internal timestamps + on-demand ETS (this paper)
+  kLatent = 3,      // D: latent timestamps (optimal baseline)
+};
+
+const char* ScenarioKindToString(ScenarioKind kind);
+
+enum class ExecutorKind {
+  kDfs = 0,
+  kRoundRobin = 1,
+  kGreedyMemory = 2,
+};
+
+/// Query graph shapes used by the experiments and ablations.
+enum class QueryShape {
+  /// The paper's graph: N streams -> selection each -> union -> sink.
+  kUnion = 0,
+  /// Two streams -> selection each -> symmetric window join -> sink.
+  kJoin = 1,
+  /// One stream -> selection -> tumbling/sliding window aggregate -> sink.
+  kAggregate = 2,
+};
+
+enum class ArrivalKind {
+  kPoisson = 0,
+  kConstant = 1,
+  kBursty = 2,  // fast stream bursty (MMPP); slow streams stay Poisson
+};
+
+/// Full parameterization of one experiment run. Defaults reproduce the
+/// paper's setup: Poisson 50 / 0.05 tuples/s, 95% selectivity filters,
+/// binary union, internal timestamps, DFS execution.
+struct ScenarioConfig {
+  ScenarioKind kind = ScenarioKind::kOnDemandEts;
+  ExecutorKind executor = ExecutorKind::kDfs;
+  QueryShape shape = QueryShape::kUnion;
+  ArrivalKind arrivals = ArrivalKind::kPoisson;
+
+  double fast_rate = 50.0;   // tuples/s on stream 1
+  double slow_rate = 0.05;   // tuples/s on each further stream
+  int num_slow_streams = 1;  // union fan-in = 1 + num_slow_streams
+  double selectivity = 0.95;
+
+  /// B only: heartbeat punctuations per second injected into each slow
+  /// stream (the sparse side, as in the paper).
+  double heartbeat_rate = 0.0;
+  /// B only: also inject heartbeats into the fast stream.
+  bool heartbeat_fast = false;
+
+  /// kInternal (paper's main experiments) or kExternal (δ ablation).
+  /// Ignored when kind == kLatent.
+  TimestampKind ts_kind = TimestampKind::kInternal;
+  Duration skew_bound = 0;  // δ for external timestamps
+
+  /// Internal-timestamp granularity (Section 4.1 ablation): coarse values
+  /// produce simultaneous tuples.
+  Duration timestamp_granularity = 1;
+
+  /// false selects the basic Figure-1 union (no TSM registers), the
+  /// baseline for bench/abl_simultaneous.
+  bool use_tsm_registers = true;
+
+  Duration join_window = 2 * kSecond;   // per side, kJoin
+  Duration agg_window = kSecond;        // kAggregate
+  Duration agg_slide = kSecond;
+
+  // MMPP parameters for ArrivalKind::kBursty (applied to the fast stream).
+  double burst_rate = 500.0;
+  double idle_rate = 1.0;
+  Duration mean_burst_length = 200 * kMillisecond;
+  Duration mean_idle_length = 5 * kSecond;
+
+  CostModel costs;
+  Duration ets_min_interval = 0;
+  int rr_quantum = 8;
+
+  uint64_t seed = 42;
+  Duration horizon = 600 * kSecond;
+  Duration warmup = 30 * kSecond;
+};
+
+/// Headline measurements of one run; see bench/ for how these map onto the
+/// paper's figures.
+struct ScenarioResult {
+  // Output latency at the sink (Figure 7).
+  double mean_latency_ms = 0.0;
+  double p50_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
+  double max_latency_ms = 0.0;
+  uint64_t tuples_delivered = 0;
+
+  // Queue occupancy across all arcs (Figure 8).
+  int64_t peak_queue_total = 0;
+  int64_t peak_queue_data = 0;
+
+  // Idle-waiting of the graph's IWP operator (Section 6 text).
+  double idle_fraction = 0.0;
+  uint64_t blocked_intervals = 0;
+
+  // Punctuation machinery.
+  uint64_t ets_generated = 0;
+  uint64_t punctuation_steps = 0;
+  uint64_t punctuation_eliminated = 0;
+
+  // Self-checks (both must be 0 for timestamped scenarios): delivered
+  // tuples whose timestamp was below a previously delivered one, and
+  // per-arc pushes that violated a buffer's running timestamp bound.
+  uint64_t order_violations = 0;
+  uint64_t buffer_order_violations = 0;
+
+  ExecStats exec;
+
+  std::string ToString() const;
+};
+
+/// Builds the configured graph, wires feeds and heartbeats, runs the
+/// simulation for config.horizon, and collects results. Deterministic per
+/// config (all randomness is seeded from config.seed).
+ScenarioResult RunScenario(const ScenarioConfig& config);
+
+}  // namespace dsms
+
+#endif  // DSMS_SIM_SCENARIO_H_

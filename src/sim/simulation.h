@@ -1,0 +1,107 @@
+#ifndef DSMS_SIM_SIMULATION_H_
+#define DSMS_SIM_SIMULATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "common/time.h"
+#include "core/value.h"
+#include "exec/executor.h"
+#include "graph/query_graph.h"
+#include "metrics/order_validator.h"
+#include "metrics/queue_size_tracker.h"
+#include "operators/source.h"
+#include "sim/arrival_process.h"
+#include "sim/event_queue.h"
+
+namespace dsms {
+
+/// Discrete-event simulation driver: wires arrival processes (standing in
+/// for Stream Mill's input wrappers) and periodic heartbeat injectors
+/// (scenario B, after Johnson et al.) to the Sources of a query graph, and
+/// interleaves event delivery with executor steps on a shared virtual clock.
+///
+/// Timing semantics: an event *scheduled* at time t is *delivered* at the
+/// first step boundary with clock >= t (a busy executor delays delivery,
+/// like a busy DSMS process servicing its input socket late). Tuples are
+/// stamped and their latency measured from the delivery instant.
+///
+/// A QueueSizeTracker is attached to every arc of the graph for the
+/// peak-total-queue-size metric of Figure 8.
+class Simulation {
+ public:
+  /// Payload generator: receives the per-feed arrival ordinal and the
+  /// delivery time.
+  using PayloadFn = std::function<std::vector<Value>(uint64_t seq,
+                                                     Timestamp now)>;
+
+  /// Neither graph, executor nor clock are owned; all must outlive the
+  /// simulation. The executor must run over `graph` and share `clock`.
+  Simulation(QueryGraph* graph, Executor* executor, VirtualClock* clock);
+  ~Simulation();
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Returns a payload of one int64 value equal to the arrival ordinal.
+  static PayloadFn SequencePayload();
+
+  /// Attaches an arrival process to `source`. For external-timestamp
+  /// sources, each tuple's application timestamp is the delivery time minus
+  /// a uniform jitter in [0, source->skew_bound()), monotonically clamped —
+  /// so the source's declared skew bound δ truly bounds the skew.
+  void AddFeed(Source* source, std::unique_ptr<ArrivalProcess> process,
+               PayloadFn payload = SequencePayload(), uint64_t jitter_seed = 1);
+
+  /// Periodic heartbeat punctuation into `source` every `period`, starting
+  /// at `phase` (scenario B; the punctuation carries the delivery time).
+  void AddHeartbeat(Source* source, Duration period, Duration phase = 0);
+
+  /// Runs until the virtual clock reaches `end_time`. May be called
+  /// repeatedly with increasing horizons. If `warmup` is positive (and not
+  /// yet applied), latency and peak-queue metrics are reset when the clock
+  /// first passes it, so steady-state figures exclude ramp-up.
+  void Run(Timestamp end_time, Timestamp warmup = 0);
+
+  const QueueSizeTracker& queue_tracker() const { return queue_tracker_; }
+
+  /// Always-on invariant checker: counts per-arc timestamp-order
+  /// violations (must be 0; see metrics/order_validator.h).
+  const OrderValidator& order_validator() const { return order_validator_; }
+
+  EventQueue& events() { return events_; }
+  Timestamp now() const { return clock_->now(); }
+  uint64_t events_delivered() const { return events_delivered_; }
+
+ private:
+  struct Feed {
+    Source* source;
+    std::unique_ptr<ArrivalProcess> process;
+    PayloadFn payload;
+    Pcg32 jitter_rng;
+    uint64_t seq = 0;
+    Timestamp last_app_ts = kMinTimestamp;
+  };
+
+  void ScheduleNextArrival(Feed* feed, Timestamp after);
+  void DeliverArrival(Feed* feed, Timestamp now);
+  void ResetSteadyStateMetrics();
+
+  QueryGraph* graph_;
+  Executor* executor_;
+  VirtualClock* clock_;
+  EventQueue events_;
+  QueueSizeTracker queue_tracker_;
+  OrderValidator order_validator_;
+  std::vector<std::unique_ptr<Feed>> feeds_;
+  uint64_t events_delivered_ = 0;
+  bool warmup_applied_ = false;
+};
+
+}  // namespace dsms
+
+#endif  // DSMS_SIM_SIMULATION_H_

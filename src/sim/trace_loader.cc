@@ -1,0 +1,51 @@
+#include "sim/trace_loader.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/strings.h"
+#include "graph/plan_parser.h"
+
+namespace dsms {
+
+Result<std::vector<Timestamp>> ParseArrivalTrace(std::string_view text) {
+  std::vector<Timestamp> times;
+  int line_number = 0;
+  for (const std::string& raw_line : StrSplit(text, '\n')) {
+    ++line_number;
+    std::string_view line = raw_line;
+    size_t comment = line.find('#');
+    if (comment != std::string_view::npos) line = line.substr(0, comment);
+    line = StripWhitespace(line);
+    if (line.empty()) continue;
+    Duration t = 0;
+    Status status = ParseDuration(line, &t);
+    if (!status.ok()) {
+      return InvalidArgumentError(StrFormat("trace line %d: %s", line_number,
+                                            status.message().c_str()));
+    }
+    if (!times.empty() && t <= times.back()) {
+      return InvalidArgumentError(StrFormat(
+          "trace line %d: arrival times must be strictly increasing",
+          line_number));
+    }
+    times.push_back(t);
+  }
+  if (times.empty()) return InvalidArgumentError("empty arrival trace");
+  return times;
+}
+
+Result<std::vector<Timestamp>> LoadArrivalTrace(const std::string& path) {
+  std::ifstream file(path);
+  if (!file.is_open()) {
+    return NotFoundError("cannot open trace file: " + path);
+  }
+  std::ostringstream contents;
+  contents << file.rdbuf();
+  return ParseArrivalTrace(contents.str());
+}
+
+}  // namespace dsms

@@ -1,0 +1,24 @@
+#ifndef DSMS_SIM_TRACE_LOADER_H_
+#define DSMS_SIM_TRACE_LOADER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+
+namespace dsms {
+
+/// Parses an arrival trace: one arrival time per line, as a duration
+/// expression with optional unit suffix (`1500us`, `2.5ms`, `3s`; bare
+/// integers are microseconds), `#` comments and blank lines ignored.
+/// Times must be strictly increasing. Feed the result to TraceProcess.
+Result<std::vector<Timestamp>> ParseArrivalTrace(std::string_view text);
+
+/// ParseArrivalTrace over a file's contents.
+Result<std::vector<Timestamp>> LoadArrivalTrace(const std::string& path);
+
+}  // namespace dsms
+
+#endif  // DSMS_SIM_TRACE_LOADER_H_

@@ -1,0 +1,145 @@
+// Parameterized conservation properties for the window aggregates: counts
+// and sums over windows must equal the totals of the tuples fed in,
+// regardless of arrival pattern, window geometry, or grouping.
+
+#include <cstdint>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/stream_buffer.h"
+#include "core/tuple.h"
+#include "core/value.h"
+#include "operators/grouped_aggregate.h"
+#include "operators/operator.h"
+#include "operators/window_aggregate.h"
+
+namespace dsms {
+namespace {
+
+class TumblingCountConservation
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int>> {};
+
+TEST_P(TumblingCountConservation, WindowCountsSumToTotal) {
+  auto [seed, window_ms] = GetParam();
+  const Duration window = window_ms * kMillisecond;
+  WindowAggregate agg("a", AggKind::kCount, 0, window, window);
+  StreamBuffer in("in");
+  StreamBuffer out("out");
+  agg.AddInput(&in);
+  agg.AddOutput(&out);
+  ManualExecContext ctx;
+
+  Pcg32 rng(seed);
+  Timestamp ts = 0;
+  const int n = 500;
+  for (int i = 0; i < n; ++i) {
+    ts += rng.NextInt(1, 50 * kMillisecond);
+    in.Push(Tuple::MakeData(ts, {Value(int64_t{1})}));
+  }
+  in.Push(Tuple::MakePunctuation(ts + window));
+  for (int guard = 0; guard < 100000 && agg.Step(ctx).more; ++guard) {
+  }
+
+  double total = 0;
+  Timestamp previous = kMinTimestamp;
+  while (!out.empty()) {
+    Tuple t = out.Pop();
+    EXPECT_GE(t.timestamp(), previous);  // ordered output
+    previous = t.timestamp();
+    if (t.is_data()) total += t.value(1).AsDouble();
+  }
+  EXPECT_DOUBLE_EQ(total, static_cast<double>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TumblingCountConservation,
+    ::testing::Combine(::testing::Values<uint64_t>(1, 2, 3, 4, 5),
+                       ::testing::Values(10, 100, 1000)));
+
+class SlidingSumOvercount
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int>> {};
+
+TEST_P(SlidingSumOvercount, EachTupleCountedOncePerCoveringWindow) {
+  // window = k * slide: every tuple lies in exactly k windows, so the sum
+  // over all window sums equals k times the total.
+  auto [seed, k] = GetParam();
+  const Duration slide = 100 * kMillisecond;
+  const Duration window = k * slide;
+  WindowAggregate agg("a", AggKind::kSum, 0, window, slide);
+  StreamBuffer in("in");
+  StreamBuffer out("out");
+  agg.AddInput(&in);
+  agg.AddOutput(&out);
+  ManualExecContext ctx;
+
+  Pcg32 rng(seed);
+  Timestamp ts = window;  // keep clear of the partial leading windows
+  double fed = 0;
+  for (int i = 0; i < 300; ++i) {
+    ts += rng.NextInt(1, 30 * kMillisecond);
+    int64_t v = rng.NextInt(1, 9);
+    fed += static_cast<double>(v);
+    in.Push(Tuple::MakeData(ts, {Value(v)}));
+  }
+  in.Push(Tuple::MakePunctuation(ts + window + slide));
+  for (int guard = 0; guard < 100000 && agg.Step(ctx).more; ++guard) {
+  }
+
+  double window_total = 0;
+  while (!out.empty()) {
+    Tuple t = out.Pop();
+    if (t.is_data()) window_total += t.value(1).AsDouble();
+  }
+  EXPECT_DOUBLE_EQ(window_total, static_cast<double>(k) * fed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SlidingSumOvercount,
+    ::testing::Combine(::testing::Values<uint64_t>(1, 2, 3),
+                       ::testing::Values(1, 2, 4)));
+
+class GroupedConservation : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GroupedConservation, PerGroupSumsMatchReference) {
+  const Duration window = 500 * kMillisecond;
+  GroupedWindowAggregate agg("g", AggKind::kSum, /*key_field=*/0,
+                             /*agg_field=*/1, window, window);
+  StreamBuffer in("in");
+  StreamBuffer out("out");
+  agg.AddInput(&in);
+  agg.AddOutput(&out);
+  ManualExecContext ctx;
+
+  Pcg32 rng(GetParam());
+  Timestamp ts = 0;
+  std::map<int64_t, double> reference;
+  for (int i = 0; i < 400; ++i) {
+    ts += rng.NextInt(1, 20 * kMillisecond);
+    int64_t key = rng.NextInt(0, 6);
+    int64_t v = rng.NextInt(1, 100);
+    reference[key] += static_cast<double>(v);
+    in.Push(Tuple::MakeData(ts, {Value(key), Value(v)}));
+  }
+  in.Push(Tuple::MakePunctuation(ts + window));
+  for (int guard = 0; guard < 100000 && agg.Step(ctx).more; ++guard) {
+  }
+
+  std::map<int64_t, double> actual;
+  while (!out.empty()) {
+    Tuple t = out.Pop();
+    if (t.is_data()) {
+      actual[t.value(1).int64_value()] += t.value(2).AsDouble();
+    }
+  }
+  EXPECT_EQ(actual, reference);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GroupedConservation,
+                         ::testing::Values<uint64_t>(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace dsms

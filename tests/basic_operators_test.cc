@@ -1,0 +1,383 @@
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/stream_buffer.h"
+#include "core/tuple.h"
+#include "core/value.h"
+#include "operators/filter.h"
+#include "operators/map.h"
+#include "operators/operator.h"
+#include "operators/project.h"
+#include "operators/sink.h"
+#include "operators/source.h"
+
+namespace dsms {
+namespace {
+
+Tuple DataTuple(Timestamp ts, int64_t v) {
+  return Tuple::MakeData(ts, {Value(v)});
+}
+
+TEST(FilterTest, KeepsMatchingDropsRest) {
+  StreamBuffer in("in");
+  StreamBuffer out("out");
+  Filter filter("f", [](const Tuple& t) { return t.value(0).int64_value() > 5; });
+  filter.AddInput(&in);
+  filter.AddOutput(&out);
+  ManualExecContext ctx;
+
+  in.Push(DataTuple(1, 10));
+  in.Push(DataTuple(2, 3));
+  StepResult r1 = filter.Step(ctx);
+  EXPECT_TRUE(r1.processed_data);
+  EXPECT_TRUE(r1.yield);
+  EXPECT_TRUE(r1.more);
+  StepResult r2 = filter.Step(ctx);
+  EXPECT_TRUE(r2.processed_data);
+  EXPECT_FALSE(r2.more);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.Front().value(0).int64_value(), 10);
+  EXPECT_EQ(filter.stats().data_in, 2u);
+  EXPECT_EQ(filter.stats().data_out, 1u);
+}
+
+TEST(FilterTest, PunctuationPassesThroughUnchanged) {
+  StreamBuffer in("in");
+  StreamBuffer out("out");
+  Filter filter("f", [](const Tuple&) { return false; });  // drops ALL data
+  filter.AddInput(&in);
+  filter.AddOutput(&out);
+  ManualExecContext ctx;
+
+  in.Push(Tuple::MakePunctuation(42));
+  StepResult r = filter.Step(ctx);
+  EXPECT_TRUE(r.processed_punctuation);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out.Front().is_punctuation());
+  EXPECT_EQ(out.Front().timestamp(), 42);
+}
+
+TEST(FilterTest, EmptyInputStep) {
+  StreamBuffer in("in");
+  StreamBuffer out("out");
+  Filter filter("f", [](const Tuple&) { return true; });
+  filter.AddInput(&in);
+  filter.AddOutput(&out);
+  ManualExecContext ctx;
+  StepResult r = filter.Step(ctx);
+  EXPECT_FALSE(r.processed_data);
+  EXPECT_FALSE(r.more);
+  EXPECT_FALSE(r.yield);
+}
+
+TEST(FilterTest, YieldStaysTrueWhileOutputBuffered) {
+  // Footnote 4 of the paper: tuples may remain from earlier executions.
+  StreamBuffer in("in");
+  StreamBuffer out("out");
+  Filter filter("f", [](const Tuple&) { return true; });
+  filter.AddInput(&in);
+  filter.AddOutput(&out);
+  ManualExecContext ctx;
+  in.Push(DataTuple(1, 1));
+  filter.Step(ctx);
+  // Output not consumed; a further (empty) step still reports yield.
+  StepResult r = filter.Step(ctx);
+  EXPECT_TRUE(r.yield);
+}
+
+TEST(RandomDropFilterTest, SelectivityRespected) {
+  StreamBuffer in("in");
+  StreamBuffer out("out");
+  RandomDropFilter filter("f", 0.95, /*seed=*/7);
+  filter.AddInput(&in);
+  filter.AddOutput(&out);
+  ManualExecContext ctx;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    in.Push(DataTuple(i, i));
+    filter.Step(ctx);
+  }
+  double passed = static_cast<double>(out.size()) / n;
+  EXPECT_NEAR(passed, 0.95, 0.01);
+}
+
+TEST(RandomDropFilterTest, DeterministicBySeed) {
+  auto run = [](uint64_t seed) {
+    StreamBuffer in("in");
+    StreamBuffer out("out");
+    RandomDropFilter filter("f", 0.5, seed);
+    filter.AddInput(&in);
+    filter.AddOutput(&out);
+    ManualExecContext ctx;
+    std::vector<int64_t> kept;
+    for (int i = 0; i < 100; ++i) {
+      in.Push(DataTuple(i, i));
+      filter.Step(ctx);
+    }
+    while (!out.empty()) kept.push_back(out.Pop().value(0).int64_value());
+    return kept;
+  };
+  EXPECT_EQ(run(3), run(3));
+  EXPECT_NE(run(3), run(4));
+}
+
+TEST(RandomDropFilterTest, ExtremeSelectivities) {
+  StreamBuffer in("in");
+  StreamBuffer out("out");
+  RandomDropFilter none("f", 0.0, 1);
+  none.AddInput(&in);
+  none.AddOutput(&out);
+  ManualExecContext ctx;
+  in.Push(DataTuple(1, 1));
+  none.Step(ctx);
+  EXPECT_TRUE(out.empty());
+
+  StreamBuffer in2("in2");
+  StreamBuffer out2("out2");
+  RandomDropFilter all("g", 1.0, 1);
+  all.AddInput(&in2);
+  all.AddOutput(&out2);
+  in2.Push(DataTuple(1, 1));
+  all.Step(ctx);
+  EXPECT_EQ(out2.size(), 1u);
+}
+
+TEST(RandomDropFilterTest, NeverDropsPunctuation) {
+  StreamBuffer in("in");
+  StreamBuffer out("out");
+  RandomDropFilter filter("f", 0.0, 9);
+  filter.AddInput(&in);
+  filter.AddOutput(&out);
+  ManualExecContext ctx;
+  for (int i = 0; i < 50; ++i) {
+    in.Push(Tuple::MakePunctuation(i));
+    filter.Step(ctx);
+  }
+  EXPECT_EQ(out.size(), 50u);
+}
+
+TEST(ProjectTest, KeepsRequestedFieldsInOrder) {
+  StreamBuffer in("in");
+  StreamBuffer out("out");
+  Project project("p", {2, 0});
+  project.AddInput(&in);
+  project.AddOutput(&out);
+  ManualExecContext ctx;
+  in.Push(Tuple::MakeData(
+      5, {Value(int64_t{10}), Value(int64_t{20}), Value(int64_t{30})}));
+  project.Step(ctx);
+  ASSERT_EQ(out.size(), 1u);
+  const Tuple& t = out.Front();
+  ASSERT_EQ(t.num_values(), 2);
+  EXPECT_EQ(t.value(0).int64_value(), 30);
+  EXPECT_EQ(t.value(1).int64_value(), 10);
+  EXPECT_EQ(t.timestamp(), 5);
+}
+
+TEST(ProjectTest, DuplicateIndicesAllowed) {
+  StreamBuffer in("in");
+  StreamBuffer out("out");
+  Project project("p", {0, 0});
+  project.AddInput(&in);
+  project.AddOutput(&out);
+  ManualExecContext ctx;
+  in.Push(DataTuple(1, 7));
+  project.Step(ctx);
+  EXPECT_EQ(out.Front().num_values(), 2);
+}
+
+TEST(ProjectTest, PunctuationUntouched) {
+  StreamBuffer in("in");
+  StreamBuffer out("out");
+  Project project("p", {0});
+  project.AddInput(&in);
+  project.AddOutput(&out);
+  ManualExecContext ctx;
+  in.Push(Tuple::MakePunctuation(9));
+  project.Step(ctx);
+  EXPECT_TRUE(out.Front().is_punctuation());
+}
+
+TEST(MapTest, TransformsPayloadPreservesTimestamp) {
+  StreamBuffer in("in");
+  StreamBuffer out("out");
+  MapOp map("m", [](const std::vector<Value>& values) {
+    return std::vector<Value>{Value(values[0].int64_value() * 2)};
+  });
+  map.AddInput(&in);
+  map.AddOutput(&out);
+  ManualExecContext ctx;
+  Tuple t = DataTuple(33, 21);
+  t.set_arrival_time(30);
+  t.set_source_id(2);
+  in.Push(std::move(t));
+  map.Step(ctx);
+  const Tuple& result = out.Front();
+  EXPECT_EQ(result.value(0).int64_value(), 42);
+  EXPECT_EQ(result.timestamp(), 33);
+  EXPECT_EQ(result.arrival_time(), 30);
+  EXPECT_EQ(result.source_id(), 2);
+}
+
+TEST(CopyTest, FansOutToAllOutputs) {
+  StreamBuffer in("in");
+  StreamBuffer out1("o1");
+  StreamBuffer out2("o2");
+  CopyOp copy("c");
+  copy.AddInput(&in);
+  copy.AddOutput(&out1);
+  copy.AddOutput(&out2);
+  ManualExecContext ctx;
+  in.Push(DataTuple(1, 5));
+  copy.Step(ctx);
+  ASSERT_EQ(out1.size(), 1u);
+  ASSERT_EQ(out2.size(), 1u);
+  EXPECT_EQ(out1.Front().value(0).int64_value(), 5);
+  EXPECT_EQ(out2.Front().value(0).int64_value(), 5);
+}
+
+TEST(SourceTest, InternalStampsWithNow) {
+  StreamBuffer out("out");
+  Source source("s", 0, TimestampKind::kInternal);
+  source.AddOutput(&out);
+  source.Ingest({Value(int64_t{1})}, 500);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.Front().timestamp(), 500);
+  EXPECT_EQ(out.Front().arrival_time(), 500);
+  EXPECT_EQ(out.Front().sequence(), 0u);
+  EXPECT_EQ(source.promised_bound(), 500);
+}
+
+TEST(SourceTest, LatentCarriesNoTimestamp) {
+  StreamBuffer out("out");
+  Source source("s", 1, TimestampKind::kLatent);
+  source.AddOutput(&out);
+  source.Ingest({}, 500);
+  EXPECT_FALSE(out.Front().has_timestamp());
+  EXPECT_EQ(out.Front().arrival_time(), 500);
+}
+
+TEST(SourceTest, ExternalKeepsAppTimestamp) {
+  StreamBuffer out("out");
+  Source source("s", 0, TimestampKind::kExternal, /*skew_bound=*/100);
+  source.AddOutput(&out);
+  source.IngestExternal(450, {}, 500);
+  EXPECT_EQ(out.Front().timestamp(), 450);
+  EXPECT_EQ(out.Front().arrival_time(), 500);
+  EXPECT_EQ(out.Front().timestamp_kind(), TimestampKind::kExternal);
+}
+
+TEST(SourceTest, ComputeEtsInternalIsNow) {
+  StreamBuffer out("out");
+  Source source("s", 0, TimestampKind::kInternal);
+  source.AddOutput(&out);
+  auto ets = source.ComputeEts(1000);
+  ASSERT_TRUE(ets.has_value());
+  EXPECT_EQ(*ets, 1000);
+}
+
+TEST(SourceTest, ComputeEtsInternalSuppressedWhenNotAdvancing) {
+  StreamBuffer out("out");
+  Source source("s", 0, TimestampKind::kInternal);
+  source.AddOutput(&out);
+  source.Ingest({}, 1000);
+  EXPECT_FALSE(source.ComputeEts(1000).has_value());  // bound already 1000
+  EXPECT_TRUE(source.ComputeEts(1001).has_value());
+}
+
+TEST(SourceTest, ComputeEtsExternalUsesSkewFormula) {
+  // Section 5: ETS = t + τ − δ with t the last app timestamp, τ the time
+  // since its arrival, δ the skew bound.
+  StreamBuffer out("out");
+  Source source("s", 0, TimestampKind::kExternal, /*skew_bound=*/100);
+  source.AddOutput(&out);
+  EXPECT_FALSE(source.ComputeEts(1000).has_value());  // no tuple yet
+  source.IngestExternal(900, {}, 1000);
+  auto ets = source.ComputeEts(1500);  // τ = 500
+  ASSERT_TRUE(ets.has_value());
+  EXPECT_EQ(*ets, 900 + 500 - 100);
+}
+
+TEST(SourceTest, EmitEtsPushesPunctuation) {
+  StreamBuffer out("out");
+  Source source("s", 0, TimestampKind::kInternal);
+  source.AddOutput(&out);
+  EXPECT_TRUE(source.EmitEts(2000));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out.Front().is_punctuation());
+  EXPECT_EQ(out.Front().timestamp(), 2000);
+  EXPECT_EQ(source.ets_emitted(), 1u);
+  // Same instant again: no advancing bound, no punctuation.
+  EXPECT_FALSE(source.EmitEts(2000));
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(SourceTest, LatentNeverEmitsEts) {
+  StreamBuffer out("out");
+  Source source("s", 0, TimestampKind::kLatent);
+  source.AddOutput(&out);
+  EXPECT_FALSE(source.EmitEts(99));
+}
+
+TEST(SourceTest, StalePunctuationClampedToPromisedBound) {
+  StreamBuffer out("out");
+  Source source("s", 0, TimestampKind::kInternal);
+  source.AddOutput(&out);
+  source.Ingest({}, 1000);
+  source.InjectPunctuation(500);  // stale heartbeat
+  out.Pop();                      // data tuple
+  EXPECT_EQ(out.Front().timestamp(), 1000);  // clamped, order preserved
+}
+
+TEST(SinkTest, RecordsLatencyAndEliminatesPunctuation) {
+  StreamBuffer in("in");
+  Sink sink("out");
+  sink.AddInput(&in);
+  ManualExecContext ctx(150);
+  Tuple t = DataTuple(100, 1);
+  t.set_arrival_time(100);
+  in.Push(std::move(t));
+  in.Push(Tuple::MakePunctuation(120));
+  sink.Step(ctx);
+  sink.Step(ctx);
+  EXPECT_EQ(sink.data_delivered(), 1u);
+  EXPECT_EQ(sink.punctuation_eliminated(), 1u);
+  EXPECT_DOUBLE_EQ(sink.latency().mean_us(), 50.0);
+}
+
+TEST(SinkTest, CallbackAndCollection) {
+  StreamBuffer in("in");
+  Sink sink("out");
+  sink.AddInput(&in);
+  sink.set_collect(true);
+  int callbacks = 0;
+  sink.set_callback([&callbacks](const Tuple&, Timestamp) { ++callbacks; });
+  ManualExecContext ctx(10);
+  in.Push(DataTuple(1, 7));
+  in.Push(Tuple::MakePunctuation(2));
+  sink.Step(ctx);
+  sink.Step(ctx);
+  EXPECT_EQ(callbacks, 1);
+  ASSERT_EQ(sink.collected().size(), 1u);
+  EXPECT_EQ(sink.collected()[0].value(0).int64_value(), 7);
+}
+
+TEST(OperatorBaseTest, HasWorkAndPendingData) {
+  StreamBuffer in("in");
+  StreamBuffer out("out");
+  Filter filter("f", [](const Tuple&) { return true; });
+  filter.AddInput(&in);
+  filter.AddOutput(&out);
+  EXPECT_FALSE(filter.HasWork());
+  EXPECT_FALSE(filter.HasPendingData());
+  in.Push(Tuple::MakePunctuation(1));
+  EXPECT_TRUE(filter.HasWork());
+  EXPECT_FALSE(filter.HasPendingData());  // punctuation is not data
+  in.Push(DataTuple(2, 1));
+  EXPECT_TRUE(filter.HasPendingData());
+}
+
+}  // namespace
+}  // namespace dsms

@@ -1,0 +1,164 @@
+// Unit tests for the EtsGate: the policy layer deciding whether a source
+// generates an on-demand ETS (mode, demand guard, release-bound guard,
+// min-interval throttle, per-source bookkeeping).
+
+#include "exec/ets_policy.h"
+
+#include <gtest/gtest.h>
+
+#include "core/stream_buffer.h"
+#include "core/tuple.h"
+#include "metrics/order_validator.h"
+#include "operators/source.h"
+
+namespace dsms {
+namespace {
+
+struct GateRig {
+  explicit GateRig(TimestampKind kind = TimestampKind::kInternal,
+                   Duration skew = 0)
+      : source("S", 0, kind, skew) {
+    source.AddOutput(&out);
+  }
+  StreamBuffer out{"out"};
+  Source source;
+};
+
+EtsPolicy OnDemand(Duration min_interval = 0) {
+  EtsPolicy policy;
+  policy.mode = EtsMode::kOnDemand;
+  policy.min_interval = min_interval;
+  return policy;
+}
+
+TEST(EtsGateTest, NoneModeNeverGenerates) {
+  GateRig rig;
+  EtsGate gate(EtsPolicy{});  // mode = kNone
+  EXPECT_FALSE(gate.MaybeGenerate(&rig.source, 100, true, kMinTimestamp));
+  EXPECT_EQ(gate.generated(), 0u);
+  EXPECT_TRUE(rig.out.empty());
+}
+
+TEST(EtsGateTest, DemandGuard) {
+  GateRig rig;
+  EtsGate gate(OnDemand());
+  EXPECT_FALSE(gate.MaybeGenerate(&rig.source, 100,
+                                  /*downstream_idle_waiting=*/false,
+                                  kMinTimestamp));
+  EXPECT_TRUE(gate.MaybeGenerate(&rig.source, 100, true, kMinTimestamp));
+  EXPECT_EQ(gate.generated(), 1u);
+  ASSERT_EQ(rig.out.size(), 1u);
+  EXPECT_EQ(rig.out.Front().timestamp(), 100);
+}
+
+TEST(EtsGateTest, ReleaseBoundGuard) {
+  GateRig rig;
+  EtsGate gate(OnDemand());
+  // The blocked result needs a bound of 500; at now=100 the internal ETS
+  // (=now) cannot release it, so generating would only busy-spin.
+  EXPECT_FALSE(gate.MaybeGenerate(&rig.source, 100, true, /*release=*/500));
+  EXPECT_TRUE(rig.out.empty());
+  EXPECT_TRUE(gate.MaybeGenerate(&rig.source, 500, true, 500));
+  EXPECT_EQ(rig.out.Front().timestamp(), 500);
+}
+
+TEST(EtsGateTest, NonAdvancingBoundSuppressed) {
+  GateRig rig;
+  EtsGate gate(OnDemand());
+  ASSERT_TRUE(gate.MaybeGenerate(&rig.source, 100, true, kMinTimestamp));
+  // Same instant again: the source already promised 100.
+  EXPECT_FALSE(gate.MaybeGenerate(&rig.source, 100, true, kMinTimestamp));
+  EXPECT_TRUE(gate.MaybeGenerate(&rig.source, 101, true, kMinTimestamp));
+  EXPECT_EQ(gate.generated(), 2u);
+}
+
+TEST(EtsGateTest, MinIntervalThrottlePerSource) {
+  GateRig rig_a;
+  StreamBuffer out_b{"outB"};
+  Source source_b("B", 1, TimestampKind::kInternal);
+  source_b.AddOutput(&out_b);
+
+  EtsGate gate(OnDemand(/*min_interval=*/1000));
+  ASSERT_TRUE(gate.MaybeGenerate(&rig_a.source, 100, true, kMinTimestamp));
+  // Throttled on A...
+  EXPECT_FALSE(gate.MaybeGenerate(&rig_a.source, 500, true, kMinTimestamp));
+  // ...but B has its own budget.
+  EXPECT_TRUE(gate.MaybeGenerate(&source_b, 500, true, kMinTimestamp));
+  // A recovers after the interval.
+  EXPECT_TRUE(gate.MaybeGenerate(&rig_a.source, 1100, true, kMinTimestamp));
+}
+
+TEST(EtsGateTest, ExternalBeforeFirstTupleCannotBound) {
+  GateRig rig(TimestampKind::kExternal, /*skew=*/100);
+  EtsGate gate(OnDemand());
+  EXPECT_FALSE(gate.MaybeGenerate(&rig.source, 1000, true, kMinTimestamp));
+  rig.source.IngestExternal(900, {}, 1000);
+  rig.out.Pop();  // drain the data tuple
+  // t + tau − delta = 900 + 500 − 100 = 1300.
+  ASSERT_TRUE(gate.MaybeGenerate(&rig.source, 1500, true, kMinTimestamp));
+  EXPECT_EQ(rig.out.Front().timestamp(), 1300);
+}
+
+TEST(EtsGateTest, LatentSourceNeverGenerates) {
+  GateRig rig(TimestampKind::kLatent);
+  EtsGate gate(OnDemand());
+  EXPECT_FALSE(gate.MaybeGenerate(&rig.source, 1000, true, kMinTimestamp));
+}
+
+TEST(EtsModeTest, Names) {
+  EXPECT_STREQ(EtsModeToString(EtsMode::kNone), "none");
+  EXPECT_STREQ(EtsModeToString(EtsMode::kOnDemand), "on-demand");
+}
+
+TEST(OrderValidatorTest, CountsOutOfOrderPushes) {
+  StreamBuffer buffer("b");
+  OrderValidator validator;
+  buffer.AddListener(&validator);
+  buffer.Push(Tuple::MakeData(10, {}));
+  buffer.Push(Tuple::MakePunctuation(20));
+  buffer.Push(Tuple::MakeData(20, {}));  // equal is fine
+  EXPECT_EQ(validator.violations(), 0u);
+  buffer.Push(Tuple::MakeData(15, {}));  // below the promised 20
+  EXPECT_EQ(validator.violations(), 1u);
+  EXPECT_NE(validator.first_violation().find("'b'"), std::string::npos);
+  validator.Reset();
+  EXPECT_EQ(validator.violations(), 0u);
+}
+
+TEST(OrderValidatorTest, IgnoresLatentTuples) {
+  StreamBuffer buffer("b");
+  OrderValidator validator;
+  buffer.AddListener(&validator);
+  buffer.Push(Tuple::MakeData(10, {}));
+  buffer.Push(Tuple::MakeLatent({}));
+  EXPECT_EQ(validator.violations(), 0u);
+}
+
+TEST(OrderValidatorTest, TracksBuffersIndependently) {
+  StreamBuffer a("a");
+  StreamBuffer b("b");
+  OrderValidator validator;
+  a.AddListener(&validator);
+  b.AddListener(&validator);
+  a.Push(Tuple::MakeData(100, {}));
+  b.Push(Tuple::MakeData(5, {}));  // lower ts, different buffer: fine
+  EXPECT_EQ(validator.violations(), 0u);
+}
+
+TEST(MultiListenerTest, AllListenersNotified) {
+  StreamBuffer buffer("b");
+  OrderValidator v1;
+  OrderValidator v2;
+  buffer.AddListener(&v1);
+  buffer.AddListener(&v2);
+  buffer.Push(Tuple::MakeData(10, {}));
+  buffer.Push(Tuple::MakeData(5, {}));
+  EXPECT_EQ(v1.violations(), 1u);
+  EXPECT_EQ(v2.violations(), 1u);
+  buffer.set_listener(nullptr);  // detaches both
+  buffer.Push(Tuple::MakeData(1, {}));
+  EXPECT_EQ(v1.violations(), 1u);
+}
+
+}  // namespace
+}  // namespace dsms

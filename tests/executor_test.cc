@@ -1,0 +1,364 @@
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+#include "common/clock.h"
+#include "core/tuple.h"
+#include "exec/dfs_executor.h"
+#include "exec/round_robin_executor.h"
+#include "graph/graph_builder.h"
+#include "operators/sink.h"
+#include "operators/source.h"
+
+namespace dsms {
+namespace {
+
+/// Owns the paper's union graph (Figure 4 with selections replaced by
+/// pass-everything filters for determinism) plus clock and executor.
+struct UnionGraphRig {
+  explicit UnionGraphRig(ExecConfig config,
+                         TimestampKind kind = TimestampKind::kInternal,
+                         Duration skew = 0) {
+    GraphBuilder builder;
+    s1 = builder.AddSource("S1", kind, skew);
+    s2 = builder.AddSource("S2", kind, skew);
+    auto* f1 = builder.AddFilter("F1", [](const Tuple&) { return true; });
+    auto* f2 = builder.AddFilter("F2", [](const Tuple&) { return true; });
+    u = builder.AddUnion("U", kind != TimestampKind::kLatent);
+    sink = builder.AddSink("OUT");
+    builder.Connect(s1, f1);
+    builder.Connect(s2, f2);
+    builder.Connect(f1, u);
+    builder.Connect(f2, u);
+    builder.Connect(u, sink);
+    auto built = builder.Build();
+    DSMS_CHECK_OK(built.status());
+    graph = std::move(built).value();
+    sink->set_collect(true);
+    executor = std::make_unique<DfsExecutor>(graph.get(), &clock, config);
+  }
+
+  std::unique_ptr<QueryGraph> graph;
+  VirtualClock clock;
+  Source* s1;
+  Source* s2;
+  Union* u;
+  Sink* sink;
+  std::unique_ptr<DfsExecutor> executor;
+};
+
+ExecConfig NoEts() { return ExecConfig{}; }
+
+ExecConfig OnDemand() {
+  ExecConfig config;
+  config.ets.mode = EtsMode::kOnDemand;
+  return config;
+}
+
+TEST(DfsExecutorTest, IdleOnEmptyGraph) {
+  UnionGraphRig rig(NoEts());
+  EXPECT_FALSE(rig.executor->RunStep());
+  EXPECT_EQ(rig.executor->stats().idle_returns, 1u);
+}
+
+TEST(DfsExecutorTest, NoEtsUnionBlocksUntilOtherStream) {
+  UnionGraphRig rig(NoEts());
+  rig.s1->Ingest({Value(int64_t{1})}, rig.clock.now());
+  rig.executor->RunUntilIdle();
+  // The tuple reached the union but cannot pass it.
+  EXPECT_EQ(rig.sink->data_delivered(), 0u);
+  EXPECT_TRUE(rig.u->HasPendingData());
+
+  // A tuple on the other stream (with a later timestamp) releases it.
+  rig.clock.AdvanceTo(rig.clock.now() + kSecond);
+  rig.s2->Ingest({Value(int64_t{2})}, rig.clock.now());
+  rig.executor->RunUntilIdle();
+  EXPECT_EQ(rig.sink->data_delivered(), 1u);  // the blocked S1 tuple
+}
+
+TEST(DfsExecutorTest, OnDemandEtsReleasesImmediately) {
+  UnionGraphRig rig(OnDemand());
+  rig.clock.AdvanceTo(100);
+  rig.s1->Ingest({Value(int64_t{1})}, rig.clock.now());
+  rig.executor->RunUntilIdle();
+  EXPECT_EQ(rig.sink->data_delivered(), 1u);
+  EXPECT_GE(rig.executor->ets_generated(), 1u);
+  EXPECT_EQ(rig.executor->stats().ets_generated,
+            rig.executor->ets_generated());
+}
+
+TEST(DfsExecutorTest, NoEtsWithoutIdleWaitingOperator) {
+  // The on-demand guard: an empty graph must not produce ETS livelock.
+  UnionGraphRig rig(OnDemand());
+  for (int i = 0; i < 5; ++i) EXPECT_FALSE(rig.executor->RunStep());
+  EXPECT_EQ(rig.executor->ets_generated(), 0u);
+}
+
+TEST(DfsExecutorTest, EtsCarriesCurrentClock) {
+  UnionGraphRig rig(OnDemand());
+  rig.clock.AdvanceTo(12345);
+  rig.s1->Ingest({Value(int64_t{1})}, rig.clock.now());
+  rig.executor->RunUntilIdle();
+  ASSERT_EQ(rig.sink->collected().size(), 1u);
+  // The delivered tuple's timestamp is its ingestion time.
+  EXPECT_EQ(rig.sink->collected()[0].timestamp(), 12345);
+  // And the union saw an ETS at some time >= 12345 on the idle input.
+  EXPECT_GE(rig.u->tsm(1), 12345);
+}
+
+TEST(DfsExecutorTest, ClockAdvancesByCosts) {
+  ExecConfig config = OnDemand();
+  config.costs.data_step = 10;
+  config.costs.punctuation_step = 4;
+  config.costs.empty_step = 1;
+  config.costs.backtrack_hop = 1;
+  config.costs.ets_generation = 2;
+  UnionGraphRig rig(config);
+  rig.s1->Ingest({Value(int64_t{1})}, 0);
+  Timestamp before = rig.clock.now();
+  rig.executor->RunUntilIdle();
+  EXPECT_GT(rig.clock.now(), before);
+  const ExecStats& stats = rig.executor->stats();
+  Timestamp expected = static_cast<Timestamp>(
+      stats.data_steps * 10 + stats.punctuation_steps * 4 +
+      stats.empty_steps * 1 + stats.backtrack_hops * 1 +
+      stats.ets_generated * 2);
+  EXPECT_EQ(rig.clock.now() - before, expected);
+}
+
+TEST(DfsExecutorTest, FifoOrderThroughSimplePath) {
+  UnionGraphRig rig(OnDemand());
+  for (int i = 0; i < 10; ++i) {
+    rig.clock.Advance(100);
+    rig.s1->Ingest({Value(int64_t{i})}, rig.clock.now());
+  }
+  rig.executor->RunUntilIdle();
+  ASSERT_EQ(rig.sink->collected().size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rig.sink->collected()[i].value(0).int64_value(), i);
+  }
+}
+
+TEST(DfsExecutorTest, IdleTrackerRecordsUnionBlocking) {
+  UnionGraphRig rig(NoEts());
+  rig.clock.AdvanceTo(1000);
+  rig.s1->Ingest({Value(int64_t{1})}, rig.clock.now());
+  rig.executor->RunUntilIdle();
+  const IdleWaitTracker* tracker = rig.executor->idle_tracker(rig.u->id());
+  ASSERT_NE(tracker, nullptr);
+  EXPECT_TRUE(tracker->blocked());
+  rig.clock.AdvanceTo(rig.clock.now() + 10000);
+  rig.s2->Ingest({Value(int64_t{2})}, rig.clock.now());
+  rig.executor->RunUntilIdle();
+  // The S1 tuple was released (it idled >= 10 ms); the union is now blocked
+  // the other way around, holding the fresher S2 tuple.
+  EXPECT_EQ(rig.sink->data_delivered(), 1u);
+  EXPECT_TRUE(tracker->blocked());
+  EXPECT_GE(tracker->total_idle(rig.clock.now()), 10000);
+}
+
+TEST(DfsExecutorTest, NoIdleTrackerForNonIwp) {
+  UnionGraphRig rig(NoEts());
+  EXPECT_EQ(rig.executor->idle_tracker(rig.sink->id()), nullptr);
+  EXPECT_NE(rig.executor->idle_tracker(rig.u->id()), nullptr);
+}
+
+TEST(DfsExecutorTest, EtsPunctuationAbsorbedBeforeSink) {
+  UnionGraphRig rig(OnDemand());
+  rig.clock.AdvanceTo(50);
+  rig.s1->Ingest({Value(int64_t{1})}, rig.clock.now());
+  rig.executor->RunUntilIdle();
+  // The ETS flowed through F2 into the union, which absorbed it; its
+  // watermark (bounded by the data side's TSM) added no information, so
+  // nothing but data reaches the sink.
+  EXPECT_GE(rig.u->stats().punctuation_in, 1u);
+  EXPECT_EQ(rig.sink->punctuation_eliminated(), 0u);
+  for (const Tuple& t : rig.sink->collected()) EXPECT_TRUE(t.is_data());
+}
+
+TEST(DfsExecutorTest, EtsMinIntervalThrottles) {
+  ExecConfig config = OnDemand();
+  config.ets.min_interval = kSecond;
+  UnionGraphRig rig(config);
+  rig.clock.AdvanceTo(100);
+  rig.s1->Ingest({Value(int64_t{1})}, rig.clock.now());
+  rig.executor->RunUntilIdle();
+  uint64_t first_batch = rig.executor->ets_generated();
+  EXPECT_GE(first_batch, 1u);
+  // A few microseconds later: throttled, the union stays blocked.
+  rig.clock.Advance(10);
+  rig.s1->Ingest({Value(int64_t{2})}, rig.clock.now());
+  rig.executor->RunUntilIdle();
+  EXPECT_EQ(rig.executor->ets_generated(), first_batch);
+  EXPECT_EQ(rig.sink->data_delivered(), 1u);
+  // After the interval passes, ETS resumes.
+  rig.clock.Advance(2 * kSecond);
+  rig.s1->Ingest({Value(int64_t{3})}, rig.clock.now());
+  rig.executor->RunUntilIdle();
+  EXPECT_GT(rig.executor->ets_generated(), first_batch);
+  EXPECT_EQ(rig.sink->data_delivered(), 3u);
+}
+
+TEST(DfsExecutorTest, ExternalEtsUsesSkewBound) {
+  UnionGraphRig rig(OnDemand(), TimestampKind::kExternal,
+                    /*skew=*/100 * kMillisecond);
+  rig.clock.AdvanceTo(kSecond);
+  // S2 saw a tuple long ago (app ts 0); S1 then gets one at now − 10 ms.
+  rig.s2->IngestExternal(0, {Value(int64_t{9})}, 0);
+  rig.executor->RunUntilIdle();  // S2's tuple blocks at union (S1 unseen)
+  rig.s1->IngestExternal(kSecond - 10 * kMillisecond, {Value(int64_t{1})},
+                         rig.clock.now());
+  rig.executor->RunUntilIdle();
+  // S2's ETS bound (0 + elapsed − δ) is just below S1's tuple timestamp at
+  // this instant: the S2 tuple flows (S1's TSM passed 0) but S1's tuple
+  // must idle-wait; a useless weaker ETS is suppressed.
+  EXPECT_EQ(rig.sink->data_delivered(), 1u);
+  // After real time passes, the next activation's sweep finds the bound
+  // sufficient and releases it.
+  rig.clock.Advance(200 * kMillisecond);
+  rig.executor->RunUntilIdle();
+  EXPECT_EQ(rig.sink->data_delivered(), 2u);
+  EXPECT_GE(rig.executor->ets_generated(), 1u);
+}
+
+TEST(DfsExecutorTest, LatentGraphNeverGeneratesEts) {
+  UnionGraphRig rig(OnDemand(), TimestampKind::kLatent);
+  rig.s1->Ingest({Value(int64_t{1})}, 0);
+  rig.executor->RunUntilIdle();
+  EXPECT_EQ(rig.sink->data_delivered(), 1u);  // flows straight through
+  EXPECT_EQ(rig.executor->ets_generated(), 0u);
+}
+
+TEST(DfsExecutorTest, RunStepTerminatesOnBlockedGraph) {
+  // Even with ETS enabled, a blocked union with a non-advancing bound must
+  // settle to idle rather than spin.
+  UnionGraphRig rig(OnDemand());
+  rig.s1->Ingest({Value(int64_t{1})}, rig.clock.now());
+  uint64_t steps = rig.executor->RunUntilIdle();
+  EXPECT_LT(steps, 1000u);
+  EXPECT_FALSE(rig.executor->RunStep());
+  EXPECT_FALSE(rig.executor->RunStep());
+}
+
+TEST(DfsExecutorTest, StrictUnionWithStrandedPunctuationDoesNotLivelock) {
+  // Regression: a strict-mode (Figure 1) union holding a lone punctuation
+  // while its other input is empty used to ping-pong with its predecessor
+  // (backtrack chose the non-empty input; pred's Forward bounced straight
+  // back), burning millions of empty steps per inter-arrival gap.
+  GraphBuilder builder;
+  Source* s1 = builder.AddSource("S1", TimestampKind::kInternal);
+  Source* s2 = builder.AddSource("S2", TimestampKind::kInternal);
+  auto* f1 = builder.AddFilter("F1", [](const Tuple&) { return true; });
+  auto* f2 = builder.AddFilter("F2", [](const Tuple&) { return true; });
+  Union* u = builder.AddUnion("U", /*ordered=*/true,
+                              /*use_tsm_registers=*/false);
+  Sink* sink = builder.AddSink("OUT");
+  builder.Connect(s1, f1);
+  builder.Connect(s2, f2);
+  builder.Connect(f1, u);
+  builder.Connect(f2, u);
+  builder.Connect(u, sink);
+  auto graph = builder.Build();
+  DSMS_CHECK_OK(graph.status());
+  VirtualClock clock;
+  ExecConfig config;
+  config.ets.mode = EtsMode::kOnDemand;
+  DfsExecutor executor(graph->get(), &clock, config);
+
+  // Put the union into the stranded state: data on S1 gets released by an
+  // ETS on S2; the ETS punctuation is left alone in input 1 afterwards.
+  clock.AdvanceTo(1000);
+  s1->Ingest({Value(int64_t{1})}, clock.now());
+  uint64_t steps = executor.RunUntilIdle();
+  EXPECT_LT(steps, 100u);
+  EXPECT_EQ(sink->data_delivered(), 1u);
+
+  // Executor must settle (return false) promptly, repeatedly.
+  for (int i = 0; i < 5; ++i) EXPECT_FALSE(executor.RunStep());
+  EXPECT_LT(executor.stats().empty_steps, 50u);
+  (void)f1;
+  (void)f2;
+  (void)u;
+}
+
+struct RrRig {
+  explicit RrRig(ExecConfig config, int quantum = 4) {
+    GraphBuilder builder;
+    s1 = builder.AddSource("S1", TimestampKind::kInternal);
+    s2 = builder.AddSource("S2", TimestampKind::kInternal);
+    u = builder.AddUnion("U");
+    sink = builder.AddSink("OUT");
+    builder.Connect(s1, u);
+    builder.Connect(s2, u);
+    builder.Connect(u, sink);
+    auto built = builder.Build();
+    DSMS_CHECK_OK(built.status());
+    graph = std::move(built).value();
+    sink->set_collect(true);
+    executor = std::make_unique<RoundRobinExecutor>(graph.get(), &clock,
+                                                    config, quantum);
+  }
+
+  std::unique_ptr<QueryGraph> graph;
+  VirtualClock clock;
+  Source* s1;
+  Source* s2;
+  Union* u;
+  Sink* sink;
+  std::unique_ptr<RoundRobinExecutor> executor;
+};
+
+TEST(RoundRobinExecutorTest, DeliversSameTuplesAsDfs) {
+  RrRig rig(OnDemand());
+  for (int i = 0; i < 5; ++i) {
+    rig.clock.Advance(1000);
+    rig.s1->Ingest({Value(int64_t{i})}, rig.clock.now());
+    rig.s2->Ingest({Value(int64_t{100 + i})}, rig.clock.now());
+  }
+  rig.executor->RunUntilIdle();
+  EXPECT_EQ(rig.sink->data_delivered(), 10u);
+}
+
+TEST(RoundRobinExecutorTest, OnDemandEtsWorksViaSweep) {
+  RrRig rig(OnDemand());
+  rig.clock.AdvanceTo(777);
+  rig.s1->Ingest({Value(int64_t{1})}, rig.clock.now());
+  rig.executor->RunUntilIdle();
+  EXPECT_EQ(rig.sink->data_delivered(), 1u);
+  EXPECT_GE(rig.executor->ets_generated(), 1u);
+}
+
+TEST(RoundRobinExecutorTest, MarksIdleWaitingWhilePassingBy) {
+  ExecConfig config;  // no ETS
+  RrRig rig(config);
+  rig.s1->Ingest({Value(int64_t{1})}, 0);
+  rig.executor->RunUntilIdle();
+  const IdleWaitTracker* tracker = rig.executor->idle_tracker(rig.u->id());
+  ASSERT_NE(tracker, nullptr);
+  EXPECT_TRUE(tracker->blocked());
+}
+
+TEST(RoundRobinExecutorTest, RejectsNonPositiveQuantum) {
+  GraphBuilder builder;
+  Source* s = builder.AddSource("S", TimestampKind::kInternal);
+  Sink* sink = builder.AddSink("O");
+  builder.Connect(s, sink);
+  auto graph = builder.Build();
+  DSMS_CHECK_OK(graph.status());
+  VirtualClock clock;
+  EXPECT_DEATH(
+      RoundRobinExecutor(graph->get(), &clock, ExecConfig{}, 0), "");
+}
+
+TEST(ExecutorBaseTest, RequiresValidatedGraph) {
+  QueryGraph graph;
+  graph.Add(std::make_unique<Source>("S", 0, TimestampKind::kInternal));
+  VirtualClock clock;
+  EXPECT_DEATH(DfsExecutor(&graph, &clock, ExecConfig{}), "");
+}
+
+}  // namespace
+}  // namespace dsms

@@ -1,0 +1,332 @@
+// Tests for the extension modules: Split routing, grouped window
+// aggregation, the per-operator stats report, and the arrival-trace loader.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "core/stream_buffer.h"
+#include "core/tuple.h"
+#include "core/value.h"
+#include "graph/graph_builder.h"
+#include "graph/plan_parser.h"
+#include "metrics/stats_report.h"
+#include "operators/grouped_aggregate.h"
+#include "operators/split.h"
+#include "sim/trace_loader.h"
+
+namespace dsms {
+namespace {
+
+Tuple KeyedTuple(Timestamp ts, int64_t key, double v) {
+  return Tuple::MakeData(ts, {Value(key), Value(v)});
+}
+
+// --- Split ------------------------------------------------------------------
+
+struct SplitRig {
+  explicit SplitRig(std::vector<Split::Predicate> predicates)
+      : op("split", std::move(predicates)) {
+    op.AddInput(&in);
+    for (int i = 0; i < op.min_outputs(); ++i) {
+      outs.push_back(std::make_unique<StreamBuffer>("out"));
+      op.AddOutput(outs.back().get());
+    }
+  }
+  StreamBuffer in{"in"};
+  std::vector<std::unique_ptr<StreamBuffer>> outs;
+  Split op;
+};
+
+TEST(SplitTest, RoutesByPredicate) {
+  SplitRig rig({[](const Tuple& t) { return t.value(0).int64_value() < 5; },
+                [](const Tuple& t) { return t.value(0).int64_value() >= 5; }});
+  ManualExecContext ctx;
+  rig.in.Push(KeyedTuple(1, 3, 0));
+  rig.in.Push(KeyedTuple(2, 7, 0));
+  rig.op.Step(ctx);
+  rig.op.Step(ctx);
+  ASSERT_EQ(rig.outs[0]->size(), 1u);
+  ASSERT_EQ(rig.outs[1]->size(), 1u);
+  EXPECT_EQ(rig.outs[0]->Front().value(0).int64_value(), 3);
+  EXPECT_EQ(rig.outs[1]->Front().value(0).int64_value(), 7);
+}
+
+TEST(SplitTest, TupleMayMatchSeveralOutputsOrNone) {
+  SplitRig rig({[](const Tuple& t) { return t.value(0).int64_value() > 0; },
+                [](const Tuple& t) { return t.value(0).int64_value() > 10; }});
+  ManualExecContext ctx;
+  rig.in.Push(KeyedTuple(1, 20, 0));  // matches both
+  rig.in.Push(KeyedTuple(2, -1, 0));  // matches none (dropped)
+  rig.op.Step(ctx);
+  rig.op.Step(ctx);
+  EXPECT_EQ(rig.outs[0]->size(), 1u);
+  EXPECT_EQ(rig.outs[1]->size(), 1u);
+}
+
+TEST(SplitTest, PunctuationReplicatedToAllBranches) {
+  SplitRig rig({[](const Tuple&) { return false; },
+                [](const Tuple&) { return false; }});
+  ManualExecContext ctx;
+  rig.in.Push(Tuple::MakePunctuation(99));
+  rig.op.Step(ctx);
+  ASSERT_EQ(rig.outs[0]->size(), 1u);
+  ASSERT_EQ(rig.outs[1]->size(), 1u);
+  EXPECT_EQ(rig.outs[0]->Front().timestamp(), 99);
+  EXPECT_EQ(rig.outs[1]->Front().timestamp(), 99);
+}
+
+TEST(SplitTest, GraphValidationEnforcesOutputCount) {
+  GraphBuilder builder;
+  Source* s = builder.AddSource("S", TimestampKind::kInternal);
+  Split* split = builder.AddSplit(
+      "SP", {[](const Tuple&) { return true; },
+             [](const Tuple&) { return false; }});
+  Sink* only = builder.AddSink("O1");
+  builder.Connect(s, split);
+  builder.Connect(split, only);  // one output connected, two required
+  EXPECT_FALSE(builder.Build().ok());
+}
+
+// --- GroupedWindowAggregate --------------------------------------------------
+
+struct GroupedRig {
+  GroupedRig(AggKind kind, Duration window, Duration slide)
+      : op("g", kind, /*key_field=*/0, /*agg_field=*/1, window, slide) {
+    op.AddInput(&in);
+    op.AddOutput(&out);
+  }
+  std::vector<Tuple> Drain(ManualExecContext& ctx) {
+    for (int guard = 0; guard < 100000; ++guard) {
+      if (!op.Step(ctx).more) break;
+    }
+    std::vector<Tuple> result;
+    while (!out.empty()) result.push_back(out.Pop());
+    return result;
+  }
+  StreamBuffer in{"in"};
+  StreamBuffer out{"out"};
+  GroupedWindowAggregate op;
+};
+
+TEST(GroupedAggregateTest, SumPerGroupPerWindow) {
+  GroupedRig rig(AggKind::kSum, 100, 100);
+  ManualExecContext ctx;
+  rig.in.Push(KeyedTuple(10, 1, 5.0));
+  rig.in.Push(KeyedTuple(20, 2, 7.0));
+  rig.in.Push(KeyedTuple(30, 1, 3.0));
+  rig.in.Push(Tuple::MakePunctuation(100));
+  std::vector<Tuple> emitted = rig.Drain(ctx);
+  std::vector<Tuple> data;
+  for (Tuple& t : emitted) {
+    if (t.is_data()) data.push_back(t);
+  }
+  ASSERT_EQ(data.size(), 2u);
+  // Deterministic key order: group 1 then group 2.
+  EXPECT_EQ(data[0].value(0).int64_value(), 0);   // window start
+  EXPECT_EQ(data[0].value(1).int64_value(), 1);   // key
+  EXPECT_DOUBLE_EQ(data[0].value(2).AsDouble(), 8.0);
+  EXPECT_EQ(data[1].value(1).int64_value(), 2);
+  EXPECT_DOUBLE_EQ(data[1].value(2).AsDouble(), 7.0);
+  EXPECT_EQ(data[0].timestamp(), 100);  // window end
+}
+
+TEST(GroupedAggregateTest, EmptyWindowsEmitNothing) {
+  GroupedRig rig(AggKind::kCount, 100, 100);
+  ManualExecContext ctx;
+  rig.in.Push(KeyedTuple(10, 1, 0));
+  rig.in.Push(Tuple::MakePunctuation(500));  // closes [0,100) and 3 empties
+  int data = 0;
+  for (const Tuple& t : rig.Drain(ctx)) {
+    if (t.is_data()) ++data;
+  }
+  EXPECT_EQ(data, 1);
+}
+
+TEST(GroupedAggregateTest, SlidingWindowsOverlapPerGroup) {
+  GroupedRig rig(AggKind::kCount, 100, 50);
+  ManualExecContext ctx;
+  rig.in.Push(KeyedTuple(60, 5, 0));
+  rig.in.Push(Tuple::MakePunctuation(200));
+  std::vector<std::pair<int64_t, int64_t>> results;  // (start, key)
+  for (const Tuple& t : rig.Drain(ctx)) {
+    if (t.is_data()) {
+      results.emplace_back(t.value(0).int64_value(),
+                           t.value(1).int64_value());
+    }
+  }
+  ASSERT_EQ(results.size(), 2u);  // windows [0,100) and [50,150)
+  EXPECT_EQ(results[0].first, 0);
+  EXPECT_EQ(results[1].first, 50);
+}
+
+TEST(GroupedAggregateTest, StringKeys) {
+  GroupedWindowAggregate op("g", AggKind::kCount, 0, 0, 100, 100);
+  StreamBuffer in("in");
+  StreamBuffer out("out");
+  op.AddInput(&in);
+  op.AddOutput(&out);
+  ManualExecContext ctx;
+  in.Push(Tuple::MakeData(10, {Value("apple")}));
+  in.Push(Tuple::MakeData(20, {Value("banana")}));
+  in.Push(Tuple::MakeData(30, {Value("apple")}));
+  in.Push(Tuple::MakePunctuation(100));
+  for (int i = 0; i < 10; ++i) op.Step(ctx);
+  std::vector<std::pair<std::string, double>> results;
+  while (!out.empty()) {
+    Tuple t = out.Pop();
+    if (t.is_data()) {
+      results.emplace_back(t.value(1).string_value(),
+                           t.value(2).AsDouble());
+    }
+  }
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].first, "apple");
+  EXPECT_DOUBLE_EQ(results[0].second, 2.0);
+  EXPECT_EQ(results[1].first, "banana");
+}
+
+TEST(GroupedAggregateTest, WantsEtsWhileWindowsOpen) {
+  GroupedRig rig(AggKind::kSum, 100, 100);
+  ManualExecContext ctx;
+  EXPECT_FALSE(rig.op.WantsEts());
+  rig.in.Push(KeyedTuple(10, 1, 5.0));
+  rig.Drain(ctx);
+  EXPECT_TRUE(rig.op.WantsEts());
+  EXPECT_EQ(rig.op.EtsReleaseBound(), 100);
+  rig.in.Push(Tuple::MakePunctuation(100));
+  rig.Drain(ctx);
+  EXPECT_FALSE(rig.op.WantsEts());
+}
+
+TEST(GroupedAggregateTest, ForwardsStrengthenedPunctuation) {
+  GroupedRig rig(AggKind::kSum, 100, 100);
+  ManualExecContext ctx;
+  rig.in.Push(KeyedTuple(10, 1, 5.0));
+  rig.in.Push(Tuple::MakePunctuation(150));
+  std::vector<Tuple> emitted = rig.Drain(ctx);
+  ASSERT_FALSE(emitted.empty());
+  EXPECT_TRUE(emitted.back().is_punctuation());
+  EXPECT_EQ(emitted.back().timestamp(), 200);
+}
+
+TEST(GroupedAggregateTest, LatentInputStamped) {
+  GroupedRig rig(AggKind::kCount, 100, 100);
+  ManualExecContext ctx(50);
+  rig.in.Push(Tuple::MakeLatent({Value(int64_t{1}), Value(0.0)}));
+  rig.op.Step(ctx);
+  ctx.set_now(150);
+  rig.in.Push(Tuple::MakeLatent({Value(int64_t{1}), Value(0.0)}));
+  rig.op.Step(ctx);
+  EXPECT_EQ(rig.op.results_emitted(), 1u);
+}
+
+// --- Stats report ------------------------------------------------------------
+
+TEST(StatsReportTest, ListsEveryOperator) {
+  GraphBuilder builder;
+  Source* s = builder.AddSource("SRC", TimestampKind::kInternal);
+  Sink* sink = builder.AddSink("SNK");
+  builder.Connect(s, sink);
+  auto graph = builder.Build();
+  DSMS_CHECK_OK(graph.status());
+  s->Ingest({}, 5);
+  std::string report = OperatorStatsString(**graph);
+  EXPECT_NE(report.find("SRC"), std::string::npos);
+  EXPECT_NE(report.find("SNK"), std::string::npos);
+  EXPECT_NE(report.find("data_in"), std::string::npos);
+}
+
+// --- Trace loader -------------------------------------------------------------
+
+TEST(TraceLoaderTest, ParsesUnitsAndComments) {
+  auto trace = ParseArrivalTrace(R"(
+# arrival times
+100
+2ms
+1.5s    # one and a half seconds
+)");
+  ASSERT_TRUE(trace.ok()) << trace.status();
+  EXPECT_EQ(*trace, (std::vector<Timestamp>{100, 2000, 1500000}));
+}
+
+TEST(TraceLoaderTest, RejectsNonIncreasing) {
+  auto trace = ParseArrivalTrace("10\n10\n");
+  ASSERT_FALSE(trace.ok());
+  EXPECT_NE(trace.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(TraceLoaderTest, RejectsGarbageWithLineNumber) {
+  auto trace = ParseArrivalTrace("10\npotato\n");
+  ASSERT_FALSE(trace.ok());
+  EXPECT_NE(trace.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(TraceLoaderTest, RejectsEmpty) {
+  EXPECT_FALSE(ParseArrivalTrace("# nothing\n").ok());
+}
+
+TEST(TraceLoaderTest, LoadsFromFile) {
+  std::string path = ::testing::TempDir() + "/trace.txt";
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fputs("5ms\n10ms\n", f);
+    fclose(f);
+  }
+  auto trace = LoadArrivalTrace(path);
+  ASSERT_TRUE(trace.ok()) << trace.status();
+  EXPECT_EQ(trace->size(), 2u);
+  EXPECT_EQ((*trace)[0], 5000);
+}
+
+TEST(TraceLoaderTest, MissingFile) {
+  auto trace = LoadArrivalTrace("/nonexistent/path/trace.txt");
+  EXPECT_EQ(trace.status().code(), StatusCode::kNotFound);
+}
+
+// --- Plan parser: new statements ----------------------------------------------
+
+TEST(PlanParserExtensionsTest, MultiWayJoinStatement) {
+  auto plan = ParsePlan(R"(
+stream A
+stream B
+stream C
+mjoin J in=A,B,C window=2s key=0
+sink OUT in=J
+)");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_NE(dynamic_cast<MultiWayJoin*>(plan->Find("J")), nullptr);
+}
+
+TEST(PlanParserExtensionsTest, MjoinRequiresWindow) {
+  EXPECT_FALSE(ParsePlan("stream A\nstream B\nmjoin J in=A,B key=0\n"
+                         "sink O in=J\n")
+                   .ok());
+}
+
+TEST(PlanParserExtensionsTest, GroupedAggregateStatement) {
+  auto plan = ParsePlan(R"(
+stream S
+gaggregate G in=S fn=sum key=0 field=1 window=1s slide=500ms
+sink OUT in=G
+)");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  auto* g = dynamic_cast<GroupedWindowAggregate*>(plan->Find("G"));
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->window(), kSecond);
+  EXPECT_EQ(g->slide(), 500 * kMillisecond);
+}
+
+TEST(PlanParserExtensionsTest, GaggregateRequiresKey) {
+  EXPECT_FALSE(
+      ParsePlan("stream S\ngaggregate G in=S fn=sum window=1s\nsink O in=G\n")
+          .ok());
+}
+
+}  // namespace
+}  // namespace dsms

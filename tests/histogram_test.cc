@@ -1,0 +1,161 @@
+#include "metrics/histogram.h"
+
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace dsms {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, SingleSample) {
+  Histogram h;
+  h.Record(42);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 42);
+  EXPECT_EQ(h.max(), 42);
+  EXPECT_DOUBLE_EQ(h.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 42.0);
+}
+
+TEST(HistogramTest, ExactMeanMinMax) {
+  Histogram h;
+  for (int64_t v : {10, 20, 30, 40}) h.Record(v);
+  EXPECT_DOUBLE_EQ(h.mean(), 25.0);
+  EXPECT_EQ(h.min(), 10);
+  EXPECT_EQ(h.max(), 40);
+  EXPECT_DOUBLE_EQ(h.sum(), 100.0);
+}
+
+TEST(HistogramTest, NegativeClampedToZero) {
+  Histogram h;
+  h.Record(-5);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+}
+
+TEST(HistogramTest, SmallValuesAreExact) {
+  // Values below one octave of sub-buckets land in per-value buckets.
+  Histogram h;
+  for (int i = 0; i < 10; ++i) h.Record(7);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 7.0);
+}
+
+TEST(HistogramTest, QuantileOrderingMonotone) {
+  Histogram h;
+  Pcg32 rng(5);
+  for (int i = 0; i < 10000; ++i) h.Record(rng.NextInt(0, 1000000));
+  double previous = -1;
+  for (double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    double v = h.Quantile(q);
+    EXPECT_GE(v, previous);
+    previous = v;
+  }
+}
+
+TEST(HistogramTest, QuantileRelativeErrorBounded) {
+  // Uniform samples: the true q-quantile of U[0, 1e6] is q*1e6. Bucketing
+  // gives ~3% relative resolution.
+  Histogram h;
+  Pcg32 rng(6);
+  for (int i = 0; i < 200000; ++i) h.Record(rng.NextInt(0, 1000000));
+  for (double q : {0.1, 0.5, 0.9}) {
+    double expected = q * 1000000.0;
+    EXPECT_NEAR(h.Quantile(q) / expected, 1.0, 0.05) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, LargeValues) {
+  Histogram h;
+  h.Record(int64_t{1} << 50);
+  h.Record((int64_t{1} << 50) + 12345);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_GE(h.Quantile(0.5), static_cast<double>(int64_t{1} << 49));
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a;
+  Histogram b;
+  a.Record(10);
+  a.Record(20);
+  b.Record(30);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.min(), 10);
+  EXPECT_EQ(a.max(), 30);
+  EXPECT_DOUBLE_EQ(a.mean(), 20.0);
+}
+
+TEST(HistogramTest, MergeIntoEmpty) {
+  Histogram a;
+  Histogram b;
+  b.Record(5);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.min(), 5);
+}
+
+TEST(HistogramTest, MergeEmptyIsNoop) {
+  Histogram a;
+  Histogram b;
+  a.Record(5);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.max(), 5);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Record(100);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  h.Record(3);
+  EXPECT_EQ(h.min(), 3);
+  EXPECT_EQ(h.max(), 3);
+}
+
+TEST(HistogramTest, ToStringMentionsCount) {
+  Histogram h;
+  h.Record(1);
+  EXPECT_NE(h.ToString().find("count=1"), std::string::npos);
+}
+
+/// Property sweep: for several distributions, mean from the histogram is
+/// exact and quantiles bracket the data.
+class HistogramDistributionTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HistogramDistributionTest, QuantilesBracketedByMinMax) {
+  Pcg32 rng(GetParam());
+  Histogram h;
+  double sum = 0;
+  for (int i = 0; i < 5000; ++i) {
+    int64_t v = rng.NextExponentialGap(100.0);
+    h.Record(v);
+    sum += static_cast<double>(v);
+  }
+  EXPECT_DOUBLE_EQ(h.mean(), sum / 5000.0);
+  for (double q : {0.0, 0.25, 0.5, 0.75, 0.99, 1.0}) {
+    double v = h.Quantile(q);
+    EXPECT_GE(v, static_cast<double>(h.min()));
+    EXPECT_LE(v, static_cast<double>(h.max()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HistogramDistributionTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace dsms

@@ -1,0 +1,177 @@
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/stream_buffer.h"
+#include "core/tuple.h"
+#include "metrics/idle_wait_tracker.h"
+#include "metrics/latency_recorder.h"
+#include "metrics/queue_size_tracker.h"
+#include "metrics/table_printer.h"
+
+namespace dsms {
+namespace {
+
+Tuple DataAt(Timestamp arrival) {
+  Tuple t = Tuple::MakeData(arrival, {});
+  t.set_arrival_time(arrival);
+  return t;
+}
+
+TEST(LatencyRecorderTest, RecordsEmissionDelay) {
+  LatencyRecorder recorder;
+  recorder.RecordEmission(DataAt(100), 150);
+  recorder.RecordEmission(DataAt(200), 230);
+  EXPECT_EQ(recorder.count(), 2u);
+  EXPECT_DOUBLE_EQ(recorder.mean_us(), 40.0);
+  EXPECT_DOUBLE_EQ(recorder.mean_ms(), 0.04);
+  EXPECT_EQ(recorder.max_us(), 50);
+}
+
+TEST(LatencyRecorderTest, IgnoresPunctuation) {
+  LatencyRecorder recorder;
+  recorder.RecordEmission(Tuple::MakePunctuation(5), 100);
+  EXPECT_EQ(recorder.count(), 0u);
+}
+
+TEST(LatencyRecorderTest, Reset) {
+  LatencyRecorder recorder;
+  recorder.RecordEmission(DataAt(0), 10);
+  recorder.Reset();
+  EXPECT_EQ(recorder.count(), 0u);
+}
+
+TEST(QueueSizeTrackerTest, TracksPeakTotal) {
+  QueueSizeTracker tracker;
+  StreamBuffer a("a");
+  StreamBuffer b("b");
+  a.set_listener(&tracker);
+  b.set_listener(&tracker);
+  a.Push(Tuple::MakeData(1, {}));
+  b.Push(Tuple::MakeData(1, {}));
+  b.Push(Tuple::MakeData(2, {}));
+  EXPECT_EQ(tracker.current_total(), 3);
+  EXPECT_EQ(tracker.peak_total(), 3);
+  a.Pop();
+  b.Pop();
+  EXPECT_EQ(tracker.current_total(), 1);
+  EXPECT_EQ(tracker.peak_total(), 3);  // peak sticks
+}
+
+TEST(QueueSizeTrackerTest, SeparatesDataFromPunctuation) {
+  QueueSizeTracker tracker;
+  StreamBuffer a("a");
+  a.set_listener(&tracker);
+  a.Push(Tuple::MakeData(1, {}));
+  a.Push(Tuple::MakePunctuation(2));
+  a.Push(Tuple::MakePunctuation(3));
+  EXPECT_EQ(tracker.current_total(), 3);
+  EXPECT_EQ(tracker.current_data(), 1);
+  EXPECT_EQ(tracker.current_punctuation(), 2);
+  EXPECT_EQ(tracker.peak_data(), 1);
+}
+
+TEST(QueueSizeTrackerTest, ResetPeakKeepsCurrent) {
+  QueueSizeTracker tracker;
+  StreamBuffer a("a");
+  a.set_listener(&tracker);
+  for (int i = 0; i < 5; ++i) a.Push(Tuple::MakeData(i, {}));
+  for (int i = 0; i < 4; ++i) a.Pop();
+  EXPECT_EQ(tracker.peak_total(), 5);
+  tracker.ResetPeak();
+  EXPECT_EQ(tracker.peak_total(), 1);
+  EXPECT_EQ(tracker.current_total(), 1);
+}
+
+TEST(QueueSizeTrackerTest, ResetClearsEverything) {
+  QueueSizeTracker tracker;
+  StreamBuffer a("a");
+  a.set_listener(&tracker);
+  a.Push(Tuple::MakeData(1, {}));
+  a.set_listener(nullptr);
+  tracker.Reset();
+  EXPECT_EQ(tracker.current_total(), 0);
+  EXPECT_EQ(tracker.peak_total(), 0);
+}
+
+TEST(IdleWaitTrackerTest, AccumulatesBlockedIntervals) {
+  IdleWaitTracker tracker;
+  tracker.MarkBlocked(100);
+  tracker.MarkUnblocked(150);
+  tracker.MarkBlocked(200);
+  tracker.MarkUnblocked(260);
+  EXPECT_EQ(tracker.total_idle(300), 110);
+  EXPECT_EQ(tracker.blocked_intervals(), 2);
+  EXPECT_FALSE(tracker.blocked());
+}
+
+TEST(IdleWaitTrackerTest, OpenIntervalCountsTowardNow) {
+  IdleWaitTracker tracker;
+  tracker.MarkBlocked(100);
+  EXPECT_TRUE(tracker.blocked());
+  EXPECT_EQ(tracker.total_idle(160), 60);
+  EXPECT_EQ(tracker.total_idle(200), 100);
+}
+
+TEST(IdleWaitTrackerTest, RepeatedMarksAreIdempotent) {
+  IdleWaitTracker tracker;
+  tracker.MarkBlocked(10);
+  tracker.MarkBlocked(20);  // ignored; still blocked since 10
+  tracker.MarkUnblocked(30);
+  tracker.MarkUnblocked(40);  // ignored
+  EXPECT_EQ(tracker.total_idle(100), 20);
+  EXPECT_EQ(tracker.blocked_intervals(), 1);
+}
+
+TEST(IdleWaitTrackerTest, IdleFraction) {
+  IdleWaitTracker tracker;
+  tracker.MarkBlocked(0);
+  tracker.MarkUnblocked(99);
+  EXPECT_NEAR(tracker.IdleFraction(0, 100), 0.99, 1e-9);
+  EXPECT_DOUBLE_EQ(tracker.IdleFraction(100, 100), 0.0);  // empty window
+}
+
+TEST(IdleWaitTrackerTest, Reset) {
+  IdleWaitTracker tracker;
+  tracker.MarkBlocked(0);
+  tracker.Reset();
+  EXPECT_FALSE(tracker.blocked());
+  EXPECT_EQ(tracker.total_idle(100), 0);
+  EXPECT_EQ(tracker.blocked_intervals(), 0);
+}
+
+TEST(TablePrinterTest, AlignedOutput) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"b", "22"});
+  std::ostringstream os;
+  table.Print(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("|-------|-------|"), std::string::npos);
+}
+
+TEST(TablePrinterTest, CsvOutput) {
+  TablePrinter table({"a", "b"});
+  table.AddNumericRow({1.5, 2.0});
+  std::ostringstream os;
+  table.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n1.5,2\n");
+}
+
+TEST(TablePrinterTest, RowArityMismatchDies) {
+  TablePrinter table({"a", "b"});
+  EXPECT_DEATH(table.AddRow({"only-one"}), "");
+}
+
+TEST(TablePrinterTest, NumRows) {
+  TablePrinter table({"a"});
+  EXPECT_EQ(table.num_rows(), 0);
+  table.AddRow({"x"});
+  EXPECT_EQ(table.num_rows(), 1);
+}
+
+}  // namespace
+}  // namespace dsms

@@ -1,0 +1,106 @@
+// Robustness: the text-facing parsers (plan language, experiment spec,
+// arrival traces, duration syntax) must reject arbitrary junk and mutated
+// inputs with a Status — never a crash or a CHECK failure.
+
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "graph/plan_parser.h"
+#include "sim/experiment_spec.h"
+#include "sim/trace_loader.h"
+
+namespace dsms {
+namespace {
+
+constexpr char kValidExperiment[] = R"(
+stream FAST ts=internal schema=v:int64
+stream SLOW ts=external skew=50ms schema=v:int64
+filter F1 in=FAST selectivity=0.95 seed=7
+filter F2 in=SLOW field=0 op=ge value=1
+union U in=F1,F2
+gaggregate G in=U fn=count key=0 window=1s
+sink OUT in=G
+feed FAST process=poisson rate=50 seed=1
+feed SLOW process=constant rate=0.5
+heartbeat SLOW period=100ms
+run horizon=10s warmup=1s ets=on-demand executor=dfs
+)";
+
+/// Applies a random single-character mutation (replace, delete, insert,
+/// truncate) to `text`.
+std::string Mutate(const std::string& text, Pcg32* rng) {
+  if (text.empty()) return text;
+  std::string mutated = text;
+  size_t pos = static_cast<size_t>(
+      rng->NextInt(0, static_cast<int64_t>(text.size()) - 1));
+  static const char kChars[] = "=,: \nabz019#-";
+  char c = kChars[rng->NextBelow(sizeof(kChars) - 1)];
+  switch (rng->NextInt(0, 3)) {
+    case 0:
+      mutated[pos] = c;
+      break;
+    case 1:
+      mutated.erase(pos, 1);
+      break;
+    case 2:
+      mutated.insert(pos, 1, c);
+      break;
+    default:
+      mutated.resize(pos);
+      break;
+  }
+  return mutated;
+}
+
+class ParserRobustness : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParserRobustness, MutatedExperimentsNeverCrash) {
+  Pcg32 rng(GetParam());
+  std::string text = kValidExperiment;
+  for (int round = 0; round < 200; ++round) {
+    std::string mutated = Mutate(text, &rng);
+    // Either a valid parse or a clean error; both are fine. What is not
+    // fine is an abort, which would fail the test process.
+    auto experiment = ParseExperiment(mutated);
+    if (experiment.ok()) {
+      // Occasionally still runnable; keep it very short.
+      experiment->run.horizon = 100 * kMillisecond;
+      experiment->run.warmup = 0;
+      auto report = RunExperiment(&*experiment);
+      (void)report;
+    }
+    // Chain mutations 25% of the time to drift further from valid input.
+    if (rng.NextBernoulli(0.25)) text = mutated;
+    if (text.size() < 20) text = kValidExperiment;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserRobustness,
+                         ::testing::Values<uint64_t>(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(ParserRobustnessTest, RandomGarbageRejected) {
+  Pcg32 rng(99);
+  for (int i = 0; i < 200; ++i) {
+    std::string garbage;
+    int length = static_cast<int>(rng.NextInt(0, 300));
+    for (int j = 0; j < length; ++j) {
+      garbage.push_back(static_cast<char>(rng.NextInt(9, 126)));
+    }
+    (void)ParsePlan(garbage);
+    (void)ParseExperiment(garbage);
+    (void)ParseArrivalTrace(garbage);
+    Duration d = 0;
+    (void)ParseDuration(garbage, &d);
+  }
+}
+
+TEST(ParserRobustnessTest, ValidBaselineStillParses) {
+  auto experiment = ParseExperiment(kValidExperiment);
+  ASSERT_TRUE(experiment.ok()) << experiment.status();
+}
+
+}  // namespace
+}  // namespace dsms

@@ -1,0 +1,225 @@
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/time.h"
+#include "graph/plan_parser.h"
+#include "operators/reorder.h"
+#include "operators/source.h"
+#include "operators/union_op.h"
+#include "operators/window_aggregate.h"
+#include "operators/window_join.h"
+
+namespace dsms {
+namespace {
+
+constexpr char kPaperPlan[] = R"(
+# The experimental query of Section 6 (Figure 4 plus selections).
+stream S1 ts=internal
+stream S2 ts=internal
+filter F1 in=S1 selectivity=0.95 seed=7
+filter F2 in=S2 selectivity=0.95 seed=8
+union U in=F1,F2
+sink OUT in=U
+)";
+
+TEST(ParseDurationTest, Units) {
+  Duration d = 0;
+  EXPECT_TRUE(ParseDuration("50us", &d).ok());
+  EXPECT_EQ(d, 50);
+  EXPECT_TRUE(ParseDuration("2ms", &d).ok());
+  EXPECT_EQ(d, 2000);
+  EXPECT_TRUE(ParseDuration("3s", &d).ok());
+  EXPECT_EQ(d, 3 * kSecond);
+  EXPECT_TRUE(ParseDuration("1m", &d).ok());
+  EXPECT_EQ(d, 60 * kSecond);
+  EXPECT_TRUE(ParseDuration("42", &d).ok());
+  EXPECT_EQ(d, 42);
+  EXPECT_TRUE(ParseDuration("1.5s", &d).ok());
+  EXPECT_EQ(d, 1500000);
+}
+
+TEST(ParseDurationTest, Rejects) {
+  Duration d = 0;
+  EXPECT_FALSE(ParseDuration("", &d).ok());
+  EXPECT_FALSE(ParseDuration("abc", &d).ok());
+  EXPECT_FALSE(ParseDuration("-5s", &d).ok());
+  EXPECT_FALSE(ParseDuration("5x", &d).ok());
+}
+
+TEST(PlanParserTest, ParsesPaperPlan) {
+  auto plan = ParsePlan(kPaperPlan);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(plan->graph->num_operators(), 6);
+  EXPECT_NE(plan->Find("U"), nullptr);
+  EXPECT_EQ(plan->Find("missing"), nullptr);
+  auto* u = dynamic_cast<Union*>(plan->Find("U"));
+  ASSERT_NE(u, nullptr);
+  EXPECT_TRUE(u->ordered());
+  auto* s1 = dynamic_cast<Source*>(plan->Find("S1"));
+  ASSERT_NE(s1, nullptr);
+  EXPECT_EQ(s1->timestamp_kind(), TimestampKind::kInternal);
+}
+
+TEST(PlanParserTest, LatentSourcesInferUnorderedUnion) {
+  auto plan = ParsePlan(R"(
+stream S1 ts=latent
+stream S2 ts=latent
+union U in=S1,S2
+sink OUT in=U
+)");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  auto* u = dynamic_cast<Union*>(plan->Find("U"));
+  ASSERT_NE(u, nullptr);
+  EXPECT_FALSE(u->ordered());
+}
+
+TEST(PlanParserTest, ExternalStreamWithSkew) {
+  auto plan = ParsePlan(R"(
+stream S ts=external skew=100ms
+sink OUT in=S
+)");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  auto* s = dynamic_cast<Source*>(plan->Find("S"));
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->timestamp_kind(), TimestampKind::kExternal);
+  EXPECT_EQ(s->skew_bound(), 100 * kMillisecond);
+}
+
+TEST(PlanParserTest, JoinWithEquiFields) {
+  auto plan = ParsePlan(R"(
+stream L
+stream R
+join J in=L,R window=2s left_field=0 right_field=1
+sink OUT in=J
+)");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  auto* join = dynamic_cast<WindowJoin*>(plan->Find("J"));
+  ASSERT_NE(join, nullptr);
+  EXPECT_TRUE(join->ordered());
+}
+
+TEST(PlanParserTest, AggregateStatement) {
+  auto plan = ParsePlan(R"(
+stream S
+aggregate A in=S fn=avg field=0 window=1s slide=500ms
+sink OUT in=A
+)");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  auto* agg = dynamic_cast<WindowAggregate*>(plan->Find("A"));
+  ASSERT_NE(agg, nullptr);
+  EXPECT_EQ(agg->window(), kSecond);
+  EXPECT_EQ(agg->slide(), 500 * kMillisecond);
+}
+
+TEST(PlanParserTest, ReorderAndPredicateFilterAndProjectAndCopy) {
+  auto plan = ParsePlan(R"(
+stream S
+reorder R in=S slack=50ms
+filter F in=R field=0 op=ge value=10
+project P in=F fields=0
+copy C in=P
+sink O1 in=C
+sink O2 in=C
+)");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  auto* reorder = dynamic_cast<Reorder*>(plan->Find("R"));
+  ASSERT_NE(reorder, nullptr);
+  EXPECT_EQ(reorder->slack(), 50 * kMillisecond);
+}
+
+TEST(PlanParserTest, ErrorUnknownInput) {
+  auto plan = ParsePlan("sink OUT in=NOPE\n");
+  ASSERT_FALSE(plan.ok());
+  EXPECT_NE(plan.status().message().find("NOPE"), std::string::npos);
+  EXPECT_NE(plan.status().message().find("line 1"), std::string::npos);
+}
+
+TEST(PlanParserTest, ErrorDuplicateName) {
+  auto plan = ParsePlan("stream S\nstream S\nsink O in=S\n");
+  ASSERT_FALSE(plan.ok());
+  EXPECT_NE(plan.status().message().find("duplicate"), std::string::npos);
+}
+
+TEST(PlanParserTest, ErrorUnknownType) {
+  auto plan = ParsePlan("wibble W\n");
+  ASSERT_FALSE(plan.ok());
+  EXPECT_NE(plan.status().message().find("wibble"), std::string::npos);
+}
+
+TEST(PlanParserTest, ErrorBadTsKind) {
+  EXPECT_FALSE(ParsePlan("stream S ts=wallclock\nsink O in=S\n").ok());
+}
+
+TEST(PlanParserTest, ErrorUnionNeedsTwoInputs) {
+  EXPECT_FALSE(ParsePlan("stream S\nunion U in=S\nsink O in=U\n").ok());
+}
+
+TEST(PlanParserTest, ErrorMixedLineages) {
+  auto plan = ParsePlan(R"(
+stream A ts=internal
+stream B ts=latent
+union U in=A,B
+sink O in=U
+)");
+  ASSERT_FALSE(plan.ok());
+  EXPECT_NE(plan.status().message().find("mixes"), std::string::npos);
+}
+
+TEST(PlanParserTest, ErrorMissingRequiredArg) {
+  EXPECT_FALSE(ParsePlan("stream S\naggregate A in=S fn=count\nsink O in=A\n")
+                   .ok());  // missing window=
+}
+
+TEST(PlanParserTest, ErrorBadSelectivity) {
+  EXPECT_FALSE(
+      ParsePlan("stream S\nfilter F in=S selectivity=1.5\nsink O in=F\n")
+          .ok());
+}
+
+TEST(PlanParserTest, ErrorMalformedArgument) {
+  auto plan = ParsePlan("stream S =bad\n");
+  ASSERT_FALSE(plan.ok());
+  EXPECT_NE(plan.status().message().find("malformed"), std::string::npos);
+}
+
+TEST(PlanParserTest, ErrorEmptyPlan) {
+  EXPECT_FALSE(ParsePlan("  \n# just a comment\n").ok());
+}
+
+TEST(PlanParserTest, ErrorValidationFailurePropagates) {
+  // Parses fine but the graph is invalid: filter with no consumer.
+  auto plan = ParsePlan("stream S\nfilter F in=S selectivity=0.5\n");
+  EXPECT_FALSE(plan.ok());
+}
+
+TEST(PlanParserTest, CommentsAndBlankLinesIgnored) {
+  auto plan = ParsePlan(R"(
+# leading comment
+
+stream S   # trailing comment
+sink OUT in=S
+)");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(plan->graph->num_operators(), 2);
+}
+
+TEST(PlanParserTest, AggregateAfterLatentIsTimestamped) {
+  // A latent stream through an aggregate becomes timestamped, so an ordered
+  // union downstream is legal.
+  auto plan = ParsePlan(R"(
+stream A ts=latent
+stream B ts=latent
+aggregate AG1 in=A fn=count window=1s
+aggregate AG2 in=B fn=count window=1s
+union U in=AG1,AG2
+sink O in=U
+)");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  auto* u = dynamic_cast<Union*>(plan->Find("U"));
+  ASSERT_NE(u, nullptr);
+  EXPECT_TRUE(u->ordered());
+}
+
+}  // namespace
+}  // namespace dsms

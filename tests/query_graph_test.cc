@@ -1,0 +1,239 @@
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+#include "core/tuple.h"
+#include "graph/graph_builder.h"
+#include "graph/query_graph.h"
+#include "operators/filter.h"
+#include "operators/map.h"
+#include "operators/sink.h"
+#include "operators/source.h"
+#include "operators/union_op.h"
+
+namespace dsms {
+namespace {
+
+TEST(QueryGraphTest, WiringAndLookups) {
+  QueryGraph graph;
+  auto* source = graph.Add(
+      std::make_unique<Source>("S", 0, TimestampKind::kInternal));
+  auto* filter = graph.Add(std::make_unique<Filter>(
+      "F", [](const Tuple&) { return true; }));
+  auto* sink = graph.Add(std::make_unique<Sink>("OUT"));
+  StreamBuffer* arc1 = graph.Connect(source, filter);
+  StreamBuffer* arc2 = graph.Connect(filter, sink);
+
+  EXPECT_EQ(graph.num_operators(), 3);
+  EXPECT_EQ(graph.num_buffers(), 2);
+  EXPECT_EQ(source->id(), 0);
+  EXPECT_EQ(arc1->name(), "S->F");
+  EXPECT_EQ(graph.producer_of(arc1->id()), source->id());
+  EXPECT_EQ(graph.consumer_of(arc2->id()), sink->id());
+  EXPECT_EQ(graph.predecessor(filter, 0), source);
+  ASSERT_EQ(graph.successors(filter).size(), 1u);
+  EXPECT_EQ(graph.successors(filter)[0], sink);
+  EXPECT_TRUE(graph.IsLastBeforeSink(filter));
+  EXPECT_FALSE(graph.IsLastBeforeSink(source));
+
+  EXPECT_TRUE(graph.Validate().ok());
+  EXPECT_TRUE(graph.validated());
+  ASSERT_EQ(graph.sources().size(), 1u);
+  ASSERT_EQ(graph.sinks().size(), 1u);
+}
+
+TEST(QueryGraphTest, ValidateRejectsDanglingFilter) {
+  QueryGraph graph;
+  auto* source = graph.Add(
+      std::make_unique<Source>("S", 0, TimestampKind::kInternal));
+  auto* filter = graph.Add(std::make_unique<Filter>(
+      "F", [](const Tuple&) { return true; }));
+  graph.Connect(source, filter);
+  // Filter has no output arc.
+  Status status = graph.Validate();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("F"), std::string::npos);
+}
+
+TEST(QueryGraphTest, ValidateRejectsUnaryUnion) {
+  QueryGraph graph;
+  auto* source = graph.Add(
+      std::make_unique<Source>("S", 0, TimestampKind::kInternal));
+  auto* u = graph.Add(std::make_unique<Union>("U"));
+  auto* sink = graph.Add(std::make_unique<Sink>("OUT"));
+  graph.Connect(source, u);
+  graph.Connect(u, sink);
+  EXPECT_FALSE(graph.Validate().ok());
+}
+
+TEST(QueryGraphTest, ValidateRejectsCycle) {
+  QueryGraph graph;
+  auto* a = graph.Add(std::make_unique<MapOp>(
+      "A", [](const std::vector<Value>& v) { return v; }));
+  auto* b = graph.Add(std::make_unique<MapOp>(
+      "B", [](const std::vector<Value>& v) { return v; }));
+  graph.Connect(a, b);
+  graph.Connect(b, a);
+  Status status = graph.Validate();
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("cycle"), std::string::npos);
+}
+
+TEST(QueryGraphTest, ValidateRejectsEmptyGraph) {
+  QueryGraph graph;
+  EXPECT_EQ(graph.Validate().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(QueryGraphTest, ValidateRejectsMixedLineagesIntoUnion) {
+  QueryGraph graph;
+  auto* s1 = graph.Add(
+      std::make_unique<Source>("S1", 0, TimestampKind::kInternal));
+  auto* s2 =
+      graph.Add(std::make_unique<Source>("S2", 1, TimestampKind::kLatent));
+  auto* u = graph.Add(std::make_unique<Union>("U"));
+  auto* sink = graph.Add(std::make_unique<Sink>("OUT"));
+  graph.Connect(s1, u);
+  graph.Connect(s2, u);
+  graph.Connect(u, sink);
+  Status status = graph.Validate();
+  EXPECT_FALSE(status.ok());
+}
+
+TEST(QueryGraphTest, ValidateRejectsOrderedUnionOnLatentSources) {
+  QueryGraph graph;
+  auto* s1 =
+      graph.Add(std::make_unique<Source>("S1", 0, TimestampKind::kLatent));
+  auto* s2 =
+      graph.Add(std::make_unique<Source>("S2", 1, TimestampKind::kLatent));
+  auto* u = graph.Add(std::make_unique<Union>("U", /*ordered=*/true));
+  auto* sink = graph.Add(std::make_unique<Sink>("OUT"));
+  graph.Connect(s1, u);
+  graph.Connect(s2, u);
+  graph.Connect(u, sink);
+  EXPECT_FALSE(graph.Validate().ok());
+}
+
+TEST(QueryGraphTest, ValidateAcceptsUnorderedUnionOnLatentSources) {
+  QueryGraph graph;
+  auto* s1 =
+      graph.Add(std::make_unique<Source>("S1", 0, TimestampKind::kLatent));
+  auto* s2 =
+      graph.Add(std::make_unique<Source>("S2", 1, TimestampKind::kLatent));
+  auto* u = graph.Add(std::make_unique<Union>("U", /*ordered=*/false));
+  auto* sink = graph.Add(std::make_unique<Sink>("OUT"));
+  graph.Connect(s1, u);
+  graph.Connect(s2, u);
+  graph.Connect(u, sink);
+  EXPECT_TRUE(graph.Validate().ok());
+}
+
+TEST(QueryGraphTest, ValidateRejectsUnorderedUnionOnTimestampedSources) {
+  QueryGraph graph;
+  auto* s1 = graph.Add(
+      std::make_unique<Source>("S1", 0, TimestampKind::kInternal));
+  auto* s2 = graph.Add(
+      std::make_unique<Source>("S2", 1, TimestampKind::kInternal));
+  auto* u = graph.Add(std::make_unique<Union>("U", /*ordered=*/false));
+  auto* sink = graph.Add(std::make_unique<Sink>("OUT"));
+  graph.Connect(s1, u);
+  graph.Connect(s2, u);
+  graph.Connect(u, sink);
+  EXPECT_FALSE(graph.Validate().ok());
+}
+
+TEST(QueryGraphTest, ComponentsFound) {
+  QueryGraph graph;
+  auto* s1 = graph.Add(
+      std::make_unique<Source>("S1", 0, TimestampKind::kInternal));
+  auto* k1 = graph.Add(std::make_unique<Sink>("O1"));
+  graph.Connect(s1, k1);
+  auto* s2 = graph.Add(
+      std::make_unique<Source>("S2", 1, TimestampKind::kInternal));
+  auto* k2 = graph.Add(std::make_unique<Sink>("O2"));
+  graph.Connect(s2, k2);
+  auto components = graph.Components();
+  ASSERT_EQ(components.size(), 2u);
+  EXPECT_EQ(components[0].size(), 2u);
+  EXPECT_EQ(components[1].size(), 2u);
+}
+
+TEST(QueryGraphTest, TotalBufferedAndDataQueries) {
+  QueryGraph graph;
+  auto* source = graph.Add(
+      std::make_unique<Source>("S", 0, TimestampKind::kInternal));
+  auto* sink = graph.Add(std::make_unique<Sink>("OUT"));
+  graph.Connect(source, sink);
+  DSMS_CHECK_OK(graph.Validate());
+  EXPECT_EQ(graph.TotalBufferedTuples(), 0u);
+  EXPECT_FALSE(graph.AnyDataBuffered());
+  source->Ingest({}, 10);
+  source->InjectPunctuation(20);
+  EXPECT_EQ(graph.TotalBufferedTuples(), 2u);
+  EXPECT_TRUE(graph.AnyDataBuffered());
+}
+
+TEST(QueryGraphTest, ToStringListsArcs) {
+  QueryGraph graph;
+  auto* source = graph.Add(
+      std::make_unique<Source>("S", 0, TimestampKind::kInternal));
+  auto* sink = graph.Add(std::make_unique<Sink>("OUT"));
+  graph.Connect(source, sink);
+  std::string dump = graph.ToString();
+  EXPECT_NE(dump.find("S -> OUT"), std::string::npos);
+}
+
+TEST(GraphBuilderTest, BuildsPaperGraph) {
+  GraphBuilder builder;
+  Source* s1 = builder.AddSource("S1", TimestampKind::kInternal);
+  Source* s2 = builder.AddSource("S2", TimestampKind::kInternal);
+  auto* f1 = builder.AddRandomDropFilter("F1", 0.95, 1);
+  auto* f2 = builder.AddRandomDropFilter("F2", 0.95, 2);
+  Union* u = builder.AddUnion("U");
+  Sink* sink = builder.AddSink("OUT");
+  builder.Connect(s1, f1);
+  builder.Connect(s2, f2);
+  builder.Connect(f1, u);
+  builder.Connect(f2, u);
+  builder.Connect(u, sink);
+  auto graph = builder.Build();
+  ASSERT_TRUE(graph.ok()) << graph.status();
+  EXPECT_EQ((*graph)->num_operators(), 6);
+  EXPECT_EQ(s1->stream_id(), 0);
+  EXPECT_EQ(s2->stream_id(), 1);
+}
+
+TEST(GraphBuilderTest, BuildReturnsValidationError) {
+  GraphBuilder builder;
+  builder.AddSource("S1", TimestampKind::kInternal);
+  auto graph = builder.Build();
+  EXPECT_FALSE(graph.ok());  // source with no output
+}
+
+TEST(GraphBuilderTest, AllOperatorKindsConstructible) {
+  GraphBuilder builder;
+  Source* s = builder.AddSource("S", TimestampKind::kInternal);
+  auto* copy = builder.AddCopy("C");
+  auto* f = builder.AddFilter("F", [](const Tuple&) { return true; });
+  auto* m = builder.AddMap("M", [](const std::vector<Value>& v) { return v; });
+  auto* p = builder.AddProject("P", {0});
+  auto* r = builder.AddReorder("R", 100);
+  auto* agg = builder.AddWindowAggregate("A", AggKind::kSum, 0, 100, 100);
+  Sink* sink1 = builder.AddSink("O1");
+  Sink* sink2 = builder.AddSink("O2");
+  builder.Connect(s, copy);
+  builder.Connect(copy, f);
+  builder.Connect(copy, m);
+  builder.Connect(f, p);
+  builder.Connect(p, r);
+  builder.Connect(r, agg);
+  builder.Connect(agg, sink1);
+  builder.Connect(m, sink2);
+  auto graph = builder.Build();
+  ASSERT_TRUE(graph.ok()) << graph.status();
+}
+
+}  // namespace
+}  // namespace dsms

@@ -1,0 +1,133 @@
+#include "common/random.h"
+
+#include <cmath>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "common/time.h"
+
+namespace dsms {
+namespace {
+
+TEST(Pcg32Test, DeterministicForSameSeed) {
+  Pcg32 a(123, 7);
+  Pcg32 b(123, 7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint32(), b.NextUint32());
+}
+
+TEST(Pcg32Test, DifferentSeedsDiverge) {
+  Pcg32 a(1);
+  Pcg32 b(2);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.NextUint32() != b.NextUint32()) ++differing;
+  }
+  EXPECT_GT(differing, 28);
+}
+
+TEST(Pcg32Test, DifferentStreamsDiverge) {
+  Pcg32 a(1, 1);
+  Pcg32 b(1, 2);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.NextUint32() != b.NextUint32()) ++differing;
+  }
+  EXPECT_GT(differing, 28);
+}
+
+TEST(Pcg32Test, NextBelowInRange) {
+  Pcg32 rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.NextBelow(1), 0u);
+  }
+}
+
+TEST(Pcg32Test, NextDoubleInUnitInterval) {
+  Pcg32 rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Pcg32Test, NextDoubleRanged) {
+  Pcg32 rng(12);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.NextDouble(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Pcg32Test, BernoulliFrequency) {
+  Pcg32 rng(13);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (rng.NextBernoulli(0.95)) ++hits;
+  }
+  EXPECT_NEAR(hits / 20000.0, 0.95, 0.01);
+}
+
+TEST(Pcg32Test, BernoulliEdges) {
+  Pcg32 rng(14);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+    EXPECT_FALSE(rng.NextBernoulli(-1.0));
+    EXPECT_TRUE(rng.NextBernoulli(2.0));
+  }
+}
+
+TEST(Pcg32Test, ExponentialGapMeanMatchesRate) {
+  Pcg32 rng(15);
+  const double rate = 50.0;  // The paper's fast stream.
+  double total_seconds = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    Duration gap = rng.NextExponentialGap(rate);
+    EXPECT_GE(gap, 1);
+    total_seconds += DurationToSeconds(gap);
+  }
+  EXPECT_NEAR(total_seconds / n, 1.0 / rate, 0.001);
+}
+
+TEST(Pcg32Test, ExponentialGapSlowRate) {
+  Pcg32 rng(16);
+  const double rate = 0.05;  // The paper's slow stream: mean gap 20 s.
+  double total_seconds = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    total_seconds += DurationToSeconds(rng.NextExponentialGap(rate));
+  }
+  EXPECT_NEAR(total_seconds / n, 20.0, 1.0);
+}
+
+TEST(Pcg32Test, NextIntBounds) {
+  Pcg32 rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.NextInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+  EXPECT_EQ(rng.NextInt(9, 9), 9);
+}
+
+TEST(Pcg32Test, NextIntCoversRange) {
+  Pcg32 rng(18);
+  bool seen[3] = {false, false, false};
+  for (int i = 0; i < 200; ++i) seen[rng.NextInt(0, 2)] = true;
+  EXPECT_TRUE(seen[0]);
+  EXPECT_TRUE(seen[1]);
+  EXPECT_TRUE(seen[2]);
+}
+
+}  // namespace
+}  // namespace dsms

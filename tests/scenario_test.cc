@@ -1,0 +1,184 @@
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/time.h"
+#include "sim/scenario.h"
+
+namespace dsms {
+namespace {
+
+ScenarioConfig ShortConfig(ScenarioKind kind) {
+  ScenarioConfig config;
+  config.kind = kind;
+  config.horizon = 120 * kSecond;
+  config.warmup = 10 * kSecond;
+  if (kind == ScenarioKind::kPeriodicEts) config.heartbeat_rate = 10.0;
+  return config;
+}
+
+TEST(ScenarioTest, LatencyOrderingMatchesPaper) {
+  // Figure 7: A >> B > C ~ D (log scale).
+  ScenarioResult a = RunScenario(ShortConfig(ScenarioKind::kNoEts));
+  ScenarioResult b = RunScenario(ShortConfig(ScenarioKind::kPeriodicEts));
+  ScenarioResult c = RunScenario(ShortConfig(ScenarioKind::kOnDemandEts));
+  ScenarioResult d = RunScenario(ShortConfig(ScenarioKind::kLatent));
+
+  EXPECT_GT(a.mean_latency_ms, 1000.0);            // seconds
+  EXPECT_GT(a.mean_latency_ms, 10 * b.mean_latency_ms);
+  EXPECT_GT(b.mean_latency_ms, 10 * c.mean_latency_ms);
+  EXPECT_GE(c.mean_latency_ms, d.mean_latency_ms);
+  EXPECT_LT(c.mean_latency_ms, 1.0);               // sub-millisecond
+  // Figure 7(b): C − D is a fraction of a millisecond.
+  EXPECT_LT(c.mean_latency_ms - d.mean_latency_ms, 0.5);
+}
+
+TEST(ScenarioTest, MemoryOrderingMatchesPaper) {
+  // Figure 8: A in the thousands; C orders of magnitude lower.
+  ScenarioResult a = RunScenario(ShortConfig(ScenarioKind::kNoEts));
+  ScenarioResult c = RunScenario(ShortConfig(ScenarioKind::kOnDemandEts));
+  EXPECT_GT(a.peak_queue_total, 500);
+  EXPECT_LT(c.peak_queue_total, 20);
+  EXPECT_GT(a.peak_queue_total, 50 * c.peak_queue_total);
+}
+
+TEST(ScenarioTest, IdleWaitingMatchesPaperText) {
+  // Section 6: A ~99% idle, C < ~1%.
+  ScenarioResult a = RunScenario(ShortConfig(ScenarioKind::kNoEts));
+  ScenarioResult c = RunScenario(ShortConfig(ScenarioKind::kOnDemandEts));
+  ScenarioResult d = RunScenario(ShortConfig(ScenarioKind::kLatent));
+  EXPECT_GT(a.idle_fraction, 0.9);
+  EXPECT_LT(c.idle_fraction, 0.01);
+  EXPECT_DOUBLE_EQ(d.idle_fraction, 0.0);
+}
+
+TEST(ScenarioTest, EtsCountsConsistent) {
+  ScenarioResult c = RunScenario(ShortConfig(ScenarioKind::kOnDemandEts));
+  EXPECT_GT(c.ets_generated, 100u);
+  EXPECT_GE(c.punctuation_steps, c.ets_generated);  // each ETS is processed
+  ScenarioResult a = RunScenario(ShortConfig(ScenarioKind::kNoEts));
+  EXPECT_EQ(a.ets_generated, 0u);
+  EXPECT_EQ(a.punctuation_steps, 0u);
+}
+
+TEST(ScenarioTest, DeterministicPerSeed) {
+  ScenarioConfig config = ShortConfig(ScenarioKind::kOnDemandEts);
+  ScenarioResult r1 = RunScenario(config);
+  ScenarioResult r2 = RunScenario(config);
+  EXPECT_DOUBLE_EQ(r1.mean_latency_ms, r2.mean_latency_ms);
+  EXPECT_EQ(r1.tuples_delivered, r2.tuples_delivered);
+  EXPECT_EQ(r1.ets_generated, r2.ets_generated);
+  config.seed = 43;
+  ScenarioResult r3 = RunScenario(config);
+  EXPECT_NE(r1.tuples_delivered, r3.tuples_delivered);
+}
+
+TEST(ScenarioTest, HigherHeartbeatRateLowersLatency) {
+  ScenarioConfig slow_hb = ShortConfig(ScenarioKind::kPeriodicEts);
+  slow_hb.heartbeat_rate = 0.5;
+  ScenarioConfig fast_hb = ShortConfig(ScenarioKind::kPeriodicEts);
+  fast_hb.heartbeat_rate = 50.0;
+  ScenarioResult slow = RunScenario(slow_hb);
+  ScenarioResult fast = RunScenario(fast_hb);
+  EXPECT_GT(slow.mean_latency_ms, fast.mean_latency_ms * 5);
+}
+
+TEST(ScenarioTest, JoinShapeRunsAndBenefitsFromEts) {
+  ScenarioConfig no_ets = ShortConfig(ScenarioKind::kNoEts);
+  no_ets.shape = QueryShape::kJoin;
+  ScenarioConfig on_demand = ShortConfig(ScenarioKind::kOnDemandEts);
+  on_demand.shape = QueryShape::kJoin;
+  ScenarioResult a = RunScenario(no_ets);
+  ScenarioResult c = RunScenario(on_demand);
+  EXPECT_GT(a.idle_fraction, 0.5);
+  EXPECT_LT(c.idle_fraction, 0.05);
+  EXPECT_GT(a.peak_queue_total, 10 * c.peak_queue_total);
+}
+
+TEST(ScenarioTest, AggregateShapeEmissionDelayDropsWithEts) {
+  ScenarioConfig no_ets = ShortConfig(ScenarioKind::kNoEts);
+  no_ets.shape = QueryShape::kAggregate;
+  no_ets.slow_rate = 0.05;
+  ScenarioConfig on_demand = ShortConfig(ScenarioKind::kOnDemandEts);
+  on_demand.shape = QueryShape::kAggregate;
+  on_demand.slow_rate = 0.05;
+  ScenarioResult a = RunScenario(no_ets);
+  ScenarioResult c = RunScenario(on_demand);
+  // Without punctuation a window's result waits for the next (rare) tuple;
+  // on-demand ETS closes windows promptly.
+  EXPECT_GT(a.mean_latency_ms, 100.0);
+  EXPECT_LT(c.mean_latency_ms, a.mean_latency_ms / 10);
+  EXPECT_GE(c.tuples_delivered, a.tuples_delivered);
+}
+
+TEST(ScenarioTest, ExternalTimestampsWork) {
+  ScenarioConfig config = ShortConfig(ScenarioKind::kOnDemandEts);
+  config.ts_kind = TimestampKind::kExternal;
+  config.skew_bound = 50 * kMillisecond;
+  ScenarioResult c = RunScenario(config);
+  EXPECT_GT(c.tuples_delivered, 1000u);
+  EXPECT_GT(c.ets_generated, 0u);
+  // Latency bounded by roughly the skew bound plus processing.
+  EXPECT_LT(c.mean_latency_ms, 200.0);
+}
+
+TEST(ScenarioTest, RoundRobinExecutorRuns) {
+  ScenarioConfig config = ShortConfig(ScenarioKind::kOnDemandEts);
+  config.executor = ExecutorKind::kRoundRobin;
+  ScenarioResult rr = RunScenario(config);
+  EXPECT_GT(rr.tuples_delivered, 1000u);
+  EXPECT_LT(rr.mean_latency_ms, 10.0);
+}
+
+TEST(ScenarioTest, NaryUnionFanIn) {
+  ScenarioConfig config = ShortConfig(ScenarioKind::kOnDemandEts);
+  config.num_slow_streams = 4;
+  ScenarioResult c = RunScenario(config);
+  EXPECT_GT(c.tuples_delivered, 1000u);
+  EXPECT_LT(c.mean_latency_ms, 5.0);
+}
+
+TEST(ScenarioTest, BurstyArrivalsStillFast) {
+  ScenarioConfig config = ShortConfig(ScenarioKind::kOnDemandEts);
+  config.arrivals = ArrivalKind::kBursty;
+  ScenarioResult c = RunScenario(config);
+  EXPECT_GT(c.tuples_delivered, 100u);
+  EXPECT_LT(c.mean_latency_ms, 10.0);
+}
+
+TEST(ScenarioTest, ToStringMentionsKeyFields) {
+  ScenarioResult r = RunScenario(ShortConfig(ScenarioKind::kLatent));
+  std::string s = r.ToString();
+  EXPECT_NE(s.find("latency"), std::string::npos);
+  EXPECT_NE(s.find("peak_queue"), std::string::npos);
+}
+
+class ScenarioInvariantTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ScenarioInvariantTest, NoOrderViolationsAnywhere) {
+  auto [kind_index, shape_index] = GetParam();
+  ScenarioConfig config;
+  config.kind = static_cast<ScenarioKind>(kind_index);
+  config.shape = static_cast<QueryShape>(shape_index);
+  config.horizon = 60 * kSecond;
+  config.warmup = 5 * kSecond;
+  if (config.kind == ScenarioKind::kPeriodicEts) config.heartbeat_rate = 5.0;
+  ScenarioResult r = RunScenario(config);
+  EXPECT_EQ(r.order_violations, 0u)
+      << ScenarioKindToString(config.kind) << " shape " << shape_index;
+  EXPECT_EQ(r.buffer_order_violations, 0u)
+      << ScenarioKindToString(config.kind) << " shape " << shape_index;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKindsAllShapes, ScenarioInvariantTest,
+                         ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                                            ::testing::Values(0, 1, 2)));
+
+TEST(ScenarioKindTest, Names) {
+  EXPECT_STREQ(ScenarioKindToString(ScenarioKind::kNoEts), "A:no-ets");
+  EXPECT_STREQ(ScenarioKindToString(ScenarioKind::kLatent), "D:latent");
+}
+
+}  // namespace
+}  // namespace dsms

@@ -1,0 +1,309 @@
+// Schema propagation and type checking through query graphs: sources
+// declare schemas, operators derive output schemas, and
+// QueryGraph::Validate rejects out-of-bounds or ill-typed field references.
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "core/schema.h"
+#include "core/tuple.h"
+#include "graph/graph_builder.h"
+#include "graph/plan_parser.h"
+#include "operators/filter.h"
+#include "operators/grouped_aggregate.h"
+#include "operators/multiway_join.h"
+#include "operators/project.h"
+#include "operators/window_aggregate.h"
+#include "operators/window_join.h"
+
+namespace dsms {
+namespace {
+
+Schema TradeSchema() {
+  return Schema{{"price", ValueType::kDouble},
+                {"size", ValueType::kInt64},
+                {"sym", ValueType::kString}};
+}
+
+TEST(CheckFieldAccessTest, BoundsAndTypes) {
+  Schema schema = TradeSchema();
+  EXPECT_TRUE(CheckFieldAccess(schema, 0, true, "op").ok());
+  EXPECT_TRUE(CheckFieldAccess(schema, 2, false, "op").ok());
+  EXPECT_FALSE(CheckFieldAccess(schema, 3, false, "op").ok());
+  EXPECT_FALSE(CheckFieldAccess(schema, -1, false, "op").ok());
+  Status s = CheckFieldAccess(schema, 2, true, "myop");
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("myop"), std::string::npos);
+  EXPECT_NE(s.message().find("numeric"), std::string::npos);
+}
+
+TEST(SchemaPropagationTest, UntypedSourcesSkipChecking) {
+  GraphBuilder builder;
+  Source* s = builder.AddSource("S", TimestampKind::kInternal);
+  // Projecting field 99 of an untyped stream: no schema, no check.
+  Project* p = builder.AddProject("P", {99});
+  Sink* sink = builder.AddSink("OUT");
+  builder.Connect(s, p);
+  builder.Connect(p, sink);
+  auto graph = builder.Build();
+  ASSERT_TRUE(graph.ok()) << graph.status();
+  EXPECT_FALSE((*graph)->output_schema(p->id()).has_value());
+}
+
+TEST(SchemaPropagationTest, SourceSchemaFlowsToSink) {
+  GraphBuilder builder;
+  Source* s = builder.AddSource("S", TimestampKind::kInternal);
+  s->set_schema(TradeSchema());
+  Sink* sink = builder.AddSink("OUT");
+  builder.Connect(s, sink);
+  auto graph = builder.Build();
+  ASSERT_TRUE(graph.ok()) << graph.status();
+  ASSERT_TRUE((*graph)->output_schema(s->id()).has_value());
+  EXPECT_EQ(*(*graph)->output_schema(s->id()), TradeSchema());
+}
+
+TEST(SchemaPropagationTest, ProjectDerivesSelectedFields) {
+  GraphBuilder builder;
+  Source* s = builder.AddSource("S", TimestampKind::kInternal);
+  s->set_schema(TradeSchema());
+  Project* p = builder.AddProject("P", {2, 0});
+  Sink* sink = builder.AddSink("OUT");
+  builder.Connect(s, p);
+  builder.Connect(p, sink);
+  auto graph = builder.Build();
+  ASSERT_TRUE(graph.ok()) << graph.status();
+  const std::optional<Schema>& out = (*graph)->output_schema(p->id());
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->ToString(), "(sym:string, price:double)");
+}
+
+TEST(SchemaPropagationTest, ProjectOutOfBoundsRejected) {
+  GraphBuilder builder;
+  Source* s = builder.AddSource("S", TimestampKind::kInternal);
+  s->set_schema(TradeSchema());
+  Project* p = builder.AddProject("P", {3});
+  Sink* sink = builder.AddSink("OUT");
+  builder.Connect(s, p);
+  builder.Connect(p, sink);
+  auto graph = builder.Build();
+  ASSERT_FALSE(graph.ok());
+  EXPECT_NE(graph.status().message().find("out of bounds"),
+            std::string::npos);
+}
+
+TEST(SchemaPropagationTest, FilterRequiredNumericFieldChecked) {
+  GraphBuilder builder;
+  Source* s = builder.AddSource("S", TimestampKind::kInternal);
+  s->set_schema(TradeSchema());
+  Filter* f = builder.AddFilter("F", [](const Tuple&) { return true; });
+  f->set_required_numeric_field(2);  // "sym" is a string
+  Sink* sink = builder.AddSink("OUT");
+  builder.Connect(s, f);
+  builder.Connect(f, sink);
+  auto graph = builder.Build();
+  ASSERT_FALSE(graph.ok());
+  EXPECT_NE(graph.status().message().find("numeric"), std::string::npos);
+}
+
+TEST(SchemaPropagationTest, UnionRequiresMatchingSchemas) {
+  GraphBuilder builder;
+  Source* a = builder.AddSource("A", TimestampKind::kInternal);
+  a->set_schema(TradeSchema());
+  Source* b = builder.AddSource("B", TimestampKind::kInternal);
+  b->set_schema(Schema{{"x", ValueType::kInt64}});
+  Union* u = builder.AddUnion("U");
+  Sink* sink = builder.AddSink("OUT");
+  builder.Connect(a, u);
+  builder.Connect(b, u);
+  builder.Connect(u, sink);
+  auto graph = builder.Build();
+  ASSERT_FALSE(graph.ok());
+  EXPECT_NE(graph.status().message().find("does not match"),
+            std::string::npos);
+}
+
+TEST(SchemaPropagationTest, UnionWithOneTypedInputPropagatesIt) {
+  GraphBuilder builder;
+  Source* a = builder.AddSource("A", TimestampKind::kInternal);
+  a->set_schema(TradeSchema());
+  Source* b = builder.AddSource("B", TimestampKind::kInternal);  // untyped
+  Union* u = builder.AddUnion("U");
+  Sink* sink = builder.AddSink("OUT");
+  builder.Connect(a, u);
+  builder.Connect(b, u);
+  builder.Connect(u, sink);
+  auto graph = builder.Build();
+  ASSERT_TRUE(graph.ok()) << graph.status();
+  ASSERT_TRUE((*graph)->output_schema(u->id()).has_value());
+}
+
+TEST(SchemaPropagationTest, JoinConcatenatesAndChecksEquiFields) {
+  GraphBuilder builder;
+  Source* l = builder.AddSource("L", TimestampKind::kInternal);
+  l->set_schema(Schema{{"id", ValueType::kInt64}, {"v", ValueType::kDouble}});
+  Source* r = builder.AddSource("R", TimestampKind::kInternal);
+  r->set_schema(Schema{{"id", ValueType::kInt64}, {"w", ValueType::kDouble}});
+  WindowJoin* j = builder.AddWindowJoin("J", 100, 100,
+                                        WindowJoin::EquiJoin(0, 0));
+  j->set_equi_fields(0, 0);
+  Sink* sink = builder.AddSink("OUT");
+  builder.Connect(l, j);
+  builder.Connect(r, j);
+  builder.Connect(j, sink);
+  auto graph = builder.Build();
+  ASSERT_TRUE(graph.ok()) << graph.status();
+  const std::optional<Schema>& out = (*graph)->output_schema(j->id());
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->ToString(),
+            "(id:int64, v:double, right.id:int64, w:double)");
+}
+
+TEST(SchemaPropagationTest, JoinEquiTypeMismatchRejected) {
+  GraphBuilder builder;
+  Source* l = builder.AddSource("L", TimestampKind::kInternal);
+  l->set_schema(Schema{{"id", ValueType::kInt64}});
+  Source* r = builder.AddSource("R", TimestampKind::kInternal);
+  r->set_schema(Schema{{"id", ValueType::kString}});
+  WindowJoin* j = builder.AddWindowJoin("J", 100, 100,
+                                        WindowJoin::EquiJoin(0, 0));
+  j->set_equi_fields(0, 0);
+  Sink* sink = builder.AddSink("OUT");
+  builder.Connect(l, j);
+  builder.Connect(r, j);
+  builder.Connect(j, sink);
+  auto graph = builder.Build();
+  ASSERT_FALSE(graph.ok());
+  EXPECT_NE(graph.status().message().find("equi-join"), std::string::npos);
+}
+
+TEST(SchemaPropagationTest, MultiWayJoinKeyCheckedOnEveryInput) {
+  GraphBuilder builder;
+  Source* a = builder.AddSource("A", TimestampKind::kInternal);
+  a->set_schema(Schema{{"k", ValueType::kInt64}});
+  Source* b = builder.AddSource("B", TimestampKind::kInternal);
+  b->set_schema(Schema{{"k", ValueType::kInt64}});
+  Source* c = builder.AddSource("C", TimestampKind::kInternal);
+  c->set_schema(Schema{{"k", ValueType::kString}});  // mismatched key type
+  MultiWayJoin* j = builder.AddMultiWayJoin("J", {100, 100, 100},
+                                            MultiWayJoin::EquiJoin(0));
+  j->set_equi_field(0);
+  Sink* sink = builder.AddSink("OUT");
+  builder.Connect(a, j);
+  builder.Connect(b, j);
+  builder.Connect(c, j);
+  builder.Connect(j, sink);
+  auto graph = builder.Build();
+  ASSERT_FALSE(graph.ok());
+  EXPECT_NE(graph.status().message().find("key field"), std::string::npos);
+}
+
+TEST(SchemaPropagationTest, AggregateOutputSchemaAndFieldCheck) {
+  GraphBuilder builder;
+  Source* s = builder.AddSource("S", TimestampKind::kInternal);
+  s->set_schema(TradeSchema());
+  WindowAggregate* agg =
+      builder.AddWindowAggregate("AGG", AggKind::kAvg, /*field=*/0, 100, 100);
+  Sink* sink = builder.AddSink("OUT");
+  builder.Connect(s, agg);
+  builder.Connect(agg, sink);
+  auto graph = builder.Build();
+  ASSERT_TRUE(graph.ok()) << graph.status();
+  EXPECT_EQ((*graph)->output_schema(agg->id())->ToString(),
+            "(window_start:int64, avg:double)");
+}
+
+TEST(SchemaPropagationTest, AggregateOverStringFieldRejected) {
+  GraphBuilder builder;
+  Source* s = builder.AddSource("S", TimestampKind::kInternal);
+  s->set_schema(TradeSchema());
+  WindowAggregate* agg =
+      builder.AddWindowAggregate("AGG", AggKind::kSum, /*field=*/2, 100, 100);
+  Sink* sink = builder.AddSink("OUT");
+  builder.Connect(s, agg);
+  builder.Connect(agg, sink);
+  EXPECT_FALSE(builder.Build().ok());
+  (void)agg;
+}
+
+TEST(SchemaPropagationTest, CountAggregateIgnoresField) {
+  GraphBuilder builder;
+  Source* s = builder.AddSource("S", TimestampKind::kInternal);
+  s->set_schema(TradeSchema());
+  WindowAggregate* agg = builder.AddWindowAggregate(
+      "AGG", AggKind::kCount, /*field=*/99, 100, 100);
+  Sink* sink = builder.AddSink("OUT");
+  builder.Connect(s, agg);
+  builder.Connect(agg, sink);
+  EXPECT_TRUE(builder.Build().ok());
+  (void)agg;
+}
+
+TEST(SchemaPropagationTest, GroupedAggregateKeyTypePreserved) {
+  GraphBuilder builder;
+  Source* s = builder.AddSource("S", TimestampKind::kInternal);
+  s->set_schema(TradeSchema());
+  GroupedWindowAggregate* g = builder.AddGroupedWindowAggregate(
+      "G", AggKind::kSum, /*key_field=*/2, /*agg_field=*/0, 100, 100);
+  Sink* sink = builder.AddSink("OUT");
+  builder.Connect(s, g);
+  builder.Connect(g, sink);
+  auto graph = builder.Build();
+  ASSERT_TRUE(graph.ok()) << graph.status();
+  EXPECT_EQ((*graph)->output_schema(g->id())->ToString(),
+            "(window_start:int64, sym:string, sum:double)");
+}
+
+TEST(SchemaPropagationTest, PlanLanguageSchemaDeclaration) {
+  auto plan = ParsePlan(R"(
+stream TRADES ts=internal schema=price:double,size:int64,sym:string
+filter BIG in=TRADES field=1 op=ge value=100
+project P in=BIG fields=2,0
+sink OUT in=P
+)");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  Operator* p = plan->Find("P");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(plan->graph->output_schema(p->id())->ToString(),
+            "(sym:string, price:double)");
+}
+
+TEST(SchemaPropagationTest, PlanLanguageTypeErrorsSurface) {
+  // Comparison filter over the string column: rejected at plan build.
+  auto plan = ParsePlan(R"(
+stream TRADES ts=internal schema=price:double,sym:string
+filter BAD in=TRADES field=1 op=ge value=100
+sink OUT in=BAD
+)");
+  ASSERT_FALSE(plan.ok());
+  EXPECT_NE(plan.status().message().find("numeric"), std::string::npos);
+}
+
+TEST(SchemaPropagationTest, PlanLanguageBadSchemaSyntax) {
+  EXPECT_FALSE(ParsePlan("stream S schema=price\nsink O in=S\n").ok());
+  EXPECT_FALSE(
+      ParsePlan("stream S schema=price:float32\nsink O in=S\n").ok());
+}
+
+TEST(SchemaPropagationTest, MapDeclaredOutputSchema) {
+  GraphBuilder builder;
+  Source* s = builder.AddSource("S", TimestampKind::kInternal);
+  s->set_schema(TradeSchema());
+  MapOp* m = builder.AddMap(
+      "M", [](const std::vector<Value>& v) { return v; });
+  m->set_output_schema(Schema{{"notional", ValueType::kDouble}});
+  Sink* sink = builder.AddSink("OUT");
+  builder.Connect(s, m);
+  builder.Connect(m, sink);
+  auto graph = builder.Build();
+  ASSERT_TRUE(graph.ok()) << graph.status();
+  EXPECT_EQ((*graph)->output_schema(m->id())->ToString(),
+            "(notional:double)");
+}
+
+}  // namespace
+}  // namespace dsms

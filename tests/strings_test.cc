@@ -1,0 +1,93 @@
+#include "common/strings.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dsms {
+namespace {
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("x=%d", 5), "x=5");
+  EXPECT_EQ(StrFormat("%s/%s", "a", "b"), "a/b");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StrFormatTest, LongOutput) {
+  std::string big(500, 'x');
+  EXPECT_EQ(StrFormat("%s!", big.c_str()).size(), 501u);
+}
+
+TEST(StrSplitTest, BasicSplit) {
+  std::vector<std::string> pieces = StrSplit("a,b,c", ',');
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[2], "c");
+}
+
+TEST(StrSplitTest, KeepsEmptyPieces) {
+  EXPECT_EQ(StrSplit(",a,", ',').size(), 3u);
+  EXPECT_EQ(StrSplit("", ',').size(), 1u);
+}
+
+TEST(StripWhitespaceTest, StripsBothEnds) {
+  EXPECT_EQ(StripWhitespace("  hi \t\n"), "hi");
+  EXPECT_EQ(StripWhitespace("hi"), "hi");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace("a b"), "a b");
+}
+
+TEST(StartsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("stream S1", "stream"));
+  EXPECT_FALSE(StartsWith("str", "stream"));
+  EXPECT_TRUE(StartsWith("anything", ""));
+}
+
+TEST(ParseDoubleTest, ValidNumbers) {
+  double v = 0;
+  EXPECT_TRUE(ParseDouble("3.5", &v));
+  EXPECT_DOUBLE_EQ(v, 3.5);
+  EXPECT_TRUE(ParseDouble("-0.05", &v));
+  EXPECT_DOUBLE_EQ(v, -0.05);
+  EXPECT_TRUE(ParseDouble("1e3", &v));
+  EXPECT_DOUBLE_EQ(v, 1000.0);
+}
+
+TEST(ParseDoubleTest, RejectsGarbage) {
+  double v = 7;
+  EXPECT_FALSE(ParseDouble("", &v));
+  EXPECT_FALSE(ParseDouble("3.5x", &v));
+  EXPECT_FALSE(ParseDouble("abc", &v));
+  EXPECT_DOUBLE_EQ(v, 7);  // untouched
+}
+
+TEST(ParseInt64Test, ValidNumbers) {
+  int64_t v = 0;
+  EXPECT_TRUE(ParseInt64("42", &v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(ParseInt64("-7", &v));
+  EXPECT_EQ(v, -7);
+  EXPECT_TRUE(ParseInt64("9007199254740993", &v));
+  EXPECT_EQ(v, 9007199254740993LL);
+}
+
+TEST(ParseInt64Test, RejectsGarbage) {
+  int64_t v = 0;
+  EXPECT_FALSE(ParseInt64("", &v));
+  EXPECT_FALSE(ParseInt64("1.5", &v));
+  EXPECT_FALSE(ParseInt64("12abc", &v));
+}
+
+TEST(StrJoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ","), "a,b,c");
+  EXPECT_EQ(StrJoin({"solo"}, ","), "solo");
+  EXPECT_EQ(StrJoin({}, ","), "");
+  EXPECT_EQ(StrJoin({"x", "y"}, " -> "), "x -> y");
+}
+
+}  // namespace
+}  // namespace dsms

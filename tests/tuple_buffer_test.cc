@@ -1,0 +1,186 @@
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/stream_buffer.h"
+#include "core/tsm_register.h"
+#include "core/tuple.h"
+#include "core/value.h"
+
+namespace dsms {
+namespace {
+
+TEST(TupleTest, DataTupleBasics) {
+  Tuple t = Tuple::MakeData(1500, {Value(int64_t{1}), Value("x")});
+  EXPECT_TRUE(t.is_data());
+  EXPECT_FALSE(t.is_punctuation());
+  EXPECT_TRUE(t.has_timestamp());
+  EXPECT_EQ(t.timestamp(), 1500);
+  EXPECT_EQ(t.num_values(), 2);
+  EXPECT_EQ(t.value(0).int64_value(), 1);
+  EXPECT_EQ(t.timestamp_kind(), TimestampKind::kInternal);
+}
+
+TEST(TupleTest, ExternalKind) {
+  Tuple t = Tuple::MakeData(5, {}, TimestampKind::kExternal);
+  EXPECT_EQ(t.timestamp_kind(), TimestampKind::kExternal);
+}
+
+TEST(TupleTest, LatentTupleHasNoTimestamp) {
+  Tuple t = Tuple::MakeLatent({Value(int64_t{9})});
+  EXPECT_TRUE(t.is_data());
+  EXPECT_FALSE(t.has_timestamp());
+  EXPECT_EQ(t.timestamp_kind(), TimestampKind::kLatent);
+  EXPECT_DEATH(t.timestamp(), "");
+}
+
+TEST(TupleTest, LatentStampingOnTheFly) {
+  Tuple t = Tuple::MakeLatent({});
+  t.set_timestamp(777);
+  EXPECT_TRUE(t.has_timestamp());
+  EXPECT_EQ(t.timestamp(), 777);
+}
+
+TEST(TupleTest, PunctuationBasics) {
+  Tuple p = Tuple::MakePunctuation(2000);
+  EXPECT_TRUE(p.is_punctuation());
+  EXPECT_EQ(p.timestamp(), 2000);
+  EXPECT_EQ(p.num_values(), 0);
+}
+
+TEST(TupleTest, LineageFields) {
+  Tuple t = Tuple::MakeData(10, {});
+  t.set_arrival_time(9);
+  t.set_source_id(3);
+  t.set_sequence(17);
+  EXPECT_EQ(t.arrival_time(), 9);
+  EXPECT_EQ(t.source_id(), 3);
+  EXPECT_EQ(t.sequence(), 17u);
+}
+
+TEST(TupleTest, ValueIndexOutOfRangeDies) {
+  Tuple t = Tuple::MakeData(1, {Value(int64_t{1})});
+  EXPECT_DEATH(t.value(1), "");
+}
+
+TEST(TupleTest, ToStringFormats) {
+  EXPECT_EQ(Tuple::MakeData(15, {Value(int64_t{2})}).ToString(), "data@15[2]");
+  EXPECT_EQ(Tuple::MakePunctuation(7).ToString(), "punct@7");
+  EXPECT_EQ(Tuple::MakeLatent({}).ToString(), "data@latent[]");
+}
+
+TEST(TupleTest, MakeDataRejectsLatentKind) {
+  EXPECT_DEATH(Tuple::MakeData(1, {}, TimestampKind::kLatent), "");
+}
+
+TEST(TimestampKindTest, Names) {
+  EXPECT_STREQ(TimestampKindToString(TimestampKind::kExternal), "external");
+  EXPECT_STREQ(TimestampKindToString(TimestampKind::kInternal), "internal");
+  EXPECT_STREQ(TimestampKindToString(TimestampKind::kLatent), "latent");
+}
+
+TEST(StreamBufferTest, FifoOrder) {
+  StreamBuffer buffer("b");
+  buffer.Push(Tuple::MakeData(1, {}));
+  buffer.Push(Tuple::MakeData(2, {}));
+  EXPECT_EQ(buffer.size(), 2u);
+  EXPECT_EQ(buffer.Front().timestamp(), 1);
+  EXPECT_EQ(buffer.Pop().timestamp(), 1);
+  EXPECT_EQ(buffer.Pop().timestamp(), 2);
+  EXPECT_TRUE(buffer.empty());
+}
+
+TEST(StreamBufferTest, CountsByKind) {
+  StreamBuffer buffer("b");
+  buffer.Push(Tuple::MakeData(1, {}));
+  buffer.Push(Tuple::MakePunctuation(2));
+  buffer.Push(Tuple::MakeData(3, {}));
+  EXPECT_EQ(buffer.total_pushed(), 3u);
+  EXPECT_EQ(buffer.data_pushed(), 2u);
+  EXPECT_EQ(buffer.punctuation_pushed(), 1u);
+  EXPECT_EQ(buffer.data_size(), 2u);
+  buffer.Pop();  // data
+  EXPECT_EQ(buffer.data_size(), 1u);
+  buffer.Pop();  // punctuation
+  EXPECT_EQ(buffer.data_size(), 1u);
+}
+
+TEST(StreamBufferTest, PopEmptyDies) {
+  StreamBuffer buffer("b");
+  EXPECT_DEATH(buffer.Pop(), "");
+  EXPECT_DEATH(buffer.Front(), "");
+}
+
+class CountingListener : public BufferListener {
+ public:
+  void OnPush(const StreamBuffer&, const Tuple&) override { ++pushes; }
+  void OnPop(const StreamBuffer&, const Tuple&) override { ++pops; }
+  int pushes = 0;
+  int pops = 0;
+};
+
+TEST(StreamBufferTest, ListenerNotified) {
+  StreamBuffer buffer("b");
+  CountingListener listener;
+  buffer.set_listener(&listener);
+  buffer.Push(Tuple::MakeData(1, {}));
+  buffer.Push(Tuple::MakePunctuation(2));
+  buffer.Pop();
+  EXPECT_EQ(listener.pushes, 2);
+  EXPECT_EQ(listener.pops, 1);
+  buffer.set_listener(nullptr);
+  buffer.Pop();
+  EXPECT_EQ(listener.pops, 1);
+}
+
+TEST(StreamBufferTest, NameAndId) {
+  StreamBuffer buffer("F1->U");
+  EXPECT_EQ(buffer.name(), "F1->U");
+  EXPECT_EQ(buffer.id(), -1);
+  buffer.set_id(4);
+  EXPECT_EQ(buffer.id(), 4);
+}
+
+TEST(TsmRegisterTest, StartsUninitialized) {
+  TsmRegister reg;
+  EXPECT_FALSE(reg.initialized());
+  EXPECT_EQ(reg.value(), kMinTimestamp);
+}
+
+TEST(TsmRegisterTest, ObserveAdvances) {
+  TsmRegister reg;
+  reg.Observe(10);
+  EXPECT_TRUE(reg.initialized());
+  EXPECT_EQ(reg.value(), 10);
+  reg.Observe(20);
+  EXPECT_EQ(reg.value(), 20);
+}
+
+TEST(TsmRegisterTest, StaleObservationsIgnored) {
+  TsmRegister reg;
+  reg.Observe(20);
+  reg.Observe(10);  // simultaneous/stale: keep the max
+  EXPECT_EQ(reg.value(), 20);
+  reg.Observe(20);
+  EXPECT_EQ(reg.value(), 20);
+}
+
+TEST(TsmRegisterTest, ValueSurvivesUntilNextUpdate) {
+  // The core of the simultaneous-tuple fix: the register keeps the last
+  // timestamp even after the tuple that set it was consumed.
+  TsmRegister reg;
+  reg.Observe(100);
+  // ... tuple consumed; nothing else arrives ...
+  EXPECT_EQ(reg.value(), 100);
+}
+
+TEST(TsmRegisterTest, ResetClears) {
+  TsmRegister reg;
+  reg.Observe(5);
+  reg.Reset();
+  EXPECT_FALSE(reg.initialized());
+}
+
+}  // namespace
+}  // namespace dsms

@@ -1,0 +1,348 @@
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/stream_buffer.h"
+#include "core/tuple.h"
+#include "core/value.h"
+#include "operators/operator.h"
+#include "operators/union_op.h"
+
+namespace dsms {
+namespace {
+
+Tuple DataTuple(Timestamp ts, int64_t v) {
+  return Tuple::MakeData(ts, {Value(v)});
+}
+
+struct UnionRig {
+  UnionRig(int inputs, bool ordered) : op("u", ordered) {
+    for (int i = 0; i < inputs; ++i) {
+      ins.push_back(std::make_unique<StreamBuffer>("in"));
+      op.AddInput(ins.back().get());
+    }
+    op.AddOutput(&out);
+  }
+
+  /// Steps until no more progress; returns emitted tuples (drained).
+  std::vector<Tuple> Drain(ManualExecContext& ctx) {
+    for (int guard = 0; guard < 10000; ++guard) {
+      StepResult r = op.Step(ctx);
+      if (!r.more) break;
+    }
+    std::vector<Tuple> result;
+    while (!out.empty()) result.push_back(out.Pop());
+    return result;
+  }
+
+  std::vector<std::unique_ptr<StreamBuffer>> ins;
+  StreamBuffer out{"out"};
+  Union op;
+};
+
+TEST(UnionTest, MergesByTimestamp) {
+  UnionRig rig(2, /*ordered=*/true);
+  ManualExecContext ctx;
+  rig.ins[0]->Push(DataTuple(10, 1));
+  rig.ins[0]->Push(DataTuple(30, 2));
+  rig.ins[1]->Push(DataTuple(20, 3));
+  rig.ins[1]->Push(DataTuple(40, 4));
+
+  std::vector<Tuple> merged = rig.Drain(ctx);
+  // The 40-tuple cannot be emitted: input 0's TSM is 30, so a future tuple
+  // at 30..40 could still arrive there.
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].timestamp(), 10);
+  EXPECT_EQ(merged[1].timestamp(), 20);
+  EXPECT_EQ(merged[2].timestamp(), 30);
+}
+
+TEST(UnionTest, BlocksOnEmptyInput) {
+  UnionRig rig(2, true);
+  ManualExecContext ctx;
+  rig.ins[0]->Push(DataTuple(10, 1));
+  StepResult r = rig.op.Step(ctx);
+  EXPECT_FALSE(r.more);
+  EXPECT_FALSE(r.processed_data);
+  EXPECT_TRUE(r.idle_waiting);
+  EXPECT_EQ(r.blocked_input, 1);  // the empty, never-observed input
+  EXPECT_TRUE(rig.out.empty());
+}
+
+TEST(UnionTest, BlockedWithoutDataIsNotIdleWaiting) {
+  UnionRig rig(2, true);
+  ManualExecContext ctx;
+  StepResult r = rig.op.Step(ctx);
+  EXPECT_FALSE(r.more);
+  EXPECT_FALSE(r.idle_waiting);  // nothing pending anywhere
+}
+
+TEST(UnionTest, PunctuationUnblocks) {
+  UnionRig rig(2, true);
+  ManualExecContext ctx;
+  rig.ins[0]->Push(DataTuple(10, 1));
+  rig.ins[1]->Push(Tuple::MakePunctuation(50));
+  std::vector<Tuple> emitted = rig.Drain(ctx);
+  // The data tuple at 10 flows out (punct raised input 1's TSM to 50);
+  // the punctuation is consumed and forwarded as the new watermark 10?
+  // min TSM = min(10-after-consumption...,50): after the data tuple at 10
+  // is consumed input 0's register still holds 10.
+  ASSERT_GE(emitted.size(), 1u);
+  EXPECT_TRUE(emitted[0].is_data());
+  EXPECT_EQ(emitted[0].timestamp(), 10);
+}
+
+TEST(UnionTest, PunctuationForwardedAsWatermark) {
+  UnionRig rig(2, true);
+  ManualExecContext ctx;
+  rig.ins[0]->Push(Tuple::MakePunctuation(30));
+  rig.ins[1]->Push(Tuple::MakePunctuation(20));
+  std::vector<Tuple> emitted = rig.Drain(ctx);
+  // Both punctuations consumed; the watermark min(30, 20) = 20 goes out
+  // (possibly after the first consumption, deduplicated).
+  ASSERT_FALSE(emitted.empty());
+  for (const Tuple& t : emitted) EXPECT_TRUE(t.is_punctuation());
+  EXPECT_EQ(emitted.back().timestamp(), 20);
+}
+
+TEST(UnionTest, WatermarkDeduplicated) {
+  UnionRig rig(2, true);
+  ManualExecContext ctx;
+  rig.ins[0]->Push(Tuple::MakePunctuation(10));
+  rig.ins[1]->Push(Tuple::MakePunctuation(10));
+  rig.ins[0]->Push(Tuple::MakePunctuation(10));
+  std::vector<Tuple> emitted = rig.Drain(ctx);
+  // Three inputs punctuations at 10 produce exactly one watermark at 10.
+  ASSERT_EQ(emitted.size(), 1u);
+  EXPECT_EQ(emitted[0].timestamp(), 10);
+}
+
+TEST(UnionTest, SimultaneousTuplesBothEmitted) {
+  // Section 4.1: with TSM registers, tuples with equal timestamps on both
+  // inputs are all processed without idle-waiting.
+  UnionRig rig(2, true);
+  ManualExecContext ctx;
+  rig.ins[0]->Push(DataTuple(100, 1));
+  rig.ins[1]->Push(DataTuple(100, 2));
+  std::vector<Tuple> emitted = rig.Drain(ctx);
+  ASSERT_EQ(emitted.size(), 2u);
+  EXPECT_EQ(emitted[0].timestamp(), 100);
+  EXPECT_EQ(emitted[1].timestamp(), 100);
+}
+
+TEST(UnionTest, LateSimultaneousTupleStillEmitted) {
+  // The register "remains until the next tuple updates it": after both
+  // 100-tuples are consumed, another 100-tuple arriving on input 0 is
+  // emitted immediately because input 1's register still reads 100.
+  UnionRig rig(2, true);
+  ManualExecContext ctx;
+  rig.ins[0]->Push(DataTuple(100, 1));
+  rig.ins[1]->Push(DataTuple(100, 2));
+  rig.Drain(ctx);
+  rig.ins[0]->Push(DataTuple(100, 3));
+  StepResult r = rig.op.Step(ctx);
+  EXPECT_TRUE(r.processed_data);
+  ASSERT_EQ(rig.out.size(), 1u);
+  EXPECT_EQ(rig.out.Front().value(0).int64_value(), 3);
+}
+
+TEST(UnionTest, WithoutRegistersThisWouldIdleWait) {
+  // Complementary check: a *fresh* tuple at a NEW timestamp on one input
+  // does idle-wait until the other side catches up.
+  UnionRig rig(2, true);
+  ManualExecContext ctx;
+  rig.ins[0]->Push(DataTuple(100, 1));
+  rig.ins[1]->Push(DataTuple(100, 2));
+  rig.Drain(ctx);
+  rig.ins[0]->Push(DataTuple(101, 3));
+  StepResult r = rig.op.Step(ctx);
+  EXPECT_FALSE(r.processed_data);
+  EXPECT_TRUE(r.idle_waiting);
+  EXPECT_EQ(r.blocked_input, 1);
+}
+
+TEST(UnionTest, TsmRegistersExposed) {
+  UnionRig rig(2, true);
+  ManualExecContext ctx;
+  rig.ins[0]->Push(DataTuple(10, 1));
+  rig.op.Step(ctx);
+  EXPECT_EQ(rig.op.tsm(0), 10);
+  EXPECT_EQ(rig.op.tsm(1), kMinTimestamp);
+}
+
+TEST(UnionTest, ThreeWayMerge) {
+  UnionRig rig(3, true);
+  ManualExecContext ctx;
+  rig.ins[0]->Push(DataTuple(30, 1));
+  rig.ins[1]->Push(DataTuple(10, 2));
+  rig.ins[2]->Push(DataTuple(20, 3));
+  rig.ins[0]->Push(Tuple::MakePunctuation(100));
+  rig.ins[1]->Push(Tuple::MakePunctuation(100));
+  rig.ins[2]->Push(Tuple::MakePunctuation(100));
+  std::vector<Tuple> emitted = rig.Drain(ctx);
+  std::vector<Timestamp> data_ts;
+  for (const Tuple& t : emitted) {
+    if (t.is_data()) data_ts.push_back(t.timestamp());
+  }
+  ASSERT_EQ(data_ts.size(), 3u);
+  EXPECT_EQ(data_ts, (std::vector<Timestamp>{10, 20, 30}));
+}
+
+TEST(UnionTest, OutputTimestampsNondecreasing) {
+  UnionRig rig(2, true);
+  ManualExecContext ctx;
+  for (int i = 0; i < 50; ++i) rig.ins[0]->Push(DataTuple(i * 2, i));
+  for (int i = 0; i < 50; ++i) rig.ins[1]->Push(DataTuple(i * 3, i));
+  std::vector<Tuple> emitted = rig.Drain(ctx);
+  Timestamp previous = kMinTimestamp;
+  for (const Tuple& t : emitted) {
+    EXPECT_GE(t.timestamp(), previous);
+    previous = t.timestamp();
+  }
+}
+
+TEST(UnionTest, PreservesLineage) {
+  UnionRig rig(2, true);
+  ManualExecContext ctx;
+  Tuple t = DataTuple(10, 1);
+  t.set_source_id(7);
+  t.set_arrival_time(9);
+  rig.ins[0]->Push(std::move(t));
+  rig.ins[1]->Push(Tuple::MakePunctuation(99));
+  std::vector<Tuple> emitted = rig.Drain(ctx);
+  ASSERT_FALSE(emitted.empty());
+  EXPECT_EQ(emitted[0].source_id(), 7);
+  EXPECT_EQ(emitted[0].arrival_time(), 9);
+}
+
+TEST(UnionUnorderedTest, EmitsImmediatelyWithoutTimestamps) {
+  // Scenario D: latent tuples are added to the output as soon as they
+  // arrive, without any check on their timestamps (Section 5).
+  UnionRig rig(2, /*ordered=*/false);
+  ManualExecContext ctx;
+  rig.ins[0]->Push(Tuple::MakeLatent({Value(int64_t{1})}));
+  StepResult r = rig.op.Step(ctx);
+  EXPECT_TRUE(r.processed_data);
+  EXPECT_FALSE(r.idle_waiting);
+  EXPECT_EQ(rig.out.size(), 1u);
+}
+
+TEST(UnionUnorderedTest, RoundRobinAcrossInputs) {
+  UnionRig rig(2, false);
+  ManualExecContext ctx;
+  for (int i = 0; i < 3; ++i) {
+    rig.ins[0]->Push(Tuple::MakeLatent({Value(int64_t{i})}));
+    rig.ins[1]->Push(Tuple::MakeLatent({Value(int64_t{100 + i})}));
+  }
+  std::vector<Tuple> emitted = rig.Drain(ctx);
+  ASSERT_EQ(emitted.size(), 6u);
+  // Alternation: neither input starves.
+  EXPECT_EQ(emitted[0].value(0).int64_value(), 0);
+  EXPECT_EQ(emitted[1].value(0).int64_value(), 100);
+  EXPECT_EQ(emitted[2].value(0).int64_value(), 1);
+}
+
+TEST(UnionUnorderedTest, HasWorkIsAnyInputNonEmpty) {
+  UnionRig rig(2, false);
+  EXPECT_FALSE(rig.op.HasWork());
+  rig.ins[1]->Push(Tuple::MakeLatent({}));
+  EXPECT_TRUE(rig.op.HasWork());
+}
+
+TEST(UnionTest, HasWorkIsRelaxedMore) {
+  UnionRig rig(2, true);
+  EXPECT_FALSE(rig.op.HasWork());
+  rig.ins[0]->Push(DataTuple(10, 1));
+  EXPECT_FALSE(rig.op.HasWork());  // other input never observed
+  rig.ins[1]->Push(DataTuple(20, 2));
+  EXPECT_TRUE(rig.op.HasWork());
+}
+
+TEST(UnionTest, WantsEtsOnlyWithPendingData) {
+  UnionRig rig(2, true);
+  EXPECT_FALSE(rig.op.WantsEts());
+  rig.ins[0]->Push(DataTuple(10, 1));
+  EXPECT_TRUE(rig.op.WantsEts());
+}
+
+TEST(UnionTest, IsIwp) {
+  UnionRig rig(2, true);
+  EXPECT_TRUE(rig.op.is_iwp());
+}
+
+// --- Strict (Figure 1, no TSM registers) mode -------------------------------
+
+struct StrictRig {
+  StrictRig() : op("u", /*ordered=*/true, /*use_tsm_registers=*/false) {
+    ins.push_back(std::make_unique<StreamBuffer>("i0"));
+    ins.push_back(std::make_unique<StreamBuffer>("i1"));
+    op.AddInput(ins[0].get());
+    op.AddInput(ins[1].get());
+    op.AddOutput(&out);
+  }
+  std::vector<std::unique_ptr<StreamBuffer>> ins;
+  StreamBuffer out{"out"};
+  Union op;
+};
+
+TEST(UnionStrictTest, RequiresAllInputsPresent) {
+  StrictRig rig;
+  ManualExecContext ctx;
+  rig.ins[0]->Push(DataTuple(10, 1));
+  StepResult r = rig.op.Step(ctx);
+  EXPECT_FALSE(r.processed_data);
+  EXPECT_TRUE(r.idle_waiting);
+  EXPECT_EQ(r.blocked_input, 1);
+  EXPECT_FALSE(rig.op.HasWork());
+  rig.ins[1]->Push(DataTuple(20, 2));
+  EXPECT_TRUE(rig.op.HasWork());
+  r = rig.op.Step(ctx);
+  EXPECT_TRUE(r.processed_data);
+  EXPECT_EQ(rig.out.Pop().timestamp(), 10);
+}
+
+TEST(UnionStrictTest, SimultaneousLeftoverIdleWaits) {
+  // The Section 4.1 motivating failure: the basic rules strand a
+  // simultaneous tuple when the other buffer empties first.
+  StrictRig rig;
+  ManualExecContext ctx;
+  rig.ins[0]->Push(DataTuple(100, 1));
+  rig.ins[0]->Push(DataTuple(100, 2));
+  rig.ins[1]->Push(DataTuple(100, 3));
+  rig.op.Step(ctx);  // emits one 100-tuple
+  rig.op.Step(ctx);  // emits another; one buffer is now empty
+  StepResult r = rig.op.Step(ctx);
+  EXPECT_FALSE(r.processed_data);
+  EXPECT_TRUE(r.idle_waiting);  // the leftover simultaneous tuple is stuck
+  EXPECT_EQ(rig.out.size(), 2u);
+}
+
+TEST(UnionStrictTest, PunctuationCountsAsPresence) {
+  // Heartbeats of [9] unblock basic operators by occupying the empty input.
+  StrictRig rig;
+  ManualExecContext ctx;
+  rig.ins[0]->Push(DataTuple(10, 1));
+  rig.ins[1]->Push(Tuple::MakePunctuation(50));
+  StepResult r = rig.op.Step(ctx);
+  EXPECT_TRUE(r.processed_data);  // min head is the data tuple
+  EXPECT_EQ(rig.out.Front().timestamp(), 10);
+}
+
+TEST(UnionStrictTest, BlockedInputIsFirstEmpty) {
+  StrictRig rig;
+  ManualExecContext ctx;
+  // A lone punctuation in input 0 cannot be consumed while input 1 is
+  // empty; the blocked input must be the EMPTY one (not the punctuation
+  // holder), or the executor's backtrack would bounce back and forth.
+  rig.ins[0]->Push(Tuple::MakePunctuation(50));
+  StepResult r = rig.op.Step(ctx);
+  EXPECT_FALSE(r.processed_punctuation);
+  EXPECT_FALSE(r.more);
+  EXPECT_EQ(r.blocked_input, 1);
+  EXPECT_EQ(rig.op.BlockedInput(), 1);
+}
+
+}  // namespace
+}  // namespace dsms

@@ -1,0 +1,108 @@
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/schema.h"
+#include "core/value.h"
+
+namespace dsms {
+namespace {
+
+TEST(ValueTest, DefaultIsInt64Zero) {
+  Value v;
+  EXPECT_TRUE(v.is_int64());
+  EXPECT_EQ(v.int64_value(), 0);
+}
+
+TEST(ValueTest, TypedConstruction) {
+  EXPECT_EQ(Value(int64_t{7}).type(), ValueType::kInt64);
+  EXPECT_EQ(Value(2.5).type(), ValueType::kDouble);
+  EXPECT_EQ(Value("hi").type(), ValueType::kString);
+  EXPECT_EQ(Value(std::string("hi")).type(), ValueType::kString);
+  EXPECT_EQ(Value(true).type(), ValueType::kBool);
+}
+
+TEST(ValueTest, Accessors) {
+  EXPECT_EQ(Value(int64_t{-3}).int64_value(), -3);
+  EXPECT_DOUBLE_EQ(Value(1.5).double_value(), 1.5);
+  EXPECT_EQ(Value("abc").string_value(), "abc");
+  EXPECT_TRUE(Value(true).bool_value());
+}
+
+TEST(ValueTest, WrongAccessorDies) {
+  EXPECT_DEATH(Value(1.5).int64_value(), "");
+  EXPECT_DEATH(Value(int64_t{1}).string_value(), "");
+}
+
+TEST(ValueTest, AsDoubleConversions) {
+  EXPECT_DOUBLE_EQ(Value(int64_t{4}).AsDouble(), 4.0);
+  EXPECT_DOUBLE_EQ(Value(2.5).AsDouble(), 2.5);
+  EXPECT_DOUBLE_EQ(Value(true).AsDouble(), 1.0);
+  EXPECT_DOUBLE_EQ(Value(false).AsDouble(), 0.0);
+  EXPECT_DEATH(Value("s").AsDouble(), "");
+}
+
+TEST(ValueTest, Equality) {
+  EXPECT_EQ(Value(int64_t{1}), Value(int64_t{1}));
+  EXPECT_NE(Value(int64_t{1}), Value(int64_t{2}));
+  EXPECT_NE(Value(int64_t{1}), Value(1.0));  // type matters
+  EXPECT_EQ(Value("x"), Value("x"));
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value(int64_t{42}).ToString(), "42");
+  EXPECT_EQ(Value(true).ToString(), "true");
+  EXPECT_EQ(Value("hi").ToString(), "\"hi\"");
+  EXPECT_EQ(Value(1.5).ToString(), "1.5");
+}
+
+TEST(ValueTypeTest, Names) {
+  EXPECT_STREQ(ValueTypeToString(ValueType::kInt64), "int64");
+  EXPECT_STREQ(ValueTypeToString(ValueType::kString), "string");
+}
+
+TEST(SchemaTest, EmptySchema) {
+  Schema schema;
+  EXPECT_EQ(schema.num_fields(), 0);
+  EXPECT_EQ(schema.FieldIndex("x"), -1);
+}
+
+TEST(SchemaTest, FieldLookup) {
+  Schema schema{{"ts", ValueType::kInt64}, {"price", ValueType::kDouble}};
+  EXPECT_EQ(schema.num_fields(), 2);
+  EXPECT_EQ(schema.FieldIndex("price"), 1);
+  EXPECT_EQ(schema.FieldIndex("missing"), -1);
+  EXPECT_EQ(schema.field(0).name, "ts");
+  EXPECT_EQ(schema.field(1).type, ValueType::kDouble);
+}
+
+TEST(SchemaTest, FieldOutOfRangeDies) {
+  Schema schema{{"a", ValueType::kInt64}};
+  EXPECT_DEATH(schema.field(1), "");
+  EXPECT_DEATH(schema.field(-1), "");
+}
+
+TEST(SchemaTest, ConcatDisambiguatesDuplicates) {
+  Schema left{{"id", ValueType::kInt64}, {"v", ValueType::kDouble}};
+  Schema right{{"id", ValueType::kInt64}, {"w", ValueType::kDouble}};
+  Schema joined = left.Concat(right);
+  EXPECT_EQ(joined.num_fields(), 4);
+  EXPECT_EQ(joined.field(2).name, "right.id");
+  EXPECT_EQ(joined.field(3).name, "w");
+}
+
+TEST(SchemaTest, Equality) {
+  Schema a{{"x", ValueType::kInt64}};
+  Schema b{{"x", ValueType::kInt64}};
+  Schema c{{"x", ValueType::kDouble}};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(SchemaTest, ToString) {
+  Schema schema{{"ts", ValueType::kInt64}, {"sym", ValueType::kString}};
+  EXPECT_EQ(schema.ToString(), "(ts:int64, sym:string)");
+}
+
+}  // namespace
+}  // namespace dsms

@@ -1,0 +1,234 @@
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/stream_buffer.h"
+#include "core/tuple.h"
+#include "core/value.h"
+#include "operators/operator.h"
+#include "operators/window_aggregate.h"
+
+namespace dsms {
+namespace {
+
+Tuple DataTuple(Timestamp ts, double v) {
+  return Tuple::MakeData(ts, {Value(v)});
+}
+
+struct AggRig {
+  AggRig(AggKind kind, Duration window, Duration slide)
+      : op("agg", kind, /*field=*/0, window, slide) {
+    op.AddInput(&in);
+    op.AddOutput(&out);
+  }
+
+  std::vector<Tuple> Drain(ManualExecContext& ctx) {
+    for (int guard = 0; guard < 100000; ++guard) {
+      StepResult r = op.Step(ctx);
+      if (!r.more) break;
+    }
+    std::vector<Tuple> result;
+    while (!out.empty()) result.push_back(out.Pop());
+    return result;
+  }
+
+  StreamBuffer in{"in"};
+  StreamBuffer out{"out"};
+  WindowAggregate op;
+};
+
+TEST(WindowAggregateTest, TumblingCount) {
+  AggRig rig(AggKind::kCount, 100, 100);
+  ManualExecContext ctx;
+  rig.in.Push(DataTuple(10, 1));
+  rig.in.Push(DataTuple(20, 1));
+  rig.in.Push(DataTuple(150, 1));   // closes window [0,100)
+  rig.in.Push(Tuple::MakePunctuation(300));  // closes [100,200) and [200,300)
+  std::vector<Tuple> emitted = rig.Drain(ctx);
+  std::vector<Tuple> data;
+  for (Tuple& t : emitted) {
+    if (t.is_data()) data.push_back(t);
+  }
+  ASSERT_EQ(data.size(), 3u);
+  EXPECT_EQ(data[0].value(0).int64_value(), 0);    // window start 0
+  EXPECT_DOUBLE_EQ(data[0].value(1).AsDouble(), 2);  // two tuples
+  EXPECT_EQ(data[0].timestamp(), 100);             // window end
+  EXPECT_DOUBLE_EQ(data[1].value(1).AsDouble(), 1);  // [100,200): one tuple
+  EXPECT_DOUBLE_EQ(data[2].value(1).AsDouble(), 0);  // [200,300): empty
+}
+
+TEST(WindowAggregateTest, SumAvgMinMax) {
+  struct Case {
+    AggKind kind;
+    double expected;
+  };
+  for (const Case& c : {Case{AggKind::kSum, 9.0}, Case{AggKind::kAvg, 3.0},
+                        Case{AggKind::kMin, 2.0}, Case{AggKind::kMax, 4.0}}) {
+    AggRig rig(c.kind, 100, 100);
+    ManualExecContext ctx;
+    rig.in.Push(DataTuple(10, 2.0));
+    rig.in.Push(DataTuple(20, 3.0));
+    rig.in.Push(DataTuple(30, 4.0));
+    rig.in.Push(Tuple::MakePunctuation(100));
+    std::vector<Tuple> emitted = rig.Drain(ctx);
+    ASSERT_FALSE(emitted.empty()) << AggKindToString(c.kind);
+    ASSERT_TRUE(emitted[0].is_data());
+    EXPECT_DOUBLE_EQ(emitted[0].value(1).AsDouble(), c.expected)
+        << AggKindToString(c.kind);
+  }
+}
+
+TEST(WindowAggregateTest, EmptyWindowSkippedForMinMaxAvg) {
+  AggRig rig(AggKind::kMax, 100, 100);
+  ManualExecContext ctx;
+  rig.in.Push(DataTuple(10, 5.0));
+  rig.in.Push(Tuple::MakePunctuation(400));  // windows [100,200),[200,300),[300,400) empty
+  std::vector<Tuple> emitted = rig.Drain(ctx);
+  int data = 0;
+  for (const Tuple& t : emitted) {
+    if (t.is_data()) ++data;
+  }
+  EXPECT_EQ(data, 1);  // only [0,100) emits
+}
+
+TEST(WindowAggregateTest, SlidingWindowsOverlap) {
+  // window=100, slide=50: tuple at 60 belongs to [0,100) and [50,150).
+  AggRig rig(AggKind::kCount, 100, 50);
+  ManualExecContext ctx;
+  rig.in.Push(DataTuple(60, 1));
+  rig.in.Push(Tuple::MakePunctuation(200));
+  std::vector<Tuple> emitted = rig.Drain(ctx);
+  std::vector<std::pair<int64_t, double>> windows;
+  for (const Tuple& t : emitted) {
+    if (t.is_data()) {
+      windows.emplace_back(t.value(0).int64_value(), t.value(1).AsDouble());
+    }
+  }
+  // Closable by bound 200: [0,100) count 1, [50,150) count 1, [100,200) 0.
+  ASSERT_GE(windows.size(), 3u);
+  EXPECT_EQ(windows[0], (std::pair<int64_t, double>{0, 1.0}));
+  EXPECT_EQ(windows[1], (std::pair<int64_t, double>{50, 1.0}));
+  EXPECT_EQ(windows[2], (std::pair<int64_t, double>{100, 0.0}));
+}
+
+TEST(WindowAggregateTest, DataAdvancesBoundWithoutPunctuation) {
+  AggRig rig(AggKind::kCount, 100, 100);
+  ManualExecContext ctx;
+  rig.in.Push(DataTuple(50, 1));
+  rig.Drain(ctx);
+  EXPECT_EQ(rig.op.windows_emitted(), 0u);  // [0,100) not yet closable
+  rig.in.Push(DataTuple(120, 1));
+  rig.Drain(ctx);
+  EXPECT_EQ(rig.op.windows_emitted(), 1u);  // closed by the 120 tuple
+}
+
+TEST(WindowAggregateTest, PunctuationClosesPromptly) {
+  // This is the ETS payoff for aggregates: without punctuation the window
+  // result waits for the next data tuple, which may be much later.
+  AggRig rig(AggKind::kCount, 100, 100);
+  ManualExecContext ctx;
+  rig.in.Push(DataTuple(50, 1));
+  rig.in.Push(Tuple::MakePunctuation(100));
+  rig.Drain(ctx);
+  EXPECT_EQ(rig.op.windows_emitted(), 1u);
+}
+
+TEST(WindowAggregateTest, ForwardsStrongerPunctuationBound) {
+  AggRig rig(AggKind::kCount, 100, 100);
+  ManualExecContext ctx;
+  rig.in.Push(DataTuple(10, 1));
+  rig.in.Push(Tuple::MakePunctuation(150));
+  std::vector<Tuple> emitted = rig.Drain(ctx);
+  ASSERT_GE(emitted.size(), 2u);
+  // After closing [0,100), the next window ends at 200: the outgoing
+  // punctuation can promise 200 even though the input promised only 150.
+  const Tuple& punct = emitted.back();
+  ASSERT_TRUE(punct.is_punctuation());
+  EXPECT_EQ(punct.timestamp(), 200);
+}
+
+TEST(WindowAggregateTest, PunctuationBoundDeduplicated) {
+  AggRig rig(AggKind::kCount, 100, 100);
+  ManualExecContext ctx;
+  rig.in.Push(DataTuple(10, 1));
+  rig.in.Push(Tuple::MakePunctuation(110));
+  rig.in.Push(Tuple::MakePunctuation(120));
+  rig.in.Push(Tuple::MakePunctuation(130));
+  std::vector<Tuple> emitted = rig.Drain(ctx);
+  int puncts = 0;
+  for (const Tuple& t : emitted) {
+    if (t.is_punctuation()) ++puncts;
+  }
+  EXPECT_EQ(puncts, 1);  // one outgoing bound at 200, not three
+}
+
+TEST(WindowAggregateTest, StampsLatentInput) {
+  AggRig rig(AggKind::kCount, 100, 100);
+  ManualExecContext ctx(60);
+  rig.in.Push(Tuple::MakeLatent({Value(1.0)}));
+  rig.op.Step(ctx);
+  ctx.set_now(160);
+  rig.in.Push(Tuple::MakeLatent({Value(1.0)}));
+  rig.op.Step(ctx);
+  // First tuple stamped 60 -> window [0,100); second stamped 160 closed it.
+  EXPECT_EQ(rig.op.windows_emitted(), 1u);
+}
+
+TEST(WindowAggregateTest, CountAggregateAlwaysWantsEtsOnceStarted) {
+  AggRig rig(AggKind::kCount, 100, 100);
+  ManualExecContext ctx;
+  EXPECT_FALSE(rig.op.WantsEts());
+  rig.in.Push(DataTuple(10, 1));
+  rig.Drain(ctx);
+  EXPECT_TRUE(rig.op.WantsEts());  // [0,100) open with data
+  EXPECT_EQ(rig.op.EtsReleaseBound(), 100);
+  rig.in.Push(Tuple::MakePunctuation(100));
+  rig.Drain(ctx);
+  // Count emits empty windows too: the next boundary is still awaited.
+  EXPECT_TRUE(rig.op.WantsEts());
+  EXPECT_EQ(rig.op.EtsReleaseBound(), 200);
+}
+
+TEST(WindowAggregateTest, MaxAggregateWantsEtsOnlyWithData) {
+  AggRig rig(AggKind::kMax, 100, 100);
+  ManualExecContext ctx;
+  rig.in.Push(DataTuple(10, 1));
+  rig.Drain(ctx);
+  EXPECT_TRUE(rig.op.WantsEts());
+  EXPECT_EQ(rig.op.EtsReleaseBound(), 100);
+  rig.in.Push(Tuple::MakePunctuation(100));
+  rig.Drain(ctx);
+  // Empty windows produce nothing for max: no bound is awaited.
+  EXPECT_FALSE(rig.op.WantsEts());
+  EXPECT_EQ(rig.op.EtsReleaseBound(), kMaxTimestamp);
+}
+
+TEST(WindowAggregateTest, NoSpuriousEarlyWindows) {
+  // First tuple at a large timestamp must not trigger emission of thousands
+  // of empty windows from time zero.
+  AggRig rig(AggKind::kCount, 100, 100);
+  ManualExecContext ctx;
+  rig.in.Push(DataTuple(1000000, 1));
+  rig.in.Push(Tuple::MakePunctuation(1000100));
+  std::vector<Tuple> emitted = rig.Drain(ctx);
+  int data = 0;
+  for (const Tuple& t : emitted) {
+    if (t.is_data()) ++data;
+  }
+  EXPECT_EQ(data, 1);
+}
+
+TEST(WindowAggregateTest, RejectsBadGeometry) {
+  EXPECT_DEATH(WindowAggregate("a", AggKind::kCount, 0, 0, 1), "");
+  EXPECT_DEATH(WindowAggregate("a", AggKind::kCount, 0, 100, 0), "");
+  EXPECT_DEATH(WindowAggregate("a", AggKind::kCount, 0, 100, 200), "");
+}
+
+TEST(AggKindTest, Names) {
+  EXPECT_STREQ(AggKindToString(AggKind::kCount), "count");
+  EXPECT_STREQ(AggKindToString(AggKind::kAvg), "avg");
+}
+
+}  // namespace
+}  // namespace dsms

@@ -1,0 +1,308 @@
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/stream_buffer.h"
+#include "core/tuple.h"
+#include "core/value.h"
+#include "operators/operator.h"
+#include "operators/window_join.h"
+
+namespace dsms {
+namespace {
+
+Tuple DataTuple(Timestamp ts, int64_t v) {
+  return Tuple::MakeData(ts, {Value(v)});
+}
+
+struct JoinRig {
+  JoinRig(Duration left_window, Duration right_window,
+          WindowJoin::Predicate predicate = nullptr, bool ordered = true)
+      : op("j", left_window, right_window, std::move(predicate), ordered) {
+    op.AddInput(&left);
+    op.AddInput(&right);
+    op.AddOutput(&out);
+  }
+
+  std::vector<Tuple> Drain(ManualExecContext& ctx) {
+    for (int guard = 0; guard < 100000; ++guard) {
+      StepResult r = op.Step(ctx);
+      if (!r.more) break;
+    }
+    std::vector<Tuple> result;
+    while (!out.empty()) result.push_back(out.Pop());
+    return result;
+  }
+
+  StreamBuffer left{"L"};
+  StreamBuffer right{"R"};
+  StreamBuffer out{"out"};
+  WindowJoin op;
+};
+
+TEST(WindowJoinTest, MatchesWithinWindow) {
+  JoinRig rig(100, 100);
+  ManualExecContext ctx;
+  rig.left.Push(DataTuple(10, 1));
+  rig.right.Push(DataTuple(50, 2));   // within 100 of 10
+  rig.left.Push(Tuple::MakePunctuation(1000));
+  rig.right.Push(Tuple::MakePunctuation(1000));
+  std::vector<Tuple> emitted = rig.Drain(ctx);
+  std::vector<Tuple> data;
+  for (Tuple& t : emitted) {
+    if (t.is_data()) data.push_back(std::move(t));
+  }
+  ASSERT_EQ(data.size(), 1u);
+  EXPECT_EQ(data[0].num_values(), 2);
+  EXPECT_EQ(data[0].value(0).int64_value(), 1);  // left values first
+  EXPECT_EQ(data[0].value(1).int64_value(), 2);
+  EXPECT_EQ(data[0].timestamp(), 50);  // stamped by the newly consumed tuple
+}
+
+TEST(WindowJoinTest, NoMatchOutsideWindow) {
+  JoinRig rig(100, 100);
+  ManualExecContext ctx;
+  rig.left.Push(DataTuple(10, 1));
+  rig.right.Push(DataTuple(500, 2));  // 490 apart > 100
+  rig.left.Push(Tuple::MakePunctuation(1000));
+  rig.right.Push(Tuple::MakePunctuation(1000));
+  for (const Tuple& t : rig.Drain(ctx)) EXPECT_TRUE(t.is_punctuation());
+}
+
+TEST(WindowJoinTest, AsymmetricWindows) {
+  // Right window 10: a left tuple joins right tuples at most 10 older.
+  // Left window 100: a right tuple joins left tuples at most 100 older.
+  JoinRig rig(/*left_window=*/100, /*right_window=*/10);
+  ManualExecContext ctx;
+  rig.left.Push(DataTuple(50, 1));
+  rig.right.Push(DataTuple(100, 2));  // left is 50 older; 50 <= 100 => match
+  rig.left.Push(Tuple::MakePunctuation(1000));
+  rig.right.Push(Tuple::MakePunctuation(1000));
+  int matches = 0;
+  for (const Tuple& t : rig.Drain(ctx)) {
+    if (t.is_data()) ++matches;
+  }
+  EXPECT_EQ(matches, 1);
+
+  JoinRig rig2(/*left_window=*/10, /*right_window=*/100);
+  rig2.left.Push(DataTuple(50, 1));
+  rig2.right.Push(DataTuple(100, 2));  // left is 50 older; 50 > 10 => no match
+  rig2.left.Push(Tuple::MakePunctuation(1000));
+  rig2.right.Push(Tuple::MakePunctuation(1000));
+  for (const Tuple& t : rig2.Drain(ctx)) EXPECT_TRUE(t.is_punctuation());
+}
+
+TEST(WindowJoinTest, EquiJoinPredicate) {
+  JoinRig rig(1000, 1000, WindowJoin::EquiJoin(0, 0));
+  ManualExecContext ctx;
+  rig.left.Push(DataTuple(10, 7));
+  rig.right.Push(DataTuple(20, 7));   // equal key -> match
+  rig.left.Push(DataTuple(30, 8));
+  rig.right.Push(DataTuple(40, 9));   // no partner
+  rig.left.Push(Tuple::MakePunctuation(2000));
+  rig.right.Push(Tuple::MakePunctuation(2000));
+  int matches = 0;
+  for (const Tuple& t : rig.Drain(ctx)) {
+    if (t.is_data()) {
+      ++matches;
+      EXPECT_EQ(t.value(0).int64_value(), t.value(1).int64_value());
+    }
+  }
+  EXPECT_EQ(matches, 1);
+  EXPECT_EQ(rig.op.matches_emitted(), 1u);
+}
+
+TEST(WindowJoinTest, IdleWaitsOnEmptyInput) {
+  JoinRig rig(100, 100);
+  ManualExecContext ctx;
+  rig.left.Push(DataTuple(10, 1));
+  StepResult r = rig.op.Step(ctx);
+  EXPECT_FALSE(r.more);
+  EXPECT_TRUE(r.idle_waiting);
+  EXPECT_EQ(r.blocked_input, 1);
+}
+
+TEST(WindowJoinTest, PunctuationExpiresOppositeWindow) {
+  JoinRig rig(100, 100);
+  ManualExecContext ctx;
+  rig.right.Push(DataTuple(10, 1));
+  rig.right.Push(DataTuple(20, 2));
+  rig.left.Push(Tuple::MakePunctuation(15));
+  rig.Drain(ctx);
+  // The 10-tuple enters W(right); the punctuation at 15 is absorbed but its
+  // cutoff (15-100 < 0) expires nothing. The 20-tuple stays buffered: left
+  // tuples in (15, 20) may still arrive.
+  EXPECT_EQ(rig.op.window_size(1), 1u);
+  rig.left.Push(Tuple::MakePunctuation(500));
+  rig.Drain(ctx);
+  // Bound 500 releases the 20-tuple into the window, then cutoff
+  // 500-100=400 expires everything: no future left tuple can match.
+  EXPECT_EQ(rig.op.window_size(1), 0u);
+}
+
+TEST(WindowJoinTest, DataExpiresOppositeWindow) {
+  JoinRig rig(100, 100);
+  ManualExecContext ctx;
+  rig.right.Push(DataTuple(10, 1));
+  rig.left.Push(DataTuple(10, 5));
+  rig.Drain(ctx);  // both inserted into their windows
+  EXPECT_EQ(rig.op.window_size(0), 1u);
+  EXPECT_EQ(rig.op.window_size(1), 1u);
+  rig.left.Push(DataTuple(400, 6));
+  rig.right.Push(Tuple::MakePunctuation(400));
+  rig.Drain(ctx);
+  // The left tuple at 400 expired the right window (cutoff 300).
+  EXPECT_EQ(rig.op.window_size(1), 0u);
+}
+
+TEST(WindowJoinTest, EmitsPunctuationWhenNoDataAtTau) {
+  // Figure 6: "If neither A nor B contain an input data tuple with
+  // timestamp τ, add to the output a punctuation tuple with timestamp τ."
+  JoinRig rig(100, 100);
+  ManualExecContext ctx;
+  rig.left.Push(Tuple::MakePunctuation(40));
+  rig.right.Push(Tuple::MakePunctuation(60));
+  std::vector<Tuple> emitted = rig.Drain(ctx);
+  ASSERT_FALSE(emitted.empty());
+  EXPECT_TRUE(emitted.back().is_punctuation());
+  EXPECT_EQ(emitted.back().timestamp(), 40);
+}
+
+TEST(WindowJoinTest, SimultaneousTuplesJoinBothWays) {
+  JoinRig rig(100, 100);
+  ManualExecContext ctx;
+  rig.left.Push(DataTuple(10, 1));
+  rig.right.Push(DataTuple(10, 2));
+  rig.left.Push(Tuple::MakePunctuation(1000));
+  rig.right.Push(Tuple::MakePunctuation(1000));
+  int matches = 0;
+  for (const Tuple& t : rig.Drain(ctx)) {
+    if (t.is_data()) ++matches;
+  }
+  EXPECT_EQ(matches, 1);  // the pair matches exactly once
+}
+
+TEST(WindowJoinTest, PeakWindowSizeTracked) {
+  JoinRig rig(1000, 1000);
+  ManualExecContext ctx;
+  for (int i = 0; i < 5; ++i) rig.left.Push(DataTuple(i, i));
+  for (int i = 0; i < 5; ++i) rig.right.Push(DataTuple(i, i));
+  rig.Drain(ctx);
+  EXPECT_GE(rig.op.peak_window_size(), 5u);
+}
+
+TEST(WindowJoinUnorderedTest, StampsLatentTuples) {
+  JoinRig rig(1000, 1000, nullptr, /*ordered=*/false);
+  ManualExecContext ctx(500);
+  rig.left.Push(Tuple::MakeLatent({Value(int64_t{1})}));
+  rig.op.Step(ctx);
+  ctx.set_now(600);
+  rig.right.Push(Tuple::MakeLatent({Value(int64_t{2})}));
+  rig.op.Step(ctx);
+  ASSERT_EQ(rig.out.size(), 1u);
+  const Tuple& match = rig.out.Front();
+  EXPECT_EQ(match.timestamp(), 600);  // stamped at consumption
+  EXPECT_EQ(match.value(0).int64_value(), 1);
+  EXPECT_EQ(match.value(1).int64_value(), 2);
+}
+
+TEST(WindowJoinUnorderedTest, NeverIdleWaits) {
+  JoinRig rig(1000, 1000, nullptr, false);
+  ManualExecContext ctx;
+  rig.left.Push(Tuple::MakeLatent({Value(int64_t{1})}));
+  StepResult r = rig.op.Step(ctx);
+  EXPECT_TRUE(r.processed_data);
+  EXPECT_FALSE(r.idle_waiting);
+}
+
+/// Reference implementation: brute-force nested loop with the symmetric
+/// band-join condition.
+std::vector<std::pair<int64_t, int64_t>> ReferenceJoin(
+    const std::vector<Tuple>& left, const std::vector<Tuple>& right,
+    Duration left_window, Duration right_window) {
+  std::vector<std::pair<int64_t, int64_t>> matches;
+  for (const Tuple& l : left) {
+    for (const Tuple& r : right) {
+      Timestamp lt = l.timestamp();
+      Timestamp rt = r.timestamp();
+      bool ok = (lt >= rt) ? (lt - rt) <= right_window
+                           : (rt - lt) <= left_window;
+      if (ok) matches.emplace_back(l.value(0).int64_value(),
+                                   r.value(0).int64_value());
+    }
+  }
+  std::sort(matches.begin(), matches.end());
+  return matches;
+}
+
+class WindowJoinRandomizedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WindowJoinRandomizedTest, AgreesWithReferenceNestedLoop) {
+  Pcg32 rng(GetParam());
+  const Duration left_window = 50 + rng.NextInt(0, 100);
+  const Duration right_window = 50 + rng.NextInt(0, 100);
+
+  std::vector<Tuple> left_in;
+  std::vector<Tuple> right_in;
+  Timestamp lt = 0;
+  Timestamp rt = 0;
+  for (int i = 0; i < 60; ++i) {
+    lt += rng.NextInt(1, 40);
+    left_in.push_back(DataTuple(lt, 1000 + i));
+    rt += rng.NextInt(1, 40);
+    right_in.push_back(DataTuple(rt, 2000 + i));
+  }
+
+  JoinRig rig(left_window, right_window);
+  ManualExecContext ctx;
+  for (const Tuple& t : left_in) rig.left.Push(t);
+  for (const Tuple& t : right_in) rig.right.Push(t);
+  rig.left.Push(Tuple::MakePunctuation(1000000));
+  rig.right.Push(Tuple::MakePunctuation(1000000));
+
+  std::vector<std::pair<int64_t, int64_t>> actual;
+  for (const Tuple& t : rig.Drain(ctx)) {
+    if (t.is_data()) {
+      actual.emplace_back(t.value(0).int64_value(),
+                          t.value(1).int64_value());
+    }
+  }
+  std::sort(actual.begin(), actual.end());
+  EXPECT_EQ(actual,
+            ReferenceJoin(left_in, right_in, left_window, right_window));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WindowJoinRandomizedTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{13}));
+
+TEST(WindowJoinTest, OutputTimestampsNondecreasing) {
+  JoinRig rig(200, 200);
+  ManualExecContext ctx;
+  Pcg32 rng(99);
+  Timestamp lt = 0;
+  Timestamp rt = 0;
+  for (int i = 0; i < 100; ++i) {
+    lt += rng.NextInt(1, 30);
+    rig.left.Push(DataTuple(lt, i));
+    rt += rng.NextInt(1, 30);
+    rig.right.Push(DataTuple(rt, i));
+  }
+  rig.left.Push(Tuple::MakePunctuation(100000));
+  rig.right.Push(Tuple::MakePunctuation(100000));
+  Timestamp previous = kMinTimestamp;
+  for (const Tuple& t : rig.Drain(ctx)) {
+    EXPECT_GE(t.timestamp(), previous);
+    previous = t.timestamp();
+  }
+}
+
+TEST(WindowJoinTest, RejectsNegativeWindows) {
+  EXPECT_DEATH(WindowJoin("j", -1, 0, nullptr), "");
+}
+
+}  // namespace
+}  // namespace dsms
