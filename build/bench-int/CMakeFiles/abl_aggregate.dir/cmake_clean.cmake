@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_aggregate"
+  "../bench/abl_aggregate.pdb"
+  "CMakeFiles/abl_aggregate.dir/abl_aggregate.cc.o"
+  "CMakeFiles/abl_aggregate.dir/abl_aggregate.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_aggregate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_bursty"
+  "../bench/abl_bursty.pdb"
+  "CMakeFiles/abl_bursty.dir/abl_bursty.cc.o"
+  "CMakeFiles/abl_bursty.dir/abl_bursty.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_bursty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

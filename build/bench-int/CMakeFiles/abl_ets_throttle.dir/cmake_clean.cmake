@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_ets_throttle"
+  "../bench/abl_ets_throttle.pdb"
+  "CMakeFiles/abl_ets_throttle.dir/abl_ets_throttle.cc.o"
+  "CMakeFiles/abl_ets_throttle.dir/abl_ets_throttle.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_ets_throttle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

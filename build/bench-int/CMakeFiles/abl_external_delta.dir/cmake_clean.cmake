@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_external_delta"
+  "../bench/abl_external_delta.pdb"
+  "CMakeFiles/abl_external_delta.dir/abl_external_delta.cc.o"
+  "CMakeFiles/abl_external_delta.dir/abl_external_delta.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_external_delta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

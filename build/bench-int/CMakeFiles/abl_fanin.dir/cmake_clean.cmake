@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_fanin"
+  "../bench/abl_fanin.pdb"
+  "CMakeFiles/abl_fanin.dir/abl_fanin.cc.o"
+  "CMakeFiles/abl_fanin.dir/abl_fanin.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_fanin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

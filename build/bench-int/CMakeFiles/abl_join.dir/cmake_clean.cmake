@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_join"
+  "../bench/abl_join.pdb"
+  "CMakeFiles/abl_join.dir/abl_join.cc.o"
+  "CMakeFiles/abl_join.dir/abl_join.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_multiway"
+  "../bench/abl_multiway.pdb"
+  "CMakeFiles/abl_multiway.dir/abl_multiway.cc.o"
+  "CMakeFiles/abl_multiway.dir/abl_multiway.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_multiway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_rate_skew"
+  "../bench/abl_rate_skew.pdb"
+  "CMakeFiles/abl_rate_skew.dir/abl_rate_skew.cc.o"
+  "CMakeFiles/abl_rate_skew.dir/abl_rate_skew.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_rate_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_scheduler"
+  "../bench/abl_scheduler.pdb"
+  "CMakeFiles/abl_scheduler.dir/abl_scheduler.cc.o"
+  "CMakeFiles/abl_scheduler.dir/abl_scheduler.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

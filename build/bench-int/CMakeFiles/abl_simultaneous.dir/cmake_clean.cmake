@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_simultaneous"
+  "../bench/abl_simultaneous.pdb"
+  "CMakeFiles/abl_simultaneous.dir/abl_simultaneous.cc.o"
+  "CMakeFiles/abl_simultaneous.dir/abl_simultaneous.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_simultaneous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab_idle_waiting"
+  "../bench/tab_idle_waiting.pdb"
+  "CMakeFiles/tab_idle_waiting.dir/tab_idle_waiting.cc.o"
+  "CMakeFiles/tab_idle_waiting.dir/tab_idle_waiting.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_idle_waiting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

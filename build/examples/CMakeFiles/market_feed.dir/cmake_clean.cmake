@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/market_feed.dir/market_feed.cpp.o"
+  "CMakeFiles/market_feed.dir/market_feed.cpp.o.d"
+  "market_feed"
+  "market_feed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/market_feed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

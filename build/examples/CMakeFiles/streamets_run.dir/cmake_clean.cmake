@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamets_run.dir/streamets_run.cpp.o"
+  "CMakeFiles/streamets_run.dir/streamets_run.cpp.o.d"
+  "streamets_run"
+  "streamets_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamets_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/dsms.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/dsms.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/dsms.dir/common/random.cc.o" "gcc" "src/CMakeFiles/dsms.dir/common/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/dsms.dir/common/status.cc.o" "gcc" "src/CMakeFiles/dsms.dir/common/status.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/CMakeFiles/dsms.dir/common/strings.cc.o" "gcc" "src/CMakeFiles/dsms.dir/common/strings.cc.o.d"
+  "/root/repo/src/core/schema.cc" "src/CMakeFiles/dsms.dir/core/schema.cc.o" "gcc" "src/CMakeFiles/dsms.dir/core/schema.cc.o.d"
+  "/root/repo/src/core/stream_buffer.cc" "src/CMakeFiles/dsms.dir/core/stream_buffer.cc.o" "gcc" "src/CMakeFiles/dsms.dir/core/stream_buffer.cc.o.d"
+  "/root/repo/src/core/tuple.cc" "src/CMakeFiles/dsms.dir/core/tuple.cc.o" "gcc" "src/CMakeFiles/dsms.dir/core/tuple.cc.o.d"
+  "/root/repo/src/core/value.cc" "src/CMakeFiles/dsms.dir/core/value.cc.o" "gcc" "src/CMakeFiles/dsms.dir/core/value.cc.o.d"
+  "/root/repo/src/exec/dfs_executor.cc" "src/CMakeFiles/dsms.dir/exec/dfs_executor.cc.o" "gcc" "src/CMakeFiles/dsms.dir/exec/dfs_executor.cc.o.d"
+  "/root/repo/src/exec/ets_policy.cc" "src/CMakeFiles/dsms.dir/exec/ets_policy.cc.o" "gcc" "src/CMakeFiles/dsms.dir/exec/ets_policy.cc.o.d"
+  "/root/repo/src/exec/exec_stats.cc" "src/CMakeFiles/dsms.dir/exec/exec_stats.cc.o" "gcc" "src/CMakeFiles/dsms.dir/exec/exec_stats.cc.o.d"
+  "/root/repo/src/exec/executor.cc" "src/CMakeFiles/dsms.dir/exec/executor.cc.o" "gcc" "src/CMakeFiles/dsms.dir/exec/executor.cc.o.d"
+  "/root/repo/src/exec/greedy_memory_executor.cc" "src/CMakeFiles/dsms.dir/exec/greedy_memory_executor.cc.o" "gcc" "src/CMakeFiles/dsms.dir/exec/greedy_memory_executor.cc.o.d"
+  "/root/repo/src/exec/round_robin_executor.cc" "src/CMakeFiles/dsms.dir/exec/round_robin_executor.cc.o" "gcc" "src/CMakeFiles/dsms.dir/exec/round_robin_executor.cc.o.d"
+  "/root/repo/src/graph/graph_builder.cc" "src/CMakeFiles/dsms.dir/graph/graph_builder.cc.o" "gcc" "src/CMakeFiles/dsms.dir/graph/graph_builder.cc.o.d"
+  "/root/repo/src/graph/plan_parser.cc" "src/CMakeFiles/dsms.dir/graph/plan_parser.cc.o" "gcc" "src/CMakeFiles/dsms.dir/graph/plan_parser.cc.o.d"
+  "/root/repo/src/graph/query_graph.cc" "src/CMakeFiles/dsms.dir/graph/query_graph.cc.o" "gcc" "src/CMakeFiles/dsms.dir/graph/query_graph.cc.o.d"
+  "/root/repo/src/metrics/histogram.cc" "src/CMakeFiles/dsms.dir/metrics/histogram.cc.o" "gcc" "src/CMakeFiles/dsms.dir/metrics/histogram.cc.o.d"
+  "/root/repo/src/metrics/idle_wait_tracker.cc" "src/CMakeFiles/dsms.dir/metrics/idle_wait_tracker.cc.o" "gcc" "src/CMakeFiles/dsms.dir/metrics/idle_wait_tracker.cc.o.d"
+  "/root/repo/src/metrics/latency_recorder.cc" "src/CMakeFiles/dsms.dir/metrics/latency_recorder.cc.o" "gcc" "src/CMakeFiles/dsms.dir/metrics/latency_recorder.cc.o.d"
+  "/root/repo/src/metrics/order_validator.cc" "src/CMakeFiles/dsms.dir/metrics/order_validator.cc.o" "gcc" "src/CMakeFiles/dsms.dir/metrics/order_validator.cc.o.d"
+  "/root/repo/src/metrics/queue_size_tracker.cc" "src/CMakeFiles/dsms.dir/metrics/queue_size_tracker.cc.o" "gcc" "src/CMakeFiles/dsms.dir/metrics/queue_size_tracker.cc.o.d"
+  "/root/repo/src/metrics/stats_report.cc" "src/CMakeFiles/dsms.dir/metrics/stats_report.cc.o" "gcc" "src/CMakeFiles/dsms.dir/metrics/stats_report.cc.o.d"
+  "/root/repo/src/metrics/table_printer.cc" "src/CMakeFiles/dsms.dir/metrics/table_printer.cc.o" "gcc" "src/CMakeFiles/dsms.dir/metrics/table_printer.cc.o.d"
+  "/root/repo/src/operators/filter.cc" "src/CMakeFiles/dsms.dir/operators/filter.cc.o" "gcc" "src/CMakeFiles/dsms.dir/operators/filter.cc.o.d"
+  "/root/repo/src/operators/grouped_aggregate.cc" "src/CMakeFiles/dsms.dir/operators/grouped_aggregate.cc.o" "gcc" "src/CMakeFiles/dsms.dir/operators/grouped_aggregate.cc.o.d"
+  "/root/repo/src/operators/iwp_operator.cc" "src/CMakeFiles/dsms.dir/operators/iwp_operator.cc.o" "gcc" "src/CMakeFiles/dsms.dir/operators/iwp_operator.cc.o.d"
+  "/root/repo/src/operators/map.cc" "src/CMakeFiles/dsms.dir/operators/map.cc.o" "gcc" "src/CMakeFiles/dsms.dir/operators/map.cc.o.d"
+  "/root/repo/src/operators/multiway_join.cc" "src/CMakeFiles/dsms.dir/operators/multiway_join.cc.o" "gcc" "src/CMakeFiles/dsms.dir/operators/multiway_join.cc.o.d"
+  "/root/repo/src/operators/operator.cc" "src/CMakeFiles/dsms.dir/operators/operator.cc.o" "gcc" "src/CMakeFiles/dsms.dir/operators/operator.cc.o.d"
+  "/root/repo/src/operators/project.cc" "src/CMakeFiles/dsms.dir/operators/project.cc.o" "gcc" "src/CMakeFiles/dsms.dir/operators/project.cc.o.d"
+  "/root/repo/src/operators/reorder.cc" "src/CMakeFiles/dsms.dir/operators/reorder.cc.o" "gcc" "src/CMakeFiles/dsms.dir/operators/reorder.cc.o.d"
+  "/root/repo/src/operators/sink.cc" "src/CMakeFiles/dsms.dir/operators/sink.cc.o" "gcc" "src/CMakeFiles/dsms.dir/operators/sink.cc.o.d"
+  "/root/repo/src/operators/source.cc" "src/CMakeFiles/dsms.dir/operators/source.cc.o" "gcc" "src/CMakeFiles/dsms.dir/operators/source.cc.o.d"
+  "/root/repo/src/operators/split.cc" "src/CMakeFiles/dsms.dir/operators/split.cc.o" "gcc" "src/CMakeFiles/dsms.dir/operators/split.cc.o.d"
+  "/root/repo/src/operators/union_op.cc" "src/CMakeFiles/dsms.dir/operators/union_op.cc.o" "gcc" "src/CMakeFiles/dsms.dir/operators/union_op.cc.o.d"
+  "/root/repo/src/operators/window_aggregate.cc" "src/CMakeFiles/dsms.dir/operators/window_aggregate.cc.o" "gcc" "src/CMakeFiles/dsms.dir/operators/window_aggregate.cc.o.d"
+  "/root/repo/src/operators/window_join.cc" "src/CMakeFiles/dsms.dir/operators/window_join.cc.o" "gcc" "src/CMakeFiles/dsms.dir/operators/window_join.cc.o.d"
+  "/root/repo/src/sim/arrival_process.cc" "src/CMakeFiles/dsms.dir/sim/arrival_process.cc.o" "gcc" "src/CMakeFiles/dsms.dir/sim/arrival_process.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/dsms.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/dsms.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/experiment_spec.cc" "src/CMakeFiles/dsms.dir/sim/experiment_spec.cc.o" "gcc" "src/CMakeFiles/dsms.dir/sim/experiment_spec.cc.o.d"
+  "/root/repo/src/sim/scenario.cc" "src/CMakeFiles/dsms.dir/sim/scenario.cc.o" "gcc" "src/CMakeFiles/dsms.dir/sim/scenario.cc.o.d"
+  "/root/repo/src/sim/simulation.cc" "src/CMakeFiles/dsms.dir/sim/simulation.cc.o" "gcc" "src/CMakeFiles/dsms.dir/sim/simulation.cc.o.d"
+  "/root/repo/src/sim/trace_loader.cc" "src/CMakeFiles/dsms.dir/sim/trace_loader.cc.o" "gcc" "src/CMakeFiles/dsms.dir/sim/trace_loader.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggregate_properties_test.dir/aggregate_properties_test.cc.o"
+  "CMakeFiles/aggregate_properties_test.dir/aggregate_properties_test.cc.o.d"
+  "aggregate_properties_test"
+  "aggregate_properties_test.pdb"
+  "aggregate_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggregate_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/basic_operators_test.dir/basic_operators_test.cc.o"
+  "CMakeFiles/basic_operators_test.dir/basic_operators_test.cc.o.d"
+  "basic_operators_test"
+  "basic_operators_test.pdb"
+  "basic_operators_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/basic_operators_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ets_gate_test.dir/ets_gate_test.cc.o"
+  "CMakeFiles/ets_gate_test.dir/ets_gate_test.cc.o.d"
+  "ets_gate_test"
+  "ets_gate_test.pdb"
+  "ets_gate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ets_gate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

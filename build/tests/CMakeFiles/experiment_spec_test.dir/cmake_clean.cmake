@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/experiment_spec_test.dir/experiment_spec_test.cc.o"
+  "CMakeFiles/experiment_spec_test.dir/experiment_spec_test.cc.o.d"
+  "experiment_spec_test"
+  "experiment_spec_test.pdb"
+  "experiment_spec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/experiment_spec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

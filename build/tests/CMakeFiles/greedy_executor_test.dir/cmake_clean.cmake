@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greedy_executor_test.dir/greedy_executor_test.cc.o"
+  "CMakeFiles/greedy_executor_test.dir/greedy_executor_test.cc.o.d"
+  "greedy_executor_test"
+  "greedy_executor_test.pdb"
+  "greedy_executor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greedy_executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

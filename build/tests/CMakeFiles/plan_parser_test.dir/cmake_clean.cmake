@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_parser_test.dir/plan_parser_test.cc.o"
+  "CMakeFiles/plan_parser_test.dir/plan_parser_test.cc.o.d"
+  "plan_parser_test"
+  "plan_parser_test.pdb"
+  "plan_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuple_buffer_test.dir/tuple_buffer_test.cc.o"
+  "CMakeFiles/tuple_buffer_test.dir/tuple_buffer_test.cc.o.d"
+  "tuple_buffer_test"
+  "tuple_buffer_test.pdb"
+  "tuple_buffer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuple_buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
