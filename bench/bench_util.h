@@ -2,25 +2,33 @@
 #define DSMS_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "common/time.h"
+#include "metrics/table_printer.h"
 #include "sim/scenario.h"
 
 namespace dsms::bench {
 
 /// Options common to every figure/table harness:
-///   --csv    emit CSV instead of an aligned table (for plotting)
-///   --quick  1/5 horizon (CI-friendly); headline numbers are noisier
-///   --seed N override the workload seed
+///   --csv        emit CSV instead of an aligned table (for plotting)
+///   --quick      1/5 horizon (CI-friendly); headline numbers are noisier
+///   --seed N     override the workload seed
+///   --json PATH  also write the series as JSON records to PATH
 struct BenchOptions {
   bool csv = false;
   bool quick = false;
   uint64_t seed = 42;
+  std::string json_path;  // empty: no JSON output
 };
 
+/// Strict: an unrecognized argument (or a missing option value) terminates
+/// the process with a non-zero status instead of being silently ignored, so
+/// a typo'd sweep flag cannot produce a full run of wrong numbers.
 inline BenchOptions ParseArgs(int argc, char** argv) {
   BenchOptions options;
   for (int i = 1; i < argc; ++i) {
@@ -30,8 +38,14 @@ inline BenchOptions ParseArgs(int argc, char** argv) {
       options.quick = true;
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       options.seed = static_cast<uint64_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      options.json_path = argv[++i];
     } else {
-      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      std::fprintf(stderr,
+                   "unknown argument: %s\n"
+                   "usage: %s [--csv] [--quick] [--seed N] [--json PATH]\n",
+                   argv[i], argv[0]);
+      std::exit(2);
     }
   }
   return options;
@@ -56,6 +70,20 @@ inline std::vector<double> HeartbeatRates(bool quick) {
   if (quick) return {0.1, 1.0, 10.0, 100.0};
   return {0.01, 0.05, 0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0,
           100.0, 200.0, 500.0, 1000.0};
+}
+
+/// Writes the table as a JSON array of row objects to options.json_path if
+/// --json was given; exits non-zero if the path is not writable.
+inline void MaybeWriteJson(const BenchOptions& options,
+                           const TablePrinter& table) {
+  if (options.json_path.empty()) return;
+  std::ofstream out(options.json_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n",
+                 options.json_path.c_str());
+    std::exit(2);
+  }
+  table.PrintJson(out);
 }
 
 inline void PrintHeader(const char* title, const char* paper_ref,

@@ -68,6 +68,7 @@ int Run(const bench::BenchOptions& options) {
   } else {
     table.Print(std::cout);
   }
+  bench::MaybeWriteJson(options, table);
 
   std::printf(
       "\nFigure 7(b) zoom: C mean %.4f ms, D mean %.4f ms, C-D = %.4f ms "

@@ -69,6 +69,7 @@ int Run(const bench::BenchOptions& options) {
   } else {
     table.Print(std::cout);
   }
+  bench::MaybeWriteJson(options, table);
 
   std::printf("\nA / C peak-queue ratio: %.0fx (paper: >2 orders of "
               "magnitude)\n\n",

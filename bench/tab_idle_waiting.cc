@@ -57,6 +57,7 @@ int Run(const bench::BenchOptions& options) {
   } else {
     table.Print(std::cout);
   }
+  bench::MaybeWriteJson(options, table);
   std::printf("\n");
   return 0;
 }

@@ -11,13 +11,19 @@
 /// Result. Violations of internal invariants — programmer errors — abort via
 /// the DSMS_CHECK family, in both debug and release builds.
 
-#define DSMS_CHECK(condition)                                         \
-  do {                                                                \
-    if (!(condition)) {                                               \
+#if defined(__GNUC__) || defined(__clang__)
+#define DSMS_PREDICT_FALSE(x) (__builtin_expect(!!(x), 0))
+#else
+#define DSMS_PREDICT_FALSE(x) (x)
+#endif
+
+#define DSMS_CHECK(condition)                                          \
+  do {                                                                 \
+    if (DSMS_PREDICT_FALSE(!(condition))) {                            \
       std::fprintf(stderr, "%s:%d: DSMS_CHECK failed: %s\n", __FILE__, \
-                   __LINE__, #condition);                             \
-      std::abort();                                                   \
-    }                                                                 \
+                   __LINE__, #condition);                              \
+      std::abort();                                                    \
+    }                                                                  \
   } while (false)
 
 #define DSMS_CHECK_OK(status_expr)                                        \

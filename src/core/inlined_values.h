@@ -1,0 +1,238 @@
+#ifndef DSMS_CORE_INLINED_VALUES_H_
+#define DSMS_CORE_INLINED_VALUES_H_
+
+#include <cstddef>
+#include <cstring>
+#include <initializer_list>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "core/value.h"
+
+namespace dsms {
+
+/// Small-buffer sequence of Values backing Tuple payloads. Up to
+/// kInlineCapacity elements are stored inline in the object itself; longer
+/// payloads spill to a single heap block that doubles on growth.
+///
+/// This is the zero-allocation contract of the tuple core: constructing,
+/// copying, moving, and destroying a payload of <= kInlineCapacity numeric
+/// values never calls the allocator. The interface is the subset of
+/// std::vector the operator library uses; conversion from std::vector<Value>
+/// is implicit so payload-producing callbacks can keep returning vectors.
+class InlinedValues {
+ public:
+  static constexpr size_t kInlineCapacity = 4;
+
+  using value_type = Value;
+  using iterator = Value*;
+  using const_iterator = const Value*;
+
+  InlinedValues() : size_(0), capacity_(kInlineCapacity), data_(inline_ptr()) {}
+
+  InlinedValues(std::initializer_list<Value> init) : InlinedValues() {
+    reserve(init.size());
+    for (const Value& v : init) UncheckedAppend(Value(v));
+  }
+
+  /// Implicit on purpose: lets `{Value(1), Value(2)}` call sites and
+  /// vector-returning payload functions convert without ceremony.
+  InlinedValues(std::vector<Value> values) : InlinedValues() {  // NOLINT
+    reserve(values.size());
+    for (Value& v : values) UncheckedAppend(std::move(v));
+  }
+
+  InlinedValues(const InlinedValues& other) : InlinedValues() {
+    reserve(other.size_);
+    CopyAppend(other);
+  }
+
+  InlinedValues(InlinedValues&& other) noexcept : InlinedValues() {
+    StealFrom(std::move(other));
+  }
+
+  InlinedValues& operator=(const InlinedValues& other) {
+    if (this == &other) return *this;
+    clear();
+    reserve(other.size_);
+    CopyAppend(other);
+    return *this;
+  }
+
+  InlinedValues& operator=(InlinedValues&& other) noexcept {
+    if (this == &other) return *this;
+    DestroyAll();
+    ReleaseHeap();
+    size_ = 0;
+    capacity_ = kInlineCapacity;
+    data_ = inline_ptr();
+    StealFrom(std::move(other));
+    return *this;
+  }
+
+  ~InlinedValues() {
+    DestroyAll();
+    ReleaseHeap();
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return capacity_; }
+  bool is_inline() const { return data_ == inline_ptr(); }
+
+  Value& operator[](size_t i) { return data_[i]; }
+  const Value& operator[](size_t i) const { return data_[i]; }
+  Value& front() { return data_[0]; }
+  const Value& front() const { return data_[0]; }
+  Value& back() { return data_[size_ - 1]; }
+  const Value& back() const { return data_[size_ - 1]; }
+
+  iterator begin() { return data_; }
+  iterator end() { return data_ + size_; }
+  const_iterator begin() const { return data_; }
+  const_iterator end() const { return data_ + size_; }
+
+  void clear() {
+    DestroyAll();
+    size_ = 0;
+  }
+
+  void reserve(size_t n) {
+    if (n > capacity_) Grow(n);
+  }
+
+  void push_back(const Value& v) {
+    if (size_ == capacity_) Grow(capacity_ * 2);
+    UncheckedAppend(Value(v));
+  }
+
+  void push_back(Value&& v) {
+    if (size_ == capacity_) Grow(capacity_ * 2);
+    UncheckedAppend(std::move(v));
+  }
+
+  template <typename... Args>
+  Value& emplace_back(Args&&... args) {
+    if (size_ == capacity_) Grow(capacity_ * 2);
+    ::new (static_cast<void*>(data_ + size_)) Value(std::forward<Args>(args)...);
+    return data_[size_++];
+  }
+
+  /// Appends [first, last); used by joins to concatenate payloads.
+  template <typename It>
+  void append(It first, It last) {
+    for (; first != last; ++first) push_back(*first);
+  }
+
+  std::vector<Value> ToVector() const {
+    return std::vector<Value>(begin(), end());
+  }
+
+  friend bool operator==(const InlinedValues& a, const InlinedValues& b) {
+    if (a.size_ != b.size_) return false;
+    for (size_t i = 0; i < a.size_; ++i) {
+      if (a.data_[i] != b.data_[i]) return false;
+    }
+    return true;
+  }
+  friend bool operator!=(const InlinedValues& a, const InlinedValues& b) {
+    return !(a == b);
+  }
+
+ private:
+  Value* inline_ptr() {
+    return reinterpret_cast<Value*>(inline_storage_);
+  }
+  const Value* inline_ptr() const {
+    return reinterpret_cast<const Value*>(inline_storage_);
+  }
+
+  void UncheckedAppend(Value&& v) {
+    ::new (static_cast<void*>(data_ + size_)) Value(std::move(v));
+    ++size_;
+  }
+
+  /// Appends a deep copy of `other` to an empty *this (capacity already
+  /// reserved): one bulk byte copy, then string elements re-own their heap
+  /// data. For all-numeric payloads the per-element loop is branch-only.
+  void CopyAppend(const InlinedValues& other) {
+    if (other.size_ <= kInlineCapacity) {
+      RelocateBlock(data_, other.data_);
+    } else {
+      Relocate(data_, other.data_, other.size_);
+    }
+    size_ = other.size_;
+    for (size_t i = 0; i < size_; ++i) {
+      if (data_[i].type() == ValueType::kString) data_[i].ReownString();
+    }
+  }
+
+  void DestroyAll() {
+    for (size_t i = 0; i < size_; ++i) data_[i].~Value();
+  }
+
+  void ReleaseHeap() {
+    if (!is_inline()) {
+      ::operator delete(static_cast<void*>(data_));
+    }
+  }
+
+  // Value is trivially relocatable: a tagged union of scalars and an owning
+  // raw string pointer, so moving an object to a new address is equivalent
+  // to copying its bytes and forgetting the source (standard SBO-container
+  // technique). Relocation transfers string ownership bitwise; the source's
+  // size is zeroed so its destructor never sees the transferred elements.
+  static void Relocate(Value* dst, const Value* src, size_t n) noexcept {
+    static_assert(std::is_nothrow_move_constructible_v<Value>);
+    if (n > 0) {
+      std::memcpy(static_cast<void*>(dst), static_cast<const void*>(src),
+                  n * sizeof(Value));
+    }
+  }
+
+  /// Fixed-size variant for payloads that fit inline: copies a whole
+  /// kInlineCapacity block so the compiler inlines the copy (a runtime-length
+  /// memcpy is an out-of-line libc call). Safe regardless of the live element
+  /// count because every InlinedValues buffer — inline storage or heap block —
+  /// holds at least kInlineCapacity slots.
+  static void RelocateBlock(Value* dst, const Value* src) noexcept {
+    std::memcpy(static_cast<void*>(dst), static_cast<const void*>(src),
+                kInlineCapacity * sizeof(Value));
+  }
+
+  void StealFrom(InlinedValues&& other) noexcept {
+    if (other.is_inline()) {
+      RelocateBlock(data_, other.data_);
+      size_ = other.size_;
+    } else {
+      data_ = other.data_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+    }
+    other.size_ = 0;
+    other.capacity_ = kInlineCapacity;
+    other.data_ = other.inline_ptr();
+  }
+
+  void Grow(size_t min_capacity) {
+    size_t next = capacity_ * 2;
+    if (next < min_capacity) next = min_capacity;
+    Value* fresh =
+        static_cast<Value*>(::operator new(next * sizeof(Value)));
+    Relocate(fresh, data_, size_);
+    ReleaseHeap();
+    data_ = fresh;
+    capacity_ = next;
+  }
+
+  size_t size_;
+  size_t capacity_;
+  Value* data_;
+  alignas(Value) unsigned char inline_storage_[kInlineCapacity * sizeof(Value)];
+};
+
+}  // namespace dsms
+
+#endif  // DSMS_CORE_INLINED_VALUES_H_

@@ -1,0 +1,159 @@
+#ifndef DSMS_CORE_READY_TRACKER_H_
+#define DSMS_CORE_READY_TRACKER_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dsms {
+
+/// Incrementally maintained candidate set for executor scheduling.
+///
+/// Every StreamBuffer of a graph is wired to the tracker of the executor
+/// that owns the graph (StreamBuffer::set_ready_tracker). The buffer reports
+/// empty<->non-empty transitions of itself against its *consumer* operator;
+/// the tracker keeps, per operator, the number of currently non-empty input
+/// buffers plus a bitset of operators with at least one non-empty input.
+///
+/// Soundness: for every operator class in this codebase, HasWork() implies
+/// that at least one input buffer is non-empty (sources have no inputs and
+/// HasWork()==false; IWP ordered mode needs a head tuple; strict unions need
+/// all heads). So "ops with >= 1 non-empty input" is a conservative superset
+/// of the runnable set, and executors only need to re-check HasWork() on
+/// candidates instead of scanning the whole graph. HasWork() can only change
+/// when some input buffer's head changes (push into an empty buffer, or any
+/// pop) — exactly the events the buffer reports.
+///
+/// The dirty list (enabled by the greedy executor) records candidates whose
+/// HasWork()/priority may have changed since the last drain, so a lazy heap
+/// can refresh only those entries.
+class ReadyTracker {
+ public:
+  ReadyTracker() = default;
+
+  void Reset(int num_ops) {
+    num_ops_ = num_ops;
+    nonempty_inputs_.assign(static_cast<size_t>(num_ops), 0);
+    words_.assign((static_cast<size_t>(num_ops) + 63) / 64, 0);
+    dirty_.clear();
+    dirty_words_.assign(words_.size(), 0);
+  }
+
+  int num_ops() const { return num_ops_; }
+
+  /// An input buffer of `consumer` went empty -> non-empty.
+  void NoteFilled(int consumer) {
+    if (consumer < 0 || consumer >= num_ops_) return;
+    if (nonempty_inputs_[static_cast<size_t>(consumer)]++ == 0) {
+      words_[Word(consumer)] |= Bit(consumer);
+    }
+    MarkDirty(consumer);
+  }
+
+  /// An input buffer of `consumer` went non-empty -> empty.
+  void NoteDrained(int consumer) {
+    if (consumer < 0 || consumer >= num_ops_) return;
+    if (--nonempty_inputs_[static_cast<size_t>(consumer)] == 0) {
+      words_[Word(consumer)] &= ~Bit(consumer);
+    }
+    MarkDirty(consumer);
+  }
+
+  /// A pop changed the head of a still-non-empty input buffer of `consumer`
+  /// (the new head may flip HasWork() for ordered/IWP operators).
+  void NoteFrontChanged(int consumer) { MarkDirty(consumer); }
+
+  bool IsCandidate(int op) const {
+    if (op < 0 || op >= num_ops_) return false;
+    return (words_[Word(op)] & Bit(op)) != 0;
+  }
+
+  uint32_t nonempty_inputs(int op) const {
+    return nonempty_inputs_[static_cast<size_t>(op)];
+  }
+
+  /// Smallest candidate id >= `from`, or -1 if none.
+  int NextCandidate(int from) const {
+    if (from < 0) from = 0;
+    if (from >= num_ops_) return -1;
+    size_t w = Word(from);
+    uint64_t word = words_[w] & ~(Bit(from) - 1);
+    while (true) {
+      if (word != 0) {
+        int id = static_cast<int>(w * 64) + CountTrailingZeros(word);
+        return id < num_ops_ ? id : -1;
+      }
+      if (++w >= words_.size()) return -1;
+      word = words_[w];
+    }
+  }
+
+  /// Smallest candidate in cyclic order starting at `start` (wraps past the
+  /// end); -1 if the candidate set is empty.
+  int NextCandidateCyclic(int start) const {
+    int id = NextCandidate(start);
+    if (id >= 0) return id;
+    return NextCandidate(0);
+  }
+
+  bool AnyCandidate() const {
+    for (uint64_t w : words_) {
+      if (w != 0) return true;
+    }
+    return false;
+  }
+
+  // --- Dirty tracking for lazy-heap schedulers -----------------------------
+
+  void set_track_dirty(bool on) {
+    track_dirty_ = on;
+    if (!on) {
+      dirty_.clear();
+      dirty_words_.assign(dirty_words_.size(), 0);
+    }
+  }
+
+  void MarkDirty(int op) {
+    if (!track_dirty_ || op < 0 || op >= num_ops_) return;
+    uint64_t bit = Bit(op);
+    if ((dirty_words_[Word(op)] & bit) == 0) {
+      dirty_words_[Word(op)] |= bit;
+      dirty_.push_back(op);
+    }
+  }
+
+  const std::vector<int>& dirty() const { return dirty_; }
+
+  void ClearDirty() {
+    for (int op : dirty_) dirty_words_[Word(op)] &= ~Bit(op);
+    dirty_.clear();
+  }
+
+ private:
+  static size_t Word(int op) { return static_cast<size_t>(op) / 64; }
+  static uint64_t Bit(int op) {
+    return uint64_t{1} << (static_cast<size_t>(op) % 64);
+  }
+  static int CountTrailingZeros(uint64_t v) {
+#if defined(__GNUC__) || defined(__clang__)
+    return __builtin_ctzll(v);
+#else
+    int n = 0;
+    while ((v & 1) == 0) {
+      v >>= 1;
+      ++n;
+    }
+    return n;
+#endif
+  }
+
+  int num_ops_ = 0;
+  std::vector<uint32_t> nonempty_inputs_;
+  std::vector<uint64_t> words_;
+  bool track_dirty_ = false;
+  std::vector<int> dirty_;
+  std::vector<uint64_t> dirty_words_;
+};
+
+}  // namespace dsms
+
+#endif  // DSMS_CORE_READY_TRACKER_H_

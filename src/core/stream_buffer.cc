@@ -2,49 +2,93 @@
 
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "common/check.h"
 
 namespace dsms {
 
-StreamBuffer::StreamBuffer(std::string name) : name_(std::move(name)) {}
+namespace {
+constexpr size_t kInitialCapacity = 16;
+}  // namespace
 
-const Tuple& StreamBuffer::Front() const {
-  DSMS_CHECK(!tuples_.empty());
-  return tuples_.front();
-}
+StreamBuffer::StreamBuffer(std::string name) : name_(std::move(name)) {}
 
 void StreamBuffer::AddListener(BufferListener* listener) {
   DSMS_CHECK(listener != nullptr);
   listeners_.push_back(listener);
 }
 
-void StreamBuffer::Push(Tuple tuple) {
-  ++total_pushed_;
-  if (tuple.is_data()) {
-    ++data_pushed_;
-    ++data_in_queue_;
-  } else {
-    ++punctuation_pushed_;
-  }
-  tuples_.push_back(std::move(tuple));
-  for (BufferListener* listener : listeners_) {
-    listener->OnPush(*this, tuples_.back());
-  }
+void StreamBuffer::NotifyPush(const Tuple& tuple) {
+  for (BufferListener* listener : listeners_) listener->OnPush(*this, tuple);
 }
 
-Tuple StreamBuffer::Pop() {
-  DSMS_CHECK(!tuples_.empty());
-  Tuple tuple = std::move(tuples_.front());
-  tuples_.pop_front();
+void StreamBuffer::NotifyPop(const Tuple& tuple) {
+  for (BufferListener* listener : listeners_) listener->OnPop(*this, tuple);
+}
+
+void StreamBuffer::EnsureCapacity(size_t needed) {
+  if (needed <= capacity_) return;
+  size_t capacity = capacity_ == 0 ? kInitialCapacity : capacity_;
+  while (capacity < needed) capacity *= 2;
+  std::vector<Tuple> fresh(capacity);
+  for (size_t i = 0; i < count_; ++i) {
+    fresh[i] = std::move(slots_[(head_ + i) & mask_]);
+  }
+  slots_ = std::move(fresh);
+  capacity_ = capacity;
+  mask_ = capacity - 1;
+  head_ = 0;
+}
+
+void StreamBuffer::PushAll(std::vector<Tuple> tuples) {
+  if (tuples.empty()) return;
+  const bool was_empty = (count_ == 0);
+  EnsureCapacity(count_ + tuples.size());
+  for (Tuple& tuple : tuples) {
+    const bool is_data = tuple.is_data();
+    ++total_pushed_;
+    data_pushed_ += is_data;
+    data_in_queue_ += is_data;
+    const size_t idx = (head_ + count_) & mask_;
+    slots_[idx] = std::move(tuple);
+    ++count_;
+    if (!listeners_.empty()) {
+      for (BufferListener* listener : listeners_) {
+        listener->OnPush(*this, slots_[idx]);
+      }
+    }
+  }
+  if (tracker_ != nullptr && was_empty) tracker_->NoteFilled(tracker_consumer_);
+}
+
+Tuple StreamBuffer::PopInternal() {
+  Tuple tuple = std::move(slots_[head_]);
+  head_ = (head_ + 1) & mask_;
+  --count_;
   if (tuple.is_data()) {
     DSMS_CHECK_GT(data_in_queue_, 0u);
     --data_in_queue_;
   }
-  for (BufferListener* listener : listeners_) {
-    listener->OnPop(*this, tuple);
-  }
   return tuple;
+}
+
+size_t StreamBuffer::DrainInto(std::vector<Tuple>* out) {
+  const size_t drained = count_;
+  if (drained == 0) return 0;
+  if (out != nullptr) out->reserve(out->size() + drained);
+  while (count_ > 0) {
+    Tuple tuple = PopInternal();
+    if (!listeners_.empty()) {
+      for (BufferListener* listener : listeners_) {
+        listener->OnPop(*this, tuple);
+      }
+    }
+    if (out != nullptr) out->push_back(std::move(tuple));
+  }
+  DSMS_CHECK_EQ(data_in_queue_, 0u);
+  if (tracker_ != nullptr) tracker_->NoteDrained(tracker_consumer_);
+  return drained;
 }
 
 }  // namespace dsms

@@ -2,10 +2,12 @@
 #define DSMS_CORE_STREAM_BUFFER_H_
 
 #include <cstdint>
-#include <deque>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/check.h"
+#include "core/ready_tracker.h"
 #include "core/tuple.h"
 
 namespace dsms {
@@ -27,6 +29,12 @@ class BufferListener {
 /// represents a buffer"). Exactly one producer appends at the tail and one
 /// consumer removes from the front. Unbounded: the experiments measure how
 /// large buffers grow under idle-waiting, so no backpressure is applied.
+///
+/// Storage is a power-of-two ring of Tuples that doubles when full; once the
+/// ring has grown to the workload's high-water mark, steady-state Push/Pop
+/// of small tuples touches no allocator (unlike the previous std::deque,
+/// which recycled chunk allocations continuously). Listener dispatch is
+/// skipped entirely when no listeners are attached.
 class StreamBuffer {
  public:
   explicit StreamBuffer(std::string name);
@@ -41,28 +49,63 @@ class StreamBuffer {
   int id() const { return id_; }
   void set_id(int id) { id_ = id; }
 
-  bool empty() const { return tuples_.empty(); }
-  size_t size() const { return tuples_.size(); }
+  bool empty() const { return count_ == 0; }
+  size_t size() const { return count_; }
 
   /// The consumer-side head. Requires !empty().
-  const Tuple& Front() const;
+  const Tuple& Front() const {
+    DSMS_CHECK_GT(count_, 0u);
+    return slots_[head_];
+  }
 
-  /// Appends to the tail (production).
-  void Push(Tuple tuple);
+  /// Appends to the tail (production). Defined inline: this and Pop() are
+  /// the per-tuple cost of every arc traversal. The lvalue overload copy-
+  /// assigns straight into the ring slot (no intermediate Tuple), the rvalue
+  /// overload move-assigns.
+  void Push(const Tuple& tuple) { PushImpl(tuple); }
+  void Push(Tuple&& tuple) { PushImpl(std::move(tuple)); }
+
+  /// Appends a whole batch, consuming `tuples`. Counter and listener
+  /// bookkeeping is identical to pushing each tuple individually, but
+  /// capacity is reserved once and the ready-tracker is notified once.
+  void PushAll(std::vector<Tuple> tuples);
 
   /// Removes and returns the head (consumption). Requires !empty().
-  Tuple Pop();
+  Tuple Pop() {
+    DSMS_CHECK_GT(count_, 0u);
+    Tuple tuple = std::move(slots_[head_]);
+    head_ = (head_ + 1) & mask_;
+    --count_;
+    data_in_queue_ -= tuple.is_data() ? 1u : 0u;
+    if (tracker_ != nullptr) {
+      if (count_ == 0) {
+        tracker_->NoteDrained(tracker_consumer_);
+      } else {
+        tracker_->NoteFrontChanged(tracker_consumer_);
+      }
+    }
+    if (!listeners_.empty()) NotifyPop(tuple);
+    return tuple;
+  }
+
+  /// Moves every queued tuple into `*out` (appending, FIFO order) and
+  /// returns how many were drained. Bookkeeping matches popping each tuple
+  /// individually. `out` may be nullptr to discard the tuples.
+  size_t DrainInto(std::vector<Tuple>* out);
 
   /// Lifetime counters, split by tuple kind.
   uint64_t total_pushed() const { return total_pushed_; }
   uint64_t data_pushed() const { return data_pushed_; }
-  uint64_t punctuation_pushed() const { return punctuation_pushed_; }
+  uint64_t punctuation_pushed() const { return total_pushed_ - data_pushed_; }
 
   /// Number of data tuples currently queued (punctuation excluded).
   size_t data_size() const { return data_in_queue_; }
 
-  /// Replaces all listeners with `listener` (nullptr detaches). Not owned.
-  void set_listener(BufferListener* listener) {
+  /// Replaces ALL registered listeners with `listener` (nullptr detaches
+  /// everything). Deliberately loud about clobbering: the old name
+  /// `set_listener` read like a harmless setter but silently dropped
+  /// listeners registered via AddListener.
+  void ReplaceListeners(BufferListener* listener) {
     listeners_.clear();
     if (listener != nullptr) listeners_.push_back(listener);
   }
@@ -70,15 +113,60 @@ class StreamBuffer {
   /// Registers an additional listener (metrics and validators compose).
   void AddListener(BufferListener* listener);
 
+  size_t num_listeners() const { return listeners_.size(); }
+
+  /// Wires this buffer to the scheduling tracker of the executor that owns
+  /// the graph; `consumer` is the operator id that pops from this buffer.
+  /// Pass nullptr to detach. Not owned.
+  void set_ready_tracker(ReadyTracker* tracker, int consumer) {
+    tracker_ = tracker;
+    tracker_consumer_ = consumer;
+  }
+  ReadyTracker* ready_tracker() const { return tracker_; }
+
+  /// Current ring capacity (tests of the growth policy).
+  size_t capacity() const { return slots_.size(); }
+
  private:
+  template <typename T>
+  void PushImpl(T&& tuple) {
+    const bool was_empty = (count_ == 0);
+    const bool is_data = tuple.is_data();
+    ++total_pushed_;
+    data_pushed_ += is_data;
+    data_in_queue_ += is_data;
+    if (count_ == capacity_) EnsureCapacity(count_ + 1);
+    const size_t idx = (head_ + count_) & mask_;
+    slots_[idx] = std::forward<T>(tuple);
+    ++count_;
+    if (tracker_ != nullptr && was_empty) {
+      tracker_->NoteFilled(tracker_consumer_);
+    }
+    if (!listeners_.empty()) NotifyPush(slots_[idx]);
+  }
+
+  void EnsureCapacity(size_t needed);
+  Tuple PopInternal();
+  void NotifyPush(const Tuple& tuple);
+  void NotifyPop(const Tuple& tuple);
+
   std::string name_;
   int id_ = -1;
-  std::deque<Tuple> tuples_;
+  /// Ring storage: `count_` live tuples starting at `head_`, capacity is
+  /// always zero or a power of two. `capacity_`/`mask_` cache slots_.size()
+  /// and slots_.size()-1 for the hot path (mask_ is 0 while empty and only
+  /// dereferenced after EnsureCapacity has grown the ring).
+  std::vector<Tuple> slots_;
+  size_t capacity_ = 0;
+  size_t mask_ = 0;
+  size_t head_ = 0;
+  size_t count_ = 0;
   size_t data_in_queue_ = 0;
   uint64_t total_pushed_ = 0;
   uint64_t data_pushed_ = 0;
-  uint64_t punctuation_pushed_ = 0;
   std::vector<BufferListener*> listeners_;
+  ReadyTracker* tracker_ = nullptr;
+  int tracker_consumer_ = -1;
 };
 
 }  // namespace dsms

@@ -1,7 +1,6 @@
 #include "core/tuple.h"
 
 #include <string>
-#include <vector>
 
 #include "common/check.h"
 #include "common/strings.h"
@@ -20,7 +19,7 @@ const char* TimestampKindToString(TimestampKind kind) {
   return "unknown";
 }
 
-Tuple Tuple::MakeData(Timestamp timestamp, std::vector<Value> values,
+Tuple Tuple::MakeData(Timestamp timestamp, InlinedValues values,
                       TimestampKind ts_kind) {
   DSMS_CHECK(ts_kind != TimestampKind::kLatent);
   Tuple t;
@@ -32,7 +31,7 @@ Tuple Tuple::MakeData(Timestamp timestamp, std::vector<Value> values,
   return t;
 }
 
-Tuple Tuple::MakeLatent(std::vector<Value> values) {
+Tuple Tuple::MakeLatent(InlinedValues values) {
   Tuple t;
   t.kind_ = TupleKind::kData;
   t.ts_kind_ = TimestampKind::kLatent;

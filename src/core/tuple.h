@@ -3,9 +3,9 @@
 
 #include <cstdint>
 #include <string>
-#include <vector>
 
 #include "common/time.h"
+#include "core/inlined_values.h"
 #include "core/value.h"
 
 namespace dsms {
@@ -46,11 +46,11 @@ class Tuple {
   Tuple() = default;
 
   /// Makes a data tuple with an assigned timestamp.
-  static Tuple MakeData(Timestamp timestamp, std::vector<Value> values,
+  static Tuple MakeData(Timestamp timestamp, InlinedValues values,
                         TimestampKind ts_kind = TimestampKind::kInternal);
 
   /// Makes a latent data tuple (no timestamp yet).
-  static Tuple MakeLatent(std::vector<Value> values);
+  static Tuple MakeLatent(InlinedValues values);
 
   /// Makes a punctuation (ETS / heartbeat) tuple.
   static Tuple MakePunctuation(Timestamp timestamp);
@@ -84,8 +84,8 @@ class Tuple {
   uint64_t sequence() const { return sequence_; }
   void set_sequence(uint64_t s) { sequence_ = s; }
 
-  const std::vector<Value>& values() const { return values_; }
-  std::vector<Value>& mutable_values() { return values_; }
+  const InlinedValues& values() const { return values_; }
+  InlinedValues& mutable_values() { return values_; }
   int num_values() const { return static_cast<int>(values_.size()); }
   const Value& value(int index) const;
 
@@ -100,7 +100,7 @@ class Tuple {
   Timestamp arrival_time_ = 0;
   int32_t source_id_ = -1;
   uint64_t sequence_ = 0;
-  std::vector<Value> values_;
+  InlinedValues values_;
 };
 
 }  // namespace dsms

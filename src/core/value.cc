@@ -1,5 +1,6 @@
 #include "core/value.h"
 
+#include <charconv>
 #include <string>
 
 #include "common/check.h"
@@ -21,46 +22,46 @@ const char* ValueTypeToString(ValueType type) {
   return "unknown";
 }
 
-ValueType Value::type() const {
-  if (is_int64()) return ValueType::kInt64;
-  if (is_double()) return ValueType::kDouble;
-  if (is_string()) return ValueType::kString;
-  return ValueType::kBool;
-}
-
 int64_t Value::int64_value() const {
   DSMS_CHECK(is_int64());
-  return std::get<int64_t>(data_);
+  return data_.i;
 }
 
 double Value::double_value() const {
   DSMS_CHECK(is_double());
-  return std::get<double>(data_);
+  return data_.d;
 }
 
 const std::string& Value::string_value() const {
   DSMS_CHECK(is_string());
-  return std::get<std::string>(data_);
+  return *data_.s;
 }
 
 bool Value::bool_value() const {
   DSMS_CHECK(is_bool());
-  return std::get<bool>(data_);
+  return data_.b;
 }
 
 double Value::AsDouble() const {
-  if (is_double()) return std::get<double>(data_);
-  if (is_int64()) return static_cast<double>(std::get<int64_t>(data_));
-  if (is_bool()) return std::get<bool>(data_) ? 1.0 : 0.0;
+  if (is_double()) return data_.d;
+  if (is_int64()) return static_cast<double>(data_.i);
+  if (is_bool()) return data_.b ? 1.0 : 0.0;
   DSMS_CHECK(false);  // Strings have no numeric interpretation.
   return 0.0;
 }
 
 std::string Value::ToString() const {
-  if (is_int64()) return StrFormat("%lld", static_cast<long long>(int64_value()));
-  if (is_double()) return StrFormat("%g", double_value());
-  if (is_bool()) return bool_value() ? "true" : "false";
-  return "\"" + string_value() + "\"";
+  if (is_int64()) return StrFormat("%lld", static_cast<long long>(data_.i));
+  if (is_double()) {
+    // Shortest representation that round-trips exactly; "%g" loses precision
+    // past 6 significant digits, which corrupted doubles in CSV output.
+    char buf[32];
+    auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), data_.d);
+    if (ec == std::errc()) return std::string(buf, ptr);
+    return StrFormat("%.17g", data_.d);
+  }
+  if (is_bool()) return data_.b ? "true" : "false";
+  return "\"" + *data_.s + "\"";
 }
 
 }  // namespace dsms

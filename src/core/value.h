@@ -3,7 +3,7 @@
 
 #include <cstdint>
 #include <string>
-#include <variant>
+#include <utility>
 
 namespace dsms {
 
@@ -18,28 +18,74 @@ enum class ValueType {
 const char* ValueTypeToString(ValueType type);
 
 /// A dynamically typed tuple attribute. Small, copyable value type; the
-/// operator library manipulates tuples as vectors of Values.
+/// operator library manipulates tuples as sequences of Values.
+///
+/// Representation: a 16-byte tagged union. Numeric and boolean values live
+/// entirely inline, so constructing, copying, and moving them never touches
+/// the allocator — the property the zero-allocation tuple path relies on.
+/// Strings are held through a heap pointer and deep-copied.
 class Value {
  public:
   /// Default-constructed Value is int64 0.
-  Value() : data_(int64_t{0}) {}
-  explicit Value(int64_t v) : data_(v) {}
-  explicit Value(double v) : data_(v) {}
-  explicit Value(std::string v) : data_(std::move(v)) {}
-  explicit Value(const char* v) : data_(std::string(v)) {}
-  explicit Value(bool v) : data_(v) {}
+  Value() : type_(ValueType::kInt64) { data_.i = 0; }
+  explicit Value(int64_t v) : type_(ValueType::kInt64) { data_.i = v; }
+  explicit Value(double v) : type_(ValueType::kDouble) { data_.d = v; }
+  explicit Value(std::string v) : type_(ValueType::kString) {
+    data_.s = new std::string(std::move(v));
+  }
+  explicit Value(const char* v) : type_(ValueType::kString) {
+    data_.s = new std::string(v);
+  }
+  explicit Value(bool v) : type_(ValueType::kBool) { data_.b = v; }
 
-  Value(const Value&) = default;
-  Value& operator=(const Value&) = default;
-  Value(Value&&) = default;
-  Value& operator=(Value&&) = default;
+  Value(const Value& other) : type_(other.type_) {
+    if (type_ == ValueType::kString) {
+      data_.s = new std::string(*other.data_.s);
+    } else {
+      data_ = other.data_;
+    }
+  }
 
-  ValueType type() const;
+  Value(Value&& other) noexcept : type_(other.type_), data_(other.data_) {
+    // The moved-from value degrades to int64 0 so its destructor is trivial.
+    other.type_ = ValueType::kInt64;
+    other.data_.i = 0;
+  }
 
-  bool is_int64() const { return std::holds_alternative<int64_t>(data_); }
-  bool is_double() const { return std::holds_alternative<double>(data_); }
-  bool is_string() const { return std::holds_alternative<std::string>(data_); }
-  bool is_bool() const { return std::holds_alternative<bool>(data_); }
+  Value& operator=(const Value& other) {
+    if (this == &other) return *this;
+    if (type_ == ValueType::kString && other.type_ == ValueType::kString) {
+      *data_.s = *other.data_.s;  // reuse the existing heap string
+      return *this;
+    }
+    DestroyString();
+    type_ = other.type_;
+    if (type_ == ValueType::kString) {
+      data_.s = new std::string(*other.data_.s);
+    } else {
+      data_ = other.data_;
+    }
+    return *this;
+  }
+
+  Value& operator=(Value&& other) noexcept {
+    if (this == &other) return *this;
+    DestroyString();
+    type_ = other.type_;
+    data_ = other.data_;
+    other.type_ = ValueType::kInt64;
+    other.data_.i = 0;
+    return *this;
+  }
+
+  ~Value() { DestroyString(); }
+
+  ValueType type() const { return type_; }
+
+  bool is_int64() const { return type_ == ValueType::kInt64; }
+  bool is_double() const { return type_ == ValueType::kDouble; }
+  bool is_string() const { return type_ == ValueType::kString; }
+  bool is_bool() const { return type_ == ValueType::kBool; }
 
   /// Typed accessors; aborts (DSMS_CHECK) on type mismatch.
   int64_t int64_value() const;
@@ -51,17 +97,45 @@ class Value {
   /// aborts for strings. Convenient for numeric predicates and aggregates.
   double AsDouble() const;
 
-  /// Human-readable rendering (ints as decimal, doubles with %g, strings
-  /// quoted, bools as true/false).
+  /// Human-readable rendering (ints as decimal, doubles via shortest
+  /// round-trip formatting, strings quoted, bools as true/false).
   std::string ToString() const;
 
   friend bool operator==(const Value& a, const Value& b) {
-    return a.data_ == b.data_;
+    if (a.type_ != b.type_) return false;
+    switch (a.type_) {
+      case ValueType::kInt64:
+        return a.data_.i == b.data_.i;
+      case ValueType::kDouble:
+        return a.data_.d == b.data_.d;
+      case ValueType::kString:
+        return *a.data_.s == *b.data_.s;
+      case ValueType::kBool:
+        return a.data_.b == b.data_.b;
+    }
+    return false;
   }
   friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
 
  private:
-  std::variant<int64_t, double, std::string, bool> data_;
+  friend class InlinedValues;  // bitwise copy + ReownString fast path
+
+  /// After a bitwise copy of a string Value, both copies point at the same
+  /// heap string; this replaces the pointer with a fresh deep copy. Only
+  /// valid immediately after such a copy, before either copy is destroyed.
+  void ReownString() { data_.s = new std::string(*data_.s); }
+
+  void DestroyString() {
+    if (type_ == ValueType::kString) delete data_.s;
+  }
+
+  ValueType type_;
+  union Payload {
+    int64_t i;
+    double d;
+    bool b;
+    std::string* s;
+  } data_;
 };
 
 }  // namespace dsms

@@ -29,6 +29,18 @@ struct ExecStats {
     return data_steps + punctuation_steps + empty_steps;
   }
 
+  friend bool operator==(const ExecStats& a, const ExecStats& b) {
+    return a.data_steps == b.data_steps &&
+           a.punctuation_steps == b.punctuation_steps &&
+           a.empty_steps == b.empty_steps && a.backtracks == b.backtracks &&
+           a.backtrack_hops == b.backtrack_hops &&
+           a.ets_generated == b.ets_generated &&
+           a.idle_returns == b.idle_returns && a.work_scans == b.work_scans;
+  }
+  friend bool operator!=(const ExecStats& a, const ExecStats& b) {
+    return !(a == b);
+  }
+
   std::string ToString() const;
 };
 

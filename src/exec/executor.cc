@@ -20,6 +20,28 @@ Executor::Executor(QueryGraph* graph, VirtualClock* clock, ExecConfig config)
   for (const auto& op : graph->operators()) {
     if (op->is_iwp()) idle_trackers_.emplace(op->id(), IdleWaitTracker());
   }
+  if (use_ready_queue()) {
+    ready_.Reset(graph->num_operators());
+    for (int b = 0; b < graph->num_buffers(); ++b) {
+      StreamBuffer* buffer = graph->buffer(b);
+      int consumer = graph->consumer_of(b);
+      buffer->set_ready_tracker(&ready_, consumer);
+      // Tests and drivers may ingest before the executor exists; fold the
+      // current occupancy in so pre-filled buffers count as ready.
+      if (!buffer->empty()) ready_.NoteFilled(consumer);
+    }
+  }
+}
+
+Executor::~Executor() {
+  if (use_ready_queue()) {
+    for (int b = 0; b < graph_->num_buffers(); ++b) {
+      StreamBuffer* buffer = graph_->buffer(b);
+      if (buffer->ready_tracker() == &ready_) {
+        buffer->set_ready_tracker(nullptr, -1);
+      }
+    }
+  }
 }
 
 uint64_t Executor::RunUntilIdle() {

@@ -6,6 +6,7 @@
 
 #include "common/clock.h"
 #include "common/time.h"
+#include "core/ready_tracker.h"
 #include "exec/ets_policy.h"
 #include "exec/exec_stats.h"
 #include "graph/query_graph.h"
@@ -30,10 +31,22 @@ struct CostModel {
   Duration ets_generation = 5;
 };
 
+/// How executors discover runnable operators.
+enum class SchedulerMode {
+  /// Incrementally maintained candidate set (ReadyTracker): buffers report
+  /// empty<->non-empty transitions and executors only probe operators with
+  /// at least one non-empty input. The default.
+  kReadyQueue = 0,
+  /// Full O(n) operator-table scans, byte-for-byte the original behavior.
+  /// Kept as the oracle for the trace-equivalence tests.
+  kScanReference = 1,
+};
+
 /// Execution configuration shared by all executors.
 struct ExecConfig {
   CostModel costs;
   EtsPolicy ets;
+  SchedulerMode scheduler = SchedulerMode::kReadyQueue;
 };
 
 /// Common machinery for executors: cost charging, idle-waiting trackers for
@@ -47,9 +60,12 @@ struct ExecConfig {
 class Executor {
  public:
   /// `graph` must be validated and outlive the executor; `clock` is shared
-  /// with the simulation driver.
+  /// with the simulation driver. In kReadyQueue mode the constructor wires
+  /// every graph buffer to this executor's ReadyTracker (and seeds it from
+  /// already-buffered tuples); the destructor detaches. At most one
+  /// ready-queue executor may be live per graph at a time.
   Executor(QueryGraph* graph, VirtualClock* clock, ExecConfig config);
-  virtual ~Executor() = default;
+  virtual ~Executor();
 
   Executor(const Executor&) = delete;
   Executor& operator=(const Executor&) = delete;
@@ -103,6 +119,10 @@ class Executor {
   /// operator made runnable by a generated ETS, or nullptr.
   Operator* TryEtsSweep();
 
+  bool use_ready_queue() const {
+    return config_.scheduler == SchedulerMode::kReadyQueue;
+  }
+
   QueryGraph* graph_;
   VirtualClock* clock_;
   ExecConfig config_;
@@ -110,6 +130,8 @@ class Executor {
   EtsGate ets_gate_;
   ClockContext ctx_;
   std::map<int, IdleWaitTracker> idle_trackers_;
+  /// Candidate set maintained by buffer notifications (kReadyQueue mode).
+  ReadyTracker ready_;
 };
 
 }  // namespace dsms

@@ -36,6 +36,17 @@ GreedyMemoryExecutor::GreedyMemoryExecutor(QueryGraph* graph,
       }
     }
   }
+  if (use_ready_queue()) {
+    versions_.assign(static_cast<size_t>(n), 0);
+    ready_.set_track_dirty(true);
+    // The base constructor seeded the candidate set before dirty tracking
+    // was on; mark everything dirty once so the first RunStep builds the
+    // heap from scratch.
+    for (int i = 0; i < n; ++i) ready_.MarkDirty(i);
+    for (int i = 0; i < n; ++i) {
+      if (graph->op(i)->is_iwp()) iwp_ids_.push_back(i);
+    }
+  }
 }
 
 double GreedyMemoryExecutor::Priority(const Operator& op) const {
@@ -52,7 +63,69 @@ double GreedyMemoryExecutor::Priority(const Operator& op) const {
   return 1.0 - out_rate;
 }
 
+void GreedyMemoryExecutor::RefreshDirty() {
+  for (int id : ready_.dirty()) {
+    ++versions_[static_cast<size_t>(id)];
+    if (!ready_.IsCandidate(id)) continue;
+    Operator* op = graph_->op(id);
+    heap_.push(HeapEntry{Priority(*op), depth_to_sink_[static_cast<size_t>(id)],
+                         id, versions_[static_cast<size_t>(id)]});
+  }
+  ready_.ClearDirty();
+}
+
+Operator* GreedyMemoryExecutor::PopBest() {
+  while (!heap_.empty()) {
+    HeapEntry top = heap_.top();
+    heap_.pop();
+    if (top.version != versions_[static_cast<size_t>(top.id)]) continue;
+    Operator* op = graph_->op(top.id);
+    // A candidate whose HasWork() is currently false stays out of the heap
+    // until a buffer event re-dirties it (any event that could flip
+    // HasWork() marks the operator dirty).
+    if (!ready_.IsCandidate(top.id) || !op->HasWork()) continue;
+    return op;
+  }
+  return nullptr;
+}
+
+void GreedyMemoryExecutor::StepAndAccount(Operator* op) {
+  StepResult result = op->Step(ctx_);
+  ChargeStep(result);
+  UpdateIdleTracker(op, result);
+  // The step changed this operator's lifetime counters (its priority) even
+  // when no buffer event fired; force a heap refresh.
+  ready_.MarkDirty(op->id());
+}
+
 bool GreedyMemoryExecutor::RunStep() {
+  if (!use_ready_queue()) return RunStepScan();
+  // Blocked IWP operators are never selected (no HasWork); the reference
+  // scan accounts for their idle-waiting on every activation.
+  for (int id : iwp_ids_) {
+    if (!ready_.IsCandidate(id)) continue;
+    Operator* op = graph_->op(id);
+    if (!op->HasWork() && op->HasPendingData()) {
+      auto it = idle_trackers_.find(id);
+      if (it != idle_trackers_.end()) it->second.MarkBlocked(clock_->now());
+    }
+  }
+  RefreshDirty();
+  Operator* best = PopBest();
+  ++stats_.work_scans;
+  if (best == nullptr) {
+    Operator* resumed = TryEtsSweep();
+    if (resumed == nullptr) {
+      ++stats_.idle_returns;
+      return false;
+    }
+    best = resumed;
+  }
+  StepAndAccount(best);
+  return true;
+}
+
+bool GreedyMemoryExecutor::RunStepScan() {
   Operator* best = nullptr;
   double best_priority = 0.0;
   int best_depth = 0;

@@ -27,6 +27,10 @@ class RoundRobinExecutor : public Executor {
 
  private:
   void AdvanceCursor();
+  void MarkBlockedIwp(Operator* op);
+  bool StepOperator(Operator* op);
+  /// Reference O(n) scan (SchedulerMode::kScanReference).
+  bool RunStepScan();
 
   int quantum_;
   int cursor_ = 0;

@@ -154,8 +154,8 @@ std::vector<std::vector<int>> QueryGraph::Components() const {
   return components;
 }
 
-void QueryGraph::SetBufferListener(BufferListener* listener) {
-  for (const auto& buffer : buffers_) buffer->set_listener(listener);
+void QueryGraph::ReplaceBufferListeners(BufferListener* listener) {
+  for (const auto& buffer : buffers_) buffer->ReplaceListeners(listener);
 }
 
 void QueryGraph::AddBufferListener(BufferListener* listener) {

@@ -91,7 +91,7 @@ class QueryGraph {
   std::vector<std::vector<int>> Components() const;
 
   /// Replaces every arc's listeners with `listener` (nullptr detaches all).
-  void SetBufferListener(BufferListener* listener);
+  void ReplaceBufferListeners(BufferListener* listener);
 
   /// Registers an additional listener on every arc (metrics and validators
   /// compose).

@@ -17,7 +17,7 @@ namespace dsms {
 /// Violations are counted per buffer rather than aborting, so tests can
 /// assert zero while benches can surface regressions without dying.
 ///
-/// Attach with StreamBuffer::AddListener (or QueryGraph::SetBufferListener
+/// Attach with StreamBuffer::AddListener (or QueryGraph::ReplaceBufferListeners
 /// in single-listener setups). Latent tuples (no timestamp) are skipped.
 class OrderValidator : public BufferListener {
  public:

@@ -1,6 +1,7 @@
 #include "metrics/table_printer.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -53,6 +54,53 @@ void TablePrinter::Print(std::ostream& os) const {
 void TablePrinter::PrintCsv(std::ostream& os) const {
   os << StrJoin(headers_, ",") << "\n";
   for (const auto& row : rows_) os << StrJoin(row, ",") << "\n";
+}
+
+namespace {
+
+bool IsJsonNumber(const std::string& s) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) return false;
+  // strtod accepts "inf"/"nan", which are not valid JSON numbers.
+  for (char ch : s) {
+    if ((ch < '0' || ch > '9') && ch != '.' && ch != '-' && ch != '+' &&
+        ch != 'e' && ch != 'E') {
+      return false;
+    }
+  }
+  return true;
+}
+
+void EmitJsonString(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char ch : s) {
+    if (ch == '"' || ch == '\\') os << '\\';
+    os << ch;
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void TablePrinter::PrintJson(std::ostream& os) const {
+  os << "[\n";
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    os << "  {";
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      if (c > 0) os << ", ";
+      EmitJsonString(os, headers_[c]);
+      os << ": ";
+      if (IsJsonNumber(rows_[r][c])) {
+        os << rows_[r][c];
+      } else {
+        EmitJsonString(os, rows_[r][c]);
+      }
+    }
+    os << (r + 1 < rows_.size() ? "},\n" : "}\n");
+  }
+  os << "]\n";
 }
 
 }  // namespace dsms

@@ -27,6 +27,10 @@ class TablePrinter {
   /// RFC-4180-ish CSV (no quoting needed for our numeric content).
   void PrintCsv(std::ostream& os) const;
 
+  /// JSON array of row objects keyed by header; cells that parse fully as
+  /// numbers are emitted as JSON numbers, everything else as strings.
+  void PrintJson(std::ostream& os) const;
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "core/inlined_values.h"
 #include "core/schema.h"
 #include "core/value.h"
 #include "operators/operator.h"
@@ -17,7 +18,7 @@ namespace dsms {
 /// timestamp equals input timestamp). Punctuation passes through.
 class MapOp : public Operator {
  public:
-  using Transform = std::function<std::vector<Value>(const std::vector<Value>&)>;
+  using Transform = std::function<InlinedValues(const InlinedValues&)>;
 
   MapOp(std::string name, Transform transform);
 

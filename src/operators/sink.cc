@@ -28,4 +28,22 @@ StepResult Sink::Step(ExecContext& ctx) {
   return result;
 }
 
+size_t Sink::DrainAll(Timestamp now) {
+  std::vector<Tuple> batch;
+  input(0)->DrainInto(&batch);
+  size_t delivered = 0;
+  for (Tuple& tuple : batch) {
+    if (tuple.is_data()) {
+      ++stats_.data_in;
+      ++delivered;
+      latency_.RecordEmission(tuple, now);
+      if (callback_) callback_(tuple, now);
+      if (collect_) collected_.push_back(std::move(tuple));
+    } else {
+      ++stats_.punctuation_in;
+    }
+  }
+  return delivered;
+}
+
 }  // namespace dsms

@@ -29,6 +29,14 @@ class Sink : public Operator {
 
   StepResult Step(ExecContext& ctx) override;
 
+  /// Batch path: drains the entire input buffer in one DrainInto and
+  /// delivers every tuple at time `now` — equivalent to repeated Steps
+  /// (same stats/latency/callback bookkeeping, punctuation eliminated) but
+  /// without per-tuple buffer overhead. Returns the number of *data* tuples
+  /// delivered. Used by drivers that finish a run outside the executor's
+  /// cost model; scheduled execution keeps the one-tuple Step contract.
+  size_t DrainAll(Timestamp now);
+
   void set_callback(EmitCallback callback) { callback_ = std::move(callback); }
 
   /// When enabled, keeps every delivered data tuple (tests, examples).

@@ -38,19 +38,33 @@ Timestamp Source::Quantize(Timestamp t) const {
   return (t / granularity_) * granularity_;
 }
 
-void Source::Ingest(std::vector<Value> values, Timestamp now) {
-  DSMS_CHECK(timestamp_kind_ != TimestampKind::kExternal);
-  Tuple tuple;
+Tuple Source::MakeIngestTuple(InlinedValues values, Timestamp now) const {
   if (timestamp_kind_ == TimestampKind::kInternal) {
-    tuple = Tuple::MakeData(Quantize(now), std::move(values),
-                            TimestampKind::kInternal);
-  } else {
-    tuple = Tuple::MakeLatent(std::move(values));
+    return Tuple::MakeData(Quantize(now), std::move(values),
+                           TimestampKind::kInternal);
   }
-  PushData(std::move(tuple), now);
+  return Tuple::MakeLatent(std::move(values));
 }
 
-void Source::IngestExternal(Timestamp app_timestamp, std::vector<Value> values,
+void Source::Ingest(InlinedValues values, Timestamp now) {
+  DSMS_CHECK(timestamp_kind_ != TimestampKind::kExternal);
+  PushData(MakeIngestTuple(std::move(values), now), now);
+}
+
+void Source::IngestBatch(std::vector<InlinedValues> payloads, Timestamp now) {
+  DSMS_CHECK(timestamp_kind_ != TimestampKind::kExternal);
+  std::vector<Tuple> batch;
+  batch.reserve(payloads.size());
+  for (InlinedValues& values : payloads) {
+    Tuple tuple = MakeIngestTuple(std::move(values), now);
+    PrepareData(tuple, now);
+    ++stats_.data_out;
+    batch.push_back(std::move(tuple));
+  }
+  output()->PushAll(std::move(batch));
+}
+
+void Source::IngestExternal(Timestamp app_timestamp, InlinedValues values,
                             Timestamp now) {
   DSMS_CHECK(timestamp_kind_ == TimestampKind::kExternal);
   DSMS_CHECK_GE(app_timestamp, last_app_timestamp_ == kMinTimestamp
@@ -63,7 +77,7 @@ void Source::IngestExternal(Timestamp app_timestamp, std::vector<Value> values,
   PushData(std::move(tuple), now);
 }
 
-void Source::PushData(Tuple tuple, Timestamp now) {
+void Source::PrepareData(Tuple& tuple, Timestamp now) {
   tuple.set_arrival_time(now);
   tuple.set_source_id(stream_id_);
   tuple.set_sequence(next_sequence_++);
@@ -74,6 +88,10 @@ void Source::PushData(Tuple tuple, Timestamp now) {
     promised_bound_ = tuple.timestamp();
   }
   ++tuples_ingested_;
+}
+
+void Source::PushData(Tuple tuple, Timestamp now) {
+  PrepareData(tuple, now);
   ++stats_.data_out;
   output()->Push(std::move(tuple));
 }

@@ -65,12 +65,17 @@ class Source : public Operator {
   ///  - internal streams: the tuple is stamped with `now`;
   ///  - latent streams:   the tuple carries no timestamp;
   ///  - external streams: use IngestExternal instead.
-  void Ingest(std::vector<Value> values, Timestamp now);
+  void Ingest(InlinedValues values, Timestamp now);
+
+  /// Batch relay: ingests every payload as if Ingest were called once per
+  /// element, but stages the stamped tuples and hands them to the output
+  /// buffer in one PushAll (one capacity check, one scheduler notification).
+  void IngestBatch(std::vector<InlinedValues> payloads, Timestamp now);
 
   /// Ingests an externally timestamped tuple: `app_timestamp` was assigned
   /// by the producing application and must be <= now and >= the previous
   /// tuple's app timestamp (streams are ordered).
-  void IngestExternal(Timestamp app_timestamp, std::vector<Value> values,
+  void IngestExternal(Timestamp app_timestamp, InlinedValues values,
                       Timestamp now);
 
   /// Pushes a pre-built punctuation (used by the periodic heartbeat injector
@@ -96,7 +101,10 @@ class Source : public Operator {
   uint64_t ets_emitted() const { return ets_emitted_; }
 
  private:
+  /// Stamps arrival metadata and checks the promised bound; does NOT push.
+  void PrepareData(Tuple& tuple, Timestamp now);
   void PushData(Tuple tuple, Timestamp now);
+  Tuple MakeIngestTuple(InlinedValues values, Timestamp now) const;
   Timestamp Quantize(Timestamp t) const;
 
   int32_t stream_id_;

@@ -1,5 +1,6 @@
 #include "sim/scenario.h"
 
+#include <cstring>
 #include <memory>
 #include <string>
 #include <utility>
@@ -45,6 +46,75 @@ std::unique_ptr<ArrivalProcess> MakeSlowProcess(const ScenarioConfig& config,
   }
   return std::make_unique<PoissonProcess>(config.slow_rate, seed);
 }
+
+/// Buffer listener folding every push/pop (arc id + full tuple contents)
+/// into an FNV-1a digest. Equal digests mean two runs moved byte-identical
+/// tuples through the same arcs in the same order.
+class TraceRecorder : public BufferListener {
+ public:
+  uint64_t hash() const { return hash_; }
+  uint64_t events() const { return events_; }
+
+  void OnPush(const StreamBuffer& buffer, const Tuple& tuple) override {
+    Record(0x50u, buffer, tuple);
+  }
+  void OnPop(const StreamBuffer& buffer, const Tuple& tuple) override {
+    Record(0x0Fu, buffer, tuple);
+  }
+
+ private:
+  void Record(uint64_t tag, const StreamBuffer& buffer, const Tuple& tuple) {
+    ++events_;
+    Mix(tag);
+    Mix(static_cast<uint64_t>(buffer.id()));
+    Mix(static_cast<uint64_t>(tuple.kind()));
+    Mix(static_cast<uint64_t>(tuple.timestamp_kind()));
+    Mix(tuple.has_timestamp() ? 1u : 0u);
+    if (tuple.has_timestamp()) Mix(static_cast<uint64_t>(tuple.timestamp()));
+    Mix(static_cast<uint64_t>(tuple.arrival_time()));
+    Mix(static_cast<uint64_t>(static_cast<int64_t>(tuple.source_id())));
+    Mix(tuple.sequence());
+    Mix(static_cast<uint64_t>(tuple.num_values()));
+    for (const Value& v : tuple.values()) MixValue(v);
+  }
+
+  void MixValue(const Value& v) {
+    Mix(static_cast<uint64_t>(v.type()));
+    switch (v.type()) {
+      case ValueType::kInt64:
+        Mix(static_cast<uint64_t>(v.int64_value()));
+        break;
+      case ValueType::kDouble: {
+        double d = v.double_value();
+        uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(d), "double must be 64-bit");
+        std::memcpy(&bits, &d, sizeof(bits));
+        Mix(bits);
+        break;
+      }
+      case ValueType::kBool:
+        Mix(v.bool_value() ? 1u : 0u);
+        break;
+      case ValueType::kString: {
+        const std::string& s = v.string_value();
+        Mix(s.size());
+        for (char c : s) Mix(static_cast<uint64_t>(static_cast<uint8_t>(c)));
+        break;
+      }
+    }
+  }
+
+  void Mix(uint64_t word) {
+    // FNV-1a, one byte at a time.
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= (word >> (i * 8)) & 0xFFu;
+      hash_ *= 1099511628211ULL;
+    }
+  }
+
+  uint64_t hash_ = 14695981039346656037ULL;
+  uint64_t events_ = 0;
+};
 
 }  // namespace
 
@@ -168,6 +238,7 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
                              ? EtsMode::kOnDemand
                              : EtsMode::kNone;
   exec_config.ets.min_interval = config.ets_min_interval;
+  exec_config.scheduler = config.scheduler;
 
   VirtualClock clock;
   std::unique_ptr<Executor> executor;
@@ -201,7 +272,11 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
         });
   }
 
+  TraceRecorder trace;
   Simulation sim(graph.get(), executor.get(), &clock);
+  // The Simulation constructor owns listener replacement; the recorder must
+  // compose with (not clobber) its metrics listeners, so attach afterwards.
+  if (config.record_trace) graph->AddBufferListener(&trace);
   for (size_t i = 0; i < sources.size(); ++i) {
     // sources[0] is the fast stream in every shape (the side component for
     // kAggregate); all others are slow streams.
@@ -246,6 +321,8 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
   result.punctuation_eliminated = sink->punctuation_eliminated();
   result.order_violations = order_violations;
   result.buffer_order_violations = sim.order_validator().violations();
+  result.trace_hash = trace.hash();
+  result.trace_events = trace.events();
   result.exec = executor->stats();
   return result;
 }

@@ -90,6 +90,17 @@ struct ScenarioConfig {
   Duration ets_min_interval = 0;
   int rr_quantum = 8;
 
+  /// Work discovery strategy (kReadyQueue is the optimized default;
+  /// kScanReference reproduces the original O(n) scans and serves as the
+  /// oracle for trace-equivalence tests).
+  SchedulerMode scheduler = SchedulerMode::kReadyQueue;
+
+  /// When true, every buffer push/pop in the run is folded into
+  /// ScenarioResult::trace_hash (FNV-1a over the full tuple contents and
+  /// arc id). Two runs with equal hashes executed byte-identical tuple
+  /// movements in the same order.
+  bool record_trace = false;
+
   uint64_t seed = 42;
   Duration horizon = 600 * kSecond;
   Duration warmup = 30 * kSecond;
@@ -123,6 +134,11 @@ struct ScenarioResult {
   // per-arc pushes that violated a buffer's running timestamp bound.
   uint64_t order_violations = 0;
   uint64_t buffer_order_violations = 0;
+
+  /// Populated when config.record_trace: FNV-1a digest and event count of
+  /// every buffer push/pop in the run (see ScenarioConfig::record_trace).
+  uint64_t trace_hash = 0;
+  uint64_t trace_events = 0;
 
   ExecStats exec;
 

@@ -17,11 +17,11 @@ Simulation::Simulation(QueryGraph* graph, Executor* executor,
   DSMS_CHECK(graph != nullptr);
   DSMS_CHECK(executor != nullptr);
   DSMS_CHECK(clock != nullptr);
-  graph_->SetBufferListener(&queue_tracker_);
+  graph_->ReplaceBufferListeners(&queue_tracker_);
   graph_->AddBufferListener(&order_validator_);
 }
 
-Simulation::~Simulation() { graph_->SetBufferListener(nullptr); }
+Simulation::~Simulation() { graph_->ReplaceBufferListeners(nullptr); }
 
 Simulation::PayloadFn Simulation::SequencePayload() {
   return [](uint64_t seq, Timestamp now) {
@@ -82,10 +82,15 @@ void Simulation::AddHeartbeat(Source* source, Duration period,
                               Duration phase) {
   DSMS_CHECK(source != nullptr);
   DSMS_CHECK_GT(period, 0);
-  // Self-rescheduling event (recursion through a shared std::function).
-  // For external streams the heartbeat must be conservative: it can only
-  // promise now − δ (Section 5).
-  auto tick = std::make_shared<std::function<void(Timestamp)>>();
+  // Self-rescheduling event: the callback re-schedules itself through a
+  // pointer to its Simulation-owned storage (a shared_ptr self-capture
+  // would be a reference cycle and leak). For external streams the
+  // heartbeat must be conservative: it can only promise now − δ
+  // (Section 5).
+  auto* tick = heartbeats_
+                   .emplace_back(
+                       std::make_unique<std::function<void(Timestamp)>>())
+                   .get();
   *tick = [this, source, period, tick](Timestamp now) {
     Timestamp bound = source->timestamp_kind() == TimestampKind::kExternal
                           ? now - source->skew_bound()

@@ -98,6 +98,10 @@ class Simulation {
   QueueSizeTracker queue_tracker_;
   OrderValidator order_validator_;
   std::vector<std::unique_ptr<Feed>> feeds_;
+  /// Self-rescheduling heartbeat callbacks; owned here (not by the event
+  /// queue) so the recursive capture is a plain pointer, not a shared_ptr
+  /// cycle.
+  std::vector<std::unique_ptr<std::function<void(Timestamp)>>> heartbeats_;
   uint64_t events_delivered_ = 0;
   bool warmup_applied_ = false;
 };

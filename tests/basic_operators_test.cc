@@ -203,8 +203,8 @@ TEST(ProjectTest, PunctuationUntouched) {
 TEST(MapTest, TransformsPayloadPreservesTimestamp) {
   StreamBuffer in("in");
   StreamBuffer out("out");
-  MapOp map("m", [](const std::vector<Value>& values) {
-    return std::vector<Value>{Value(values[0].int64_value() * 2)};
+  MapOp map("m", [](const InlinedValues& values) {
+    return InlinedValues{Value(values[0].int64_value() * 2)};
   });
   map.AddInput(&in);
   map.AddOutput(&out);

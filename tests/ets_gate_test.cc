@@ -155,7 +155,7 @@ TEST(MultiListenerTest, AllListenersNotified) {
   buffer.Push(Tuple::MakeData(5, {}));
   EXPECT_EQ(v1.violations(), 1u);
   EXPECT_EQ(v2.violations(), 1u);
-  buffer.set_listener(nullptr);  // detaches both
+  buffer.ReplaceListeners(nullptr);  // detaches both
   buffer.Push(Tuple::MakeData(1, {}));
   EXPECT_EQ(v1.violations(), 1u);
 }

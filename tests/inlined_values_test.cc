@@ -1,0 +1,166 @@
+#include "core/inlined_values.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/value.h"
+
+namespace dsms {
+namespace {
+
+TEST(InlinedValuesTest, DefaultIsEmptyInline) {
+  InlinedValues v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_TRUE(v.is_inline());
+  EXPECT_EQ(v.capacity(), InlinedValues::kInlineCapacity);
+}
+
+TEST(InlinedValuesTest, StaysInlineUpToCapacity) {
+  InlinedValues v;
+  for (size_t i = 0; i < InlinedValues::kInlineCapacity; ++i) {
+    v.push_back(Value(static_cast<int64_t>(i)));
+    EXPECT_TRUE(v.is_inline()) << i;
+  }
+  EXPECT_EQ(v.size(), InlinedValues::kInlineCapacity);
+  for (size_t i = 0; i < v.size(); ++i) {
+    EXPECT_EQ(v[i].int64_value(), static_cast<int64_t>(i));
+  }
+}
+
+TEST(InlinedValuesTest, SpillsToHeapPastCapacityAndKeepsContents) {
+  InlinedValues v;
+  const size_t n = InlinedValues::kInlineCapacity + 3;
+  for (size_t i = 0; i < n; ++i) v.push_back(Value(static_cast<int64_t>(i)));
+  EXPECT_FALSE(v.is_inline());
+  EXPECT_GE(v.capacity(), n);
+  ASSERT_EQ(v.size(), n);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(v[i].int64_value(), static_cast<int64_t>(i));
+  }
+}
+
+TEST(InlinedValuesTest, ExactBoundaryPushSpills) {
+  InlinedValues v;
+  for (size_t i = 0; i < InlinedValues::kInlineCapacity; ++i) {
+    v.push_back(Value(int64_t{7}));
+  }
+  EXPECT_TRUE(v.is_inline());
+  v.push_back(Value(int64_t{8}));  // capacity+1st element triggers the spill
+  EXPECT_FALSE(v.is_inline());
+  EXPECT_EQ(v.size(), InlinedValues::kInlineCapacity + 1);
+  EXPECT_EQ(v.back().int64_value(), 8);
+}
+
+TEST(InlinedValuesTest, CopyOnGrowPreservesStrings) {
+  InlinedValues v;
+  for (int i = 0; i < 10; ++i) {
+    v.push_back(Value(std::string("str") + std::to_string(i)));
+  }
+  ASSERT_EQ(v.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(v[static_cast<size_t>(i)].string_value(),
+              "str" + std::to_string(i));
+  }
+}
+
+TEST(InlinedValuesTest, MoveOfInlineCopiesElementsAndEmptiesSource) {
+  InlinedValues a{Value(int64_t{1}), Value("x"), Value(2.5)};
+  InlinedValues b(std::move(a));
+  EXPECT_TRUE(b.is_inline());
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_EQ(b[0].int64_value(), 1);
+  EXPECT_EQ(b[1].string_value(), "x");
+  EXPECT_EQ(b[2].double_value(), 2.5);
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move): spec'd state
+  EXPECT_TRUE(a.is_inline());
+}
+
+TEST(InlinedValuesTest, MoveOfHeapStealsPointer) {
+  InlinedValues a;
+  for (int i = 0; i < 8; ++i) a.push_back(Value(static_cast<int64_t>(i)));
+  ASSERT_FALSE(a.is_inline());
+  const Value* heap_data = a.begin();
+  InlinedValues b(std::move(a));
+  EXPECT_EQ(b.begin(), heap_data);  // no element copies on heap move
+  EXPECT_EQ(b.size(), 8u);
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move): spec'd state
+  EXPECT_TRUE(a.is_inline());
+  // The source is reusable after the move.
+  a.push_back(Value(int64_t{42}));
+  EXPECT_EQ(a.size(), 1u);
+  EXPECT_EQ(a[0].int64_value(), 42);
+}
+
+TEST(InlinedValuesTest, MoveAssignReleasesExistingContents) {
+  InlinedValues a;
+  for (int i = 0; i < 8; ++i) a.push_back(Value("heap"));
+  InlinedValues b{Value(int64_t{5})};
+  a = std::move(b);
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_EQ(a[0].int64_value(), 5);
+  EXPECT_TRUE(a.is_inline());
+}
+
+TEST(InlinedValuesTest, CopyIsDeep) {
+  InlinedValues a{Value("original")};
+  InlinedValues b(a);
+  b[0] = Value("changed");
+  EXPECT_EQ(a[0].string_value(), "original");
+  EXPECT_EQ(b[0].string_value(), "changed");
+}
+
+TEST(InlinedValuesTest, CopyAssignHeapToInline) {
+  InlinedValues big;
+  for (int i = 0; i < 20; ++i) big.push_back(Value(static_cast<int64_t>(i)));
+  InlinedValues small{Value(int64_t{-1})};
+  small = big;
+  ASSERT_EQ(small.size(), 20u);
+  EXPECT_EQ(small[19].int64_value(), 19);
+  EXPECT_EQ(big.size(), 20u);
+}
+
+TEST(InlinedValuesTest, ConvertsFromVectorImplicitly) {
+  std::vector<Value> vec = {Value(int64_t{1}), Value(int64_t{2})};
+  InlinedValues v = vec;  // implicit conversion used by payload callbacks
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[1].int64_value(), 2);
+  EXPECT_EQ(v.ToVector().size(), 2u);
+}
+
+TEST(InlinedValuesTest, EqualityComparesElements) {
+  InlinedValues a{Value(int64_t{1}), Value("x")};
+  InlinedValues b{Value(int64_t{1}), Value("x")};
+  InlinedValues c{Value(int64_t{1}), Value("y")};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, InlinedValues{});
+}
+
+TEST(InlinedValuesTest, ClearKeepsCapacity) {
+  InlinedValues v;
+  for (int i = 0; i < 12; ++i) v.push_back(Value(static_cast<int64_t>(i)));
+  size_t cap = v.capacity();
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.capacity(), cap);
+  v.push_back(Value(int64_t{1}));
+  EXPECT_EQ(v.size(), 1u);
+}
+
+TEST(InlinedValuesTest, IterationAndAppend) {
+  InlinedValues a{Value(int64_t{1}), Value(int64_t{2})};
+  InlinedValues b{Value(int64_t{3})};
+  a.append(b.begin(), b.end());
+  int64_t sum = 0;
+  for (const Value& v : a) sum += v.int64_value();
+  EXPECT_EQ(sum, 6);
+  EXPECT_EQ(a.front().int64_value(), 1);
+  EXPECT_EQ(a.back().int64_value(), 3);
+}
+
+}  // namespace
+}  // namespace dsms

@@ -46,8 +46,8 @@ TEST(QueueSizeTrackerTest, TracksPeakTotal) {
   QueueSizeTracker tracker;
   StreamBuffer a("a");
   StreamBuffer b("b");
-  a.set_listener(&tracker);
-  b.set_listener(&tracker);
+  a.ReplaceListeners(&tracker);
+  b.ReplaceListeners(&tracker);
   a.Push(Tuple::MakeData(1, {}));
   b.Push(Tuple::MakeData(1, {}));
   b.Push(Tuple::MakeData(2, {}));
@@ -62,7 +62,7 @@ TEST(QueueSizeTrackerTest, TracksPeakTotal) {
 TEST(QueueSizeTrackerTest, SeparatesDataFromPunctuation) {
   QueueSizeTracker tracker;
   StreamBuffer a("a");
-  a.set_listener(&tracker);
+  a.ReplaceListeners(&tracker);
   a.Push(Tuple::MakeData(1, {}));
   a.Push(Tuple::MakePunctuation(2));
   a.Push(Tuple::MakePunctuation(3));
@@ -75,7 +75,7 @@ TEST(QueueSizeTrackerTest, SeparatesDataFromPunctuation) {
 TEST(QueueSizeTrackerTest, ResetPeakKeepsCurrent) {
   QueueSizeTracker tracker;
   StreamBuffer a("a");
-  a.set_listener(&tracker);
+  a.ReplaceListeners(&tracker);
   for (int i = 0; i < 5; ++i) a.Push(Tuple::MakeData(i, {}));
   for (int i = 0; i < 4; ++i) a.Pop();
   EXPECT_EQ(tracker.peak_total(), 5);
@@ -87,9 +87,9 @@ TEST(QueueSizeTrackerTest, ResetPeakKeepsCurrent) {
 TEST(QueueSizeTrackerTest, ResetClearsEverything) {
   QueueSizeTracker tracker;
   StreamBuffer a("a");
-  a.set_listener(&tracker);
+  a.ReplaceListeners(&tracker);
   a.Push(Tuple::MakeData(1, {}));
-  a.set_listener(nullptr);
+  a.ReplaceListeners(nullptr);
   tracker.Reset();
   EXPECT_EQ(tracker.current_total(), 0);
   EXPECT_EQ(tracker.peak_total(), 0);

@@ -72,9 +72,9 @@ TEST(QueryGraphTest, ValidateRejectsUnaryUnion) {
 TEST(QueryGraphTest, ValidateRejectsCycle) {
   QueryGraph graph;
   auto* a = graph.Add(std::make_unique<MapOp>(
-      "A", [](const std::vector<Value>& v) { return v; }));
+      "A", [](const InlinedValues& v) { return v; }));
   auto* b = graph.Add(std::make_unique<MapOp>(
-      "B", [](const std::vector<Value>& v) { return v; }));
+      "B", [](const InlinedValues& v) { return v; }));
   graph.Connect(a, b);
   graph.Connect(b, a);
   Status status = graph.Validate();
@@ -217,7 +217,7 @@ TEST(GraphBuilderTest, AllOperatorKindsConstructible) {
   Source* s = builder.AddSource("S", TimestampKind::kInternal);
   auto* copy = builder.AddCopy("C");
   auto* f = builder.AddFilter("F", [](const Tuple&) { return true; });
-  auto* m = builder.AddMap("M", [](const std::vector<Value>& v) { return v; });
+  auto* m = builder.AddMap("M", [](const InlinedValues& v) { return v; });
   auto* p = builder.AddProject("P", {0});
   auto* r = builder.AddReorder("R", 100);
   auto* agg = builder.AddWindowAggregate("A", AggKind::kSum, 0, 100, 100);

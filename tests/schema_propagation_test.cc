@@ -294,7 +294,7 @@ TEST(SchemaPropagationTest, MapDeclaredOutputSchema) {
   Source* s = builder.AddSource("S", TimestampKind::kInternal);
   s->set_schema(TradeSchema());
   MapOp* m = builder.AddMap(
-      "M", [](const std::vector<Value>& v) { return v; });
+      "M", [](const InlinedValues& v) { return v; });
   m->set_output_schema(Schema{{"notional", ValueType::kDouble}});
   Sink* sink = builder.AddSink("OUT");
   builder.Connect(s, m);

@@ -1,0 +1,221 @@
+// Batch APIs (PushAll / DrainInto), listener management (ReplaceListeners
+// regression), ring-buffer growth, and ready-tracker notification contract
+// of StreamBuffer.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/ready_tracker.h"
+#include "core/stream_buffer.h"
+#include "core/tuple.h"
+#include "core/value.h"
+
+namespace dsms {
+namespace {
+
+Tuple Data(Timestamp ts) { return Tuple::MakeData(ts, {Value(ts)}); }
+
+class CountingListener : public BufferListener {
+ public:
+  void OnPush(const StreamBuffer&, const Tuple&) override { ++pushes; }
+  void OnPop(const StreamBuffer&, const Tuple&) override { ++pops; }
+  int pushes = 0;
+  int pops = 0;
+};
+
+TEST(StreamBufferBatchTest, PushAllSplitsCountersByKind) {
+  StreamBuffer buffer("b");
+  std::vector<Tuple> batch;
+  batch.push_back(Data(1));
+  batch.push_back(Tuple::MakePunctuation(2));
+  batch.push_back(Data(3));
+  batch.push_back(Data(4));
+  buffer.PushAll(std::move(batch));
+
+  EXPECT_EQ(buffer.size(), 4u);
+  EXPECT_EQ(buffer.total_pushed(), 4u);
+  EXPECT_EQ(buffer.data_pushed(), 3u);
+  EXPECT_EQ(buffer.punctuation_pushed(), 1u);
+  EXPECT_EQ(buffer.data_size(), 3u);
+  EXPECT_EQ(buffer.Front().timestamp(), 1);
+}
+
+TEST(StreamBufferBatchTest, PushAllMatchesIndividualPushBookkeeping) {
+  StreamBuffer one_by_one("a");
+  StreamBuffer batched("b");
+  std::vector<Tuple> batch;
+  for (Timestamp t = 0; t < 10; ++t) {
+    if (t % 3 == 0) {
+      one_by_one.Push(Tuple::MakePunctuation(t));
+      batch.push_back(Tuple::MakePunctuation(t));
+    } else {
+      one_by_one.Push(Data(t));
+      batch.push_back(Data(t));
+    }
+  }
+  batched.PushAll(std::move(batch));
+
+  EXPECT_EQ(batched.total_pushed(), one_by_one.total_pushed());
+  EXPECT_EQ(batched.data_pushed(), one_by_one.data_pushed());
+  EXPECT_EQ(batched.punctuation_pushed(), one_by_one.punctuation_pushed());
+  EXPECT_EQ(batched.data_size(), one_by_one.data_size());
+  while (!one_by_one.empty()) {
+    EXPECT_EQ(batched.Pop().ToString(), one_by_one.Pop().ToString());
+  }
+  EXPECT_TRUE(batched.empty());
+}
+
+TEST(StreamBufferBatchTest, PushAllNotifiesListenersPerTuple) {
+  StreamBuffer buffer("b");
+  CountingListener listener;
+  buffer.AddListener(&listener);
+  std::vector<Tuple> batch;
+  for (Timestamp t = 0; t < 5; ++t) batch.push_back(Data(t));
+  buffer.PushAll(std::move(batch));
+  EXPECT_EQ(listener.pushes, 5);
+  EXPECT_EQ(listener.pops, 0);
+}
+
+TEST(StreamBufferBatchTest, DrainIntoMovesEverythingInOrder) {
+  StreamBuffer buffer("b");
+  for (Timestamp t = 0; t < 6; ++t) buffer.Push(Data(t));
+  buffer.Push(Tuple::MakePunctuation(6));
+
+  std::vector<Tuple> out;
+  out.push_back(Data(100));  // DrainInto appends; pre-existing survives
+  size_t drained = buffer.DrainInto(&out);
+
+  EXPECT_EQ(drained, 7u);
+  ASSERT_EQ(out.size(), 8u);
+  EXPECT_EQ(out[0].timestamp(), 100);
+  for (Timestamp t = 0; t < 6; ++t) {
+    EXPECT_EQ(out[static_cast<size_t>(t + 1)].timestamp(), t);
+    EXPECT_TRUE(out[static_cast<size_t>(t + 1)].is_data());
+  }
+  EXPECT_TRUE(out[7].is_punctuation());
+  EXPECT_TRUE(buffer.empty());
+  EXPECT_EQ(buffer.data_size(), 0u);
+  // Lifetime push counters are untouched by draining.
+  EXPECT_EQ(buffer.total_pushed(), 7u);
+  EXPECT_EQ(buffer.data_pushed(), 6u);
+  EXPECT_EQ(buffer.punctuation_pushed(), 1u);
+}
+
+TEST(StreamBufferBatchTest, DrainIntoNullDiscardsAndNotifiesListeners) {
+  StreamBuffer buffer("b");
+  CountingListener listener;
+  buffer.AddListener(&listener);
+  for (Timestamp t = 0; t < 4; ++t) buffer.Push(Data(t));
+  EXPECT_EQ(buffer.DrainInto(nullptr), 4u);
+  EXPECT_TRUE(buffer.empty());
+  EXPECT_EQ(listener.pops, 4);
+  EXPECT_EQ(buffer.DrainInto(nullptr), 0u);  // empty drain is a no-op
+  EXPECT_EQ(listener.pops, 4);
+}
+
+TEST(StreamBufferBatchTest, RingWrapsAndGrowsCorrectly) {
+  StreamBuffer buffer("b");
+  // Interleave pushes and pops so head_ walks around the ring, then force
+  // growth while wrapped.
+  Timestamp next = 0;
+  for (int i = 0; i < 100; ++i) {
+    buffer.Push(Data(next++));
+    buffer.Push(Data(next++));
+    buffer.Pop();
+  }
+  // 100 queued, head somewhere mid-ring. FIFO must hold across the growths.
+  Timestamp expect = 100;
+  while (!buffer.empty()) {
+    EXPECT_EQ(buffer.Pop().timestamp(), expect++);
+  }
+  EXPECT_EQ(expect, 200);
+}
+
+// --- ReplaceListeners regression (the set_listener footgun) ---------------
+
+TEST(StreamBufferListenerTest, AddListenerComposes) {
+  StreamBuffer buffer("b");
+  CountingListener first;
+  CountingListener second;
+  buffer.AddListener(&first);
+  buffer.AddListener(&second);
+  EXPECT_EQ(buffer.num_listeners(), 2u);
+  buffer.Push(Data(1));
+  EXPECT_EQ(first.pushes, 1);
+  EXPECT_EQ(second.pushes, 1);
+}
+
+TEST(StreamBufferListenerTest, ReplaceListenersIsExplicitlyDestructive) {
+  StreamBuffer buffer("b");
+  CountingListener first;
+  CountingListener second;
+  buffer.AddListener(&first);
+  // The old `set_listener` name silently dropped `first` here; the renamed
+  // API has the same semantics but says so. This pins the contract.
+  buffer.ReplaceListeners(&second);
+  EXPECT_EQ(buffer.num_listeners(), 1u);
+  buffer.Push(Data(1));
+  EXPECT_EQ(first.pushes, 0);
+  EXPECT_EQ(second.pushes, 1);
+  buffer.ReplaceListeners(nullptr);
+  EXPECT_EQ(buffer.num_listeners(), 0u);
+  buffer.Push(Data(2));
+  EXPECT_EQ(second.pushes, 1);
+}
+
+// --- Ready-tracker notification contract ----------------------------------
+
+TEST(StreamBufferReadyTest, PushPopDriveCandidateBit) {
+  ReadyTracker tracker;
+  tracker.Reset(4);
+  StreamBuffer buffer("b");
+  buffer.set_ready_tracker(&tracker, /*consumer=*/2);
+
+  EXPECT_FALSE(tracker.IsCandidate(2));
+  buffer.Push(Data(1));
+  EXPECT_TRUE(tracker.IsCandidate(2));
+  buffer.Push(Data(2));  // push to non-empty: still a candidate
+  EXPECT_TRUE(tracker.IsCandidate(2));
+  buffer.Pop();
+  EXPECT_TRUE(tracker.IsCandidate(2));  // one tuple left
+  buffer.Pop();
+  EXPECT_FALSE(tracker.IsCandidate(2));  // drained
+}
+
+TEST(StreamBufferReadyTest, TwoInputsBothMustDrain) {
+  ReadyTracker tracker;
+  tracker.Reset(4);
+  StreamBuffer left("l");
+  StreamBuffer right("r");
+  left.set_ready_tracker(&tracker, 1);
+  right.set_ready_tracker(&tracker, 1);
+  left.Push(Data(1));
+  right.Push(Data(2));
+  EXPECT_EQ(tracker.nonempty_inputs(1), 2u);
+  left.Pop();
+  EXPECT_TRUE(tracker.IsCandidate(1));
+  right.Pop();
+  EXPECT_FALSE(tracker.IsCandidate(1));
+}
+
+TEST(StreamBufferReadyTest, BatchOpsNotifyOnce) {
+  ReadyTracker tracker;
+  tracker.Reset(2);
+  StreamBuffer buffer("b");
+  buffer.set_ready_tracker(&tracker, 0);
+  std::vector<Tuple> batch;
+  for (Timestamp t = 0; t < 3; ++t) batch.push_back(Data(t));
+  buffer.PushAll(std::move(batch));
+  EXPECT_TRUE(tracker.IsCandidate(0));
+  EXPECT_EQ(tracker.nonempty_inputs(0), 1u);
+  buffer.DrainInto(nullptr);
+  EXPECT_FALSE(tracker.IsCandidate(0));
+  EXPECT_EQ(tracker.nonempty_inputs(0), 0u);
+}
+
+}  // namespace
+}  // namespace dsms

@@ -123,13 +123,13 @@ class CountingListener : public BufferListener {
 TEST(StreamBufferTest, ListenerNotified) {
   StreamBuffer buffer("b");
   CountingListener listener;
-  buffer.set_listener(&listener);
+  buffer.ReplaceListeners(&listener);
   buffer.Push(Tuple::MakeData(1, {}));
   buffer.Push(Tuple::MakePunctuation(2));
   buffer.Pop();
   EXPECT_EQ(listener.pushes, 2);
   EXPECT_EQ(listener.pops, 1);
-  buffer.set_listener(nullptr);
+  buffer.ReplaceListeners(nullptr);
   buffer.Pop();
   EXPECT_EQ(listener.pops, 1);
 }

@@ -1,0 +1,133 @@
+// Pins the zero-allocation steady state: once a StreamBuffer's ring has
+// grown to its high-water mark, Push/Pop of tuples with <= kInlineCapacity
+// numeric values must not touch the global allocator. Verified with
+// counting replacements of ::operator new / ::operator delete, so this test
+// lives in its own binary.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/inlined_values.h"
+#include "core/stream_buffer.h"
+#include "core/tuple.h"
+#include "core/value.h"
+
+namespace {
+// Plain (not atomic) counter: these tests are single-threaded, and an atomic
+// would serialize gtest internals for no benefit.
+uint64_t g_alloc_count = 0;
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++g_alloc_count;
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  ++g_alloc_count;
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace dsms {
+namespace {
+
+Tuple SmallTuple(Timestamp ts) {
+  return Tuple::MakeData(
+      ts, {Value(int64_t{42}), Value(3.14), Value(true), Value(ts)});
+}
+
+TEST(ZeroAllocTest, SmallTupleConstructionDoesNotAllocate) {
+  uint64_t before = g_alloc_count;
+  Tuple t = SmallTuple(123);
+  Tuple moved = std::move(t);
+  Tuple punct = Tuple::MakePunctuation(456);
+  uint64_t after = g_alloc_count;
+  EXPECT_EQ(after - before, 0u) << "tuple with 4 numeric values allocated";
+  EXPECT_EQ(moved.values().size(), 4u);
+  EXPECT_TRUE(punct.is_punctuation());
+}
+
+TEST(ZeroAllocTest, SteadyStatePushPopDoesNotAllocate) {
+  StreamBuffer buffer("hot");  // name fits in SSO; ring starts empty
+
+  // Warmup: grow the ring to its high-water mark (depth 64) and run a few
+  // full cycles so every one-time allocation has happened.
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    for (Timestamp t = 0; t < 64; ++t) buffer.Push(SmallTuple(t));
+    while (!buffer.empty()) buffer.Pop();
+  }
+
+  uint64_t before = g_alloc_count;
+  for (int cycle = 0; cycle < 100; ++cycle) {
+    for (Timestamp t = 0; t < 64; ++t) buffer.Push(SmallTuple(t));
+    while (!buffer.empty()) {
+      Tuple t = buffer.Pop();
+      ASSERT_EQ(t.values().size(), 4u);
+    }
+  }
+  uint64_t after = g_alloc_count;
+  EXPECT_EQ(after - before, 0u)
+      << "steady-state Push/Pop allocated " << (after - before) << " times";
+}
+
+TEST(ZeroAllocTest, SteadyStateWithOccupiedQueueDoesNotAllocate) {
+  StreamBuffer buffer("hot");
+  // Keep the queue half full the whole time so head_ wraps the ring.
+  for (Timestamp t = 0; t < 32; ++t) buffer.Push(SmallTuple(t));
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    for (Timestamp t = 0; t < 16; ++t) buffer.Push(SmallTuple(t));
+    for (int i = 0; i < 16; ++i) buffer.Pop();
+  }
+
+  uint64_t before = g_alloc_count;
+  for (int cycle = 0; cycle < 200; ++cycle) {
+    buffer.Push(SmallTuple(cycle));
+    buffer.Pop();
+  }
+  EXPECT_EQ(g_alloc_count - before, 0u);
+}
+
+TEST(ZeroAllocTest, CountersSanityCheckHookIsLive) {
+  // If the replacement operator new were not linked in, every assertion
+  // above would pass vacuously. Prove the hook observes allocations.
+  uint64_t before = g_alloc_count;
+  auto* v = new std::vector<int>(1000);
+  uint64_t after = g_alloc_count;
+  delete v;
+  EXPECT_GT(after, before);
+}
+
+TEST(ZeroAllocTest, SpilledTupleAllocatesExactlyOnce) {
+  // 5 values exceed the inline capacity: exactly one heap block for the
+  // spilled value array, nothing else.
+  uint64_t before = g_alloc_count;
+  Tuple t = Tuple::MakeData(1, {Value(int64_t{1}), Value(int64_t{2}),
+                                Value(int64_t{3}), Value(int64_t{4}),
+                                Value(int64_t{5})});
+  uint64_t after = g_alloc_count;
+  EXPECT_EQ(after - before, 1u);
+  EXPECT_EQ(t.values().size(), 5u);
+  // Moving a spilled tuple steals the heap block: no further allocations.
+  before = g_alloc_count;
+  Tuple moved = std::move(t);
+  EXPECT_EQ(g_alloc_count - before, 0u);
+  EXPECT_EQ(moved.values().size(), 5u);
+}
+
+}  // namespace
+}  // namespace dsms
