@@ -12,11 +12,46 @@ namespace {
 constexpr size_t kInitialCapacity = 16;
 }  // namespace
 
+const char* OverloadPolicyToString(OverloadPolicy policy) {
+  switch (policy) {
+    case OverloadPolicy::kGrow:
+      return "grow";
+    case OverloadPolicy::kBlockSource:
+      return "block";
+    case OverloadPolicy::kShedOldest:
+      return "shed";
+  }
+  return "unknown";
+}
+
 StreamBuffer::StreamBuffer(std::string name) : name_(std::move(name)) {}
 
 void StreamBuffer::AddListener(BufferListener* listener) {
   DSMS_CHECK(listener != nullptr);
   listeners_.push_back(listener);
+}
+
+bool StreamBuffer::AllowPush(const Tuple& tuple) {
+  for (BufferListener* listener : listeners_) {
+    if (!listener->OnBeforePush(*this, tuple)) return false;
+  }
+  return true;
+}
+
+void StreamBuffer::ShedHead() {
+  DSMS_CHECK_GT(count_, 0u);
+  Tuple shed = PopInternal();
+  ++shed_tuples_;
+  // The head changed; scheduling state must not go stale (the consumer may
+  // cache decisions keyed on the front tuple).
+  if (tracker_ != nullptr) {
+    if (count_ == 0) {
+      tracker_->NoteDrained(tracker_consumer_);
+    } else {
+      tracker_->NoteFrontChanged(tracker_consumer_);
+    }
+  }
+  if (!listeners_.empty()) NotifyPop(shed);
 }
 
 void StreamBuffer::NotifyPush(const Tuple& tuple) {
@@ -43,6 +78,13 @@ void StreamBuffer::EnsureCapacity(size_t needed) {
 
 void StreamBuffer::PushAll(std::vector<Tuple> tuples) {
   if (tuples.empty()) return;
+  if (!listeners_.empty() || capacity_limit_ != 0) {
+    // Veto hooks and overload policies are per-tuple decisions; route
+    // through the scalar path (bookkeeping is identical, and the tracker
+    // notification collapses to the same empty->non-empty transition).
+    for (Tuple& tuple : tuples) PushImpl(std::move(tuple));
+    return;
+  }
   const bool was_empty = (count_ == 0);
   EnsureCapacity(count_ + tuples.size());
   for (Tuple& tuple : tuples) {
@@ -53,12 +95,8 @@ void StreamBuffer::PushAll(std::vector<Tuple> tuples) {
     const size_t idx = (head_ + count_) & mask_;
     slots_[idx] = std::move(tuple);
     ++count_;
-    if (!listeners_.empty()) {
-      for (BufferListener* listener : listeners_) {
-        listener->OnPush(*this, slots_[idx]);
-      }
-    }
   }
+  if (count_ > high_water_) high_water_ = count_;
   if (tracker_ != nullptr && was_empty) tracker_->NoteFilled(tracker_consumer_);
 }
 

@@ -21,14 +21,47 @@ class StreamBuffer;
 class BufferListener {
  public:
   virtual ~BufferListener() = default;
+
+  /// Consulted before a tuple is committed to the buffer; returning false
+  /// vetoes the push (the tuple is discarded, no OnPush fires, counters stay
+  /// untouched). Enforcement listeners (metrics/OrderValidator with a
+  /// kDropLate/kQuarantine policy) use this to stop order-violating tuples
+  /// at the arc where the violation first materializes. Default: allow.
+  virtual bool OnBeforePush(const StreamBuffer& buffer, const Tuple& tuple) {
+    (void)buffer;
+    (void)tuple;
+    return true;
+  }
+
   virtual void OnPush(const StreamBuffer& buffer, const Tuple& tuple) = 0;
   virtual void OnPop(const StreamBuffer& buffer, const Tuple& tuple) = 0;
 };
 
+/// What a bounded StreamBuffer does when a push would exceed its capacity
+/// limit (Section "Failure model" of DESIGN.md).
+enum class OverloadPolicy {
+  /// Grow without bound — the paper's behaviour (experiments measure how
+  /// large buffers get under idle-waiting). The default.
+  kGrow = 0,
+  /// Producer-side backpressure: the buffer reports BlocksProducer() so
+  /// cooperating producers (the simulation's input wrappers) defer delivery
+  /// until space frees. Non-cooperating producers (operator emits mid-step,
+  /// which cannot block in a single-threaded engine) fall back to growing.
+  kBlockSource = 1,
+  /// Load shedding: discard the oldest queued tuple to make room (counted in
+  /// shed_tuples). Dropping tuples never reorders a stream, so downstream
+  /// order invariants survive.
+  kShedOldest = 2,
+};
+
+const char* OverloadPolicyToString(OverloadPolicy policy);
+
 /// A FIFO arc of the query graph (Section 3: "our directed arc from Qi to Qj
 /// represents a buffer"). Exactly one producer appends at the tail and one
-/// consumer removes from the front. Unbounded: the experiments measure how
-/// large buffers grow under idle-waiting, so no backpressure is applied.
+/// consumer removes from the front. Unbounded by default (the experiments
+/// measure how large buffers grow under idle-waiting); set_capacity_limit
+/// installs a bound with a pluggable OverloadPolicy so one runaway source
+/// cannot OOM the process.
 ///
 /// Storage is a power-of-two ring of Tuples that doubles when full; once the
 /// ring has grown to the workload's high-water mark, steady-state Push/Pop
@@ -61,9 +94,10 @@ class StreamBuffer {
   /// Appends to the tail (production). Defined inline: this and Pop() are
   /// the per-tuple cost of every arc traversal. The lvalue overload copy-
   /// assigns straight into the ring slot (no intermediate Tuple), the rvalue
-  /// overload move-assigns.
-  void Push(const Tuple& tuple) { PushImpl(tuple); }
-  void Push(Tuple&& tuple) { PushImpl(std::move(tuple)); }
+  /// overload move-assigns. Returns false when an enforcement listener
+  /// vetoed the push (the tuple was discarded; see BufferListener).
+  bool Push(const Tuple& tuple) { return PushImpl(tuple); }
+  bool Push(Tuple&& tuple) { return PushImpl(std::move(tuple)); }
 
   /// Appends a whole batch, consuming `tuples`. Counter and listener
   /// bookkeeping is identical to pushing each tuple individually, but
@@ -98,6 +132,36 @@ class StreamBuffer {
   uint64_t data_pushed() const { return data_pushed_; }
   uint64_t punctuation_pushed() const { return total_pushed_ - data_pushed_; }
 
+  // --- bounded capacity / overload (robustness; see OverloadPolicy) ---
+
+  /// Installs a capacity bound. `limit` = 0 removes the bound (unbounded,
+  /// the default). With kShedOldest the buffer never holds more than `limit`
+  /// tuples; with kBlockSource it reports BlocksProducer() at the limit so
+  /// cooperating producers defer (non-cooperating pushes still grow).
+  void set_capacity_limit(size_t limit, OverloadPolicy policy) {
+    capacity_limit_ = limit;
+    overload_policy_ = limit == 0 ? OverloadPolicy::kGrow : policy;
+  }
+  size_t capacity_limit() const { return capacity_limit_; }
+  OverloadPolicy overload_policy() const { return overload_policy_; }
+
+  /// True when a kBlockSource-bounded buffer is at capacity: a cooperating
+  /// producer (the simulation's input wrapper) should defer its delivery and
+  /// retry later rather than push.
+  bool BlocksProducer() const {
+    return capacity_limit_ != 0 &&
+           overload_policy_ == OverloadPolicy::kBlockSource &&
+           count_ >= capacity_limit_;
+  }
+
+  /// Tuples discarded by the kShedOldest overload policy.
+  uint64_t shed_tuples() const { return shed_tuples_; }
+  /// Pushes vetoed by an enforcement listener (OnBeforePush returned false).
+  uint64_t vetoed_pushes() const { return vetoed_pushes_; }
+  /// Largest occupancy this buffer ever reached (validates overload
+  /// policies; also the per-arc ingredient of the Figure 8 memory runs).
+  size_t high_water_mark() const { return high_water_; }
+
   /// Number of data tuples currently queued (punctuation excluded).
   size_t data_size() const { return data_in_queue_; }
 
@@ -129,7 +193,15 @@ class StreamBuffer {
 
  private:
   template <typename T>
-  void PushImpl(T&& tuple) {
+  bool PushImpl(T&& tuple) {
+    if (!listeners_.empty() && !AllowPush(tuple)) {
+      ++vetoed_pushes_;
+      return false;
+    }
+    if (capacity_limit_ != 0 && count_ >= capacity_limit_ &&
+        overload_policy_ == OverloadPolicy::kShedOldest) {
+      ShedHead();
+    }
     const bool was_empty = (count_ == 0);
     const bool is_data = tuple.is_data();
     ++total_pushed_;
@@ -139,14 +211,20 @@ class StreamBuffer {
     const size_t idx = (head_ + count_) & mask_;
     slots_[idx] = std::forward<T>(tuple);
     ++count_;
+    if (count_ > high_water_) high_water_ = count_;
     if (tracker_ != nullptr && was_empty) {
       tracker_->NoteFilled(tracker_consumer_);
     }
     if (!listeners_.empty()) NotifyPush(slots_[idx]);
+    return true;
   }
 
   void EnsureCapacity(size_t needed);
   Tuple PopInternal();
+  /// Discards the head tuple to make room (kShedOldest). Listeners see an
+  /// OnPop so occupancy metrics stay consistent.
+  void ShedHead();
+  bool AllowPush(const Tuple& tuple);
   void NotifyPush(const Tuple& tuple);
   void NotifyPop(const Tuple& tuple);
 
@@ -164,6 +242,11 @@ class StreamBuffer {
   size_t data_in_queue_ = 0;
   uint64_t total_pushed_ = 0;
   uint64_t data_pushed_ = 0;
+  size_t capacity_limit_ = 0;  // 0 = unbounded
+  OverloadPolicy overload_policy_ = OverloadPolicy::kGrow;
+  uint64_t shed_tuples_ = 0;
+  uint64_t vetoed_pushes_ = 0;
+  size_t high_water_ = 0;
   std::vector<BufferListener*> listeners_;
   ReadyTracker* tracker_ = nullptr;
   int tracker_consumer_ = -1;

@@ -37,4 +37,11 @@ bool EtsGate::MaybeGenerate(Source* source, Timestamp now,
   return true;
 }
 
+bool EtsGate::GenerateFallback(Source* source, Timestamp now) {
+  if (!source->EmitFallbackEts(now)) return false;
+  ++fallback_generated_;
+  last_generation_[source->stream_id()] = now;
+  return true;
+}
+
 }  // namespace dsms

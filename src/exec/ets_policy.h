@@ -52,12 +52,24 @@ class EtsGate {
   bool MaybeGenerate(Source* source, Timestamp now,
                      bool downstream_idle_waiting, Timestamp release_bound);
 
+  /// Liveness-watchdog path: emits a fallback ETS at a source the watchdog
+  /// declared silent. Deliberately bypasses both the mode check (the
+  /// watchdog is a safety net, not scenario policy — it must work even under
+  /// EtsMode::kNone) and the min_interval throttle (a throttle tuned for
+  /// steady-state punctuation volume must not suppress the only mechanism
+  /// that drains a stalled stream). Returns true if a punctuation was
+  /// pushed; records the generation time so the regular path stays
+  /// throttled relative to it.
+  bool GenerateFallback(Source* source, Timestamp now);
+
   uint64_t generated() const { return generated_; }
+  uint64_t fallback_generated() const { return fallback_generated_; }
   const EtsPolicy& policy() const { return policy_; }
 
  private:
   EtsPolicy policy_;
   uint64_t generated_ = 0;
+  uint64_t fallback_generated_ = 0;
   std::map<int32_t, Timestamp> last_generation_;  // keyed by stream id
 };
 

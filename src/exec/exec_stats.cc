@@ -9,13 +9,14 @@ namespace dsms {
 std::string ExecStats::ToString() const {
   return StrFormat(
       "data_steps=%llu punct_steps=%llu empty_steps=%llu backtracks=%llu "
-      "hops=%llu ets=%llu idle_returns=%llu scans=%llu",
+      "hops=%llu ets=%llu watchdog_ets=%llu idle_returns=%llu scans=%llu",
       static_cast<unsigned long long>(data_steps),
       static_cast<unsigned long long>(punctuation_steps),
       static_cast<unsigned long long>(empty_steps),
       static_cast<unsigned long long>(backtracks),
       static_cast<unsigned long long>(backtrack_hops),
       static_cast<unsigned long long>(ets_generated),
+      static_cast<unsigned long long>(watchdog_ets),
       static_cast<unsigned long long>(idle_returns),
       static_cast<unsigned long long>(work_scans));
 }

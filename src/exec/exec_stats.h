@@ -20,6 +20,9 @@ struct ExecStats {
   uint64_t backtrack_hops = 0;
   /// On-demand ETS punctuations generated at sources.
   uint64_t ets_generated = 0;
+  /// Fallback ETS punctuations emitted by the source-liveness watchdog
+  /// (degraded mode: a silent source was drained via the skew contract).
+  uint64_t watchdog_ets = 0;
   /// Times control returned to the scheduler with nothing runnable.
   uint64_t idle_returns = 0;
   /// Scans over the operator table looking for runnable work.
@@ -35,6 +38,7 @@ struct ExecStats {
            a.empty_steps == b.empty_steps && a.backtracks == b.backtracks &&
            a.backtrack_hops == b.backtrack_hops &&
            a.ets_generated == b.ets_generated &&
+           a.watchdog_ets == b.watchdog_ets &&
            a.idle_returns == b.idle_returns && a.work_scans == b.work_scans;
   }
   friend bool operator!=(const ExecStats& a, const ExecStats& b) {

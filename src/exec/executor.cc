@@ -161,4 +161,41 @@ Operator* Executor::TryEtsSweep() {
   return nullptr;
 }
 
+Operator* Executor::TryWatchdog() {
+  const Duration horizon = config_.watchdog.silence_horizon;
+  if (horizon <= 0) return nullptr;
+  // Only step in when some IWP operator is actually holding back results;
+  // a quiet graph with nothing idle-waiting needs no fallback bounds.
+  bool idle_waiting = false;
+  for (const auto& op : graph_->operators()) {
+    if (op->WantsEts()) {
+      idle_waiting = true;
+      break;
+    }
+  }
+  if (!idle_waiting) return nullptr;
+
+  const Timestamp now = clock_->now();
+  Operator* resumed = nullptr;
+  for (const auto& op : graph_->operators()) {
+    auto* source = dynamic_cast<Source*>(op.get());
+    if (source == nullptr) continue;
+    // A source that never produced anything counts as silent since t=0.
+    const Timestamp last =
+        source->last_activity() == kMinTimestamp ? 0 : source->last_activity();
+    if (now - last < horizon) continue;
+    auto it = watchdog_last_fire_.find(source->stream_id());
+    if (it != watchdog_last_fire_.end() && now - it->second < horizon) {
+      continue;  // Already intervened this horizon; don't spin.
+    }
+    watchdog_last_fire_[source->stream_id()] = now;
+    if (ets_gate_.GenerateFallback(source, now)) {
+      ++stats_.watchdog_ets;
+      clock_->Advance(config_.costs.ets_generation);
+      if (resumed == nullptr) resumed = FirstSuccessorWithInput(source);
+    }
+  }
+  return resumed;
+}
+
 }  // namespace dsms

@@ -42,10 +42,24 @@ enum class SchedulerMode {
   kScanReference = 1,
 };
 
+/// Source-liveness watchdog: when an IWP operator is idle-waiting and a
+/// source has produced nothing (no data, no heartbeat) for the silence
+/// horizon, the executor emits a fallback ETS through the EtsGate so the
+/// operator drains instead of blocking forever on a stalled or dead
+/// producer. Emissions are counted in ExecStats::watchdog_ets and mark the
+/// source degraded. Disabled by default (horizon 0) — with it off, execution
+/// is byte-identical to the pre-watchdog engine.
+struct WatchdogPolicy {
+  /// Virtual time a source may stay silent before the watchdog steps in;
+  /// 0 disables the watchdog.
+  Duration silence_horizon = 0;
+};
+
 /// Execution configuration shared by all executors.
 struct ExecConfig {
   CostModel costs;
   EtsPolicy ets;
+  WatchdogPolicy watchdog;
   SchedulerMode scheduler = SchedulerMode::kReadyQueue;
 };
 
@@ -119,6 +133,13 @@ class Executor {
   /// operator made runnable by a generated ETS, or nullptr.
   Operator* TryEtsSweep();
 
+  /// Last-resort liveness check, consulted only after TryEtsSweep failed:
+  /// if an IWP operator is idle-waiting and some source has been silent
+  /// beyond config_.watchdog.silence_horizon, emit a fallback ETS there
+  /// (bypassing ETS mode and throttle — see EtsGate::GenerateFallback).
+  /// Returns an operator made runnable by the fallback, or nullptr.
+  Operator* TryWatchdog();
+
   bool use_ready_queue() const {
     return config_.scheduler == SchedulerMode::kReadyQueue;
   }
@@ -130,6 +151,9 @@ class Executor {
   EtsGate ets_gate_;
   ClockContext ctx_;
   std::map<int, IdleWaitTracker> idle_trackers_;
+  /// Per-source (stream id) virtual time of the last watchdog intervention,
+  /// so a still-silent source is re-probed only once per horizon.
+  std::map<int32_t, Timestamp> watchdog_last_fire_;
   /// Candidate set maintained by buffer notifications (kReadyQueue mode).
   ReadyTracker ready_;
 };

@@ -115,6 +115,7 @@ bool GreedyMemoryExecutor::RunStep() {
   ++stats_.work_scans;
   if (best == nullptr) {
     Operator* resumed = TryEtsSweep();
+    if (resumed == nullptr) resumed = TryWatchdog();
     if (resumed == nullptr) {
       ++stats_.idle_returns;
       return false;
@@ -149,6 +150,7 @@ bool GreedyMemoryExecutor::RunStepScan() {
   ++stats_.work_scans;
   if (best == nullptr) {
     Operator* resumed = TryEtsSweep();
+    if (resumed == nullptr) resumed = TryWatchdog();
     if (resumed == nullptr) {
       ++stats_.idle_returns;
       return false;

@@ -69,6 +69,7 @@ bool RoundRobinExecutor::RunStep() {
   used_in_quantum_ = 0;
   ++stats_.work_scans;
   Operator* resumed = TryEtsSweep();
+  if (resumed == nullptr) resumed = TryWatchdog();
   if (resumed != nullptr) {
     cursor_ = resumed->id();
     used_in_quantum_ = 0;
@@ -88,6 +89,7 @@ bool RoundRobinExecutor::RunStepScan() {
   }
   ++stats_.work_scans;
   Operator* resumed = TryEtsSweep();
+  if (resumed == nullptr) resumed = TryWatchdog();
   if (resumed != nullptr) {
     cursor_ = resumed->id();
     used_in_quantum_ = 0;

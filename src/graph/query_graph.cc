@@ -1,5 +1,6 @@
 #include "graph/query_graph.h"
 
+#include <algorithm>
 #include <memory>
 #include <optional>
 #include <string>
@@ -160,6 +161,48 @@ void QueryGraph::ReplaceBufferListeners(BufferListener* listener) {
 
 void QueryGraph::AddBufferListener(BufferListener* listener) {
   for (const auto& buffer : buffers_) buffer->AddListener(listener);
+}
+
+void QueryGraph::SetBufferBound(size_t limit, OverloadPolicy policy) {
+  for (const auto& buffer : buffers_) buffer->set_capacity_limit(limit, policy);
+}
+
+bool QueryGraph::DownstreamBlocked(const Operator* op) const {
+  std::vector<const Operator*> pending = {op};
+  std::vector<bool> visited(operators_.size(), false);
+  while (!pending.empty()) {
+    const Operator* current = pending.back();
+    pending.pop_back();
+    if (current->id() >= 0 && current->id() < num_operators()) {
+      if (visited[current->id()]) continue;
+      visited[current->id()] = true;
+    }
+    for (int i = 0; i < current->num_outputs(); ++i) {
+      if (current->output(i)->BlocksProducer()) return true;
+    }
+    for (Operator* next : successors(current)) pending.push_back(next);
+  }
+  return false;
+}
+
+size_t QueryGraph::MaxBufferHighWaterMark() const {
+  size_t max_hwm = 0;
+  for (const auto& buffer : buffers_) {
+    max_hwm = std::max(max_hwm, buffer->high_water_mark());
+  }
+  return max_hwm;
+}
+
+uint64_t QueryGraph::TotalShedTuples() const {
+  uint64_t total = 0;
+  for (const auto& buffer : buffers_) total += buffer->shed_tuples();
+  return total;
+}
+
+uint64_t QueryGraph::TotalVetoedPushes() const {
+  uint64_t total = 0;
+  for (const auto& buffer : buffers_) total += buffer->vetoed_pushes();
+  return total;
 }
 
 size_t QueryGraph::TotalBufferedTuples() const {

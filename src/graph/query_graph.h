@@ -97,6 +97,25 @@ class QueryGraph {
   /// compose).
   void AddBufferListener(BufferListener* listener);
 
+  /// Installs the same capacity bound + overload policy on every arc
+  /// (limit 0 restores the unbounded default; see OverloadPolicy).
+  void SetBufferBound(size_t limit, OverloadPolicy policy);
+
+  /// True if any arc on a path downstream of `op` is full under
+  /// OverloadPolicy::kBlockSource. Backpressure propagates: a full arc
+  /// anywhere below a source must pause that source, not just a full
+  /// first-hop arc (in-flight tuples keep draining toward the full arc).
+  bool DownstreamBlocked(const Operator* op) const;
+
+  /// Largest occupancy any single arc ever reached.
+  size_t MaxBufferHighWaterMark() const;
+
+  /// Tuples discarded across all arcs by the kShedOldest overload policy.
+  uint64_t TotalShedTuples() const;
+
+  /// Pushes vetoed across all arcs by enforcement listeners.
+  uint64_t TotalVetoedPushes() const;
+
   /// Sum of all arc buffer sizes right now.
   size_t TotalBufferedTuples() const;
 

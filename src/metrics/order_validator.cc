@@ -6,28 +6,61 @@
 
 namespace dsms {
 
-void OrderValidator::OnPush(const StreamBuffer& buffer, const Tuple& tuple) {
-  if (!tuple.has_timestamp()) return;  // Latent tuples carry no order.
+const char* ViolationPolicyToString(ViolationPolicy policy) {
+  switch (policy) {
+    case ViolationPolicy::kCount:
+      return "count";
+    case ViolationPolicy::kDropLate:
+      return "drop-late";
+    case ViolationPolicy::kQuarantine:
+      return "quarantine";
+  }
+  return "unknown";
+}
+
+bool OrderValidator::OnBeforePush(const StreamBuffer& buffer,
+                                  const Tuple& tuple) {
+  if (!tuple.has_timestamp()) return true;  // Latent tuples carry no order.
   Timestamp ts = tuple.timestamp();
   auto [it, inserted] = bound_.try_emplace(&buffer, ts);
-  if (!inserted) {
-    if (ts < it->second) {
-      ++violations_;
-      if (first_violation_.empty()) {
-        first_violation_ = StrFormat(
-            "buffer '%s': %s pushed at ts=%lld after bound %lld",
-            buffer.name().c_str(),
-            tuple.is_punctuation() ? "punctuation" : "data",
-            static_cast<long long>(ts), static_cast<long long>(it->second));
-      }
-    }
-    it->second = std::max(it->second, ts);
+  if (inserted) return true;
+  if (ts >= it->second) {
+    it->second = ts;
+    return true;
   }
+  ++violations_;
+  if (first_violation_.empty()) {
+    first_violation_ = StrFormat(
+        "arc '%s' (buffer %d): %s from source %d seq %llu pushed at ts=%lld "
+        "after bound %lld",
+        buffer.name().c_str(), buffer.id(),
+        tuple.is_punctuation() ? "punctuation" : "data",
+        static_cast<int>(tuple.source_id()),
+        static_cast<unsigned long long>(tuple.sequence()),
+        static_cast<long long>(ts), static_cast<long long>(it->second));
+  }
+  switch (policy_) {
+    case ViolationPolicy::kCount:
+      return true;
+    case ViolationPolicy::kDropLate:
+      ++dropped_;
+      return false;
+    case ViolationPolicy::kQuarantine:
+      ++quarantined_;
+      if (dead_letter_.size() < kMaxQuarantineSample) {
+        dead_letter_.push_back(tuple);
+      }
+      return false;
+  }
+  return true;
 }
 
 void OrderValidator::Reset() {
   bound_.clear();
   violations_ = 0;
+  dropped_ = 0;
+  quarantined_ = 0;
+  dead_letter_.clear();
   first_violation_.clear();
 }
 

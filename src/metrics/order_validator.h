@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "common/time.h"
 #include "core/stream_buffer.h"
@@ -11,11 +12,31 @@
 
 namespace dsms {
 
+/// What to do with a tuple that violates an arc's timestamp order (its
+/// timestamp lies below the arc's running bound).
+enum class ViolationPolicy {
+  /// Count and let it through — the original passive behaviour (tests assert
+  /// zero; benches surface regressions without dying). The default.
+  kCount = 0,
+  /// Veto the push: the late tuple is dropped at the arc where the violation
+  /// first materializes, so downstream order invariants survive.
+  kDropLate = 1,
+  /// Veto the push and move the tuple to a dead-letter buffer (bounded
+  /// sample retained, full count kept) surfaced in StatsReport.
+  kQuarantine = 2,
+};
+
+const char* ViolationPolicyToString(ViolationPolicy policy);
+
 /// Watches every arc it is attached to and checks the library's central
 /// invariant: each stream is timestamp-ordered, and a punctuation's promise
 /// ("no future tuple below my timestamp") is never broken by a later push.
-/// Violations are counted per buffer rather than aborting, so tests can
-/// assert zero while benches can surface regressions without dying.
+///
+/// The validator is both a counter and — under kDropLate/kQuarantine — an
+/// enforcement point: validation runs in the OnBeforePush hook, so a
+/// violating tuple can be vetoed before it enters the buffer. Under kCount
+/// (the default) behaviour is byte-identical to the original passive
+/// validator: everything is admitted and merely counted.
 ///
 /// Attach with StreamBuffer::AddListener (or QueryGraph::ReplaceBufferListeners
 /// in single-listener setups). Latent tuples (no timestamp) are skipped.
@@ -23,23 +44,46 @@ class OrderValidator : public BufferListener {
  public:
   OrderValidator() = default;
 
-  void OnPush(const StreamBuffer& buffer, const Tuple& tuple) override;
+  bool OnBeforePush(const StreamBuffer& buffer, const Tuple& tuple) override;
+  void OnPush(const StreamBuffer& buffer, const Tuple& tuple) override {
+    (void)buffer;
+    (void)tuple;
+  }
   void OnPop(const StreamBuffer& buffer, const Tuple& tuple) override {
     (void)buffer;
     (void)tuple;
   }
 
+  void set_policy(ViolationPolicy policy) { policy_ = policy; }
+  ViolationPolicy policy() const { return policy_; }
+
   /// Total pushes whose timestamp was below the same buffer's running bound.
   uint64_t violations() const { return violations_; }
 
-  /// Description of the first violation seen (empty if none).
+  /// Violating tuples vetoed (kDropLate) or quarantined (kQuarantine).
+  uint64_t dropped() const { return dropped_; }
+  uint64_t quarantined() const { return quarantined_; }
+
+  /// Dead-letter sample: the first kMaxQuarantineSample quarantined tuples
+  /// (quarantined() has the full count).
+  const std::vector<Tuple>& dead_letter() const { return dead_letter_; }
+
+  /// Description of the first violation seen (empty if none). Names the arc
+  /// (producer->consumer buffer name and id) and the offending tuple's
+  /// source/sequence so the report is actionable.
   const std::string& first_violation() const { return first_violation_; }
 
   void Reset();
 
+  static constexpr size_t kMaxQuarantineSample = 64;
+
  private:
+  ViolationPolicy policy_ = ViolationPolicy::kCount;
   std::map<const StreamBuffer*, Timestamp> bound_;  // per-buffer high water
   uint64_t violations_ = 0;
+  uint64_t dropped_ = 0;
+  uint64_t quarantined_ = 0;
+  std::vector<Tuple> dead_letter_;
   std::string first_violation_;
 };
 

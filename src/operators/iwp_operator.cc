@@ -52,12 +52,22 @@ void IwpOperator::ObserveHeads() {
   }
 }
 
+bool IwpOperator::StaleHead(int index) const {
+  EnsureTsms();
+  const StreamBuffer* in = input(index);
+  if (in->empty()) return false;
+  const Tuple& head = in->Front();
+  return head.is_data() && head.has_timestamp() &&
+         head.timestamp() < tsms_[static_cast<size_t>(index)].value();
+}
+
 bool IwpOperator::RelaxedMore() const {
   Timestamp tau = MinEffectiveTsm();
   for (int i = 0; i < num_inputs(); ++i) {
     const StreamBuffer* in = input(i);
     if (in->empty()) continue;
     if (in->Front().is_punctuation()) return true;  // Always absorbable.
+    if (StaleHead(i)) return true;  // Late arrival; see FindReadyInput.
     if (tau != kMinTimestamp && in->Front().has_timestamp() &&
         in->Front().timestamp() == tau) {
       return true;
@@ -77,12 +87,18 @@ int IwpOperator::FindReadyInput() const {
       if (punct_ready < 0) punct_ready = i;
       continue;
     }
+    if (StaleHead(i)) return i;  // Unclog the wedged input first.
     if (tau != kMinTimestamp && head.has_timestamp() &&
         head.timestamp() == tau) {
       return i;
     }
   }
   return punct_ready;
+}
+
+Tuple IwpOperator::TakeTracked(int index) {
+  if (StaleHead(index)) ++late_data_absorbed_;
+  return TakeInput(index);
 }
 
 Timestamp IwpOperator::EtsReleaseBound() const {

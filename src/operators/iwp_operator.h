@@ -56,6 +56,12 @@ class IwpOperator : public Operator {
   /// operators block on any empty input instead.
   virtual int BlockedInput() const;
 
+  /// Data tuples consumed although their timestamp had already fallen below
+  /// the input's TSM register (late arrivals that survived upstream policy;
+  /// only possible when an arc's ViolationPolicy is kCount). Ordered inputs
+  /// never produce these, so a nonzero count is itself a fault report.
+  uint64_t late_data_absorbed() const { return late_data_absorbed_; }
+
  protected:
   /// The TSM value input `index` would have after observing its current
   /// head, without persisting the observation (const-safe view used by
@@ -81,7 +87,24 @@ class IwpOperator : public Operator {
   /// tuple at τ == MinEffectiveTsm() if one exists (Figure 6 processes data
   /// at τ before producing punctuation at τ), otherwise any input whose
   /// head is a punctuation. Returns -1 if none.
+  ///
+  /// Stale heads (see StaleHead) are returned with highest priority: a late
+  /// data tuple can never reach τ — its timestamp is below its own input's
+  /// register — so leaving it queued would wedge the input forever (the ETS
+  /// that should release it lands *behind* it in the same buffer).
+  /// Consuming it immediately is the graceful-degradation choice: order is
+  /// already broken upstream; liveness need not break too.
   int FindReadyInput() const;
+
+  /// True when input `index` heads a data tuple whose timestamp is below
+  /// the input's persisted TSM register (a late arrival). Impossible on
+  /// ordered streams; occurs only downstream of injected disorder that a
+  /// kCount violation policy let through.
+  bool StaleHead(int index) const;
+
+  /// TakeInput + late-arrival accounting: counts the consumption when the
+  /// head was stale. Ordered Step paths use this instead of TakeInput.
+  Tuple TakeTracked(int index);
 
   /// Emits a punctuation carrying `watermark` unless an equal-or-better
   /// bound has already been sent downstream (every data emission at ts t
@@ -101,6 +124,7 @@ class IwpOperator : public Operator {
   bool ordered_;
   mutable std::vector<TsmRegister> tsms_;
   Timestamp downstream_bound_ = kMinTimestamp;
+  uint64_t late_data_absorbed_ = 0;
 };
 
 }  // namespace dsms

@@ -77,6 +77,33 @@ void Source::IngestExternal(Timestamp app_timestamp, InlinedValues values,
   PushData(std::move(tuple), now);
 }
 
+void Source::IngestFaulty(Timestamp app_timestamp, InlinedValues values,
+                          Timestamp now) {
+  DSMS_CHECK(timestamp_kind_ != TimestampKind::kLatent);
+  Tuple tuple =
+      Tuple::MakeData(app_timestamp, std::move(values),
+                      timestamp_kind_ == TimestampKind::kExternal
+                          ? TimestampKind::kExternal
+                          : TimestampKind::kInternal);
+  tuple.set_arrival_time(now);
+  tuple.set_source_id(stream_id_);
+  tuple.set_sequence(next_sequence_++);
+  ++tuples_ingested_;
+  last_activity_ = now;
+  // Never lower the promise: the stream's contract with downstream stands
+  // even when a producer breaks it; the late tuple is the anomaly.
+  if (app_timestamp > promised_bound_) promised_bound_ = app_timestamp;
+  if (timestamp_kind_ == TimestampKind::kExternal) {
+    if (app_timestamp > last_app_timestamp_ ||
+        last_app_timestamp_ == kMinTimestamp) {
+      last_app_timestamp_ = app_timestamp;
+    }
+    last_arrival_wall_ = now;
+  }
+  ++stats_.data_out;
+  output()->Push(std::move(tuple));
+}
+
 void Source::PrepareData(Tuple& tuple, Timestamp now) {
   tuple.set_arrival_time(now);
   tuple.set_source_id(stream_id_);
@@ -92,6 +119,7 @@ void Source::PrepareData(Tuple& tuple, Timestamp now) {
 
 void Source::PushData(Tuple tuple, Timestamp now) {
   PrepareData(tuple, now);
+  last_activity_ = now;
   ++stats_.data_out;
   output()->Push(std::move(tuple));
 }
@@ -108,6 +136,18 @@ void Source::InjectPunctuation(Timestamp timestamp) {
   Tuple punct = Tuple::MakePunctuation(timestamp);
   punct.set_arrival_time(timestamp);
   punct.set_source_id(stream_id_);
+  if (timestamp > promised_bound_) promised_bound_ = timestamp;
+  if (timestamp > last_activity_) last_activity_ = timestamp;
+  ++stats_.punctuation_out;
+  output()->Push(std::move(punct));
+}
+
+void Source::InjectFaultyPunctuation(Timestamp timestamp) {
+  Tuple punct = Tuple::MakePunctuation(timestamp);
+  punct.set_arrival_time(timestamp);
+  punct.set_source_id(stream_id_);
+  // No clamp and no promise update: a duplicate punctuation restates an old
+  // bound, a regressing one breaks it — either way the promise stands.
   if (timestamp > promised_bound_) promised_bound_ = timestamp;
   ++stats_.punctuation_out;
   output()->Push(std::move(punct));
@@ -142,6 +182,39 @@ bool Source::EmitEts(Timestamp now) {
   if (!ets.has_value()) return false;
   InjectPunctuation(*ets);
   ++ets_emitted_;
+  return true;
+}
+
+std::optional<Timestamp> Source::ComputeFallbackEts(Timestamp now) const {
+  switch (timestamp_kind_) {
+    case TimestampKind::kInternal: {
+      // Same bound as the regular ETS: future internal stamps are >=
+      // Quantize(now) whether or not the producer is alive.
+      Timestamp bound = Quantize(now);
+      if (bound <= promised_bound_) return std::nullopt;
+      return bound;
+    }
+    case TimestampKind::kExternal: {
+      // Skew contract alone: any tuple arriving after `now` has app
+      // timestamp > now − δ. Unlike ComputeEts's t + τ − δ this needs no
+      // observation at all — crucial for a source that died before its
+      // first tuple.
+      Timestamp bound = now - skew_bound_;
+      if (bound <= promised_bound_) return std::nullopt;
+      return bound;
+    }
+    case TimestampKind::kLatent:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+bool Source::EmitFallbackEts(Timestamp now) {
+  std::optional<Timestamp> ets = ComputeFallbackEts(now);
+  if (!ets.has_value()) return false;
+  InjectPunctuation(*ets);
+  ++ets_emitted_;
+  ++watchdog_fallbacks_;
   return true;
 }
 

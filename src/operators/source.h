@@ -78,9 +78,24 @@ class Source : public Operator {
   void IngestExternal(Timestamp app_timestamp, InlinedValues values,
                       Timestamp now);
 
+  /// Fault-injection hook: ingests a tuple stamped `app_timestamp` WITHOUT
+  /// the monotonicity clamp or the promised-bound check — exactly what a
+  /// misbehaving producer does (timestamp disorder, skew beyond δ). The
+  /// stream's promise is never lowered; whether the out-of-order tuple
+  /// survives its first arc is the attached ViolationPolicy's decision.
+  /// Works for internal and external sources (latent sources carry no
+  /// timestamps, so disorder cannot be expressed there).
+  void IngestFaulty(Timestamp app_timestamp, InlinedValues values,
+                    Timestamp now);
+
   /// Pushes a pre-built punctuation (used by the periodic heartbeat injector
   /// of scenario B, and by MakeEts).
   void InjectPunctuation(Timestamp timestamp);
+
+  /// Fault-injection hook: pushes a punctuation WITHOUT the clamp that keeps
+  /// honest heartbeats ordered — models duplicate or regressing punctuation
+  /// from a broken upstream. Never raises the stream's promise.
+  void InjectFaultyPunctuation(Timestamp timestamp);
 
   /// Computes an on-demand ETS for the current instant, or nullopt when no
   /// useful (strictly advancing) bound can be produced:
@@ -93,12 +108,35 @@ class Source : public Operator {
   /// ComputeEts + InjectPunctuation; returns true if an ETS was emitted.
   bool EmitEts(Timestamp now);
 
+  /// Watchdog fallback bound for a source that has gone silent (stalled or
+  /// dead producer). Unlike ComputeEts, the external-stream case does not
+  /// need any tuple to ever have arrived: with no pending data, every future
+  /// tuple's app timestamp is > now − δ by the skew contract, so now − δ is
+  /// a sound bound even from a cold start. nullopt when no strictly
+  /// advancing bound exists (latent streams, or bound not past the promise).
+  std::optional<Timestamp> ComputeFallbackEts(Timestamp now) const;
+
+  /// ComputeFallbackEts + InjectPunctuation; returns true if a fallback ETS
+  /// was emitted. Marks the source `degraded` and counts the emission so
+  /// StatsReport can show that results past this point rely on the skew
+  /// contract rather than observed data.
+  bool EmitFallbackEts(Timestamp now);
+
   /// Largest timestamp lower bound already promised downstream (max of last
   /// data timestamp and last punctuation); ETS must advance past this.
   Timestamp promised_bound() const { return promised_bound_; }
 
+  /// Wall time of the last producer activity (data ingest or injected
+  /// punctuation); kMinTimestamp until the first. The executors' liveness
+  /// watchdog compares this against its silence horizon.
+  Timestamp last_activity() const { return last_activity_; }
+
   uint64_t tuples_ingested() const { return tuples_ingested_; }
   uint64_t ets_emitted() const { return ets_emitted_; }
+  uint64_t watchdog_fallbacks() const { return watchdog_fallbacks_; }
+  /// True once a fallback ETS was emitted on this stream: downstream output
+  /// beyond that bound is derived from the skew contract, not observed data.
+  bool degraded() const { return watchdog_fallbacks_ > 0; }
 
  private:
   /// Stamps arrival metadata and checks the promised bound; does NOT push.
@@ -115,7 +153,9 @@ class Source : public Operator {
   uint64_t next_sequence_ = 0;
   uint64_t tuples_ingested_ = 0;
   uint64_t ets_emitted_ = 0;
+  uint64_t watchdog_fallbacks_ = 0;
   Timestamp promised_bound_ = kMinTimestamp;
+  Timestamp last_activity_ = kMinTimestamp;
   /// External streams: last app timestamp and its arrival wall time.
   Timestamp last_app_timestamp_ = kMinTimestamp;
   Timestamp last_arrival_wall_ = kMinTimestamp;

@@ -112,7 +112,7 @@ StepResult Union::Step(ExecContext& ctx) {
     return result;
   }
 
-  Tuple tuple = TakeInput(ready);
+  Tuple tuple = TakeTracked(ready);
   if (tuple.is_data()) {
     result.processed_data = true;
     NoteDataEmitted(tuple.timestamp());

@@ -134,7 +134,7 @@ StepResult WindowJoin::Step(ExecContext& ctx) {
     return result;
   }
 
-  Tuple tuple = TakeInput(ready);
+  Tuple tuple = TakeTracked(ready);
   if (tuple.is_data()) {
     result.processed_data = true;
     ProcessData(ready, std::move(tuple));

@@ -159,6 +159,45 @@ Status ParseFeed(const ExpStatement& s, FeedSpec* feed) {
   return OkStatus();
 }
 
+Status ParseFault(const ExpStatement& s, FaultTargetSpec* fault) {
+  fault->source = s.name;
+  auto kind = s.args.find("kind");
+  if (kind == s.args.end()) {
+    return InvalidArgumentError(StrFormat("line %d: missing kind=", s.line));
+  }
+  Result<FaultKind> parsed = ParseFaultKind(kind->second);
+  if (!parsed.ok()) {
+    return InvalidArgumentError(
+        StrFormat("line %d: %s", s.line, parsed.status().message().c_str()));
+  }
+  fault->spec.kind = *parsed;
+  DSMS_RETURN_IF_ERROR(
+      GetArgDuration(s, "start", fault->spec.start, &fault->spec.start));
+  DSMS_RETURN_IF_ERROR(GetArgDuration(s, "duration", fault->spec.duration,
+                                      &fault->spec.duration));
+  int64_t factor = fault->spec.burst_factor;
+  DSMS_RETURN_IF_ERROR(GetArgInt(s, "factor", factor, &factor));
+  if (factor < 1) {
+    return InvalidArgumentError(
+        StrFormat("line %d: factor must be >= 1", s.line));
+  }
+  fault->spec.burst_factor = static_cast<int>(factor);
+  DSMS_RETURN_IF_ERROR(GetArgDouble(s, "prob", fault->spec.probability,
+                                    false, &fault->spec.probability));
+  DSMS_RETURN_IF_ERROR(GetArgDuration(s, "magnitude", fault->spec.magnitude,
+                                      &fault->spec.magnitude));
+  DSMS_RETURN_IF_ERROR(GetArgDuration(s, "period", fault->spec.punct_period,
+                                      &fault->spec.punct_period));
+  if (fault->spec.punct_period <= 0) {
+    return InvalidArgumentError(
+        StrFormat("line %d: period must be positive", s.line));
+  }
+  int64_t seed = static_cast<int64_t>(fault->spec.seed);
+  DSMS_RETURN_IF_ERROR(GetArgInt(s, "seed", seed, &seed));
+  fault->spec.seed = static_cast<uint64_t>(seed);
+  return OkStatus();
+}
+
 Status ParseRun(const ExpStatement& s, RunSpec* run) {
   DSMS_RETURN_IF_ERROR(
       GetArgDuration(s, "horizon", 600 * kSecond, &run->horizon));
@@ -196,6 +235,46 @@ Status ParseRun(const ExpStatement& s, RunSpec* run) {
                                           s.line));
   }
   run->quantum = static_cast<int>(quantum);
+  DSMS_RETURN_IF_ERROR(GetArgDuration(s, "watchdog", 0, &run->watchdog));
+  if (run->watchdog < 0) {
+    return InvalidArgumentError(
+        StrFormat("line %d: watchdog must be >= 0", s.line));
+  }
+  int64_t buffer_cap = 0;
+  DSMS_RETURN_IF_ERROR(GetArgInt(s, "buffer_cap", 0, &buffer_cap));
+  if (buffer_cap < 0) {
+    return InvalidArgumentError(
+        StrFormat("line %d: buffer_cap must be >= 0", s.line));
+  }
+  run->buffer_cap = static_cast<size_t>(buffer_cap);
+  auto overload = s.args.find("overload");
+  if (overload != s.args.end()) {
+    if (overload->second == "grow") {
+      run->overload = OverloadPolicy::kGrow;
+    } else if (overload->second == "block") {
+      run->overload = OverloadPolicy::kBlockSource;
+    } else if (overload->second == "shed") {
+      run->overload = OverloadPolicy::kShedOldest;
+    } else {
+      return InvalidArgumentError(StrFormat(
+          "line %d: bad overload= '%s' (expected grow|block|shed)", s.line,
+          overload->second.c_str()));
+    }
+  }
+  auto violations = s.args.find("violations");
+  if (violations != s.args.end()) {
+    if (violations->second == "count") {
+      run->violations = ViolationPolicy::kCount;
+    } else if (violations->second == "drop") {
+      run->violations = ViolationPolicy::kDropLate;
+    } else if (violations->second == "quarantine") {
+      run->violations = ViolationPolicy::kQuarantine;
+    } else {
+      return InvalidArgumentError(StrFormat(
+          "line %d: bad violations= '%s' (expected count|drop|quarantine)",
+          s.line, violations->second.c_str()));
+    }
+  }
   return OkStatus();
 }
 
@@ -252,6 +331,7 @@ Result<Experiment> ParseExperiment(std::string_view text) {
   std::vector<std::string> plan_lines;
   std::vector<ExpStatement> feeds;
   std::vector<ExpStatement> heartbeats;
+  std::vector<ExpStatement> faults;
   std::vector<ExpStatement> runs;
 
   int line_number = 0;
@@ -275,6 +355,12 @@ Result<Experiment> ParseExperiment(std::string_view text) {
                             &statement);
       if (!status.ok()) return status;
       heartbeats.push_back(std::move(statement));
+    } else if (StartsWith(stripped, "fault ")) {
+      Status status =
+          ParseExpStatement(line_number, stripped, /*has_name=*/true,
+                            &statement);
+      if (!status.ok()) return status;
+      faults.push_back(std::move(statement));
     } else if (stripped == "run" || StartsWith(stripped, "run ")) {
       Status status = ParseExpStatement(line_number, stripped,
                                         /*has_name=*/false, &statement);
@@ -324,6 +410,13 @@ Result<Experiment> ParseExperiment(std::string_view text) {
     DSMS_RETURN_IF_ERROR(GetArgDuration(s, "phase", 0, &heartbeat.phase));
     experiment.heartbeats.push_back(heartbeat);
   }
+  for (const ExpStatement& s : faults) {
+    DSMS_RETURN_IF_ERROR(check_stream(s));
+    FaultTargetSpec fault;
+    fault.source = s.name;
+    DSMS_RETURN_IF_ERROR(ParseFault(s, &fault));
+    experiment.faults.push_back(std::move(fault));
+  }
   if (!runs.empty()) {
     DSMS_RETURN_IF_ERROR(ParseRun(runs[0], &experiment.run));
   }
@@ -343,6 +436,11 @@ Result<ExperimentReport> RunExperiment(Experiment* experiment) {
   ExecConfig config;
   config.ets.mode = experiment->run.ets;
   config.ets.min_interval = experiment->run.ets_min_interval;
+  config.watchdog.silence_horizon = experiment->run.watchdog;
+  if (experiment->run.buffer_cap > 0) {
+    graph->SetBufferBound(experiment->run.buffer_cap,
+                          experiment->run.overload);
+  }
   std::unique_ptr<Executor> executor;
   switch (experiment->run.executor) {
     case ExecutorKind::kDfs:
@@ -359,6 +457,7 @@ Result<ExperimentReport> RunExperiment(Experiment* experiment) {
   }
 
   Simulation sim(graph, executor.get(), &clock);
+  sim.set_violation_policy(experiment->run.violations);
   for (const FeedSpec& feed : experiment->feeds) {
     auto* source = dynamic_cast<Source*>(experiment->plan.Find(feed.source));
     DSMS_CHECK(source != nullptr);  // Checked during parse.
@@ -372,6 +471,12 @@ Result<ExperimentReport> RunExperiment(Experiment* experiment) {
         dynamic_cast<Source*>(experiment->plan.Find(heartbeat.source));
     DSMS_CHECK(source != nullptr);
     sim.AddHeartbeat(source, heartbeat.period, heartbeat.phase);
+  }
+  for (const FaultTargetSpec& fault : experiment->faults) {
+    auto* source =
+        dynamic_cast<Source*>(experiment->plan.Find(fault.source));
+    DSMS_CHECK(source != nullptr);
+    sim.InjectFault(source, fault.spec);
   }
 
   sim.Run(experiment->run.horizon, experiment->run.warmup);
@@ -388,8 +493,19 @@ Result<ExperimentReport> RunExperiment(Experiment* experiment) {
   }
   report.peak_queue_total = sim.queue_tracker().peak_total();
   report.ets_generated = executor->ets_generated();
+  report.fault_events = sim.fault_events();
+  report.watchdog_ets = executor->stats().watchdog_ets;
+  for (Source* source : graph->sources()) {
+    if (source->degraded()) report.degraded = true;
+  }
+  report.shed_tuples = graph->TotalShedTuples();
+  report.quarantined = sim.order_validator().quarantined();
+  report.dropped_late = sim.order_validator().dropped();
+  report.buffer_order_violations = sim.order_validator().violations();
+  report.max_buffer_hwm = graph->MaxBufferHighWaterMark();
   report.exec = executor->stats();
   report.operator_stats = OperatorStatsString(*graph);
+  report.robustness = RobustnessReportString(*graph, &sim.order_validator());
   return report;
 }
 

@@ -25,12 +25,17 @@ namespace dsms {
 ///   feed NAME trace=/path/to/arrivals.txt
 ///   feed NAME ... payload=randint lo=0 hi=100 fields=2
 ///   heartbeat NAME period=100ms [phase=10ms]
+///   fault NAME kind=stall|death|burst|disorder|skew|dup-punct|regress-punct
+///       [start=60s] [duration=60s] [factor=4] [prob=0.25]
+///       [magnitude=2s] [period=1s] [seed=N]
 ///   run [horizon=600s] [warmup=30s] [ets=on-demand|none]
 ///       [executor=dfs|round-robin] [quantum=8] [ets_min_interval=DUR]
+///       [watchdog=DUR] [buffer_cap=N] [overload=grow|block|shed]
+///       [violations=count|drop|quarantine]
 ///
-/// `feed` and `heartbeat` reference `stream` operators declared in the plan;
-/// `run` may appear at most once (defaults apply otherwise). This is what
-/// the `streamets_run` example binary executes.
+/// `feed`, `heartbeat` and `fault` reference `stream` operators declared in
+/// the plan; `run` may appear at most once (defaults apply otherwise). This
+/// is what the `streamets_run` example binary executes.
 struct FeedSpec {
   enum class Kind { kPoisson, kConstant, kBursty, kTrace };
   enum class Payload { kSequence, kRandInt };
@@ -56,6 +61,12 @@ struct HeartbeatSpec {
   Duration phase = 0;
 };
 
+/// A fault armed against one named stream (see sim/fault_injector.h).
+struct FaultTargetSpec {
+  std::string source;
+  FaultSpec spec;
+};
+
 struct RunSpec {
   Duration horizon = 600 * kSecond;
   Duration warmup = 0;
@@ -63,12 +74,19 @@ struct RunSpec {
   ExecutorKind executor = ExecutorKind::kDfs;
   int quantum = 8;
   Duration ets_min_interval = 0;
+  /// Robustness knobs; defaults leave the engine in its fault-intolerant
+  /// (but byte-identical to seed) configuration.
+  Duration watchdog = 0;
+  size_t buffer_cap = 0;
+  OverloadPolicy overload = OverloadPolicy::kGrow;
+  ViolationPolicy violations = ViolationPolicy::kCount;
 };
 
 struct Experiment {
   ParsedPlan plan;
   std::vector<FeedSpec> feeds;
   std::vector<HeartbeatSpec> heartbeats;
+  std::vector<FaultTargetSpec> faults;
   RunSpec run;
 };
 
@@ -89,9 +107,21 @@ struct ExperimentReport {
   std::vector<SinkReport> sinks;
   int64_t peak_queue_total = 0;
   uint64_t ets_generated = 0;
+  /// Robustness: fault activity and which defenses absorbed it.
+  uint64_t fault_events = 0;
+  uint64_t watchdog_ets = 0;
+  bool degraded = false;
+  uint64_t shed_tuples = 0;
+  uint64_t quarantined = 0;
+  uint64_t dropped_late = 0;
+  uint64_t buffer_order_violations = 0;
+  uint64_t max_buffer_hwm = 0;
   ExecStats exec;
   /// Per-operator counters (metrics/stats_report.h), pre-rendered.
   std::string operator_stats;
+  /// Degraded-mode summary (RobustnessReportString); empty when the run
+  /// stayed on the happy path.
+  std::string robustness;
 };
 
 /// Builds the executor and simulation described by `experiment`, runs it,

@@ -1,0 +1,99 @@
+#include "sim/fault_injector.h"
+
+#include <string>
+
+#include "common/strings.h"
+
+namespace dsms {
+
+const char* FaultKindToString(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kStall:
+      return "stall";
+    case FaultKind::kDeath:
+      return "death";
+    case FaultKind::kBurst:
+      return "burst";
+    case FaultKind::kDisorder:
+      return "disorder";
+    case FaultKind::kSkewViolation:
+      return "skew";
+    case FaultKind::kDuplicatePunct:
+      return "dup-punct";
+    case FaultKind::kRegressingPunct:
+      return "regress-punct";
+  }
+  return "unknown";
+}
+
+Result<FaultKind> ParseFaultKind(const std::string& text) {
+  if (text == "none") return FaultKind::kNone;
+  if (text == "stall") return FaultKind::kStall;
+  if (text == "death") return FaultKind::kDeath;
+  if (text == "burst") return FaultKind::kBurst;
+  if (text == "disorder") return FaultKind::kDisorder;
+  if (text == "skew") return FaultKind::kSkewViolation;
+  if (text == "dup-punct") return FaultKind::kDuplicatePunct;
+  if (text == "regress-punct") return FaultKind::kRegressingPunct;
+  return InvalidArgumentError(
+      StrFormat("unknown fault kind '%s' (expected none|stall|death|burst|"
+                "disorder|skew|dup-punct|regress-punct)",
+                text.c_str()));
+}
+
+FaultInjector::FaultInjector(const FaultSpec& spec, uint64_t run_seed)
+    : spec_(spec), rng_(spec.seed ^ (run_seed * 0x9e3779b97f4a7c15ULL),
+                        /*stream=*/0xfa17ULL) {}
+
+bool FaultInjector::InWindow(Timestamp now) const {
+  if (!spec_.enabled()) return false;
+  if (now < spec_.start) return false;
+  if (spec_.kind == FaultKind::kDeath) return true;  // Dead is dead.
+  return now < spec_.start + spec_.duration;
+}
+
+int FaultInjector::ArrivalMultiplicity(Timestamp now) {
+  if (!InWindow(now)) return 1;
+  switch (spec_.kind) {
+    case FaultKind::kStall:
+    case FaultKind::kDeath:
+      ++stats_.suppressed_arrivals;
+      return 0;
+    case FaultKind::kBurst:
+      stats_.duplicated_arrivals +=
+          spec_.burst_factor > 1 ? spec_.burst_factor - 1 : 0;
+      return spec_.burst_factor > 1 ? spec_.burst_factor : 1;
+    default:
+      return 1;
+  }
+}
+
+Timestamp FaultInjector::PerturbTimestamp(Timestamp app_ts, Timestamp now,
+                                          Duration skew_bound, bool* faulty) {
+  *faulty = false;
+  if (!InWindow(now)) return app_ts;
+  switch (spec_.kind) {
+    case FaultKind::kDisorder:
+      if (rng_.NextBernoulli(spec_.probability)) {
+        ++stats_.perturbed_timestamps;
+        *faulty = true;
+        return app_ts - spec_.magnitude;
+      }
+      return app_ts;
+    case FaultKind::kSkewViolation:
+      if (rng_.NextBernoulli(spec_.probability)) {
+        ++stats_.perturbed_timestamps;
+        *faulty = true;
+        // Beyond the declared δ: the tuple pretends to be older than the
+        // skew contract allows, so bounds derived from δ were wrong.
+        return now - skew_bound - spec_.magnitude;
+      }
+      return app_ts;
+    default:
+      return app_ts;
+  }
+}
+
+}  // namespace dsms

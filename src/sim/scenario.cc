@@ -12,6 +12,7 @@
 #include "exec/greedy_memory_executor.h"
 #include "exec/round_robin_executor.h"
 #include "graph/graph_builder.h"
+#include "operators/iwp_operator.h"
 #include "sim/arrival_process.h"
 #include "sim/simulation.h"
 
@@ -133,7 +134,7 @@ const char* ScenarioKindToString(ScenarioKind kind) {
 }
 
 std::string ScenarioResult::ToString() const {
-  return StrFormat(
+  std::string text = StrFormat(
       "latency(ms) mean=%.4f p50=%.4f p99=%.4f max=%.4f | out=%llu | "
       "peak_queue=%lld (data %lld) | idle=%.4f%% (%llu intervals) | "
       "ets=%llu punct_steps=%llu punct_sink=%llu",
@@ -145,6 +146,21 @@ std::string ScenarioResult::ToString() const {
       static_cast<unsigned long long>(ets_generated),
       static_cast<unsigned long long>(punctuation_steps),
       static_cast<unsigned long long>(punctuation_eliminated));
+  if (fault_events > 0 || watchdog_ets > 0 || shed_tuples > 0 ||
+      quarantined > 0 || dropped_late > 0 || late_absorbed > 0) {
+    text += StrFormat(
+        " | faults=%llu watchdog_ets=%llu%s shed=%llu quarantined=%llu "
+        "dropped=%llu late_absorbed=%llu hwm=%llu",
+        static_cast<unsigned long long>(fault_events),
+        static_cast<unsigned long long>(watchdog_ets),
+        degraded ? " (degraded)" : "",
+        static_cast<unsigned long long>(shed_tuples),
+        static_cast<unsigned long long>(quarantined),
+        static_cast<unsigned long long>(dropped_late),
+        static_cast<unsigned long long>(late_absorbed),
+        static_cast<unsigned long long>(max_buffer_hwm));
+  }
+  return text;
 }
 
 ScenarioResult RunScenario(const ScenarioConfig& config) {
@@ -231,6 +247,9 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
   Result<std::unique_ptr<QueryGraph>> graph_or = builder.Build();
   DSMS_CHECK_OK(graph_or.status());
   std::unique_ptr<QueryGraph> graph = std::move(graph_or).value();
+  if (config.buffer_capacity > 0) {
+    graph->SetBufferBound(config.buffer_capacity, config.overload);
+  }
 
   ExecConfig exec_config;
   exec_config.costs = config.costs;
@@ -238,6 +257,7 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
                              ? EtsMode::kOnDemand
                              : EtsMode::kNone;
   exec_config.ets.min_interval = config.ets_min_interval;
+  exec_config.watchdog.silence_horizon = config.watchdog_horizon;
   exec_config.scheduler = config.scheduler;
 
   VirtualClock clock;
@@ -274,6 +294,7 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
 
   TraceRecorder trace;
   Simulation sim(graph.get(), executor.get(), &clock);
+  sim.set_violation_policy(config.violations);
   // The Simulation constructor owns listener replacement; the recorder must
   // compose with (not clobber) its metrics listeners, so attach afterwards.
   if (config.record_trace) graph->AddBufferListener(&trace);
@@ -285,6 +306,15 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
                : MakeSlowProcess(config, static_cast<int>(i));
     sim.AddFeed(sources[i], std::move(process), Simulation::SequencePayload(),
                 /*jitter_seed=*/config.seed * 131 + i);
+  }
+  if (config.fault.enabled()) {
+    int target = config.fault_target;
+    if (target < 0) target = 0;
+    if (target >= static_cast<int>(sources.size())) {
+      target = static_cast<int>(sources.size()) - 1;
+    }
+    sim.InjectFault(sources[static_cast<size_t>(target)], config.fault,
+                    /*run_seed=*/config.seed);
   }
   if (config.kind == ScenarioKind::kPeriodicEts &&
       config.heartbeat_rate > 0.0) {
@@ -321,6 +351,16 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
   result.punctuation_eliminated = sink->punctuation_eliminated();
   result.order_violations = order_violations;
   result.buffer_order_violations = sim.order_validator().violations();
+  result.fault_events = sim.fault_events();
+  result.watchdog_ets = executor->stats().watchdog_ets;
+  for (Source* source : sources) result.degraded |= source->degraded();
+  result.shed_tuples = graph->TotalShedTuples();
+  result.quarantined = sim.order_validator().quarantined();
+  result.dropped_late = sim.order_validator().dropped();
+  if (auto* iwp = dynamic_cast<IwpOperator*>(measured)) {
+    result.late_absorbed = iwp->late_data_absorbed();
+  }
+  result.max_buffer_hwm = static_cast<uint64_t>(graph->MaxBufferHighWaterMark());
   result.trace_hash = trace.hash();
   result.trace_events = trace.events();
   result.exec = executor->stats();

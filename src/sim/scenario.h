@@ -5,9 +5,12 @@
 #include <string>
 
 #include "common/time.h"
+#include "core/stream_buffer.h"
 #include "core/tuple.h"
 #include "exec/exec_stats.h"
 #include "exec/executor.h"
+#include "metrics/order_validator.h"
+#include "sim/fault_injector.h"
 
 namespace dsms {
 
@@ -101,6 +104,22 @@ struct ScenarioConfig {
   /// movements in the same order.
   bool record_trace = false;
 
+  // --- robustness: fault injection and graceful degradation ---
+  // (all defaults keep the run byte-identical to the pre-robustness engine)
+
+  /// Fault armed against sources[fault_target] (kNone = no injection).
+  FaultSpec fault;
+  /// Index into the scenario's source list (clamped); default 1 targets the
+  /// first slow stream — the one whose silence wedges the IWP operator.
+  int fault_target = 1;
+  /// Source-liveness watchdog silence horizon (0 = off); see WatchdogPolicy.
+  Duration watchdog_horizon = 0;
+  /// Per-arc capacity bound (0 = unbounded) and what to do at the limit.
+  size_t buffer_capacity = 0;
+  OverloadPolicy overload = OverloadPolicy::kGrow;
+  /// What the per-arc OrderValidator does with order-violating tuples.
+  ViolationPolicy violations = ViolationPolicy::kCount;
+
   uint64_t seed = 42;
   Duration horizon = 600 * kSecond;
   Duration warmup = 30 * kSecond;
@@ -134,6 +153,16 @@ struct ScenarioResult {
   // per-arc pushes that violated a buffer's running timestamp bound.
   uint64_t order_violations = 0;
   uint64_t buffer_order_violations = 0;
+
+  // Robustness: what the injected fault did and what absorbed it.
+  uint64_t fault_events = 0;      // injector actions (0 = fault never fired)
+  uint64_t watchdog_ets = 0;      // fallback ETS from the liveness watchdog
+  bool degraded = false;          // some source ran on fallback bounds
+  uint64_t shed_tuples = 0;       // dropped by kShedOldest overload policy
+  uint64_t quarantined = 0;       // moved to the dead-letter buffer
+  uint64_t dropped_late = 0;      // vetoed by kDropLate
+  uint64_t late_absorbed = 0;     // late data consumed by the IWP operator
+  uint64_t max_buffer_hwm = 0;    // largest single-arc occupancy ever
 
   /// Populated when config.record_trace: FNV-1a digest and event count of
   /// every buffer push/pop in the run (see ScenarioConfig::record_trace).

@@ -54,7 +54,35 @@ void Simulation::ScheduleNextArrival(Feed* feed, Timestamp after) {
 
 void Simulation::DeliverArrival(Feed* feed, Timestamp now) {
   Source* source = feed->source;
+  // Producer-side backpressure (OverloadPolicy::kBlockSource): when any arc
+  // downstream of the source is at capacity the wrapper holds the arrival
+  // and retries shortly — the discrete-event analogue of a producer blocked
+  // on a full socket. The check walks the whole downstream path because
+  // tuples already past the first hop keep draining toward the full arc.
+  // No tuple is lost and no further arrival is scheduled until this one
+  // lands, so the source's offered rate genuinely drops.
+  // (Bounds are installed uniformly by SetBufferBound, so the source's own
+  // arc is a cheap gate for whether the downstream walk can matter at all.)
+  if (source->output()->overload_policy() == OverloadPolicy::kBlockSource &&
+      source->output()->capacity_limit() > 0 &&
+      graph_->DownstreamBlocked(source)) {
+    events_.Schedule(now + kMillisecond, [this, feed](Timestamp retry_now) {
+      DeliverArrival(feed, retry_now);
+    });
+    return;
+  }
+  int copies = 1;
+  if (feed->fault != nullptr) copies = feed->fault->ArrivalMultiplicity(now);
+  for (int c = 0; c < copies; ++c) IngestOne(feed, now);
+  // The next gap counts from the scheduled cadence; using `now` (delivery)
+  // keeps rates honest even when delivery lags.
+  ScheduleNextArrival(feed, now);
+}
+
+void Simulation::IngestOne(Feed* feed, Timestamp now) {
+  Source* source = feed->source;
   std::vector<Value> values = feed->payload(feed->seq, now);
+  ++feed->seq;
   if (source->timestamp_kind() == TimestampKind::kExternal) {
     Duration skew = source->skew_bound();
     Duration jitter =
@@ -67,15 +95,76 @@ void Simulation::DeliverArrival(Feed* feed, Timestamp now) {
     if (source->promised_bound() != kMinTimestamp) {
       app_ts = std::max(app_ts, source->promised_bound());
     }
+    if (feed->fault != nullptr) {
+      bool faulty = false;
+      Timestamp perturbed =
+          feed->fault->PerturbTimestamp(app_ts, now, skew, &faulty);
+      if (faulty) {
+        // The broken producer's timestamp bypasses the wrapper's clamp and
+        // the source's monotonicity checks; last_app_ts keeps tracking the
+        // honest stream so recovery after the fault window is seamless.
+        feed->last_app_ts = app_ts;
+        source->IngestFaulty(perturbed, std::move(values), now);
+        return;
+      }
+    }
     feed->last_app_ts = app_ts;
     source->IngestExternal(app_ts, std::move(values), now);
   } else {
+    if (feed->fault != nullptr) {
+      bool faulty = false;
+      Timestamp perturbed =
+          feed->fault->PerturbTimestamp(now, now, /*skew_bound=*/0, &faulty);
+      if (faulty) {
+        source->IngestFaulty(perturbed, std::move(values), now);
+        return;
+      }
+    }
     source->Ingest(std::move(values), now);
   }
-  ++feed->seq;
-  // The next gap counts from the scheduled cadence; using `now` (delivery)
-  // keeps rates honest even when delivery lags.
-  ScheduleNextArrival(feed, now);
+}
+
+void Simulation::InjectFault(Source* source, const FaultSpec& spec,
+                             uint64_t run_seed) {
+  DSMS_CHECK(source != nullptr);
+  auto injector = std::make_unique<FaultInjector>(spec, run_seed);
+  FaultInjector* raw = injector.get();
+  faults_[source] = std::move(injector);
+  for (auto& feed : feeds_) {
+    if (feed->source == source) feed->fault = raw;
+  }
+  if (!spec.enabled() || !raw->InjectsPunctuation()) return;
+  // Punctuation faults are their own periodic event (the broken heartbeat
+  // logic they model runs besides the data path). Same self-rescheduling
+  // shape as AddHeartbeat.
+  auto* tick = heartbeats_
+                   .emplace_back(
+                       std::make_unique<std::function<void(Timestamp)>>())
+                   .get();
+  *tick = [this, source, raw, tick](Timestamp now) {
+    const FaultSpec& fs = raw->spec();
+    if (raw->InWindow(now) && source->promised_bound() != kMinTimestamp) {
+      Timestamp bound = source->promised_bound();
+      if (fs.kind == FaultKind::kRegressingPunct) bound -= fs.magnitude;
+      source->InjectFaultyPunctuation(bound);
+      raw->CountBogusPunctuation();
+    }
+    if (now + fs.punct_period < fs.start + fs.duration) {
+      events_.Schedule(now + fs.punct_period, *tick);
+    }
+  };
+  events_.Schedule(spec.start, *tick);
+}
+
+const FaultStats* Simulation::fault_stats(const Source* source) const {
+  auto it = faults_.find(source);
+  return it == faults_.end() ? nullptr : &it->second->stats();
+}
+
+uint64_t Simulation::fault_events() const {
+  uint64_t total = 0;
+  for (const auto& entry : faults_) total += entry.second->stats().total();
+  return total;
 }
 
 void Simulation::AddHeartbeat(Source* source, Duration period,
@@ -122,6 +211,14 @@ void Simulation::Run(Timestamp end_time, Timestamp warmup) {
     if (next > clock_->now()) clock_->AdvanceTo(next);
   }
   if (clock_->now() < end_time) clock_->AdvanceTo(end_time);
+  // With the liveness watchdog armed, give it one shot at the horizon: a
+  // source whose events dried up mid-run (death fault) only crosses the
+  // silence horizon once the clock has jumped here, and without this drain
+  // its idle-waiting consumers would hold their buffered tuples forever.
+  // Horizon 0 (the default) leaves the original behaviour untouched.
+  if (executor_->config().watchdog.silence_horizon > 0) {
+    executor_->RunUntilIdle();
+  }
 }
 
 }  // namespace dsms

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -17,6 +18,7 @@
 #include "operators/source.h"
 #include "sim/arrival_process.h"
 #include "sim/event_queue.h"
+#include "sim/fault_injector.h"
 
 namespace dsms {
 
@@ -61,6 +63,27 @@ class Simulation {
   /// at `phase` (scenario B; the punctuation carries the delivery time).
   void AddHeartbeat(Source* source, Duration period, Duration phase = 0);
 
+  /// Arms a deterministic fault against `source`'s feed (see
+  /// sim/fault_injector.h). Arrival faults (stall/death/burst/disorder/skew)
+  /// intercept the feed attached to the same source; punctuation faults
+  /// schedule their own periodic event. Call after AddFeed. One fault per
+  /// source; later calls on the same source replace the earlier one.
+  void InjectFault(Source* source, const FaultSpec& spec,
+                   uint64_t run_seed = 0);
+
+  /// Stats of the injector armed for `source` (nullptr when none).
+  const FaultStats* fault_stats(const Source* source) const;
+
+  /// Sum of every armed injector's event count (how often a fault actually
+  /// fired; 0 means the run was fault-free even if injectors were armed).
+  uint64_t fault_events() const;
+
+  /// Policy for tuples that violate an arc's timestamp order (default
+  /// kCount — observe only; see metrics/order_validator.h).
+  void set_violation_policy(ViolationPolicy policy) {
+    order_validator_.set_policy(policy);
+  }
+
   /// Runs until the virtual clock reaches `end_time`. May be called
   /// repeatedly with increasing horizons. If `warmup` is positive (and not
   /// yet applied), latency and peak-queue metrics are reset when the clock
@@ -85,11 +108,16 @@ class Simulation {
     Pcg32 jitter_rng;
     uint64_t seq = 0;
     Timestamp last_app_ts = kMinTimestamp;
+    /// Armed fault, if any (owned by faults_; keyed by source).
+    FaultInjector* fault = nullptr;
   };
 
   void ScheduleNextArrival(Feed* feed, Timestamp after);
   void DeliverArrival(Feed* feed, Timestamp now);
   void ResetSteadyStateMetrics();
+
+  /// Delivers one (possibly perturbed) tuple into `feed`'s source.
+  void IngestOne(Feed* feed, Timestamp now);
 
   QueryGraph* graph_;
   Executor* executor_;
@@ -98,6 +126,8 @@ class Simulation {
   QueueSizeTracker queue_tracker_;
   OrderValidator order_validator_;
   std::vector<std::unique_ptr<Feed>> feeds_;
+  /// Armed fault injectors, keyed by target source.
+  std::map<const Source*, std::unique_ptr<FaultInjector>> faults_;
   /// Self-rescheduling heartbeat callbacks; owned here (not by the event
   /// queue) so the recursive capture is a plain pointer, not a shared_ptr
   /// cycle.

@@ -18,6 +18,7 @@
 #include "graph/graph_builder.h"
 #include "sim/arrival_process.h"
 #include "sim/simulation.h"
+#include "test_seed.h"
 
 namespace dsms {
 namespace {
@@ -88,6 +89,7 @@ RunOutcome RunPropertyScenario(int strategy, int executor_kind,
 
 TEST_P(EndToEndPropertyTest, EveryIngestedTupleIsDeliveredExactlyOnce) {
   auto [strategy, executor_kind, seed] = GetParam();
+  DSMS_TRACE_SEED(seed);
   RunOutcome outcome = RunPropertyScenario(strategy, executor_kind, seed);
   EXPECT_EQ(outcome.delivered.size(), outcome.ingested);
   // Exactly once: (source, sequence) pairs are unique.
@@ -102,6 +104,7 @@ TEST_P(EndToEndPropertyTest, EveryIngestedTupleIsDeliveredExactlyOnce) {
 
 TEST_P(EndToEndPropertyTest, OutputTimestampsNondecreasing) {
   auto [strategy, executor_kind, seed] = GetParam();
+  DSMS_TRACE_SEED(seed);
   if (strategy == 2) GTEST_SKIP() << "latent tuples carry no timestamps";
   RunOutcome outcome = RunPropertyScenario(strategy, executor_kind, seed);
   Timestamp previous = kMinTimestamp;
@@ -114,6 +117,7 @@ TEST_P(EndToEndPropertyTest, OutputTimestampsNondecreasing) {
 
 TEST_P(EndToEndPropertyTest, PerSourceSequenceOrderPreserved) {
   auto [strategy, executor_kind, seed] = GetParam();
+  DSMS_TRACE_SEED(seed);
   RunOutcome outcome = RunPropertyScenario(strategy, executor_kind, seed);
   uint64_t next_seq[2] = {0, 0};
   for (const Tuple& t : outcome.delivered) {
@@ -126,12 +130,14 @@ TEST_P(EndToEndPropertyTest, PerSourceSequenceOrderPreserved) {
 
 TEST_P(EndToEndPropertyTest, NoPunctuationEverReachesUsers) {
   auto [strategy, executor_kind, seed] = GetParam();
+  DSMS_TRACE_SEED(seed);
   RunOutcome outcome = RunPropertyScenario(strategy, executor_kind, seed);
   for (const Tuple& t : outcome.delivered) EXPECT_TRUE(t.is_data());
 }
 
 TEST_P(EndToEndPropertyTest, LatencyIsNonNegative) {
   auto [strategy, executor_kind, seed] = GetParam();
+  DSMS_TRACE_SEED(seed);
   RunOutcome outcome = RunPropertyScenario(strategy, executor_kind, seed);
   // Emission happens at or after arrival: arrival_time <= any later clock.
   // (Checked indirectly: arrival times are set and sane.)
@@ -153,7 +159,9 @@ INSTANTIATE_TEST_SUITE_P(
     Sweep, EndToEndPropertyTest,
     ::testing::Combine(::testing::Values(0, 1, 2),  // heartbeat/on-demand/latent
                        ::testing::Values(0, 1),     // DFS / round-robin
-                       ::testing::Values<uint64_t>(1, 2, 3, 4)),
+                       // Override the sweep with DSMS_TEST_SEED=<n> to
+                       // replay one seed (see tests/test_seed.h).
+                       ::testing::ValuesIn(test::TestSeedsOr({1, 2, 3, 4}))),
     SweepName);
 
 }  // namespace

@@ -1,0 +1,40 @@
+#ifndef DSMS_TESTS_TEST_SEED_H_
+#define DSMS_TESTS_TEST_SEED_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dsms {
+namespace test {
+
+/// Seed for a randomized test: `fallback` unless the DSMS_TEST_SEED
+/// environment variable is set, in which case that value wins — so a
+/// failure printed by a previous run can be replayed exactly.
+inline uint64_t TestSeedOr(uint64_t fallback) {
+  const char* env = std::getenv("DSMS_TEST_SEED");
+  if (env == nullptr || *env == '\0') return fallback;
+  return static_cast<uint64_t>(std::strtoull(env, nullptr, 10));
+}
+
+/// Seed sweep for parameterized tests: the declared list normally; just
+/// the DSMS_TEST_SEED value when the override is set (single-seed replay).
+inline std::vector<uint64_t> TestSeedsOr(std::vector<uint64_t> fallback) {
+  const char* env = std::getenv("DSMS_TEST_SEED");
+  if (env == nullptr || *env == '\0') return fallback;
+  return {static_cast<uint64_t>(std::strtoull(env, nullptr, 10))};
+}
+
+}  // namespace test
+}  // namespace dsms
+
+/// Attaches the seed to every assertion failure in the enclosing scope, so
+/// the log always says how to replay: DSMS_TEST_SEED=<seed> ctest ...
+#define DSMS_TRACE_SEED(seed)                                         \
+  SCOPED_TRACE(::testing::Message()                                   \
+               << "seed=" << (seed) << " (replay with DSMS_TEST_SEED=" \
+               << (seed) << ")")
+
+#endif  // DSMS_TESTS_TEST_SEED_H_
