@@ -19,31 +19,46 @@ namespace dsms::bench {
 ///   --quick      1/5 horizon (CI-friendly); headline numbers are noisier
 ///   --seed N     override the workload seed
 ///   --json PATH  also write the series as JSON records to PATH
+///   --trace PATH write a Chrome trace of one representative scenario
 struct BenchOptions {
   bool csv = false;
   bool quick = false;
   uint64_t seed = 42;
-  std::string json_path;  // empty: no JSON output
+  std::string json_path;   // empty: no JSON output
+  std::string trace_path;  // empty: no execution trace
 };
 
 /// Strict: an unrecognized argument (or a missing option value) terminates
-/// the process with a non-zero status instead of being silently ignored, so
-/// a typo'd sweep flag cannot produce a full run of wrong numbers.
+/// the process with status 2 instead of being silently ignored, so a typo'd
+/// sweep flag cannot produce a full run of wrong numbers.
 inline BenchOptions ParseArgs(int argc, char** argv) {
   BenchOptions options;
+  // A value-taking flag with nothing after it is reported by name — not as
+  // "unknown argument" — so the error points at the actual mistake.
+  auto value_of = [&](int* i) -> const char* {
+    if (*i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", argv[*i]);
+      std::exit(2);
+    }
+    return argv[++*i];
+  };
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--csv") == 0) {
       options.csv = true;
     } else if (std::strcmp(argv[i], "--quick") == 0) {
       options.quick = true;
-    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
-      options.seed = static_cast<uint64_t>(std::strtoull(argv[++i], nullptr, 10));
-    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-      options.json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      options.seed =
+          static_cast<uint64_t>(std::strtoull(value_of(&i), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      options.json_path = value_of(&i);
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      options.trace_path = value_of(&i);
     } else {
       std::fprintf(stderr,
                    "unknown argument: %s\n"
-                   "usage: %s [--csv] [--quick] [--seed N] [--json PATH]\n",
+                   "usage: %s [--csv] [--quick] [--seed N] [--json PATH] "
+                   "[--trace PATH]\n",
                    argv[i], argv[0]);
       std::exit(2);
     }

@@ -55,8 +55,15 @@ int Run(const bench::BenchOptions& options) {
 
   ScenarioConfig c = base;
   c.kind = ScenarioKind::kOnDemandEts;
+  // --trace captures the on-demand scenario: it exercises every event kind
+  // (NOS rules, idle waits, ETS generation) in one representative run.
+  c.trace_path = options.trace_path;
   ScenarioResult rc = RunScenario(c);
   add_row("C:on-demand", 0.0, rc);
+  if (!options.trace_path.empty()) {
+    std::printf("wrote C:on-demand execution trace to %s\n",
+                options.trace_path.c_str());
+  }
 
   ScenarioConfig d = base;
   d.kind = ScenarioKind::kLatent;

@@ -46,7 +46,12 @@ int Run(const bench::BenchOptions& options) {
 
   ScenarioConfig c = base;
   c.kind = ScenarioKind::kOnDemandEts;
+  c.trace_path = options.trace_path;
   add_row("C:on-demand", 0.0, "<0.1", RunScenario(c));
+  if (!options.trace_path.empty()) {
+    std::printf("wrote C:on-demand execution trace to %s\n",
+                options.trace_path.c_str());
+  }
 
   ScenarioConfig d = base;
   d.kind = ScenarioKind::kLatent;

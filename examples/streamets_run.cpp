@@ -5,6 +5,12 @@
 //
 //   $ ./streamets_run experiment.plan
 //   $ ./streamets_run --demo          # run a built-in demo experiment
+//   $ ./streamets_run --trace /tmp/run.trace.json experiment.plan
+//   $ ./streamets_run --metrics /tmp/run.metrics.json experiment.plan
+//
+// --trace writes a Chrome trace-event JSON of the run (open in Perfetto;
+// it overrides any `trace` statement in the file). --metrics writes the
+// unified metrics snapshot as one JSON object.
 //
 // Demo experiment (also a syntax reference):
 //
@@ -25,6 +31,7 @@
 #include <string>
 
 #include "common/strings.h"
+#include "obs/metrics_registry.h"
 #include "sim/experiment_spec.h"
 
 namespace {
@@ -46,21 +53,46 @@ run horizon=120s warmup=10s ets=on-demand
 int main(int argc, char** argv) {
   using namespace dsms;
 
+  std::string input;
+  bool demo = false;
+  std::string trace_path;
+  std::string metrics_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--demo") == 0) {
+      demo = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else if (argv[i][0] != '-' && input.empty()) {
+      input = argv[i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--trace PATH] [--metrics PATH] "
+                   "<experiment-file> | --demo\n",
+                   argv[0]);
+      return 1;
+    }
+  }
+
   std::string text;
-  if (argc == 2 && std::strcmp(argv[1], "--demo") == 0) {
+  if (demo) {
     text = kDemo;
     std::printf("running built-in demo experiment:\n%s\n", kDemo);
-  } else if (argc == 2) {
-    std::ifstream file(argv[1]);
+  } else if (!input.empty()) {
+    std::ifstream file(input);
     if (!file.is_open()) {
-      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      std::fprintf(stderr, "cannot open %s\n", input.c_str());
       return 1;
     }
     std::ostringstream contents;
     contents << file.rdbuf();
     text = contents.str();
   } else {
-    std::fprintf(stderr, "usage: %s <experiment-file> | --demo\n", argv[0]);
+    std::fprintf(stderr,
+                 "usage: %s [--trace PATH] [--metrics PATH] "
+                 "<experiment-file> | --demo\n",
+                 argv[0]);
     return 1;
   }
 
@@ -70,6 +102,7 @@ int main(int argc, char** argv) {
                  experiment.status().ToString().c_str());
     return 1;
   }
+  if (!trace_path.empty()) experiment->trace.path = trace_path;
 
   Result<ExperimentReport> report = RunExperiment(&*experiment);
   if (!report.ok()) {
@@ -100,6 +133,22 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(report->shed_tuples),
                 static_cast<unsigned long long>(report->max_buffer_hwm));
     std::printf("%s", report->robustness.c_str());
+  }
+  if (!experiment->trace.path.empty()) {
+    std::printf("\nwrote execution trace to %s\n",
+                experiment->trace.path.c_str());
+  }
+  if (!metrics_path.empty()) {
+    MetricsRegistry registry;
+    report->PublishTo(&registry);
+    std::ofstream out(metrics_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   metrics_path.c_str());
+      return 1;
+    }
+    registry.PrintJson(out);
+    std::printf("wrote metrics snapshot to %s\n", metrics_path.c_str());
   }
   return 0;
 }

@@ -95,4 +95,76 @@ std::string StrJoin(const std::vector<std::string>& pieces,
   return result;
 }
 
+void AppendJsonQuoted(std::string* out, std::string_view text) {
+  out->push_back('"');
+  for (char ch : text) {
+    switch (ch) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\b':
+        out->append("\\b");
+        break;
+      case '\f':
+        out->append("\\f");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          out->append(StrFormat("\\u%04x", ch));
+        } else {
+          out->push_back(ch);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+std::string JsonQuote(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  AppendJsonQuoted(&out, text);
+  return out;
+}
+
+bool IsStrictJsonNumber(std::string_view text) {
+  size_t i = 0;
+  auto digits = [&text, &i]() {
+    size_t start = i;
+    while (i < text.size() && text[i] >= '0' && text[i] <= '9') ++i;
+    return i > start;
+  };
+  if (i < text.size() && text[i] == '-') ++i;
+  // Integer part: 0, or a nonzero digit followed by any digits.
+  if (i >= text.size()) return false;
+  if (text[i] == '0') {
+    ++i;
+  } else if (text[i] >= '1' && text[i] <= '9') {
+    digits();
+  } else {
+    return false;
+  }
+  if (i < text.size() && text[i] == '.') {
+    ++i;
+    if (!digits()) return false;
+  }
+  if (i < text.size() && (text[i] == 'e' || text[i] == 'E')) {
+    ++i;
+    if (i < text.size() && (text[i] == '+' || text[i] == '-')) ++i;
+    if (!digits()) return false;
+  }
+  return i == text.size();
+}
+
 }  // namespace dsms

@@ -31,6 +31,20 @@ bool ParseInt64(std::string_view text, int64_t* out);
 std::string StrJoin(const std::vector<std::string>& pieces,
                     std::string_view separator);
 
+/// Appends `text` to `out` as a quoted JSON string, escaping quotes,
+/// backslashes and all control characters (RFC 8259). Every JSON emitter in
+/// the tree goes through this so a newline in an operator name can never
+/// produce invalid JSON.
+void AppendJsonQuoted(std::string* out, std::string_view text);
+
+/// Convenience: AppendJsonQuoted into a fresh string.
+std::string JsonQuote(std::string_view text);
+
+///// Strict RFC 8259 JSON number grammar: -?(0|[1-9][0-9]*)(.[0-9]+)?
+/// ([eE][+-]?[0-9]+)?. Rejects "1.", ".5", "+1", "inf", "nan" and every
+/// other strtod-ism JSON forbids.
+bool IsStrictJsonNumber(std::string_view text);
+
 }  // namespace dsms
 
 #endif  // DSMS_COMMON_STRINGS_H_

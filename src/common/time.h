@@ -26,9 +26,13 @@ inline constexpr Duration kMillisecond = 1000;
 inline constexpr Duration kSecond = 1000 * 1000;
 
 /// Converts a duration expressed in (possibly fractional) seconds to
-/// microseconds, rounding to nearest.
+/// microseconds, rounding to nearest (ties away from zero). The adjustment
+/// must follow the sign: a cast truncates toward zero, so adding +0.5
+/// unconditionally would round negative durations toward +inf
+/// (e.g. -1.2us -> -1, not -2... and -0.6us -> 0 instead of -1).
 constexpr Duration SecondsToDuration(double seconds) {
-  return static_cast<Duration>(seconds * static_cast<double>(kSecond) + 0.5);
+  const double scaled = seconds * static_cast<double>(kSecond);
+  return static_cast<Duration>(scaled >= 0.0 ? scaled + 0.5 : scaled - 0.5);
 }
 
 /// Converts a microsecond duration to fractional seconds.

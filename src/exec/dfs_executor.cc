@@ -1,6 +1,7 @@
 #include "exec/dfs_executor.h"
 
 #include "common/check.h"
+#include "obs/tracer.h"
 
 namespace dsms {
 
@@ -42,15 +43,21 @@ bool DfsExecutor::RunStep() {
 
   Operator* op = graph_->op(current_);
   StepResult result = op->Step(ctx_);
-  ChargeStep(result);
+  ChargeStep(*op, result);
   UpdateIdleTracker(op, result);
 
   // Next-Operator-Selection.
   if (result.yield && op->num_outputs() > 0) {
     current_ = FirstSuccessorWithInput(op)->id();  // Forward
+    if (tracer_ != nullptr) {
+      tracer_->RecordNosRule(op->id(), NosRule::kForward, current_);
+    }
     return true;
   }
   if (result.more) {
+    if (tracer_ != nullptr) {
+      tracer_->RecordNosRule(op->id(), NosRule::kEncore, op->id());
+    }
     return true;  // Encore: next := self
   }
   if (op->num_inputs() == 0) {

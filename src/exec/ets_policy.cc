@@ -3,6 +3,7 @@
 #include <optional>
 
 #include "common/time.h"
+#include "obs/tracer.h"
 
 namespace dsms {
 
@@ -34,6 +35,9 @@ bool EtsGate::MaybeGenerate(Source* source, Timestamp now,
   if (!source->EmitEts(now)) return false;
   ++generated_;
   last_generation_[source->stream_id()] = now;
+  if (tracer_ != nullptr) {
+    tracer_->RecordEts(source->id(), EtsOrigin::kOnDemand, *ets);
+  }
   return true;
 }
 
@@ -41,6 +45,11 @@ bool EtsGate::GenerateFallback(Source* source, Timestamp now) {
   if (!source->EmitFallbackEts(now)) return false;
   ++fallback_generated_;
   last_generation_[source->stream_id()] = now;
+  if (tracer_ != nullptr) {
+    // After a successful emit the promised bound is the emitted ETS value.
+    tracer_->RecordEts(source->id(), EtsOrigin::kWatchdog,
+                       source->promised_bound());
+  }
   return true;
 }
 

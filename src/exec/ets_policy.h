@@ -9,6 +9,8 @@
 
 namespace dsms {
 
+class Tracer;
+
 /// Whether the executor generates Enabling Time-Stamps on demand.
 enum class EtsMode {
   /// Never generate ETS at sources (scenarios A and B; in B, punctuation is
@@ -66,8 +68,13 @@ class EtsGate {
   uint64_t fallback_generated() const { return fallback_generated_; }
   const EtsPolicy& policy() const { return policy_; }
 
+  /// Execution tracer recording kEtsGenerated events (both origins flow
+  /// through this gate, so one hook covers every executor); null = off.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
  private:
   EtsPolicy policy_;
+  Tracer* tracer_ = nullptr;
   uint64_t generated_ = 0;
   uint64_t fallback_generated_ = 0;
   std::map<int32_t, Timestamp> last_generation_;  // keyed by stream id

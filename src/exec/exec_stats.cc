@@ -1,10 +1,30 @@
 #include "exec/exec_stats.h"
 
 #include <string>
+#include <utility>
 
 #include "common/strings.h"
+#include "obs/metrics_registry.h"
 
 namespace dsms {
+namespace {
+
+/// The one name->field table both registry plumbings share.
+template <typename Fn>
+void ForEachCounter(const ExecStats& stats, const std::string& prefix,
+                    Fn&& fn) {
+  fn(prefix + ".data_steps", &stats.data_steps);
+  fn(prefix + ".punctuation_steps", &stats.punctuation_steps);
+  fn(prefix + ".empty_steps", &stats.empty_steps);
+  fn(prefix + ".backtracks", &stats.backtracks);
+  fn(prefix + ".backtrack_hops", &stats.backtrack_hops);
+  fn(prefix + ".ets_generated", &stats.ets_generated);
+  fn(prefix + ".watchdog_ets", &stats.watchdog_ets);
+  fn(prefix + ".idle_returns", &stats.idle_returns);
+  fn(prefix + ".work_scans", &stats.work_scans);
+}
+
+}  // namespace
 
 std::string ExecStats::ToString() const {
   return StrFormat(
@@ -19,6 +39,24 @@ std::string ExecStats::ToString() const {
       static_cast<unsigned long long>(watchdog_ets),
       static_cast<unsigned long long>(idle_returns),
       static_cast<unsigned long long>(work_scans));
+}
+
+void ExecStats::BindTo(MetricsRegistry* registry,
+                       const std::string& prefix) const {
+  ForEachCounter(*this, prefix,
+                 [registry](std::string name, const uint64_t* field) {
+                   registry->RegisterView(std::move(name), [field]() {
+                     return static_cast<double>(*field);
+                   });
+                 });
+}
+
+void ExecStats::PublishTo(MetricsRegistry* registry,
+                          const std::string& prefix) const {
+  ForEachCounter(*this, prefix,
+                 [registry](std::string name, const uint64_t* field) {
+                   registry->SetCounter(name, *field);
+                 });
 }
 
 }  // namespace dsms

@@ -6,6 +6,8 @@
 
 namespace dsms {
 
+class MetricsRegistry;
+
 /// Counters maintained by executors; one instance per executor run.
 struct ExecStats {
   /// Operator steps that consumed a data tuple.
@@ -46,6 +48,16 @@ struct ExecStats {
   }
 
   std::string ToString() const;
+
+  /// Registers every counter as a live view under `prefix` (e.g.
+  /// "exec.data_steps"): the registry reads this struct at snapshot time,
+  /// so this object must outlive the registry's snapshots. The struct's
+  /// fields remain the accessors; the registry is the reporting path.
+  void BindTo(MetricsRegistry* registry, const std::string& prefix) const;
+
+  /// Copies every counter into the registry under `prefix` (a point-in-time
+  /// snapshot; safe after this struct dies).
+  void PublishTo(MetricsRegistry* registry, const std::string& prefix) const;
 };
 
 }  // namespace dsms

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/tracer.h"
 #include "operators/iwp_operator.h"
 #include "operators/source.h"
 
@@ -12,11 +13,13 @@ Executor::Executor(QueryGraph* graph, VirtualClock* clock, ExecConfig config)
     : graph_(graph),
       clock_(clock),
       config_(config),
+      tracer_(config.tracer),
       ets_gate_(config.ets),
       ctx_(clock) {
   DSMS_CHECK(graph != nullptr);
   DSMS_CHECK(clock != nullptr);
   DSMS_CHECK(graph->validated());
+  ets_gate_.set_tracer(tracer_);
   for (const auto& op : graph->operators()) {
     if (op->is_iwp()) idle_trackers_.emplace(op->id(), IdleWaitTracker());
   }
@@ -55,23 +58,38 @@ const IdleWaitTracker* Executor::idle_tracker(int op_id) const {
   return it == idle_trackers_.end() ? nullptr : &it->second;
 }
 
-void Executor::ChargeStep(const StepResult& result) {
+void Executor::ChargeStep(const Operator& op, const StepResult& result) {
+  const Timestamp start = clock_->now();
+  StepKind kind;
+  Duration cost;
   if (result.processed_data) {
     ++stats_.data_steps;
-    clock_->Advance(config_.costs.data_step);
+    kind = StepKind::kData;
+    cost = config_.costs.data_step;
   } else if (result.processed_punctuation) {
     ++stats_.punctuation_steps;
-    clock_->Advance(config_.costs.punctuation_step);
+    kind = StepKind::kPunctuation;
+    cost = config_.costs.punctuation_step;
   } else {
     ++stats_.empty_steps;
-    clock_->Advance(config_.costs.empty_step);
+    kind = StepKind::kEmpty;
+    cost = config_.costs.empty_step;
   }
+  clock_->Advance(cost);
+  if (tracer_ != nullptr) tracer_->RecordStep(op.id(), start, cost, kind);
 }
 
 void Executor::UpdateIdleTracker(Operator* op, const StepResult& result) {
+  SetIdleBlocked(op, result.idle_waiting);
+}
+
+void Executor::SetIdleBlocked(Operator* op, bool blocked) {
   auto it = idle_trackers_.find(op->id());
   if (it == idle_trackers_.end()) return;
-  if (result.idle_waiting) {
+  if (tracer_ != nullptr && it->second.blocked() != blocked) {
+    tracer_->RecordIdleWait(op->id(), /*begin=*/blocked);
+  }
+  if (blocked) {
     it->second.MarkBlocked(clock_->now());
   } else {
     it->second.MarkUnblocked(clock_->now());
@@ -95,6 +113,16 @@ Operator* Executor::BacktrackToWork(Operator* op, int blocked_input,
   wants_ets = wants_ets || op->WantsEts();
   Timestamp release_bound = op->EtsReleaseBound();
   int blocked = blocked_input >= 0 ? blocked_input : 0;
+  int64_t hops = 0;
+  // One kNosRule event per backtrack walk, attributed to the operator the
+  // walk started from; arg = hops taken before work (or the scheduler) was
+  // reached.
+  auto done = [this, op, &hops](Operator* next) {
+    if (tracer_ != nullptr) {
+      tracer_->RecordNosRule(op->id(), NosRule::kBacktrack, hops);
+    }
+    return next;
+  };
   for (;;) {
     if (node->num_inputs() == 0) {
       // Reached a source node. If the wrapper delivered tuples meanwhile,
@@ -104,18 +132,21 @@ Operator* Executor::BacktrackToWork(Operator* op, int blocked_input,
       // it down along the path on which backtracking just occurred").
       auto* source = dynamic_cast<Source*>(node);
       DSMS_CHECK(source != nullptr);
-      if (!source->output()->empty()) return FirstSuccessorWithInput(node);
+      if (!source->output()->empty()) {
+        return done(FirstSuccessorWithInput(node));
+      }
       if (ets_gate_.MaybeGenerate(source, clock_->now(), wants_ets,
                                   release_bound)) {
         ++stats_.ets_generated;
         clock_->Advance(config_.costs.ets_generation);
-        return FirstSuccessorWithInput(node);
+        return done(FirstSuccessorWithInput(node));
       }
-      return nullptr;  // Return control to the scheduler.
+      return done(nullptr);  // Return control to the scheduler.
     }
 
     Operator* pred = graph_->predecessor(node, blocked);
     ++stats_.backtrack_hops;
+    ++hops;
     clock_->Advance(config_.costs.backtrack_hop);
 
     // Apply the NOS rules to pred without stepping it: Forward if it has
@@ -127,9 +158,9 @@ Operator* Executor::BacktrackToWork(Operator* op, int blocked_input,
     for (int i = 0; i < pred->num_outputs(); ++i) {
       if (pred->output(i)->empty()) continue;
       Operator* succ = graph_->op(graph_->consumer_of(pred->output(i)->id()));
-      if (succ != node) return succ;
+      if (succ != node) return done(succ);
     }
-    if (pred->HasWork()) return pred;
+    if (pred->HasWork()) return done(pred);
 
     if (pred->WantsEts()) {
       wants_ets = true;

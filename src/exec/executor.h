@@ -15,6 +15,8 @@
 
 namespace dsms {
 
+class Tracer;
+
 /// Virtual CPU cost model: how much the clock advances per operator step.
 /// Defaults are calibrated so the reproduced figures land in the paper's
 /// regime (see EXPERIMENTS.md); every bench states the values it uses.
@@ -61,6 +63,9 @@ struct ExecConfig {
   EtsPolicy ets;
   WatchdogPolicy watchdog;
   SchedulerMode scheduler = SchedulerMode::kReadyQueue;
+  /// Execution tracer (owned by the caller, must outlive the executor);
+  /// null (the default) disables tracing — every hook is one null check.
+  Tracer* tracer = nullptr;
 };
 
 /// Common machinery for executors: cost charging, idle-waiting trackers for
@@ -109,11 +114,18 @@ class Executor {
     VirtualClock* clock_;
   };
 
-  /// Advances the clock per the cost model and bumps step counters.
-  void ChargeStep(const StepResult& result);
+  /// Advances the clock per the cost model, bumps step counters, and (when
+  /// tracing) records the step slice for `op`'s track.
+  void ChargeStep(const Operator& op, const StepResult& result);
 
   /// Updates the IWP idle tracker for `op` after a step.
   void UpdateIdleTracker(Operator* op, const StepResult& result);
+
+  /// Transitions `op`'s idle tracker to `blocked` (no-op for non-IWP
+  /// operators), recording idle-wait begin/end trace events on actual state
+  /// changes. All executor paths that mark idle-waiting go through here so
+  /// the trace's B/E pairs balance.
+  void SetIdleBlocked(Operator* op, bool blocked);
 
   /// First successor of `op` whose input arc is non-empty; falls back to
   /// the first successor. Requires num_outputs >= 1.
@@ -147,6 +159,8 @@ class Executor {
   QueryGraph* graph_;
   VirtualClock* clock_;
   ExecConfig config_;
+  /// Copy of config_.tracer for hook brevity; null when tracing is off.
+  Tracer* tracer_ = nullptr;
   ExecStats stats_;
   EtsGate ets_gate_;
   ClockContext ctx_;

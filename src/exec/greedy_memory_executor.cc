@@ -91,7 +91,7 @@ Operator* GreedyMemoryExecutor::PopBest() {
 
 void GreedyMemoryExecutor::StepAndAccount(Operator* op) {
   StepResult result = op->Step(ctx_);
-  ChargeStep(result);
+  ChargeStep(*op, result);
   UpdateIdleTracker(op, result);
   // The step changed this operator's lifetime counters (its priority) even
   // when no buffer event fired; force a heap refresh.
@@ -106,8 +106,7 @@ bool GreedyMemoryExecutor::RunStep() {
     if (!ready_.IsCandidate(id)) continue;
     Operator* op = graph_->op(id);
     if (!op->HasWork() && op->HasPendingData()) {
-      auto it = idle_trackers_.find(id);
-      if (it != idle_trackers_.end()) it->second.MarkBlocked(clock_->now());
+      SetIdleBlocked(op, true);
     }
   }
   RefreshDirty();
@@ -134,8 +133,7 @@ bool GreedyMemoryExecutor::RunStepScan() {
     // Blocked IWP operators are never selected (no HasWork); account for
     // their idle-waiting as we pass by.
     if (op->is_iwp() && !op->HasWork() && op->HasPendingData()) {
-      auto it = idle_trackers_.find(op->id());
-      if (it != idle_trackers_.end()) it->second.MarkBlocked(clock_->now());
+      SetIdleBlocked(op.get(), true);
     }
     if (!op->HasWork()) continue;
     double priority = Priority(*op);
@@ -158,7 +156,7 @@ bool GreedyMemoryExecutor::RunStepScan() {
     best = resumed;
   }
   StepResult result = best->Step(ctx_);
-  ChargeStep(result);
+  ChargeStep(*best, result);
   UpdateIdleTracker(best, result);
   return true;
 }

@@ -1,6 +1,7 @@
 #include "exec/round_robin_executor.h"
 
 #include "common/check.h"
+#include "obs/tracer.h"
 #include "operators/operator.h"
 
 namespace dsms {
@@ -20,17 +21,22 @@ void RoundRobinExecutor::MarkBlockedIwp(Operator* op) {
   // An IWP operator that is blocked while holding data is idle-waiting even
   // though it is never stepped; account for it as we pass by.
   if (op->is_iwp() && !op->HasWork() && op->HasPendingData()) {
-    auto it = idle_trackers_.find(op->id());
-    if (it != idle_trackers_.end()) it->second.MarkBlocked(clock_->now());
+    SetIdleBlocked(op, true);
   }
 }
 
 bool RoundRobinExecutor::StepOperator(Operator* op) {
   StepResult result = op->Step(ctx_);
-  ChargeStep(result);
+  ChargeStep(*op, result);
   UpdateIdleTracker(op, result);
   ++used_in_quantum_;
-  if (!result.more || used_in_quantum_ >= quantum_) AdvanceCursor();
+  if (!result.more || used_in_quantum_ >= quantum_) {
+    AdvanceCursor();
+  } else if (tracer_ != nullptr) {
+    // Staying on the same operator inside the quantum is round-robin's
+    // Encore.
+    tracer_->RecordNosRule(op->id(), NosRule::kEncore, op->id());
+  }
   return true;
 }
 

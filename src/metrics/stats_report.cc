@@ -6,6 +6,7 @@
 
 #include "common/strings.h"
 #include "metrics/table_printer.h"
+#include "obs/metrics_registry.h"
 #include "operators/operator.h"
 
 namespace dsms {
@@ -42,6 +43,31 @@ std::string OperatorStatsString(const QueryGraph& graph) {
   std::ostringstream os;
   PrintOperatorStats(graph, os);
   return os.str();
+}
+
+void PublishOperatorStats(const QueryGraph& graph,
+                          MetricsRegistry* registry) {
+  for (const auto& op : graph.operators()) {
+    size_t buffered = 0;
+    size_t hwm = 0;
+    uint64_t shed = 0;
+    for (int i = 0; i < op->num_inputs(); ++i) {
+      const StreamBuffer* in = op->input(i);
+      buffered += in->size();
+      if (in->high_water_mark() > hwm) hwm = in->high_water_mark();
+      shed += in->shed_tuples();
+    }
+    const OperatorStats& s = op->stats();
+    const std::string prefix = "op." + op->name();
+    registry->SetCounter(prefix + ".data_in", s.data_in);
+    registry->SetCounter(prefix + ".punct_in", s.punctuation_in);
+    registry->SetCounter(prefix + ".data_out", s.data_out);
+    registry->SetCounter(prefix + ".punct_out", s.punctuation_out);
+    registry->SetCounter(prefix + ".steps", s.steps);
+    registry->SetCounter(prefix + ".buffered_in", buffered);
+    registry->SetCounter(prefix + ".hwm", hwm);
+    registry->SetCounter(prefix + ".shed", shed);
+  }
 }
 
 std::string RobustnessReportString(const QueryGraph& graph,

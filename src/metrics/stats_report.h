@@ -9,6 +9,8 @@
 
 namespace dsms {
 
+class MetricsRegistry;
+
 /// Renders a per-operator table of lifetime counters (data/punctuation in
 /// and out, steps) plus current buffer occupancy, per-arc high-water marks
 /// and shed counts — the "EXPLAIN ANALYZE" of this little DSMS. Used by
@@ -17,6 +19,11 @@ void PrintOperatorStats(const QueryGraph& graph, std::ostream& os);
 
 /// Same, as a string.
 std::string OperatorStatsString(const QueryGraph& graph);
+
+/// Publishes the same per-operator counters into `registry` under
+/// "op.<name>.<counter>" names (point-in-time copies) — the unified
+/// snapshot path shared with ExecStats / ScenarioResult / ExperimentReport.
+void PublishOperatorStats(const QueryGraph& graph, MetricsRegistry* registry);
 
 /// Renders the graph's degraded-mode activity: sources running on watchdog
 /// fallback bounds, shed/vetoed pushes, and (when `validator` is non-null)

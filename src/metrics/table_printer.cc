@@ -1,7 +1,6 @@
 #include "metrics/table_printer.h"
 
 #include <algorithm>
-#include <cstdlib>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -58,28 +57,11 @@ void TablePrinter::PrintCsv(std::ostream& os) const {
 
 namespace {
 
-bool IsJsonNumber(const std::string& s) {
-  if (s.empty()) return false;
-  char* end = nullptr;
-  std::strtod(s.c_str(), &end);
-  if (end != s.c_str() + s.size()) return false;
-  // strtod accepts "inf"/"nan", which are not valid JSON numbers.
-  for (char ch : s) {
-    if ((ch < '0' || ch > '9') && ch != '.' && ch != '-' && ch != '+' &&
-        ch != 'e' && ch != 'E') {
-      return false;
-    }
-  }
-  return true;
-}
-
-void EmitJsonString(std::ostream& os, const std::string& s) {
-  os << '"';
-  for (char ch : s) {
-    if (ch == '"' || ch == '\\') os << '\\';
-    os << ch;
-  }
-  os << '"';
+/// Non-finite cells (AddNumericRow's %.6g renders them "nan"/"inf"/"-inf")
+/// have no JSON number representation; they become null rather than a string
+/// so consumers can keep treating the column as numeric.
+bool IsNonFiniteCell(const std::string& s) {
+  return s == "nan" || s == "-nan" || s == "inf" || s == "-inf";
 }
 
 }  // namespace
@@ -90,12 +72,13 @@ void TablePrinter::PrintJson(std::ostream& os) const {
     os << "  {";
     for (size_t c = 0; c < headers_.size(); ++c) {
       if (c > 0) os << ", ";
-      EmitJsonString(os, headers_[c]);
-      os << ": ";
-      if (IsJsonNumber(rows_[r][c])) {
+      os << JsonQuote(headers_[c]) << ": ";
+      if (IsNonFiniteCell(rows_[r][c])) {
+        os << "null";
+      } else if (IsStrictJsonNumber(rows_[r][c])) {
         os << rows_[r][c];
       } else {
-        EmitJsonString(os, rows_[r][c]);
+        os << JsonQuote(rows_[r][c]);
       }
     }
     os << (r + 1 < rows_.size() ? "},\n" : "}\n");

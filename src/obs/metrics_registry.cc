@@ -1,0 +1,112 @@
+#include "obs/metrics_registry.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+#include "common/strings.h"
+#include "metrics/table_printer.h"
+
+namespace dsms {
+namespace {
+
+std::string FormatDouble(double value) {
+  if (std::isnan(value)) return "nan";
+  if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
+  return StrFormat("%.6g", value);
+}
+
+}  // namespace
+
+MetricsRegistry::Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  Metric& metric = metrics_[name];
+  if (!metric.counter) {
+    DSMS_CHECK(!metric.gauge && !metric.histogram && !metric.view);
+    metric.counter = std::make_unique<Counter>();
+  }
+  return metric.counter.get();
+}
+
+MetricsRegistry::Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  Metric& metric = metrics_[name];
+  if (!metric.gauge) {
+    DSMS_CHECK(!metric.counter && !metric.histogram && !metric.view);
+    metric.gauge = std::make_unique<Gauge>();
+  }
+  return metric.gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  Metric& metric = metrics_[name];
+  if (!metric.histogram) {
+    DSMS_CHECK(!metric.counter && !metric.gauge && !metric.view);
+    metric.histogram = std::make_unique<Histogram>();
+  }
+  return metric.histogram.get();
+}
+
+void MetricsRegistry::RegisterView(const std::string& name,
+                                   std::function<double()> fn) {
+  DSMS_CHECK(fn != nullptr);
+  Metric& metric = metrics_[name];
+  DSMS_CHECK(!metric.counter && !metric.gauge && !metric.histogram);
+  metric.view = std::move(fn);
+}
+
+std::vector<MetricsRegistry::Sample> MetricsRegistry::Samples() const {
+  std::vector<Sample> samples;
+  samples.reserve(metrics_.size());
+  for (const auto& [name, metric] : metrics_) {
+    if (metric.counter) {
+      samples.push_back({name, "counter",
+                         StrFormat("%llu", static_cast<unsigned long long>(
+                                               metric.counter->value()))});
+    } else if (metric.gauge) {
+      samples.push_back({name, "gauge", FormatDouble(metric.gauge->value())});
+    } else if (metric.histogram) {
+      const Histogram& h = *metric.histogram;
+      samples.push_back(
+          {name + ".count", "histogram",
+           StrFormat("%llu", static_cast<unsigned long long>(h.count()))});
+      samples.push_back({name + ".mean", "histogram", FormatDouble(h.mean())});
+      samples.push_back(
+          {name + ".p50", "histogram", FormatDouble(h.Quantile(0.5))});
+      samples.push_back(
+          {name + ".p99", "histogram", FormatDouble(h.Quantile(0.99))});
+      samples.push_back(
+          {name + ".max", "histogram",
+           StrFormat("%lld", static_cast<long long>(h.max()))});
+    } else if (metric.view) {
+      samples.push_back({name, "view", FormatDouble(metric.view())});
+    }
+  }
+  return samples;
+}
+
+void MetricsRegistry::PrintTable(std::ostream& os) const {
+  TablePrinter table({"metric", "kind", "value"});
+  for (const Sample& sample : Samples()) {
+    table.AddRow({sample.name, sample.kind, sample.value});
+  }
+  table.Print(os);
+}
+
+void MetricsRegistry::PrintJson(std::ostream& os) const {
+  os << "{";
+  bool first = true;
+  for (const Sample& sample : Samples()) {
+    if (!first) os << ", ";
+    first = false;
+    os << JsonQuote(sample.name) << ": ";
+    if (IsStrictJsonNumber(sample.value)) {
+      os << sample.value;
+    } else {
+      // nan/inf (and anything else unrepresentable) degrade to null rather
+      // than emit invalid JSON.
+      os << "null";
+    }
+  }
+  os << "}\n";
+}
+
+}  // namespace dsms

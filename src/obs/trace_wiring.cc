@@ -1,0 +1,59 @@
+#include "obs/trace_wiring.h"
+
+#include <string>
+
+#include "common/check.h"
+
+namespace dsms {
+
+void AnnotateTracks(const QueryGraph& graph, Tracer* tracer) {
+  DSMS_CHECK(tracer != nullptr);
+  for (const auto& op : graph.operators()) {
+    tracer->SetOperatorName(op->id(), op->ToString());
+    op->set_tracer(tracer);
+  }
+  for (int b = 0; b < graph.num_buffers(); ++b) {
+    tracer->SetArcName(b, graph.buffer(b)->name());
+  }
+}
+
+BufferOccupancyTracer::BufferOccupancyTracer(Tracer* tracer, int num_arcs)
+    : tracer_(tracer) {
+  DSMS_CHECK(tracer != nullptr);
+  DSMS_CHECK_GE(num_arcs, 0);
+  last_reported_.assign(static_cast<size_t>(num_arcs), 0);
+}
+
+void BufferOccupancyTracer::OnPush(const StreamBuffer& buffer,
+                                   const Tuple& tuple) {
+  (void)tuple;
+  if (buffer.id() < 0 ||
+      buffer.id() >= static_cast<int>(last_reported_.size())) {
+    return;
+  }
+  size_t& reported = last_reported_[static_cast<size_t>(buffer.id())];
+  const size_t size = buffer.size();
+  // Next threshold is double the last reported occupancy (1 when nothing
+  // has been reported since the arc last drained).
+  const size_t threshold = reported == 0 ? 1 : reported * 2;
+  if (size >= threshold) {
+    reported = size;
+    tracer_->RecordHighWater(buffer.id(), static_cast<int64_t>(size));
+  }
+}
+
+void BufferOccupancyTracer::OnPop(const StreamBuffer& buffer,
+                                  const Tuple& tuple) {
+  (void)tuple;
+  if (buffer.id() < 0 ||
+      buffer.id() >= static_cast<int>(last_reported_.size())) {
+    return;
+  }
+  size_t& reported = last_reported_[static_cast<size_t>(buffer.id())];
+  if (reported > 0 && buffer.empty()) {
+    reported = 0;
+    tracer_->RecordHighWater(buffer.id(), 0);
+  }
+}
+
+}  // namespace dsms

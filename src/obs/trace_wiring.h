@@ -1,0 +1,38 @@
+#ifndef DSMS_OBS_TRACE_WIRING_H_
+#define DSMS_OBS_TRACE_WIRING_H_
+
+#include <vector>
+
+#include "core/stream_buffer.h"
+#include "graph/query_graph.h"
+#include "obs/tracer.h"
+
+namespace dsms {
+
+/// Names every operator and arc row of `tracer` after `graph`, and hands the
+/// tracer to every operator so punctuation-path hooks can record. Call once
+/// after the graph is built, before the run.
+void AnnotateTracks(const QueryGraph& graph, Tracer* tracer);
+
+/// Buffer listener emitting kBufferHighWater counter events when an arc's
+/// occupancy crosses a power-of-two threshold upward (1, 2, 4, ...), and a
+/// zero sample when it drains — so the exported counter track shows growth
+/// episodes at logarithmic event cost instead of one event per push.
+class BufferOccupancyTracer : public BufferListener {
+ public:
+  /// `tracer` must outlive this listener; `num_arcs` sizes the per-arc
+  /// threshold table (arc ids are graph buffer ids).
+  BufferOccupancyTracer(Tracer* tracer, int num_arcs);
+
+  void OnPush(const StreamBuffer& buffer, const Tuple& tuple) override;
+  void OnPop(const StreamBuffer& buffer, const Tuple& tuple) override;
+
+ private:
+  Tracer* tracer_;
+  /// Last occupancy reported per arc (0 = nothing reported yet).
+  std::vector<size_t> last_reported_;
+};
+
+}  // namespace dsms
+
+#endif  // DSMS_OBS_TRACE_WIRING_H_

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/tracer.h"
 
 namespace dsms {
 
@@ -136,6 +137,9 @@ void IwpOperator::MaybeEmitPunctuation(Timestamp watermark) {
   if (watermark == kMinTimestamp || watermark <= downstream_bound_) return;
   downstream_bound_ = watermark;
   Emit(Tuple::MakePunctuation(watermark));
+  if (tracer_ != nullptr) {
+    tracer_->RecordPunctuation(id(), /*emitted=*/true, watermark);
+  }
 }
 
 void IwpOperator::NoteDataEmitted(Timestamp ts) {

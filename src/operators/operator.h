@@ -14,6 +14,8 @@
 
 namespace dsms {
 
+class Tracer;
+
 /// Execution-time services an operator may need from the engine. Today this
 /// is only the virtual clock (used e.g. to stamp latent tuples on the fly);
 /// kept abstract so operators are testable without a full simulation.
@@ -168,6 +170,11 @@ class Operator {
 
   const OperatorStats& stats() const { return stats_; }
 
+  /// Execution tracer for punctuation-path hooks; null (the default) means
+  /// tracing is off and hooks are a single branch.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+  Tracer* tracer() const { return tracer_; }
+
   /// Debug string: "name(id) [class]".
   virtual std::string ToString() const;
 
@@ -178,6 +185,7 @@ class Operator {
   void EmitTo(int index, Tuple tuple);
 
   OperatorStats stats_;
+  Tracer* tracer_ = nullptr;
 
  private:
   std::string name_;

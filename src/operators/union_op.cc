@@ -8,6 +8,7 @@
 #include "common/strings.h"
 #include "core/schema.h"
 #include "core/tuple.h"
+#include "obs/tracer.h"
 
 namespace dsms {
 
@@ -85,6 +86,9 @@ StepResult Union::StepStrict() {
     Emit(std::move(tuple));
   } else {
     result.processed_punctuation = true;
+    if (tracer_ != nullptr) {
+      tracer_->RecordPunctuation(id(), /*emitted=*/false, tuple.timestamp());
+    }
     MaybeEmitPunctuation(MinEffectiveTsm());
   }
   result.more = StrictMore();
@@ -119,6 +123,9 @@ StepResult Union::Step(ExecContext& ctx) {
     Emit(std::move(tuple));
   } else {
     result.processed_punctuation = true;
+    if (tracer_ != nullptr) {
+      tracer_->RecordPunctuation(id(), /*emitted=*/false, tuple.timestamp());
+    }
     // The register already holds this punctuation's bound (observed at the
     // head); forward the operator-wide watermark if it advanced.
     MaybeEmitPunctuation(MinEffectiveTsm());

@@ -10,6 +10,7 @@
 #include "common/strings.h"
 #include "core/schema.h"
 #include "core/value.h"
+#include "obs/tracer.h"
 
 namespace dsms {
 
@@ -140,6 +141,9 @@ StepResult WindowJoin::Step(ExecContext& ctx) {
     ProcessData(ready, std::move(tuple));
   } else {
     result.processed_punctuation = true;
+    if (tracer_ != nullptr) {
+      tracer_->RecordPunctuation(id(), /*emitted=*/false, tuple.timestamp());
+    }
     // The punctuation bounds future `ready`-side tuples; prune the opposite
     // window and forward the watermark ("if neither A nor B contain an
     // input data tuple with timestamp τ, add a punctuation tuple with
@@ -166,6 +170,9 @@ StepResult WindowJoin::StepUnordered(ExecContext& ctx) {
     Tuple tuple = TakeInput(i);
     if (tuple.is_punctuation()) {
       result.processed_punctuation = true;
+      if (tracer_ != nullptr) {
+        tracer_->RecordPunctuation(id(), /*emitted=*/false, tuple.timestamp());
+      }
       ExpireWindow(1 - i, tuple.timestamp());
       MaybeEmitPunctuation(tuple.timestamp());
     } else {

@@ -1,5 +1,6 @@
 #include "sim/experiment_spec.h"
 
+#include <fstream>
 #include <map>
 #include <memory>
 #include <string>
@@ -8,6 +9,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/logging.h"
 #include "common/random.h"
 #include "common/strings.h"
 #include "core/value.h"
@@ -15,6 +17,8 @@
 #include "exec/greedy_memory_executor.h"
 #include "exec/round_robin_executor.h"
 #include "metrics/stats_report.h"
+#include "obs/metrics_registry.h"
+#include "obs/tracer.h"
 #include "operators/sink.h"
 #include "operators/source.h"
 #include "sim/arrival_process.h"
@@ -278,6 +282,22 @@ Status ParseRun(const ExpStatement& s, RunSpec* run) {
   return OkStatus();
 }
 
+Status ParseTrace(const ExpStatement& s, TraceSpec* trace) {
+  auto path = s.args.find("path");
+  if (path == s.args.end() || path->second.empty()) {
+    return InvalidArgumentError(StrFormat("line %d: missing path=", s.line));
+  }
+  trace->path = path->second;
+  int64_t capacity = static_cast<int64_t>(trace->capacity);
+  DSMS_RETURN_IF_ERROR(GetArgInt(s, "capacity", capacity, &capacity));
+  if (capacity < 1) {
+    return InvalidArgumentError(
+        StrFormat("line %d: capacity must be >= 1", s.line));
+  }
+  trace->capacity = static_cast<size_t>(capacity);
+  return OkStatus();
+}
+
 Simulation::PayloadFn MakePayload(const FeedSpec& feed) {
   if (feed.payload == FeedSpec::Payload::kSequence) {
     return Simulation::SequencePayload();
@@ -333,6 +353,7 @@ Result<Experiment> ParseExperiment(std::string_view text) {
   std::vector<ExpStatement> heartbeats;
   std::vector<ExpStatement> faults;
   std::vector<ExpStatement> runs;
+  std::vector<ExpStatement> traces;
 
   int line_number = 0;
   for (const std::string& raw_line : StrSplit(text, '\n')) {
@@ -366,6 +387,11 @@ Result<Experiment> ParseExperiment(std::string_view text) {
                                         /*has_name=*/false, &statement);
       if (!status.ok()) return status;
       runs.push_back(std::move(statement));
+    } else if (StartsWith(stripped, "trace ")) {
+      Status status = ParseExpStatement(line_number, stripped,
+                                        /*has_name=*/false, &statement);
+      if (!status.ok()) return status;
+      traces.push_back(std::move(statement));
     } else {
       plan_lines.push_back(raw_line);
     }
@@ -374,6 +400,10 @@ Result<Experiment> ParseExperiment(std::string_view text) {
   if (runs.size() > 1) {
     return InvalidArgumentError(
         StrFormat("line %d: duplicate run statement", runs[1].line));
+  }
+  if (traces.size() > 1) {
+    return InvalidArgumentError(
+        StrFormat("line %d: duplicate trace statement", traces[1].line));
   }
 
   Result<ParsedPlan> plan = ParsePlan(StrJoin(plan_lines, "\n"));
@@ -420,6 +450,9 @@ Result<Experiment> ParseExperiment(std::string_view text) {
   if (!runs.empty()) {
     DSMS_RETURN_IF_ERROR(ParseRun(runs[0], &experiment.run));
   }
+  if (!traces.empty()) {
+    DSMS_RETURN_IF_ERROR(ParseTrace(traces[0], &experiment.trace));
+  }
   if (experiment.feeds.empty()) {
     return InvalidArgumentError("experiment declares no feeds");
   }
@@ -433,7 +466,12 @@ Result<ExperimentReport> RunExperiment(Experiment* experiment) {
   }
 
   VirtualClock clock;
+  std::unique_ptr<Tracer> tracer;
+  if (!experiment->trace.path.empty()) {
+    tracer = std::make_unique<Tracer>(&clock, experiment->trace.capacity);
+  }
   ExecConfig config;
+  config.tracer = tracer.get();
   config.ets.mode = experiment->run.ets;
   config.ets.min_interval = experiment->run.ets_min_interval;
   config.watchdog.silence_horizon = experiment->run.watchdog;
@@ -457,6 +495,7 @@ Result<ExperimentReport> RunExperiment(Experiment* experiment) {
   }
 
   Simulation sim(graph, executor.get(), &clock);
+  if (tracer != nullptr) sim.AttachTracer(tracer.get());
   sim.set_violation_policy(experiment->run.violations);
   for (const FeedSpec& feed : experiment->feeds) {
     auto* source = dynamic_cast<Source*>(experiment->plan.Find(feed.source));
@@ -506,7 +545,41 @@ Result<ExperimentReport> RunExperiment(Experiment* experiment) {
   report.exec = executor->stats();
   report.operator_stats = OperatorStatsString(*graph);
   report.robustness = RobustnessReportString(*graph, &sim.order_validator());
+
+  if (tracer != nullptr) {
+    std::ofstream out(experiment->trace.path,
+                      std::ios::out | std::ios::trunc);
+    if (out) {
+      tracer->WriteChromeTrace(out);
+    } else {
+      DSMS_LOG(Error) << "cannot write trace to " << experiment->trace.path;
+    }
+  }
   return report;
+}
+
+void ExperimentReport::PublishTo(MetricsRegistry* registry) const {
+  DSMS_CHECK(registry != nullptr);
+  registry->SetGauge("experiment.end_time_s", DurationToSeconds(end_time));
+  for (const SinkReport& sink : sinks) {
+    const std::string prefix = "sink." + sink.name;
+    registry->SetCounter(prefix + ".tuples", sink.tuples);
+    registry->SetGauge(prefix + ".mean_latency_ms", sink.mean_latency_ms);
+    registry->SetGauge(prefix + ".p99_latency_ms", sink.p99_latency_ms);
+  }
+  registry->SetCounter("experiment.peak_queue_total",
+                       static_cast<uint64_t>(peak_queue_total));
+  registry->SetCounter("experiment.ets_generated", ets_generated);
+  registry->SetCounter("experiment.fault_events", fault_events);
+  registry->SetCounter("experiment.watchdog_ets", watchdog_ets);
+  registry->SetGauge("experiment.degraded", degraded ? 1.0 : 0.0);
+  registry->SetCounter("experiment.shed_tuples", shed_tuples);
+  registry->SetCounter("experiment.quarantined", quarantined);
+  registry->SetCounter("experiment.dropped_late", dropped_late);
+  registry->SetCounter("experiment.buffer_order_violations",
+                       buffer_order_violations);
+  registry->SetCounter("experiment.max_buffer_hwm", max_buffer_hwm);
+  exec.PublishTo(registry, "exec");
 }
 
 }  // namespace dsms

@@ -32,10 +32,13 @@ namespace dsms {
 ///       [executor=dfs|round-robin] [quantum=8] [ets_min_interval=DUR]
 ///       [watchdog=DUR] [buffer_cap=N] [overload=grow|block|shed]
 ///       [violations=count|drop|quarantine]
+///   trace path=/tmp/run.trace.json [capacity=262144]
 ///
 /// `feed`, `heartbeat` and `fault` reference `stream` operators declared in
-/// the plan; `run` may appear at most once (defaults apply otherwise). This
-/// is what the `streamets_run` example binary executes.
+/// the plan; `run` and `trace` may appear at most once (defaults apply
+/// otherwise). `trace` records an execution trace of the run and writes it
+/// to `path` as Chrome trace-event JSON (open in Perfetto). This is what
+/// the `streamets_run` example binary executes.
 struct FeedSpec {
   enum class Kind { kPoisson, kConstant, kBursty, kTrace };
   enum class Payload { kSequence, kRandInt };
@@ -82,12 +85,19 @@ struct RunSpec {
   ViolationPolicy violations = ViolationPolicy::kCount;
 };
 
+/// Execution-trace output of a run (`trace` statement); empty path = off.
+struct TraceSpec {
+  std::string path;
+  size_t capacity = 1 << 18;
+};
+
 struct Experiment {
   ParsedPlan plan;
   std::vector<FeedSpec> feeds;
   std::vector<HeartbeatSpec> heartbeats;
   std::vector<FaultTargetSpec> faults;
   RunSpec run;
+  TraceSpec trace;
 };
 
 /// Parses a combined plan + experiment text. Feed/heartbeat source names
@@ -122,6 +132,11 @@ struct ExperimentReport {
   /// Degraded-mode summary (RobustnessReportString); empty when the run
   /// stayed on the happy path.
   std::string robustness;
+
+  /// Publishes every field into `registry` under "experiment." /
+  /// "sink.<name>." names — the unified snapshot path for rendering
+  /// (MetricsRegistry::PrintTable / PrintJson). Fields stay the accessors.
+  void PublishTo(MetricsRegistry* registry) const;
 };
 
 /// Builds the executor and simulation described by `experiment`, runs it,

@@ -1,17 +1,21 @@
 #include "sim/scenario.h"
 
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/check.h"
+#include "common/logging.h"
 #include "common/strings.h"
 #include "exec/dfs_executor.h"
 #include "exec/greedy_memory_executor.h"
 #include "exec/round_robin_executor.h"
 #include "graph/graph_builder.h"
+#include "obs/metrics_registry.h"
+#include "obs/tracer.h"
 #include "operators/iwp_operator.h"
 #include "sim/arrival_process.h"
 #include "sim/simulation.h"
@@ -261,6 +265,11 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
   exec_config.scheduler = config.scheduler;
 
   VirtualClock clock;
+  std::unique_ptr<Tracer> tracer;
+  if (!config.trace_path.empty()) {
+    tracer = std::make_unique<Tracer>(&clock, config.trace_capacity);
+    exec_config.tracer = tracer.get();
+  }
   std::unique_ptr<Executor> executor;
   switch (config.executor) {
     case ExecutorKind::kDfs:
@@ -295,6 +304,7 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
   TraceRecorder trace;
   Simulation sim(graph.get(), executor.get(), &clock);
   sim.set_violation_policy(config.violations);
+  if (tracer != nullptr) sim.AttachTracer(tracer.get());
   // The Simulation constructor owns listener replacement; the recorder must
   // compose with (not clobber) its metrics listeners, so attach afterwards.
   if (config.record_trace) graph->AddBufferListener(&trace);
@@ -364,7 +374,48 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
   result.trace_hash = trace.hash();
   result.trace_events = trace.events();
   result.exec = executor->stats();
+
+  if (tracer != nullptr) {
+    std::ofstream out(config.trace_path);
+    if (out.good()) {
+      tracer->WriteChromeTrace(out);
+    } else {
+      DSMS_LOG(Error) << "cannot write trace to " << config.trace_path;
+    }
+  }
   return result;
+}
+
+void ScenarioResult::PublishTo(MetricsRegistry* registry,
+                               const std::string& prefix) const {
+  DSMS_CHECK(registry != nullptr);
+  registry->SetGauge(prefix + ".latency.mean_ms", mean_latency_ms);
+  registry->SetGauge(prefix + ".latency.p50_ms", p50_latency_ms);
+  registry->SetGauge(prefix + ".latency.p99_ms", p99_latency_ms);
+  registry->SetGauge(prefix + ".latency.max_ms", max_latency_ms);
+  registry->SetCounter(prefix + ".tuples_delivered", tuples_delivered);
+  registry->SetGauge(prefix + ".peak_queue_total",
+                     static_cast<double>(peak_queue_total));
+  registry->SetGauge(prefix + ".peak_queue_data",
+                     static_cast<double>(peak_queue_data));
+  registry->SetGauge(prefix + ".idle_fraction", idle_fraction);
+  registry->SetCounter(prefix + ".blocked_intervals", blocked_intervals);
+  registry->SetCounter(prefix + ".ets_generated", ets_generated);
+  registry->SetCounter(prefix + ".punctuation_steps", punctuation_steps);
+  registry->SetCounter(prefix + ".punctuation_eliminated",
+                       punctuation_eliminated);
+  registry->SetCounter(prefix + ".order_violations", order_violations);
+  registry->SetCounter(prefix + ".buffer_order_violations",
+                       buffer_order_violations);
+  registry->SetCounter(prefix + ".fault_events", fault_events);
+  registry->SetCounter(prefix + ".watchdog_ets", watchdog_ets);
+  registry->SetGauge(prefix + ".degraded", degraded ? 1.0 : 0.0);
+  registry->SetCounter(prefix + ".shed_tuples", shed_tuples);
+  registry->SetCounter(prefix + ".quarantined", quarantined);
+  registry->SetCounter(prefix + ".dropped_late", dropped_late);
+  registry->SetCounter(prefix + ".late_absorbed", late_absorbed);
+  registry->SetCounter(prefix + ".max_buffer_hwm", max_buffer_hwm);
+  exec.PublishTo(registry, prefix + ".exec");
 }
 
 }  // namespace dsms

@@ -14,6 +14,8 @@
 
 namespace dsms {
 
+class MetricsRegistry;
+
 /// The four timestamp-management strategies compared in Section 6.
 enum class ScenarioKind {
   kNoEts = 0,       // A: internally timestamped, no punctuation at all
@@ -104,6 +106,15 @@ struct ScenarioConfig {
   /// movements in the same order.
   bool record_trace = false;
 
+  /// When non-empty, the run records an execution trace (operator steps,
+  /// NOS rules, ETS generations, idle-waits, buffer high-water marks,
+  /// fault injections) and writes it to this path as Chrome trace-event
+  /// JSON (load in Perfetto / chrome://tracing). Empty = tracing off; the
+  /// run is then byte-identical to an untraced one.
+  std::string trace_path;
+  /// Ring capacity of the execution tracer (newest events win once full).
+  size_t trace_capacity = 1 << 18;
+
   // --- robustness: fault injection and graceful degradation ---
   // (all defaults keep the run byte-identical to the pre-robustness engine)
 
@@ -172,6 +183,11 @@ struct ScenarioResult {
   ExecStats exec;
 
   std::string ToString() const;
+
+  /// Publishes every field into `registry` as gauges/counters under
+  /// `prefix` (e.g. "scenario.mean_latency_ms"). The struct's fields stay
+  /// the accessors; the registry is the unified snapshot path.
+  void PublishTo(MetricsRegistry* registry, const std::string& prefix) const;
 };
 
 /// Builds the configured graph, wires feeds and heartbeats, runs the

@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "core/tuple.h"
+#include "obs/trace_wiring.h"
 #include "operators/sink.h"
 
 namespace dsms {
@@ -22,6 +23,16 @@ Simulation::Simulation(QueryGraph* graph, Executor* executor,
 }
 
 Simulation::~Simulation() { graph_->ReplaceBufferListeners(nullptr); }
+
+void Simulation::AttachTracer(Tracer* tracer) {
+  DSMS_CHECK(tracer != nullptr);
+  DSMS_CHECK(tracer_ == nullptr);
+  tracer_ = tracer;
+  AnnotateTracks(*graph_, tracer);
+  occupancy_tracer_ =
+      std::make_unique<BufferOccupancyTracer>(tracer, graph_->num_buffers());
+  graph_->AddBufferListener(occupancy_tracer_.get());
+}
 
 Simulation::PayloadFn Simulation::SequencePayload() {
   return [](uint64_t seq, Timestamp now) {
@@ -73,6 +84,11 @@ void Simulation::DeliverArrival(Feed* feed, Timestamp now) {
   }
   int copies = 1;
   if (feed->fault != nullptr) copies = feed->fault->ArrivalMultiplicity(now);
+  if (tracer_ != nullptr && copies != 1) {
+    tracer_->RecordFault(source->id(),
+                         static_cast<uint8_t>(feed->fault->spec().kind),
+                         copies);
+  }
   for (int c = 0; c < copies; ++c) IngestOne(feed, now);
   // The next gap counts from the scheduled cadence; using `now` (delivery)
   // keeps rates honest even when delivery lags.
@@ -104,6 +120,11 @@ void Simulation::IngestOne(Feed* feed, Timestamp now) {
         // the source's monotonicity checks; last_app_ts keeps tracking the
         // honest stream so recovery after the fault window is seamless.
         feed->last_app_ts = app_ts;
+        if (tracer_ != nullptr) {
+          tracer_->RecordFault(source->id(),
+                               static_cast<uint8_t>(feed->fault->spec().kind),
+                               perturbed);
+        }
         source->IngestFaulty(perturbed, std::move(values), now);
         return;
       }
@@ -116,6 +137,11 @@ void Simulation::IngestOne(Feed* feed, Timestamp now) {
       Timestamp perturbed =
           feed->fault->PerturbTimestamp(now, now, /*skew_bound=*/0, &faulty);
       if (faulty) {
+        if (tracer_ != nullptr) {
+          tracer_->RecordFault(source->id(),
+                               static_cast<uint8_t>(feed->fault->spec().kind),
+                               perturbed);
+        }
         source->IngestFaulty(perturbed, std::move(values), now);
         return;
       }
@@ -146,6 +172,10 @@ void Simulation::InjectFault(Source* source, const FaultSpec& spec,
     if (raw->InWindow(now) && source->promised_bound() != kMinTimestamp) {
       Timestamp bound = source->promised_bound();
       if (fs.kind == FaultKind::kRegressingPunct) bound -= fs.magnitude;
+      if (tracer_ != nullptr) {
+        tracer_->RecordFault(source->id(), static_cast<uint8_t>(fs.kind),
+                             bound);
+      }
       source->InjectFaultyPunctuation(bound);
       raw->CountBogusPunctuation();
     }

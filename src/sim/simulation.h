@@ -22,6 +22,9 @@
 
 namespace dsms {
 
+class Tracer;
+class BufferOccupancyTracer;
+
 /// Discrete-event simulation driver: wires arrival processes (standing in
 /// for Stream Mill's input wrappers) and periodic heartbeat injectors
 /// (scenario B, after Johnson et al.) to the Sources of a query graph, and
@@ -70,6 +73,13 @@ class Simulation {
   /// source; later calls on the same source replace the earlier one.
   void InjectFault(Source* source, const FaultSpec& spec,
                    uint64_t run_seed = 0);
+
+  /// Attaches an execution tracer: names its operator/arc tracks after the
+  /// graph, installs a buffer-occupancy listener, and records fault
+  /// injections as they fire. The executor's hooks are configured
+  /// separately (ExecConfig::tracer). `tracer` must outlive the simulation;
+  /// call at most once, before Run.
+  void AttachTracer(Tracer* tracer);
 
   /// Stats of the injector armed for `source` (nullptr when none).
   const FaultStats* fault_stats(const Source* source) const;
@@ -125,6 +135,10 @@ class Simulation {
   EventQueue events_;
   QueueSizeTracker queue_tracker_;
   OrderValidator order_validator_;
+  /// Execution tracer (not owned); null when tracing is off.
+  Tracer* tracer_ = nullptr;
+  /// Buffer high-water listener, present iff tracer_ is attached.
+  std::unique_ptr<BufferOccupancyTracer> occupancy_tracer_;
   std::vector<std::unique_ptr<Feed>> feeds_;
   /// Armed fault injectors, keyed by target source.
   std::map<const Source*, std::unique_ptr<FaultInjector>> faults_;

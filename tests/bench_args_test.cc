@@ -1,0 +1,60 @@
+// bench_util.h argument parsing: strict rejection of unknown flags and —
+// the regression of interest — a value-taking flag with nothing after it
+// must be reported by name (not as "unknown argument") and exit 2.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../bench/bench_util.h"
+
+namespace dsms {
+namespace {
+
+/// Runs ParseArgs on a writable copy of `args` (argv[0] included).
+bench::BenchOptions Parse(std::vector<std::string> args) {
+  args.insert(args.begin(), "bench_test");
+  std::vector<char*> argv;
+  argv.reserve(args.size());
+  for (std::string& arg : args) argv.push_back(arg.data());
+  return bench::ParseArgs(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(BenchArgsTest, ParsesAllFlags) {
+  bench::BenchOptions options =
+      Parse({"--csv", "--quick", "--seed", "7", "--json", "/tmp/x.json",
+             "--trace", "/tmp/x.trace.json"});
+  EXPECT_TRUE(options.csv);
+  EXPECT_TRUE(options.quick);
+  EXPECT_EQ(options.seed, 7u);
+  EXPECT_EQ(options.json_path, "/tmp/x.json");
+  EXPECT_EQ(options.trace_path, "/tmp/x.trace.json");
+}
+
+TEST(BenchArgsTest, DefaultsWhenNoFlags) {
+  bench::BenchOptions options = Parse({});
+  EXPECT_FALSE(options.csv);
+  EXPECT_FALSE(options.quick);
+  EXPECT_EQ(options.seed, 42u);
+  EXPECT_TRUE(options.json_path.empty());
+  EXPECT_TRUE(options.trace_path.empty());
+}
+
+TEST(BenchArgsTest, UnknownFlagExits2) {
+  EXPECT_EXIT(Parse({"--bogus"}), ::testing::ExitedWithCode(2),
+              "unknown argument: --bogus");
+}
+
+TEST(BenchArgsTest, MissingValueIsReportedByFlagName) {
+  // Regression: these used to fall through to "unknown argument: --seed".
+  EXPECT_EXIT(Parse({"--seed"}), ::testing::ExitedWithCode(2),
+              "missing value for --seed");
+  EXPECT_EXIT(Parse({"--json"}), ::testing::ExitedWithCode(2),
+              "missing value for --json");
+  EXPECT_EXIT(Parse({"--quick", "--trace"}), ::testing::ExitedWithCode(2),
+              "missing value for --trace");
+}
+
+}  // namespace
+}  // namespace dsms

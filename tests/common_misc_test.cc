@@ -49,6 +49,21 @@ TEST(TimeTest, Conversions) {
   EXPECT_EQ(kMillisecond, 1000 * kMicrosecond);
 }
 
+TEST(TimeTest, SecondsToDurationRoundsToNearestBothSigns) {
+  EXPECT_EQ(SecondsToDuration(0.0), 0);
+  EXPECT_EQ(SecondsToDuration(0.0000014), 1);   // 1.4us -> 1
+  EXPECT_EQ(SecondsToDuration(0.0000016), 2);   // 1.6us -> 2
+  // Regression: truncation-toward-zero used to round every negative value
+  // toward +inf (-1.6us came out as -1, -0.6us as 0).
+  EXPECT_EQ(SecondsToDuration(-0.0000014), -1);  // -1.4us -> -1
+  EXPECT_EQ(SecondsToDuration(-0.0000016), -2);  // -1.6us -> -2
+  EXPECT_EQ(SecondsToDuration(-0.0000006), -1);  // -0.6us -> -1
+  EXPECT_EQ(SecondsToDuration(-1.5), -1500000);
+  // Ties round away from zero, symmetrically.
+  EXPECT_EQ(SecondsToDuration(0.0000005), 1);
+  EXPECT_EQ(SecondsToDuration(-0.0000005), -1);
+}
+
 TEST(TimeTest, Sentinels) {
   EXPECT_LT(kMinTimestamp, 0);
   EXPECT_GT(kMaxTimestamp, 0);

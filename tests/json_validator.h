@@ -1,0 +1,184 @@
+#ifndef DSMS_TESTS_JSON_VALIDATOR_H_
+#define DSMS_TESTS_JSON_VALIDATOR_H_
+
+// A small validating RFC 8259 JSON parser for tests: every JSON artifact
+// the library can emit (TablePrinter::PrintJson, MetricsRegistry::PrintJson,
+// Tracer::WriteChromeTrace) is round-tripped through ValidateJson so an
+// escaping or number-formatting bug fails a test here before an external
+// consumer (python -m json.tool, Perfetto) chokes on it. Recursive descent,
+// no values materialized; on failure `error` describes the first offence
+// and its byte offset.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "common/strings.h"
+
+namespace dsms::testing {
+
+class JsonValidator {
+ public:
+  explicit JsonValidator(std::string_view text) : text_(text) {}
+
+  bool Validate(std::string* error) {
+    pos_ = 0;
+    error_.clear();
+    bool ok = ParseValue(/*depth=*/0);
+    if (ok) {
+      SkipWhitespace();
+      if (pos_ != text_.size()) ok = Fail("trailing characters");
+    }
+    if (!ok && error != nullptr) {
+      *error = StrFormat("at byte %zu: %s", pos_, error_.c_str());
+    }
+    return ok;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  bool Fail(const char* message) {
+    if (error_.empty()) error_ = message;
+    return false;
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char expected) {
+    if (pos_ >= text_.size() || text_[pos_] != expected) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) {
+      return Fail("bad literal");
+    }
+    pos_ += literal.size();
+    return true;
+  }
+
+  bool ParseValue(int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(depth);
+      case '[':
+        return ParseArray(depth);
+      case '"':
+        return ParseString();
+      case 't':
+        return ConsumeLiteral("true");
+      case 'f':
+        return ConsumeLiteral("false");
+      case 'n':
+        return ConsumeLiteral("null");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  bool ParseObject(int depth) {
+    ++pos_;  // '{'
+    SkipWhitespace();
+    if (Consume('}')) return true;
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Fail("expected object key");
+      }
+      if (!ParseString()) return false;
+      SkipWhitespace();
+      if (!Consume(':')) return Fail("expected ':'");
+      if (!ParseValue(depth + 1)) return false;
+      SkipWhitespace();
+      if (Consume('}')) return true;
+      if (!Consume(',')) return Fail("expected ',' or '}'");
+    }
+  }
+
+  bool ParseArray(int depth) {
+    ++pos_;  // '['
+    SkipWhitespace();
+    if (Consume(']')) return true;
+    while (true) {
+      if (!ParseValue(depth + 1)) return false;
+      SkipWhitespace();
+      if (Consume(']')) return true;
+      if (!Consume(',')) return Fail("expected ',' or ']'");
+    }
+  }
+
+  bool ParseString() {
+    ++pos_;  // '"'
+    while (pos_ < text_.size()) {
+      unsigned char ch = static_cast<unsigned char>(text_[pos_]);
+      if (ch == '"') {
+        ++pos_;
+        return true;
+      }
+      if (ch < 0x20) return Fail("unescaped control character in string");
+      if (ch == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return Fail("dangling escape");
+        char esc = text_[pos_];
+        if (esc == 'u') {
+          for (int i = 1; i <= 4; ++i) {
+            if (pos_ + i >= text_.size() || !IsHexDigit(text_[pos_ + i])) {
+              return Fail("bad \\u escape");
+            }
+          }
+          pos_ += 4;
+        } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
+                   esc != 'f' && esc != 'n' && esc != 'r' && esc != 't') {
+          return Fail("bad escape character");
+        }
+      }
+      ++pos_;
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber() {
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() && IsNumberChar(text_[pos_])) ++pos_;
+    if (!IsStrictJsonNumber(text_.substr(start, pos_ - start))) {
+      pos_ = start;
+      return Fail("invalid number");
+    }
+    return true;
+  }
+
+  static bool IsHexDigit(char ch) {
+    return (ch >= '0' && ch <= '9') || (ch >= 'a' && ch <= 'f') ||
+           (ch >= 'A' && ch <= 'F');
+  }
+
+  static bool IsNumberChar(char ch) {
+    return (ch >= '0' && ch <= '9') || ch == '.' || ch == '+' || ch == '-' ||
+           ch == 'e' || ch == 'E';
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+/// True iff `text` is one valid RFC 8259 JSON document.
+inline bool ValidateJson(std::string_view text, std::string* error = nullptr) {
+  return JsonValidator(text).Validate(error);
+}
+
+}  // namespace dsms::testing
+
+#endif  // DSMS_TESTS_JSON_VALIDATOR_H_
