@@ -8,18 +8,15 @@
 #include <string>
 #include <vector>
 
+#include "common/flag_help.h"
 #include "common/time.h"
 #include "metrics/table_printer.h"
 #include "sim/scenario.h"
 
 namespace dsms::bench {
 
-/// Options common to every figure/table harness:
-///   --csv        emit CSV instead of an aligned table (for plotting)
-///   --quick      1/5 horizon (CI-friendly); headline numbers are noisier
-///   --seed N     override the workload seed
-///   --json PATH  also write the series as JSON records to PATH
-///   --trace PATH write a Chrome trace of one representative scenario
+/// Options common to every figure/table harness (see BenchFlags below, the
+/// single source of truth that --help renders):
 struct BenchOptions {
   bool csv = false;
   bool quick = false;
@@ -28,9 +25,25 @@ struct BenchOptions {
   std::string trace_path;  // empty: no execution trace
 };
 
+/// The flag table every bench harness shares; --help renders it through
+/// common/flag_help.h.
+inline std::vector<FlagHelp> BenchFlags() {
+  return {
+      {"--csv", "", "emit CSV instead of an aligned table (for plotting)"},
+      {"--quick", "",
+       "1/5 horizon (CI-friendly); headline numbers are noisier"},
+      {"--seed", "N", "override the workload seed"},
+      {"--json", "PATH", "also write the series as JSON records to PATH"},
+      {"--trace", "PATH",
+       "write a Chrome trace of one representative scenario"},
+      {"--help", "", "show this message and exit"},
+  };
+}
+
 /// Strict: an unrecognized argument (or a missing option value) terminates
 /// the process with status 2 instead of being silently ignored, so a typo'd
-/// sweep flag cannot produce a full run of wrong numbers.
+/// sweep flag cannot produce a full run of wrong numbers. --help prints the
+/// shared flag listing and exits 0.
 inline BenchOptions ParseArgs(int argc, char** argv) {
   BenchOptions options;
   // A value-taking flag with nothing after it is reported by name — not as
@@ -54,6 +67,11 @@ inline BenchOptions ParseArgs(int argc, char** argv) {
       options.json_path = value_of(&i);
     } else if (std::strcmp(argv[i], "--trace") == 0) {
       options.trace_path = value_of(&i);
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      PrintFlagHelp(stdout, argv[0],
+                    "figure/table reproduction harness (see EXPERIMENTS.md)",
+                    BenchFlags());
+      std::exit(0);
     } else {
       std::fprintf(stderr,
                    "unknown argument: %s\n"

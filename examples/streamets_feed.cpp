@@ -1,0 +1,190 @@
+// streamets_feed — deterministic network load generator: expand an
+// experiment file's feed/heartbeat statements into the exact frame sequence
+// a Simulation would deliver (src/net/feed_schedule.h) and replay it into a
+// running streamets_serve over TCP.
+//
+//   $ ./streamets_feed --connect 127.0.0.1:7687 --duration 5s query.plan
+//   $ ./streamets_feed --connect 127.0.0.1:7687 --pace 1.0
+//         --extra-skew 50ms query.plan        # misbehaving producer
+//
+// All randomness is seeded inside the experiment file, so the same file and
+// flags always produce the identical byte stream.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/flag_help.h"
+#include "common/strings.h"
+#include "net/feed_client.h"
+#include "net/feed_schedule.h"
+#include "sim/experiment_spec.h"
+
+namespace {
+
+const std::vector<dsms::FlagHelp> kFlags = {
+    {"--connect", "HOST:PORT", "server address (required)"},
+    {"--duration", "DUR",
+     "schedule horizon, e.g. 5s (overrides the file's run horizon)"},
+    {"--rate-scale", "X", "multiply every feed's rate by X"},
+    {"--connections", "N",
+     "spread frames round-robin over N connections (default 1; >1 gives "
+     "up exact replay ordering)"},
+    {"--pace", "X",
+     "wall seconds per virtual second of schedule (default 0 = blast)"},
+    {"--extra-skew", "DUR",
+     "subtract DUR from every external timestamp to breach the skew "
+     "contract on purpose"},
+    {"--disconnect-after", "N", "drop the connection after N frames"},
+    {"--strip-hints", "",
+     "omit arrival hints (8 bytes/frame; wall-clock servers ignore them)"},
+    {"--help", "", "show this message and exit"},
+};
+
+bool SplitHostPort(const std::string& addr, std::string* host,
+                   uint16_t* port) {
+  size_t colon = addr.rfind(':');
+  if (colon == std::string::npos || colon == 0) return false;
+  *host = addr.substr(0, colon);
+  char* end = nullptr;
+  long p = std::strtol(addr.c_str() + colon + 1, &end, 10);
+  if (end == nullptr || *end != '\0' || p <= 0 || p > 65535) return false;
+  *port = static_cast<uint16_t>(p);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dsms;
+
+  std::string input;
+  std::string connect;
+  Duration duration = 0;
+  double rate_scale = 1.0;
+  FeedClientOptions options;
+
+  auto value_of = [&](int* i) -> const char* {
+    if (*i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", argv[*i]);
+      std::exit(2);
+    }
+    return argv[++*i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--connect") == 0) {
+      connect = value_of(&i);
+    } else if (std::strcmp(argv[i], "--duration") == 0) {
+      if (!ParseDuration(value_of(&i), &duration).ok() || duration <= 0) {
+        std::fprintf(stderr, "bad --duration value\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--rate-scale") == 0) {
+      rate_scale = std::strtod(value_of(&i), nullptr);
+      if (rate_scale <= 0.0) {
+        std::fprintf(stderr, "bad --rate-scale value\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--connections") == 0) {
+      options.connections =
+          static_cast<int>(std::strtol(value_of(&i), nullptr, 10));
+      if (options.connections < 1) {
+        std::fprintf(stderr, "bad --connections value\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--pace") == 0) {
+      options.pace = std::strtod(value_of(&i), nullptr);
+      if (options.pace < 0.0) {
+        std::fprintf(stderr, "bad --pace value\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--extra-skew") == 0) {
+      if (!ParseDuration(value_of(&i), &options.extra_skew).ok() ||
+          options.extra_skew < 0) {
+        std::fprintf(stderr, "bad --extra-skew value\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--disconnect-after") == 0) {
+      options.disconnect_after = static_cast<uint64_t>(
+          std::strtoull(value_of(&i), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--strip-hints") == 0) {
+      options.strip_hints = true;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      PrintFlagHelp(stdout, argv[0],
+                    "replay an experiment file's feeds into a "
+                    "streamets_serve instance over TCP",
+                    kFlags);
+      return 0;
+    } else if (argv[i][0] != '-' && input.empty()) {
+      input = argv[i];
+    } else {
+      std::fprintf(stderr, "unknown argument: %s (try --help)\n", argv[i]);
+      return 2;
+    }
+  }
+  if (input.empty() || connect.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s --connect HOST:PORT [flags] <experiment-file>; "
+                 "try --help\n",
+                 argv[0]);
+    return 2;
+  }
+  if (!SplitHostPort(connect, &options.host, &options.port)) {
+    std::fprintf(stderr, "bad --connect address '%s'\n", connect.c_str());
+    return 2;
+  }
+
+  std::ifstream file(input);
+  if (!file.is_open()) {
+    std::fprintf(stderr, "cannot open %s\n", input.c_str());
+    return 1;
+  }
+  std::ostringstream contents;
+  contents << file.rdbuf();
+
+  Result<Experiment> experiment = ParseExperiment(contents.str());
+  if (!experiment.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 experiment.status().ToString().c_str());
+    return 1;
+  }
+  if (rate_scale != 1.0) {
+    for (FeedSpec& feed : experiment->feeds) {
+      feed.rate *= rate_scale;
+      feed.burst_rate *= rate_scale;
+      feed.idle_rate *= rate_scale;
+    }
+  }
+  Timestamp horizon = duration > 0 ? duration : experiment->run.horizon;
+
+  Result<std::vector<ScheduledFrame>> schedule =
+      BuildFeedSchedule(*experiment, horizon);
+  if (!schedule.ok()) {
+    std::fprintf(stderr, "schedule error: %s\n",
+                 schedule.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("schedule: %zu frames over %.3f s (virtual)\n",
+              schedule->size(), DurationToSeconds(horizon));
+
+  FeedClient client(options);
+  Status status = client.Connect();
+  if (!status.ok()) {
+    std::fprintf(stderr, "connect error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  Result<uint64_t> sent = client.Send(*schedule);
+  if (!sent.ok()) {
+    std::fprintf(stderr, "send error: %s\n",
+                 sent.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("sent %llu frames (%llu bytes) to %s\n",
+              static_cast<unsigned long long>(*sent),
+              static_cast<unsigned long long>(client.bytes_sent()),
+              connect.c_str());
+  return 0;
+}

@@ -30,11 +30,20 @@
 #include <sstream>
 #include <string>
 
+#include "common/flag_help.h"
 #include "common/strings.h"
 #include "obs/metrics_registry.h"
 #include "sim/experiment_spec.h"
 
 namespace {
+
+const std::vector<dsms::FlagHelp> kFlags = {
+    {"--demo", "", "run a built-in demo experiment"},
+    {"--trace", "PATH",
+     "write a Chrome trace of the run (overrides the file's trace line)"},
+    {"--metrics", "PATH", "write the metrics snapshot as one JSON object"},
+    {"--help", "", "show this message and exit"},
+};
 
 constexpr char kDemo[] = R"(
 stream FAST ts=internal
@@ -64,6 +73,12 @@ int main(int argc, char** argv) {
       trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
       metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      PrintFlagHelp(stdout, argv[0],
+                    "execute a self-contained experiment file "
+                    "(plan + feed/heartbeat/run statements)",
+                    kFlags);
+      return 0;
     } else if (argv[i][0] != '-' && input.empty()) {
       input = argv[i];
     } else {

@@ -1,0 +1,46 @@
+#ifndef DSMS_COMMON_FLAG_HELP_H_
+#define DSMS_COMMON_FLAG_HELP_H_
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+namespace dsms {
+
+/// One command-line flag for the shared --help renderer: the flag itself,
+/// its value placeholder ("" for boolean flags), and a one-line description.
+struct FlagHelp {
+  const char* flag;
+  const char* value;
+  const char* description;
+};
+
+/// Prints a uniform usage banner: one line of summary, then one aligned row
+/// per flag. Every binary that hand-rolls argument parsing (the bench
+/// harnesses, streamets_run, streamets_serve, streamets_feed) renders its
+/// --help through this so the flag listings stay consistent.
+inline void PrintFlagHelp(std::FILE* out, const char* program,
+                          const char* summary,
+                          const std::vector<FlagHelp>& flags) {
+  std::fprintf(out, "usage: %s [flags]\n%s\n\nflags:\n", program, summary);
+  size_t width = 0;
+  for (const FlagHelp& f : flags) {
+    size_t w = std::strlen(f.flag);
+    if (f.value[0] != '\0') w += 1 + std::strlen(f.value);
+    if (w > width) width = w;
+  }
+  for (const FlagHelp& f : flags) {
+    char left[64];
+    if (f.value[0] != '\0') {
+      std::snprintf(left, sizeof(left), "%s %s", f.flag, f.value);
+    } else {
+      std::snprintf(left, sizeof(left), "%s", f.flag);
+    }
+    std::fprintf(out, "  %-*s  %s\n", static_cast<int>(width), left,
+                 f.description);
+  }
+}
+
+}  // namespace dsms
+
+#endif  // DSMS_COMMON_FLAG_HELP_H_

@@ -17,6 +17,7 @@ enum class StatusCode {
   kOutOfRange = 5,
   kUnimplemented = 6,
   kInternal = 7,
+  kDeadlineExceeded = 8,
 };
 
 /// Returns a stable human-readable name for `code` ("OK", "INVALID_ARGUMENT",
@@ -68,6 +69,7 @@ Status FailedPreconditionError(std::string message);
 Status OutOfRangeError(std::string message);
 Status UnimplementedError(std::string message);
 Status InternalError(std::string message);
+Status DeadlineExceededError(std::string message);
 
 /// A value-or-error holder, a minimal analogue of absl::StatusOr<T>.
 /// Accessing `value()` on an error Result aborts the process (see

@@ -247,7 +247,29 @@ Status PlanAssembler::AddStatement(const Statement& s) {
     }
     Duration skew = 0;
     DSMS_RETURN_IF_ERROR(GetDuration(s, "skew", 0, false, &skew));
+    if (skew < 0) {
+      return InvalidArgumentError(
+          StrFormat("line %d: skew must be >= 0", s.line));
+    }
+    // Validate here, not in Source::set_timestamp_granularity: a bad value
+    // in a config file is the user's mistake (a parse error), not a
+    // programming error, so it must surface as a Status — never the
+    // DSMS_CHECK abort the setter keeps for real API misuse.
+    Duration granularity = 1;
+    DSMS_RETURN_IF_ERROR(
+        GetDuration(s, "granularity", 1, false, &granularity));
+    if (granularity < 1) {
+      return InvalidArgumentError(StrFormat(
+          "line %d: granularity must be >= 1 microsecond (got %lld)",
+          s.line, static_cast<long long>(granularity)));
+    }
+    if (kind != TimestampKind::kInternal && granularity != 1) {
+      return InvalidArgumentError(StrFormat(
+          "line %d: granularity only applies to ts=internal streams",
+          s.line));
+    }
     Source* source = builder_.AddSource(s.name, kind, skew);
+    source->set_timestamp_granularity(granularity);
     auto schema_arg = s.args.find("schema");
     if (schema_arg != s.args.end()) {
       std::vector<Field> fields;

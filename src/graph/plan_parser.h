@@ -27,6 +27,8 @@ struct ParsedPlan {
 /// `key=value` pairs; `in=` takes a comma-separated list of producers):
 ///
 ///   stream    NAME [ts=internal|external|latent] [skew=DUR]
+///                  [granularity=DUR]        (internal stamp quantization,
+///                                            >= 1us; ts=internal only)
 ///                  [schema=name:type,name:type,...]
 ///                  (types: int64,double,string,bool; declaring a schema
 ///                   turns on type checking for the downstream pipeline)

@@ -1,0 +1,144 @@
+#include "net/feed_client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace dsms {
+
+FeedClient::FeedClient(FeedClientOptions options)
+    : options_(std::move(options)) {
+  if (options_.connections < 1) options_.connections = 1;
+}
+
+FeedClient::~FeedClient() { Close(); }
+
+Status FeedClient::Connect() {
+  if (!fds_.empty()) return FailedPreconditionError("already connected");
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    return InvalidArgumentError(
+        StrFormat("bad host '%s'", options_.host.c_str()));
+  }
+  for (int i = 0; i < options_.connections; ++i) {
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      Close();
+      return InternalError(StrFormat("socket: %s", strerror(errno)));
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+      ::close(fd);
+      Close();
+      return InternalError(StrFormat("connect %s:%u: %s",
+                                     options_.host.c_str(), options_.port,
+                                     strerror(errno)));
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    fds_.push_back(fd);
+  }
+  return OkStatus();
+}
+
+void FeedClient::Close() {
+  for (int fd : fds_) {
+    if (fd >= 0) ::close(fd);
+  }
+  fds_.clear();
+}
+
+Status FeedClient::WriteAll(int fd, const char* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    ssize_t n = ::send(fd, data + sent, size - sent, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return InternalError(StrFormat("send: %s", strerror(errno)));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  bytes_sent_ += size;
+  return OkStatus();
+}
+
+Status FeedClient::SendBytes(const std::string& bytes, int index) {
+  if (index < 0 || index >= static_cast<int>(fds_.size())) {
+    return InvalidArgumentError("no such connection");
+  }
+  return WriteAll(fds_[index], bytes.data(), bytes.size());
+}
+
+Status FeedClient::SendFrame(const WireFrame& frame, int index) {
+  std::string encoded;
+  DSMS_RETURN_IF_ERROR(EncodeFrame(frame, &encoded));
+  DSMS_RETURN_IF_ERROR(SendBytes(encoded, index));
+  ++frames_sent_;
+  return OkStatus();
+}
+
+Result<uint64_t> FeedClient::Send(
+    const std::vector<ScheduledFrame>& schedule) {
+  if (fds_.empty()) return FailedPreconditionError("call Connect() first");
+  const auto wall_start = std::chrono::steady_clock::now();
+  uint64_t sent = 0;
+  std::string batch;
+  int target = 0;
+  for (const ScheduledFrame& entry : schedule) {
+    if (options_.disconnect_after > 0 &&
+        sent >= options_.disconnect_after) {
+      break;
+    }
+    WireFrame frame = entry.frame;
+    if (options_.extra_skew > 0 && frame.type == WireFrame::Type::kData &&
+        frame.timestamp.has_value()) {
+      *frame.timestamp -= options_.extra_skew;
+    }
+    if (options_.strip_hints) frame.arrival_hint.reset();
+    if (options_.pace > 0.0) {
+      // Replay on the wall: frame at virtual time t goes out at
+      // wall_start + t * pace.
+      auto due = wall_start + std::chrono::microseconds(static_cast<int64_t>(
+                                  static_cast<double>(entry.time) *
+                                  options_.pace));
+      std::this_thread::sleep_until(due);
+      DSMS_RETURN_IF_ERROR(SendFrame(frame, target));
+    } else {
+      // Unpaced: batch encodes and flush in large writes.
+      DSMS_RETURN_IF_ERROR(EncodeFrame(frame, &batch));
+      ++frames_sent_;
+      if (batch.size() >= 64 * 1024) {
+        DSMS_RETURN_IF_ERROR(WriteAll(fds_[target], batch.data(),
+                                      batch.size()));
+        batch.clear();
+        target = (target + 1) % static_cast<int>(fds_.size());
+      }
+    }
+    ++sent;
+    if (options_.pace > 0.0) {
+      target = (target + 1) % static_cast<int>(fds_.size());
+    }
+  }
+  if (!batch.empty()) {
+    DSMS_RETURN_IF_ERROR(WriteAll(fds_[target], batch.data(), batch.size()));
+  }
+  if (options_.disconnect_after > 0 && sent >= options_.disconnect_after) {
+    Close();  // Abrupt: the server sees EOF with no warning.
+  }
+  return sent;
+}
+
+}  // namespace dsms

@@ -1,0 +1,82 @@
+#ifndef DSMS_NET_FEED_CLIENT_H_
+#define DSMS_NET_FEED_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+#include "net/feed_schedule.h"
+#include "net/wire_format.h"
+
+namespace dsms {
+
+struct FeedClientOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  /// Parallel connections; schedule frames are dealt round-robin across
+  /// them. More than one trades the single-socket global ordering (and with
+  /// it exact Simulation equivalence) for a concurrency workout.
+  int connections = 1;
+  /// Real-time pacing: wall microseconds spent per virtual microsecond of
+  /// schedule time. 1.0 replays in real time, 0 (default) blasts the whole
+  /// schedule as fast as TCP accepts it.
+  double pace = 0.0;
+  /// Deliberate extra lateness subtracted from every external timestamp —
+  /// pushes observed skew past the declared δ to exercise the server's
+  /// skew-violation path. 0 keeps the producer honest.
+  Duration extra_skew = 0;
+  /// Disconnect abruptly after this many frames (0 = send everything). The
+  /// kill-the-feeder tests use this to make a source go silent mid-run.
+  uint64_t disconnect_after = 0;
+  /// Strip arrival hints before sending (wall-clock servers ignore them
+  /// anyway; stripping saves 8 bytes per frame).
+  bool strip_hints = false;
+};
+
+/// Deterministic TCP load generator: replays a BuildFeedSchedule frame list
+/// into an IngestServer. All randomness lives in the schedule (seeded
+/// arrival processes and jitter RNGs), so a given experiment file + options
+/// always produces the identical byte stream.
+class FeedClient {
+ public:
+  explicit FeedClient(FeedClientOptions options);
+  ~FeedClient();
+
+  FeedClient(const FeedClient&) = delete;
+  FeedClient& operator=(const FeedClient&) = delete;
+
+  /// Opens options.connections blocking TCP connections.
+  Status Connect();
+
+  /// Sends the schedule in order (round-robin across connections), applying
+  /// pacing and the misbehaviour knobs. Returns the number of frames
+  /// actually sent (short when disconnect_after cuts the run).
+  Result<uint64_t> Send(const std::vector<ScheduledFrame>& schedule);
+
+  /// Encodes and sends one frame on connection `index` (for tests that
+  /// hand-craft traffic).
+  Status SendFrame(const WireFrame& frame, int index = 0);
+
+  /// Sends raw bytes on connection `index` — the hostile-input path for
+  /// tests (garbage, truncated frames, oversized prefixes).
+  Status SendBytes(const std::string& bytes, int index = 0);
+
+  void Close();
+
+  uint64_t frames_sent() const { return frames_sent_; }
+  uint64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  Status WriteAll(int fd, const char* data, size_t size);
+
+  FeedClientOptions options_;
+  std::vector<int> fds_;
+  uint64_t frames_sent_ = 0;
+  uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace dsms
+
+#endif  // DSMS_NET_FEED_CLIENT_H_

@@ -1,0 +1,159 @@
+#include "net/feed_schedule.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "common/random.h"
+#include "common/strings.h"
+#include "core/tuple.h"
+#include "operators/source.h"
+#include "sim/arrival_process.h"
+#include "sim/event_queue.h"
+
+namespace dsms {
+namespace {
+
+/// Mirror of Simulation::Feed, minus the executor coupling: everything that
+/// determines the frame sequence, nothing that depends on engine load.
+struct FeedState {
+  const FeedSpec* spec = nullptr;
+  Source* source = nullptr;
+  std::unique_ptr<ArrivalProcess> process;
+  Simulation::PayloadFn payload;
+  Pcg32 jitter_rng;
+  uint64_t seq = 0;
+  Timestamp last_app_ts = kMinTimestamp;
+};
+
+}  // namespace
+
+Result<std::vector<ScheduledFrame>> BuildFeedSchedule(
+    const Experiment& experiment, Timestamp horizon) {
+  if (!experiment.faults.empty()) {
+    return InvalidArgumentError(
+        "fault statements have no network replay; drive misbehaviour with "
+        "the feeder's own knobs instead");
+  }
+
+  std::vector<std::unique_ptr<FeedState>> feeds;
+  // The source's promised bound evolves as the replayed ingests and
+  // heartbeats land; external feeds clamp their app timestamps against it,
+  // exactly like Source::IngestExternal's caller in the simulation.
+  std::map<const Source*, Timestamp> promised;
+
+  EventQueue events;
+  std::vector<ScheduledFrame> out;
+
+  auto emit = [&out](Timestamp time, WireFrame frame) {
+    frame.arrival_hint = time;
+    out.push_back(ScheduledFrame{time, std::move(frame)});
+  };
+
+  // Self-rescheduling arrival events, one chain per feed — the same shape
+  // (and therefore the same EventQueue tie-break order) as Simulation's
+  // AddFeed/DeliverArrival.
+  std::vector<std::unique_ptr<std::function<void(Timestamp)>>> ticks;
+
+  auto schedule_arrival = [&events](FeedState* feed, Timestamp after,
+                                    std::function<void(Timestamp)>* tick) {
+    Duration gap = feed->process->NextGap();
+    if (gap < 0) return;  // Trace exhausted.
+    events.Schedule(after + gap, *tick);
+  };
+
+  for (const FeedSpec& spec : experiment.feeds) {
+    auto* source =
+        dynamic_cast<Source*>(experiment.plan.Find(spec.source));
+    if (source == nullptr) {
+      return InvalidArgumentError(StrFormat(
+          "feed '%s' does not name a stream", spec.source.c_str()));
+    }
+    auto feed = std::make_unique<FeedState>();
+    feed->spec = &spec;
+    feed->source = source;
+    Result<std::unique_ptr<ArrivalProcess>> process =
+        MakeArrivalProcess(spec);
+    if (!process.ok()) return process.status();
+    feed->process = std::move(*process);
+    feed->payload = MakeFeedPayload(spec);
+    feed->jitter_rng = Pcg32(FeedJitterSeed(spec), /*stream=*/0x177e7);
+    FeedState* raw = feed.get();
+    feeds.push_back(std::move(feed));
+
+    auto* tick = ticks
+                     .emplace_back(std::make_unique<
+                                   std::function<void(Timestamp)>>())
+                     .get();
+    *tick = [raw, tick, &emit, &promised, &schedule_arrival](Timestamp now) {
+      Source* source = raw->source;
+      WireFrame frame;
+      frame.type = WireFrame::Type::kData;
+      frame.stream_id = source->stream_id();
+      frame.values = raw->payload(raw->seq, now);
+      ++raw->seq;
+      if (source->timestamp_kind() == TimestampKind::kExternal) {
+        Duration skew = source->skew_bound();
+        Duration jitter =
+            skew > 0 ? raw->jitter_rng.NextInt(0, skew - 1) : 0;
+        Timestamp app_ts = now - jitter;
+        app_ts = std::max(app_ts, raw->last_app_ts);
+        auto it = promised.find(source);
+        if (it != promised.end()) app_ts = std::max(app_ts, it->second);
+        raw->last_app_ts = app_ts;
+        promised[source] = std::max(
+            promised.count(source) ? promised[source] : kMinTimestamp,
+            app_ts);
+        frame.timestamp = app_ts;
+      }
+      emit(now, std::move(frame));
+      schedule_arrival(raw, now, tick);
+    };
+    schedule_arrival(raw, /*after=*/0, tick);
+  }
+
+  for (const HeartbeatSpec& heartbeat : experiment.heartbeats) {
+    auto* source =
+        dynamic_cast<Source*>(experiment.plan.Find(heartbeat.source));
+    if (source == nullptr) {
+      return InvalidArgumentError(StrFormat(
+          "heartbeat '%s' does not name a stream",
+          heartbeat.source.c_str()));
+    }
+    Duration period = heartbeat.period;
+    auto* tick = ticks
+                     .emplace_back(std::make_unique<
+                                   std::function<void(Timestamp)>>())
+                     .get();
+    *tick = [source, period, tick, &emit, &promised,
+             &events](Timestamp now) {
+      Timestamp bound = source->timestamp_kind() == TimestampKind::kExternal
+                            ? now - source->skew_bound()
+                            : now;
+      WireFrame frame;
+      frame.type = WireFrame::Type::kPunctuation;
+      frame.stream_id = source->stream_id();
+      frame.timestamp = bound;
+      emit(now, std::move(frame));
+      // InjectPunctuation never lowers the promise; track the clamp so a
+      // later external data frame cannot regress below this bound.
+      Timestamp prior =
+          promised.count(source) ? promised[source] : kMinTimestamp;
+      promised[source] = std::max(prior, bound);
+      events.Schedule(now + period, *tick);
+    };
+    events.Schedule(heartbeat.phase + period, *tick);
+  }
+
+  // Drain the calendar in delivery order. Simulation::Run never fires an
+  // event scheduled at or past the horizon, so neither do we.
+  while (!events.empty()) {
+    Timestamp next = events.NextTime();
+    if (next >= horizon) break;
+    events.FireDue(next);
+  }
+  return out;
+}
+
+}  // namespace dsms

@@ -1,0 +1,47 @@
+#ifndef DSMS_NET_FEED_SCHEDULE_H_
+#define DSMS_NET_FEED_SCHEDULE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+#include "net/wire_format.h"
+#include "sim/experiment_spec.h"
+
+namespace dsms {
+
+/// One frame of a precomputed load schedule: `time` is the virtual instant
+/// the discrete-event Simulation would deliver this arrival, and the frame
+/// already carries that instant as its arrival hint.
+struct ScheduledFrame {
+  Timestamp time = 0;
+  WireFrame frame;
+};
+
+/// Expands an experiment's `feed` and `heartbeat` statements into the exact
+/// merged frame sequence a Simulation of the same spec would deliver on an
+/// unloaded engine: same arrival processes, same payloads, same external-
+/// timestamp jitter RNG (FeedJitterSeed), same monotone clamping, and the
+/// same FIFO tie-break among simultaneous events (the scheduling replays
+/// through sim/EventQueue itself).
+///
+/// This is what makes the loopback equivalence test meaningful: the feeder
+/// sends these frames over TCP, the server ingests them in frame-driven
+/// clock mode, and the sink output must match a Simulation run of the same
+/// file bit for bit.
+///
+/// The replay assumes deliveries are never late (events fire at their
+/// scheduled time). Under heavy load a real Simulation stamps late-delivered
+/// external tuples differently, so equivalence experiments must stay at low
+/// utilization — which the tests do by construction.
+///
+/// `fault` statements have no network analogue here and are rejected; use
+/// the feeder's own perturbation knobs (extra skew, disconnect) to misbehave
+/// on purpose. Only events strictly before `horizon` are emitted, matching
+/// Simulation::Run's end-of-horizon cutoff.
+Result<std::vector<ScheduledFrame>> BuildFeedSchedule(
+    const Experiment& experiment, Timestamp horizon);
+
+}  // namespace dsms
+
+#endif  // DSMS_NET_FEED_SCHEDULE_H_

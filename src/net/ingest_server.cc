@@ -1,0 +1,465 @@
+#include "net/ingest_server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "common/strings.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace_wiring.h"
+#include "obs/tracer.h"
+
+namespace dsms {
+namespace {
+
+Status SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return InternalError(
+        StrFormat("fcntl(O_NONBLOCK): %s", strerror(errno)));
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+IngestServer::IngestServer(QueryGraph* graph, Executor* executor,
+                           VirtualClock* clock, IngestServerOptions options)
+    : graph_(graph),
+      executor_(executor),
+      clock_(clock),
+      options_(std::move(options)),
+      ingest_clock_(clock, options_.clock_mode) {
+  DSMS_CHECK(graph != nullptr);
+  DSMS_CHECK(executor != nullptr);
+  DSMS_CHECK(clock != nullptr);
+  graph_->ReplaceBufferListeners(&queue_tracker_);
+  graph_->AddBufferListener(&order_validator_);
+}
+
+IngestServer::~IngestServer() {
+  for (auto& conn : connections_) {
+    if (conn->fd >= 0) ::close(conn->fd);
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  graph_->ReplaceBufferListeners(nullptr);
+}
+
+void IngestServer::AttachTracer(Tracer* tracer) {
+  DSMS_CHECK(tracer != nullptr);
+  DSMS_CHECK(tracer_ == nullptr);
+  tracer_ = tracer;
+  AnnotateTracks(*graph_, tracer);
+  occupancy_tracer_ =
+      std::make_unique<BufferOccupancyTracer>(tracer, graph_->num_buffers());
+  graph_->AddBufferListener(occupancy_tracer_.get());
+}
+
+Status IngestServer::Start() {
+  if (listen_fd_ >= 0) return FailedPreconditionError("already started");
+  if (graph_ == nullptr || !graph_->validated()) {
+    return FailedPreconditionError("server needs a validated plan");
+  }
+  for (Source* source : graph_->sources()) {
+    auto [it, inserted] =
+        sources_by_stream_.emplace(source->stream_id(), source);
+    if (!inserted) {
+      return InvalidArgumentError(StrFormat(
+          "streams '%s' and '%s' share wire stream id %d",
+          it->second->name().c_str(), source->name().c_str(),
+          source->stream_id()));
+    }
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return InternalError(StrFormat("socket: %s", strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    return InvalidArgumentError(
+        StrFormat("bad listen address '%s'", options_.host.c_str()));
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return InternalError(StrFormat("bind %s:%u: %s", options_.host.c_str(),
+                                   options_.port, strerror(errno)));
+  }
+  if (::listen(listen_fd_, SOMAXCONN) < 0) {
+    return InternalError(StrFormat("listen: %s", strerror(errno)));
+  }
+  DSMS_RETURN_IF_ERROR(SetNonBlocking(listen_fd_));
+
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) <
+      0) {
+    return InternalError(StrFormat("getsockname: %s", strerror(errno)));
+  }
+  port_ = ntohs(addr.sin_port);
+  return OkStatus();
+}
+
+void IngestServer::AcceptPending() {
+  for (;;) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN, or a transient error: retry next round.
+    if (!SetNonBlocking(fd).ok()) {
+      ::close(fd);
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    conn->id = next_connection_id_++;
+    conn->decoder = FrameDecoder(options_.max_frame_bytes);
+    conn->report.id = conn->id;
+    conn->report.open = true;
+    ++connections_accepted_;
+    connections_.push_back(std::move(conn));
+  }
+}
+
+void IngestServer::CloseConnection(Connection* conn) {
+  if (!conn->open) return;
+  conn->open = false;
+  conn->report.open = false;
+  if (conn->fd >= 0) {
+    ::close(conn->fd);
+    conn->fd = -1;
+  }
+}
+
+void IngestServer::ReadFrom(Connection* conn) {
+  char buf[64 * 1024];
+  for (;;) {
+    ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn->report.bytes += static_cast<uint64_t>(n);
+      bytes_received_ += static_cast<uint64_t>(n);
+      conn->decoder.Feed(buf, static_cast<size_t>(n));
+      if (static_cast<size_t>(n) < sizeof(buf)) break;
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    // EOF or hard error: whatever was decoded still gets delivered; the
+    // socket is done.
+    CloseConnection(conn);
+    break;
+  }
+  // Carve out complete frames now so NextPendingTime sees their hints.
+  for (;;) {
+    WireFrame frame;
+    Result<bool> got = conn->decoder.Next(&frame);
+    if (!got.ok()) {
+      ++conn->report.decode_errors;
+      ++decode_errors_;
+      DSMS_LOG(Warning) << "connection " << conn->id
+                        << " decode error: " << got.status().message();
+      CloseConnection(conn);
+      break;
+    }
+    if (!*got) break;
+    conn->pending.push_back(std::move(frame));
+  }
+}
+
+bool IngestServer::IngestFrame(Connection* conn, WireFrame frame,
+                               Timestamp now) {
+  auto it = sources_by_stream_.find(frame.stream_id);
+  if (it == sources_by_stream_.end()) {
+    ++conn->report.protocol_errors;
+    DSMS_LOG(Warning) << "connection " << conn->id
+                      << " addressed unknown stream " << frame.stream_id;
+    CloseConnection(conn);
+    return false;
+  }
+  Source* source = it->second;
+  const uint64_t shed_before = source->output()->shed_tuples();
+
+  if (frame.type == WireFrame::Type::kPunctuation) {
+    // The decoder guarantees punctuation frames carry a timestamp.
+    source->InjectPunctuation(*frame.timestamp);
+    ++conn->report.punct_frames;
+  } else {
+    switch (source->timestamp_kind()) {
+      case TimestampKind::kExternal: {
+        if (!frame.timestamp.has_value()) {
+          ++conn->report.protocol_errors;
+          DSMS_LOG(Warning)
+              << "connection " << conn->id << " sent an unstamped frame to "
+              << "external stream '" << source->name() << "'";
+          CloseConnection(conn);
+          return false;
+        }
+        Timestamp app_ts = *frame.timestamp;
+        bool violation =
+            conn->skew.Observe(app_ts, now, source->skew_bound());
+        if (violation) ++conn->report.skew_violations;
+        conn->report.max_skew =
+            std::max(conn->report.max_skew, conn->skew.max_skew());
+        // Order regressions (below the stream's promise) and skew-contract
+        // breaches both go down the faulty path: network producers must
+        // never be able to abort the engine, so the arc's ViolationPolicy —
+        // count, drop, or quarantine — decides, exactly as for simulated
+        // fault injection.
+        bool regresses = source->promised_bound() != kMinTimestamp &&
+                         app_ts < source->promised_bound();
+        if (violation || regresses) {
+          source->IngestFaulty(app_ts, std::move(frame.values), now);
+        } else {
+          source->IngestExternal(app_ts, std::move(frame.values), now);
+        }
+        break;
+      }
+      case TimestampKind::kInternal: {
+        // Arrival stamping with the source's granularity. Quantization can
+        // step behind a finer-grained promise (e.g. a heartbeat bound
+        // between grid points); that is producer misbehaviour from the
+        // buffer's viewpoint, so it too takes the faulty path instead of
+        // tripping the source's monotonicity check.
+        Duration g = source->timestamp_granularity();
+        Timestamp stamped = g <= 1 ? now : (now / g) * g;
+        if (source->promised_bound() != kMinTimestamp &&
+            stamped < source->promised_bound()) {
+          source->IngestFaulty(stamped, std::move(frame.values), now);
+        } else {
+          source->Ingest(std::move(frame.values), now);
+        }
+        break;
+      }
+      case TimestampKind::kLatent:
+        source->Ingest(std::move(frame.values), now);
+        break;
+    }
+    ++conn->report.data_frames;
+  }
+
+  ++conn->report.frames;
+  ++frames_ingested_;
+  conn->report.shed_tuples +=
+      source->output()->shed_tuples() - shed_before;
+  if (tracer_ != nullptr) {
+    tracer_->RecordNetIngest(source->id(),
+                             static_cast<uint8_t>(frame.type), conn->id);
+  }
+  return true;
+}
+
+bool IngestServer::DeliverDue() {
+  bool delivered = false;
+  for (auto& conn : connections_) {
+    if (conn->retry_at != kMinTimestamp) {
+      if (conn->retry_at > clock_->now()) continue;
+      conn->retry_at = kMinTimestamp;
+    }
+    while (!conn->pending.empty()) {
+      WireFrame& frame = conn->pending.front();
+      if (ingest_clock_.mode() == IngestClock::Mode::kFrameDriven &&
+          frame.arrival_hint.has_value() &&
+          *frame.arrival_hint > clock_->now()) {
+        break;  // Future arrival; the idle branch advances the clock.
+      }
+      auto sit = sources_by_stream_.find(frame.stream_id);
+      if (sit != sources_by_stream_.end()) {
+        Source* source = sit->second;
+        // Same producer-side backpressure as Simulation::DeliverArrival:
+        // a full arc anywhere downstream parks this connection (reads
+        // pause too — see Run's pollfd setup — so the peer's TCP window
+        // eventually closes) and the frame retries shortly.
+        if (source->output()->overload_policy() ==
+                OverloadPolicy::kBlockSource &&
+            source->output()->capacity_limit() > 0 &&
+            graph_->DownstreamBlocked(source)) {
+          conn->retry_at = clock_->now() + kMillisecond;
+          break;
+        }
+      }
+      Timestamp now = ingest_clock_.OnFrameArrival(frame.arrival_hint);
+      WireFrame taken = std::move(frame);
+      conn->pending.pop_front();
+      delivered = true;
+      if (!IngestFrame(conn.get(), std::move(taken), now)) break;
+    }
+  }
+  return delivered;
+}
+
+Timestamp IngestServer::NextPendingTime() const {
+  Timestamp next = kMaxTimestamp;
+  for (const auto& conn : connections_) {
+    if (conn->pending.empty()) continue;
+    Timestamp t;
+    if (conn->retry_at != kMinTimestamp) {
+      t = conn->retry_at;
+    } else if (ingest_clock_.mode() == IngestClock::Mode::kFrameDriven &&
+               conn->pending.front().arrival_hint.has_value()) {
+      t = *conn->pending.front().arrival_hint;
+    } else {
+      t = clock_->now();
+    }
+    next = std::min(next, t);
+  }
+  return next;
+}
+
+bool IngestServer::AnyOpenConnection() const {
+  for (const auto& conn : connections_) {
+    if (conn->open) return true;
+  }
+  return false;
+}
+
+bool IngestServer::AnyPendingFrame() const {
+  for (const auto& conn : connections_) {
+    if (!conn->pending.empty()) return true;
+  }
+  return false;
+}
+
+Status IngestServer::PollOnce(int timeout_ms) {
+  std::vector<pollfd> fds;
+  fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+  std::vector<Connection*> polled;
+  for (auto& conn : connections_) {
+    if (!conn->open) continue;
+    // Reads pause while parked on backpressure or while the decoded-frame
+    // queue is full: the kernel buffer fills, the peer's send window
+    // closes, and the producer genuinely slows down.
+    if (conn->retry_at != kMinTimestamp ||
+        conn->pending.size() >= options_.max_pending_frames) {
+      continue;
+    }
+    fds.push_back(pollfd{conn->fd, POLLIN, 0});
+    polled.push_back(conn.get());
+  }
+  int rc = ::poll(fds.data(), fds.size(), timeout_ms);
+  if (rc < 0 && errno != EINTR) {
+    return InternalError(StrFormat("poll: %s", strerror(errno)));
+  }
+  if (rc > 0) {
+    if ((fds[0].revents & POLLIN) != 0) AcceptPending();
+    for (size_t i = 1; i < fds.size(); ++i) {
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        ReadFrom(polled[i - 1]);
+      }
+    }
+  }
+  return OkStatus();
+}
+
+Status IngestServer::Run() {
+  if (listen_fd_ < 0) return FailedPreconditionError("call Start() first");
+  const Timestamp horizon = clock_->now() + options_.horizon;
+  const auto wall_start = std::chrono::steady_clock::now();
+  ingest_clock_.Start();
+
+  auto wall_exceeded = [&]() {
+    if (options_.wall_limit <= 0) return false;
+    auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::steady_clock::now() - wall_start);
+    return elapsed.count() >= options_.wall_limit;
+  };
+
+  Status result = OkStatus();
+  while (!stop_ && clock_->now() < horizon) {
+    if (wall_exceeded()) {
+      result = DeadlineExceededError("wall limit reached before horizon");
+      break;
+    }
+    // Opportunistic socket drain, then the Simulation::Run shape: deliver
+    // due arrivals, take one executor step, and only when the engine is
+    // idle let time pass.
+    DSMS_RETURN_IF_ERROR(PollOnce(/*timeout_ms=*/0));
+    ingest_clock_.Tick();
+    DeliverDue();
+    if (executor_->RunStep()) continue;
+
+    Timestamp next = NextPendingTime();
+    if (next != kMaxTimestamp) {
+      if (next >= horizon) break;
+      if (next > clock_->now()) clock_->AdvanceTo(next);
+      continue;
+    }
+    // Nothing buffered anywhere. In frame-driven mode a drained engine
+    // with no peers left can never advance again — finish the run. In
+    // wall mode (and while peers are connected) block in poll so real
+    // time, not a busy loop, carries the clock toward the horizon.
+    if (ingest_clock_.mode() == IngestClock::Mode::kFrameDriven &&
+        connections_accepted_ > 0 && !AnyOpenConnection()) {
+      break;
+    }
+    DSMS_RETURN_IF_ERROR(PollOnce(options_.poll_granularity_ms));
+    ingest_clock_.Tick();
+  }
+
+  if (clock_->now() < horizon) clock_->AdvanceTo(horizon);
+  // Same end-of-run drain as Simulation::Run: with the watchdog armed, the
+  // jump to the horizon is what pushes a silent connection's source past
+  // the silence horizon, so its idle-waiting consumers get a fallback ETS
+  // instead of holding their tuples forever.
+  if (executor_->config().watchdog.silence_horizon > 0) {
+    executor_->RunUntilIdle();
+  }
+  return result;
+}
+
+std::vector<ConnectionReport> IngestServer::connection_reports() const {
+  std::vector<ConnectionReport> reports;
+  reports.reserve(connections_.size());
+  for (const auto& conn : connections_) reports.push_back(conn->report);
+  return reports;
+}
+
+void IngestServer::PublishTo(MetricsRegistry* registry) const {
+  DSMS_CHECK(registry != nullptr);
+  registry->SetCounter("net.connections_accepted", connections_accepted_);
+  registry->SetCounter("net.frames", frames_ingested_);
+  registry->SetCounter("net.bytes", bytes_received_);
+  registry->SetCounter("net.decode_errors", decode_errors_);
+  uint64_t protocol_errors = 0;
+  uint64_t skew_violations = 0;
+  uint64_t shed = 0;
+  Duration max_skew = 0;
+  for (const auto& conn : connections_) {
+    const ConnectionReport& r = conn->report;
+    protocol_errors += r.protocol_errors;
+    skew_violations += r.skew_violations;
+    shed += r.shed_tuples;
+    max_skew = std::max(max_skew, r.max_skew);
+    const std::string prefix = StrFormat("net.conn.%lld.",
+                                         static_cast<long long>(r.id));
+    registry->SetCounter(prefix + "frames", r.frames);
+    registry->SetCounter(prefix + "bytes", r.bytes);
+    registry->SetCounter(prefix + "decode_errors", r.decode_errors);
+    registry->SetCounter(prefix + "shed_tuples", r.shed_tuples);
+    registry->SetCounter(prefix + "skew_violations", r.skew_violations);
+    registry->SetGauge(prefix + "max_skew_us",
+                       static_cast<double>(r.max_skew));
+  }
+  registry->SetCounter("net.protocol_errors", protocol_errors);
+  registry->SetCounter("net.skew_violations", skew_violations);
+  registry->SetCounter("net.shed_tuples", shed);
+  registry->SetGauge("net.max_skew_us", static_cast<double>(max_skew));
+}
+
+}  // namespace dsms

@@ -1,0 +1,202 @@
+#ifndef DSMS_NET_INGEST_SERVER_H_
+#define DSMS_NET_INGEST_SERVER_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "common/time.h"
+#include "exec/executor.h"
+#include "graph/query_graph.h"
+#include "metrics/order_validator.h"
+#include "metrics/queue_size_tracker.h"
+#include "net/ingest_clock.h"
+#include "net/skew_tracker.h"
+#include "net/wire_format.h"
+
+namespace dsms {
+
+class MetricsRegistry;
+class Tracer;
+class BufferOccupancyTracer;
+
+struct IngestServerOptions {
+  /// Listen address; port 0 binds an ephemeral port (read it back with
+  /// port() after Start).
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  /// How virtual time advances between frames (see net/ingest_clock.h).
+  IngestClock::Mode clock_mode = IngestClock::Mode::kWallClock;
+  /// Virtual-time horizon: Run returns once the clock reaches it. In wall
+  /// mode one virtual microsecond is one real microsecond, so this is also
+  /// the serve duration.
+  Duration horizon = 60 * kSecond;
+  /// Largest accepted frame body; a peer announcing more is dropped.
+  size_t max_frame_bytes = kMaxFrameBytes;
+  /// Decoded-but-undelivered frames buffered per connection before the
+  /// server stops reading that socket (kernel-level TCP backpressure).
+  size_t max_pending_frames = 1024;
+  /// Longest single poll(2) sleep, in milliseconds of real time. Bounds how
+  /// stale the wall-mode virtual clock can get while fully idle.
+  int poll_granularity_ms = 20;
+  /// Wall-clock cap on the whole Run call; 0 = none. A safety net for
+  /// frame-driven runs whose peer stalls forever (returns DeadlineExceeded).
+  Duration wall_limit = 0;
+};
+
+/// Per-connection ingest counters, exposed for metrics and tests.
+struct ConnectionReport {
+  int64_t id = 0;
+  bool open = false;
+  uint64_t frames = 0;
+  uint64_t data_frames = 0;
+  uint64_t punct_frames = 0;
+  uint64_t bytes = 0;
+  uint64_t decode_errors = 0;
+  uint64_t protocol_errors = 0;
+  uint64_t skew_violations = 0;
+  uint64_t shed_tuples = 0;
+  Duration max_skew = 0;
+};
+
+/// Non-blocking poll(2) event-loop server feeding a query graph from live
+/// TCP connections — the network analogue of sim/Simulation. The run loop
+/// mirrors Simulation::Run exactly: deliver due frames, execute one
+/// operator step, and when the engine is idle advance the virtual clock
+/// (wall elapsed time in kWallClock mode, the next frame's arrival hint in
+/// kFrameDriven mode). Tuples enter through the same Source::Ingest* paths
+/// and the same bounded StreamBuffer/OverloadPolicy machinery as simulated
+/// feeds, so every engine defense — backpressure, shedding, the liveness
+/// watchdog, EtsGate fallback bounds — works unchanged on network input.
+///
+/// Timestamp assignment at ingest follows the source's TimestampKind:
+///   - internal: stamped with the virtual arrival time (quantized by the
+///     source's granularity);
+///   - latent:   no timestamp;
+///   - external: the frame must carry the producer's timestamp; a
+///     per-connection SkewTracker checks it against the stream's declared
+///     bound δ, and violating or order-breaking tuples are routed through
+///     Source::IngestFaulty so the attached OrderValidator's policy — not a
+///     crash — decides their fate.
+///
+/// Malformed bytes never abort the process: a decode error poisons that
+/// connection's decoder and the connection is closed; other connections and
+/// the query keep running.
+class IngestServer {
+ public:
+  /// None of `graph`, `executor`, `clock` are owned; all must outlive the
+  /// server. The executor must run over `graph` and share `clock`. Like
+  /// Simulation, the constructor attaches a QueueSizeTracker and an
+  /// OrderValidator to every arc (the destructor detaches).
+  IngestServer(QueryGraph* graph, Executor* executor, VirtualClock* clock,
+               IngestServerOptions options);
+  ~IngestServer();
+
+  IngestServer(const IngestServer&) = delete;
+  IngestServer& operator=(const IngestServer&) = delete;
+
+  /// Binds and listens. After success port() returns the bound port.
+  Status Start();
+
+  uint16_t port() const { return port_; }
+
+  /// Attaches an execution tracer (same wiring as Simulation::AttachTracer);
+  /// must outlive the server, call at most once, before Run.
+  void AttachTracer(Tracer* tracer);
+
+  void set_violation_policy(ViolationPolicy policy) {
+    order_validator_.set_policy(policy);
+  }
+
+  /// Serves until the virtual clock reaches options.horizon (or Stop() is
+  /// called, or options.wall_limit real time passes). Requires Start().
+  /// Like Simulation::Run, finishes by advancing the clock to the horizon
+  /// and — when the executor's watchdog is armed — draining until idle, so
+  /// fallback ETS fire for connections that went silent.
+  Status Run();
+
+  /// Makes Run return at its next iteration. Async-signal-safe.
+  void Stop() { stop_ = true; }
+
+  const OrderValidator& order_validator() const { return order_validator_; }
+  const QueueSizeTracker& queue_tracker() const { return queue_tracker_; }
+
+  uint64_t connections_accepted() const { return connections_accepted_; }
+  uint64_t frames_ingested() const { return frames_ingested_; }
+  uint64_t bytes_received() const { return bytes_received_; }
+  uint64_t decode_errors() const { return decode_errors_; }
+
+  /// Snapshot of every connection ever accepted (closed ones included).
+  std::vector<ConnectionReport> connection_reports() const;
+
+  /// Publishes server-wide ("net.*") and per-connection ("net.conn.<id>.*")
+  /// counters into `registry`.
+  void PublishTo(MetricsRegistry* registry) const;
+
+ private:
+  struct Connection {
+    int fd = -1;
+    int64_t id = 0;
+    bool open = true;
+    /// Backpressure parking: no delivery (and no reads) until the virtual
+    /// clock reaches this; kMinTimestamp = not parked.
+    Timestamp retry_at = kMinTimestamp;
+    FrameDecoder decoder;
+    SkewTracker skew;
+    std::deque<WireFrame> pending;
+    ConnectionReport report;
+  };
+
+  /// One poll(2) round: accept new connections, read and decode from every
+  /// readable socket. `timeout_ms` 0 = just drain what's ready.
+  Status PollOnce(int timeout_ms);
+  void AcceptPending();
+  void ReadFrom(Connection* conn);
+  void CloseConnection(Connection* conn);
+  /// Delivers every due pending frame (respecting per-connection FIFO,
+  /// arrival hints, and backpressure parking). Returns true if anything
+  /// was delivered.
+  bool DeliverDue();
+  /// Delivers one frame into its source at virtual time `now`. Returns
+  /// false on a protocol error (unknown stream, missing external
+  /// timestamp) — the connection is closed.
+  bool IngestFrame(Connection* conn, WireFrame frame, Timestamp now);
+  /// Earliest virtual time any pending frame becomes deliverable;
+  /// kMaxTimestamp when nothing is pending.
+  Timestamp NextPendingTime() const;
+  bool AnyOpenConnection() const;
+  bool AnyPendingFrame() const;
+
+  QueryGraph* graph_;
+  Executor* executor_;
+  VirtualClock* clock_;
+  IngestServerOptions options_;
+  IngestClock ingest_clock_;
+  QueueSizeTracker queue_tracker_;
+  OrderValidator order_validator_;
+  Tracer* tracer_ = nullptr;
+  std::unique_ptr<BufferOccupancyTracer> occupancy_tracer_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  /// Sources by wire stream id (graph sources with duplicate stream ids are
+  /// rejected by Start).
+  std::map<int32_t, Source*> sources_by_stream_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+  int64_t next_connection_id_ = 1;
+  volatile bool stop_ = false;
+
+  uint64_t connections_accepted_ = 0;
+  uint64_t frames_ingested_ = 0;
+  uint64_t bytes_received_ = 0;
+  uint64_t decode_errors_ = 0;
+};
+
+}  // namespace dsms
+
+#endif  // DSMS_NET_INGEST_SERVER_H_

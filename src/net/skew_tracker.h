@@ -1,0 +1,53 @@
+#ifndef DSMS_NET_SKEW_TRACKER_H_
+#define DSMS_NET_SKEW_TRACKER_H_
+
+#include <cstdint>
+
+#include "common/time.h"
+
+namespace dsms {
+
+/// Per-connection observer of external-timestamp skew (Section 5). For every
+/// externally stamped frame it records the observed skew
+/// `arrival_time − app_timestamp` and checks it against the stream's
+/// declared bound δ. The observed maximum is what the `t + τ − δ` ETS
+/// heuristic implicitly trusts: if max_observed_skew stays at or below δ the
+/// producer honours its contract and every ETS the source emits is sound;
+/// a violation means downstream results derived from ETS bounds in that
+/// window may have missed late tuples (the tuple itself is handed to the
+/// graph's ViolationPolicy, not judged here).
+class SkewTracker {
+ public:
+  /// Records one externally stamped arrival. Returns true when the observed
+  /// skew exceeds `declared_bound` (a skew-contract violation). Negative
+  /// observed skew (a timestamp from the future) also counts as a
+  /// violation: external timestamps must not lead the arrival clock.
+  bool Observe(Timestamp app_timestamp, Timestamp arrival,
+               Duration declared_bound) {
+    Duration skew = arrival - app_timestamp;
+    ++observed_;
+    if (skew > max_skew_ || observed_ == 1) max_skew_ = skew;
+    if (skew < min_skew_ || observed_ == 1) min_skew_ = skew;
+    if (skew > declared_bound || skew < 0) {
+      ++violations_;
+      return true;
+    }
+    return false;
+  }
+
+  uint64_t observed() const { return observed_; }
+  uint64_t violations() const { return violations_; }
+  /// Largest / smallest skew seen; 0 until the first observation.
+  Duration max_skew() const { return observed_ == 0 ? 0 : max_skew_; }
+  Duration min_skew() const { return observed_ == 0 ? 0 : min_skew_; }
+
+ private:
+  uint64_t observed_ = 0;
+  uint64_t violations_ = 0;
+  Duration max_skew_ = 0;
+  Duration min_skew_ = 0;
+};
+
+}  // namespace dsms
+
+#endif  // DSMS_NET_SKEW_TRACKER_H_

@@ -1,0 +1,326 @@
+#include "net/wire_format.h"
+
+#include <cstring>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace dsms {
+namespace {
+
+constexpr uint8_t kFlagHasTimestamp = 1u << 0;
+constexpr uint8_t kFlagHasArrivalHint = 1u << 1;
+constexpr uint8_t kKnownFlags = kFlagHasTimestamp | kFlagHasArrivalHint;
+
+void AppendU32(uint32_t v, std::string* out) {
+  char b[4];
+  b[0] = static_cast<char>(v & 0xff);
+  b[1] = static_cast<char>((v >> 8) & 0xff);
+  b[2] = static_cast<char>((v >> 16) & 0xff);
+  b[3] = static_cast<char>((v >> 24) & 0xff);
+  out->append(b, 4);
+}
+
+void AppendU64(uint64_t v, std::string* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+/// Cursor over a frame body; every Read checks the remaining length so a
+/// truncated value can never read past the frame.
+class Reader {
+ public:
+  Reader(const char* data, size_t size) : data_(data), size_(size) {}
+
+  size_t remaining() const { return size_ - pos_; }
+
+  bool ReadU8(uint8_t* v) {
+    if (remaining() < 1) return false;
+    *v = static_cast<uint8_t>(data_[pos_++]);
+    return true;
+  }
+
+  bool ReadU32(uint32_t* v) {
+    if (remaining() < 4) return false;
+    uint32_t r = 0;
+    for (int i = 0; i < 4; ++i) {
+      r |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    *v = r;
+    return true;
+  }
+
+  bool ReadU64(uint64_t* v) {
+    if (remaining() < 8) return false;
+    uint64_t r = 0;
+    for (int i = 0; i < 8; ++i) {
+      r |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    *v = r;
+    return true;
+  }
+
+  bool ReadBytes(size_t n, std::string* out) {
+    if (remaining() < n) return false;
+    out->assign(data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+ private:
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+Status DecodeValue(Reader* reader, Value* out) {
+  uint8_t tag = 0;
+  if (!reader->ReadU8(&tag)) {
+    return InvalidArgumentError("truncated frame: missing value tag");
+  }
+  switch (tag) {
+    case static_cast<uint8_t>(ValueType::kInt64): {
+      uint64_t bits = 0;
+      if (!reader->ReadU64(&bits)) {
+        return InvalidArgumentError("truncated frame: short int64 value");
+      }
+      *out = Value(static_cast<int64_t>(bits));
+      return OkStatus();
+    }
+    case static_cast<uint8_t>(ValueType::kDouble): {
+      uint64_t bits = 0;
+      if (!reader->ReadU64(&bits)) {
+        return InvalidArgumentError("truncated frame: short double value");
+      }
+      double d = 0.0;
+      std::memcpy(&d, &bits, sizeof(d));
+      *out = Value(d);
+      return OkStatus();
+    }
+    case static_cast<uint8_t>(ValueType::kString): {
+      uint32_t len = 0;
+      if (!reader->ReadU32(&len)) {
+        return InvalidArgumentError("truncated frame: short string length");
+      }
+      if (len > reader->remaining()) {
+        return InvalidArgumentError(StrFormat(
+            "truncated frame: string of %u bytes exceeds frame", len));
+      }
+      std::string s;
+      reader->ReadBytes(len, &s);
+      *out = Value(std::move(s));
+      return OkStatus();
+    }
+    case static_cast<uint8_t>(ValueType::kBool): {
+      uint8_t b = 0;
+      if (!reader->ReadU8(&b)) {
+        return InvalidArgumentError("truncated frame: short bool value");
+      }
+      if (b > 1) {
+        return InvalidArgumentError(
+            StrFormat("bad bool encoding 0x%02x", b));
+      }
+      *out = Value(b == 1);
+      return OkStatus();
+    }
+    default:
+      return InvalidArgumentError(
+          StrFormat("unknown value type tag 0x%02x", tag));
+  }
+}
+
+Status DecodeBody(const char* data, size_t size, WireFrame* out) {
+  Reader reader(data, size);
+  uint8_t version = 0, type = 0, flags = 0, value_count = 0;
+  uint32_t stream_id = 0;
+  // kMinFrameBody guarantees these reads; keep the checks anyway so the
+  // decoder has exactly one failure discipline.
+  if (!reader.ReadU8(&version) || !reader.ReadU8(&type) ||
+      !reader.ReadU8(&flags) || !reader.ReadU8(&value_count) ||
+      !reader.ReadU32(&stream_id)) {
+    return InvalidArgumentError("truncated frame: short header");
+  }
+  if (version != kWireVersion) {
+    return InvalidArgumentError(
+        StrFormat("unsupported wire version %u (want %u)", version,
+                  kWireVersion));
+  }
+  if (type > static_cast<uint8_t>(WireFrame::Type::kPunctuation)) {
+    return InvalidArgumentError(StrFormat("unknown frame type %u", type));
+  }
+  if ((flags & ~kKnownFlags) != 0) {
+    return InvalidArgumentError(
+        StrFormat("unknown frame flags 0x%02x", flags));
+  }
+  out->type = static_cast<WireFrame::Type>(type);
+  out->stream_id = static_cast<int32_t>(stream_id);
+  out->timestamp.reset();
+  out->arrival_hint.reset();
+  out->values.clear();
+  if ((flags & kFlagHasTimestamp) != 0) {
+    uint64_t bits = 0;
+    if (!reader.ReadU64(&bits)) {
+      return InvalidArgumentError("truncated frame: short timestamp");
+    }
+    out->timestamp = static_cast<Timestamp>(bits);
+  }
+  if ((flags & kFlagHasArrivalHint) != 0) {
+    uint64_t bits = 0;
+    if (!reader.ReadU64(&bits)) {
+      return InvalidArgumentError("truncated frame: short arrival hint");
+    }
+    out->arrival_hint = static_cast<Timestamp>(bits);
+  }
+  if (out->type == WireFrame::Type::kPunctuation) {
+    if (!out->timestamp.has_value()) {
+      return InvalidArgumentError("punctuation frame without a timestamp");
+    }
+    if (value_count != 0) {
+      return InvalidArgumentError("punctuation frame with a payload");
+    }
+  }
+  out->values.reserve(value_count);
+  for (uint8_t i = 0; i < value_count; ++i) {
+    Value value;
+    DSMS_RETURN_IF_ERROR(DecodeValue(&reader, &value));
+    out->values.push_back(std::move(value));
+  }
+  if (reader.remaining() != 0) {
+    return InvalidArgumentError(StrFormat(
+        "frame has %zu trailing bytes after %u values",
+        reader.remaining(), value_count));
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+const char* WireFrameTypeToString(WireFrame::Type type) {
+  switch (type) {
+    case WireFrame::Type::kData:
+      return "data";
+    case WireFrame::Type::kPunctuation:
+      return "punctuation";
+  }
+  return "unknown";
+}
+
+Status EncodeFrame(const WireFrame& frame, std::string* out) {
+  if (frame.values.size() > 255) {
+    return InvalidArgumentError(StrFormat(
+        "frame has %zu values; the wire format carries at most 255",
+        frame.values.size()));
+  }
+  if (frame.type == WireFrame::Type::kPunctuation) {
+    if (!frame.timestamp.has_value()) {
+      return InvalidArgumentError("punctuation frame needs a timestamp");
+    }
+    if (!frame.values.empty()) {
+      return InvalidArgumentError("punctuation frame cannot carry values");
+    }
+  }
+  std::string body;
+  body.push_back(static_cast<char>(kWireVersion));
+  body.push_back(static_cast<char>(frame.type));
+  uint8_t flags = 0;
+  if (frame.timestamp.has_value()) flags |= kFlagHasTimestamp;
+  if (frame.arrival_hint.has_value()) flags |= kFlagHasArrivalHint;
+  body.push_back(static_cast<char>(flags));
+  body.push_back(static_cast<char>(frame.values.size()));
+  AppendU32(static_cast<uint32_t>(frame.stream_id), &body);
+  if (frame.timestamp.has_value()) {
+    AppendU64(static_cast<uint64_t>(*frame.timestamp), &body);
+  }
+  if (frame.arrival_hint.has_value()) {
+    AppendU64(static_cast<uint64_t>(*frame.arrival_hint), &body);
+  }
+  for (const Value& value : frame.values) {
+    body.push_back(static_cast<char>(value.type()));
+    switch (value.type()) {
+      case ValueType::kInt64:
+        AppendU64(static_cast<uint64_t>(value.int64_value()), &body);
+        break;
+      case ValueType::kDouble: {
+        uint64_t bits = 0;
+        double d = value.double_value();
+        std::memcpy(&bits, &d, sizeof(bits));
+        AppendU64(bits, &body);
+        break;
+      }
+      case ValueType::kString: {
+        const std::string& s = value.string_value();
+        if (s.size() > kMaxFrameBytes) {
+          return InvalidArgumentError("string value exceeds max frame size");
+        }
+        AppendU32(static_cast<uint32_t>(s.size()), &body);
+        body.append(s);
+        break;
+      }
+      case ValueType::kBool:
+        body.push_back(value.bool_value() ? 1 : 0);
+        break;
+    }
+  }
+  if (body.size() > kMaxFrameBytes) {
+    return InvalidArgumentError(StrFormat(
+        "encoded frame body of %zu bytes exceeds the %zu-byte cap",
+        body.size(), kMaxFrameBytes));
+  }
+  AppendU32(static_cast<uint32_t>(body.size()), out);
+  out->append(body);
+  return OkStatus();
+}
+
+FrameDecoder::FrameDecoder(size_t max_frame_bytes)
+    : max_frame_bytes_(max_frame_bytes) {}
+
+void FrameDecoder::Feed(const void* data, size_t size) {
+  if (size == 0) return;
+  // Compact the consumed prefix before growing; amortized O(1) per byte.
+  if (consumed_ > 0 && consumed_ == buffer_.size()) {
+    buffer_.clear();
+    consumed_ = 0;
+  } else if (consumed_ > 4096 && consumed_ > buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(static_cast<const char*>(data), size);
+}
+
+Result<bool> FrameDecoder::Next(WireFrame* out) {
+  if (!error_.ok()) return error_;
+  const size_t available = buffer_.size() - consumed_;
+  if (available < 4) return false;
+  const char* p = buffer_.data() + consumed_;
+  uint32_t length = 0;
+  for (int i = 0; i < 4; ++i) {
+    length |= static_cast<uint32_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  if (length < kMinFrameBody) {
+    error_ = InvalidArgumentError(
+        StrFormat("undersized frame body (%u bytes)", length));
+    return error_;
+  }
+  if (length > max_frame_bytes_) {
+    error_ = OutOfRangeError(StrFormat(
+        "oversized frame body (%u bytes; cap %zu)", length,
+        max_frame_bytes_));
+    return error_;
+  }
+  if (available < 4 + static_cast<size_t>(length)) return false;
+  Status status = DecodeBody(p + 4, length, out);
+  if (!status.ok()) {
+    error_ = status;
+    return error_;
+  }
+  consumed_ += 4 + static_cast<size_t>(length);
+  ++frames_decoded_;
+  return true;
+}
+
+}  // namespace dsms

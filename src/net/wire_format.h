@@ -1,0 +1,108 @@
+#ifndef DSMS_NET_WIRE_FORMAT_H_
+#define DSMS_NET_WIRE_FORMAT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+#include "core/value.h"
+
+namespace dsms {
+
+/// Version byte of the wire protocol; a frame with any other version is a
+/// decode error (no negotiation — both ends of a deployment upgrade
+/// together, and a mismatch must be loud, not silently misparsed).
+inline constexpr uint8_t kWireVersion = 1;
+
+/// Upper bound on the byte size of a single frame body (everything after
+/// the u32 length prefix). A length prefix above this is rejected before any
+/// allocation happens, so a hostile or corrupt peer cannot make the decoder
+/// reserve gigabytes from four garbage bytes.
+inline constexpr size_t kMaxFrameBytes = 1 << 20;
+
+/// One unit of the ingest wire protocol. Layout on the wire (little-endian):
+///
+///   u32  length       bytes after this field (>= kMinFrameBody)
+///   u8   version      kWireVersion
+///   u8   type         0 = data, 1 = punctuation
+///   u8   flags        bit0 = carries `timestamp`, bit1 = carries
+///                     `arrival_hint`
+///   u8   value_count  number of payload values (0 for punctuation)
+///   i32  stream_id    Source::stream_id() this frame feeds
+///   [i64 timestamp]   if flags bit0: external app timestamp (data) or the
+///                     punctuation bound (required for punctuation frames)
+///   [i64 arrival_hint] if flags bit1: virtual delivery time for
+///                     frame-driven ingest clocks (see net/ingest_clock.h)
+///   value_count x value
+///
+/// Each value is a u8 type tag (ValueType) followed by its payload:
+/// int64/double as 8 raw little-endian bytes, bool as one byte (0/1),
+/// string as u32 byte length + bytes.
+///
+/// Decoding is strict: truncated values, trailing bytes, unknown tags, a
+/// punctuation without a timestamp or with a payload, and oversized or
+/// undersized length prefixes are all `Status` errors — the connection that
+/// produced them is torn down, never "repaired" by guessing.
+struct WireFrame {
+  enum class Type : uint8_t { kData = 0, kPunctuation = 1 };
+
+  Type type = Type::kData;
+  int32_t stream_id = 0;
+  /// External app timestamp (data frames, optional) or the promised bound
+  /// (punctuation frames, required).
+  std::optional<Timestamp> timestamp;
+  /// Virtual delivery time hint for deterministic (frame-driven) ingest;
+  /// absent on wall-clock deployments.
+  std::optional<Timestamp> arrival_hint;
+  std::vector<Value> values;
+};
+
+/// Smallest legal frame body: version, type, flags, value_count, stream_id.
+inline constexpr size_t kMinFrameBody = 8;
+
+/// Serializes `frame` and appends it (length prefix included) to `*out`.
+/// Fails with InvalidArgument when the frame is unencodable: more than 255
+/// values, a punctuation with values or without a timestamp, or a body that
+/// would exceed kMaxFrameBytes.
+Status EncodeFrame(const WireFrame& frame, std::string* out);
+
+/// Incremental frame decoder for one connection. Bytes are appended as they
+/// arrive from the socket; Next() carves complete frames off the front.
+/// After the first error the decoder is poisoned (every Next() returns the
+/// same error) — the owner is expected to drop the connection.
+class FrameDecoder {
+ public:
+  /// `max_frame_bytes` caps the accepted body length (default
+  /// kMaxFrameBytes).
+  explicit FrameDecoder(size_t max_frame_bytes = kMaxFrameBytes);
+
+  /// Appends raw bytes received from the peer.
+  void Feed(const void* data, size_t size);
+
+  /// Decodes the next complete frame into `*out`. Returns true when a frame
+  /// was produced, false when more bytes are needed, or an error Status on
+  /// a malformed frame (sticky; see class comment).
+  Result<bool> Next(WireFrame* out);
+
+  /// Bytes buffered but not yet consumed by a decoded frame.
+  size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+  uint64_t frames_decoded() const { return frames_decoded_; }
+
+ private:
+  size_t max_frame_bytes_;
+  std::string buffer_;
+  /// Prefix of buffer_ already handed out as frames (compacted lazily).
+  size_t consumed_ = 0;
+  uint64_t frames_decoded_ = 0;
+  Status error_;
+};
+
+const char* WireFrameTypeToString(WireFrame::Type type);
+
+}  // namespace dsms
+
+#endif  // DSMS_NET_WIRE_FORMAT_H_

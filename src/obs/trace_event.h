@@ -36,6 +36,10 @@ enum class TraceEventType : uint8_t {
   /// Operator `op_id` absorbed a punctuation with bound `arg` into its TSM
   /// register.
   kPunctuationAbsorbed = 8,
+  /// A frame from a live network connection was ingested into source
+  /// `op_id`; `detail` is the WireFrame::Type (0 data, 1 punctuation),
+  /// `arg` the connection id it arrived on (see net/ingest_server.h).
+  kNetIngest = 9,
 };
 
 /// What an operator step consumed (TraceEvent::detail for kStep).

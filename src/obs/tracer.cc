@@ -36,6 +36,8 @@ const char* TraceEventTypeToString(TraceEventType type) {
       return "punct_emit";
     case TraceEventType::kPunctuationAbsorbed:
       return "punct_absorb";
+    case TraceEventType::kNetIngest:
+      return "net_ingest";
   }
   return "unknown";
 }
@@ -203,6 +205,13 @@ void Tracer::WriteChromeTrace(std::ostream& os) const {
             "\"s\": \"t\", \"ts\": %lld, \"pid\": 0, \"tid\": %d, "
             "\"args\": {\"bound\": %lld}}",
             ts, tid, arg));
+        break;
+      case TraceEventType::kNetIngest:
+        emit(StrFormat(
+            "{\"name\": \"net-ingest:%s\", \"cat\": \"net\", \"ph\": \"i\", "
+            "\"s\": \"t\", \"ts\": %lld, \"pid\": 0, \"tid\": %d, "
+            "\"args\": {\"conn\": %lld}}",
+            event.detail == 1 ? "punctuation" : "data", ts, tid, arg));
         break;
     }
   }

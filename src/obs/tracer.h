@@ -76,6 +76,13 @@ class Tracer {
                     0});
   }
 
+  /// A live network frame was ingested into source `op_id`; `frame_type` is
+  /// the WireFrame::Type byte, `conn_id` the connection it arrived on.
+  void RecordNetIngest(int op_id, uint8_t frame_type, int64_t conn_id) {
+    Push(TraceEvent{clock_->now(), 0, conn_id, op_id,
+                    TraceEventType::kNetIngest, frame_type});
+  }
+
   // --- track naming (wiring time; see AnnotateTracks in obs/trace_wiring)---
 
   /// Display name of operator `op_id`'s row in the exported trace.

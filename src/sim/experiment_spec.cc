@@ -298,7 +298,9 @@ Status ParseTrace(const ExpStatement& s, TraceSpec* trace) {
   return OkStatus();
 }
 
-Simulation::PayloadFn MakePayload(const FeedSpec& feed) {
+}  // namespace
+
+Simulation::PayloadFn MakeFeedPayload(const FeedSpec& feed) {
   if (feed.payload == FeedSpec::Payload::kSequence) {
     return Simulation::SequencePayload();
   }
@@ -314,7 +316,8 @@ Simulation::PayloadFn MakePayload(const FeedSpec& feed) {
   };
 }
 
-Result<std::unique_ptr<ArrivalProcess>> MakeProcess(const FeedSpec& feed) {
+Result<std::unique_ptr<ArrivalProcess>> MakeArrivalProcess(
+    const FeedSpec& feed) {
   switch (feed.kind) {
     case FeedSpec::Kind::kPoisson:
       if (feed.rate <= 0) {
@@ -345,9 +348,12 @@ Result<std::unique_ptr<ArrivalProcess>> MakeProcess(const FeedSpec& feed) {
   return InternalError("unreachable feed kind");
 }
 
-}  // namespace
-
 Result<Experiment> ParseExperiment(std::string_view text) {
+  return ParseExperiment(text, /*require_feeds=*/true);
+}
+
+Result<Experiment> ParseExperiment(std::string_view text,
+                                   bool require_feeds) {
   std::vector<std::string> plan_lines;
   std::vector<ExpStatement> feeds;
   std::vector<ExpStatement> heartbeats;
@@ -453,7 +459,7 @@ Result<Experiment> ParseExperiment(std::string_view text) {
   if (!traces.empty()) {
     DSMS_RETURN_IF_ERROR(ParseTrace(traces[0], &experiment.trace));
   }
-  if (experiment.feeds.empty()) {
+  if (require_feeds && experiment.feeds.empty()) {
     return InvalidArgumentError("experiment declares no feeds");
   }
   return experiment;
@@ -500,10 +506,11 @@ Result<ExperimentReport> RunExperiment(Experiment* experiment) {
   for (const FeedSpec& feed : experiment->feeds) {
     auto* source = dynamic_cast<Source*>(experiment->plan.Find(feed.source));
     DSMS_CHECK(source != nullptr);  // Checked during parse.
-    Result<std::unique_ptr<ArrivalProcess>> process = MakeProcess(feed);
+    Result<std::unique_ptr<ArrivalProcess>> process =
+        MakeArrivalProcess(feed);
     if (!process.ok()) return process.status();
-    sim.AddFeed(source, std::move(*process), MakePayload(feed),
-                /*jitter_seed=*/feed.seed * 31 + 7);
+    sim.AddFeed(source, std::move(*process), MakeFeedPayload(feed),
+                FeedJitterSeed(feed));
   }
   for (const HeartbeatSpec& heartbeat : experiment->heartbeats) {
     auto* source =

@@ -2,6 +2,7 @@
 #define DSMS_SIM_EXPERIMENT_SPEC_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -11,7 +12,9 @@
 #include "exec/ets_policy.h"
 #include "exec/exec_stats.h"
 #include "graph/plan_parser.h"
+#include "sim/arrival_process.h"
 #include "sim/scenario.h"
+#include "sim/simulation.h"
 
 namespace dsms {
 
@@ -103,6 +106,28 @@ struct Experiment {
 /// Parses a combined plan + experiment text. Feed/heartbeat source names
 /// are resolved against the plan (must name `stream` statements).
 Result<Experiment> ParseExperiment(std::string_view text);
+
+/// As above, but with `require_feeds=false` an experiment without `feed`
+/// statements is accepted. A network server (examples/streamets_serve)
+/// takes its input from live connections, not simulated feeds, so a
+/// plan+run file with no feed section is a valid configuration for it.
+Result<Experiment> ParseExperiment(std::string_view text, bool require_feeds);
+
+/// Payload generator for one feed, identical to what RunExperiment installs.
+/// Exposed so the network load generator (net/feed_schedule.h) can replay
+/// the exact tuple contents a Simulation of the same spec would produce.
+Simulation::PayloadFn MakeFeedPayload(const FeedSpec& feed);
+
+/// Arrival process for one feed, identical to what RunExperiment installs.
+Result<std::unique_ptr<ArrivalProcess>> MakeArrivalProcess(
+    const FeedSpec& feed);
+
+/// Seed of the per-feed external-timestamp jitter RNG. The simulation and
+/// the network feeder must derive it identically or externally stamped
+/// replays diverge.
+inline uint64_t FeedJitterSeed(const FeedSpec& feed) {
+  return feed.seed * 31 + 7;
+}
 
 /// Per-sink results of an experiment run.
 struct SinkReport {

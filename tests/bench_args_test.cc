@@ -46,6 +46,12 @@ TEST(BenchArgsTest, UnknownFlagExits2) {
               "unknown argument: --bogus");
 }
 
+TEST(BenchArgsTest, HelpExits0) {
+  // The listing itself goes to stdout (EXPECT_EXIT only matches stderr);
+  // what this pins down is the exit path: help is code 0, errors code 2.
+  EXPECT_EXIT(Parse({"--help"}), ::testing::ExitedWithCode(0), "");
+}
+
 TEST(BenchArgsTest, MissingValueIsReportedByFlagName) {
   // Regression: these used to fall through to "unknown argument: --seed".
   EXPECT_EXIT(Parse({"--seed"}), ::testing::ExitedWithCode(2),

@@ -102,5 +102,36 @@ TEST(ParserRobustnessTest, ValidBaselineStillParses) {
   ASSERT_TRUE(experiment.ok()) << experiment.status();
 }
 
+// Bad stream options must be parse-time Status errors, not DSMS_CHECK
+// aborts in the operator they eventually configure — a config file is
+// user input, and user input never gets to crash the process.
+TEST(ParserRobustnessTest, ZeroGranularityIsAParseError) {
+  auto plan = ParsePlan("stream S ts=internal granularity=0\nsink X in=S\n");
+  ASSERT_FALSE(plan.ok());
+  EXPECT_NE(plan.status().message().find("granularity"), std::string::npos);
+}
+
+TEST(ParserRobustnessTest, NegativeGranularityIsAParseError) {
+  auto plan =
+      ParsePlan("stream S ts=internal granularity=-5ms\nsink X in=S\n");
+  ASSERT_FALSE(plan.ok());
+}
+
+TEST(ParserRobustnessTest, GranularityOnExternalStreamIsAParseError) {
+  auto plan = ParsePlan(
+      "stream S ts=external skew=10ms granularity=2ms\nsink X in=S\n");
+  ASSERT_FALSE(plan.ok());
+}
+
+TEST(ParserRobustnessTest, NegativeSkewIsAParseError) {
+  auto plan = ParsePlan("stream S ts=external skew=-10ms\nsink X in=S\n");
+  ASSERT_FALSE(plan.ok());
+}
+
+TEST(ParserRobustnessTest, ValidGranularityStillParses) {
+  auto plan = ParsePlan("stream S ts=internal granularity=2ms\nsink X in=S\n");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+}
+
 }  // namespace
 }  // namespace dsms
