@@ -41,6 +41,19 @@ const std::vector<dsms::FlagHelp> kFlags = {
     {"--disconnect-after", "N", "drop the connection after N frames"},
     {"--strip-hints", "",
      "omit arrival hints (8 bytes/frame; wall-clock servers ignore them)"},
+    {"--resume", "",
+     "HELLO/RESUME handshake: skip frames the server already holds "
+     "durably (requires a recovery-enabled server; forces 1 connection)"},
+    {"--retry", "N",
+     "extra connect attempts with jittered exponential backoff (default 0)"},
+    {"--backoff", "DUR", "first retry delay before jitter (default 100ms)"},
+    {"--backoff-max", "DUR", "cap on any retry delay (default 5s)"},
+    {"--backoff-seed", "N",
+     "jitter RNG seed; fixed seed = reproducible retry timing (default 1)"},
+    {"--connect-timeout", "DUR",
+     "wall-clock cap on one connect attempt (default: OS)"},
+    {"--write-timeout", "DUR",
+     "wall-clock cap on one blocking send/recv (default: none)"},
     {"--help", "", "show this message and exit"},
 };
 
@@ -112,6 +125,42 @@ int main(int argc, char** argv) {
           std::strtoull(value_of(&i), nullptr, 10));
     } else if (std::strcmp(argv[i], "--strip-hints") == 0) {
       options.strip_hints = true;
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      options.resume = true;
+    } else if (std::strcmp(argv[i], "--retry") == 0) {
+      options.max_retries =
+          static_cast<int>(std::strtol(value_of(&i), nullptr, 10));
+      if (options.max_retries < 0) {
+        std::fprintf(stderr, "bad --retry value\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--backoff") == 0) {
+      if (!ParseDuration(value_of(&i), &options.backoff_base).ok() ||
+          options.backoff_base <= 0) {
+        std::fprintf(stderr, "bad --backoff value\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--backoff-max") == 0) {
+      if (!ParseDuration(value_of(&i), &options.backoff_max).ok() ||
+          options.backoff_max <= 0) {
+        std::fprintf(stderr, "bad --backoff-max value\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--backoff-seed") == 0) {
+      options.backoff_seed = static_cast<uint64_t>(
+          std::strtoull(value_of(&i), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--connect-timeout") == 0) {
+      if (!ParseDuration(value_of(&i), &options.connect_timeout).ok() ||
+          options.connect_timeout <= 0) {
+        std::fprintf(stderr, "bad --connect-timeout value\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--write-timeout") == 0) {
+      if (!ParseDuration(value_of(&i), &options.write_timeout).ok() ||
+          options.write_timeout <= 0) {
+        std::fprintf(stderr, "bad --write-timeout value\n");
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--help") == 0) {
       PrintFlagHelp(stdout, argv[0],
                     "replay an experiment file's feeds into a "
@@ -170,11 +219,28 @@ int main(int argc, char** argv) {
   std::printf("schedule: %zu frames over %.3f s (virtual)\n",
               schedule->size(), DurationToSeconds(horizon));
 
+  if (options.resume && options.connections != 1) {
+    std::fprintf(stderr, "--resume requires --connections 1\n");
+    return 2;
+  }
+
   FeedClient client(options);
   Status status = client.Connect();
   if (!status.ok()) {
     std::fprintf(stderr, "connect error: %s\n", status.ToString().c_str());
     return 1;
+  }
+  if (options.resume) {
+    status = client.Handshake();
+    if (!status.ok()) {
+      std::fprintf(stderr, "handshake error: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    uint64_t acked = 0;
+    for (const auto& entry : client.acked()) acked += entry.second;
+    std::printf("resume: server holds %llu frames durably; skipping them\n",
+                static_cast<unsigned long long>(acked));
   }
   Result<uint64_t> sent = client.Send(*schedule);
   if (!sent.ok()) {

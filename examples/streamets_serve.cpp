@@ -11,6 +11,7 @@
 // Pair it with streamets_feed, which replays the same experiment file's
 // feed statements over TCP.
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,6 +30,7 @@
 #include "net/ingest_server.h"
 #include "obs/metrics_registry.h"
 #include "obs/tracer.h"
+#include "recovery/recovery_manager.h"
 #include "sim/experiment_spec.h"
 
 namespace {
@@ -49,8 +51,22 @@ const std::vector<dsms::FlagHelp> kFlags = {
     {"--metrics", "PATH", "write the metrics snapshot as one JSON object"},
     {"--trace", "PATH",
      "write a Chrome trace of the run (overrides the file's trace line)"},
+    {"--wal-dir", "PATH",
+     "override the recovery directory of the file's wal statement"},
+    {"--no-crash", "",
+     "ignore the file's `crash at=` statement (the restarted run of a "
+     "kill-and-recover exercise)"},
     {"--help", "", "show this message and exit"},
 };
+
+/// Signal-to-Stop bridge: SIGTERM/SIGINT make Run() return cleanly so the
+/// epilogue can flush the WAL and take a final checkpoint. Stop() only sets
+/// a volatile flag, so this is async-signal-safe.
+dsms::IngestServer* g_server = nullptr;
+
+void HandleShutdownSignal(int) {
+  if (g_server != nullptr) g_server->Stop();
+}
 
 bool SplitHostPort(const std::string& addr, std::string* host,
                    uint16_t* port) {
@@ -74,9 +90,11 @@ int main(int argc, char** argv) {
   std::string port_file;
   std::string metrics_path;
   std::string trace_path;
+  std::string wal_dir;
   Duration duration = 0;
   Duration wall_limit = 0;
   bool frame_clock = false;
+  bool no_crash = false;
 
   auto value_of = [&](int* i) -> const char* {
     if (*i + 1 >= argc) {
@@ -107,6 +125,10 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--frame-clock") == 0) {
       frame_clock = true;
+    } else if (std::strcmp(argv[i], "--wal-dir") == 0) {
+      wal_dir = value_of(&i);
+    } else if (std::strcmp(argv[i], "--no-crash") == 0) {
+      no_crash = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       PrintFlagHelp(stdout, argv[0],
                     "serve a query plan over the wire-protocol ingest port",
@@ -153,6 +175,7 @@ int main(int argc, char** argv) {
                                    : IngestClock::Mode::kWallClock;
   options.horizon =
       duration > 0 ? duration : experiment->run.horizon;
+  if (!no_crash) options.crash_at = experiment->recovery.crash_at;
   if (wall_limit > 0) {
     options.wall_limit = wall_limit;
   } else if (!frame_clock) {
@@ -176,6 +199,32 @@ int main(int argc, char** argv) {
     graph->SetBufferBound(experiment->run.buffer_cap,
                           experiment->run.overload);
   }
+
+  // Crash recovery (docs/recovery.md). Restore order matters: checkpointed
+  // buffer contents must land before the executor constructor scans them to
+  // seed its ready queue.
+  std::unique_ptr<RecoveryManager> recovery;
+  if (experiment->recovery.wal) {
+    RecoveryOptions ropts;
+    ropts.dir = wal_dir.empty() ? experiment->recovery.dir : wal_dir;
+    ropts.wal = true;
+    ropts.sync = experiment->recovery.sync;
+    ropts.sync_interval_bytes = experiment->recovery.sync_interval_bytes;
+    ropts.segment_bytes = experiment->recovery.segment_bytes;
+    ropts.checkpoint = experiment->recovery.checkpoint;
+    ropts.checkpoint_horizon = experiment->recovery.checkpoint_horizon;
+    ropts.keep = experiment->recovery.keep;
+    recovery = std::make_unique<RecoveryManager>(ropts);
+    if (tracer != nullptr) recovery->set_tracer(tracer.get());
+    Status opened = recovery->Open();
+    if (!opened.ok()) {
+      std::fprintf(stderr, "recovery error: %s\n",
+                   opened.ToString().c_str());
+      return 1;
+    }
+    recovery->RestoreGraph(graph, &clock);
+  }
+
   std::unique_ptr<Executor> executor;
   switch (experiment->run.executor) {
     case ExecutorKind::kDfs:
@@ -190,16 +239,62 @@ int main(int argc, char** argv) {
           std::make_unique<GreedyMemoryExecutor>(graph, &clock, config);
       break;
   }
+  if (recovery != nullptr) {
+    recovery->RestoreExecutor(executor.get());
+    Status attached = recovery->AttachSinks(graph);
+    if (!attached.ok()) {
+      std::fprintf(stderr, "recovery error: %s\n",
+                   attached.ToString().c_str());
+      return 1;
+    }
+  }
+
+  // Run() serves for `horizon` from its starting clock. After a restore
+  // the clock already sits at the checkpoint instant, so serve only the
+  // remainder — the recovered run ends at the same absolute virtual time
+  // the uninterrupted run would have.
+  if (recovery != nullptr && recovery->recovered()) {
+    options.horizon =
+        options.horizon > clock.now() ? options.horizon - clock.now() : 0;
+  }
 
   IngestServer server(graph, executor.get(), &clock, options);
   if (tracer != nullptr) server.AttachTracer(tracer.get());
   server.set_violation_policy(experiment->run.violations);
+  if (recovery != nullptr) {
+    server.AttachRecovery(recovery.get());
+    if (!recovery->recovered_net_blob().empty()) {
+      Status restored = server.RestoreNetState(recovery->recovered_net_blob());
+      if (!restored.ok()) {
+        std::fprintf(stderr, "recovery error: %s\n",
+                     restored.ToString().c_str());
+        return 1;
+      }
+    }
+  }
 
   Status status = server.Start();
   if (!status.ok()) {
     std::fprintf(stderr, "start error: %s\n", status.ToString().c_str());
     return 1;
   }
+  if (recovery != nullptr && recovery->recovered()) {
+    status = server.ReplayRecoveredWal();
+    if (!status.ok()) {
+      std::fprintf(stderr, "wal replay error: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::printf("recovered to t=%.3f s (virtual): %llu WAL frames "
+                "replayed past the checkpoint\n",
+                DurationToSeconds(clock.now()),
+                static_cast<unsigned long long>(
+                    recovery->replayed_frames()));
+  }
+
+  g_server = &server;
+  std::signal(SIGTERM, HandleShutdownSignal);
+  std::signal(SIGINT, HandleShutdownSignal);
   std::printf("listening on %s:%u (%s clock), horizon %.3f s\n",
               options.host.c_str(), server.port(),
               frame_clock ? "frame-driven" : "wall",
@@ -215,9 +310,33 @@ int main(int argc, char** argv) {
   }
 
   status = server.Run();
+  g_server = nullptr;
+  if (status.code() == StatusCode::kAborted) {
+    // Scheduled chaos crash: die the way SIGKILL would — no WAL flush, no
+    // final checkpoint, no stdio teardown. Recovery must cope with exactly
+    // this state.
+    std::fprintf(stderr, "crash: %s\n", status.ToString().c_str());
+    std::_Exit(137);
+  }
   if (!status.ok()) {
     std::fprintf(stderr, "serve error: %s\n", status.ToString().c_str());
     return 1;
+  }
+  if (recovery != nullptr) {
+    // Graceful shutdown epilogue (horizon reached or SIGTERM/SIGINT):
+    // persist everything so a restart resumes without replay loss.
+    Status final_ckpt = server.CheckpointNow();
+    if (!final_ckpt.ok()) {
+      std::fprintf(stderr, "final checkpoint failed: %s\n",
+                   final_ckpt.ToString().c_str());
+    }
+    Status flushed = recovery->FlushWal();
+    if (flushed.ok()) flushed = recovery->FlushSinks();
+    if (!flushed.ok()) {
+      std::fprintf(stderr, "recovery flush failed: %s\n",
+                   flushed.ToString().c_str());
+      return 1;
+    }
   }
 
   ExperimentReport report;
@@ -281,6 +400,7 @@ int main(int argc, char** argv) {
     MetricsRegistry registry;
     report.PublishTo(&registry);
     server.PublishTo(&registry);
+    if (recovery != nullptr) recovery->PublishTo(&registry);
     std::ofstream out(metrics_path);
     if (!out) {
       std::fprintf(stderr, "cannot open %s for writing\n",

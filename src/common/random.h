@@ -40,6 +40,16 @@ class Pcg32 {
   /// Returns a uniform integer in [lo, hi] inclusive. Requires lo <= hi.
   int64_t NextInt(int64_t lo, int64_t hi);
 
+  /// Raw generator state, so a checkpoint can resume the exact sequence
+  /// (recovery/): two generators with equal (state, inc) produce identical
+  /// futures.
+  uint64_t state() const { return state_; }
+  uint64_t inc() const { return inc_; }
+  void RestoreState(uint64_t state, uint64_t inc) {
+    state_ = state;
+    inc_ = inc;
+  }
+
  private:
   uint64_t state_;
   uint64_t inc_;

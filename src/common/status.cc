@@ -28,6 +28,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "INTERNAL";
     case StatusCode::kDeadlineExceeded:
       return "DEADLINE_EXCEEDED";
+    case StatusCode::kAborted:
+      return "ABORTED";
   }
   return "UNKNOWN";
 }
@@ -69,6 +71,9 @@ Status InternalError(std::string message) {
 }
 Status DeadlineExceededError(std::string message) {
   return Status(StatusCode::kDeadlineExceeded, std::move(message));
+}
+Status AbortedError(std::string message) {
+  return Status(StatusCode::kAborted, std::move(message));
 }
 
 namespace internal_status {

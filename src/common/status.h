@@ -18,6 +18,9 @@ enum class StatusCode {
   kUnimplemented = 6,
   kInternal = 7,
   kDeadlineExceeded = 8,
+  /// The operation was deliberately cut short (e.g. a scheduled chaos
+  /// crash); distinct from kInternal so callers can branch on it.
+  kAborted = 9,
 };
 
 /// Returns a stable human-readable name for `code` ("OK", "INVALID_ARGUMENT",
@@ -70,6 +73,7 @@ Status OutOfRangeError(std::string message);
 Status UnimplementedError(std::string message);
 Status InternalError(std::string message);
 Status DeadlineExceededError(std::string message);
+Status AbortedError(std::string message);
 
 /// A value-or-error holder, a minimal analogue of absl::StatusOr<T>.
 /// Accessing `value()` on an error Result aborts the process (see

@@ -111,6 +111,35 @@ Tuple StreamBuffer::PopInternal() {
   return tuple;
 }
 
+void StreamBuffer::SnapshotTuples(std::vector<Tuple>* out) const {
+  out->reserve(out->size() + count_);
+  for (size_t i = 0; i < count_; ++i) {
+    out->push_back(slots_[(head_ + i) & mask_]);
+  }
+}
+
+void StreamBuffer::RestoreSnapshot(std::vector<Tuple> tuples,
+                                   uint64_t total_pushed,
+                                   uint64_t data_pushed,
+                                   uint64_t shed_tuples,
+                                   uint64_t vetoed_pushes,
+                                   size_t high_water) {
+  DSMS_CHECK_EQ(count_, 0u);
+  DSMS_CHECK(listeners_.empty());
+  DSMS_CHECK(tracker_ == nullptr);
+  EnsureCapacity(tuples.size());
+  head_ = 0;
+  for (Tuple& tuple : tuples) {
+    data_in_queue_ += tuple.is_data() ? 1u : 0u;
+    slots_[count_++] = std::move(tuple);
+  }
+  total_pushed_ = total_pushed;
+  data_pushed_ = data_pushed;
+  shed_tuples_ = shed_tuples;
+  vetoed_pushes_ = vetoed_pushes;
+  high_water_ = high_water;
+}
+
 size_t StreamBuffer::DrainInto(std::vector<Tuple>* out) {
   const size_t drained = count_;
   if (drained == 0) return 0;

@@ -191,6 +191,21 @@ class StreamBuffer {
   /// Current ring capacity (tests of the growth policy).
   size_t capacity() const { return slots_.size(); }
 
+  // --- checkpoint support (recovery/) ---
+
+  /// Copies the queued tuples into `*out` in FIFO order without consuming
+  /// them (listeners and the ready-tracker see nothing). Counters are read
+  /// through the existing accessors.
+  void SnapshotTuples(std::vector<Tuple>* out) const;
+
+  /// Restores checkpointed contents and lifetime counters. Requires an
+  /// empty buffer with no listeners or tracker attached (restore runs
+  /// before the executor and metrics wiring exist), so no notifications are
+  /// replayed for the restored tuples.
+  void RestoreSnapshot(std::vector<Tuple> tuples, uint64_t total_pushed,
+                       uint64_t data_pushed, uint64_t shed_tuples,
+                       uint64_t vetoed_pushes, size_t high_water);
+
  private:
   template <typename T>
   bool PushImpl(T&& tuple) {

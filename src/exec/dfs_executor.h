@@ -37,6 +37,14 @@ class DfsExecutor : public Executor {
   /// Operator the DFS cursor is parked on; -1 when idle.
   int current() const { return current_; }
 
+ protected:
+  std::vector<int64_t> ExportStrategyState() const override {
+    return {current_};
+  }
+  void ImportStrategyState(const std::vector<int64_t>& state) override {
+    if (state.size() == 1) current_ = static_cast<int>(state[0]);
+  }
+
  private:
   /// Scans for an operator with processable input (a component whose source
   /// buffers received tuples, or leftover work). Returns -1 if none.

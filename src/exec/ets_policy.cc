@@ -4,6 +4,7 @@
 
 #include "common/time.h"
 #include "obs/tracer.h"
+#include "recovery/state_codec.h"
 
 namespace dsms {
 
@@ -51,6 +52,27 @@ bool EtsGate::GenerateFallback(Source* source, Timestamp now) {
                        source->promised_bound());
   }
   return true;
+}
+
+void EtsGate::SaveState(StateWriter& w) const {
+  w.U64(generated_);
+  w.U64(fallback_generated_);
+  w.U32(static_cast<uint32_t>(last_generation_.size()));
+  for (const auto& [stream, when] : last_generation_) {
+    w.I64(stream);
+    w.Ts(when);
+  }
+}
+
+void EtsGate::LoadState(StateReader& r) {
+  generated_ = r.U64();
+  fallback_generated_ = r.U64();
+  last_generation_.clear();
+  uint32_t n = r.U32();
+  for (uint32_t i = 0; i < n && r.ok(); ++i) {
+    int32_t stream = static_cast<int32_t>(r.I64());
+    last_generation_[stream] = r.Ts();
+  }
 }
 
 }  // namespace dsms

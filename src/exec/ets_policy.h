@@ -9,6 +9,8 @@
 
 namespace dsms {
 
+class StateReader;
+class StateWriter;
 class Tracer;
 
 /// Whether the executor generates Enabling Time-Stamps on demand.
@@ -71,6 +73,11 @@ class EtsGate {
   /// Execution tracer recording kEtsGenerated events (both origins flow
   /// through this gate, so one hook covers every executor); null = off.
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
+  /// Checkpoint support (recovery/): counters and per-source throttle
+  /// state, so a restarted gate keeps the min_interval promise.
+  void SaveState(StateWriter& w) const;
+  void LoadState(StateReader& r);
 
  private:
   EtsPolicy policy_;

@@ -6,6 +6,7 @@
 #include "obs/tracer.h"
 #include "operators/iwp_operator.h"
 #include "operators/source.h"
+#include "recovery/state_codec.h"
 
 namespace dsms {
 
@@ -56,6 +57,50 @@ uint64_t Executor::RunUntilIdle() {
 const IdleWaitTracker* Executor::idle_tracker(int op_id) const {
   auto it = idle_trackers_.find(op_id);
   return it == idle_trackers_.end() ? nullptr : &it->second;
+}
+
+void Executor::SaveState(StateWriter& w) const {
+  w.U64(stats_.data_steps);
+  w.U64(stats_.punctuation_steps);
+  w.U64(stats_.empty_steps);
+  w.U64(stats_.backtracks);
+  w.U64(stats_.backtrack_hops);
+  w.U64(stats_.ets_generated);
+  w.U64(stats_.watchdog_ets);
+  w.U64(stats_.idle_returns);
+  w.U64(stats_.work_scans);
+  ets_gate_.SaveState(w);
+  w.U32(static_cast<uint32_t>(watchdog_last_fire_.size()));
+  for (const auto& [stream, when] : watchdog_last_fire_) {
+    w.I64(stream);
+    w.Ts(when);
+  }
+  std::vector<int64_t> strategy = ExportStrategyState();
+  w.U32(static_cast<uint32_t>(strategy.size()));
+  for (int64_t v : strategy) w.I64(v);
+}
+
+void Executor::LoadState(StateReader& r) {
+  stats_.data_steps = r.U64();
+  stats_.punctuation_steps = r.U64();
+  stats_.empty_steps = r.U64();
+  stats_.backtracks = r.U64();
+  stats_.backtrack_hops = r.U64();
+  stats_.ets_generated = r.U64();
+  stats_.watchdog_ets = r.U64();
+  stats_.idle_returns = r.U64();
+  stats_.work_scans = r.U64();
+  ets_gate_.LoadState(r);
+  watchdog_last_fire_.clear();
+  uint32_t n = r.U32();
+  for (uint32_t i = 0; i < n && r.ok(); ++i) {
+    int32_t stream = static_cast<int32_t>(r.I64());
+    watchdog_last_fire_[stream] = r.Ts();
+  }
+  std::vector<int64_t> strategy;
+  uint32_t m = r.U32();
+  for (uint32_t i = 0; i < m && r.ok(); ++i) strategy.push_back(r.I64());
+  if (r.ok()) ImportStrategyState(strategy);
 }
 
 void Executor::ChargeStep(const Operator& op, const StepResult& result) {

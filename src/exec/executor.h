@@ -1,8 +1,10 @@
 #ifndef DSMS_EXEC_EXECUTOR_H_
 #define DSMS_EXEC_EXECUTOR_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
+#include <vector>
 
 #include "common/clock.h"
 #include "common/time.h"
@@ -15,6 +17,8 @@
 
 namespace dsms {
 
+class StateReader;
+class StateWriter;
 class Tracer;
 
 /// Virtual CPU cost model: how much the clock advances per operator step.
@@ -104,7 +108,23 @@ class Executor {
   /// non-IWP operators.
   const IdleWaitTracker* idle_tracker(int op_id) const;
 
+  // --- checkpoint support (recovery/) ---
+  /// Serializes the executor's behavior-affecting state: ExecStats, the ETS
+  /// gate (counters + throttle), watchdog fire times, and the concrete
+  /// strategy's cursor (ExportStrategyState). IdleWaitTrackers are
+  /// metrics-only and deliberately not saved (docs/recovery.md).
+  void SaveState(StateWriter& w) const;
+  void LoadState(StateReader& r);
+
  protected:
+  /// Strategy-specific scheduling cursor as a flat int64 vector (DFS:
+  /// current operator; round-robin: cursor + used quantum). The default
+  /// (empty) is correct for strategies whose next decision is derived
+  /// fresh from buffer state (greedy-memory rebuilds its lazy heap).
+  virtual std::vector<int64_t> ExportStrategyState() const { return {}; }
+  virtual void ImportStrategyState(const std::vector<int64_t>& state) {
+    (void)state;
+  }
   class ClockContext : public ExecContext {
    public:
     explicit ClockContext(VirtualClock* clock) : clock_(clock) {}

@@ -25,6 +25,17 @@ class RoundRobinExecutor : public Executor {
 
   bool RunStep() override;
 
+ protected:
+  std::vector<int64_t> ExportStrategyState() const override {
+    return {cursor_, used_in_quantum_};
+  }
+  void ImportStrategyState(const std::vector<int64_t>& state) override {
+    if (state.size() == 2) {
+      cursor_ = static_cast<int>(state[0]);
+      used_in_quantum_ = static_cast<int>(state[1]);
+    }
+  }
+
  private:
   void AdvanceCursor();
   void MarkBlockedIwp(Operator* op);

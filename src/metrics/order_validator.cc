@@ -55,6 +55,14 @@ bool OrderValidator::OnBeforePush(const StreamBuffer& buffer,
   return true;
 }
 
+std::map<int, Timestamp> OrderValidator::ExportBounds() const {
+  std::map<int, Timestamp> by_id;
+  for (const auto& [buffer, bound] : bound_) {
+    by_id[buffer->id()] = bound;
+  }
+  return by_id;
+}
+
 void OrderValidator::Reset() {
   bound_.clear();
   violations_ = 0;

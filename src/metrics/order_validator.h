@@ -75,6 +75,23 @@ class OrderValidator : public BufferListener {
 
   void Reset();
 
+  // --- checkpoint support (recovery/) ---
+  /// Behavior-affecting state: under kDropLate/kQuarantine the per-arc
+  /// running bounds decide which pushes are vetoed, so they must survive a
+  /// restart. Exported keyed by buffer id (pointers don't serialize). The
+  /// dead-letter sample and first-violation text are diagnostics and
+  /// deliberately not exported (docs/recovery.md).
+  std::map<int, Timestamp> ExportBounds() const;
+  void RestoreBound(const StreamBuffer* buffer, Timestamp bound) {
+    bound_[buffer] = bound;
+  }
+  void RestoreCounters(uint64_t violations, uint64_t dropped,
+                       uint64_t quarantined) {
+    violations_ = violations;
+    dropped_ = dropped;
+    quarantined_ = quarantined;
+  }
+
   static constexpr size_t kMaxQuarantineSample = 64;
 
  private:

@@ -1,6 +1,7 @@
 #ifndef DSMS_METRICS_QUEUE_SIZE_TRACKER_H_
 #define DSMS_METRICS_QUEUE_SIZE_TRACKER_H_
 
+#include <algorithm>
 #include <cstdint>
 
 #include "core/stream_buffer.h"
@@ -30,6 +31,17 @@ class QueueSizeTracker : public BufferListener {
   }
 
   void Reset();
+
+  /// Accounts for tuples that were already in a buffer when the tracker
+  /// attached (crash recovery restores buffer contents before the server —
+  /// and therefore the tracker — exists). Without this the first pop of a
+  /// restored tuple would underflow the occupancy counters.
+  void SeedOccupancy(int64_t total, int64_t data) {
+    current_total_ += total;
+    peak_total_ = std::max(peak_total_, current_total_);
+    current_data_ += data;
+    peak_data_ = std::max(peak_data_, current_data_);
+  }
 
   /// Restarts peak tracking from the current occupancy (used when a warmup
   /// period ends and steady-state peaks are wanted).

@@ -2,12 +2,15 @@
 
 #include <arpa/inet.h>
 #include <errno.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <string.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 #include <utility>
@@ -15,6 +18,82 @@
 #include "common/strings.h"
 
 namespace dsms {
+namespace {
+
+/// Applies a send/recv timeout (microseconds) to `fd`; 0 is a no-op.
+void SetSocketTimeout(int fd, int optname, Duration timeout) {
+  if (timeout <= 0) return;
+  timeval tv;
+  tv.tv_sec = static_cast<time_t>(timeout / 1000000);
+  tv.tv_usec = static_cast<suseconds_t>(timeout % 1000000);
+  ::setsockopt(fd, SOL_SOCKET, optname, &tv, sizeof(tv));
+}
+
+/// connect(2) with a wall-clock cap: non-blocking connect, poll for
+/// writability, then read back SO_ERROR. With `timeout` 0 this is a plain
+/// blocking connect.
+Status ConnectFd(int fd, const sockaddr_in& addr, Duration timeout,
+                 const FeedClientOptions& options) {
+  auto error = [&options](const char* what, int err) {
+    return InternalError(StrFormat("%s %s:%u: %s", what,
+                                   options.host.c_str(), options.port,
+                                   strerror(err)));
+  };
+  if (timeout <= 0) {
+    int rc;
+    do {
+      rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr));
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) return error("connect", errno);
+    return OkStatus();
+  }
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr));
+  if (rc < 0 && errno != EINPROGRESS && errno != EINTR) {
+    return error("connect", errno);
+  }
+  if (rc < 0) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::microseconds(timeout);
+    for (;;) {
+      auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      if (left.count() <= 0) return error("connect (timeout)", ETIMEDOUT);
+      pollfd pfd{fd, POLLOUT, 0};
+      int prc = ::poll(&pfd, 1, static_cast<int>(left.count()));
+      if (prc < 0 && errno == EINTR) continue;
+      if (prc < 0) return error("poll", errno);
+      if (prc == 0) return error("connect (timeout)", ETIMEDOUT);
+      break;
+    }
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) < 0) {
+      return error("getsockopt", errno);
+    }
+    if (so_error != 0) return error("connect", so_error);
+  }
+  ::fcntl(fd, F_SETFL, flags);  // back to blocking for the send path
+  return OkStatus();
+}
+
+}  // namespace
+
+Duration ComputeBackoffDelay(int attempt, const FeedClientOptions& options,
+                             Pcg32& rng) {
+  Duration delay = options.backoff_base;
+  for (int i = 0; i < attempt && delay < options.backoff_max; ++i) {
+    delay *= 2;
+  }
+  delay = std::min(delay, options.backoff_max);
+  // Jitter in [0.5, 1.0): desynchronizes reconnect herds while keeping the
+  // delay within a factor of two of the nominal schedule.
+  return static_cast<Duration>(static_cast<double>(delay) *
+                               (0.5 + 0.5 * rng.NextDouble()));
+}
 
 FeedClient::FeedClient(FeedClientOptions options)
     : options_(std::move(options)) {
@@ -23,8 +102,7 @@ FeedClient::FeedClient(FeedClientOptions options)
 
 FeedClient::~FeedClient() { Close(); }
 
-Status FeedClient::Connect() {
-  if (!fds_.empty()) return FailedPreconditionError("already connected");
+Status FeedClient::TryConnect() {
   sockaddr_in addr;
   std::memset(&addr, 0, sizeof(addr));
   addr.sin_family = AF_INET;
@@ -39,19 +117,88 @@ Status FeedClient::Connect() {
       Close();
       return InternalError(StrFormat("socket: %s", strerror(errno)));
     }
-    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-        0) {
+    Status connected = ConnectFd(fd, addr, options_.connect_timeout, options_);
+    if (!connected.ok()) {
       ::close(fd);
       Close();
-      return InternalError(StrFormat("connect %s:%u: %s",
-                                     options_.host.c_str(), options_.port,
-                                     strerror(errno)));
+      return connected;
     }
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    SetSocketTimeout(fd, SO_SNDTIMEO, options_.write_timeout);
+    SetSocketTimeout(fd, SO_RCVTIMEO, options_.write_timeout);
     fds_.push_back(fd);
   }
   return OkStatus();
+}
+
+Status FeedClient::Connect() {
+  if (!fds_.empty()) return FailedPreconditionError("already connected");
+  Pcg32 rng(options_.backoff_seed);
+  Status last = OkStatus();
+  for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(
+          ComputeBackoffDelay(attempt - 1, options_, rng)));
+    }
+    last = TryConnect();
+    if (last.ok()) return OkStatus();
+  }
+  return last;
+}
+
+Result<WireFrame> FeedClient::ReadFrame(int index) {
+  FrameDecoder decoder;
+  char buf[4096];
+  for (;;) {
+    WireFrame frame;
+    Result<bool> got = decoder.Next(&frame);
+    if (!got.ok()) return got.status();
+    if (*got) return frame;
+    ssize_t n = ::recv(fds_[index], buf, sizeof(buf), 0);
+    if (n > 0) {
+      decoder.Feed(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return DeadlineExceededError("timed out waiting for a server frame");
+    }
+    if (n == 0) return InternalError("server closed during handshake");
+    return InternalError(StrFormat("recv: %s", strerror(errno)));
+  }
+}
+
+Status FeedClient::Handshake() {
+  if (fds_.empty()) return FailedPreconditionError("call Connect() first");
+  if (!options_.resume) {
+    return FailedPreconditionError("handshake requires options.resume");
+  }
+  if (options_.connections != 1) {
+    return InvalidArgumentError(
+        "resume needs a single connection: the durable watermark is per "
+        "stream and round-robin framing would race it");
+  }
+  WireFrame hello;
+  hello.type = WireFrame::Type::kHello;
+  DSMS_RETURN_IF_ERROR(SendFrame(hello, 0));
+  Result<WireFrame> reply = ReadFrame(0);
+  if (!reply.ok()) return reply.status();
+  if (reply->type != WireFrame::Type::kResumeState) {
+    return InternalError(StrFormat("expected resume-state, got %s",
+                                   WireFrameTypeToString(reply->type)));
+  }
+  acked_.clear();
+  for (size_t i = 0; i + 1 < reply->values.size(); i += 2) {
+    acked_[static_cast<int32_t>(reply->values[i].int64_value())] =
+        static_cast<uint64_t>(reply->values[i + 1].int64_value());
+  }
+  // Echo the watermark back: the server verifies the token so a feeder
+  // resuming against the wrong (or wiped) recovery state is refused.
+  WireFrame resume;
+  resume.type = WireFrame::Type::kResume;
+  resume.values = reply->values;
+  return SendFrame(resume, 0);
 }
 
 void FeedClient::Close() {
@@ -64,7 +211,9 @@ void FeedClient::Close() {
 Status FeedClient::WriteAll(int fd, const char* data, size_t size) {
   size_t sent = 0;
   while (sent < size) {
-    ssize_t n = ::send(fd, data + sent, size - sent, 0);
+    // MSG_NOSIGNAL: a server that died mid-run must surface as an EPIPE
+    // error the retry logic can handle, not a SIGPIPE killing the feeder.
+    ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return InternalError(StrFormat("send: %s", strerror(errno)));
@@ -97,10 +246,20 @@ Result<uint64_t> FeedClient::Send(
   uint64_t sent = 0;
   std::string batch;
   int target = 0;
+  // Exactly-once resume: the server acknowledged this many durable frames
+  // per stream; those are skipped, everything after goes out again.
+  std::map<int32_t, uint64_t> skip = acked_;
   for (const ScheduledFrame& entry : schedule) {
     if (options_.disconnect_after > 0 &&
         sent >= options_.disconnect_after) {
       break;
+    }
+    if (!skip.empty()) {
+      auto it = skip.find(entry.frame.stream_id);
+      if (it != skip.end() && it->second > 0) {
+        --it->second;
+        continue;
+      }
     }
     WireFrame frame = entry.frame;
     if (options_.extra_skew > 0 && frame.type == WireFrame::Type::kData &&

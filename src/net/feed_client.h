@@ -2,9 +2,11 @@
 #define DSMS_NET_FEED_CLIENT_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
+#include "common/random.h"
 #include "common/status.h"
 #include "common/time.h"
 #include "net/feed_schedule.h"
@@ -33,7 +35,35 @@ struct FeedClientOptions {
   /// Strip arrival hints before sending (wall-clock servers ignore them
   /// anyway; stripping saves 8 bytes per frame).
   bool strip_hints = false;
+
+  // --- reconnection / exactly-once resume (recovery; docs/recovery.md) ---
+  /// Extra connect attempts after the first failure (0 = fail fast). Each
+  /// retry waits ComputeBackoffDelay: capped exponential growth with
+  /// deterministic jitter from `backoff_seed`.
+  int max_retries = 0;
+  /// First retry delay (wall microseconds) before jitter.
+  Duration backoff_base = 100 * kMillisecond;
+  /// Upper bound on any single retry delay (before jitter).
+  Duration backoff_max = 5 * kSecond;
+  /// Seed of the jitter RNG — fixed seed, fixed delay sequence, so retry
+  /// timing is reproducible in tests.
+  uint64_t backoff_seed = 1;
+  /// Wall-clock cap on one connect attempt (0 = OS default).
+  Duration connect_timeout = 0;
+  /// Wall-clock cap on one blocking send/recv (0 = none). A stalled server
+  /// turns into an error instead of a hung feeder.
+  Duration write_timeout = 0;
+  /// Perform the HELLO/RESUME handshake after connecting and skip the
+  /// frames the server already holds durably (requires connections == 1:
+  /// the durable watermark is per stream, not per socket).
+  bool resume = false;
 };
+
+/// Delay before connect attempt `attempt` (0-based): min(backoff_max,
+/// backoff_base * 2^attempt), scaled by a jitter factor in [0.5, 1.0) drawn
+/// from `rng`. Pure so the chaos tests can assert the exact sequence.
+Duration ComputeBackoffDelay(int attempt, const FeedClientOptions& options,
+                             Pcg32& rng);
 
 /// Deterministic TCP load generator: replays a BuildFeedSchedule frame list
 /// into an IngestServer. All randomness lives in the schedule (seeded
@@ -47,8 +77,18 @@ class FeedClient {
   FeedClient(const FeedClient&) = delete;
   FeedClient& operator=(const FeedClient&) = delete;
 
-  /// Opens options.connections blocking TCP connections.
+  /// Opens options.connections blocking TCP connections, honouring
+  /// connect_timeout and retrying up to max_retries times with jittered
+  /// exponential backoff.
   Status Connect();
+
+  /// HELLO/RESUME handshake: asks the server for its durable watermark,
+  /// stores it (see acked()), and echoes it back as the resume token. Call
+  /// between Connect() and Send(); requires options.resume.
+  Status Handshake();
+
+  /// Durable (stream id -> frame count) watermark from the last Handshake.
+  const std::map<int32_t, uint64_t>& acked() const { return acked_; }
 
   /// Sends the schedule in order (round-robin across connections), applying
   /// pacing and the misbehaviour knobs. Returns the number of frames
@@ -70,9 +110,14 @@ class FeedClient {
 
  private:
   Status WriteAll(int fd, const char* data, size_t size);
+  /// One pass over all sockets (no retry/backoff).
+  Status TryConnect();
+  /// Blocking read of one complete frame from connection `index`.
+  Result<WireFrame> ReadFrame(int index);
 
   FeedClientOptions options_;
   std::vector<int> fds_;
+  std::map<int32_t, uint64_t> acked_;
   uint64_t frames_sent_ = 0;
   uint64_t bytes_sent_ = 0;
 };

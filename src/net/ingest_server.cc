@@ -20,6 +20,8 @@
 #include "obs/metrics_registry.h"
 #include "obs/trace_wiring.h"
 #include "obs/tracer.h"
+#include "recovery/recovery_manager.h"
+#include "recovery/state_codec.h"
 
 namespace dsms {
 namespace {
@@ -47,6 +49,15 @@ IngestServer::IngestServer(QueryGraph* graph, Executor* executor,
   DSMS_CHECK(clock != nullptr);
   graph_->ReplaceBufferListeners(&queue_tracker_);
   graph_->AddBufferListener(&order_validator_);
+  // Buffers restored from a checkpoint are repopulated before the server
+  // (and its tracker) exists; seed the occupancy counters so the first pop
+  // of a restored tuple does not underflow them. Fresh graphs are empty and
+  // this is a no-op.
+  for (int i = 0; i < graph_->num_buffers(); ++i) {
+    const StreamBuffer* buffer = graph_->buffer(i);
+    queue_tracker_.SeedOccupancy(static_cast<int64_t>(buffer->size()),
+                                 static_cast<int64_t>(buffer->data_size()));
+  }
 }
 
 IngestServer::~IngestServer() {
@@ -55,6 +66,13 @@ IngestServer::~IngestServer() {
   }
   if (listen_fd_ >= 0) ::close(listen_fd_);
   graph_->ReplaceBufferListeners(nullptr);
+}
+
+void IngestServer::AttachRecovery(RecoveryManager* recovery) {
+  DSMS_CHECK(recovery != nullptr);
+  DSMS_CHECK(recovery_ == nullptr);
+  DSMS_CHECK_LT(listen_fd_, 0);  // before Start()
+  recovery_ = recovery;
 }
 
 void IngestServer::AttachTracer(Tracer* tracer) {
@@ -134,6 +152,7 @@ void IngestServer::AcceptPending() {
     conn->report.id = conn->id;
     conn->report.open = true;
     ++connections_accepted_;
+    ++connections_this_process_;
     connections_.push_back(std::move(conn));
   }
 }
@@ -179,7 +198,94 @@ void IngestServer::ReadFrom(Connection* conn) {
       break;
     }
     if (!*got) break;
+    if (IsControlFrame(frame.type)) {
+      HandleControl(conn, frame);
+      if (!conn->open) break;
+      continue;
+    }
     conn->pending.push_back(std::move(frame));
+  }
+}
+
+void IngestServer::HandleControl(Connection* conn, const WireFrame& frame) {
+  switch (frame.type) {
+    case WireFrame::Type::kHello: {
+      // Answer with the durable watermark. Without recovery attached the
+      // watermark is legitimately empty: "nothing durable, send everything".
+      WireFrame reply;
+      reply.type = WireFrame::Type::kResumeState;
+      if (recovery_ != nullptr) {
+        for (const auto& [stream, seq] : recovery_->durable_seqs()) {
+          reply.values.emplace_back(static_cast<int64_t>(stream));
+          reply.values.emplace_back(static_cast<int64_t>(seq));
+        }
+      }
+      Status encoded = EncodeFrame(reply, &conn->outbox);
+      if (!encoded.ok()) {
+        ++conn->report.protocol_errors;
+        DSMS_LOG(Warning) << "connection " << conn->id
+                          << " resume-state encode: " << encoded.message();
+        CloseConnection(conn);
+        return;
+      }
+      FlushOutbox(conn);
+      return;
+    }
+    case WireFrame::Type::kResume: {
+      // The client echoes the (stream, seq) pairs it resumes from; a stale
+      // token (e.g. from a server whose recovery directory was wiped) must
+      // be refused loudly or the exactly-once accounting silently skews.
+      bool match = true;
+      for (size_t i = 0; i + 1 < frame.values.size(); i += 2) {
+        const int32_t stream =
+            static_cast<int32_t>(frame.values[i].int64_value());
+        const uint64_t seq =
+            static_cast<uint64_t>(frame.values[i + 1].int64_value());
+        uint64_t durable = 0;
+        if (recovery_ != nullptr) {
+          auto it = recovery_->durable_seqs().find(stream);
+          if (it != recovery_->durable_seqs().end()) durable = it->second;
+        }
+        if (seq != durable) {
+          match = false;
+          break;
+        }
+      }
+      if (!match) {
+        ++resume_rejects_;
+        ++conn->report.protocol_errors;
+        DSMS_LOG(Warning) << "connection " << conn->id
+                          << " presented a stale resume token; dropping";
+        CloseConnection(conn);
+      }
+      return;
+    }
+    case WireFrame::Type::kResumeState:
+      // Server-to-client only; a client sending it is confused.
+      ++conn->report.protocol_errors;
+      DSMS_LOG(Warning) << "connection " << conn->id
+                        << " sent a server-side resume-state frame";
+      CloseConnection(conn);
+      return;
+    default:
+      return;  // unreachable: callers gate on IsControlFrame
+  }
+}
+
+void IngestServer::FlushOutbox(Connection* conn) {
+  while (conn->open && !conn->outbox.empty()) {
+    ssize_t n =
+        ::send(conn->fd, conn->outbox.data(), conn->outbox.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->outbox.erase(0, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return;  // POLLOUT in PollOnce resumes the flush.
+    }
+    CloseConnection(conn);
+    return;
   }
 }
 
@@ -298,6 +404,24 @@ bool IngestServer::DeliverDue() {
       WireFrame taken = std::move(frame);
       conn->pending.pop_front();
       delivered = true;
+      if (recovery_ != nullptr && recovery_->wal_enabled()) {
+        // Log the frame ahead of delivery: a crash between the append and
+        // the ingest replays it (at-least-once into a deterministic
+        // engine = exactly-once at the sink).
+        std::string encoded;
+        Status logged = EncodeFrame(taken, &encoded);
+        if (logged.ok()) {
+          logged = recovery_->AppendFrame(now, conn->id, taken.stream_id,
+                                          encoded);
+        }
+        if (!logged.ok()) {
+          // A write-ahead log that cannot be written voids the durability
+          // contract; stop serving rather than silently degrade.
+          wal_error_ = logged;
+          stop_ = true;
+          return delivered;
+        }
+      }
       if (!IngestFrame(conn.get(), std::move(taken), now)) break;
     }
   }
@@ -342,14 +466,19 @@ Status IngestServer::PollOnce(int timeout_ms) {
   std::vector<Connection*> polled;
   for (auto& conn : connections_) {
     if (!conn->open) continue;
+    short events = 0;
     // Reads pause while parked on backpressure or while the decoded-frame
     // queue is full: the kernel buffer fills, the peer's send window
     // closes, and the producer genuinely slows down.
-    if (conn->retry_at != kMinTimestamp ||
-        conn->pending.size() >= options_.max_pending_frames) {
-      continue;
+    if (conn->retry_at == kMinTimestamp &&
+        conn->pending.size() < options_.max_pending_frames) {
+      events |= POLLIN;
     }
-    fds.push_back(pollfd{conn->fd, POLLIN, 0});
+    // Pending handshake bytes (a partial send left them queued) still flush
+    // while reads are paused.
+    if (!conn->outbox.empty()) events |= POLLOUT;
+    if (events == 0) continue;
+    fds.push_back(pollfd{conn->fd, events, 0});
     polled.push_back(conn.get());
   }
   int rc = ::poll(fds.data(), fds.size(), timeout_ms);
@@ -359,8 +488,11 @@ Status IngestServer::PollOnce(int timeout_ms) {
   if (rc > 0) {
     if ((fds[0].revents & POLLIN) != 0) AcceptPending();
     for (size_t i = 1; i < fds.size(); ++i) {
-      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
-        ReadFrom(polled[i - 1]);
+      Connection* conn = polled[i - 1];
+      if ((fds[i].revents & POLLOUT) != 0) FlushOutbox(conn);
+      if (conn->open &&
+          (fds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        ReadFrom(conn);
       }
     }
   }
@@ -382,6 +514,11 @@ Status IngestServer::Run() {
 
   Status result = OkStatus();
   while (!stop_ && clock_->now() < horizon) {
+    if (options_.crash_at > 0 && clock_->now() >= options_.crash_at) {
+      return AbortedError(StrFormat(
+          "scheduled crash at virtual time %lld",
+          static_cast<long long>(options_.crash_at)));
+    }
     if (wall_exceeded()) {
       result = DeadlineExceededError("wall limit reached before horizon");
       break;
@@ -392,7 +529,12 @@ Status IngestServer::Run() {
     DSMS_RETURN_IF_ERROR(PollOnce(/*timeout_ms=*/0));
     ingest_clock_.Tick();
     DeliverDue();
+    if (!wal_error_.ok()) break;
     if (executor_->RunStep()) continue;
+
+    // Engine idle: every source frontier is current, so this is the
+    // punctuation-aligned instant a checkpoint may capture.
+    MaybeCheckpointAtIdle();
 
     Timestamp next = NextPendingTime();
     if (next != kMaxTimestamp) {
@@ -405,7 +547,7 @@ Status IngestServer::Run() {
     // wall mode (and while peers are connected) block in poll so real
     // time, not a busy loop, carries the clock toward the horizon.
     if (ingest_clock_.mode() == IngestClock::Mode::kFrameDriven &&
-        connections_accepted_ > 0 && !AnyOpenConnection()) {
+        connections_this_process_ > 0 && !AnyOpenConnection()) {
       break;
     }
     DSMS_RETURN_IF_ERROR(PollOnce(options_.poll_granularity_ms));
@@ -420,7 +562,197 @@ Status IngestServer::Run() {
   if (executor_->config().watchdog.silence_horizon > 0) {
     executor_->RunUntilIdle();
   }
+  if (!wal_error_.ok()) return wal_error_;
   return result;
+}
+
+void IngestServer::MaybeCheckpointAtIdle() {
+  if (recovery_ == nullptr || !recovery_->checkpoint_enabled()) return;
+  // The checkpoint frontier is the weakest promise any source has made:
+  // everything below it is closed, so operator state at or below the
+  // frontier is final and the WAL prefix that produced it is droppable.
+  Timestamp frontier = kMaxTimestamp;
+  for (Source* source : graph_->sources()) {
+    frontier = std::min(frontier, source->promised_bound());
+  }
+  if (frontier == kMaxTimestamp) frontier = kMinTimestamp;  // no sources
+  if (!recovery_->ShouldCheckpoint(frontier)) return;
+  Status status = recovery_->Checkpoint(graph_, executor_, clock_, frontier,
+                                        SaveNetState());
+  if (!status.ok()) {
+    DSMS_LOG(Warning) << "checkpoint failed: " << status.message();
+  }
+}
+
+Status IngestServer::CheckpointNow() {
+  if (recovery_ == nullptr || !recovery_->checkpoint_enabled()) {
+    return OkStatus();
+  }
+  Timestamp frontier = kMaxTimestamp;
+  for (Source* source : graph_->sources()) {
+    frontier = std::min(frontier, source->promised_bound());
+  }
+  if (frontier == kMaxTimestamp) frontier = kMinTimestamp;
+  return recovery_->Checkpoint(graph_, executor_, clock_, frontier,
+                               SaveNetState());
+}
+
+std::string IngestServer::SaveNetState() const {
+  StateWriter w;
+  w.U64(static_cast<uint64_t>(next_connection_id_));
+  w.U64(connections_accepted_);
+  w.U64(frames_ingested_);
+  w.U64(bytes_received_);
+  w.U64(decode_errors_);
+  w.U64(resume_rejects_);
+  w.U32(static_cast<uint32_t>(connections_.size()));
+  for (const auto& conn : connections_) {
+    const ConnectionReport& r = conn->report;
+    w.I64(r.id);
+    w.U64(r.frames);
+    w.U64(r.data_frames);
+    w.U64(r.punct_frames);
+    w.U64(r.bytes);
+    w.U64(r.decode_errors);
+    w.U64(r.protocol_errors);
+    w.U64(r.skew_violations);
+    w.U64(r.shed_tuples);
+    w.Ts(r.max_skew);
+    w.U64(conn->skew.observed());
+    w.U64(conn->skew.violations());
+    w.Ts(conn->skew.raw_max_skew());
+    w.Ts(conn->skew.raw_min_skew());
+  }
+  const std::map<int, Timestamp> bounds = order_validator_.ExportBounds();
+  w.U32(static_cast<uint32_t>(bounds.size()));
+  for (const auto& [buffer_id, bound] : bounds) {
+    w.I64(buffer_id);
+    w.Ts(bound);
+  }
+  w.U64(order_validator_.violations());
+  w.U64(order_validator_.dropped());
+  w.U64(order_validator_.quarantined());
+  return w.Take();
+}
+
+Status IngestServer::RestoreNetState(const std::string& blob) {
+  if (blob.empty()) return OkStatus();
+  if (listen_fd_ >= 0) {
+    return FailedPreconditionError("restore net state before Start()");
+  }
+  StateReader r(blob);
+  next_connection_id_ = static_cast<int64_t>(r.U64());
+  connections_accepted_ = r.U64();
+  frames_ingested_ = r.U64();
+  bytes_received_ = r.U64();
+  decode_errors_ = r.U64();
+  resume_rejects_ = r.U64();
+  const uint32_t conn_count = r.U32();
+  for (uint32_t i = 0; i < conn_count && r.ok(); ++i) {
+    // Pre-crash connections come back as closed history: their sockets died
+    // with the old process, but their reports (and skew extrema) keep
+    // metrics continuous across the restart.
+    auto conn = std::make_unique<Connection>();
+    conn->fd = -1;
+    conn->open = false;
+    conn->report.id = conn->id = r.I64();
+    conn->report.open = false;
+    conn->report.frames = r.U64();
+    conn->report.data_frames = r.U64();
+    conn->report.punct_frames = r.U64();
+    conn->report.bytes = r.U64();
+    conn->report.decode_errors = r.U64();
+    conn->report.protocol_errors = r.U64();
+    conn->report.skew_violations = r.U64();
+    conn->report.shed_tuples = r.U64();
+    conn->report.max_skew = r.Ts();
+    const uint64_t observed = r.U64();
+    const uint64_t violations = r.U64();
+    const Duration max_skew = r.Ts();
+    const Duration min_skew = r.Ts();
+    conn->skew.RestoreState(observed, violations, max_skew, min_skew);
+    if (r.ok()) connections_.push_back(std::move(conn));
+  }
+  const uint32_t bound_count = r.U32();
+  for (uint32_t i = 0; i < bound_count && r.ok(); ++i) {
+    const int buffer_id = static_cast<int>(r.I64());
+    const Timestamp bound = r.Ts();
+    if (r.ok() && buffer_id >= 0 && buffer_id < graph_->num_buffers()) {
+      order_validator_.RestoreBound(graph_->buffer(buffer_id), bound);
+    }
+  }
+  const uint64_t violations = r.U64();
+  const uint64_t dropped = r.U64();
+  const uint64_t quarantined = r.U64();
+  if (!r.ok() || r.remaining() != 0) {
+    return InvalidArgumentError("net-state blob version mismatch");
+  }
+  order_validator_.RestoreCounters(violations, dropped, quarantined);
+  return OkStatus();
+}
+
+Status IngestServer::ReplayRecoveredWal() {
+  if (recovery_ == nullptr) return OkStatus();
+  if (listen_fd_ < 0) return FailedPreconditionError("call Start() first");
+  for (const WalRecord& record : recovery_->recovered_records()) {
+    FrameDecoder decoder(options_.max_frame_bytes);
+    decoder.Feed(record.frame.data(), record.frame.size());
+    WireFrame frame;
+    Result<bool> got = decoder.Next(&frame);
+    if (!got.ok()) {
+      return InternalError(StrFormat(
+          "WAL record %llu no longer decodes: %s",
+          static_cast<unsigned long long>(record.index),
+          got.status().message().c_str()));
+    }
+    if (!*got) {
+      return InternalError(StrFormat(
+          "WAL record %llu holds a truncated frame",
+          static_cast<unsigned long long>(record.index)));
+    }
+    // Re-create the live interleaving: the executor ran until the clock
+    // reached the recorded arrival, then the frame was delivered. The
+    // engine is deterministic, so stepping from the restored state walks
+    // the identical clock trajectory.
+    while (clock_->now() < record.arrival) {
+      if (!executor_->RunStep()) {
+        clock_->AdvanceTo(record.arrival);
+        break;
+      }
+    }
+    // Route the frame through the connection it arrived on originally
+    // (restored as closed history); synthesize an entry when the
+    // connection was born after the checkpoint being replayed over.
+    Connection* conn = nullptr;
+    for (auto& c : connections_) {
+      if (c->id == record.conn_id) {
+        conn = c.get();
+        break;
+      }
+    }
+    if (conn == nullptr) {
+      auto fresh = std::make_unique<Connection>();
+      fresh->fd = -1;
+      fresh->open = false;
+      fresh->report.id = fresh->id = record.conn_id;
+      fresh->report.open = false;
+      conn = fresh.get();
+      connections_.push_back(std::move(fresh));
+      next_connection_id_ =
+          std::max(next_connection_id_, record.conn_id + 1);
+    }
+    const int32_t stream_id = frame.stream_id;
+    const Timestamp now = std::max(clock_->now(), record.arrival);
+    // A protocol error takes the same path as live (counted, connection
+    // close is a no-op on dead history); either way the record counts as
+    // replayed so the durable watermark matches the WAL. No executor step
+    // here: the catch-up loop above reproduces the live interleaving, and
+    // same-arrival records deliver back-to-back just as one DeliverDue
+    // pass did.
+    IngestFrame(conn, std::move(frame), now);
+    recovery_->NoteReplayed(stream_id);
+  }
+  return OkStatus();
 }
 
 std::vector<ConnectionReport> IngestServer::connection_reports() const {
@@ -460,6 +792,7 @@ void IngestServer::PublishTo(MetricsRegistry* registry) const {
   registry->SetCounter("net.skew_violations", skew_violations);
   registry->SetCounter("net.shed_tuples", shed);
   registry->SetGauge("net.max_skew_us", static_cast<double>(max_skew));
+  registry->SetCounter("recovery.resume_rejects", resume_rejects_);
 }
 
 }  // namespace dsms

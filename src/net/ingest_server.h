@@ -22,6 +22,7 @@
 namespace dsms {
 
 class MetricsRegistry;
+class RecoveryManager;
 class Tracer;
 class BufferOccupancyTracer;
 
@@ -47,6 +48,11 @@ struct IngestServerOptions {
   /// Wall-clock cap on the whole Run call; 0 = none. A safety net for
   /// frame-driven runs whose peer stalls forever (returns DeadlineExceeded).
   Duration wall_limit = 0;
+  /// Virtual time at which Run returns Aborted (chaos testing: the
+  /// `crash at=` plan statement; streamets_serve turns it into an immediate
+  /// _Exit so nothing flushes). 0 = never. The check sits in the run loop,
+  /// so the "crash" lands between frame deliveries like a real kill.
+  Timestamp crash_at = 0;
 };
 
 /// Per-connection ingest counters, exposed for metrics and tests.
@@ -109,6 +115,28 @@ class IngestServer {
   /// must outlive the server, call at most once, before Run.
   void AttachTracer(Tracer* tracer);
 
+  /// Attaches crash recovery (must outlive the server; call before Start).
+  /// With a WAL-enabled manager attached the server logs every delivered
+  /// frame, answers the HELLO/RESUME handshake from the manager's durable
+  /// watermark, and — when checkpoints are enabled — snapshots engine state
+  /// at punctuation-aligned idle points.
+  void AttachRecovery(RecoveryManager* recovery);
+
+  /// Restores the net-layer section of a checkpoint (connection history,
+  /// server counters, order-validator bounds). Call before Start(); a
+  /// malformed blob is a version-mismatch error.
+  Status RestoreNetState(const std::string& blob);
+
+  /// Serializes the net-layer state for a checkpoint (what RestoreNetState
+  /// consumes).
+  std::string SaveNetState() const;
+
+  /// Replays the recovery manager's recovered WAL records through the
+  /// normal ingest path, interleaving executor steps exactly as the live
+  /// loop did so the engine lands in the pre-crash state. Call between
+  /// Start() and Run().
+  Status ReplayRecoveredWal();
+
   void set_violation_policy(ViolationPolicy policy) {
     order_validator_.set_policy(policy);
   }
@@ -123,6 +151,11 @@ class IngestServer {
   /// Makes Run return at its next iteration. Async-signal-safe.
   void Stop() { stop_ = true; }
 
+  /// Forces a checkpoint at the current punctuation frontier regardless of
+  /// the horizon gate — the graceful-shutdown "final checkpoint". No-op
+  /// (OkStatus) without an attached checkpoint-enabled manager.
+  Status CheckpointNow();
+
   const OrderValidator& order_validator() const { return order_validator_; }
   const QueueSizeTracker& queue_tracker() const { return queue_tracker_; }
 
@@ -130,6 +163,9 @@ class IngestServer {
   uint64_t frames_ingested() const { return frames_ingested_; }
   uint64_t bytes_received() const { return bytes_received_; }
   uint64_t decode_errors() const { return decode_errors_; }
+  /// RESUME frames whose acknowledged sequences disagreed with the durable
+  /// watermark (the connection is dropped; the feeder must re-handshake).
+  uint64_t resume_rejects() const { return resume_rejects_; }
 
   /// Snapshot of every connection ever accepted (closed ones included).
   std::vector<ConnectionReport> connection_reports() const;
@@ -150,6 +186,9 @@ class IngestServer {
     SkewTracker skew;
     std::deque<WireFrame> pending;
     ConnectionReport report;
+    /// Bytes queued for the peer (handshake replies); flushed by PollOnce
+    /// under POLLOUT with partial-write/EINTR handling.
+    std::string outbox;
   };
 
   /// One poll(2) round: accept new connections, read and decode from every
@@ -158,6 +197,15 @@ class IngestServer {
   void AcceptPending();
   void ReadFrom(Connection* conn);
   void CloseConnection(Connection* conn);
+  /// Consumes one handshake frame (kHello/kResume) at decode time — control
+  /// frames never enter `pending`, the WAL, or the ingest path.
+  void HandleControl(Connection* conn, const WireFrame& frame);
+  /// Writes as much of `conn->outbox` as the socket accepts (EINTR/EAGAIN
+  /// aware); a hard error closes the connection.
+  void FlushOutbox(Connection* conn);
+  /// Takes a punctuation-aligned checkpoint when the engine is idle and the
+  /// source frontier has advanced past the recovery horizon.
+  void MaybeCheckpointAtIdle();
   /// Delivers every due pending frame (respecting per-connection FIFO,
   /// arrival hints, and backpressure parking). Returns true if anything
   /// was delivered.
@@ -181,6 +229,7 @@ class IngestServer {
   OrderValidator order_validator_;
   Tracer* tracer_ = nullptr;
   std::unique_ptr<BufferOccupancyTracer> occupancy_tracer_;
+  RecoveryManager* recovery_ = nullptr;
 
   int listen_fd_ = -1;
   uint16_t port_ = 0;
@@ -190,11 +239,19 @@ class IngestServer {
   std::vector<std::unique_ptr<Connection>> connections_;
   int64_t next_connection_id_ = 1;
   volatile bool stop_ = false;
+  /// First WAL append failure; Run stops and surfaces it.
+  Status wal_error_;
 
   uint64_t connections_accepted_ = 0;
+  /// Connections accepted by *this* process — excludes counts restored
+  /// from a checkpoint. The frame-driven "every peer came and went" run
+  /// exit keys off this, so a recovered server waits for feeders to
+  /// reconnect instead of exiting before they get the chance.
+  uint64_t connections_this_process_ = 0;
   uint64_t frames_ingested_ = 0;
   uint64_t bytes_received_ = 0;
   uint64_t decode_errors_ = 0;
+  uint64_t resume_rejects_ = 0;
 };
 
 }  // namespace dsms

@@ -41,6 +41,19 @@ class SkewTracker {
   Duration max_skew() const { return observed_ == 0 ? 0 : max_skew_; }
   Duration min_skew() const { return observed_ == 0 ? 0 : min_skew_; }
 
+  // --- checkpoint support (recovery/) ---
+  /// Raw extrema for serialization (max_skew()/min_skew() hide them until
+  /// the first observation; a restore must round-trip the stored values).
+  Duration raw_max_skew() const { return max_skew_; }
+  Duration raw_min_skew() const { return min_skew_; }
+  void RestoreState(uint64_t observed, uint64_t violations, Duration max_skew,
+                    Duration min_skew) {
+    observed_ = observed;
+    violations_ = violations;
+    max_skew_ = max_skew;
+    min_skew_ = min_skew;
+  }
+
  private:
   uint64_t observed_ = 0;
   uint64_t violations_ = 0;

@@ -150,7 +150,7 @@ Status DecodeBody(const char* data, size_t size, WireFrame* out) {
         StrFormat("unsupported wire version %u (want %u)", version,
                   kWireVersion));
   }
-  if (type > static_cast<uint8_t>(WireFrame::Type::kPunctuation)) {
+  if (type > static_cast<uint8_t>(WireFrame::Type::kResume)) {
     return InvalidArgumentError(StrFormat("unknown frame type %u", type));
   }
   if ((flags & ~kKnownFlags) != 0) {
@@ -184,6 +184,15 @@ Status DecodeBody(const char* data, size_t size, WireFrame* out) {
       return InvalidArgumentError("punctuation frame with a payload");
     }
   }
+  if (IsControlFrame(out->type)) {
+    if (out->timestamp.has_value() || out->arrival_hint.has_value()) {
+      return InvalidArgumentError(StrFormat(
+          "%s frame with a timestamp", WireFrameTypeToString(out->type)));
+    }
+    if (out->type == WireFrame::Type::kHello && value_count != 0) {
+      return InvalidArgumentError("hello frame with a payload");
+    }
+  }
   out->values.reserve(value_count);
   for (uint8_t i = 0; i < value_count; ++i) {
     Value value;
@@ -194,6 +203,21 @@ Status DecodeBody(const char* data, size_t size, WireFrame* out) {
     return InvalidArgumentError(StrFormat(
         "frame has %zu trailing bytes after %u values",
         reader.remaining(), value_count));
+  }
+  if (out->type == WireFrame::Type::kResumeState ||
+      out->type == WireFrame::Type::kResume) {
+    if (out->values.size() % 2 != 0) {
+      return InvalidArgumentError(StrFormat(
+          "%s frame needs (stream, seq) pairs; got %zu values",
+          WireFrameTypeToString(out->type), out->values.size()));
+    }
+    for (const Value& value : out->values) {
+      if (value.type() != ValueType::kInt64) {
+        return InvalidArgumentError(StrFormat(
+            "%s frame values must all be int64",
+            WireFrameTypeToString(out->type)));
+      }
+    }
   }
   return OkStatus();
 }
@@ -206,6 +230,12 @@ const char* WireFrameTypeToString(WireFrame::Type type) {
       return "data";
     case WireFrame::Type::kPunctuation:
       return "punctuation";
+    case WireFrame::Type::kHello:
+      return "hello";
+    case WireFrame::Type::kResumeState:
+      return "resume-state";
+    case WireFrame::Type::kResume:
+      return "resume";
   }
   return "unknown";
 }
@@ -222,6 +252,30 @@ Status EncodeFrame(const WireFrame& frame, std::string* out) {
     }
     if (!frame.values.empty()) {
       return InvalidArgumentError("punctuation frame cannot carry values");
+    }
+  }
+  if (IsControlFrame(frame.type)) {
+    if (frame.timestamp.has_value() || frame.arrival_hint.has_value()) {
+      return InvalidArgumentError(StrFormat(
+          "%s frame cannot carry timestamps",
+          WireFrameTypeToString(frame.type)));
+    }
+    if (frame.type == WireFrame::Type::kHello && !frame.values.empty()) {
+      return InvalidArgumentError("hello frame cannot carry values");
+    }
+    if (frame.type != WireFrame::Type::kHello) {
+      if (frame.values.size() % 2 != 0) {
+        return InvalidArgumentError(StrFormat(
+            "%s frame needs (stream, seq) pairs",
+            WireFrameTypeToString(frame.type)));
+      }
+      for (const Value& value : frame.values) {
+        if (value.type() != ValueType::kInt64) {
+          return InvalidArgumentError(StrFormat(
+              "%s frame values must all be int64",
+              WireFrameTypeToString(frame.type)));
+        }
+      }
     }
   }
   std::string body;

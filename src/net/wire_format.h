@@ -27,7 +27,8 @@ inline constexpr size_t kMaxFrameBytes = 1 << 20;
 ///
 ///   u32  length       bytes after this field (>= kMinFrameBody)
 ///   u8   version      kWireVersion
-///   u8   type         0 = data, 1 = punctuation
+///   u8   type         0 = data, 1 = punctuation, 2 = hello,
+///                     3 = resume-state, 4 = resume
 ///   u8   flags        bit0 = carries `timestamp`, bit1 = carries
 ///                     `arrival_hint`
 ///   u8   value_count  number of payload values (0 for punctuation)
@@ -47,7 +48,22 @@ inline constexpr size_t kMaxFrameBytes = 1 << 20;
 /// undersized length prefixes are all `Status` errors — the connection that
 /// produced them is torn down, never "repaired" by guessing.
 struct WireFrame {
-  enum class Type : uint8_t { kData = 0, kPunctuation = 1 };
+  enum class Type : uint8_t {
+    kData = 0,
+    kPunctuation = 1,
+    /// Control frames of the resume handshake (docs/recovery.md). They share
+    /// the frame envelope but never reach the ingest path:
+    ///  - kHello (client -> server): "what do you have durably?" No values,
+    ///    no timestamps; stream_id is ignored (0 by convention).
+    ///  - kResumeState (server -> client): the server's durable watermark as
+    ///    an even int64 value list of (stream_id, durable_seq) pairs.
+    ///  - kResume (client -> server): echo of the kResumeState pairs the
+    ///    client is resuming from; the server verifies them against its
+    ///    current watermark and drops the connection on mismatch.
+    kHello = 2,
+    kResumeState = 3,
+    kResume = 4,
+  };
 
   Type type = Type::kData;
   int32_t stream_id = 0;
@@ -62,6 +78,14 @@ struct WireFrame {
 
 /// Smallest legal frame body: version, type, flags, value_count, stream_id.
 inline constexpr size_t kMinFrameBody = 8;
+
+/// True for handshake frames (kHello/kResumeState/kResume) that are consumed
+/// by the connection layer and never enter the ingest path or the WAL.
+inline constexpr bool IsControlFrame(WireFrame::Type type) {
+  return type == WireFrame::Type::kHello ||
+         type == WireFrame::Type::kResumeState ||
+         type == WireFrame::Type::kResume;
+}
 
 /// Serializes `frame` and appends it (length prefix included) to `*out`.
 /// Fails with InvalidArgument when the frame is unencodable: more than 255

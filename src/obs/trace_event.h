@@ -40,6 +40,13 @@ enum class TraceEventType : uint8_t {
   /// `op_id`; `detail` is the WireFrame::Type (0 data, 1 punctuation),
   /// `arg` the connection id it arrived on (see net/ingest_server.h).
   kNetIngest = 9,
+  /// A punctuation-aligned checkpoint was written (op_id -1: engine-level);
+  /// `arg` is the checkpoint id, `ts` the virtual time of the write, `dur`
+  /// reused to carry the checkpoint frontier (see recovery/checkpoint.h).
+  kCheckpoint = 10,
+  /// Recovery completed on startup (op_id -1); `arg` is the number of WAL
+  /// records replayed, `dur` reused to carry the recovered checkpoint id.
+  kRecovery = 11,
 };
 
 /// What an operator step consumed (TraceEvent::detail for kStep).

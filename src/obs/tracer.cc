@@ -38,6 +38,10 @@ const char* TraceEventTypeToString(TraceEventType type) {
       return "punct_absorb";
     case TraceEventType::kNetIngest:
       return "net_ingest";
+    case TraceEventType::kCheckpoint:
+      return "checkpoint";
+    case TraceEventType::kRecovery:
+      return "recovery";
   }
   return "unknown";
 }
@@ -212,6 +216,23 @@ void Tracer::WriteChromeTrace(std::ostream& os) const {
             "\"s\": \"t\", \"ts\": %lld, \"pid\": 0, \"tid\": %d, "
             "\"args\": {\"conn\": %lld}}",
             event.detail == 1 ? "punctuation" : "data", ts, tid, arg));
+        break;
+      case TraceEventType::kCheckpoint:
+        // Engine-level (tid -1 would confuse viewers; pin to tid 0's band
+        // as a global instant).
+        emit(StrFormat(
+            "{\"name\": \"checkpoint\", \"cat\": \"recovery\", \"ph\": "
+            "\"i\", \"s\": \"g\", \"ts\": %lld, \"pid\": 0, \"tid\": 0, "
+            "\"args\": {\"checkpoint_id\": %lld, \"frontier\": %lld}}",
+            ts, arg, static_cast<long long>(event.dur)));
+        break;
+      case TraceEventType::kRecovery:
+        emit(StrFormat(
+            "{\"name\": \"recovery\", \"cat\": \"recovery\", \"ph\": \"i\", "
+            "\"s\": \"g\", \"ts\": %lld, \"pid\": 0, \"tid\": 0, "
+            "\"args\": {\"replayed_frames\": %lld, \"checkpoint_id\": "
+            "%lld}}",
+            ts, arg, static_cast<long long>(event.dur)));
         break;
     }
   }

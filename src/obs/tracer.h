@@ -83,6 +83,24 @@ class Tracer {
                     TraceEventType::kNetIngest, frame_type});
   }
 
+  /// Checkpoint `checkpoint_id` was written with its frontier at `frontier`,
+  /// at virtual time `now` (engine-level: op_id -1; frontier rides in dur).
+  void RecordCheckpoint(uint64_t checkpoint_id, Timestamp frontier,
+                        Timestamp now) {
+    Push(TraceEvent{now, frontier, static_cast<int64_t>(checkpoint_id), -1,
+                    TraceEventType::kCheckpoint, 0});
+  }
+
+  /// Recovery restored checkpoint `checkpoint_id` and queued
+  /// `replayed_count` WAL records, leaving the clock at `clock_now`
+  /// (engine-level: op_id -1; the checkpoint id rides in dur).
+  void RecordRecovery(uint64_t checkpoint_id, size_t replayed_count,
+                      Timestamp clock_now) {
+    Push(TraceEvent{clock_now, static_cast<Duration>(checkpoint_id),
+                    static_cast<int64_t>(replayed_count), -1,
+                    TraceEventType::kRecovery, 0});
+  }
+
   // --- track naming (wiring time; see AnnotateTracks in obs/trace_wiring)---
 
   /// Display name of operator `op_id`'s row in the exported trace.

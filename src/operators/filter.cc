@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "core/schema.h"
+#include "recovery/state_codec.h"
 
 namespace dsms {
 
@@ -72,6 +73,19 @@ StepResult RandomDropFilter::Step(ExecContext& ctx) {
   result.more = !input(0)->empty();
   result.yield = AnyOutputNonEmpty(*this);
   return result;
+}
+
+void RandomDropFilter::SaveState(StateWriter& w) const {
+  Operator::SaveState(w);
+  w.U64(rng_.state());
+  w.U64(rng_.inc());
+}
+
+void RandomDropFilter::LoadState(StateReader& r) {
+  Operator::LoadState(r);
+  uint64_t state = r.U64();
+  uint64_t inc = r.U64();
+  if (r.ok()) rng_.RestoreState(state, inc);
 }
 
 }  // namespace dsms

@@ -48,6 +48,11 @@ class RandomDropFilter : public Operator {
 
   StepResult Step(ExecContext& ctx) override;
 
+  /// The RNG position is engine-behavior state: replay after recovery must
+  /// draw the same pass/drop sequence the original run would have.
+  void SaveState(StateWriter& w) const override;
+  void LoadState(StateReader& r) override;
+
  private:
   double selectivity_;
   Pcg32 rng_;

@@ -9,6 +9,7 @@
 #include "common/check.h"
 #include "common/strings.h"
 #include "core/schema.h"
+#include "recovery/state_codec.h"
 
 namespace dsms {
 namespace {
@@ -179,6 +180,53 @@ StepResult GroupedWindowAggregate::Step(ExecContext& ctx) {
   result.more = !input(0)->empty();
   result.yield = AnyOutputNonEmpty(*this);
   return result;
+}
+
+void GroupedWindowAggregate::SaveState(StateWriter& w) const {
+  Operator::SaveState(w);
+  w.U32(static_cast<uint32_t>(windows_.size()));
+  for (const auto& [k, groups] : windows_) {
+    w.I64(k);
+    w.U32(static_cast<uint32_t>(groups.size()));
+    for (const auto& [key, acc] : groups) {
+      w.Val(key);
+      w.U64(acc.count);
+      w.F64(acc.sum);
+      w.F64(acc.min);
+      w.F64(acc.max);
+    }
+  }
+  w.Bool(first_seen_);
+  w.I64(next_emit_k_);
+  w.Ts(bound_);
+  w.Ts(last_punct_out_);
+  w.U64(results_emitted_);
+}
+
+void GroupedWindowAggregate::LoadState(StateReader& r) {
+  Operator::LoadState(r);
+  windows_.clear();
+  uint32_t num_windows = r.U32();
+  for (uint32_t i = 0; i < num_windows && r.ok(); ++i) {
+    int64_t k = r.I64();
+    GroupMap groups;
+    uint32_t num_groups = r.U32();
+    for (uint32_t j = 0; j < num_groups && r.ok(); ++j) {
+      Value key = r.Val();
+      Accumulator acc;
+      acc.count = r.U64();
+      acc.sum = r.F64();
+      acc.min = r.F64();
+      acc.max = r.F64();
+      groups.emplace(std::move(key), acc);
+    }
+    windows_.emplace(k, std::move(groups));
+  }
+  first_seen_ = r.Bool();
+  next_emit_k_ = r.I64();
+  bound_ = r.Ts();
+  last_punct_out_ = r.Ts();
+  results_emitted_ = r.U64();
 }
 
 }  // namespace dsms

@@ -55,6 +55,9 @@ class GroupedWindowAggregate : public Operator {
   uint64_t results_emitted() const { return results_emitted_; }
   size_t open_windows() const { return windows_.size(); }
 
+  void SaveState(StateWriter& w) const override;
+  void LoadState(StateReader& r) override;
+
  private:
   struct Accumulator {
     uint64_t count = 0;

@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "obs/tracer.h"
+#include "recovery/state_codec.h"
 
 namespace dsms {
 
@@ -150,6 +151,30 @@ void IwpOperator::FillBlockedResult(StepResult* result) const {
   result->more = false;
   result->blocked_input = BlockedInput();
   result->idle_waiting = HasPendingData();
+}
+
+void IwpOperator::SaveState(StateWriter& w) const {
+  Operator::SaveState(w);
+  EnsureTsms();
+  w.U32(static_cast<uint32_t>(tsms_.size()));
+  for (const TsmRegister& tsm : tsms_) w.Ts(tsm.value());
+  w.Ts(downstream_bound_);
+  w.U64(late_data_absorbed_);
+}
+
+void IwpOperator::LoadState(StateReader& r) {
+  Operator::LoadState(r);
+  EnsureTsms();
+  uint32_t n = r.U32();
+  for (uint32_t i = 0; i < n; ++i) {
+    Timestamp value = r.Ts();
+    if (i < tsms_.size()) {
+      tsms_[i].Reset();
+      tsms_[i].Observe(value);
+    }
+  }
+  downstream_bound_ = r.Ts();
+  late_data_absorbed_ = r.U64();
 }
 
 }  // namespace dsms

@@ -62,6 +62,9 @@ class IwpOperator : public Operator {
   /// never produce these, so a nonzero count is itself a fault report.
   uint64_t late_data_absorbed() const { return late_data_absorbed_; }
 
+  void SaveState(StateWriter& w) const override;
+  void LoadState(StateReader& r) override;
+
  protected:
   /// The TSM value input `index` would have after observing its current
   /// head, without persisting the observation (const-safe view used by

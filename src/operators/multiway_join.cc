@@ -10,6 +10,7 @@
 #include "common/strings.h"
 #include "core/schema.h"
 #include "core/value.h"
+#include "recovery/state_codec.h"
 
 namespace dsms {
 
@@ -212,6 +213,30 @@ StepResult MultiWayJoin::StepUnordered(ExecContext& ctx) {
   result.more = Operator::HasWork();
   result.yield = AnyOutputNonEmpty(*this);
   return result;
+}
+
+void MultiWayJoin::SaveState(StateWriter& w) const {
+  IwpOperator::SaveState(w);
+  w.U32(static_cast<uint32_t>(windows_.size()));
+  for (const std::deque<Tuple>& window : windows_) {
+    w.U32(static_cast<uint32_t>(window.size()));
+    for (const Tuple& tuple : window) w.Tup(tuple);
+  }
+  w.U64(matches_emitted_);
+  w.I64(next_unordered_input_);
+}
+
+void MultiWayJoin::LoadState(StateReader& r) {
+  IwpOperator::LoadState(r);
+  uint32_t count = r.U32();
+  for (uint32_t i = 0; i < count && r.ok(); ++i) {
+    std::deque<Tuple> window;
+    uint32_t n = r.U32();
+    for (uint32_t j = 0; j < n && r.ok(); ++j) window.push_back(r.Tup());
+    if (i < windows_.size()) windows_[i] = std::move(window);
+  }
+  matches_emitted_ = r.U64();
+  next_unordered_input_ = static_cast<int>(r.I64());
 }
 
 }  // namespace dsms

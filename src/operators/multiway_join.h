@@ -75,6 +75,9 @@ class MultiWayJoin : public IwpOperator {
   size_t total_window_size() const;
   uint64_t matches_emitted() const { return matches_emitted_; }
 
+  void SaveState(StateWriter& w) const override;
+  void LoadState(StateReader& r) override;
+
  private:
   StepResult StepUnordered(ExecContext& ctx);
 

@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "common/strings.h"
+#include "recovery/state_codec.h"
 
 namespace dsms {
 
@@ -52,6 +53,22 @@ bool Operator::HasPendingData() const {
     if (in->data_size() > 0) return true;
   }
   return false;
+}
+
+void Operator::SaveState(StateWriter& w) const {
+  w.U64(stats_.data_in);
+  w.U64(stats_.punctuation_in);
+  w.U64(stats_.data_out);
+  w.U64(stats_.punctuation_out);
+  w.U64(stats_.steps);
+}
+
+void Operator::LoadState(StateReader& r) {
+  stats_.data_in = r.U64();
+  stats_.punctuation_in = r.U64();
+  stats_.data_out = r.U64();
+  stats_.punctuation_out = r.U64();
+  stats_.steps = r.U64();
 }
 
 std::string Operator::ToString() const {

@@ -14,6 +14,8 @@
 
 namespace dsms {
 
+class StateReader;
+class StateWriter;
 class Tracer;
 
 /// Execution-time services an operator may need from the engine. Today this
@@ -167,6 +169,20 @@ class Operator {
 
   /// True if any input buffer holds at least one *data* tuple.
   bool HasPendingData() const;
+
+  // --- checkpoint support (recovery/) ---
+  /// Serializes this operator's mutable execution state (everything a
+  /// restart must restore to continue deterministically: counters, TSM
+  /// registers, window synopses, RNG state — NOT configuration, which the
+  /// plan recreates). Subclass overrides must call the base first so
+  /// sections nest consistently; the base serializes OperatorStats.
+  virtual void SaveState(StateWriter& w) const;
+
+  /// Inverse of SaveState. Reads exactly what SaveState wrote; on a
+  /// poisoned reader (version/logic mismatch) the operator keeps whatever
+  /// state it already decoded — the enclosing checkpoint CRC has already
+  /// vouched the bytes, so this cannot be hit by corruption.
+  virtual void LoadState(StateReader& r);
 
   const OperatorStats& stats() const { return stats_; }
 

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "recovery/state_codec.h"
 
 namespace dsms {
 
@@ -56,6 +57,33 @@ StepResult Reorder::Step(ExecContext& ctx) {
   result.more = !input(0)->empty();
   result.yield = AnyOutputNonEmpty(*this);
   return result;
+}
+
+void Reorder::SaveState(StateWriter& w) const {
+  Operator::SaveState(w);
+  w.U32(static_cast<uint32_t>(pending_.size()));
+  for (const auto& [ts, tuple] : pending_) {
+    w.Ts(ts);
+    w.Tup(tuple);
+  }
+  w.Ts(max_seen_);
+  w.Ts(release_bound_);
+  w.Ts(last_punct_out_);
+  w.U64(late_dropped_);
+}
+
+void Reorder::LoadState(StateReader& r) {
+  Operator::LoadState(r);
+  pending_.clear();
+  uint32_t n = r.U32();
+  for (uint32_t i = 0; i < n && r.ok(); ++i) {
+    Timestamp ts = r.Ts();
+    pending_.emplace(ts, r.Tup());
+  }
+  max_seen_ = r.Ts();
+  release_bound_ = r.Ts();
+  last_punct_out_ = r.Ts();
+  late_dropped_ = r.U64();
 }
 
 }  // namespace dsms

@@ -38,6 +38,9 @@ class Reorder : public Operator {
   size_t buffered() const { return pending_.size(); }
   uint64_t late_dropped() const { return late_dropped_; }
 
+  void SaveState(StateWriter& w) const override;
+  void LoadState(StateReader& r) override;
+
  private:
   void Release(Timestamp bound);
 

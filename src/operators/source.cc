@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "recovery/state_codec.h"
 
 namespace dsms {
 
@@ -216,6 +217,30 @@ bool Source::EmitFallbackEts(Timestamp now) {
   ++ets_emitted_;
   ++watchdog_fallbacks_;
   return true;
+}
+
+void Source::SaveState(StateWriter& w) const {
+  Operator::SaveState(w);
+  w.U64(next_sequence_);
+  w.U64(tuples_ingested_);
+  w.U64(ets_emitted_);
+  w.U64(watchdog_fallbacks_);
+  w.Ts(promised_bound_);
+  w.Ts(last_activity_);
+  w.Ts(last_app_timestamp_);
+  w.Ts(last_arrival_wall_);
+}
+
+void Source::LoadState(StateReader& r) {
+  Operator::LoadState(r);
+  next_sequence_ = r.U64();
+  tuples_ingested_ = r.U64();
+  ets_emitted_ = r.U64();
+  watchdog_fallbacks_ = r.U64();
+  promised_bound_ = r.Ts();
+  last_activity_ = r.Ts();
+  last_app_timestamp_ = r.Ts();
+  last_arrival_wall_ = r.Ts();
 }
 
 }  // namespace dsms

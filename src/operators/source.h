@@ -138,6 +138,9 @@ class Source : public Operator {
   /// beyond that bound is derived from the skew contract, not observed data.
   bool degraded() const { return watchdog_fallbacks_ > 0; }
 
+  void SaveState(StateWriter& w) const override;
+  void LoadState(StateReader& r) override;
+
  private:
   /// Stamps arrival metadata and checks the promised bound; does NOT push.
   void PrepareData(Tuple& tuple, Timestamp now);

@@ -9,6 +9,7 @@
 #include "core/schema.h"
 #include "core/tuple.h"
 #include "obs/tracer.h"
+#include "recovery/state_codec.h"
 
 namespace dsms {
 
@@ -159,6 +160,16 @@ StepResult Union::StepUnordered() {
   result.more = Operator::HasWork();
   result.yield = AnyOutputNonEmpty(*this);
   return result;
+}
+
+void Union::SaveState(StateWriter& w) const {
+  IwpOperator::SaveState(w);
+  w.I64(next_unordered_input_);
+}
+
+void Union::LoadState(StateReader& r) {
+  IwpOperator::LoadState(r);
+  next_unordered_input_ = static_cast<int>(r.I64());
 }
 
 }  // namespace dsms

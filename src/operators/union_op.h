@@ -51,6 +51,9 @@ class Union : public IwpOperator {
 
   StepResult Step(ExecContext& ctx) override;
 
+  void SaveState(StateWriter& w) const override;
+  void LoadState(StateReader& r) override;
+
  private:
   StepResult StepUnordered();
   StepResult StepStrict();

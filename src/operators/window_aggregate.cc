@@ -10,6 +10,7 @@
 #include "common/strings.h"
 #include "core/schema.h"
 #include "core/value.h"
+#include "recovery/state_codec.h"
 
 namespace dsms {
 namespace {
@@ -175,6 +176,43 @@ StepResult WindowAggregate::Step(ExecContext& ctx) {
   result.more = !input(0)->empty();
   result.yield = AnyOutputNonEmpty(*this);
   return result;
+}
+
+void WindowAggregate::SaveState(StateWriter& w) const {
+  Operator::SaveState(w);
+  w.U32(static_cast<uint32_t>(accumulators_.size()));
+  for (const auto& [k, acc] : accumulators_) {
+    w.I64(k);
+    w.U64(acc.count);
+    w.F64(acc.sum);
+    w.F64(acc.min);
+    w.F64(acc.max);
+  }
+  w.Bool(first_seen_);
+  w.I64(next_emit_k_);
+  w.Ts(bound_);
+  w.Ts(last_punct_out_);
+  w.U64(windows_emitted_);
+}
+
+void WindowAggregate::LoadState(StateReader& r) {
+  Operator::LoadState(r);
+  accumulators_.clear();
+  uint32_t n = r.U32();
+  for (uint32_t i = 0; i < n && r.ok(); ++i) {
+    int64_t k = r.I64();
+    Accumulator acc;
+    acc.count = r.U64();
+    acc.sum = r.F64();
+    acc.min = r.F64();
+    acc.max = r.F64();
+    accumulators_[k] = acc;
+  }
+  first_seen_ = r.Bool();
+  next_emit_k_ = r.I64();
+  bound_ = r.Ts();
+  last_punct_out_ = r.Ts();
+  windows_emitted_ = r.U64();
 }
 
 }  // namespace dsms

@@ -87,6 +87,9 @@ class WindowAggregate : public Operator {
   uint64_t windows_emitted() const { return windows_emitted_; }
   size_t open_windows() const { return accumulators_.size(); }
 
+  void SaveState(StateWriter& w) const override;
+  void LoadState(StateReader& r) override;
+
  private:
   struct Accumulator {
     uint64_t count = 0;

@@ -11,6 +11,7 @@
 #include "core/schema.h"
 #include "core/value.h"
 #include "obs/tracer.h"
+#include "recovery/state_codec.h"
 
 namespace dsms {
 
@@ -188,6 +189,31 @@ StepResult WindowJoin::StepUnordered(ExecContext& ctx) {
   result.more = Operator::HasWork();
   result.yield = AnyOutputNonEmpty(*this);
   return result;
+}
+
+void WindowJoin::SaveState(StateWriter& w) const {
+  IwpOperator::SaveState(w);
+  for (int side = 0; side < 2; ++side) {
+    w.U32(static_cast<uint32_t>(window_[side].size()));
+    for (const Tuple& tuple : window_[side]) w.Tup(tuple);
+  }
+  w.U64(peak_window_size_);
+  w.U64(matches_emitted_);
+  w.I64(next_unordered_input_);
+}
+
+void WindowJoin::LoadState(StateReader& r) {
+  IwpOperator::LoadState(r);
+  for (int side = 0; side < 2; ++side) {
+    window_[side].clear();
+    uint32_t n = r.U32();
+    for (uint32_t i = 0; i < n && r.ok(); ++i) {
+      window_[side].push_back(r.Tup());
+    }
+  }
+  peak_window_size_ = static_cast<size_t>(r.U64());
+  matches_emitted_ = r.U64();
+  next_unordered_input_ = static_cast<int>(r.I64());
 }
 
 }  // namespace dsms

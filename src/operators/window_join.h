@@ -74,6 +74,9 @@ class WindowJoin : public IwpOperator {
   size_t peak_window_size() const { return peak_window_size_; }
   uint64_t matches_emitted() const { return matches_emitted_; }
 
+  void SaveState(StateWriter& w) const override;
+  void LoadState(StateReader& r) override;
+
  private:
   StepResult StepUnordered(ExecContext& ctx);
 

@@ -1,0 +1,35 @@
+#ifndef DSMS_RECOVERY_CRC32_H_
+#define DSMS_RECOVERY_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dsms {
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) — the checksum
+/// guarding every WAL record and checkpoint body. Chosen over anything
+/// fancier because torn writes and bit rot are the threat model, not an
+/// adversary: a frame that fails its CRC marks the torn tail of the log.
+inline uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0) {
+  static const uint32_t* table = [] {
+    static uint32_t t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = seed ^ 0xFFFFFFFFu;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace dsms
+
+#endif  // DSMS_RECOVERY_CRC32_H_

@@ -1,0 +1,55 @@
+#ifndef DSMS_RECOVERY_DURABLE_SINK_H_
+#define DSMS_RECOVERY_DURABLE_SINK_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "operators/sink.h"
+
+namespace dsms {
+
+/// Durable sink output: every data tuple a Sink delivers is appended as one
+/// `Tuple::ToString()` line to `<dir>/sink-<name>.out`. The byte offset is
+/// checkpointed; on recovery the file is truncated back to the checkpointed
+/// offset and deterministic replay regenerates the suffix — which is what
+/// makes recovered output exactly-once: bytes past the cut are discarded,
+/// bytes before it are never rewritten.
+class DurableSink {
+ public:
+  DurableSink(std::string dir, std::string name);
+  ~DurableSink();
+
+  DurableSink(const DurableSink&) = delete;
+  DurableSink& operator=(const DurableSink&) = delete;
+
+  /// Truncates the output file to `resume_offset` (0 starts fresh) and
+  /// opens it for appending.
+  Status Open(uint64_t resume_offset);
+
+  /// Installs this sink's emit callback on `sink`. Must be called after
+  /// Open; replaces any existing callback.
+  void Attach(Sink* sink);
+
+  /// Appends one rendered tuple line (the callback path; public for tests).
+  void Write(const Tuple& tuple);
+
+  /// fsyncs everything appended so far; surfaces any write error the
+  /// callback path swallowed (callbacks cannot return Status).
+  Status Flush();
+
+  uint64_t offset() const { return offset_; }
+  const std::string& name() const { return name_; }
+  std::string path() const;
+
+ private:
+  std::string dir_;
+  std::string name_;
+  int fd_ = -1;
+  uint64_t offset_ = 0;
+  Status deferred_error_;
+};
+
+}  // namespace dsms
+
+#endif  // DSMS_RECOVERY_DURABLE_SINK_H_

@@ -1,0 +1,225 @@
+#include "recovery/recovery_manager.h"
+
+#include <utility>
+
+#include "common/strings.h"
+#include "exec/executor.h"
+#include "graph/query_graph.h"
+#include "obs/metrics_registry.h"
+#include "obs/tracer.h"
+#include "recovery/state_codec.h"
+
+namespace dsms {
+namespace {
+
+std::string SerializeBuffer(const StreamBuffer& buffer) {
+  StateWriter w;
+  w.U64(buffer.total_pushed());
+  w.U64(buffer.data_pushed());
+  w.U64(buffer.shed_tuples());
+  w.U64(buffer.vetoed_pushes());
+  w.U64(buffer.high_water_mark());
+  std::vector<Tuple> tuples;
+  buffer.SnapshotTuples(&tuples);
+  w.U32(static_cast<uint32_t>(tuples.size()));
+  for (const Tuple& t : tuples) w.Tup(t);
+  return w.Take();
+}
+
+void RestoreBuffer(StreamBuffer* buffer, const std::string& blob) {
+  StateReader r(blob);
+  uint64_t total_pushed = r.U64();
+  uint64_t data_pushed = r.U64();
+  uint64_t shed = r.U64();
+  uint64_t vetoed = r.U64();
+  uint64_t high_water = r.U64();
+  uint32_t n = r.U32();
+  std::vector<Tuple> tuples;
+  tuples.reserve(n);
+  for (uint32_t i = 0; i < n && r.ok(); ++i) tuples.push_back(r.Tup());
+  if (!r.ok()) return;  // version mismatch: leave the buffer empty
+  buffer->RestoreSnapshot(std::move(tuples), total_pushed, data_pushed, shed,
+                          vetoed, static_cast<size_t>(high_water));
+}
+
+}  // namespace
+
+RecoveryManager::RecoveryManager(RecoveryOptions options)
+    : options_(std::move(options)) {}
+
+RecoveryManager::~RecoveryManager() = default;
+
+Status RecoveryManager::Open() {
+  if (opened_) return FailedPreconditionError("recovery already opened");
+  opened_ = true;
+  if (!options_.wal) return OkStatus();
+
+  if (options_.checkpoint) {
+    Result<CheckpointImage> loaded =
+        LoadLatestCheckpoint(options_.dir, &checkpoint_fallbacks_);
+    if (loaded.ok()) {
+      image_ = *std::move(loaded);
+      has_image_ = true;
+      next_checkpoint_id_ = image_.checkpoint_id + 1;
+      last_frontier_ = image_.frontier;
+      for (const auto& [stream, seq] : image_.durable_seqs) {
+        durable_seqs_[stream] = seq;
+      }
+    } else if (loaded.status().code() != StatusCode::kNotFound) {
+      return loaded.status();
+    }
+  }
+
+  const uint64_t replay_from = has_image_ ? image_.wal_replay_from : 0;
+  uint64_t next_index = replay_from;
+  DSMS_RETURN_IF_ERROR(ReadWalTail(options_.dir, replay_from,
+                                   &recovered_records_, &next_index,
+                                   &truncated_tail_bytes_));
+
+  WalOptions wal_options;
+  wal_options.dir = options_.dir;
+  wal_options.sync = options_.sync;
+  wal_options.sync_interval_bytes = options_.sync_interval_bytes;
+  wal_options.segment_bytes = options_.segment_bytes;
+  wal_ = std::make_unique<WalWriter>(wal_options);
+  DSMS_RETURN_IF_ERROR(wal_->Open(next_index));
+
+  if (tracer_ != nullptr && recovered()) {
+    tracer_->RecordRecovery(has_image_ ? image_.checkpoint_id : 0,
+                            recovered_records_.size(), recovered_clock());
+  }
+  return OkStatus();
+}
+
+void RecoveryManager::RestoreGraph(QueryGraph* graph, VirtualClock* clock) {
+  if (!has_image_) return;
+  for (const auto& [id, blob] : image_.operator_blobs) {
+    if (id < 0 || id >= graph->num_operators()) continue;
+    StateReader r(blob);
+    graph->op(id)->LoadState(r);
+  }
+  for (const auto& [id, blob] : image_.buffer_blobs) {
+    if (id < 0 || id >= graph->num_buffers()) continue;
+    RestoreBuffer(graph->buffer(id), blob);
+  }
+  if (image_.clock_now > clock->now()) clock->AdvanceTo(image_.clock_now);
+}
+
+void RecoveryManager::RestoreExecutor(Executor* executor) {
+  if (!has_image_ || image_.executor_blob.empty()) return;
+  StateReader r(image_.executor_blob);
+  executor->LoadState(r);
+}
+
+Status RecoveryManager::AttachSinks(QueryGraph* graph) {
+  std::map<std::string, uint64_t> offsets;
+  if (has_image_) {
+    for (const auto& [name, offset] : image_.sink_offsets) {
+      offsets[name] = offset;
+    }
+  }
+  for (Sink* sink : graph->sinks()) {
+    auto durable = std::make_unique<DurableSink>(options_.dir, sink->name());
+    auto it = offsets.find(sink->name());
+    const uint64_t resume_offset = it == offsets.end() ? 0 : it->second;
+    DSMS_RETURN_IF_ERROR(durable->Open(resume_offset));
+    durable->Attach(sink);
+    sinks_.push_back(std::move(durable));
+  }
+  return OkStatus();
+}
+
+Status RecoveryManager::AppendFrame(Timestamp arrival, int64_t conn_id,
+                                    int32_t stream_id,
+                                    const std::string& frame) {
+  if (wal_ == nullptr) return OkStatus();
+  DSMS_RETURN_IF_ERROR(wal_->Append(arrival, conn_id, frame));
+  ++durable_seqs_[stream_id];
+  return OkStatus();
+}
+
+void RecoveryManager::NoteReplayed(int32_t stream_id) {
+  ++durable_seqs_[stream_id];
+  ++replayed_frames_;
+}
+
+bool RecoveryManager::ShouldCheckpoint(Timestamp frontier) const {
+  if (!options_.checkpoint || wal_ == nullptr) return false;
+  if (frontier == kMinTimestamp) return false;  // no source promised yet
+  const Timestamp last = last_frontier_ == kMinTimestamp ? 0 : last_frontier_;
+  return frontier >= last + options_.checkpoint_horizon;
+}
+
+Status RecoveryManager::Checkpoint(QueryGraph* graph, Executor* executor,
+                                   VirtualClock* clock, Timestamp frontier,
+                                   const std::string& net_blob) {
+  if (wal_ == nullptr) {
+    return FailedPreconditionError("checkpoint requires the wal");
+  }
+  DSMS_RETURN_IF_ERROR(wal_->Sync());
+  DSMS_RETURN_IF_ERROR(FlushSinks());
+
+  CheckpointImage image;
+  image.checkpoint_id = next_checkpoint_id_;
+  image.clock_now = clock->now();
+  image.frontier = frontier;
+  image.wal_replay_from = wal_->next_index();
+  for (int id = 0; id < graph->num_operators(); ++id) {
+    StateWriter w;
+    graph->op(id)->SaveState(w);
+    image.operator_blobs.emplace_back(id, w.Take());
+  }
+  for (int id = 0; id < graph->num_buffers(); ++id) {
+    image.buffer_blobs.emplace_back(id, SerializeBuffer(*graph->buffer(id)));
+  }
+  if (executor != nullptr) {
+    StateWriter w;
+    executor->SaveState(w);
+    image.executor_blob = w.Take();
+  }
+  image.net_blob = net_blob;
+  for (const auto& [stream, seq] : durable_seqs_) {
+    image.durable_seqs.emplace_back(stream, seq);
+  }
+  for (const auto& sink : sinks_) {
+    image.sink_offsets.emplace_back(sink->name(), sink->offset());
+  }
+
+  DSMS_RETURN_IF_ERROR(
+      WriteCheckpointFile(options_.dir, image, options_.keep));
+  DSMS_RETURN_IF_ERROR(wal_->TrimBelow(image.wal_replay_from));
+
+  ++next_checkpoint_id_;
+  ++checkpoints_written_;
+  last_frontier_ = frontier;
+  if (tracer_ != nullptr) {
+    tracer_->RecordCheckpoint(image.checkpoint_id, frontier, clock->now());
+  }
+  return OkStatus();
+}
+
+Status RecoveryManager::FlushWal() {
+  if (wal_ == nullptr) return OkStatus();
+  return wal_->Sync();
+}
+
+Status RecoveryManager::FlushSinks() {
+  for (const auto& sink : sinks_) {
+    DSMS_RETURN_IF_ERROR(sink->Flush());
+  }
+  return OkStatus();
+}
+
+void RecoveryManager::PublishTo(MetricsRegistry* registry) const {
+  registry->SetCounter("recovery.wal_appends", wal_appends());
+  registry->SetCounter("recovery.wal_synced_bytes",
+                       wal_ ? wal_->synced_bytes() : 0);
+  registry->SetCounter("recovery.checkpoints_written", checkpoints_written_);
+  registry->SetCounter("recovery.replayed_frames", replayed_frames_);
+  registry->SetCounter("recovery.truncated_tail_bytes",
+                       truncated_tail_bytes_);
+  registry->SetCounter("recovery.checkpoint_fallbacks",
+                       checkpoint_fallbacks_);
+}
+
+}  // namespace dsms

@@ -1,0 +1,173 @@
+#include "recovery/state_codec.h"
+
+#include <cstring>
+#include <utility>
+
+namespace dsms {
+
+void StateWriter::U8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+
+void StateWriter::U32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void StateWriter::U64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void StateWriter::F64(double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  U64(bits);
+}
+
+void StateWriter::Str(const std::string& s) {
+  U32(static_cast<uint32_t>(s.size()));
+  out_.append(s);
+}
+
+void StateWriter::Val(const Value& value) {
+  U8(static_cast<uint8_t>(value.type()));
+  switch (value.type()) {
+    case ValueType::kInt64:
+      I64(value.int64_value());
+      break;
+    case ValueType::kDouble:
+      F64(value.double_value());
+      break;
+    case ValueType::kString:
+      Str(value.string_value());
+      break;
+    case ValueType::kBool:
+      Bool(value.bool_value());
+      break;
+  }
+}
+
+void StateWriter::Tup(const Tuple& tuple) {
+  U8(static_cast<uint8_t>(tuple.kind()));
+  U8(static_cast<uint8_t>(tuple.timestamp_kind()));
+  Bool(tuple.has_timestamp());
+  Ts(tuple.has_timestamp() ? tuple.timestamp() : kMinTimestamp);
+  Ts(tuple.arrival_time());
+  I64(tuple.source_id());
+  U64(tuple.sequence());
+  U32(static_cast<uint32_t>(tuple.values().size()));
+  for (const Value& v : tuple.values()) Val(v);
+}
+
+bool StateReader::Need(size_t n) {
+  if (!ok_) return false;
+  if (size_ - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+uint8_t StateReader::U8() {
+  if (!Need(1)) return 0;
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+uint32_t StateReader::U32() {
+  if (!Need(4)) return 0;
+  uint32_t r = 0;
+  for (int i = 0; i < 4; ++i) {
+    r |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 4;
+  return r;
+}
+
+uint64_t StateReader::U64() {
+  if (!Need(8)) return 0;
+  uint64_t r = 0;
+  for (int i = 0; i < 8; ++i) {
+    r |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 8;
+  return r;
+}
+
+double StateReader::F64() {
+  uint64_t bits = U64();
+  double d = 0.0;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+std::string StateReader::Str() {
+  uint32_t len = U32();
+  if (!Need(len)) return std::string();
+  std::string s(data_ + pos_, len);
+  pos_ += len;
+  return s;
+}
+
+Value StateReader::Val() {
+  uint8_t tag = U8();
+  switch (tag) {
+    case static_cast<uint8_t>(ValueType::kInt64):
+      return Value(I64());
+    case static_cast<uint8_t>(ValueType::kDouble):
+      return Value(F64());
+    case static_cast<uint8_t>(ValueType::kString):
+      return Value(Str());
+    case static_cast<uint8_t>(ValueType::kBool):
+      return Value(Bool());
+    default:
+      Poison();
+      return Value();
+  }
+}
+
+Tuple StateReader::Tup() {
+  uint8_t kind = U8();
+  uint8_t ts_kind = U8();
+  bool has_ts = Bool();
+  Timestamp ts = Ts();
+  Timestamp arrival = Ts();
+  int64_t source_id = I64();
+  uint64_t sequence = U64();
+  uint32_t count = U32();
+  std::vector<Value> values;
+  values.reserve(count);
+  for (uint32_t i = 0; i < count && ok(); ++i) values.push_back(Val());
+  if (!ok()) return Tuple();
+
+  Tuple t;
+  if (kind == static_cast<uint8_t>(TupleKind::kPunctuation)) {
+    // Punctuation is always internal-kind with a timestamp and no payload
+    // (the only factory enforces it), so the remaining fields pin it down.
+    if (!has_ts || !values.empty()) {
+      Poison();
+      return Tuple();
+    }
+    t = Tuple::MakePunctuation(ts);
+  } else if (ts_kind == static_cast<uint8_t>(TimestampKind::kLatent)) {
+    t = Tuple::MakeLatent(InlinedValues(std::move(values)));
+    // A latent tuple an operator already stamped keeps its timestamp (and
+    // its latent kind — set_timestamp does not change the discipline).
+    if (has_ts) t.set_timestamp(ts);
+  } else if (ts_kind <= static_cast<uint8_t>(TimestampKind::kLatent) &&
+             has_ts) {
+    t = Tuple::MakeData(ts, InlinedValues(std::move(values)),
+                        static_cast<TimestampKind>(ts_kind));
+  } else {
+    Poison();
+    return Tuple();
+  }
+  t.set_arrival_time(arrival);
+  t.set_source_id(static_cast<int32_t>(source_id));
+  t.set_sequence(sequence);
+  return t;
+}
+
+}  // namespace dsms

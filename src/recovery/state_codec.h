@@ -1,0 +1,81 @@
+#ifndef DSMS_RECOVERY_STATE_CODEC_H_
+#define DSMS_RECOVERY_STATE_CODEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/time.h"
+#include "core/tuple.h"
+#include "core/value.h"
+
+namespace dsms {
+
+/// Append-only little-endian serializer for checkpoint state. Mirrors the
+/// wire format's conventions (u32 lengths, i64 timestamps, tagged values) so
+/// the two codecs stay mentally interchangeable; checkpoint blobs are
+/// integrity-guarded by the enclosing file's CRC, not per-field.
+class StateWriter {
+ public:
+  void U8(uint8_t v);
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  void Ts(Timestamp t) { I64(t); }
+  void F64(double v);
+  void Bool(bool v) { U8(v ? 1 : 0); }
+  void Str(const std::string& s);
+  void Val(const Value& value);
+  void Tup(const Tuple& tuple);
+  /// Nests a complete sub-blob as one length-prefixed string, so sections
+  /// written by different components cannot bleed into each other.
+  void Blob(const std::string& bytes) { Str(bytes); }
+
+  const std::string& data() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Matching reader. Failure discipline: any short or malformed read poisons
+/// the reader (ok() turns false) and every subsequent read returns a zero
+/// value — the caller checks ok() once after decoding a whole section. The
+/// enclosing checkpoint CRC already vouches for integrity, so a poisoned
+/// reader means a version/logic mismatch, not corruption.
+class StateReader {
+ public:
+  StateReader(const char* data, size_t size) : data_(data), size_(size) {}
+  explicit StateReader(const std::string& bytes)
+      : StateReader(bytes.data(), bytes.size()) {}
+
+  uint8_t U8();
+  uint32_t U32();
+  uint64_t U64();
+  int64_t I64() { return static_cast<int64_t>(U64()); }
+  Timestamp Ts() { return I64(); }
+  double F64();
+  bool Bool() { return U8() != 0; }
+  std::string Str();
+  Value Val();
+  Tuple Tup();
+  std::string Blob() { return Str(); }
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return size_ - pos_; }
+  /// Marks the reader failed from the outside (e.g. an impossible enum
+  /// value decoded by the caller).
+  void Poison() { ok_ = false; }
+
+ private:
+  bool Need(size_t n);
+
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace dsms
+
+#endif  // DSMS_RECOVERY_STATE_CODEC_H_

@@ -1,0 +1,119 @@
+#ifndef DSMS_RECOVERY_WAL_H_
+#define DSMS_RECOVERY_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+
+namespace dsms {
+
+/// When the write-ahead log fsyncs (durability/latency trade-off; see
+/// docs/recovery.md):
+///  - kNone:       never fsync explicitly — fastest, loses whatever the OS
+///                 had not flushed at crash time;
+///  - kInterval:   fsync once at least `sync_interval_bytes` have been
+///                 appended since the last sync — bounded loss window;
+///  - kEveryFrame: fsync after every append — zero loss, one disk round
+///                 trip per frame.
+enum class WalSyncPolicy {
+  kNone = 0,
+  kInterval = 1,
+  kEveryFrame = 2,
+};
+
+const char* WalSyncPolicyToString(WalSyncPolicy policy);
+
+struct WalOptions {
+  std::string dir;
+  WalSyncPolicy sync = WalSyncPolicy::kNone;
+  /// kInterval only: bytes appended between fsyncs.
+  uint64_t sync_interval_bytes = 64 * 1024;
+  /// Segment rotation threshold: a segment that reaches this size is sealed
+  /// (fsync + close) and a new one started, so TrimBelow can reclaim space
+  /// at file granularity.
+  uint64_t segment_bytes = 4 * 1024 * 1024;
+};
+
+/// One logged ingest event: a decoded-and-delivered wire frame, stored as
+/// its original encoding (the PR-4 wire format is the record payload), plus
+/// the virtual arrival time it was delivered at and the connection that
+/// produced it — everything replay needs to re-run the delivery decision
+/// deterministically.
+struct WalRecord {
+  /// Global append index (0-based, monotone across segments).
+  uint64_t index = 0;
+  Timestamp arrival = 0;
+  int64_t conn_id = 0;
+  /// Encoded wire frame, length prefix included.
+  std::string frame;
+};
+
+/// Append side of the log. Segments are files named
+/// `wal-<first_index>.seg`; each starts with the magic "DSMSWAL1" and the
+/// u64 index of its first record, then records of the form
+/// `[u32 payload_len][u32 crc32(payload)][payload]` with payload
+/// `{i64 arrival, i64 conn_id, u32 frame_len, frame_bytes}`. The filename
+/// encodes the first index so trimming never has to open a segment.
+class WalWriter {
+ public:
+  explicit WalWriter(WalOptions options);
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Opens the log for appending at global index `next_index` (0 for a
+  /// fresh log; ReadWalTail's recovered next index after a restart).
+  /// Creates the directory if missing; reopens the newest surviving
+  /// segment in append mode when `next_index` falls inside it.
+  Status Open(uint64_t next_index);
+
+  /// Appends one record and applies the sync policy. `frame` is the
+  /// encoded wire frame (EncodeFrame output).
+  Status Append(Timestamp arrival, int64_t conn_id,
+                const std::string& frame);
+
+  /// Forces everything appended so far to disk.
+  Status Sync();
+
+  /// Deletes every sealed segment whose records all have index < `index`
+  /// (safe after a checkpoint covering them). The active segment survives.
+  Status TrimBelow(uint64_t index);
+
+  uint64_t next_index() const { return next_index_; }
+  uint64_t appends() const { return appends_; }
+  uint64_t synced_bytes() const { return synced_bytes_; }
+
+ private:
+  Status RotateIfNeeded();
+  Status OpenSegment(uint64_t first_index, bool fresh);
+  Status WriteFully(const char* data, size_t size);
+
+  WalOptions options_;
+  int fd_ = -1;
+  uint64_t next_index_ = 0;
+  /// First record index of the currently open segment.
+  uint64_t segment_first_ = 0;
+  uint64_t segment_size_ = 0;
+  uint64_t bytes_since_sync_ = 0;
+  uint64_t appends_ = 0;
+  uint64_t synced_bytes_ = 0;
+};
+
+/// Reads every record with index >= `from_index` from the log in `dir`,
+/// tolerating a torn tail: the first record whose CRC or length fails marks
+/// the end of the usable log — the file is physically truncated there, any
+/// later segments are deleted, and the discarded byte count is reported in
+/// `*truncated_tail_bytes`. `*next_index` receives the index the writer
+/// should continue at. An empty or missing directory recovers to an empty
+/// tail (next index = from_index).
+Status ReadWalTail(const std::string& dir, uint64_t from_index,
+                   std::vector<WalRecord>* out, uint64_t* next_index,
+                   uint64_t* truncated_tail_bytes);
+
+}  // namespace dsms
+
+#endif  // DSMS_RECOVERY_WAL_H_

@@ -298,6 +298,75 @@ Status ParseTrace(const ExpStatement& s, TraceSpec* trace) {
   return OkStatus();
 }
 
+Status ParseWal(const ExpStatement& s, RecoverySpec* recovery) {
+  recovery->wal = true;
+  auto dir = s.args.find("dir");
+  if (dir == s.args.end() || dir->second.empty()) {
+    return InvalidArgumentError(StrFormat("line %d: missing dir=", s.line));
+  }
+  recovery->dir = dir->second;
+  auto sync = s.args.find("sync");
+  if (sync != s.args.end()) {
+    if (sync->second == "none") {
+      recovery->sync = WalSyncPolicy::kNone;
+    } else if (sync->second == "interval") {
+      recovery->sync = WalSyncPolicy::kInterval;
+    } else if (sync->second == "every_frame") {
+      recovery->sync = WalSyncPolicy::kEveryFrame;
+    } else {
+      return InvalidArgumentError(StrFormat(
+          "line %d: bad sync= '%s' (expected none|interval|every_frame)",
+          s.line, sync->second.c_str()));
+    }
+  }
+  int64_t sync_interval =
+      static_cast<int64_t>(recovery->sync_interval_bytes);
+  DSMS_RETURN_IF_ERROR(
+      GetArgInt(s, "sync_interval_bytes", sync_interval, &sync_interval));
+  if (sync_interval < 1) {
+    return InvalidArgumentError(
+        StrFormat("line %d: sync_interval_bytes must be >= 1", s.line));
+  }
+  recovery->sync_interval_bytes = static_cast<uint64_t>(sync_interval);
+  int64_t segment = static_cast<int64_t>(recovery->segment_bytes);
+  DSMS_RETURN_IF_ERROR(GetArgInt(s, "segment_bytes", segment, &segment));
+  if (segment < 1) {
+    return InvalidArgumentError(
+        StrFormat("line %d: segment_bytes must be >= 1", s.line));
+  }
+  recovery->segment_bytes = static_cast<uint64_t>(segment);
+  return OkStatus();
+}
+
+Status ParseCheckpoint(const ExpStatement& s, RecoverySpec* recovery) {
+  recovery->checkpoint = true;
+  DSMS_RETURN_IF_ERROR(
+      GetArgDuration(s, "horizon", 0, &recovery->checkpoint_horizon));
+  if (recovery->checkpoint_horizon <= 0) {
+    return InvalidArgumentError(
+        StrFormat("line %d: missing or non-positive horizon=", s.line));
+  }
+  int64_t keep = recovery->keep;
+  DSMS_RETURN_IF_ERROR(GetArgInt(s, "keep", keep, &keep));
+  if (keep < 1) {
+    return InvalidArgumentError(
+        StrFormat("line %d: keep must be >= 1", s.line));
+  }
+  recovery->keep = static_cast<int>(keep);
+  return OkStatus();
+}
+
+Status ParseCrash(const ExpStatement& s, RecoverySpec* recovery) {
+  Duration at = 0;
+  DSMS_RETURN_IF_ERROR(GetArgDuration(s, "at", 0, &at));
+  if (at <= 0) {
+    return InvalidArgumentError(
+        StrFormat("line %d: missing or non-positive at=", s.line));
+  }
+  recovery->crash_at = at;
+  return OkStatus();
+}
+
 }  // namespace
 
 Simulation::PayloadFn MakeFeedPayload(const FeedSpec& feed) {
@@ -360,6 +429,9 @@ Result<Experiment> ParseExperiment(std::string_view text,
   std::vector<ExpStatement> faults;
   std::vector<ExpStatement> runs;
   std::vector<ExpStatement> traces;
+  std::vector<ExpStatement> wals;
+  std::vector<ExpStatement> checkpoints;
+  std::vector<ExpStatement> crashes;
 
   int line_number = 0;
   for (const std::string& raw_line : StrSplit(text, '\n')) {
@@ -398,6 +470,22 @@ Result<Experiment> ParseExperiment(std::string_view text,
                                         /*has_name=*/false, &statement);
       if (!status.ok()) return status;
       traces.push_back(std::move(statement));
+    } else if (stripped == "wal" || StartsWith(stripped, "wal ")) {
+      Status status = ParseExpStatement(line_number, stripped,
+                                        /*has_name=*/false, &statement);
+      if (!status.ok()) return status;
+      wals.push_back(std::move(statement));
+    } else if (stripped == "checkpoint" ||
+               StartsWith(stripped, "checkpoint ")) {
+      Status status = ParseExpStatement(line_number, stripped,
+                                        /*has_name=*/false, &statement);
+      if (!status.ok()) return status;
+      checkpoints.push_back(std::move(statement));
+    } else if (stripped == "crash" || StartsWith(stripped, "crash ")) {
+      Status status = ParseExpStatement(line_number, stripped,
+                                        /*has_name=*/false, &statement);
+      if (!status.ok()) return status;
+      crashes.push_back(std::move(statement));
     } else {
       plan_lines.push_back(raw_line);
     }
@@ -410,6 +498,18 @@ Result<Experiment> ParseExperiment(std::string_view text,
   if (traces.size() > 1) {
     return InvalidArgumentError(
         StrFormat("line %d: duplicate trace statement", traces[1].line));
+  }
+  if (wals.size() > 1) {
+    return InvalidArgumentError(
+        StrFormat("line %d: duplicate wal statement", wals[1].line));
+  }
+  if (checkpoints.size() > 1) {
+    return InvalidArgumentError(StrFormat(
+        "line %d: duplicate checkpoint statement", checkpoints[1].line));
+  }
+  if (crashes.size() > 1) {
+    return InvalidArgumentError(
+        StrFormat("line %d: duplicate crash statement", crashes[1].line));
   }
 
   Result<ParsedPlan> plan = ParsePlan(StrJoin(plan_lines, "\n"));
@@ -458,6 +558,21 @@ Result<Experiment> ParseExperiment(std::string_view text,
   }
   if (!traces.empty()) {
     DSMS_RETURN_IF_ERROR(ParseTrace(traces[0], &experiment.trace));
+  }
+  if (!wals.empty()) {
+    DSMS_RETURN_IF_ERROR(ParseWal(wals[0], &experiment.recovery));
+  }
+  if (!checkpoints.empty()) {
+    DSMS_RETURN_IF_ERROR(
+        ParseCheckpoint(checkpoints[0], &experiment.recovery));
+    if (!experiment.recovery.wal) {
+      return InvalidArgumentError(
+          StrFormat("line %d: checkpoint requires a wal statement",
+                    checkpoints[0].line));
+    }
+  }
+  if (!crashes.empty()) {
+    DSMS_RETURN_IF_ERROR(ParseCrash(crashes[0], &experiment.recovery));
   }
   if (require_feeds && experiment.feeds.empty()) {
     return InvalidArgumentError("experiment declares no feeds");

@@ -12,6 +12,7 @@
 #include "exec/ets_policy.h"
 #include "exec/exec_stats.h"
 #include "graph/plan_parser.h"
+#include "recovery/wal.h"
 #include "sim/arrival_process.h"
 #include "sim/scenario.h"
 #include "sim/simulation.h"
@@ -36,6 +37,10 @@ namespace dsms {
 ///       [watchdog=DUR] [buffer_cap=N] [overload=grow|block|shed]
 ///       [violations=count|drop|quarantine]
 ///   trace path=/tmp/run.trace.json [capacity=262144]
+///   wal dir=/path/to/waldir [sync=none|interval|every_frame]
+///       [sync_interval_bytes=N] [segment_bytes=N]
+///   checkpoint horizon=5s [keep=2]
+///   crash at=30s
 ///
 /// `feed`, `heartbeat` and `fault` reference `stream` operators declared in
 /// the plan; `run` and `trace` may appear at most once (defaults apply
@@ -94,6 +99,29 @@ struct TraceSpec {
   size_t capacity = 1 << 18;
 };
 
+/// Crash-recovery configuration (consumed by examples/streamets_serve; the
+/// in-process Simulation has no crash to recover from):
+///
+///   wal dir=PATH [sync=none|interval|every_frame]
+///       [sync_interval_bytes=N] [segment_bytes=N]
+///   checkpoint horizon=DUR [keep=N]          (requires wal)
+///   crash at=DUR                             (chaos: abort mid-run)
+///
+/// With none of these present the server behaves byte-identically to the
+/// pre-recovery engine (see docs/recovery.md).
+struct RecoverySpec {
+  bool wal = false;
+  std::string dir;
+  WalSyncPolicy sync = WalSyncPolicy::kNone;
+  uint64_t sync_interval_bytes = 64 * 1024;
+  uint64_t segment_bytes = 4 * 1024 * 1024;
+  bool checkpoint = false;
+  Duration checkpoint_horizon = 0;
+  int keep = 2;
+  /// Virtual time at which the server aborts itself; 0 = never.
+  Timestamp crash_at = 0;
+};
+
 struct Experiment {
   ParsedPlan plan;
   std::vector<FeedSpec> feeds;
@@ -101,6 +129,7 @@ struct Experiment {
   std::vector<FaultTargetSpec> faults;
   RunSpec run;
   TraceSpec trace;
+  RecoverySpec recovery;
 };
 
 /// Parses a combined plan + experiment text. Feed/heartbeat source names

@@ -1,0 +1,317 @@
+// End-to-end crash-recovery tests over a real loopback socket: a
+// recovery-enabled IngestServer is killed mid-run (the in-process analogue
+// of SIGKILL — the engine stack is torn down with no flush, no final
+// checkpoint), restarted from its WAL + checkpoint directory, and fed by a
+// resuming client. The headline assertion is exactly-once output: the
+// recovered durable sink file is byte-identical to an uninterrupted run's.
+
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/clock.h"
+#include "exec/dfs_executor.h"
+#include "graph/query_graph.h"
+#include "net/feed_client.h"
+#include "net/feed_schedule.h"
+#include "net/ingest_server.h"
+#include "net/wire_format.h"
+#include "operators/sink.h"
+#include "recovery/recovery_manager.h"
+#include "sim/experiment_spec.h"
+
+namespace dsms {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  return contents.str();
+}
+
+std::string FreshDir(const std::string& tag) {
+  std::string dir = ::testing::TempDir() + "/dsms_recovery_loopback_" + tag;
+  std::string cleanup = "rm -rf '" + dir + "'";
+  DSMS_CHECK(std::system(cleanup.c_str()) == 0);
+  return dir;
+}
+
+// The streamets_serve engine stack with recovery attached, assembled in the
+// exact phase order the binary uses (restore before the executor ctor, net
+// state before Start, WAL replay between Start and Run).
+struct RecoveryHarness {
+  RecoveryHarness(const std::string& text, const std::string& dir,
+                  Timestamp crash_at = 0) {
+    Result<Experiment> parsed =
+        ParseExperiment(text, /*require_feeds=*/false);
+    DSMS_CHECK(parsed.ok());
+    experiment = std::make_unique<Experiment>(std::move(*parsed));
+    graph = experiment->plan.graph.get();
+
+    RecoveryOptions ropts;
+    ropts.dir = dir;
+    ropts.wal = true;
+    ropts.sync = WalSyncPolicy::kEveryFrame;
+    ropts.checkpoint = true;
+    ropts.checkpoint_horizon = 250 * kMillisecond;
+    recovery = std::make_unique<RecoveryManager>(ropts);
+    DSMS_CHECK(recovery->Open().ok());
+    recovery->RestoreGraph(graph, &clock);
+
+    ExecConfig config;
+    config.ets.mode = experiment->run.ets;
+    config.ets.min_interval = experiment->run.ets_min_interval;
+    config.watchdog.silence_horizon = experiment->run.watchdog;
+    executor = std::make_unique<DfsExecutor>(graph, &clock, config);
+    recovery->RestoreExecutor(executor.get());
+    DSMS_CHECK(recovery->AttachSinks(graph).ok());
+
+    IngestServerOptions options;
+    options.clock_mode = IngestClock::Mode::kFrameDriven;
+    options.horizon = experiment->run.horizon;
+    options.wall_limit = 60 * kSecond;  // hang guard
+    options.crash_at = crash_at;
+    server = std::make_unique<IngestServer>(graph, executor.get(), &clock,
+                                            options);
+    server->set_violation_policy(experiment->run.violations);
+    server->AttachRecovery(recovery.get());
+    if (!recovery->recovered_net_blob().empty()) {
+      DSMS_CHECK(server->RestoreNetState(recovery->recovered_net_blob()).ok());
+    }
+  }
+
+  void Serve() {
+    ASSERT_TRUE(server->Start().ok());
+    if (recovery->recovered()) {
+      ASSERT_TRUE(server->ReplayRecoveredWal().ok());
+    }
+    thread = std::thread([this] { run_status = server->Run(); });
+  }
+
+  Status Join() {
+    if (!thread.joinable()) return InternalError("server never started");
+    thread.join();
+    return run_status;
+  }
+
+  std::unique_ptr<Experiment> experiment;
+  QueryGraph* graph = nullptr;
+  VirtualClock clock;
+  std::unique_ptr<RecoveryManager> recovery;
+  std::unique_ptr<Executor> executor;
+  std::unique_ptr<IngestServer> server;
+  std::thread thread;
+  Status run_status;
+};
+
+// Mixed internal/external plan with a heartbeat and a lossy filter: enough
+// structure that operator state, punctuation frontiers, and RNG positions
+// all have to survive the crash for the outputs to line up.
+constexpr char kPlan[] = R"(
+stream A ts=internal
+stream B ts=external skew=40ms
+filter F in=A selectivity=0.8 seed=5
+union U in=F,B
+sink OUT in=U
+feed A process=poisson rate=50 seed=21
+feed B process=poisson rate=30 seed=22
+heartbeat B period=250ms
+run horizon=2s ets=on-demand
+)";
+
+std::vector<ScheduledFrame> BuildSchedule(const std::string& text) {
+  Result<Experiment> experiment = ParseExperiment(text);
+  DSMS_CHECK(experiment.ok());
+  Result<std::vector<ScheduledFrame>> schedule =
+      BuildFeedSchedule(*experiment, experiment->run.horizon);
+  DSMS_CHECK(schedule.ok());
+  return *std::move(schedule);
+}
+
+TEST(RecoveryLoopbackTest, KillMidRunRecoverResumeOutputIsByteIdentical) {
+  const std::vector<ScheduledFrame> schedule = BuildSchedule(kPlan);
+  ASSERT_GT(schedule.size(), 0u);
+
+  // Reference: the same plan served to completion with no interruption.
+  const std::string ref_dir = FreshDir("reference");
+  {
+    RecoveryHarness harness(kPlan, ref_dir);
+    harness.Serve();
+    FeedClientOptions copts;
+    copts.port = harness.server->port();
+    FeedClient client(copts);
+    ASSERT_TRUE(client.Connect().ok());
+    Result<uint64_t> sent = client.Send(schedule);
+    ASSERT_TRUE(sent.ok());
+    EXPECT_EQ(*sent, schedule.size());
+    client.Close();
+    ASSERT_TRUE(harness.Join().ok());
+    ASSERT_TRUE(harness.recovery->FlushSinks().ok());
+  }
+  const std::string reference = ReadFile(ref_dir + "/sink-OUT.out");
+  ASSERT_FALSE(reference.empty());
+
+  // Crash run: identical input, but the server aborts at t=1s — mid-stream,
+  // with frames still undelivered. Tearing the stack down without any flush
+  // is the in-process stand-in for SIGKILL.
+  const std::string dir = FreshDir("crash");
+  uint64_t durable_at_crash = 0;
+  {
+    RecoveryHarness harness(kPlan, dir, /*crash_at=*/1 * kSecond);
+    harness.Serve();
+    FeedClientOptions copts;
+    copts.port = harness.server->port();
+    FeedClient client(copts);
+    ASSERT_TRUE(client.Connect().ok());
+    // The blast fits in the socket buffer, so Send returns before the
+    // crash; the server dies while draining it.
+    Result<uint64_t> sent = client.Send(schedule);
+    ASSERT_TRUE(sent.ok());
+    client.Close();
+    Status run = harness.Join();
+    ASSERT_EQ(run.code(), StatusCode::kAborted) << run.ToString();
+    for (const auto& [stream, seq] : harness.recovery->durable_seqs()) {
+      durable_at_crash += seq;
+    }
+    // The crash landed mid-stream: some frames are durable, some are not.
+    ASSERT_GT(durable_at_crash, 0u);
+    ASSERT_LT(durable_at_crash, schedule.size());
+  }
+
+  // Recovery run: load the checkpoint, replay the WAL tail, and let a
+  // resuming client re-send everything the server does not hold durably.
+  {
+    RecoveryHarness harness(kPlan, dir);
+    ASSERT_TRUE(harness.recovery->recovered());
+    harness.Serve();
+    EXPECT_GT(harness.clock.now(), 0);
+
+    FeedClientOptions copts;
+    copts.port = harness.server->port();
+    copts.resume = true;
+    FeedClient client(copts);
+    ASSERT_TRUE(client.Connect().ok());
+    ASSERT_TRUE(client.Handshake().ok());
+    uint64_t acked = 0;
+    for (const auto& [stream, seq] : client.acked()) acked += seq;
+    EXPECT_EQ(acked, durable_at_crash);
+
+    Result<uint64_t> sent = client.Send(schedule);
+    ASSERT_TRUE(sent.ok());
+    // Exactly-once on the wire: the client re-sends only the frames the
+    // server lost.
+    EXPECT_EQ(*sent, schedule.size() - durable_at_crash);
+    client.Close();
+    ASSERT_TRUE(harness.Join().ok());
+    ASSERT_TRUE(harness.recovery->FlushSinks().ok());
+    EXPECT_EQ(harness.server->resume_rejects(), 0u);
+  }
+
+  // Exactly-once at the output: crash + recover + resume produced the same
+  // bytes as the uninterrupted run.
+  EXPECT_EQ(ReadFile(dir + "/sink-OUT.out"), reference);
+}
+
+TEST(RecoveryLoopbackTest, HandshakeOnFreshServerAcksNothing) {
+  const std::vector<ScheduledFrame> schedule = BuildSchedule(kPlan);
+  const std::string dir = FreshDir("fresh");
+  RecoveryHarness harness(kPlan, dir);
+  EXPECT_FALSE(harness.recovery->recovered());
+  harness.Serve();
+
+  FeedClientOptions copts;
+  copts.port = harness.server->port();
+  copts.resume = true;
+  FeedClient client(copts);
+  ASSERT_TRUE(client.Connect().ok());
+  ASSERT_TRUE(client.Handshake().ok());
+  EXPECT_TRUE(client.acked().empty());
+  Result<uint64_t> sent = client.Send(schedule);
+  ASSERT_TRUE(sent.ok());
+  EXPECT_EQ(*sent, schedule.size());
+  client.Close();
+  ASSERT_TRUE(harness.Join().ok());
+  EXPECT_EQ(harness.server->frames_ingested(), schedule.size());
+  EXPECT_EQ(harness.server->resume_rejects(), 0u);
+}
+
+TEST(RecoveryLoopbackTest, StaleResumeTokenIsRejectedAndCounted) {
+  const std::string dir = FreshDir("stale");
+  RecoveryHarness harness(kPlan, dir);
+  harness.Serve();
+
+  // A feeder resuming against the wrong (here: empty) durable state — e.g.
+  // the recovery directory was wiped between its HELLO and now. It claims
+  // 5 durable frames on stream 0; the server holds none.
+  FeedClientOptions copts;
+  copts.port = harness.server->port();
+  FeedClient client(copts);
+  ASSERT_TRUE(client.Connect().ok());
+  WireFrame stale;
+  stale.type = WireFrame::Type::kResume;
+  stale.values.emplace_back(int64_t{0});
+  stale.values.emplace_back(int64_t{5});
+  ASSERT_TRUE(client.SendFrame(stale).ok());
+  client.Close();
+  ASSERT_TRUE(harness.Join().ok());
+
+  EXPECT_EQ(harness.server->resume_rejects(), 1u);
+  EXPECT_EQ(harness.server->frames_ingested(), 0u);
+  std::vector<ConnectionReport> reports =
+      harness.server->connection_reports();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_FALSE(reports[0].open);
+  EXPECT_GE(reports[0].protocol_errors, 1u);
+}
+
+TEST(RecoveryLoopbackTest, GracefulRestartReproducesTheSameOutput) {
+  const std::vector<ScheduledFrame> schedule = BuildSchedule(kPlan);
+  const std::string dir = FreshDir("graceful");
+  std::string first_output;
+  {
+    RecoveryHarness harness(kPlan, dir);
+    harness.Serve();
+    FeedClientOptions copts;
+    copts.port = harness.server->port();
+    FeedClient client(copts);
+    ASSERT_TRUE(client.Connect().ok());
+    ASSERT_TRUE(client.Send(schedule).ok());
+    client.Close();
+    ASSERT_TRUE(harness.Join().ok());
+    // The streamets_serve shutdown epilogue: final checkpoint, then flush.
+    ASSERT_TRUE(harness.server->CheckpointNow().ok());
+    ASSERT_TRUE(harness.recovery->FlushWal().ok());
+    ASSERT_TRUE(harness.recovery->FlushSinks().ok());
+    EXPECT_GT(harness.recovery->checkpoints_written(), 0u);
+    first_output = ReadFile(dir + "/sink-OUT.out");
+    ASSERT_FALSE(first_output.empty());
+  }
+  // Restart with no new input: the final checkpoint covers the whole run,
+  // so the restarted server replays nothing, re-emits nothing, and the
+  // durable output is untouched. A recovered server waits for peers to
+  // reconnect, so a connect-and-hang-up is what releases the run.
+  {
+    RecoveryHarness harness(kPlan, dir);
+    ASSERT_TRUE(harness.recovery->recovered());
+    harness.Serve();
+    FeedClientOptions copts;
+    copts.port = harness.server->port();
+    FeedClient client(copts);
+    ASSERT_TRUE(client.Connect().ok());
+    client.Close();
+    ASSERT_TRUE(harness.Join().ok());
+    ASSERT_TRUE(harness.recovery->FlushSinks().ok());
+    EXPECT_EQ(harness.recovery->replayed_frames(), 0u);
+  }
+  EXPECT_EQ(ReadFile(dir + "/sink-OUT.out"), first_output);
+}
+
+}  // namespace
+}  // namespace dsms
