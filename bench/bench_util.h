@@ -15,6 +15,34 @@
 
 namespace dsms::bench {
 
+/// "release" when compiled with NDEBUG (assertions compiled out), "debug"
+/// otherwise. Surfaced in every JSON artifact so a validator can reject
+/// debug-build numbers mechanically (see BENCH_core.json's "build_type").
+inline const char* BuildType() {
+#ifdef NDEBUG
+  return "release";
+#else
+  return "debug";
+#endif
+}
+
+/// A debug build measures DSMS_CHECK overhead and unoptimized code, not the
+/// data path; its numbers are not comparable to anything. Print an
+/// unmissable banner so they are never pasted into a results file by
+/// accident. (No-op under NDEBUG.)
+inline void WarnIfDebugBuild() {
+#ifndef NDEBUG
+  std::fprintf(stderr,
+               "*****************************************************\n"
+               "*** WARNING: benchmark compiled WITHOUT NDEBUG    ***\n"
+               "*** (debug build: assertions on, optimizer off).  ***\n"
+               "*** Numbers below are NOT representative; rebuild ***\n"
+               "*** with -DCMAKE_BUILD_TYPE=Release before saving ***\n"
+               "*** results. JSON output carries build_type=debug.***\n"
+               "*****************************************************\n");
+#endif
+}
+
 /// Options common to every figure/table harness (see BenchFlags below, the
 /// single source of truth that --help renders):
 struct BenchOptions {
@@ -45,6 +73,7 @@ inline std::vector<FlagHelp> BenchFlags() {
 /// sweep flag cannot produce a full run of wrong numbers. --help prints the
 /// shared flag listing and exits 0.
 inline BenchOptions ParseArgs(int argc, char** argv) {
+  WarnIfDebugBuild();
   BenchOptions options;
   // A value-taking flag with nothing after it is reported by name — not as
   // "unknown argument" — so the error points at the actual mistake.

@@ -7,10 +7,13 @@
 //   $ ./streamets_run --demo          # run a built-in demo experiment
 //   $ ./streamets_run --trace /tmp/run.trace.json experiment.plan
 //   $ ./streamets_run --metrics /tmp/run.metrics.json experiment.plan
+//   $ ./streamets_run --batch 64 experiment.plan
 //
 // --trace writes a Chrome trace-event JSON of the run (open in Perfetto;
 // it overrides any `trace` statement in the file). --metrics writes the
-// unified metrics snapshot as one JSON object.
+// unified metrics snapshot as one JSON object. --batch N enables columnar
+// batch execution with N rows per batch (overrides the file's `batch`
+// statement; see docs/batching.md).
 //
 // Demo experiment (also a syntax reference):
 //
@@ -25,6 +28,7 @@
 //   run horizon=120s warmup=10s ets=on-demand
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -42,6 +46,9 @@ const std::vector<dsms::FlagHelp> kFlags = {
     {"--trace", "PATH",
      "write a Chrome trace of the run (overrides the file's trace line)"},
     {"--metrics", "PATH", "write the metrics snapshot as one JSON object"},
+    {"--batch", "N",
+     "columnar batch execution, N rows per batch (0 = scalar; overrides "
+     "the file's batch line)"},
     {"--help", "", "show this message and exit"},
 };
 
@@ -66,6 +73,7 @@ int main(int argc, char** argv) {
   bool demo = false;
   std::string trace_path;
   std::string metrics_path;
+  long batch_size = -1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--demo") == 0) {
       demo = true;
@@ -73,6 +81,12 @@ int main(int argc, char** argv) {
       trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
       metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--batch") == 0 && i + 1 < argc) {
+      batch_size = std::strtol(argv[++i], nullptr, 10);
+      if (batch_size < 0) {
+        std::fprintf(stderr, "--batch must be >= 0\n");
+        return 1;
+      }
     } else if (std::strcmp(argv[i], "--help") == 0) {
       PrintFlagHelp(stdout, argv[0],
                     "execute a self-contained experiment file "
@@ -118,6 +132,9 @@ int main(int argc, char** argv) {
     return 1;
   }
   if (!trace_path.empty()) experiment->trace.path = trace_path;
+  if (batch_size >= 0) {
+    experiment->run.batch = static_cast<size_t>(batch_size);
+  }
 
   Result<ExperimentReport> report = RunExperiment(&*experiment);
   if (!report.ok()) {

@@ -195,6 +195,7 @@ int main(int argc, char** argv) {
   config.ets.mode = experiment->run.ets;
   config.ets.min_interval = experiment->run.ets_min_interval;
   config.watchdog.silence_horizon = experiment->run.watchdog;
+  config.batch_size = experiment->run.batch;
   if (experiment->run.buffer_cap > 0) {
     graph->SetBufferBound(experiment->run.buffer_cap,
                           experiment->run.overload);

@@ -1,0 +1,40 @@
+#include "core/column_batch.h"
+
+#include "core/value.h"
+
+namespace dsms {
+
+const double* ColumnBatch::NumericColumn(int field) {
+  if (field < 0) return nullptr;
+  // Cache hit?
+  CachedColumn* slot = nullptr;
+  for (CachedColumn& col : columns_) {
+    if (col.field == field) {
+      return col.numeric ? col.values.data() : nullptr;
+    }
+    if (slot == nullptr && col.field < 0) slot = &col;
+  }
+  if (slot == nullptr) {
+    columns_.emplace_back();
+    slot = &columns_.back();
+  }
+  slot->field = field;
+  slot->values.clear();
+  slot->values.reserve(rows_.size());
+  for (const Tuple& row : rows_) {
+    if (field >= row.num_values()) {
+      slot->numeric = false;
+      return nullptr;
+    }
+    const Value& v = row.value(field);
+    if (v.is_string()) {
+      slot->numeric = false;
+      return nullptr;
+    }
+    slot->values.push_back(v.AsDouble());
+  }
+  slot->numeric = true;
+  return slot->values.data();
+}
+
+}  // namespace dsms

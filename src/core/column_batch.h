@@ -1,0 +1,105 @@
+#ifndef DSMS_CORE_COLUMN_BATCH_H_
+#define DSMS_CORE_COLUMN_BATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/time.h"
+#include "core/tuple.h"
+
+namespace dsms {
+
+/// A columnar view over a run of consecutive *data* tuples drained from one
+/// StreamBuffer (StreamBuffer::DrainIntoBatch). The rows keep their full
+/// Tuple representation (the "row spine") so batch kernels can forward
+/// tuples byte-identically — lineage, arrival time, sequence numbers and
+/// payload survive untouched — while per-attribute column vectors give the
+/// hot kernels (filter compare, window aggregation) a tight contiguous loop
+/// over doubles instead of a pointer chase through Tuple/InlinedValues.
+///
+/// Invariants:
+///  - every row is a data tuple (punctuation never enters a batch: the
+///    drain stops at the first punctuation so a batch never spans an
+///    ordering cut — see docs/batching.md);
+///  - rows are in arrival (FIFO) order; kernels MUST process them in order
+///    or batch execution stops being equivalent to the scalar path;
+///  - the batch is transient: it lives for one executor step and is cleared
+///    before the next drain. Nothing here is checkpointed — recovery only
+///    ever sees tuples inside StreamBuffers (docs/batching.md, §recovery).
+///
+/// Column extraction is lazy and cached per (batch, field): the first
+/// NumericColumn(f) call scans the rows once; subsequent calls are a vector
+/// lookup. The cache is invalidated by Clear(), so a recycled batch never
+/// leaks stale columns. Storage (rows and column vectors) is retained
+/// across Clear() — a batch owned by an executor reaches a steady state
+/// where draining and extracting allocate nothing.
+class ColumnBatch {
+ public:
+  ColumnBatch() = default;
+
+  ColumnBatch(const ColumnBatch&) = delete;
+  ColumnBatch& operator=(const ColumnBatch&) = delete;
+
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  /// Appends one data tuple to the batch (called by DrainIntoBatch in FIFO
+  /// order). Requires tuple.is_data().
+  void Append(Tuple&& tuple) {
+    DSMS_CHECK(tuple.is_data());
+    all_timestamped_ = all_timestamped_ && tuple.has_timestamp();
+    timestamps_.push_back(tuple.has_timestamp() ? tuple.timestamp()
+                                                : kMinTimestamp);
+    rows_.push_back(std::move(tuple));
+  }
+
+  /// Read access to row `i` (0-based, arrival order).
+  const Tuple& row(size_t i) const { return rows_[i]; }
+
+  /// Mutable access (e.g. MapOp rewriting payloads in place).
+  Tuple& mutable_row(size_t i) { return rows_[i]; }
+
+  /// Moves row `i` out of the batch (the slot is left moved-from; a kernel
+  /// takes each row at most once, in order). This is how kernels emit
+  /// byte-identical tuples without a copy.
+  Tuple TakeRow(size_t i) { return std::move(rows_[i]); }
+
+  /// Timestamp column, parallel to the rows. Latent (unstamped) rows hold
+  /// kMinTimestamp; check all_timestamped() before trusting the column.
+  const std::vector<Timestamp>& timestamps() const { return timestamps_; }
+  bool all_timestamped() const { return all_timestamped_; }
+
+  /// Contiguous numeric column for payload field `field`: every row's
+  /// value(field) converted with Value::AsDouble (int64/bool/double —
+  /// exactly the coercion the scalar comparison predicates apply). Returns
+  /// nullptr when any row lacks the field or holds a non-numeric value
+  /// there; kernels then fall back to their row-wise loop. The returned
+  /// pointer is valid until Clear().
+  const double* NumericColumn(int field);
+
+  /// Empties the batch and invalidates extracted columns. Capacity of the
+  /// row spine and column vectors is retained for reuse.
+  void Clear() {
+    rows_.clear();
+    timestamps_.clear();
+    all_timestamped_ = true;
+    for (CachedColumn& col : columns_) col.field = -1;
+  }
+
+ private:
+  struct CachedColumn {
+    int field = -1;  // -1 = slot free / invalidated
+    bool numeric = false;
+    std::vector<double> values;
+  };
+
+  std::vector<Tuple> rows_;
+  std::vector<Timestamp> timestamps_;
+  bool all_timestamped_ = true;
+  std::vector<CachedColumn> columns_;
+};
+
+}  // namespace dsms
+
+#endif  // DSMS_CORE_COLUMN_BATCH_H_

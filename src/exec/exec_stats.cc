@@ -22,6 +22,10 @@ void ForEachCounter(const ExecStats& stats, const std::string& prefix,
   fn(prefix + ".watchdog_ets", &stats.watchdog_ets);
   fn(prefix + ".idle_returns", &stats.idle_returns);
   fn(prefix + ".work_scans", &stats.work_scans);
+  fn(prefix + ".batch.batches", &stats.batches);
+  fn(prefix + ".batch.rows", &stats.batch_rows);
+  fn(prefix + ".batch.punct_splits", &stats.batch_punct_splits);
+  fn(prefix + ".batch.fallback_steps", &stats.batch_fallback_steps);
 }
 
 }  // namespace
@@ -29,7 +33,8 @@ void ForEachCounter(const ExecStats& stats, const std::string& prefix,
 std::string ExecStats::ToString() const {
   return StrFormat(
       "data_steps=%llu punct_steps=%llu empty_steps=%llu backtracks=%llu "
-      "hops=%llu ets=%llu watchdog_ets=%llu idle_returns=%llu scans=%llu",
+      "hops=%llu ets=%llu watchdog_ets=%llu idle_returns=%llu scans=%llu "
+      "batches=%llu batch_rows=%llu batch_splits=%llu batch_fallbacks=%llu",
       static_cast<unsigned long long>(data_steps),
       static_cast<unsigned long long>(punctuation_steps),
       static_cast<unsigned long long>(empty_steps),
@@ -38,7 +43,11 @@ std::string ExecStats::ToString() const {
       static_cast<unsigned long long>(ets_generated),
       static_cast<unsigned long long>(watchdog_ets),
       static_cast<unsigned long long>(idle_returns),
-      static_cast<unsigned long long>(work_scans));
+      static_cast<unsigned long long>(work_scans),
+      static_cast<unsigned long long>(batches),
+      static_cast<unsigned long long>(batch_rows),
+      static_cast<unsigned long long>(batch_punct_splits),
+      static_cast<unsigned long long>(batch_fallback_steps));
 }
 
 void ExecStats::BindTo(MetricsRegistry* registry,

@@ -29,6 +29,17 @@ struct ExecStats {
   uint64_t idle_returns = 0;
   /// Scans over the operator table looking for runnable work.
   uint64_t work_scans = 0;
+  /// Columnar batches drained and processed (batch mode only).
+  uint64_t batches = 0;
+  /// Data rows carried by those batches (batch_rows / batches = mean batch
+  /// occupancy; every such row is also counted in data_steps).
+  uint64_t batch_rows = 0;
+  /// Batch drains stopped early by a punctuation mid-buffer (the ordering
+  /// cut a batch is never allowed to span).
+  uint64_t batch_punct_splits = 0;
+  /// Steps that fell back to the scalar path while batch mode was on
+  /// (operator without a kernel, punctuation at the front, fan-in).
+  uint64_t batch_fallback_steps = 0;
 
   uint64_t total_steps() const {
     return data_steps + punctuation_steps + empty_steps;
@@ -41,7 +52,10 @@ struct ExecStats {
            a.backtrack_hops == b.backtrack_hops &&
            a.ets_generated == b.ets_generated &&
            a.watchdog_ets == b.watchdog_ets &&
-           a.idle_returns == b.idle_returns && a.work_scans == b.work_scans;
+           a.idle_returns == b.idle_returns && a.work_scans == b.work_scans &&
+           a.batches == b.batches && a.batch_rows == b.batch_rows &&
+           a.batch_punct_splits == b.batch_punct_splits &&
+           a.batch_fallback_steps == b.batch_fallback_steps;
   }
   friend bool operator!=(const ExecStats& a, const ExecStats& b) {
     return !(a == b);

@@ -69,6 +69,10 @@ void Executor::SaveState(StateWriter& w) const {
   w.U64(stats_.watchdog_ets);
   w.U64(stats_.idle_returns);
   w.U64(stats_.work_scans);
+  w.U64(stats_.batches);
+  w.U64(stats_.batch_rows);
+  w.U64(stats_.batch_punct_splits);
+  w.U64(stats_.batch_fallback_steps);
   ets_gate_.SaveState(w);
   w.U32(static_cast<uint32_t>(watchdog_last_fire_.size()));
   for (const auto& [stream, when] : watchdog_last_fire_) {
@@ -90,6 +94,10 @@ void Executor::LoadState(StateReader& r) {
   stats_.watchdog_ets = r.U64();
   stats_.idle_returns = r.U64();
   stats_.work_scans = r.U64();
+  stats_.batches = r.U64();
+  stats_.batch_rows = r.U64();
+  stats_.batch_punct_splits = r.U64();
+  stats_.batch_fallback_steps = r.U64();
   ets_gate_.LoadState(r);
   watchdog_last_fire_.clear();
   uint32_t n = r.U32();
@@ -122,6 +130,43 @@ void Executor::ChargeStep(const Operator& op, const StepResult& result) {
   }
   clock_->Advance(cost);
   if (tracer_ != nullptr) tracer_->RecordStep(op.id(), start, cost, kind);
+}
+
+bool Executor::TryBatchStep(Operator* op, StepResult* result) {
+  if (config_.batch_size == 0 || !op->SupportsBatch() ||
+      op->num_inputs() != 1) {
+    return false;
+  }
+  StreamBuffer* in = op->input(0);
+  if (in->empty() || in->Front().is_punctuation()) return false;
+
+  const Timestamp start = clock_->now();
+  bool punct_split = false;
+  const size_t rows =
+      in->DrainIntoBatch(&batch_, config_.batch_size, &punct_split);
+  DSMS_CHECK_GT(rows, 0u);
+  op->ProcessBatch(batch_, ctx_);
+  batch_.Clear();
+
+  // Each row is charged exactly what its scalar data step would have cost,
+  // in one clock advance; the batch is one kBatchDrain slice instead of
+  // `rows` kStep slices.
+  const Duration cost =
+      config_.costs.data_step * static_cast<Duration>(rows);
+  stats_.data_steps += rows;
+  ++stats_.batches;
+  stats_.batch_rows += rows;
+  if (punct_split) ++stats_.batch_punct_splits;
+  clock_->Advance(cost);
+  if (tracer_ != nullptr) {
+    tracer_->RecordBatchDrain(op->id(), start, cost,
+                              static_cast<int64_t>(rows), punct_split);
+  }
+
+  result->processed_data = true;
+  result->more = !in->empty();
+  result->yield = AnyOutputNonEmpty(*op);
+  return true;
 }
 
 void Executor::UpdateIdleTracker(Operator* op, const StepResult& result) {

@@ -8,6 +8,7 @@
 
 #include "common/clock.h"
 #include "common/time.h"
+#include "core/column_batch.h"
 #include "core/ready_tracker.h"
 #include "exec/ets_policy.h"
 #include "exec/exec_stats.h"
@@ -67,6 +68,12 @@ struct ExecConfig {
   EtsPolicy ets;
   WatchdogPolicy watchdog;
   SchedulerMode scheduler = SchedulerMode::kReadyQueue;
+  /// Maximum rows per columnar batch; 0 (the default) disables batch mode.
+  /// When > 0, executors drain up to this many consecutive data tuples into
+  /// a ColumnBatch and hand it to operators with a batch kernel
+  /// (Operator::SupportsBatch); everything else falls back to the scalar
+  /// step path. Batches never span a punctuation (docs/batching.md).
+  size_t batch_size = 0;
   /// Execution tracer (owned by the caller, must outlive the executor);
   /// null (the default) disables tracing — every hook is one null check.
   Tracer* tracer = nullptr;
@@ -138,6 +145,17 @@ class Executor {
   /// tracing) records the step slice for `op`'s track.
   void ChargeStep(const Operator& op, const StepResult& result);
 
+  /// Batch fast path: when batch mode is on (config_.batch_size > 0), `op`
+  /// has a batch kernel, a single input, and data at the front, drains up
+  /// to batch_size consecutive data tuples into the scratch batch, runs the
+  /// kernel, charges data_step per row, and synthesizes `result` as if the
+  /// rows had been stepped one by one. Returns false (leaving `result`
+  /// untouched) when any precondition fails — callers then run the scalar
+  /// step. Never consumes punctuation: a punctuation at the front or
+  /// mid-buffer is left for the scalar path, so batching cannot reorder
+  /// tuples across an ordering cut.
+  bool TryBatchStep(Operator* op, StepResult* result);
+
   /// Updates the IWP idle tracker for `op` after a step.
   void UpdateIdleTracker(Operator* op, const StepResult& result);
 
@@ -190,6 +208,10 @@ class Executor {
   std::map<int32_t, Timestamp> watchdog_last_fire_;
   /// Candidate set maintained by buffer notifications (kReadyQueue mode).
   ReadyTracker ready_;
+  /// Scratch batch reused across TryBatchStep calls (capacity persists).
+  /// Always empty between executor steps — a checkpoint can never observe
+  /// in-flight batched rows (docs/batching.md).
+  ColumnBatch batch_;
 };
 
 }  // namespace dsms

@@ -42,6 +42,8 @@ const char* TraceEventTypeToString(TraceEventType type) {
       return "checkpoint";
     case TraceEventType::kRecovery:
       return "recovery";
+    case TraceEventType::kBatchDrain:
+      return "batch_drain";
   }
   return "unknown";
 }
@@ -233,6 +235,14 @@ void Tracer::WriteChromeTrace(std::ostream& os) const {
             "\"args\": {\"replayed_frames\": %lld, \"checkpoint_id\": "
             "%lld}}",
             ts, arg, static_cast<long long>(event.dur)));
+        break;
+      case TraceEventType::kBatchDrain:
+        emit(StrFormat(
+            "{\"name\": \"batch:%lld\", \"cat\": \"batch\", \"ph\": \"X\", "
+            "\"ts\": %lld, \"dur\": %lld, \"pid\": 0, \"tid\": %d, "
+            "\"args\": {\"rows\": %lld, \"punct_split\": %d}}",
+            arg, ts, static_cast<long long>(event.dur), tid, arg,
+            static_cast<int>(event.detail)));
         break;
     }
   }

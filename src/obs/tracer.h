@@ -91,6 +91,15 @@ class Tracer {
                     TraceEventType::kCheckpoint, 0});
   }
 
+  /// One columnar batch of `rows` data tuples was drained and processed at
+  /// operator `op_id`, charged `cost`; `punct_split` marks a drain stopped
+  /// early by mid-buffer punctuation.
+  void RecordBatchDrain(int op_id, Timestamp start, Duration cost,
+                        int64_t rows, bool punct_split) {
+    Push(TraceEvent{start, cost, rows, op_id, TraceEventType::kBatchDrain,
+                    static_cast<uint8_t>(punct_split ? 1 : 0)});
+  }
+
   /// Recovery restored checkpoint `checkpoint_id` and queued
   /// `replayed_count` WAL records, leaving the clock at `clock_now`
   /// (engine-level: op_id -1; the checkpoint id rides in dur).

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "core/column_batch.h"
 #include "core/value.h"
 
 namespace dsms {
@@ -32,6 +33,17 @@ StepResult MapOp::Step(ExecContext& ctx) {
   result.more = !input(0)->empty();
   result.yield = AnyOutputNonEmpty(*this);
   return result;
+}
+
+void MapOp::ProcessBatch(ColumnBatch& batch, ExecContext& ctx) {
+  (void)ctx;
+  const size_t n = batch.size();
+  NoteBatchInput(n);
+  for (size_t i = 0; i < n; ++i) {
+    Tuple tuple = batch.TakeRow(i);
+    tuple.mutable_values() = transform_(tuple.values());
+    Emit(std::move(tuple));
+  }
 }
 
 CopyOp::CopyOp(std::string name) : Operator(std::move(name)) {}

@@ -14,6 +14,7 @@
 
 namespace dsms {
 
+class ColumnBatch;
 class StateReader;
 class StateWriter;
 class Tracer;
@@ -148,6 +149,24 @@ class Operator {
   /// Executes one step. See class comment for the contract.
   virtual StepResult Step(ExecContext& ctx) = 0;
 
+  // --- columnar batch execution (opt-in; see docs/batching.md) ---
+
+  /// True when this operator implements ProcessBatch. Executors with
+  /// ExecConfig::batch_size > 0 then drain this operator's (single) input
+  /// into a ColumnBatch and process all rows in one step; operators without
+  /// a kernel keep the tuple-at-a-time Step path (counted as
+  /// exec.batch.fallback_steps).
+  virtual bool SupportsBatch() const { return false; }
+
+  /// Processes every row of `batch` in arrival order, emitting outputs into
+  /// the normal output buffers; the rows are consumed. Must be semantically
+  /// identical to Step-ing each row (same emissions, same order, same RNG
+  /// draws, same stats accounting). Only called when SupportsBatch() and the
+  /// batch is non-empty; the batch contains data tuples only (punctuation is
+  /// absorbed by scalar steps — StreamBuffer::DrainIntoBatch never crosses
+  /// an ordering cut). The base implementation aborts.
+  virtual void ProcessBatch(ColumnBatch& batch, ExecContext& ctx);
+
   /// Whether a Step could make progress right now; used by polling
   /// executors (round-robin). Default: any input buffer is non-empty.
   virtual bool HasWork() const;
@@ -199,6 +218,14 @@ class Operator {
   Tuple TakeInput(int index);
   void Emit(Tuple tuple);           // to every output buffer (clones if >1)
   void EmitTo(int index, Tuple tuple);
+
+  /// Input-side stats for `rows` data tuples consumed via a batch drain
+  /// (DrainIntoBatch bypasses TakeInput); also counts one step per row so
+  /// OperatorStats match the scalar path tuple for tuple.
+  void NoteBatchInput(size_t rows) {
+    stats_.data_in += rows;
+    stats_.steps += rows;
+  }
 
   OperatorStats stats_;
   Tracer* tracer_ = nullptr;

@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "common/strings.h"
+#include "core/column_batch.h"
 #include "core/value.h"
 
 namespace dsms {
@@ -54,6 +55,21 @@ StepResult Project::Step(ExecContext& ctx) {
   result.more = !input(0)->empty();
   result.yield = AnyOutputNonEmpty(*this);
   return result;
+}
+
+void Project::ProcessBatch(ColumnBatch& batch, ExecContext& ctx) {
+  (void)ctx;
+  const size_t n = batch.size();
+  NoteBatchInput(n);
+  std::vector<Value> projected;
+  for (size_t i = 0; i < n; ++i) {
+    Tuple tuple = batch.TakeRow(i);
+    projected.clear();
+    projected.reserve(keep_indices_.size());
+    for (int idx : keep_indices_) projected.push_back(tuple.value(idx));
+    tuple.mutable_values() = std::move(projected);
+    Emit(std::move(tuple));
+  }
 }
 
 }  // namespace dsms

@@ -8,6 +8,7 @@
 
 #include "common/check.h"
 #include "common/strings.h"
+#include "core/column_batch.h"
 #include "core/schema.h"
 #include "core/value.h"
 #include "recovery/state_codec.h"
@@ -176,6 +177,89 @@ StepResult WindowAggregate::Step(ExecContext& ctx) {
   result.more = !input(0)->empty();
   result.yield = AnyOutputNonEmpty(*this);
   return result;
+}
+
+void WindowAggregate::ProcessBatch(ColumnBatch& batch, ExecContext& ctx) {
+  const size_t n = batch.size();
+  NoteBatchInput(n);
+  const double* column =
+      kind_ == AggKind::kCount ? nullptr : batch.NumericColumn(field_);
+  const bool columnar = batch.all_timestamped() &&
+                        (kind_ == AggKind::kCount || column != nullptr);
+  if (!columnar) {
+    // Row-wise reference loop: latent rows need stamping, or the field is
+    // not extractable as a numeric column.
+    for (size_t i = 0; i < n; ++i) {
+      Tuple& row = batch.mutable_row(i);
+      if (!row.has_timestamp()) row.set_timestamp(ctx.now());
+      const Timestamp ts = row.timestamp();
+      if (!first_seen_) {
+        first_seen_ = true;
+        next_emit_k_ = WindowIndexLow(ts);
+      }
+      Accumulate(row);
+      if (ts > bound_) bound_ = ts;
+      // CloseWindowsUpTo's loop runs iff next_emit_k_*slide + window <=
+      // bound; hoisting that test keeps the per-row cost of a
+      // window-interior tuple at one compare instead of a FloorDiv + call.
+      if (bound_ >= next_emit_k_ * slide_ + window_) CloseWindowsUpTo(bound_);
+    }
+    return;
+  }
+  // Columnar path: the timestamp and value columns drive the whole loop.
+  // The dominant row lands solely in the *current* window (next_emit_k_),
+  // so its accumulator is cached and the row costs two timestamp compares
+  // plus the arithmetic — no FloorDiv, no map lookup, no Tuple chase. Any
+  // row outside the cached band (window transition, overlap region of a
+  // sliding window, late or ahead-of-bound data) takes the general path,
+  // which also decides window closes. A cache hit can never close a
+  // window: it accumulates into next_emit_k_ itself, whose end the bound
+  // cannot have reached (loop invariant: bound_ < next_emit_k_*slide +
+  // window at row entry).
+  const Timestamp* ts_column = batch.timestamps().data();
+  Accumulator* cached = nullptr;
+  Timestamp cached_begin = 0;  // [begin, end): ts range whose ONLY window
+  Timestamp cached_end = 0;    // is next_emit_k_
+  for (size_t i = 0; i < n; ++i) {
+    const Timestamp ts = ts_column[i];
+    const double v = column != nullptr ? column[i] : 0.0;
+    if (cached != nullptr && ts >= cached_begin && ts < cached_end) {
+      if (cached->count == 0) {
+        cached->min = v;
+        cached->max = v;
+      } else {
+        cached->min = std::min(cached->min, v);
+        cached->max = std::max(cached->max, v);
+      }
+      ++cached->count;
+      cached->sum += v;
+      if (ts > bound_) bound_ = ts;
+      continue;
+    }
+    if (!first_seen_) {
+      first_seen_ = true;
+      next_emit_k_ = WindowIndexLow(ts);
+    }
+    Accumulate(batch.row(i));
+    if (ts > bound_) bound_ = ts;
+    if (bound_ >= next_emit_k_ * slide_ + window_) {
+      CloseWindowsUpTo(bound_);  // Erases map nodes: drop the cache.
+      cached = nullptr;
+    }
+    // (Re)establish the cache when this row's one-and-only window is the
+    // current one. The single-window band of window k is
+    // [max(k*slide, (k-1)*slide + window), min((k+1)*slide, k*slide +
+    // window)) — the whole window for tumbling, the non-overlap core when
+    // slide < window < 2*slide, empty otherwise (cache never engages).
+    const int64_t k = next_emit_k_;
+    const Timestamp begin = std::max(k * slide_, (k - 1) * slide_ + window_);
+    const Timestamp end = std::min((k + 1) * slide_, k * slide_ + window_);
+    if (ts >= begin && ts < end) {
+      cached = &accumulators_[k];
+      cached_begin = begin;
+      cached_end = end;
+    }
+  }
 }
 
 void WindowAggregate::SaveState(StateWriter& w) const {

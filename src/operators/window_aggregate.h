@@ -48,6 +48,13 @@ class WindowAggregate : public Operator {
 
   StepResult Step(ExecContext& ctx) override;
 
+  /// Batch kernel: per-row accumulation in arrival order with the
+  /// window-close check hoisted to a comparison against the next window
+  /// end (the common row neither opens nor closes a window). Punctuation
+  /// handling stays on the scalar path — batches hold data rows only.
+  bool SupportsBatch() const override { return true; }
+  void ProcessBatch(ColumnBatch& batch, ExecContext& ctx) override;
+
   /// Latent inputs are stamped on the fly (Section 5).
   bool stamps_latent() const override { return true; }
 

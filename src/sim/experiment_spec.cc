@@ -282,6 +282,17 @@ Status ParseRun(const ExpStatement& s, RunSpec* run) {
   return OkStatus();
 }
 
+Status ParseBatch(const ExpStatement& s, RunSpec* run) {
+  int64_t size = 0;
+  DSMS_RETURN_IF_ERROR(GetArgInt(s, "size", 0, &size));
+  if (size < 1) {
+    return InvalidArgumentError(
+        StrFormat("line %d: missing or non-positive size=", s.line));
+  }
+  run->batch = static_cast<size_t>(size);
+  return OkStatus();
+}
+
 Status ParseTrace(const ExpStatement& s, TraceSpec* trace) {
   auto path = s.args.find("path");
   if (path == s.args.end() || path->second.empty()) {
@@ -428,6 +439,7 @@ Result<Experiment> ParseExperiment(std::string_view text,
   std::vector<ExpStatement> heartbeats;
   std::vector<ExpStatement> faults;
   std::vector<ExpStatement> runs;
+  std::vector<ExpStatement> batches;
   std::vector<ExpStatement> traces;
   std::vector<ExpStatement> wals;
   std::vector<ExpStatement> checkpoints;
@@ -465,6 +477,11 @@ Result<Experiment> ParseExperiment(std::string_view text,
                                         /*has_name=*/false, &statement);
       if (!status.ok()) return status;
       runs.push_back(std::move(statement));
+    } else if (stripped == "batch" || StartsWith(stripped, "batch ")) {
+      Status status = ParseExpStatement(line_number, stripped,
+                                        /*has_name=*/false, &statement);
+      if (!status.ok()) return status;
+      batches.push_back(std::move(statement));
     } else if (StartsWith(stripped, "trace ")) {
       Status status = ParseExpStatement(line_number, stripped,
                                         /*has_name=*/false, &statement);
@@ -494,6 +511,10 @@ Result<Experiment> ParseExperiment(std::string_view text,
   if (runs.size() > 1) {
     return InvalidArgumentError(
         StrFormat("line %d: duplicate run statement", runs[1].line));
+  }
+  if (batches.size() > 1) {
+    return InvalidArgumentError(
+        StrFormat("line %d: duplicate batch statement", batches[1].line));
   }
   if (traces.size() > 1) {
     return InvalidArgumentError(
@@ -556,6 +577,9 @@ Result<Experiment> ParseExperiment(std::string_view text,
   if (!runs.empty()) {
     DSMS_RETURN_IF_ERROR(ParseRun(runs[0], &experiment.run));
   }
+  if (!batches.empty()) {
+    DSMS_RETURN_IF_ERROR(ParseBatch(batches[0], &experiment.run));
+  }
   if (!traces.empty()) {
     DSMS_RETURN_IF_ERROR(ParseTrace(traces[0], &experiment.trace));
   }
@@ -596,6 +620,7 @@ Result<ExperimentReport> RunExperiment(Experiment* experiment) {
   config.ets.mode = experiment->run.ets;
   config.ets.min_interval = experiment->run.ets_min_interval;
   config.watchdog.silence_horizon = experiment->run.watchdog;
+  config.batch_size = experiment->run.batch;
   if (experiment->run.buffer_cap > 0) {
     graph->SetBufferBound(experiment->run.buffer_cap,
                           experiment->run.overload);

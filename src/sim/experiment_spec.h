@@ -36,6 +36,7 @@ namespace dsms {
 ///       [executor=dfs|round-robin] [quantum=8] [ets_min_interval=DUR]
 ///       [watchdog=DUR] [buffer_cap=N] [overload=grow|block|shed]
 ///       [violations=count|drop|quarantine]
+///   batch size=N
 ///   trace path=/tmp/run.trace.json [capacity=262144]
 ///   wal dir=/path/to/waldir [sync=none|interval|every_frame]
 ///       [sync_interval_bytes=N] [segment_bytes=N]
@@ -91,6 +92,8 @@ struct RunSpec {
   size_t buffer_cap = 0;
   OverloadPolicy overload = OverloadPolicy::kGrow;
   ViolationPolicy violations = ViolationPolicy::kCount;
+  /// Columnar batch size (`batch size=N` statement); 0 = scalar execution.
+  size_t batch = 0;
 };
 
 /// Execution-trace output of a run (`trace` statement); empty path = off.

@@ -52,26 +52,21 @@ std::unique_ptr<ArrivalProcess> MakeSlowProcess(const ScenarioConfig& config,
   return std::make_unique<PoissonProcess>(config.slow_rate, seed);
 }
 
-/// Buffer listener folding every push/pop (arc id + full tuple contents)
-/// into an FNV-1a digest. Equal digests mean two runs moved byte-identical
-/// tuples through the same arcs in the same order.
-class TraceRecorder : public BufferListener {
+/// Order-sensitive FNV-1a digest over tuple contents; shared by the arc
+/// TraceRecorder and the sink-output digest.
+class FnvDigest {
  public:
   uint64_t hash() const { return hash_; }
-  uint64_t events() const { return events_; }
 
-  void OnPush(const StreamBuffer& buffer, const Tuple& tuple) override {
-    Record(0x50u, buffer, tuple);
-  }
-  void OnPop(const StreamBuffer& buffer, const Tuple& tuple) override {
-    Record(0x0Fu, buffer, tuple);
+  void Mix(uint64_t word) {
+    // FNV-1a, one byte at a time.
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= (word >> (i * 8)) & 0xFFu;
+      hash_ *= 1099511628211ULL;
+    }
   }
 
- private:
-  void Record(uint64_t tag, const StreamBuffer& buffer, const Tuple& tuple) {
-    ++events_;
-    Mix(tag);
-    Mix(static_cast<uint64_t>(buffer.id()));
+  void MixTuple(const Tuple& tuple) {
     Mix(static_cast<uint64_t>(tuple.kind()));
     Mix(static_cast<uint64_t>(tuple.timestamp_kind()));
     Mix(tuple.has_timestamp() ? 1u : 0u);
@@ -109,15 +104,34 @@ class TraceRecorder : public BufferListener {
     }
   }
 
-  void Mix(uint64_t word) {
-    // FNV-1a, one byte at a time.
-    for (int i = 0; i < 8; ++i) {
-      hash_ ^= (word >> (i * 8)) & 0xFFu;
-      hash_ *= 1099511628211ULL;
-    }
+ private:
+  uint64_t hash_ = 14695981039346656037ULL;
+};
+
+/// Buffer listener folding every push/pop (arc id + full tuple contents)
+/// into an FNV-1a digest. Equal digests mean two runs moved byte-identical
+/// tuples through the same arcs in the same order.
+class TraceRecorder : public BufferListener {
+ public:
+  uint64_t hash() const { return digest_.hash(); }
+  uint64_t events() const { return events_; }
+
+  void OnPush(const StreamBuffer& buffer, const Tuple& tuple) override {
+    Record(0x50u, buffer, tuple);
+  }
+  void OnPop(const StreamBuffer& buffer, const Tuple& tuple) override {
+    Record(0x0Fu, buffer, tuple);
   }
 
-  uint64_t hash_ = 14695981039346656037ULL;
+ private:
+  void Record(uint64_t tag, const StreamBuffer& buffer, const Tuple& tuple) {
+    ++events_;
+    digest_.Mix(tag);
+    digest_.Mix(static_cast<uint64_t>(buffer.id()));
+    digest_.MixTuple(tuple);
+  }
+
+  FnvDigest digest_;
   uint64_t events_ = 0;
 };
 
@@ -263,6 +277,7 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
   exec_config.ets.min_interval = config.ets_min_interval;
   exec_config.watchdog.silence_horizon = config.watchdog_horizon;
   exec_config.scheduler = config.scheduler;
+  exec_config.batch_size = config.batch_size;
 
   VirtualClock clock;
   std::unique_ptr<Tracer> tracer;
@@ -288,18 +303,20 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
 
   // Self-check every delivery for timestamp-order violations; the paper's
   // operators are order-preserving by construction, so any violation is an
-  // implementation bug worth failing loudly in tests.
+  // implementation bug worth failing loudly in tests. The same callback
+  // folds every delivered tuple into the sink-output digest — the oracle
+  // the batch-equivalence suite compares against the scalar path.
   uint64_t order_violations = 0;
-  if (ordered) {
-    auto last_ts = std::make_shared<Timestamp>(kMinTimestamp);
-    sink->set_callback(
-        [last_ts, &order_violations](const Tuple& t, Timestamp) {
-          if (t.has_timestamp()) {
-            if (t.timestamp() < *last_ts) ++order_violations;
-            *last_ts = t.timestamp();
-          }
-        });
-  }
+  auto sink_digest = std::make_shared<FnvDigest>();
+  auto last_ts = std::make_shared<Timestamp>(kMinTimestamp);
+  sink->set_callback([last_ts, &order_violations, sink_digest,
+                      ordered](const Tuple& t, Timestamp) {
+    if (ordered && t.has_timestamp()) {
+      if (t.timestamp() < *last_ts) ++order_violations;
+      *last_ts = t.timestamp();
+    }
+    sink_digest->MixTuple(t);
+  });
 
   TraceRecorder trace;
   Simulation sim(graph.get(), executor.get(), &clock);
@@ -373,6 +390,7 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
   result.max_buffer_hwm = static_cast<uint64_t>(graph->MaxBufferHighWaterMark());
   result.trace_hash = trace.hash();
   result.trace_events = trace.events();
+  result.sink_digest = sink_digest->hash();
   result.exec = executor->stats();
 
   if (tracer != nullptr) {

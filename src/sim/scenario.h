@@ -100,6 +100,10 @@ struct ScenarioConfig {
   /// oracle for trace-equivalence tests).
   SchedulerMode scheduler = SchedulerMode::kReadyQueue;
 
+  /// Maximum rows per columnar batch; 0 (the default) keeps the scalar
+  /// tuple-at-a-time path. See ExecConfig::batch_size and docs/batching.md.
+  size_t batch_size = 0;
+
   /// When true, every buffer push/pop in the run is folded into
   /// ScenarioResult::trace_hash (FNV-1a over the full tuple contents and
   /// arc id). Two runs with equal hashes executed byte-identical tuple
@@ -179,6 +183,12 @@ struct ScenarioResult {
   /// every buffer push/pop in the run (see ScenarioConfig::record_trace).
   uint64_t trace_hash = 0;
   uint64_t trace_events = 0;
+
+  /// Always populated: order-sensitive FNV-1a digest of every data tuple
+  /// delivered at the primary sink (kind, timestamps, payload — not the
+  /// virtual delivery time). Equal digests mean byte-identical sink output;
+  /// the oracle of tests/batch_exec_test.cc.
+  uint64_t sink_digest = 0;
 
   ExecStats exec;
 

@@ -69,6 +69,7 @@ struct RecoveryHarness {
     config.ets.mode = experiment->run.ets;
     config.ets.min_interval = experiment->run.ets_min_interval;
     config.watchdog.silence_horizon = experiment->run.watchdog;
+    config.batch_size = experiment->run.batch;
     executor = std::make_unique<DfsExecutor>(graph, &clock, config);
     recovery->RestoreExecutor(executor.get());
     DSMS_CHECK(recovery->AttachSinks(graph).ok());
@@ -216,6 +217,106 @@ TEST(RecoveryLoopbackTest, KillMidRunRecoverResumeOutputIsByteIdentical) {
 
   // Exactly-once at the output: crash + recover + resume produced the same
   // bytes as the uninterrupted run.
+  EXPECT_EQ(ReadFile(dir + "/sink-OUT.out"), reference);
+}
+
+// The same plan with columnar batch execution enabled. Batch size 7 is
+// deliberately odd: drains end mid-burst and at punctuation splits, so the
+// crash lands between batches whose boundaries don't line up with anything.
+constexpr char kBatchPlan[] = R"(
+stream A ts=internal
+stream B ts=external skew=40ms
+filter F in=A selectivity=0.8 seed=5
+union U in=F,B
+sink OUT in=U
+feed A process=poisson rate=50 seed=21
+feed B process=poisson rate=30 seed=22
+heartbeat B period=250ms
+batch size=7
+run horizon=2s ets=on-demand
+)";
+
+// The batch-mode variant of the kill-and-recover contract. A ColumnBatch
+// lives strictly inside one executor step — drained, processed, cleared
+// before the engine can reach the idle points where checkpoints are cut —
+// so there is never an in-flight batch to persist, and recovery with
+// batching on must be byte-identical exactly like the scalar path. The
+// reference run is batched too (batch vs scalar output equivalence is
+// tests/batch_exec_test.cc's contract, at zero virtual cost).
+TEST(RecoveryLoopbackTest, KillMidRunWithBatchingRecoversByteIdentical) {
+  const std::vector<ScheduledFrame> schedule = BuildSchedule(kBatchPlan);
+  ASSERT_GT(schedule.size(), 0u);
+
+  // Reference: the batched plan served to completion with no interruption.
+  const std::string ref_dir = FreshDir("batch_reference");
+  {
+    RecoveryHarness harness(kBatchPlan, ref_dir);
+    ASSERT_EQ(harness.experiment->run.batch, 7u);
+    harness.Serve();
+    FeedClientOptions copts;
+    copts.port = harness.server->port();
+    FeedClient client(copts);
+    ASSERT_TRUE(client.Connect().ok());
+    Result<uint64_t> sent = client.Send(schedule);
+    ASSERT_TRUE(sent.ok());
+    EXPECT_EQ(*sent, schedule.size());
+    client.Close();
+    ASSERT_TRUE(harness.Join().ok());
+    ASSERT_TRUE(harness.recovery->FlushSinks().ok());
+    // The run must actually have exercised the batch path, or the test
+    // degenerates into the scalar one.
+    EXPECT_GT(harness.executor->stats().batches, 0u);
+  }
+  const std::string reference = ReadFile(ref_dir + "/sink-OUT.out");
+  ASSERT_FALSE(reference.empty());
+
+  // Crash run: aborts at t=1s, mid-stream and between batch drains.
+  const std::string dir = FreshDir("batch_crash");
+  uint64_t durable_at_crash = 0;
+  {
+    RecoveryHarness harness(kBatchPlan, dir, /*crash_at=*/1 * kSecond);
+    harness.Serve();
+    FeedClientOptions copts;
+    copts.port = harness.server->port();
+    FeedClient client(copts);
+    ASSERT_TRUE(client.Connect().ok());
+    Result<uint64_t> sent = client.Send(schedule);
+    ASSERT_TRUE(sent.ok());
+    client.Close();
+    Status run = harness.Join();
+    ASSERT_EQ(run.code(), StatusCode::kAborted) << run.ToString();
+    for (const auto& [stream, seq] : harness.recovery->durable_seqs()) {
+      durable_at_crash += seq;
+    }
+    ASSERT_GT(durable_at_crash, 0u);
+    ASSERT_LT(durable_at_crash, schedule.size());
+  }
+
+  // Recovery run: checkpoint + WAL tail + resuming client, batching still
+  // on. The restored batch counters keep accumulating.
+  {
+    RecoveryHarness harness(kBatchPlan, dir);
+    ASSERT_TRUE(harness.recovery->recovered());
+    harness.Serve();
+
+    FeedClientOptions copts;
+    copts.port = harness.server->port();
+    copts.resume = true;
+    FeedClient client(copts);
+    ASSERT_TRUE(client.Connect().ok());
+    ASSERT_TRUE(client.Handshake().ok());
+    Result<uint64_t> sent = client.Send(schedule);
+    ASSERT_TRUE(sent.ok());
+    EXPECT_EQ(*sent, schedule.size() - durable_at_crash);
+    client.Close();
+    ASSERT_TRUE(harness.Join().ok());
+    ASSERT_TRUE(harness.recovery->FlushSinks().ok());
+    EXPECT_EQ(harness.server->resume_rejects(), 0u);
+    EXPECT_GT(harness.executor->stats().batches, 0u);
+  }
+
+  // Crash + recover + resume with batching produced the same bytes as the
+  // uninterrupted batched run.
   EXPECT_EQ(ReadFile(dir + "/sink-OUT.out"), reference);
 }
 

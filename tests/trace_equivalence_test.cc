@@ -146,5 +146,28 @@ TEST(TraceEquivalenceTest, CoarseGranularityAndSmallQuantum) {
   ExpectTraceEquivalent(config, "coarse rr_quantum=1");
 }
 
+/// Columnar batch mode must preserve the scheduler equivalence: with the
+/// same batch size on both sides, the ready-queue scheduler still replays
+/// the reference scan byte for byte — including the batch counters, the
+/// DrainIntoBatch buffer events, and the kBatchDrain cost charges.
+/// (Batch-vs-scalar equivalence is a different contract with a different
+/// oracle; see tests/batch_exec_test.cc.)
+TEST(TraceEquivalenceTest, BatchModeKeepsSchedulerEquivalence) {
+  for (size_t batch : {size_t{1}, size_t{7}, size_t{256}}) {
+    for (int shape = 0; shape < 3; ++shape) {
+      for (int executor = 0; executor < 2; ++executor) {  // Dfs, RoundRobin
+        ScenarioConfig config = ShortConfig(ScenarioKind::kOnDemandEts);
+        config.shape = static_cast<QueryShape>(shape);
+        config.executor = static_cast<ExecutorKind>(executor);
+        config.batch_size = batch;
+        ExpectTraceEquivalent(config,
+                              "batch=" + std::to_string(batch) + " shape=" +
+                                  std::to_string(shape) + " exec=" +
+                                  std::to_string(executor));
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace dsms
