@@ -3,6 +3,7 @@
 #include <optional>
 
 #include "common/time.h"
+#include "frontier/frontier_tracker.h"
 #include "obs/tracer.h"
 #include "recovery/state_codec.h"
 
@@ -30,7 +31,9 @@ bool EtsGate::MaybeGenerate(Source* source, Timestamp now,
       return false;
     }
   }
-  std::optional<Timestamp> ets = source->ComputeEts(now);
+  std::optional<Timestamp> ets = frontier_ != nullptr
+                                     ? frontier_->ProposeEts(source, now)
+                                     : source->ComputeEts(now);
   if (!ets.has_value()) return false;
   if (*ets < release_bound) return false;  // Could not unblock anything.
   if (!source->EmitEts(now)) return false;

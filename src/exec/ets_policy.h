@@ -9,6 +9,7 @@
 
 namespace dsms {
 
+class FrontierTracker;
 class StateReader;
 class StateWriter;
 class Tracer;
@@ -74,6 +75,14 @@ class EtsGate {
   /// through this gate, so one hook covers every executor); null = off.
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
 
+  /// Frontier coordination service: when attached, the candidate ETS bound
+  /// is served by a frontier query (FrontierTracker::ProposeEts) instead of
+  /// being read off the source directly. The answer is identical by
+  /// construction — the tracker and the source share one promise state —
+  /// so attaching the tracker never changes execution; it centralizes where
+  /// bounds are asked for. Null = query the source (legacy layering).
+  void set_frontier(FrontierTracker* frontier) { frontier_ = frontier; }
+
   /// Checkpoint support (recovery/): counters and per-source throttle
   /// state, so a restarted gate keeps the min_interval promise.
   void SaveState(StateWriter& w) const;
@@ -82,6 +91,7 @@ class EtsGate {
  private:
   EtsPolicy policy_;
   Tracer* tracer_ = nullptr;
+  FrontierTracker* frontier_ = nullptr;
   uint64_t generated_ = 0;
   uint64_t fallback_generated_ = 0;
   std::map<int32_t, Timestamp> last_generation_;  // keyed by stream id

@@ -19,7 +19,11 @@ void ForEachCounter(const ExecStats& stats, const std::string& prefix,
   fn(prefix + ".backtracks", &stats.backtracks);
   fn(prefix + ".backtrack_hops", &stats.backtrack_hops);
   fn(prefix + ".ets_generated", &stats.ets_generated);
+  // `watchdog_ets` is the deprecated spelling kept for one release so
+  // existing JSON consumers keep parsing; `frontier.lease_expired_ets` is
+  // the canonical name under the frontier coordination service.
   fn(prefix + ".watchdog_ets", &stats.watchdog_ets);
+  fn(prefix + ".frontier.lease_expired_ets", &stats.watchdog_ets);
   fn(prefix + ".idle_returns", &stats.idle_returns);
   fn(prefix + ".work_scans", &stats.work_scans);
   fn(prefix + ".batch.batches", &stats.batches);

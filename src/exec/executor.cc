@@ -21,9 +21,27 @@ Executor::Executor(QueryGraph* graph, VirtualClock* clock, ExecConfig config)
   DSMS_CHECK(clock != nullptr);
   DSMS_CHECK(graph->validated());
   ets_gate_.set_tracer(tracer_);
+  // The deprecated watchdog horizon and the lease duration alias each other
+  // (whichever is set wins) so configs written against either knob arm the
+  // same lease-expiry machinery.
+  if (config_.frontier.lease.duration <= 0 &&
+      config_.watchdog.silence_horizon > 0) {
+    config_.frontier.lease.duration = config_.watchdog.silence_horizon;
+  } else if (config_.watchdog.silence_horizon <= 0 &&
+             config_.frontier.lease.duration > 0) {
+    config_.watchdog.silence_horizon = config_.frontier.lease.duration;
+  }
+  frontier_.set_policy(config_.frontier.lease);
+  frontier_.set_tracer(tracer_);
+  frontier_.set_clock(clock_);
   for (const auto& op : graph->operators()) {
     if (op->is_iwp()) idle_trackers_.emplace(op->id(), IdleWaitTracker());
+    if (auto* source = dynamic_cast<Source*>(op.get())) {
+      frontier_.Register(source);
+      source->set_frontier(&frontier_);
+    }
   }
+  ets_gate_.set_frontier(&frontier_);
   if (use_ready_queue()) {
     ready_.Reset(graph->num_operators());
     for (int b = 0; b < graph->num_buffers(); ++b) {
@@ -38,6 +56,11 @@ Executor::Executor(QueryGraph* graph, VirtualClock* clock, ExecConfig config)
 }
 
 Executor::~Executor() {
+  for (const auto& op : graph_->operators()) {
+    if (auto* source = dynamic_cast<Source*>(op.get())) {
+      if (source->frontier() == &frontier_) source->set_frontier(nullptr);
+    }
+  }
   if (use_ready_queue()) {
     for (int b = 0; b < graph_->num_buffers(); ++b) {
       StreamBuffer* buffer = graph_->buffer(b);
@@ -82,6 +105,7 @@ void Executor::SaveState(StateWriter& w) const {
   std::vector<int64_t> strategy = ExportStrategyState();
   w.U32(static_cast<uint32_t>(strategy.size()));
   for (int64_t v : strategy) w.I64(v);
+  frontier_.SaveState(w);
 }
 
 void Executor::LoadState(StateReader& r) {
@@ -109,6 +133,7 @@ void Executor::LoadState(StateReader& r) {
   uint32_t m = r.U32();
   for (uint32_t i = 0; i < m && r.ok(); ++i) strategy.push_back(r.I64());
   if (r.ok()) ImportStrategyState(strategy);
+  frontier_.LoadState(r);
 }
 
 void Executor::ChargeStep(const Operator& op, const StepResult& result) {
@@ -283,6 +308,41 @@ Operator* Executor::TryEtsSweep() {
 }
 
 Operator* Executor::TryWatchdog() {
+  if (config_.frontier.mode == FrontierMode::kLegacyWatchdog) {
+    return TryLegacyWatchdog();
+  }
+  const Duration horizon = config_.frontier.lease.duration;
+  if (horizon <= 0) return nullptr;
+  // Only step in when some IWP operator is actually holding back results;
+  // a quiet graph with nothing idle-waiting needs no fallback bounds.
+  bool idle_waiting = false;
+  for (const auto& op : graph_->operators()) {
+    if (op->WantsEts()) {
+      idle_waiting = true;
+      break;
+    }
+  }
+  if (!idle_waiting) return nullptr;
+
+  const Timestamp now = clock_->now();
+  frontier_.Poll(now);
+  Operator* resumed = nullptr;
+  for (const auto& op : graph_->operators()) {
+    auto* source = dynamic_cast<Source*>(op.get());
+    if (source == nullptr) continue;
+    if (!frontier_.LeaseExpired(source, now)) continue;
+    frontier_.NoteLeaseFire(source, now);
+    if (ets_gate_.GenerateFallback(source, now)) {
+      ++stats_.watchdog_ets;
+      frontier_.NoteLeaseExpiredEts(source, now);
+      clock_->Advance(config_.costs.ets_generation);
+      if (resumed == nullptr) resumed = FirstSuccessorWithInput(source);
+    }
+  }
+  return resumed;
+}
+
+Operator* Executor::TryLegacyWatchdog() {
   const Duration horizon = config_.watchdog.silence_horizon;
   if (horizon <= 0) return nullptr;
   // Only step in when some IWP operator is actually holding back results;

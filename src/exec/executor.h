@@ -12,6 +12,7 @@
 #include "core/ready_tracker.h"
 #include "exec/ets_policy.h"
 #include "exec/exec_stats.h"
+#include "frontier/frontier_tracker.h"
 #include "graph/query_graph.h"
 #include "metrics/idle_wait_tracker.h"
 #include "operators/operator.h"
@@ -49,16 +50,16 @@ enum class SchedulerMode {
   kScanReference = 1,
 };
 
-/// Source-liveness watchdog: when an IWP operator is idle-waiting and a
-/// source has produced nothing (no data, no heartbeat) for the silence
-/// horizon, the executor emits a fallback ETS through the EtsGate so the
-/// operator drains instead of blocking forever on a stalled or dead
-/// producer. Emissions are counted in ExecStats::watchdog_ets and mark the
-/// source degraded. Disabled by default (horizon 0) — with it off, execution
-/// is byte-identical to the pre-watchdog engine.
+/// DEPRECATED source-liveness watchdog knob. The per-executor watchdog has
+/// been replaced by the frontier tracker's renewable leases (see
+/// FrontierPolicy and docs/frontier.md): a non-zero silence_horizon is
+/// aliased onto LeasePolicy::duration by the Executor constructor, so
+/// existing configs and plan files keep working for one release. The legacy
+/// code path itself survives only as the FrontierMode::kLegacyWatchdog
+/// oracle.
 struct WatchdogPolicy {
-  /// Virtual time a source may stay silent before the watchdog steps in;
-  /// 0 disables the watchdog.
+  /// Virtual time a source may stay silent before its lease expires;
+  /// 0 disables lease expiry. Alias of FrontierPolicy::lease.duration.
   Duration silence_horizon = 0;
 };
 
@@ -67,6 +68,11 @@ struct ExecConfig {
   CostModel costs;
   EtsPolicy ets;
   WatchdogPolicy watchdog;
+  /// Frontier coordination: lease durations, lifecycle hysteresis, and the
+  /// tracker/legacy-watchdog mode switch. The Executor constructor aliases
+  /// watchdog.silence_horizon and frontier.lease.duration onto each other
+  /// (whichever is set wins), so either knob arms lease expiry.
+  FrontierPolicy frontier;
   SchedulerMode scheduler = SchedulerMode::kReadyQueue;
   /// Maximum rows per columnar batch; 0 (the default) disables batch mode.
   /// When > 0, executors drain up to this many consecutive data tuples into
@@ -110,6 +116,19 @@ class Executor {
   uint64_t ets_generated() const { return ets_gate_.generated(); }
   Timestamp now() const { return clock_->now(); }
   const ExecConfig& config() const { return config_; }
+
+  /// The frontier coordination service every graph source participates in.
+  /// Drivers (IngestServer) use it for checkpoint-frontier reads and
+  /// connection revocation; tests and metrics read its lifecycle state.
+  FrontierTracker* frontier() { return &frontier_; }
+  const FrontierTracker& frontier() const { return frontier_; }
+
+  /// True when lease expiry (or the legacy watchdog oracle) is armed — the
+  /// gate drivers consult before draining a run to quiescence.
+  bool liveness_enabled() const {
+    return config_.frontier.lease.duration > 0 ||
+           config_.watchdog.silence_horizon > 0;
+  }
 
   /// Idle-waiting tracker of an IWP operator (by operator id); null for
   /// non-IWP operators.
@@ -184,11 +203,18 @@ class Executor {
   Operator* TryEtsSweep();
 
   /// Last-resort liveness check, consulted only after TryEtsSweep failed:
-  /// if an IWP operator is idle-waiting and some source has been silent
-  /// beyond config_.watchdog.silence_horizon, emit a fallback ETS there
-  /// (bypassing ETS mode and throttle — see EtsGate::GenerateFallback).
-  /// Returns an operator made runnable by the fallback, or nullptr.
+  /// if an IWP operator is idle-waiting and some source's lease has expired
+  /// (silent beyond the lease duration), emit a fallback ETS there so the
+  /// frontier advances without the silent source (bypassing ETS mode and
+  /// throttle — see EtsGate::GenerateFallback). Dispatches to the frontier
+  /// tracker by default, or to the byte-identical legacy watchdog when
+  /// config_.frontier.mode == kLegacyWatchdog (the oracle path). Returns an
+  /// operator made runnable by the fallback, or nullptr.
   Operator* TryWatchdog();
+
+  /// The PR-2 per-executor watchdog, kept verbatim as the reference oracle
+  /// for the frontier lease path (tests/frontier_test.cc).
+  Operator* TryLegacyWatchdog();
 
   bool use_ready_queue() const {
     return config_.scheduler == SchedulerMode::kReadyQueue;
@@ -201,6 +227,10 @@ class Executor {
   Tracer* tracer_ = nullptr;
   ExecStats stats_;
   EtsGate ets_gate_;
+  /// Central frontier authority: graph sources are registered as
+  /// participants at construction and detached at destruction. Lifecycle
+  /// state rides in the executor's checkpoint blob (SaveState/LoadState).
+  FrontierTracker frontier_;
   ClockContext ctx_;
   std::map<int, IdleWaitTracker> idle_trackers_;
   /// Per-source (stream id) virtual time of the last watchdog intervention,

@@ -151,6 +151,9 @@ void IngestServer::AcceptPending() {
     conn->decoder = FrameDecoder(options_.max_frame_bytes);
     conn->report.id = conn->id;
     conn->report.open = true;
+    // The idle clock starts at accept: a peer that connects and never even
+    // sends its HELLO is exactly what the sweep exists to shed.
+    conn->last_activity = clock_->now();
     ++connections_accepted_;
     ++connections_this_process_;
     connections_.push_back(std::move(conn));
@@ -165,6 +168,33 @@ void IngestServer::CloseConnection(Connection* conn) {
     ::close(conn->fd);
     conn->fd = -1;
   }
+  // The dropped peer's promises no longer hold the checkpoint frontier
+  // back — unless another live connection is still feeding the stream.
+  for (int32_t stream : conn->streams_fed) {
+    bool still_fed = false;
+    for (const auto& other : connections_) {
+      if (other->open && other->streams_fed.count(stream) > 0) {
+        still_fed = true;
+        break;
+      }
+    }
+    if (!still_fed) executor_->frontier()->Revoke(stream);
+  }
+}
+
+void IngestServer::SweepIdle(Timestamp now) {
+  if (options_.idle_timeout <= 0) return;
+  for (auto& conn : connections_) {
+    if (!conn->open) continue;
+    if (now - conn->last_activity < options_.idle_timeout) continue;
+    conn->report.idle_closed = true;
+    ++idle_closes_;
+    DSMS_LOG(Warning) << "connection " << conn->id << " idle for "
+                      << (now - conn->last_activity)
+                      << "us (helloed=" << conn->report.helloed
+                      << "); closing";
+    CloseConnection(conn.get());
+  }
 }
 
 void IngestServer::ReadFrom(Connection* conn) {
@@ -172,6 +202,7 @@ void IngestServer::ReadFrom(Connection* conn) {
   for (;;) {
     ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
     if (n > 0) {
+      conn->last_activity = clock_->now();
       conn->report.bytes += static_cast<uint64_t>(n);
       bytes_received_ += static_cast<uint64_t>(n);
       conn->decoder.Feed(buf, static_cast<size_t>(n));
@@ -210,6 +241,7 @@ void IngestServer::ReadFrom(Connection* conn) {
 void IngestServer::HandleControl(Connection* conn, const WireFrame& frame) {
   switch (frame.type) {
     case WireFrame::Type::kHello: {
+      conn->report.helloed = true;
       // Answer with the durable watermark. Without recovery attached the
       // watermark is legitimately empty: "nothing durable, send everything".
       WireFrame reply;
@@ -362,6 +394,11 @@ bool IngestServer::IngestFrame(Connection* conn, WireFrame frame,
 
   ++conn->report.frames;
   ++frames_ingested_;
+  conn->last_activity = now;
+  // Frontier participation: this connection now vouches for the stream's
+  // promise (and a reconnect reinstates a promise a disconnect revoked).
+  conn->streams_fed.insert(frame.stream_id);
+  executor_->frontier()->NoteConnectionActivity(frame.stream_id);
   conn->report.shed_tuples +=
       source->output()->shed_tuples() - shed_before;
   if (tracer_ != nullptr) {
@@ -528,6 +565,7 @@ Status IngestServer::Run() {
     // idle let time pass.
     DSMS_RETURN_IF_ERROR(PollOnce(/*timeout_ms=*/0));
     ingest_clock_.Tick();
+    SweepIdle(clock_->now());
     DeliverDue();
     if (!wal_error_.ok()) break;
     if (executor_->RunStep()) continue;
@@ -555,11 +593,11 @@ Status IngestServer::Run() {
   }
 
   if (clock_->now() < horizon) clock_->AdvanceTo(horizon);
-  // Same end-of-run drain as Simulation::Run: with the watchdog armed, the
-  // jump to the horizon is what pushes a silent connection's source past
-  // the silence horizon, so its idle-waiting consumers get a fallback ETS
-  // instead of holding their tuples forever.
-  if (executor_->config().watchdog.silence_horizon > 0) {
+  // Same end-of-run drain as Simulation::Run: with lease expiry armed
+  // (frontier tracker or legacy watchdog), the jump to the horizon is what
+  // pushes a silent connection's source past its lease, so its idle-waiting
+  // consumers get a fallback ETS instead of holding their tuples forever.
+  if (executor_->liveness_enabled()) {
     executor_->RunUntilIdle();
   }
   if (!wal_error_.ok()) return wal_error_;
@@ -568,14 +606,13 @@ Status IngestServer::Run() {
 
 void IngestServer::MaybeCheckpointAtIdle() {
   if (recovery_ == nullptr || !recovery_->checkpoint_enabled()) return;
-  // The checkpoint frontier is the weakest promise any source has made:
-  // everything below it is closed, so operator state at or below the
+  // The checkpoint frontier is the weakest promise any trusted source has
+  // made: everything below it is closed, so operator state at or below the
   // frontier is final and the WAL prefix that produced it is droppable.
-  Timestamp frontier = kMaxTimestamp;
-  for (Source* source : graph_->sources()) {
-    frontier = std::min(frontier, source->promised_bound());
-  }
-  if (frontier == kMaxTimestamp) frontier = kMinTimestamp;  // no sources
+  // The frontier tracker answers (a quarantined or revoked source's stale
+  // promise must not hold checkpoints back forever); with every source
+  // healthy the answer equals the old min-over-all-sources scan.
+  const Timestamp frontier = executor_->frontier()->CheckpointFrontier();
   if (!recovery_->ShouldCheckpoint(frontier)) return;
   Status status = recovery_->Checkpoint(graph_, executor_, clock_, frontier,
                                         SaveNetState());
@@ -588,12 +625,8 @@ Status IngestServer::CheckpointNow() {
   if (recovery_ == nullptr || !recovery_->checkpoint_enabled()) {
     return OkStatus();
   }
-  Timestamp frontier = kMaxTimestamp;
-  for (Source* source : graph_->sources()) {
-    frontier = std::min(frontier, source->promised_bound());
-  }
-  if (frontier == kMaxTimestamp) frontier = kMinTimestamp;
-  return recovery_->Checkpoint(graph_, executor_, clock_, frontier,
+  return recovery_->Checkpoint(graph_, executor_, clock_,
+                               executor_->frontier()->CheckpointFrontier(),
                                SaveNetState());
 }
 
@@ -787,7 +820,10 @@ void IngestServer::PublishTo(MetricsRegistry* registry) const {
     registry->SetCounter(prefix + "skew_violations", r.skew_violations);
     registry->SetGauge(prefix + "max_skew_us",
                        static_cast<double>(r.max_skew));
+    registry->SetGauge(prefix + "helloed", r.helloed ? 1.0 : 0.0);
+    registry->SetGauge(prefix + "idle_closed", r.idle_closed ? 1.0 : 0.0);
   }
+  registry->SetCounter("net.idle_closes", idle_closes_);
   registry->SetCounter("net.protocol_errors", protocol_errors);
   registry->SetCounter("net.skew_violations", skew_violations);
   registry->SetCounter("net.shed_tuples", shed);

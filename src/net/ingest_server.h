@@ -5,6 +5,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -53,6 +54,12 @@ struct IngestServerOptions {
   /// _Exit so nothing flushes). 0 = never. The check sits in the run loop,
   /// so the "crash" lands between frame deliveries like a real kill.
   Timestamp crash_at = 0;
+  /// Per-connection idle/read timeout in virtual time (0 = off): a peer
+  /// that stays silent this long — never sent its HELLO, or went quiet
+  /// without a frontier lease covering it — is closed and counted in
+  /// net.idle_closes / net.conn.<id>.idle_closed. Its streams' promises
+  /// are revoked from the checkpoint frontier like any disconnect.
+  Duration idle_timeout = 0;
 };
 
 /// Per-connection ingest counters, exposed for metrics and tests.
@@ -68,6 +75,10 @@ struct ConnectionReport {
   uint64_t skew_violations = 0;
   uint64_t shed_tuples = 0;
   Duration max_skew = 0;
+  /// Peer completed the HELLO handshake (a silent port-scanner never does).
+  bool helloed = false;
+  /// Closed by the idle sweep, not by the peer (see options.idle_timeout).
+  bool idle_closed = false;
 };
 
 /// Non-blocking poll(2) event-loop server feeding a query graph from live
@@ -166,6 +177,8 @@ class IngestServer {
   /// RESUME frames whose acknowledged sequences disagreed with the durable
   /// watermark (the connection is dropped; the feeder must re-handshake).
   uint64_t resume_rejects() const { return resume_rejects_; }
+  /// Connections closed by the idle sweep (options.idle_timeout).
+  uint64_t idle_closes() const { return idle_closes_; }
 
   /// Snapshot of every connection ever accepted (closed ones included).
   std::vector<ConnectionReport> connection_reports() const;
@@ -186,6 +199,12 @@ class IngestServer {
     SkewTracker skew;
     std::deque<WireFrame> pending;
     ConnectionReport report;
+    /// Virtual time of the last bytes read (or delivery); the idle sweep
+    /// compares against options.idle_timeout.
+    Timestamp last_activity = kMinTimestamp;
+    /// Streams this connection delivered frames for — the promises to
+    /// revoke from the frontier when the connection drops.
+    std::set<int32_t> streams_fed;
     /// Bytes queued for the peer (handshake replies); flushed by PollOnce
     /// under POLLOUT with partial-write/EINTR handling.
     std::string outbox;
@@ -197,6 +216,9 @@ class IngestServer {
   void AcceptPending();
   void ReadFrom(Connection* conn);
   void CloseConnection(Connection* conn);
+  /// Closes every open connection silent for options.idle_timeout of
+  /// virtual time (no-op when the timeout is 0).
+  void SweepIdle(Timestamp now);
   /// Consumes one handshake frame (kHello/kResume) at decode time — control
   /// frames never enter `pending`, the WAL, or the ingest path.
   void HandleControl(Connection* conn, const WireFrame& frame);
@@ -252,6 +274,7 @@ class IngestServer {
   uint64_t bytes_received_ = 0;
   uint64_t decode_errors_ = 0;
   uint64_t resume_rejects_ = 0;
+  uint64_t idle_closes_ = 0;
 };
 
 }  // namespace dsms

@@ -53,6 +53,11 @@ enum class TraceEventType : uint8_t {
   /// mid-buffer (0 otherwise). Replaces the per-tuple kStep slices the
   /// scalar path would have recorded for those rows.
   kBatchDrain = 12,
+  /// Frontier coordination event at source `op_id`: lease expiries,
+  /// revivals, health-state changes, violations, and promise revocations.
+  /// `detail` is a FrontierEventKind, `arg` its payload (new SourceHealth,
+  /// FrontierViolation, or stream id — see frontier/frontier_tracker.h).
+  kFrontier = 13,
 };
 
 /// What an operator step consumed (TraceEvent::detail for kStep).

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/strings.h"
+#include "frontier/frontier_tracker.h"
 #include "sim/fault_injector.h"
 
 namespace dsms {
@@ -44,6 +45,8 @@ const char* TraceEventTypeToString(TraceEventType type) {
       return "recovery";
     case TraceEventType::kBatchDrain:
       return "batch_drain";
+    case TraceEventType::kFrontier:
+      return "frontier";
   }
   return "unknown";
 }
@@ -243,6 +246,15 @@ void Tracer::WriteChromeTrace(std::ostream& os) const {
             "\"args\": {\"rows\": %lld, \"punct_split\": %d}}",
             arg, ts, static_cast<long long>(event.dur), tid, arg,
             static_cast<int>(event.detail)));
+        break;
+      case TraceEventType::kFrontier:
+        emit(StrFormat(
+            "{\"name\": \"frontier:%s\", \"cat\": \"frontier\", \"ph\": "
+            "\"i\", \"s\": \"t\", \"ts\": %lld, \"pid\": 0, \"tid\": %d, "
+            "\"args\": {\"arg\": %lld}}",
+            FrontierEventKindToString(
+                static_cast<FrontierEventKind>(event.detail)),
+            ts, tid, arg));
         break;
     }
   }

@@ -100,6 +100,14 @@ class Tracer {
                     static_cast<uint8_t>(punct_split ? 1 : 0)});
   }
 
+  /// Frontier coordination event at source `op_id` (frontier tracker
+  /// lifecycle: lease expiry, revival, state change, violation, revoke);
+  /// `kind` is a FrontierEventKind byte, `arg` its payload.
+  void RecordFrontier(int op_id, uint8_t kind, int64_t arg) {
+    Push(TraceEvent{clock_->now(), 0, arg, op_id, TraceEventType::kFrontier,
+                    kind});
+  }
+
   /// Recovery restored checkpoint `checkpoint_id` and queued
   /// `replayed_count` WAL records, leaving the clock at `clock_now`
   /// (engine-level: op_id -1; the checkpoint id rides in dur).

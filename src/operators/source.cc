@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "frontier/frontier_tracker.h"
 #include "recovery/state_codec.h"
 
 namespace dsms {
@@ -81,6 +82,22 @@ void Source::IngestExternal(Timestamp app_timestamp, InlinedValues values,
 void Source::IngestFaulty(Timestamp app_timestamp, InlinedValues values,
                           Timestamp now) {
   DSMS_CHECK(timestamp_kind_ != TimestampKind::kLatent);
+  // Centralized validation: classify the breach for the frontier tracker
+  // before the promise is (possibly) raised below. Bookkeeping only — the
+  // tuple's fate on its first arc stays the ViolationPolicy's decision.
+  if (frontier_ != nullptr) {
+    if (timestamp_kind_ == TimestampKind::kExternal &&
+        app_timestamp < now - skew_bound_) {
+      frontier_->ReportViolation(stream_id_,
+                                 FrontierViolation::kSkewViolation);
+    } else if (promised_bound_ != kMinTimestamp &&
+               app_timestamp < promised_bound_) {
+      frontier_->ReportViolation(stream_id_,
+                                 FrontierViolation::kTimestampDisorder);
+    } else {
+      frontier_->ReportBenign(stream_id_);
+    }
+  }
   Tuple tuple =
       Tuple::MakeData(app_timestamp, std::move(values),
                       timestamp_kind_ == TimestampKind::kExternal
@@ -144,6 +161,15 @@ void Source::InjectPunctuation(Timestamp timestamp) {
 }
 
 void Source::InjectFaultyPunctuation(Timestamp timestamp) {
+  if (frontier_ != nullptr) {
+    if (promised_bound_ != kMinTimestamp && timestamp < promised_bound_) {
+      frontier_->ReportViolation(stream_id_,
+                                 FrontierViolation::kPunctuationRegression);
+    } else {
+      // A duplicate restates the standing promise: wasteful, not a lie.
+      frontier_->ReportBenign(stream_id_);
+    }
+  }
   Tuple punct = Tuple::MakePunctuation(timestamp);
   punct.set_arrival_time(timestamp);
   punct.set_source_id(stream_id_);

@@ -14,6 +14,8 @@
 
 namespace dsms {
 
+class FrontierTracker;
+
 /// A source node of the query graph (Section 3). Its single output arc is
 /// the stream's input buffer, filled from outside the executor — in Stream
 /// Mill by input wrappers, here by the simulation's arrival processes via
@@ -131,6 +133,13 @@ class Source : public Operator {
   /// watchdog compares this against its silence horizon.
   Timestamp last_activity() const { return last_activity_; }
 
+  /// Frontier coordination service this source reports violations to
+  /// (punctuation regressions, skew/disorder breaches — the faulty-ingest
+  /// paths only; honest ingest never touches it). Set by the executor at
+  /// construction, cleared at destruction. Null = standalone source.
+  void set_frontier(FrontierTracker* frontier) { frontier_ = frontier; }
+  FrontierTracker* frontier() const { return frontier_; }
+
   uint64_t tuples_ingested() const { return tuples_ingested_; }
   uint64_t ets_emitted() const { return ets_emitted_; }
   uint64_t watchdog_fallbacks() const { return watchdog_fallbacks_; }
@@ -151,6 +160,7 @@ class Source : public Operator {
   int32_t stream_id_;
   TimestampKind timestamp_kind_;
   Duration skew_bound_;
+  FrontierTracker* frontier_ = nullptr;
   Duration granularity_ = 1;
   std::optional<Schema> schema_;
   uint64_t next_sequence_ = 0;

@@ -239,10 +239,22 @@ Status ParseRun(const ExpStatement& s, RunSpec* run) {
                                           s.line));
   }
   run->quantum = static_cast<int>(quantum);
+  DSMS_RETURN_IF_ERROR(GetArgDuration(s, "lease", 0, &run->lease));
+  if (run->lease < 0) {
+    return InvalidArgumentError(
+        StrFormat("line %d: lease must be >= 0", s.line));
+  }
   DSMS_RETURN_IF_ERROR(GetArgDuration(s, "watchdog", 0, &run->watchdog));
   if (run->watchdog < 0) {
     return InvalidArgumentError(
         StrFormat("line %d: watchdog must be >= 0", s.line));
+  }
+  if (s.args.count("watchdog") > 0) {
+    // One-release deprecation window: the executor aliases the two knobs,
+    // so old plans keep their exact behaviour while they migrate.
+    DSMS_LOG(Warning) << "line " << s.line
+                      << ": run watchdog= is deprecated; use lease= (the "
+                         "frontier lease duration — same semantics)";
   }
   int64_t buffer_cap = 0;
   DSMS_RETURN_IF_ERROR(GetArgInt(s, "buffer_cap", 0, &buffer_cap));
@@ -619,7 +631,13 @@ Result<ExperimentReport> RunExperiment(Experiment* experiment) {
   config.tracer = tracer.get();
   config.ets.mode = experiment->run.ets;
   config.ets.min_interval = experiment->run.ets_min_interval;
-  config.watchdog.silence_horizon = experiment->run.watchdog;
+  // lease= wins over the deprecated watchdog= alias; whichever is set, the
+  // Executor constructor aliases the other to it.
+  if (experiment->run.lease > 0) {
+    config.frontier.lease.duration = experiment->run.lease;
+  } else {
+    config.watchdog.silence_horizon = experiment->run.watchdog;
+  }
   config.batch_size = experiment->run.batch;
   if (experiment->run.buffer_cap > 0) {
     graph->SetBufferBound(experiment->run.buffer_cap,
@@ -718,7 +736,10 @@ void ExperimentReport::PublishTo(MetricsRegistry* registry) const {
                        static_cast<uint64_t>(peak_queue_total));
   registry->SetCounter("experiment.ets_generated", ets_generated);
   registry->SetCounter("experiment.fault_events", fault_events);
+  // Deprecated spelling and its frontier-era replacement, bound to the same
+  // count so JSON consumers can migrate on their own schedule.
   registry->SetCounter("experiment.watchdog_ets", watchdog_ets);
+  registry->SetCounter("experiment.frontier.lease_expired_ets", watchdog_ets);
   registry->SetGauge("experiment.degraded", degraded ? 1.0 : 0.0);
   registry->SetCounter("experiment.shed_tuples", shed_tuples);
   registry->SetCounter("experiment.quarantined", quarantined);

@@ -29,12 +29,13 @@ namespace dsms {
 ///   feed NAME trace=/path/to/arrivals.txt
 ///   feed NAME ... payload=randint lo=0 hi=100 fields=2
 ///   heartbeat NAME period=100ms [phase=10ms]
-///   fault NAME kind=stall|death|burst|disorder|skew|dup-punct|regress-punct
+///   fault NAME kind=stall|death|burst|disorder|skew|dup-punct|
+///       regress-punct|flap
 ///       [start=60s] [duration=60s] [factor=4] [prob=0.25]
 ///       [magnitude=2s] [period=1s] [seed=N]
 ///   run [horizon=600s] [warmup=30s] [ets=on-demand|none]
 ///       [executor=dfs|round-robin] [quantum=8] [ets_min_interval=DUR]
-///       [watchdog=DUR] [buffer_cap=N] [overload=grow|block|shed]
+///       [lease=DUR] [buffer_cap=N] [overload=grow|block|shed]
 ///       [violations=count|drop|quarantine]
 ///   batch size=N
 ///   trace path=/tmp/run.trace.json [capacity=262144]
@@ -88,7 +89,12 @@ struct RunSpec {
   Duration ets_min_interval = 0;
   /// Robustness knobs; defaults leave the engine in its fault-intolerant
   /// (but byte-identical to seed) configuration.
-  Duration watchdog = 0;
+  ///
+  /// `lease=DUR` is the frontier lease duration (source-liveness horizon);
+  /// `watchdog=DUR` still parses as a deprecated alias for one release and
+  /// logs a warning. When both appear, lease wins.
+  Duration lease = 0;
+  Duration watchdog = 0;  // DEPRECATED alias of lease
   size_t buffer_cap = 0;
   OverloadPolicy overload = OverloadPolicy::kGrow;
   ViolationPolicy violations = ViolationPolicy::kCount;

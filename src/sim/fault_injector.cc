@@ -24,6 +24,8 @@ const char* FaultKindToString(FaultKind kind) {
       return "dup-punct";
     case FaultKind::kRegressingPunct:
       return "regress-punct";
+    case FaultKind::kFlap:
+      return "flap";
   }
   return "unknown";
 }
@@ -37,9 +39,10 @@ Result<FaultKind> ParseFaultKind(const std::string& text) {
   if (text == "skew") return FaultKind::kSkewViolation;
   if (text == "dup-punct") return FaultKind::kDuplicatePunct;
   if (text == "regress-punct") return FaultKind::kRegressingPunct;
+  if (text == "flap") return FaultKind::kFlap;
   return InvalidArgumentError(
       StrFormat("unknown fault kind '%s' (expected none|stall|death|burst|"
-                "disorder|skew|dup-punct|regress-punct)",
+                "disorder|skew|dup-punct|regress-punct|flap)",
                 text.c_str()));
 }
 
@@ -65,6 +68,18 @@ int FaultInjector::ArrivalMultiplicity(Timestamp now) {
       stats_.duplicated_arrivals +=
           spec_.burst_factor > 1 ? spec_.burst_factor - 1 : 0;
       return spec_.burst_factor > 1 ? spec_.burst_factor : 1;
+    case FaultKind::kFlap: {
+      // Dead/alive phases of punct_period each, dead first, deterministic
+      // from the phase parity alone: suppressing only during dead phases
+      // makes the source repeatedly die and revive inside the window.
+      const Duration period = spec_.punct_period > 0 ? spec_.punct_period : 1;
+      const bool dead = ((now - spec_.start) / period) % 2 == 0;
+      if (dead) {
+        ++stats_.suppressed_arrivals;
+        return 0;
+      }
+      return 1;
+    }
     default:
       return 1;
   }

@@ -40,12 +40,17 @@ enum class FaultKind {
   /// BELOW the stream's current promise every `punct_period` in the window
   /// (an order violation downstream must catch or tolerate).
   kRegressingPunct = 7,
+  /// Flapping producer: inside the window the source alternates dead and
+  /// alive phases of `punct_period` each (dead first), repeatedly dying and
+  /// reviving — the pattern that must be absorbed by the frontier tracker's
+  /// quarantine/re-admission lifecycle without ETS regression.
+  kFlap = 8,
 };
 
 const char* FaultKindToString(FaultKind kind);
 
 /// Parses the spelling used by experiment plans:
-/// none|stall|death|burst|disorder|skew|dup-punct|regress-punct.
+/// none|stall|death|burst|disorder|skew|dup-punct|regress-punct|flap.
 Result<FaultKind> ParseFaultKind(const std::string& text);
 
 /// One fault, aimed at one source of the scenario graph. All fields have
@@ -67,6 +72,7 @@ struct FaultSpec {
   /// the timestamp is pushed into the past.
   Duration magnitude = 2 * kSecond;
   /// kDuplicatePunct/kRegressingPunct: injection period inside the window.
+  /// kFlap: length of each dead/alive phase.
   Duration punct_period = kSecond;
   /// Mixed with the scenario seed; two runs with equal seeds inject
   /// identically.

@@ -178,6 +178,18 @@ std::string ScenarioResult::ToString() const {
         static_cast<unsigned long long>(late_absorbed),
         static_cast<unsigned long long>(max_buffer_hwm));
   }
+  if (frontier_violations > 0 || frontier_lease_expiries > 0 ||
+      frontier_transitions > 0) {
+    text += StrFormat(
+        " | frontier: violations=%llu lease_expiries=%llu revivals=%llu "
+        "quarantines=%llu quarantined_now=%llu degraded_now=%llu",
+        static_cast<unsigned long long>(frontier_violations),
+        static_cast<unsigned long long>(frontier_lease_expiries),
+        static_cast<unsigned long long>(frontier_revivals),
+        static_cast<unsigned long long>(frontier_quarantines),
+        static_cast<unsigned long long>(frontier_quarantined_now),
+        static_cast<unsigned long long>(frontier_degraded_now));
+  }
   return text;
 }
 
@@ -276,6 +288,8 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
                              : EtsMode::kNone;
   exec_config.ets.min_interval = config.ets_min_interval;
   exec_config.watchdog.silence_horizon = config.watchdog_horizon;
+  exec_config.frontier.mode = config.frontier_mode;
+  exec_config.frontier.lease = config.lease;
   exec_config.scheduler = config.scheduler;
   exec_config.batch_size = config.batch_size;
 
@@ -334,13 +348,22 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
     sim.AddFeed(sources[i], std::move(process), Simulation::SequencePayload(),
                 /*jitter_seed=*/config.seed * 131 + i);
   }
-  if (config.fault.enabled()) {
-    int target = config.fault_target;
+  auto clamp_target = [&sources](int target) {
     if (target < 0) target = 0;
     if (target >= static_cast<int>(sources.size())) {
       target = static_cast<int>(sources.size()) - 1;
     }
-    sim.InjectFault(sources[static_cast<size_t>(target)], config.fault,
+    return static_cast<size_t>(target);
+  };
+  if (config.fault.enabled()) {
+    sim.InjectFault(sources[clamp_target(config.fault_target)], config.fault,
+                    /*run_seed=*/config.seed);
+  }
+  for (const FaultSpec& extra : config.extra_faults) {
+    if (!extra.enabled()) continue;
+    // Each extra fault aims at its own FaultSpec::source index; at most one
+    // fault per source (a later injection replaces an earlier one).
+    sim.InjectFault(sources[clamp_target(extra.source)], extra,
                     /*run_seed=*/config.seed);
   }
   if (config.kind == ScenarioKind::kPeriodicEts &&
@@ -388,6 +411,20 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
     result.late_absorbed = iwp->late_data_absorbed();
   }
   result.max_buffer_hwm = static_cast<uint64_t>(graph->MaxBufferHighWaterMark());
+  {
+    const FrontierTracker& frontier = *executor->frontier();
+    result.frontier_violations = frontier.violations();
+    result.frontier_lease_expiries = frontier.lease_expiries();
+    result.frontier_revivals = frontier.revivals();
+    result.frontier_quarantines = frontier.quarantines();
+    result.frontier_transitions = frontier.transitions();
+    result.frontier_quarantined_now =
+        frontier.CountInState(SourceHealth::kQuarantined);
+    result.frontier_degraded_now =
+        frontier.num_participants() -
+        frontier.CountInState(SourceHealth::kHealthy);
+    result.frontier_bound = frontier.CheckpointFrontier();
+  }
   result.trace_hash = trace.hash();
   result.trace_events = trace.events();
   result.sink_digest = sink_digest->hash();
@@ -433,6 +470,20 @@ void ScenarioResult::PublishTo(MetricsRegistry* registry,
   registry->SetCounter(prefix + ".dropped_late", dropped_late);
   registry->SetCounter(prefix + ".late_absorbed", late_absorbed);
   registry->SetCounter(prefix + ".max_buffer_hwm", max_buffer_hwm);
+  registry->SetCounter(prefix + ".frontier.violations", frontier_violations);
+  registry->SetCounter(prefix + ".frontier.lease_expiries",
+                       frontier_lease_expiries);
+  registry->SetCounter(prefix + ".frontier.revivals", frontier_revivals);
+  registry->SetCounter(prefix + ".frontier.quarantines",
+                       frontier_quarantines);
+  registry->SetCounter(prefix + ".frontier.transitions",
+                       frontier_transitions);
+  registry->SetGauge(prefix + ".frontier.quarantined_now",
+                     static_cast<double>(frontier_quarantined_now));
+  registry->SetGauge(prefix + ".frontier.degraded_now",
+                     static_cast<double>(frontier_degraded_now));
+  registry->SetGauge(prefix + ".frontier.bound",
+                     static_cast<double>(frontier_bound));
   exec.PublishTo(registry, prefix + ".exec");
 }
 

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/time.h"
 #include "core/stream_buffer.h"
@@ -127,8 +128,19 @@ struct ScenarioConfig {
   /// Index into the scenario's source list (clamped); default 1 targets the
   /// first slow stream — the one whose silence wedges the IWP operator.
   int fault_target = 1;
-  /// Source-liveness watchdog silence horizon (0 = off); see WatchdogPolicy.
+  /// Additional faults, each aimed at its own FaultSpec::source index in
+  /// the scenario's source list (clamped). Composes with `fault` for
+  /// multi-bad-source chaos runs: at most one fault per source.
+  std::vector<FaultSpec> extra_faults;
+  /// DEPRECATED: source-liveness silence horizon (0 = off). Alias of
+  /// `lease.duration` — see FrontierPolicy; kept so older configs and the
+  /// legacy-watchdog oracle runs keep working.
   Duration watchdog_horizon = 0;
+  /// Frontier coordination: tracker vs legacy-watchdog oracle, and the
+  /// lease/lifecycle hysteresis config. lease.duration 0 defers to
+  /// watchdog_horizon (the executor aliases the two).
+  FrontierMode frontier_mode = FrontierMode::kTracker;
+  LeasePolicy lease;
   /// Per-arc capacity bound (0 = unbounded) and what to do at the limit.
   size_t buffer_capacity = 0;
   OverloadPolicy overload = OverloadPolicy::kGrow;
@@ -171,13 +183,28 @@ struct ScenarioResult {
 
   // Robustness: what the injected fault did and what absorbed it.
   uint64_t fault_events = 0;      // injector actions (0 = fault never fired)
-  uint64_t watchdog_ets = 0;      // fallback ETS from the liveness watchdog
+  uint64_t watchdog_ets = 0;      // lease-expiry fallback ETS (deprecated
+                                  // spelling; = frontier_lease_expired_ets)
   bool degraded = false;          // some source ran on fallback bounds
   uint64_t shed_tuples = 0;       // dropped by kShedOldest overload policy
   uint64_t quarantined = 0;       // moved to the dead-letter buffer
   uint64_t dropped_late = 0;      // vetoed by kDropLate
   uint64_t late_absorbed = 0;     // late data consumed by the IWP operator
   uint64_t max_buffer_hwm = 0;    // largest single-arc occupancy ever
+
+  // Frontier coordination service (tentpole of the robustness milestone):
+  // what the tracker saw and did. All zero when no fault fired and leases
+  // never expired.
+  uint64_t frontier_violations = 0;        // punctuation/skew/disorder/flap
+  uint64_t frontier_lease_expiries = 0;    // lease-expiry (watchdog) fires
+  uint64_t frontier_revivals = 0;          // silent sources that came back
+  uint64_t frontier_quarantines = 0;       // healthy->...->quarantined trips
+  uint64_t frontier_transitions = 0;       // all lifecycle state changes
+  uint64_t frontier_quarantined_now = 0;   // sources quarantined at the end
+  uint64_t frontier_degraded_now = 0;      // sources not healthy at the end
+  /// The tracker's checkpoint frontier at the end of the run (min promise
+  /// over trusted sources; kMinTimestamp when nothing ever promised).
+  Timestamp frontier_bound = kMinTimestamp;
 
   /// Populated when config.record_trace: FNV-1a digest and event count of
   /// every buffer push/pop in the run (see ScenarioConfig::record_trace).

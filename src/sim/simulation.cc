@@ -241,12 +241,13 @@ void Simulation::Run(Timestamp end_time, Timestamp warmup) {
     if (next > clock_->now()) clock_->AdvanceTo(next);
   }
   if (clock_->now() < end_time) clock_->AdvanceTo(end_time);
-  // With the liveness watchdog armed, give it one shot at the horizon: a
-  // source whose events dried up mid-run (death fault) only crosses the
-  // silence horizon once the clock has jumped here, and without this drain
-  // its idle-waiting consumers would hold their buffered tuples forever.
-  // Horizon 0 (the default) leaves the original behaviour untouched.
-  if (executor_->config().watchdog.silence_horizon > 0) {
+  // With lease expiry armed (frontier tracker or legacy watchdog), give it
+  // one shot at the horizon: a source whose events dried up mid-run (death
+  // fault) only crosses its lease once the clock has jumped here, and
+  // without this drain its idle-waiting consumers would hold their buffered
+  // tuples forever. Leases off (the default) leave the original behaviour
+  // untouched.
+  if (executor_->liveness_enabled()) {
     executor_->RunUntilIdle();
   }
 }

@@ -45,6 +45,15 @@ ScenarioConfig ChaosConfig(FaultKind kind, int executor, uint64_t seed) {
     config.skew_bound = kSecond;
   }
 
+  if (kind == FaultKind::kFlap) {
+    // Alternating 10s dead / 10s alive phases on the fast stream: two full
+    // die-and-revive cycles inside the window, each revival a frontier
+    // violation (the deep quarantine/re-admission walk lives in
+    // frontier_test; here the contract is "the run absorbs it").
+    config.fault.punct_period = 10 * kSecond;
+    config.fault_target = 0;
+  }
+
   config.watchdog_horizon = 5 * kSecond;
   config.buffer_capacity = 256;
   config.overload = OverloadPolicy::kShedOldest;
@@ -93,7 +102,7 @@ std::string ChaosName(
     const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
   static const char* kKinds[] = {"None",     "Stall",    "Death",
                                  "Burst",    "Disorder", "Skew",
-                                 "DupPunct", "RegressPunct"};
+                                 "DupPunct", "RegressPunct", "Flap"};
   static const char* kExecutors[] = {"Dfs", "RoundRobin", "Greedy"};
   return std::string(kKinds[std::get<0>(info.param)]) +
          kExecutors[std::get<1>(info.param)];
@@ -101,7 +110,7 @@ std::string ChaosName(
 
 INSTANTIATE_TEST_SUITE_P(
     AllFaultsAllExecutors, ChaosMatrixTest,
-    ::testing::Combine(::testing::Values(0, 1, 2, 3, 4, 5, 6, 7),
+    ::testing::Combine(::testing::Values(0, 1, 2, 3, 4, 5, 6, 7, 8),
                        ::testing::Values(0, 1, 2)),
     ChaosName);
 

@@ -10,6 +10,11 @@
 // backpressure, and garbage bytes closing one connection without taking
 // down the server.
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <memory>
 #include <string>
 #include <thread>
@@ -39,7 +44,8 @@ namespace {
 // and an IngestServer ready to Start().
 struct ServerHarness {
   explicit ServerHarness(const std::string& text,
-                         IngestClock::Mode mode = IngestClock::Mode::kFrameDriven) {
+                         IngestClock::Mode mode = IngestClock::Mode::kFrameDriven,
+                         Duration idle_timeout = 0) {
     Result<Experiment> parsed =
         ParseExperiment(text, /*require_feeds=*/false);
     DSMS_CHECK(parsed.ok());
@@ -61,6 +67,7 @@ struct ServerHarness {
     options.clock_mode = mode;
     options.horizon = experiment->run.horizon;
     options.wall_limit = 60 * kSecond;  // hang guard; tests finish long before
+    options.idle_timeout = idle_timeout;
     server = std::make_unique<IngestServer>(graph, executor.get(), &clock,
                                             options);
     server->set_violation_policy(experiment->run.violations);
@@ -292,6 +299,69 @@ run horizon=1s
     }
   }
   EXPECT_EQ(closed_with_errors, 1u);
+}
+
+TEST(NetLoopbackTest, IdlePeerIsClosedAndCountedHonestTrafficSurvives) {
+  constexpr char kPlan[] = R"(
+stream I ts=internal
+sink OUT in=I
+run horizon=1s
+)";
+  // 100ms of virtual silence closes a peer. One connection never says
+  // anything — not even HELLO — while the other feeds honestly; only the
+  // mute one may be reaped, and its demise must be visible in net.*.
+  ServerHarness harness(kPlan, IngestClock::Mode::kFrameDriven,
+                        /*idle_timeout=*/100 * kMillisecond);
+  harness.Serve();
+
+  // The mute peer: a raw socket that connects and then holds its tongue.
+  // It must stay open on the client side, or a plain disconnect (not the
+  // idle sweep) would be what removes it.
+  int mute = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(mute, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(harness.server->port()));
+  ASSERT_EQ(inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(mute, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+
+  FeedClientOptions copts;
+  copts.port = harness.server->port();
+  FeedClient client(copts);
+  ASSERT_TRUE(client.Connect().ok());
+  // The honest feed drives the frame-driven clock past the timeout; its
+  // own activity stamps keep it alive for the whole run.
+  for (int i = 0; i < 10; ++i) {
+    WireFrame frame;
+    frame.stream_id = 0;
+    frame.arrival_hint = (i + 1) * 90 * kMillisecond;
+    frame.values.emplace_back(int64_t{i});
+    ASSERT_TRUE(client.SendFrame(frame).ok());
+  }
+  client.Close();
+  ASSERT_TRUE(harness.Join().ok());
+  ::close(mute);
+
+  EXPECT_EQ(harness.server->idle_closes(), 1u);
+  EXPECT_EQ(harness.sink()->data_delivered(), 10u);
+  uint64_t reaped = 0;
+  for (const ConnectionReport& report :
+       harness.server->connection_reports()) {
+    if (report.idle_closed) {
+      ++reaped;
+      EXPECT_FALSE(report.open);
+      EXPECT_FALSE(report.helloed);
+      EXPECT_EQ(report.frames, 0u);
+    } else {
+      EXPECT_EQ(report.frames, 10u);
+    }
+  }
+  EXPECT_EQ(reaped, 1u);
+  MetricsRegistry registry;
+  harness.server->PublishTo(&registry);
+  EXPECT_EQ(registry.GetCounter("net.idle_closes")->value(), 1u);
 }
 
 TEST(NetLoopbackTest, OverloadShedsInsteadOfGrowingWithoutBound) {

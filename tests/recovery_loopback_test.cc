@@ -17,12 +17,14 @@
 #include "common/check.h"
 #include "common/clock.h"
 #include "exec/dfs_executor.h"
+#include "frontier/frontier_tracker.h"
 #include "graph/query_graph.h"
 #include "net/feed_client.h"
 #include "net/feed_schedule.h"
 #include "net/ingest_server.h"
 #include "net/wire_format.h"
 #include "operators/sink.h"
+#include "operators/source.h"
 #include "recovery/recovery_manager.h"
 #include "sim/experiment_spec.h"
 
@@ -68,7 +70,13 @@ struct RecoveryHarness {
     ExecConfig config;
     config.ets.mode = experiment->run.ets;
     config.ets.min_interval = experiment->run.ets_min_interval;
-    config.watchdog.silence_horizon = experiment->run.watchdog;
+    // Same aliasing as RunExperiment: `lease=` is the current spelling,
+    // `watchdog=` the deprecated one; either lands on the frontier lease.
+    if (experiment->run.lease > 0) {
+      config.frontier.lease.duration = experiment->run.lease;
+    } else {
+      config.watchdog.silence_horizon = experiment->run.watchdog;
+    }
     config.batch_size = experiment->run.batch;
     executor = std::make_unique<DfsExecutor>(graph, &clock, config);
     recovery->RestoreExecutor(executor.get());
@@ -191,8 +199,10 @@ TEST(RecoveryLoopbackTest, KillMidRunRecoverResumeOutputIsByteIdentical) {
   {
     RecoveryHarness harness(kPlan, dir);
     ASSERT_TRUE(harness.recovery->recovered());
-    harness.Serve();
+    // Read the restored clock before Serve(): once the run thread exists,
+    // the executor advances the clock concurrently.
     EXPECT_GT(harness.clock.now(), 0);
+    harness.Serve();
 
     FeedClientOptions copts;
     copts.port = harness.server->port();
@@ -317,6 +327,150 @@ TEST(RecoveryLoopbackTest, KillMidRunWithBatchingRecoversByteIdentical) {
 
   // Crash + recover + resume with batching produced the same bytes as the
   // uninterrupted batched run.
+  EXPECT_EQ(ReadFile(dir + "/sink-OUT.out"), reference);
+}
+
+// The quarantine plan: same shape, but with the frontier lease armed and
+// arc violations quarantined. The schedule is mutated below so stream B
+// misbehaves hard enough to walk into frontier quarantine before the crash.
+constexpr char kQuarantinePlan[] = R"(
+stream A ts=internal
+stream B ts=external skew=40ms
+filter F in=A selectivity=0.8 seed=5
+union U in=F,B
+sink OUT in=U
+feed A process=poisson rate=50 seed=21
+feed B process=poisson rate=30 seed=22
+heartbeat B period=250ms
+run horizon=2s ets=on-demand lease=1s violations=quarantine
+)";
+
+int32_t StreamId(const std::string& text, const std::string& name) {
+  Result<Experiment> experiment =
+      ParseExperiment(text, /*require_feeds=*/false);
+  DSMS_CHECK(experiment.ok());
+  for (Source* source : experiment->plan.graph->sources()) {
+    if (source->name() == name) return source->stream_id();
+  }
+  return -1;
+}
+
+/// A crash while a source sits in frontier quarantine must come back up
+/// still quarantined: the tracker's lifecycle state rides the executor blob
+/// in the checkpoint, so a restart can neither amnesty a liar nor re-punish
+/// it from scratch — and the recovered output is still byte-identical.
+TEST(RecoveryLoopbackTest, KillWhileQuarantinedRestoresQuarantineState) {
+  std::vector<ScheduledFrame> schedule = BuildSchedule(kQuarantinePlan);
+  ASSERT_GT(schedule.size(), 0u);
+
+  // Misbehave on purpose: regress a run of stream B's data frames by 200ms.
+  // Each one lands below both the stream's promise and its skew contract —
+  // a frontier violation — and four strikes mean quarantine well before the
+  // 1s crash point. Both the reference and the crash run see this exact
+  // stream, so byte-identity still has meaning.
+  const int32_t b_id = StreamId(kQuarantinePlan, "B");
+  ASSERT_GE(b_id, 0);
+  size_t regressed = 0;
+  for (ScheduledFrame& sf : schedule) {
+    if (sf.frame.stream_id != b_id) continue;
+    if (sf.frame.type != WireFrame::Type::kData) continue;
+    if (sf.time < 300 * kMillisecond || sf.time >= 700 * kMillisecond)
+      continue;
+    ASSERT_TRUE(sf.frame.timestamp.has_value());
+    *sf.frame.timestamp -= 200 * kMillisecond;
+    ++regressed;
+  }
+  ASSERT_GE(regressed, 4u);  // enough strikes to quarantine
+
+  // Reference: the misbehaving schedule served to completion uninterrupted.
+  const std::string ref_dir = FreshDir("quarantine_reference");
+  {
+    RecoveryHarness harness(kQuarantinePlan, ref_dir);
+    harness.Serve();
+    FeedClientOptions copts;
+    copts.port = harness.server->port();
+    FeedClient client(copts);
+    ASSERT_TRUE(client.Connect().ok());
+    ASSERT_TRUE(client.Send(schedule).ok());
+    client.Close();
+    ASSERT_TRUE(harness.Join().ok());
+    ASSERT_TRUE(harness.recovery->FlushSinks().ok());
+    // Sanity: the mutation actually walked B into quarantine (the 2s
+    // horizon is far inside readmit_after, so it never heals mid-run).
+    const FrontierTracker* frontier = harness.executor->frontier();
+    EXPECT_GE(frontier->CountInState(SourceHealth::kQuarantined), 1u);
+    ASSERT_NE(frontier->participant(b_id), nullptr);
+    EXPECT_EQ(frontier->participant(b_id)->health,
+              SourceHealth::kQuarantined);
+  }
+  const std::string reference = ReadFile(ref_dir + "/sink-OUT.out");
+  ASSERT_FALSE(reference.empty());
+
+  // Crash run: the server aborts at t=1s — after the quarantine, before
+  // the horizon.
+  const std::string dir = FreshDir("quarantine_crash");
+  uint64_t durable_at_crash = 0;
+  uint64_t violations_at_crash = 0;
+  {
+    RecoveryHarness harness(kQuarantinePlan, dir, /*crash_at=*/1 * kSecond);
+    harness.Serve();
+    FeedClientOptions copts;
+    copts.port = harness.server->port();
+    FeedClient client(copts);
+    ASSERT_TRUE(client.Connect().ok());
+    ASSERT_TRUE(client.Send(schedule).ok());
+    client.Close();
+    Status run = harness.Join();
+    ASSERT_EQ(run.code(), StatusCode::kAborted) << run.ToString();
+    // The crash landed inside the quarantine window.
+    EXPECT_EQ(harness.executor->frontier()->participant(b_id)->health,
+              SourceHealth::kQuarantined);
+    violations_at_crash = harness.executor->frontier()->violations();
+    EXPECT_GT(violations_at_crash, 0u);
+    for (const auto& [stream, seq] : harness.recovery->durable_seqs()) {
+      durable_at_crash += seq;
+    }
+    ASSERT_GT(durable_at_crash, 0u);
+    ASSERT_LT(durable_at_crash, schedule.size());
+  }
+
+  // Recovery run: the restored tracker already holds the quarantine —
+  // checkpoint state plus the WAL tail replay, before any new frame.
+  {
+    RecoveryHarness harness(kQuarantinePlan, dir);
+    ASSERT_TRUE(harness.recovery->recovered());
+    // Start + WAL replay inline (instead of Serve()) so the tracker can
+    // be inspected single-threaded: checkpoint state plus the replayed
+    // tail, before the run thread exists and before any new frame.
+    ASSERT_TRUE(harness.server->Start().ok());
+    ASSERT_TRUE(harness.server->ReplayRecoveredWal().ok());
+    const FrontierTracker* frontier = harness.executor->frontier();
+    ASSERT_NE(frontier->participant(b_id), nullptr);
+    EXPECT_EQ(frontier->participant(b_id)->health,
+              SourceHealth::kQuarantined);
+    EXPECT_GT(frontier->violations(), 0u);
+    harness.thread = std::thread(
+        [&harness] { harness.run_status = harness.server->Run(); });
+
+    FeedClientOptions copts;
+    copts.port = harness.server->port();
+    copts.resume = true;
+    FeedClient client(copts);
+    ASSERT_TRUE(client.Connect().ok());
+    ASSERT_TRUE(client.Handshake().ok());
+    Result<uint64_t> sent = client.Send(schedule);
+    ASSERT_TRUE(sent.ok());
+    EXPECT_EQ(*sent, schedule.size() - durable_at_crash);
+    client.Close();
+    ASSERT_TRUE(harness.Join().ok());
+    ASSERT_TRUE(harness.recovery->FlushSinks().ok());
+    EXPECT_EQ(harness.server->resume_rejects(), 0u);
+    // Still quarantined at end of run: restart granted no amnesty.
+    EXPECT_EQ(frontier->participant(b_id)->health,
+              SourceHealth::kQuarantined);
+  }
+
+  // Byte-identity holds across the quarantine + crash + recovery episode.
   EXPECT_EQ(ReadFile(dir + "/sink-OUT.out"), reference);
 }
 
