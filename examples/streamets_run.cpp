@@ -49,6 +49,11 @@ const std::vector<dsms::FlagHelp> kFlags = {
     {"--batch", "N",
      "columnar batch execution, N rows per batch (0 = scalar; overrides "
      "the file's batch line)"},
+    {"--shards", "N",
+     "sharded execution with N worker shards (DFS only; overrides the "
+     "file's run shards=)"},
+    {"--shard-mode", "MODE",
+     "deterministic|parallel shard scheduling (overrides run mode=)"},
     {"--help", "", "show this message and exit"},
 };
 
@@ -74,6 +79,8 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string metrics_path;
   long batch_size = -1;
+  long shards = -1;
+  std::string shard_mode;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--demo") == 0) {
       demo = true;
@@ -85,6 +92,19 @@ int main(int argc, char** argv) {
       batch_size = std::strtol(argv[++i], nullptr, 10);
       if (batch_size < 0) {
         std::fprintf(stderr, "--batch must be >= 0\n");
+        return 1;
+      }
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards = std::strtol(argv[++i], nullptr, 10);
+      if (shards < 1) {
+        std::fprintf(stderr, "--shards must be >= 1\n");
+        return 1;
+      }
+    } else if (std::strcmp(argv[i], "--shard-mode") == 0 && i + 1 < argc) {
+      shard_mode = argv[++i];
+      if (shard_mode != "deterministic" && shard_mode != "parallel") {
+        std::fprintf(stderr,
+                     "--shard-mode must be deterministic or parallel\n");
         return 1;
       }
     } else if (std::strcmp(argv[i], "--help") == 0) {
@@ -135,6 +155,18 @@ int main(int argc, char** argv) {
   if (batch_size >= 0) {
     experiment->run.batch = static_cast<size_t>(batch_size);
   }
+  if (shards >= 1) {
+    if (shards > 1 && experiment->run.executor != ExecutorKind::kDfs) {
+      std::fprintf(stderr, "--shards requires executor=dfs\n");
+      return 1;
+    }
+    experiment->run.shards = static_cast<int>(shards);
+  }
+  if (!shard_mode.empty()) {
+    experiment->run.shard_mode = shard_mode == "parallel"
+                                     ? ShardMode::kParallel
+                                     : ShardMode::kDeterministic;
+  }
 
   Result<ExperimentReport> report = RunExperiment(&*experiment);
   if (!report.ok()) {
@@ -155,7 +187,14 @@ int main(int argc, char** argv) {
   std::printf("peak buffered tuples: %lld; on-demand ETS: %llu\n",
               static_cast<long long>(report->peak_queue_total),
               static_cast<unsigned long long>(report->ets_generated));
-  std::printf("executor: %s\n\n", report->exec.ToString().c_str());
+  std::printf("executor: %s\n", report->exec.ToString().c_str());
+  if (report->shards_used > 0) {
+    std::printf("shards: %llu (hops=%llu, epochs=%llu)\n",
+                static_cast<unsigned long long>(report->shards_used),
+                static_cast<unsigned long long>(report->shard_hops),
+                static_cast<unsigned long long>(report->shard_epochs));
+  }
+  std::printf("\n");
   std::printf("%s", report->operator_stats.c_str());
   if (report->fault_events > 0 || !report->robustness.empty()) {
     std::printf("\nfault events: %llu; watchdog ETS: %llu; shed: %llu; "

@@ -26,6 +26,7 @@
 #include "exec/dfs_executor.h"
 #include "exec/greedy_memory_executor.h"
 #include "exec/round_robin_executor.h"
+#include "exec/sharded_executor.h"
 #include "metrics/stats_report.h"
 #include "net/ingest_server.h"
 #include "obs/metrics_registry.h"
@@ -226,10 +227,18 @@ int main(int argc, char** argv) {
     recovery->RestoreGraph(graph, &clock);
   }
 
+  config.shards = experiment->run.shards;
+  // Checkpoints carry per-shard executor blobs whose layout assumes the
+  // deterministic schedule; the serve/recover path always runs that mode.
+  config.shard_mode = ShardMode::kDeterministic;
   std::unique_ptr<Executor> executor;
   switch (experiment->run.executor) {
     case ExecutorKind::kDfs:
-      executor = std::make_unique<DfsExecutor>(graph, &clock, config);
+      if (experiment->run.shards > 1) {
+        executor = std::make_unique<ShardedExecutor>(graph, &clock, config);
+      } else {
+        executor = std::make_unique<DfsExecutor>(graph, &clock, config);
+      }
       break;
     case ExecutorKind::kRoundRobin:
       executor = std::make_unique<RoundRobinExecutor>(

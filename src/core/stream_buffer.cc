@@ -32,7 +32,25 @@ void StreamBuffer::AddListener(BufferListener* listener) {
   listeners_.push_back(listener);
 }
 
+namespace {
+/// Locks `mutex` when non-null; listener dispatch in parallel sharded mode
+/// crosses shard threads, everything else on a buffer stays single-threaded.
+class MaybeLock {
+ public:
+  explicit MaybeLock(std::mutex* mutex) : mutex_(mutex) {
+    if (mutex_ != nullptr) mutex_->lock();
+  }
+  ~MaybeLock() {
+    if (mutex_ != nullptr) mutex_->unlock();
+  }
+
+ private:
+  std::mutex* mutex_;
+};
+}  // namespace
+
 bool StreamBuffer::AllowPush(const Tuple& tuple) {
+  MaybeLock lock(notify_mutex_);
   for (BufferListener* listener : listeners_) {
     if (!listener->OnBeforePush(*this, tuple)) return false;
   }
@@ -56,10 +74,12 @@ void StreamBuffer::ShedHead() {
 }
 
 void StreamBuffer::NotifyPush(const Tuple& tuple) {
+  MaybeLock lock(notify_mutex_);
   for (BufferListener* listener : listeners_) listener->OnPush(*this, tuple);
 }
 
 void StreamBuffer::NotifyPop(const Tuple& tuple) {
+  MaybeLock lock(notify_mutex_);
   for (BufferListener* listener : listeners_) listener->OnPop(*this, tuple);
 }
 
@@ -79,7 +99,7 @@ void StreamBuffer::EnsureCapacity(size_t needed) {
 
 void StreamBuffer::PushAll(std::vector<Tuple> tuples) {
   if (tuples.empty()) return;
-  if (!listeners_.empty() || capacity_limit_ != 0) {
+  if (!listeners_.empty() || capacity_limit_ != 0 || diverter_ != nullptr) {
     // Veto hooks and overload policies are per-tuple decisions; route
     // through the scalar path (bookkeeping is identical, and the tracker
     // notification collapses to the same empty->non-empty transition).
@@ -128,17 +148,26 @@ void StreamBuffer::RestoreSnapshot(std::vector<Tuple> tuples,
   DSMS_CHECK_EQ(count_, 0u);
   DSMS_CHECK(listeners_.empty());
   DSMS_CHECK(tracker_ == nullptr);
+  // A snapshot with data_pushed > total_pushed (corrupt or version-skewed
+  // blob) would make punctuation_pushed() underflow to ~2^64; reject it here
+  // rather than let the nonsense propagate into metrics and shed accounting.
+  DSMS_CHECK_LE(data_pushed, total_pushed);
+  DSMS_CHECK_LE(tuples.size(), total_pushed);
   EnsureCapacity(tuples.size());
   head_ = 0;
+  data_in_queue_ = 0;  // recomputed from the restored contents, not additive
   for (Tuple& tuple : tuples) {
     data_in_queue_ += tuple.is_data() ? 1u : 0u;
     slots_[count_++] = std::move(tuple);
   }
+  DSMS_CHECK_LE(data_in_queue_, data_pushed);
   total_pushed_ = total_pushed;
   data_pushed_ = data_pushed;
   shed_tuples_ = shed_tuples;
   vetoed_pushes_ = vetoed_pushes;
-  high_water_ = high_water;
+  // An image that under-reports the high-water mark (it can never be below
+  // the restored occupancy) is clamped so shed/overload decisions stay sane.
+  high_water_ = high_water >= count_ ? high_water : count_;
 }
 
 size_t StreamBuffer::DrainIntoBatch(ColumnBatch* batch, size_t max_rows,

@@ -1,7 +1,9 @@
 #ifndef DSMS_CORE_STREAM_BUFFER_H_
 #define DSMS_CORE_STREAM_BUFFER_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -14,6 +16,19 @@ namespace dsms {
 
 class ColumnBatch;
 class StreamBuffer;
+
+/// Producer-side interception for cross-shard arcs (parallel sharded
+/// execution). When a diverter is installed, Push() offers the tuple to it
+/// BEFORE touching any buffer state; a diverted tuple leaves the producer
+/// thread without mutating the consumer shard's buffer, and the consumer
+/// shard later applies full push bookkeeping via DeliverDiverted().
+class BufferDiverter {
+ public:
+  virtual ~BufferDiverter() = default;
+  /// Returns true when the tuple was taken (the push is complete from the
+  /// producer's point of view); false lets the push proceed locally.
+  virtual bool Divert(StreamBuffer* buffer, Tuple&& tuple) = 0;
+};
 
 /// Observer notified on every enqueue/dequeue of a StreamBuffer. The
 /// simulation attaches one global listener (metrics/QueueSizeTracker) to
@@ -36,6 +51,33 @@ class BufferListener {
 
   virtual void OnPush(const StreamBuffer& buffer, const Tuple& tuple) = 0;
   virtual void OnPop(const StreamBuffer& buffer, const Tuple& tuple) = 0;
+};
+
+/// Occupancy counter with one writer but cross-thread readers. In parallel
+/// sharded execution the consumer shard applies all push/pop bookkeeping on
+/// a cross-shard arc while the producer shard's yield check reads empty() on
+/// the same buffer; a stale read only delays the producer's Forward by one
+/// superstep, but the load itself must be well-defined. Only the consumer
+/// shard ever mutates, so writes are a plain load+store pair and reads are
+/// relaxed loads — identical codegen to a raw size_t on x86, zero cost for
+/// the single-threaded executors.
+class SingleWriterCount {
+ public:
+  operator size_t() const { return value_.load(std::memory_order_relaxed); }
+  SingleWriterCount& operator=(size_t n) {
+    value_.store(n, std::memory_order_relaxed);
+    return *this;
+  }
+  SingleWriterCount& operator++() { return *this = *this + 1; }
+  SingleWriterCount& operator--() { return *this = *this - 1; }
+  size_t operator++(int) {
+    const size_t n = *this;
+    *this = n + 1;
+    return n;
+  }
+
+ private:
+  std::atomic<size_t> value_{0};
 };
 
 /// What a bounded StreamBuffer does when a push would exceed its capacity
@@ -211,10 +253,32 @@ class StreamBuffer {
   /// through the existing accessors.
   void SnapshotTuples(std::vector<Tuple>* out) const;
 
+  // --- parallel sharded execution support (exec/sharded_executor) ---
+
+  /// Installs (or with nullptr removes) a cross-shard diverter. Consulted at
+  /// the top of Push before any counter/ring/listener work, so a producer on
+  /// a foreign shard thread never mutates this buffer's state.
+  void set_diverter(BufferDiverter* diverter) { diverter_ = diverter; }
+  BufferDiverter* diverter() const { return diverter_; }
+
+  /// Consumer-side completion of a diverted push: identical bookkeeping to
+  /// Push (veto, overload policy, counters, tracker, listeners) except the
+  /// diverter is not consulted again. Only the consumer shard's thread may
+  /// call this.
+  bool DeliverDiverted(Tuple&& tuple) { return PushLocal(std::move(tuple)); }
+
+  /// When set, listener dispatch (OnBeforePush/OnPush/OnPop) is serialized
+  /// under this mutex. Parallel sharded mode shares global listeners
+  /// (QueueSizeTracker, OrderValidator) across shard threads; everything
+  /// else about the buffer stays single-threaded per consumer shard.
+  void set_notify_mutex(std::mutex* mutex) { notify_mutex_ = mutex; }
+
   /// Restores checkpointed contents and lifetime counters. Requires an
   /// empty buffer with no listeners or tracker attached (restore runs
   /// before the executor and metrics wiring exist), so no notifications are
-  /// replayed for the restored tuples.
+  /// replayed for the restored tuples. Validates the counters (a corrupt
+  /// image must not underflow punctuation_pushed()) and clamps the restored
+  /// high-water mark to at least the restored occupancy.
   void RestoreSnapshot(std::vector<Tuple> tuples, uint64_t total_pushed,
                        uint64_t data_pushed, uint64_t shed_tuples,
                        uint64_t vetoed_pushes, size_t high_water);
@@ -222,6 +286,18 @@ class StreamBuffer {
  private:
   template <typename T>
   bool PushImpl(T&& tuple) {
+    if (diverter_ != nullptr) {
+      // A declining diverter (returns false) must leave the tuple intact so
+      // the push can complete locally.
+      Tuple offered(std::forward<T>(tuple));
+      if (diverter_->Divert(this, std::move(offered))) return true;
+      return PushLocal(std::move(offered));
+    }
+    return PushLocal(std::forward<T>(tuple));
+  }
+
+  template <typename T>
+  bool PushLocal(T&& tuple) {
     if (!listeners_.empty() && !AllowPush(tuple)) {
       ++vetoed_pushes_;
       return false;
@@ -266,7 +342,7 @@ class StreamBuffer {
   size_t capacity_ = 0;
   size_t mask_ = 0;
   size_t head_ = 0;
-  size_t count_ = 0;
+  SingleWriterCount count_;
   size_t data_in_queue_ = 0;
   uint64_t total_pushed_ = 0;
   uint64_t data_pushed_ = 0;
@@ -278,6 +354,8 @@ class StreamBuffer {
   std::vector<BufferListener*> listeners_;
   ReadyTracker* tracker_ = nullptr;
   int tracker_consumer_ = -1;
+  BufferDiverter* diverter_ = nullptr;
+  std::mutex* notify_mutex_ = nullptr;  // serializes listener dispatch only
 };
 
 }  // namespace dsms

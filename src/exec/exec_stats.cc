@@ -12,17 +12,21 @@ namespace {
 /// The one name->field table both registry plumbings share.
 template <typename Fn>
 void ForEachCounter(const ExecStats& stats, const std::string& prefix,
-                    Fn&& fn) {
+                    bool include_deprecated, Fn&& fn) {
   fn(prefix + ".data_steps", &stats.data_steps);
   fn(prefix + ".punctuation_steps", &stats.punctuation_steps);
   fn(prefix + ".empty_steps", &stats.empty_steps);
   fn(prefix + ".backtracks", &stats.backtracks);
   fn(prefix + ".backtrack_hops", &stats.backtrack_hops);
   fn(prefix + ".ets_generated", &stats.ets_generated);
-  // `watchdog_ets` is the deprecated spelling kept for one release so
-  // existing JSON consumers keep parsing; `frontier.lease_expired_ets` is
-  // the canonical name under the frontier coordination service.
-  fn(prefix + ".watchdog_ets", &stats.watchdog_ets);
+  // `watchdog_ets` is the deprecated spelling kept for JSON consumers only;
+  // `frontier.lease_expired_ets` is the canonical name under the frontier
+  // coordination service. The alias backs the same field, so emitting both
+  // unconditionally made any consumer that sums all counters double-count
+  // lease ETS — the deprecated key is therefore opt-in.
+  if (include_deprecated) {
+    fn(prefix + ".watchdog_ets", &stats.watchdog_ets);
+  }
   fn(prefix + ".frontier.lease_expired_ets", &stats.watchdog_ets);
   fn(prefix + ".idle_returns", &stats.idle_returns);
   fn(prefix + ".work_scans", &stats.work_scans);
@@ -54,9 +58,9 @@ std::string ExecStats::ToString() const {
       static_cast<unsigned long long>(batch_fallback_steps));
 }
 
-void ExecStats::BindTo(MetricsRegistry* registry,
-                       const std::string& prefix) const {
-  ForEachCounter(*this, prefix,
+void ExecStats::BindTo(MetricsRegistry* registry, const std::string& prefix,
+                       bool include_deprecated) const {
+  ForEachCounter(*this, prefix, include_deprecated,
                  [registry](std::string name, const uint64_t* field) {
                    registry->RegisterView(std::move(name), [field]() {
                      return static_cast<double>(*field);
@@ -64,9 +68,9 @@ void ExecStats::BindTo(MetricsRegistry* registry,
                  });
 }
 
-void ExecStats::PublishTo(MetricsRegistry* registry,
-                          const std::string& prefix) const {
-  ForEachCounter(*this, prefix,
+void ExecStats::PublishTo(MetricsRegistry* registry, const std::string& prefix,
+                          bool include_deprecated) const {
+  ForEachCounter(*this, prefix, include_deprecated,
                  [registry](std::string name, const uint64_t* field) {
                    registry->SetCounter(name, *field);
                  });

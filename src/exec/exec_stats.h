@@ -67,11 +67,19 @@ struct ExecStats {
   /// "exec.data_steps"): the registry reads this struct at snapshot time,
   /// so this object must outlive the registry's snapshots. The struct's
   /// fields remain the accessors; the registry is the reporting path.
-  void BindTo(MetricsRegistry* registry, const std::string& prefix) const;
+  ///
+  /// `include_deprecated` additionally emits the deprecated `watchdog_ets`
+  /// key, which aliases `frontier.lease_expired_ets` (same field). Only the
+  /// `--metrics` JSON output path opts in; aggregation paths must not, or
+  /// summing all counters double-counts lease ETS.
+  void BindTo(MetricsRegistry* registry, const std::string& prefix,
+              bool include_deprecated = false) const;
 
   /// Copies every counter into the registry under `prefix` (a point-in-time
-  /// snapshot; safe after this struct dies).
-  void PublishTo(MetricsRegistry* registry, const std::string& prefix) const;
+  /// snapshot; safe after this struct dies). See BindTo for
+  /// `include_deprecated`.
+  void PublishTo(MetricsRegistry* registry, const std::string& prefix,
+                 bool include_deprecated = false) const;
 };
 
 }  // namespace dsms

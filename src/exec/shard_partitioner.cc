@@ -1,0 +1,124 @@
+#include "exec/shard_partitioner.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/strings.h"
+#include "graph/query_graph.h"
+#include "operators/source.h"
+
+namespace dsms {
+namespace {
+
+/// Set-union of two ascending vectors into `dst`; returns true on growth.
+bool MergeAscending(std::vector<int32_t>* dst, const std::vector<int32_t>& src) {
+  const size_t before = dst->size();
+  std::vector<int32_t> merged;
+  merged.reserve(dst->size() + src.size());
+  std::set_union(dst->begin(), dst->end(), src.begin(), src.end(),
+                 std::back_inserter(merged));
+  *dst = std::move(merged);
+  return dst->size() != before;
+}
+
+}  // namespace
+
+uint32_t ShardPartitioner::HashStream(int32_t stream_id) {
+  uint32_t hash = 2166136261u;
+  uint32_t bytes = static_cast<uint32_t>(stream_id);
+  for (int i = 0; i < 4; ++i) {
+    hash ^= (bytes >> (8 * i)) & 0xffu;
+    hash *= 16777619u;
+  }
+  return hash;
+}
+
+ShardPlan ShardPartitioner::Partition(const QueryGraph& graph,
+                                      int num_shards) {
+  DSMS_CHECK(graph.validated());
+  DSMS_CHECK_GE(num_shards, 1);
+  ShardPlan plan;
+  plan.num_shards = num_shards;
+  const int num_ops = graph.num_operators();
+  plan.op_shard.assign(num_ops, -1);
+  plan.upstream_streams.assign(num_ops, {});
+
+  // Sources anchor the partitioning: hash of the stream id mod N.
+  for (Source* source : graph.sources()) {
+    plan.op_shard[source->id()] = static_cast<int>(
+        HashStream(source->stream_id()) % static_cast<uint32_t>(num_shards));
+    plan.upstream_streams[source->id()].push_back(source->stream_id());
+  }
+
+  // First-input lineage, iterated to fixpoint (operator ids are not
+  // guaranteed topological; the graph is a validated DAG so this
+  // terminates). An input-less non-source node — none exist today — would
+  // home on shard 0.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (const auto& op : graph.operators()) {
+      if (plan.op_shard[op->id()] >= 0) continue;
+      if (op->num_inputs() == 0) {
+        plan.op_shard[op->id()] = 0;
+        progress = true;
+        continue;
+      }
+      const int pred = graph.producer_of(op->input(0)->id());
+      if (pred >= 0 && plan.op_shard[pred] >= 0) {
+        plan.op_shard[op->id()] = plan.op_shard[pred];
+        progress = true;
+      }
+    }
+  }
+  for (int id = 0; id < num_ops; ++id) {
+    DSMS_CHECK_GE(plan.op_shard[id], 0);
+  }
+
+  plan.shard_ops.assign(num_shards, {});
+  for (int id = 0; id < num_ops; ++id) {
+    plan.shard_ops[plan.op_shard[id]].push_back(id);  // ids ascend
+  }
+
+  const int num_buffers = graph.num_buffers();
+  plan.arc_crosses.assign(num_buffers, 0);
+  for (int b = 0; b < num_buffers; ++b) {
+    const int producer = graph.producer_of(b);
+    const int consumer = graph.consumer_of(b);
+    if (producer >= 0 && consumer >= 0 &&
+        plan.op_shard[producer] != plan.op_shard[consumer]) {
+      plan.arc_crosses[b] = 1;
+      plan.cross_arcs.push_back(b);
+    }
+  }
+
+  // Could-result-in closure: an operator's subscription set is the union of
+  // its predecessors' sets, propagated to fixpoint over the arcs.
+  progress = true;
+  while (progress) {
+    progress = false;
+    for (int b = 0; b < num_buffers; ++b) {
+      const int producer = graph.producer_of(b);
+      const int consumer = graph.consumer_of(b);
+      if (producer < 0 || consumer < 0) continue;
+      progress |= MergeAscending(&plan.upstream_streams[consumer],
+                                 plan.upstream_streams[producer]);
+    }
+  }
+  return plan;
+}
+
+std::string ShardPlan::ToString() const {
+  std::string out = StrFormat("shards=%d cross_arcs=%d\n", num_shards,
+                              static_cast<int>(cross_arcs.size()));
+  for (int s = 0; s < num_shards; ++s) {
+    out += StrFormat("  shard %d:", s);
+    for (int id : shard_ops[s]) out += StrFormat(" %d", id);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace dsms

@@ -58,6 +58,11 @@ enum class TraceEventType : uint8_t {
   /// `detail` is a FrontierEventKind, `arg` its payload (new SourceHealth,
   /// FrontierViolation, or stream id — see frontier/frontier_tracker.h).
   kFrontier = 13,
+  /// Sharded execution crossed a shard boundary: control (deterministic
+  /// mode) or a tuple (parallel mode) moved from the shard in `detail` to
+  /// the shard in `arg`, arriving at operator `op_id`
+  /// (exec/sharded_executor.h).
+  kShardHop = 14,
 };
 
 /// What an operator step consumed (TraceEvent::detail for kStep).

@@ -47,6 +47,8 @@ const char* TraceEventTypeToString(TraceEventType type) {
       return "batch_drain";
     case TraceEventType::kFrontier:
       return "frontier";
+    case TraceEventType::kShardHop:
+      return "shard_hop";
   }
   return "unknown";
 }
@@ -255,6 +257,13 @@ void Tracer::WriteChromeTrace(std::ostream& os) const {
             FrontierEventKindToString(
                 static_cast<FrontierEventKind>(event.detail)),
             ts, tid, arg));
+        break;
+      case TraceEventType::kShardHop:
+        emit(StrFormat(
+            "{\"name\": \"shard_hop\", \"cat\": \"shard\", \"ph\": \"i\", "
+            "\"s\": \"t\", \"ts\": %lld, \"pid\": 0, \"tid\": %d, "
+            "\"args\": {\"from_shard\": %d, \"to_shard\": %lld}}",
+            ts, tid, static_cast<int>(event.detail), arg));
         break;
     }
   }

@@ -108,6 +108,14 @@ class Tracer {
                     kind});
   }
 
+  /// A shard-boundary crossing in sharded execution: control or a tuple
+  /// moved `from_shard` -> `to_shard`, arriving at operator `op_id`.
+  void RecordShardHop(int op_id, int from_shard, int to_shard) {
+    Push(TraceEvent{clock_->now(), 0, to_shard, op_id,
+                    TraceEventType::kShardHop,
+                    static_cast<uint8_t>(from_shard)});
+  }
+
   /// Recovery restored checkpoint `checkpoint_id` and queued
   /// `replayed_count` WAL records, leaving the clock at `clock_now`
   /// (engine-level: op_id -1; the checkpoint id rides in dur).

@@ -16,6 +16,7 @@
 #include "exec/dfs_executor.h"
 #include "exec/greedy_memory_executor.h"
 #include "exec/round_robin_executor.h"
+#include "exec/sharded_executor.h"
 #include "metrics/stats_report.h"
 #include "obs/metrics_registry.h"
 #include "obs/tracer.h"
@@ -275,6 +276,31 @@ Status ParseRun(const ExpStatement& s, RunSpec* run) {
       return InvalidArgumentError(StrFormat(
           "line %d: bad overload= '%s' (expected grow|block|shed)", s.line,
           overload->second.c_str()));
+    }
+  }
+  int64_t shards = 1;
+  DSMS_RETURN_IF_ERROR(GetArgInt(s, "shards", 1, &shards));
+  if (shards < 1) {
+    return InvalidArgumentError(
+        StrFormat("line %d: shards must be >= 1", s.line));
+  }
+  run->shards = static_cast<int>(shards);
+  if (run->shards > 1 && run->executor != ExecutorKind::kDfs) {
+    return InvalidArgumentError(StrFormat(
+        "line %d: shards=%d requires executor=dfs (only the DFS strategy "
+        "shards)",
+        s.line, run->shards));
+  }
+  auto mode = s.args.find("mode");
+  if (mode != s.args.end()) {
+    if (mode->second == "deterministic") {
+      run->shard_mode = ShardMode::kDeterministic;
+    } else if (mode->second == "parallel") {
+      run->shard_mode = ShardMode::kParallel;
+    } else {
+      return InvalidArgumentError(StrFormat(
+          "line %d: bad mode= '%s' (expected deterministic|parallel)", s.line,
+          mode->second.c_str()));
     }
   }
   auto violations = s.args.find("violations");
@@ -643,10 +669,16 @@ Result<ExperimentReport> RunExperiment(Experiment* experiment) {
     graph->SetBufferBound(experiment->run.buffer_cap,
                           experiment->run.overload);
   }
+  config.shards = experiment->run.shards;
+  config.shard_mode = experiment->run.shard_mode;
   std::unique_ptr<Executor> executor;
   switch (experiment->run.executor) {
     case ExecutorKind::kDfs:
-      executor = std::make_unique<DfsExecutor>(graph, &clock, config);
+      if (experiment->run.shards > 1) {
+        executor = std::make_unique<ShardedExecutor>(graph, &clock, config);
+      } else {
+        executor = std::make_unique<DfsExecutor>(graph, &clock, config);
+      }
       break;
     case ExecutorKind::kRoundRobin:
       executor = std::make_unique<RoundRobinExecutor>(
@@ -707,6 +739,11 @@ Result<ExperimentReport> RunExperiment(Experiment* experiment) {
   report.dropped_late = sim.order_validator().dropped();
   report.buffer_order_violations = sim.order_validator().violations();
   report.max_buffer_hwm = graph->MaxBufferHighWaterMark();
+  if (auto* sharded = dynamic_cast<ShardedExecutor*>(executor.get())) {
+    report.shards_used = static_cast<uint64_t>(sharded->num_shards());
+    report.shard_hops = sharded->shard_hops();
+    report.shard_epochs = sharded->epochs();
+  }
   report.exec = executor->stats();
   report.operator_stats = OperatorStatsString(*graph);
   report.robustness = RobustnessReportString(*graph, &sim.order_validator());
@@ -747,7 +784,12 @@ void ExperimentReport::PublishTo(MetricsRegistry* registry) const {
   registry->SetCounter("experiment.buffer_order_violations",
                        buffer_order_violations);
   registry->SetCounter("experiment.max_buffer_hwm", max_buffer_hwm);
-  exec.PublishTo(registry, "exec");
+  registry->SetGauge("exec.shard.shards", static_cast<double>(shards_used));
+  registry->SetCounter("exec.shard.hops", shard_hops);
+  registry->SetCounter("exec.shard.epochs", shard_epochs);
+  // The `--metrics` JSON output keeps the deprecated `exec.watchdog_ets`
+  // alias; aggregation paths (ScenarioResult) omit it.
+  exec.PublishTo(registry, "exec", /*include_deprecated=*/true);
 }
 
 }  // namespace dsms

@@ -100,6 +100,11 @@ struct RunSpec {
   ViolationPolicy violations = ViolationPolicy::kCount;
   /// Columnar batch size (`batch size=N` statement); 0 = scalar execution.
   size_t batch = 0;
+  /// Worker shards (`run shards=N`, DFS only); 1 = classic single-shard
+  /// execution. `mode=deterministic|parallel` picks the shard discipline
+  /// (see ShardMode; deterministic is byte-identical to shards=1).
+  int shards = 1;
+  ShardMode shard_mode = ShardMode::kDeterministic;
 };
 
 /// Execution-trace output of a run (`trace` statement); empty path = off.
@@ -189,6 +194,10 @@ struct ExperimentReport {
   uint64_t dropped_late = 0;
   uint64_t buffer_order_violations = 0;
   uint64_t max_buffer_hwm = 0;
+  /// Sharded execution (run shards=N > 1; all zero otherwise).
+  uint64_t shards_used = 0;
+  uint64_t shard_hops = 0;
+  uint64_t shard_epochs = 0;
   ExecStats exec;
   /// Per-operator counters (metrics/stats_report.h), pre-rendered.
   std::string operator_stats;

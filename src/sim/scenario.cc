@@ -13,6 +13,7 @@
 #include "exec/dfs_executor.h"
 #include "exec/greedy_memory_executor.h"
 #include "exec/round_robin_executor.h"
+#include "exec/sharded_executor.h"
 #include "graph/graph_builder.h"
 #include "obs/metrics_registry.h"
 #include "obs/tracer.h"
@@ -292,6 +293,9 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
   exec_config.frontier.lease = config.lease;
   exec_config.scheduler = config.scheduler;
   exec_config.batch_size = config.batch_size;
+  exec_config.shards = config.shards;
+  exec_config.shard_mode = config.shard_mode;
+  exec_config.shard_seed = config.seed;
 
   VirtualClock clock;
   std::unique_ptr<Tracer> tracer;
@@ -299,11 +303,19 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
     tracer = std::make_unique<Tracer>(&clock, config.trace_capacity);
     exec_config.tracer = tracer.get();
   }
+  // Only the DFS strategy shards (its schedule is what the deterministic
+  // mode replicates); shards > 1 with another executor is a config error.
+  DSMS_CHECK(config.shards == 1 || config.executor == ExecutorKind::kDfs);
   std::unique_ptr<Executor> executor;
   switch (config.executor) {
     case ExecutorKind::kDfs:
-      executor =
-          std::make_unique<DfsExecutor>(graph.get(), &clock, exec_config);
+      if (config.shards > 1) {
+        executor = std::make_unique<ShardedExecutor>(graph.get(), &clock,
+                                                     exec_config);
+      } else {
+        executor =
+            std::make_unique<DfsExecutor>(graph.get(), &clock, exec_config);
+      }
       break;
     case ExecutorKind::kRoundRobin:
       executor = std::make_unique<RoundRobinExecutor>(
@@ -425,6 +437,11 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
         frontier.CountInState(SourceHealth::kHealthy);
     result.frontier_bound = frontier.CheckpointFrontier();
   }
+  if (auto* sharded = dynamic_cast<ShardedExecutor*>(executor.get())) {
+    result.shards_used = static_cast<uint64_t>(sharded->num_shards());
+    result.shard_hops = sharded->shard_hops();
+    result.shard_epochs = sharded->epochs();
+  }
   result.trace_hash = trace.hash();
   result.trace_events = trace.events();
   result.sink_digest = sink_digest->hash();
@@ -484,6 +501,10 @@ void ScenarioResult::PublishTo(MetricsRegistry* registry,
                      static_cast<double>(frontier_degraded_now));
   registry->SetGauge(prefix + ".frontier.bound",
                      static_cast<double>(frontier_bound));
+  registry->SetGauge(prefix + ".exec.shard.shards",
+                     static_cast<double>(shards_used));
+  registry->SetCounter(prefix + ".exec.shard.hops", shard_hops);
+  registry->SetCounter(prefix + ".exec.shard.epochs", shard_epochs);
   exec.PublishTo(registry, prefix + ".exec");
 }
 

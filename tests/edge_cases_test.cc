@@ -72,7 +72,9 @@ TEST(EdgeCaseTest, WideUnionFanIn) {
   std::vector<Source*> sources;
   Union* u = builder.AddUnion("U");
   for (int i = 0; i < kStreams; ++i) {
-    Source* s = builder.AddSource("S" + std::to_string(i),
+    // std::string("S") + ... dodges a GCC 12 -Wrestrict false positive in
+    // the operator+(const char*, string&&) insert path (PR 105329).
+    Source* s = builder.AddSource(std::string("S") + std::to_string(i),
                                   TimestampKind::kInternal);
     builder.Connect(s, u);
     sources.push_back(s);

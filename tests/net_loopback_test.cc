@@ -207,7 +207,8 @@ run horizon=1s watchdog=100ms ets=on-demand
   MetricsRegistry registry;
   harness.executor->stats().PublishTo(&registry, "exec");
   harness.server->PublishTo(&registry);
-  EXPECT_GT(registry.GetCounter("exec.watchdog_ets")->value(), 0u);
+  EXPECT_GT(registry.GetCounter("exec.frontier.lease_expired_ets")->value(),
+            0u);
   EXPECT_EQ(registry.GetCounter("net.frames")->value(), 5u);
 }
 

@@ -169,5 +169,96 @@ TEST(TraceEquivalenceTest, BatchModeKeepsSchedulerEquivalence) {
   }
 }
 
+// --- Sharded execution -------------------------------------------------------
+
+/// Deterministic sharded execution (ExecConfig::shards > 1 with
+/// ShardMode::kDeterministic) must replicate the single-shard DFS schedule
+/// byte for byte: same buffer-event digest, same sink digest, identical
+/// executor accounting. Only the shard bookkeeping (shards_used, hops,
+/// epochs) is allowed to differ from the scalar run.
+TEST(TraceEquivalenceTest, DeterministicShardsMatchSingleShardOracle) {
+  for (int kind : {0, 2, 3}) {  // NoEts, OnDemand, Latent
+    for (int shape = 0; shape < 3; ++shape) {
+      ScenarioConfig base = ShortConfig(static_cast<ScenarioKind>(kind));
+      base.shape = static_cast<QueryShape>(shape);
+      base.record_trace = true;
+      ScenarioResult oracle = RunScenario(base);
+      ASSERT_GT(oracle.trace_events, 0u);
+
+      for (int shards : {2, 4}) {
+        ScenarioConfig config = base;
+        config.shards = shards;
+        ScenarioResult result = RunScenario(config);
+        const std::string label = "kind=" + std::to_string(kind) +
+                                  " shape=" + std::to_string(shape) +
+                                  " shards=" + std::to_string(shards);
+        EXPECT_EQ(result.trace_events, oracle.trace_events) << label;
+        EXPECT_EQ(result.trace_hash, oracle.trace_hash) << label;
+        EXPECT_EQ(result.sink_digest, oracle.sink_digest) << label;
+        EXPECT_TRUE(result.exec == oracle.exec) << label;
+        EXPECT_EQ(result.tuples_delivered, oracle.tuples_delivered) << label;
+        EXPECT_DOUBLE_EQ(result.mean_latency_ms, oracle.mean_latency_ms)
+            << label;
+        EXPECT_EQ(result.peak_queue_total, oracle.peak_queue_total) << label;
+        EXPECT_EQ(result.order_violations, 0u) << label;
+        EXPECT_EQ(result.shards_used, static_cast<uint64_t>(shards)) << label;
+        EXPECT_GT(result.shard_epochs, 0u) << label;
+      }
+    }
+  }
+}
+
+/// The ready-queue/scan-reference equivalence contract extends to sharded
+/// execution: per-shard ready trackers combine into the same global
+/// first-candidate choice the O(n) scan makes.
+TEST(TraceEquivalenceTest, ShardedSchedulerEquivalence) {
+  for (int shards : {2, 4}) {
+    for (int shape = 0; shape < 3; ++shape) {
+      ScenarioConfig config = ShortConfig(ScenarioKind::kOnDemandEts);
+      config.shape = static_cast<QueryShape>(shape);
+      config.shards = shards;
+      ExpectTraceEquivalent(config, "sharded shards=" +
+                                        std::to_string(shards) + " shape=" +
+                                        std::to_string(shape));
+    }
+  }
+}
+
+/// Sharding composes with the harder single-shard regimes: external
+/// timestamps with skew, bursty arrivals, a wide fan-in, and the strict
+/// union without TSM registers all stay byte-identical at shards=4.
+TEST(TraceEquivalenceTest, ShardedMatchesOracleUnderHardRegimes) {
+  for (int variant = 0; variant < 4; ++variant) {
+    ScenarioConfig base = ShortConfig(ScenarioKind::kOnDemandEts);
+    base.record_trace = true;
+    switch (variant) {
+      case 0:
+        base.ts_kind = TimestampKind::kExternal;
+        base.skew_bound = 100 * kMillisecond;
+        break;
+      case 1:
+        base.arrivals = ArrivalKind::kBursty;
+        break;
+      case 2:
+        base.num_slow_streams = 3;
+        break;
+      case 3:
+        base.use_tsm_registers = false;
+        break;
+    }
+    ScenarioResult oracle = RunScenario(base);
+
+    ScenarioConfig config = base;
+    config.shards = 4;
+    ScenarioResult result = RunScenario(config);
+    const std::string label = "variant=" + std::to_string(variant);
+    EXPECT_EQ(result.trace_hash, oracle.trace_hash) << label;
+    EXPECT_EQ(result.trace_events, oracle.trace_events) << label;
+    EXPECT_EQ(result.sink_digest, oracle.sink_digest) << label;
+    EXPECT_TRUE(result.exec == oracle.exec) << label;
+    EXPECT_EQ(result.tuples_delivered, oracle.tuples_delivered) << label;
+  }
+}
+
 }  // namespace
 }  // namespace dsms

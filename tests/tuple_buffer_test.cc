@@ -182,5 +182,101 @@ TEST(TsmRegisterTest, ResetClears) {
   EXPECT_FALSE(reg.initialized());
 }
 
+// Shed-then-restore accounting: after a kShedOldest buffer sheds, a
+// checkpoint/restore cycle must round-trip total_pushed / data_pushed /
+// punctuation_pushed (== total - data) and shed_tuples exactly, with the
+// queued contents intact. Guards the RestoreSnapshot path the recovery
+// manager drives.
+TEST(StreamBufferTest, ShedCheckpointRestoreRoundTripsCounters) {
+  StreamBuffer buffer("b");
+  buffer.set_capacity_limit(3, OverloadPolicy::kShedOldest);
+  buffer.Push(Tuple::MakeData(1, {}));
+  buffer.Push(Tuple::MakePunctuation(2));
+  buffer.Push(Tuple::MakeData(3, {}));
+  buffer.Push(Tuple::MakeData(4, {}));  // sheds data@1
+  buffer.Push(Tuple::MakeData(5, {}));  // sheds punct@2
+  ASSERT_EQ(buffer.size(), 3u);
+  ASSERT_EQ(buffer.shed_tuples(), 2u);
+  ASSERT_EQ(buffer.total_pushed(), 5u);
+  ASSERT_EQ(buffer.data_pushed(), 4u);
+  ASSERT_EQ(buffer.punctuation_pushed(), 1u);
+  const size_t high_water = buffer.high_water_mark();
+
+  // Checkpoint: what RecoveryManager::SerializeBuffer captures.
+  std::vector<Tuple> image;
+  buffer.SnapshotTuples(&image);
+  ASSERT_EQ(image.size(), 3u);
+
+  StreamBuffer restored("b");
+  restored.RestoreSnapshot(std::move(image), buffer.total_pushed(),
+                           buffer.data_pushed(), buffer.shed_tuples(),
+                           buffer.vetoed_pushes(), high_water);
+  EXPECT_EQ(restored.total_pushed(), 5u);
+  EXPECT_EQ(restored.data_pushed(), 4u);
+  EXPECT_EQ(restored.punctuation_pushed(),
+            restored.total_pushed() - restored.data_pushed());
+  EXPECT_EQ(restored.punctuation_pushed(), 1u);
+  EXPECT_EQ(restored.shed_tuples(), 2u);
+  EXPECT_EQ(restored.high_water_mark(), high_water);
+  EXPECT_EQ(restored.size(), 3u);
+  EXPECT_EQ(restored.data_size(), 3u);  // both punctuations left the queue
+  EXPECT_EQ(restored.Pop().timestamp(), 3);
+  EXPECT_EQ(restored.Pop().timestamp(), 4);
+  EXPECT_EQ(restored.Pop().timestamp(), 5);
+}
+
+// A snapshot claiming more data than total pushes would make
+// punctuation_pushed() underflow; RestoreSnapshot must reject it.
+TEST(StreamBufferTest, RestoreSnapshotRejectsInconsistentCounters) {
+  StreamBuffer buffer("b");
+  EXPECT_DEATH(buffer.RestoreSnapshot({}, /*total_pushed=*/1,
+                                      /*data_pushed=*/2, /*shed_tuples=*/0,
+                                      /*vetoed_pushes=*/0, /*high_water=*/0),
+               "");
+}
+
+// A restored high-water mark can never sit below the restored occupancy.
+TEST(StreamBufferTest, RestoreSnapshotClampsHighWaterToOccupancy) {
+  std::vector<Tuple> image;
+  image.push_back(Tuple::MakeData(1, {}));
+  image.push_back(Tuple::MakeData(2, {}));
+  StreamBuffer restored("b");
+  restored.RestoreSnapshot(std::move(image), /*total_pushed=*/2,
+                           /*data_pushed=*/2, /*shed_tuples=*/0,
+                           /*vetoed_pushes=*/0, /*high_water=*/0);
+  EXPECT_EQ(restored.high_water_mark(), 2u);
+}
+
+// Cross-shard diversion: an installed diverter intercepts Push before any
+// buffer state changes; DeliverDiverted later applies full bookkeeping.
+TEST(StreamBufferTest, DiverterInterceptsPushUntilDelivered) {
+  struct Capture : BufferDiverter {
+    std::vector<Tuple> taken;
+    bool accept = true;
+    bool Divert(StreamBuffer*, Tuple&& tuple) override {
+      if (!accept) return false;
+      taken.push_back(std::move(tuple));
+      return true;
+    }
+  } diverter;
+  StreamBuffer buffer("b");
+  buffer.set_diverter(&diverter);
+  EXPECT_TRUE(buffer.Push(Tuple::MakeData(1, {})));
+  EXPECT_EQ(buffer.size(), 0u);          // producer side: nothing landed
+  EXPECT_EQ(buffer.total_pushed(), 0u);  // no counter moved either
+  ASSERT_EQ(diverter.taken.size(), 1u);
+
+  buffer.DeliverDiverted(std::move(diverter.taken[0]));
+  EXPECT_EQ(buffer.size(), 1u);
+  EXPECT_EQ(buffer.total_pushed(), 1u);
+  EXPECT_EQ(buffer.Front().timestamp(), 1);
+
+  // A declining diverter leaves the push to complete locally, intact.
+  diverter.accept = false;
+  EXPECT_TRUE(buffer.Push(Tuple::MakeData(7, {Value(int64_t{42})})));
+  EXPECT_EQ(buffer.size(), 2u);
+  EXPECT_EQ(buffer.total_pushed(), 2u);
+}
+
 }  // namespace
 }  // namespace dsms
