@@ -24,6 +24,7 @@
 #include "graph/plan_parser.h"
 #include "metrics/histogram.h"
 #include "operators/filter.h"
+#include "operators/multiway_join.h"
 #include "operators/union_op.h"
 #include "operators/window_aggregate.h"
 #include "operators/window_join.h"
@@ -127,6 +128,116 @@ void BM_WindowJoinProbe(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * window_tuples);
 }
 BENCHMARK(BM_WindowJoinProbe)->Arg(16)->Arg(256)->Arg(4096);
+
+// Indexed vs scan probes over the same window: the right window holds
+// `window` rows spread uniformly over 64 keys and every iteration probes
+// with a single key. With the equi fields declared, the StateTable's
+// per-block hash index visits only the ~window/64 same-key rows; without
+// the declaration the probe scans every row and re-checks the predicate.
+// The emitted matches are identical either way — the index changes the
+// visit set, never the output (tests/window_join_test.cc holds that line).
+void BM_WindowJoinProbeKeyed(benchmark::State& state) {
+  const int64_t window_tuples = state.range(0);
+  const bool indexed = state.range(1) != 0;
+  constexpr int64_t kKeys = 64;
+  StreamBuffer left("l");
+  StreamBuffer right("r");
+  StreamBuffer out("out");
+  WindowJoin join("j", /*left_window=*/1 << 30, /*right_window=*/1 << 30,
+                  WindowJoin::EquiJoin(0, 0));
+  if (indexed) join.set_equi_fields(0, 0);
+  join.AddInput(&left);
+  join.AddInput(&right);
+  join.AddOutput(&out);
+  ManualExecContext ctx;
+  for (int64_t i = 0; i < window_tuples; ++i) {
+    right.Push(Tuple::MakeData(i, {Value(i % kKeys)}));
+    left.Push(Tuple::MakeData(i, {Value(kKeys)}));  // never matches
+    join.Step(ctx);
+    join.Step(ctx);
+  }
+  Timestamp ts = window_tuples;
+  for (auto _ : state) {
+    right.Push(Tuple::MakePunctuation(ts));
+    left.Push(Tuple::MakeData(ts, {Value(int64_t{7})}));
+    join.Step(ctx);                            // absorb the punctuation
+    benchmark::DoNotOptimize(join.Step(ctx));  // probe
+    while (!out.empty()) out.Pop();
+    ++ts;
+  }
+  state.SetItemsProcessed(state.iterations() * window_tuples);
+  state.SetLabel(indexed ? "indexed" : "scan");
+}
+BENCHMARK(BM_WindowJoinProbeKeyed)
+    ->ArgNames({"window", "indexed"})
+    ->Args({256, 0})
+    ->Args({256, 1})
+    ->Args({4096, 0})
+    ->Args({4096, 1});
+
+// Adaptive vs static probe order on a skewed three-input MJoin. Input 0's
+// window is fat — 8 same-key rows per round — while input 2's is almost
+// empty, so the adaptive order learns to probe input 2 first and kills
+// most candidate combinations before they fan out across the fat window;
+// the static order 0..N-1 pays the full 8x intermediate fan-out on every
+// fresh input-1 tuple. Output (match set and payloads) is identical in
+// both modes; only enumeration cost differs.
+void BM_MultiwayJoinSkewedOrder(benchmark::State& state) {
+  const bool adaptive = state.range(0) != 0;
+  constexpr Duration kWindow = 64;
+  constexpr int64_t kFatRows = 8;
+  MultiWayJoin join("mj", {kWindow, kWindow, kWindow},
+                    MultiWayJoin::EquiJoin(0));
+  join.set_equi_field(0);
+  join.set_adaptive(adaptive);
+  StreamBuffer in0("i0");
+  StreamBuffer in1("i1");
+  StreamBuffer in2("i2");
+  StreamBuffer out("out");
+  join.AddInput(&in0);
+  join.AddInput(&in1);
+  join.AddInput(&in2);
+  join.AddOutput(&out);
+  ManualExecContext ctx;
+  auto drain = [&] {
+    for (int guard = 0; guard < 100000; ++guard) {
+      if (!join.Step(ctx).more) break;
+    }
+    while (!out.empty()) out.Pop();
+  };
+  Timestamp ts = 1;
+  // Warm-up rounds let the adaptive order observe the skew and re-sort
+  // (it re-evaluates every 16 absorbed punctuations).
+  for (int round = 0; round < 64; ++round) {
+    for (int64_t r = 0; r < kFatRows; ++r) {
+      in0.Push(Tuple::MakeData(ts, {Value(int64_t{7})}));
+    }
+    in1.Push(Tuple::MakeData(ts, {Value(int64_t{7})}));
+    if (round % 8 == 0) in2.Push(Tuple::MakeData(ts, {Value(int64_t{3})}));
+    ++ts;
+    in0.Push(Tuple::MakePunctuation(ts));
+    in1.Push(Tuple::MakePunctuation(ts));
+    in2.Push(Tuple::MakePunctuation(ts));
+    drain();
+  }
+  for (auto _ : state) {
+    for (int64_t r = 0; r < kFatRows; ++r) {
+      in0.Push(Tuple::MakeData(ts, {Value(int64_t{7})}));
+    }
+    in1.Push(Tuple::MakeData(ts, {Value(int64_t{7})}));
+    ++ts;
+    in0.Push(Tuple::MakePunctuation(ts));
+    in1.Push(Tuple::MakePunctuation(ts));
+    in2.Push(Tuple::MakePunctuation(ts));
+    drain();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(adaptive ? "adaptive" : "static");
+}
+BENCHMARK(BM_MultiwayJoinSkewedOrder)
+    ->ArgName("adaptive")
+    ->Arg(0)
+    ->Arg(1);
 
 void BM_DfsExecutorPath(benchmark::State& state) {
   GraphBuilder builder;

@@ -34,9 +34,13 @@
 #include <sstream>
 #include <string>
 
+#include <memory>
+#include <vector>
+
 #include "common/flag_help.h"
 #include "common/strings.h"
 #include "obs/metrics_registry.h"
+#include "recovery/durable_sink.h"
 #include "sim/experiment_spec.h"
 
 namespace {
@@ -54,6 +58,15 @@ const std::vector<dsms::FlagHelp> kFlags = {
      "file's run shards=)"},
     {"--shard-mode", "MODE",
      "deterministic|parallel shard scheduling (overrides run mode=)"},
+    {"--sink-dump", "DIR",
+     "write every sink's delivered tuples to DIR/sink-<name>.out, one "
+     "line per tuple (byte-comparable across runs, e.g. spill vs "
+     "in-memory)"},
+    {"--spill-dir", "PATH",
+     "override the spill directory of the file's state statement"},
+    {"--mem-budget", "SIZE",
+     "override the state statement's memory budget (bytes, or k/m/g "
+     "suffix; 0 = never spill)"},
     {"--help", "", "show this message and exit"},
 };
 
@@ -78,9 +91,25 @@ int main(int argc, char** argv) {
   bool demo = false;
   std::string trace_path;
   std::string metrics_path;
+  std::string sink_dump;
+  std::string spill_dir;
+  long long mem_budget = -1;
   long batch_size = -1;
   long shards = -1;
   std::string shard_mode;
+
+  // SIZE with an optional binary k/m/g suffix, as in the `state` statement.
+  auto parse_size = [](const char* text, long long* out) {
+    char* end = nullptr;
+    long long v = std::strtoll(text, &end, 10);
+    if (end == text || v < 0) return false;
+    if (*end == 'k' || *end == 'K') v <<= 10, ++end;
+    else if (*end == 'm' || *end == 'M') v <<= 20, ++end;
+    else if (*end == 'g' || *end == 'G') v <<= 30, ++end;
+    if (*end != '\0') return false;
+    *out = v;
+    return true;
+  };
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--demo") == 0) {
       demo = true;
@@ -98,6 +127,15 @@ int main(int argc, char** argv) {
       shards = std::strtol(argv[++i], nullptr, 10);
       if (shards < 1) {
         std::fprintf(stderr, "--shards must be >= 1\n");
+        return 1;
+      }
+    } else if (std::strcmp(argv[i], "--sink-dump") == 0 && i + 1 < argc) {
+      sink_dump = argv[++i];
+    } else if (std::strcmp(argv[i], "--spill-dir") == 0 && i + 1 < argc) {
+      spill_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--mem-budget") == 0 && i + 1 < argc) {
+      if (!parse_size(argv[++i], &mem_budget)) {
+        std::fprintf(stderr, "bad --mem-budget value\n");
         return 1;
       }
     } else if (std::strcmp(argv[i], "--shard-mode") == 0 && i + 1 < argc) {
@@ -167,12 +205,42 @@ int main(int argc, char** argv) {
                                      ? ShardMode::kParallel
                                      : ShardMode::kDeterministic;
   }
+  if (!spill_dir.empty()) experiment->storage.spill_dir = spill_dir;
+  if (mem_budget >= 0) {
+    experiment->storage.mem_budget = static_cast<uint64_t>(mem_budget);
+  }
+
+  // Durable sink dumps (one ToString line per delivered tuple): the
+  // byte-identity oracle CI uses to compare a spilling run against an
+  // unlimited-memory one.
+  std::vector<std::unique_ptr<DurableSink>> dumps;
+  if (!sink_dump.empty()) {
+    for (Sink* sink : experiment->plan.graph->sinks()) {
+      auto dump = std::make_unique<DurableSink>(sink_dump, sink->name());
+      Status opened = dump->Open(/*resume_offset=*/0);
+      if (!opened.ok()) {
+        std::fprintf(stderr, "sink dump error: %s\n",
+                     opened.ToString().c_str());
+        return 1;
+      }
+      dump->Attach(sink);
+      dumps.push_back(std::move(dump));
+    }
+  }
 
   Result<ExperimentReport> report = RunExperiment(&*experiment);
   if (!report.ok()) {
     std::fprintf(stderr, "run error: %s\n",
                  report.status().ToString().c_str());
     return 1;
+  }
+  for (const auto& dump : dumps) {
+    Status flushed = dump->Flush();
+    if (!flushed.ok()) {
+      std::fprintf(stderr, "sink dump error: %s\n",
+                   flushed.ToString().c_str());
+      return 1;
+    }
   }
 
   std::printf("ran to t=%.3f s (virtual)\n",
@@ -193,6 +261,17 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(report->shards_used),
                 static_cast<unsigned long long>(report->shard_hops),
                 static_cast<unsigned long long>(report->shard_epochs));
+  }
+  if (experiment->storage.enabled) {
+    const StorageStats& storage = report->storage;
+    std::printf("state store: hot=%llu B, spilled=%llu B "
+                "(spills=%llu loads=%llu evictions=%llu purged=%llu)\n",
+                static_cast<unsigned long long>(storage.hot_bytes),
+                static_cast<unsigned long long>(storage.spilled_bytes),
+                static_cast<unsigned long long>(storage.spills),
+                static_cast<unsigned long long>(storage.loads),
+                static_cast<unsigned long long>(storage.evictions),
+                static_cast<unsigned long long>(storage.purged_blocks));
   }
   std::printf("\n");
   std::printf("%s", report->operator_stats.c_str());

@@ -201,6 +201,21 @@ int main(int argc, char** argv) {
     graph->SetBufferBound(experiment->run.buffer_cap,
                           experiment->run.overload);
   }
+  // The state store must exist BEFORE RestoreGraph: the restored manifest
+  // and spilled-block descriptors claim their block files against it.
+  if (experiment->storage.enabled) {
+    StorageConfig storage_config;
+    storage_config.mem_budget = experiment->storage.mem_budget;
+    storage_config.spill_dir = experiment->storage.spill_dir;
+    storage_config.granularity = experiment->storage.granularity;
+    storage_config.overload = experiment->run.overload;
+    Status configured = graph->ConfigureStateStore(storage_config);
+    if (!configured.ok()) {
+      std::fprintf(stderr, "state store error: %s\n",
+                   configured.ToString().c_str());
+      return 1;
+    }
+  }
 
   // Crash recovery (docs/recovery.md). Restore order matters: checkpointed
   // buffer contents must land before the executor constructor scans them to
@@ -370,6 +385,9 @@ int main(int argc, char** argv) {
   report.dropped_late = server.order_validator().dropped();
   report.buffer_order_violations = server.order_validator().violations();
   report.max_buffer_hwm = graph->MaxBufferHighWaterMark();
+  if (graph->state_store() != nullptr) {
+    report.storage = graph->state_store()->stats();
+  }
   report.exec = executor->stats();
 
   std::printf("served to t=%.3f s (virtual); %llu connections, %llu "

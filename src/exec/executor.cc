@@ -153,6 +153,9 @@ void Executor::ChargeStep(const Operator& op, const StepResult& result) {
     kind = StepKind::kEmpty;
     cost = config_.costs.empty_step;
   }
+  // Virtual time lost to disk work under an injected disk_stall fault is
+  // charged to the step that performed the spill/load.
+  cost += result.storage_stall;
   clock_->Advance(cost);
   if (tracer_ != nullptr) tracer_->RecordStep(op.id(), start, cost, kind);
 }

@@ -341,6 +341,7 @@ void ShardedExecutor::StepOperator(int shard, Operator* op) {
     ++st.stats.empty_steps;
     cost = config_.costs.empty_step;
   }
+  cost += result.storage_stall;
   st.ctx.Charge(cost);
   ++st.steps;
 }

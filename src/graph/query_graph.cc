@@ -11,6 +11,7 @@
 #include "common/status.h"
 #include "common/strings.h"
 #include "core/tuple.h"
+#include "storage/state_store.h"
 
 namespace dsms {
 namespace {
@@ -32,6 +33,8 @@ Discipline Join(Discipline a, Discipline b) {
 }
 
 }  // namespace
+
+QueryGraph::~QueryGraph() = default;
 
 Operator* QueryGraph::AddOperator(std::unique_ptr<Operator> op) {
   DSMS_CHECK(op != nullptr);
@@ -55,6 +58,19 @@ StreamBuffer* QueryGraph::Connect(Operator* producer, Operator* consumer) {
   producer->AddOutput(raw);
   consumer->AddInput(raw);
   return raw;
+}
+
+Status QueryGraph::ConfigureStateStore(const StorageConfig& config) {
+  if (state_store_ != nullptr) {
+    return FailedPreconditionError("state store already configured");
+  }
+  auto store = std::make_unique<StateStore>(config);
+  DSMS_RETURN_IF_ERROR(store->Init());
+  state_store_ = std::move(store);
+  for (const std::unique_ptr<Operator>& op : operators_) {
+    op->BindStateStore(state_store_.get());
+  }
+  return OkStatus();
 }
 
 Operator* QueryGraph::op(int id) const {

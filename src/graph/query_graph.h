@@ -16,6 +16,9 @@
 
 namespace dsms {
 
+class StateStore;
+struct StorageConfig;
+
 /// The continuous-query operator graph of Section 3: nodes are query
 /// operators (plus source and sink nodes), directed arcs are the buffers
 /// connecting them. The graph owns both. A graph may have several weakly
@@ -26,6 +29,8 @@ namespace dsms {
 class QueryGraph {
  public:
   QueryGraph() = default;
+  /// Out-of-line: the state store member is an incomplete type here.
+  ~QueryGraph();
 
   QueryGraph(const QueryGraph&) = delete;
   QueryGraph& operator=(const QueryGraph&) = delete;
@@ -122,6 +127,16 @@ class QueryGraph {
   /// True if any arc buffer holds a data tuple.
   bool AnyDataBuffered() const;
 
+  /// Creates the graph's spillable state store (storage/state_store.h) with
+  /// `config` and binds it to every operator (BindStateStore). Call after
+  /// all operators are added and before execution / state restore; at most
+  /// once. Initializes the spill directory when spilling is enabled.
+  Status ConfigureStateStore(const StorageConfig& config);
+
+  /// The configured state store, or nullptr when ConfigureStateStore was
+  /// never called (operators then keep all state in memory, unbudgeted).
+  StateStore* state_store() const { return state_store_.get(); }
+
   /// Multi-line structural dump for debugging.
   std::string ToString() const;
 
@@ -131,6 +146,9 @@ class QueryGraph {
   Status ValidateTimestampKinds() const;
   Status ValidateSchemas();
 
+  /// Declared before operators_ so it outlives them: operator destructors
+  /// (via ~StateTable) unregister their tables from the store.
+  std::unique_ptr<StateStore> state_store_;
   std::vector<std::unique_ptr<Operator>> operators_;
   std::vector<std::unique_ptr<StreamBuffer>> buffers_;
   std::vector<int> buffer_producer_;  // by buffer id

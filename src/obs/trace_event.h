@@ -63,6 +63,13 @@ enum class TraceEventType : uint8_t {
   /// the shard in `arg`, arriving at operator `op_id`
   /// (exec/sharded_executor.h).
   kShardHop = 14,
+  /// The state store evicted a block of operator `op_id`'s state to disk:
+  /// `arg` is the block id, `dur` reused to carry the row count
+  /// (storage/state_store.h).
+  kStateSpill = 15,
+  /// A spilled block of operator `op_id`'s state was loaded back for a
+  /// probe; `arg` is the block id, `dur` the row count.
+  kStateLoad = 16,
 };
 
 /// What an operator step consumed (TraceEvent::detail for kStep).

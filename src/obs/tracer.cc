@@ -49,6 +49,10 @@ const char* TraceEventTypeToString(TraceEventType type) {
       return "frontier";
     case TraceEventType::kShardHop:
       return "shard_hop";
+    case TraceEventType::kStateSpill:
+      return "state_spill";
+    case TraceEventType::kStateLoad:
+      return "state_load";
   }
   return "unknown";
 }
@@ -264,6 +268,15 @@ void Tracer::WriteChromeTrace(std::ostream& os) const {
             "\"s\": \"t\", \"ts\": %lld, \"pid\": 0, \"tid\": %d, "
             "\"args\": {\"from_shard\": %d, \"to_shard\": %lld}}",
             ts, tid, static_cast<int>(event.detail), arg));
+        break;
+      case TraceEventType::kStateSpill:
+      case TraceEventType::kStateLoad:
+        emit(StrFormat(
+            "{\"name\": \"%s\", \"cat\": \"storage\", \"ph\": \"i\", "
+            "\"s\": \"t\", \"ts\": %lld, \"pid\": 0, \"tid\": %d, "
+            "\"args\": {\"block\": %lld, \"rows\": %lld}}",
+            TraceEventTypeToString(event.type), ts, tid, arg,
+            static_cast<long long>(event.dur)));
         break;
     }
   }

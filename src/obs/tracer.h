@@ -116,6 +116,19 @@ class Tracer {
                     static_cast<uint8_t>(from_shard)});
   }
 
+  /// The state store spilled block `block_id` (`rows` rows) of operator
+  /// `op_id`'s state to disk.
+  void RecordStateSpill(int op_id, int64_t block_id, int64_t rows) {
+    Push(TraceEvent{clock_->now(), rows, block_id, op_id,
+                    TraceEventType::kStateSpill, 0});
+  }
+
+  /// A spilled block was loaded back for a probe of operator `op_id`.
+  void RecordStateLoad(int op_id, int64_t block_id, int64_t rows) {
+    Push(TraceEvent{clock_->now(), rows, block_id, op_id,
+                    TraceEventType::kStateLoad, 0});
+  }
+
   /// Recovery restored checkpoint `checkpoint_id` and queued
   /// `replayed_count` WAL records, leaving the clock at `clock_now`
   /// (engine-level: op_id -1; the checkpoint id rides in dur).

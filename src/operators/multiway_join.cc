@@ -14,6 +14,9 @@
 
 namespace dsms {
 
+/// Probe-order re-evaluation period, in absorbed punctuations.
+static constexpr uint64_t kReorderPeriod = 16;
+
 MultiWayJoin::MultiWayJoin(std::string name, std::vector<Duration> windows,
                            Predicate predicate, bool ordered)
     : IwpOperator(std::move(name), ordered),
@@ -21,7 +24,14 @@ MultiWayJoin::MultiWayJoin(std::string name, std::vector<Duration> windows,
       predicate_(std::move(predicate)) {
   DSMS_CHECK_GE(window_durations_.size(), 2u);
   for (Duration w : window_durations_) DSMS_CHECK_GE(w, 0);
-  windows_.resize(window_durations_.size());
+  const size_t n = window_durations_.size();
+  for (size_t i = 0; i < n; ++i) {
+    tables_.emplace_back();
+    tables_.back().set_name(this->name() + ".in" + std::to_string(i));
+    probe_order_.push_back(static_cast<int>(i));
+  }
+  probe_uses_.assign(n, 0);
+  probe_rows_.assign(n, 0);
 }
 
 MultiWayJoin::Predicate MultiWayJoin::EquiJoin(int field) {
@@ -31,6 +41,16 @@ MultiWayJoin::Predicate MultiWayJoin::EquiJoin(int field) {
     }
     return true;
   };
+}
+
+void MultiWayJoin::set_equi_field(int field) {
+  equi_field_ = field;
+  for (StateTable& table : tables_) table.set_key_field(field);
+}
+
+void MultiWayJoin::BindStateStore(StateStore* store) {
+  store_ = store;
+  for (StateTable& table : tables_) table.Bind(store, this);
 }
 
 Result<std::optional<Schema>> MultiWayJoin::DeriveSchema(
@@ -65,36 +85,32 @@ Result<std::optional<Schema>> MultiWayJoin::DeriveSchema(
 
 size_t MultiWayJoin::window_size(int input) const {
   DSMS_CHECK_GE(input, 0);
-  DSMS_CHECK_LT(static_cast<size_t>(input), windows_.size());
-  return windows_[static_cast<size_t>(input)].size();
+  DSMS_CHECK_LT(static_cast<size_t>(input), tables_.size());
+  return tables_[static_cast<size_t>(input)].size();
 }
 
 size_t MultiWayJoin::total_window_size() const {
   size_t total = 0;
-  for (const auto& w : windows_) total += w.size();
+  for (const StateTable& table : tables_) total += table.size();
   return total;
 }
 
-bool MultiWayJoin::PairJoinable(int fresh_input, Timestamp fresh_ts,
-                                int stored_input, Timestamp stored_ts) const {
-  // The older tuple must lie within its own input's window of the newer
-  // tuple (same band rule as the binary join).
-  if (stored_ts <= fresh_ts) {
-    return (fresh_ts - stored_ts) <=
-           window_durations_[static_cast<size_t>(stored_input)];
-  }
-  return (stored_ts - fresh_ts) <=
-         window_durations_[static_cast<size_t>(fresh_input)];
+const StateTable& MultiWayJoin::state_table(int input) const {
+  DSMS_CHECK_GE(input, 0);
+  DSMS_CHECK_LT(static_cast<size_t>(input), tables_.size());
+  return tables_[static_cast<size_t>(input)];
+}
+
+Duration MultiWayJoin::TakeStorageStall() {
+  Duration total = 0;
+  for (StateTable& table : tables_) total += table.TakeStall();
+  return total;
 }
 
 void MultiWayJoin::ExpireWindow(int input, Timestamp bound) {
   if (bound == kMinTimestamp) return;
-  std::deque<Tuple>& window = windows_[static_cast<size_t>(input)];
-  Timestamp cutoff =
-      bound - window_durations_[static_cast<size_t>(input)];
-  while (!window.empty() && window.front().timestamp() < cutoff) {
-    window.pop_front();
-  }
+  tables_[static_cast<size_t>(input)].Expire(
+      bound - window_durations_[static_cast<size_t>(input)]);
 }
 
 void MultiWayJoin::ExpireAllWindows(Timestamp bound) {
@@ -102,6 +118,29 @@ void MultiWayJoin::ExpireAllWindows(Timestamp bound) {
   // future fresh tuple (on any input) has timestamp >= bound: a stored
   // tuple of input j older than bound − w_j can never be probed again.
   for (int j = 0; j < num_inputs(); ++j) ExpireWindow(j, bound);
+}
+
+void MultiWayJoin::MaybeReorderProbes() {
+  if (!adaptive_ || puncts_seen_ % kReorderPeriod != 0) return;
+  // Cheapest-first: fewest delivered rows per probe goes earliest, so the
+  // recursion's intermediate fan-out shrinks as fast as possible. An input
+  // never probed yet counts as free. Ties break on input index, keeping the
+  // order a pure function of consumed input (deterministic).
+  std::sort(probe_order_.begin(), probe_order_.end(), [this](int a, int b) {
+    const size_t ia = static_cast<size_t>(a), ib = static_cast<size_t>(b);
+    const double avg_a =
+        probe_uses_[ia] == 0
+            ? 0.0
+            : static_cast<double>(probe_rows_[ia]) /
+                  static_cast<double>(probe_uses_[ia]);
+    const double avg_b =
+        probe_uses_[ib] == 0
+            ? 0.0
+            : static_cast<double>(probe_rows_[ib]) /
+                  static_cast<double>(probe_uses_[ib]);
+    if (avg_a != avg_b) return avg_a < avg_b;
+    return a < b;
+  });
 }
 
 void MultiWayJoin::EmitMatch(const std::vector<const Tuple*>& match,
@@ -128,39 +167,58 @@ void MultiWayJoin::EmitMatch(const std::vector<const Tuple*>& match,
   Emit(std::move(result));
 }
 
-void MultiWayJoin::ProbeRecursive(int input, int fresh_input,
+void MultiWayJoin::ProbeRecursive(size_t depth, int fresh_input,
                                   const Tuple& fresh,
                                   std::vector<const Tuple*>* match) {
-  if (input == num_inputs()) {
+  if (depth == probe_order_.size()) {
     EmitMatch(*match, fresh);
     return;
   }
+  const int input = probe_order_[depth];
   if (input == fresh_input) {
     (*match)[static_cast<size_t>(input)] = &fresh;
-    ProbeRecursive(input + 1, fresh_input, fresh, match);
+    ProbeRecursive(depth + 1, fresh_input, fresh, match);
     return;
   }
-  for (const Tuple& stored : windows_[static_cast<size_t>(input)]) {
-    if (!PairJoinable(fresh_input, fresh.timestamp(), input,
-                      stored.timestamp())) {
-      continue;
-    }
-    (*match)[static_cast<size_t>(input)] = &stored;
-    ProbeRecursive(input + 1, fresh_input, fresh, match);
-  }
+  // Band rule vs the fresh tuple (same as the binary join): a stored tuple
+  // at ts joins iff ts <= τ ? τ − ts <= w(input) : ts − τ <= w(fresh),
+  // i.e. ts ∈ [τ − w(input), τ + w(fresh)].
+  const Timestamp tau = fresh.timestamp();
+  const Value* key =
+      equi_field_ >= 0 &&
+              equi_field_ < static_cast<int>(fresh.values().size())
+          ? &fresh.value(equi_field_)
+          : nullptr;
+  StateTable& table = tables_[static_cast<size_t>(input)];
+  ++probe_uses_[static_cast<size_t>(input)];
+  table.Probe(
+      tau - window_durations_[static_cast<size_t>(input)],
+      tau + window_durations_[static_cast<size_t>(fresh_input)], key,
+      [&](const Tuple& stored) {
+        ++probe_rows_[static_cast<size_t>(input)];
+        (*match)[static_cast<size_t>(input)] = &stored;
+        ProbeRecursive(depth + 1, fresh_input, fresh, match);
+      });
 }
 
 void MultiWayJoin::ProcessData(int input, Tuple tuple) {
+  // Hold the store lock across the whole probe cascade: nested probes keep
+  // references into resident blocks, which a concurrent shard's eviction
+  // could otherwise drop mid-recursion.
+  StateStore::Guard guard(store_);
   Timestamp tau = tuple.timestamp();
   ExpireAllWindows(tau);
   std::vector<const Tuple*> match(static_cast<size_t>(num_inputs()),
                                   nullptr);
   ProbeRecursive(0, input, tuple, &match);
-  windows_[static_cast<size_t>(input)].push_back(std::move(tuple));
+  StateTable& own = tables_[static_cast<size_t>(input)];
+  own.Append(std::move(tuple));
+  own.MaybeEvict();
 }
 
 StepResult MultiWayJoin::Step(ExecContext& ctx) {
   ++stats_.steps;
+  for (StateTable& table : tables_) table.BeginStep(ctx.now());
   if (!ordered()) return StepUnordered(ctx);
 
   StepResult result;
@@ -170,6 +228,7 @@ StepResult MultiWayJoin::Step(ExecContext& ctx) {
   if (ready < 0) {
     FillBlockedResult(&result);
     result.yield = AnyOutputNonEmpty(*this);
+    result.storage_stall = TakeStorageStall();
     return result;
   }
 
@@ -181,6 +240,8 @@ StepResult MultiWayJoin::Step(ExecContext& ctx) {
     result.processed_punctuation = true;
     ExpireAllWindows(MinEffectiveTsm());
     MaybeEmitPunctuation(MinEffectiveTsm());
+    ++puncts_seen_;
+    MaybeReorderProbes();
   }
 
   result.more = RelaxedMore();
@@ -189,6 +250,7 @@ StepResult MultiWayJoin::Step(ExecContext& ctx) {
     result.blocked_input = BlockedInput();
   }
   result.yield = AnyOutputNonEmpty(*this);
+  result.storage_stall = TakeStorageStall();
   return result;
 }
 
@@ -203,6 +265,8 @@ StepResult MultiWayJoin::StepUnordered(ExecContext& ctx) {
       result.processed_punctuation = true;
       ExpireAllWindows(tuple.timestamp());
       MaybeEmitPunctuation(tuple.timestamp());
+      ++puncts_seen_;
+      MaybeReorderProbes();
     } else {
       result.processed_data = true;
       if (!tuple.has_timestamp()) tuple.set_timestamp(ctx.now());
@@ -212,16 +276,21 @@ StepResult MultiWayJoin::StepUnordered(ExecContext& ctx) {
   }
   result.more = Operator::HasWork();
   result.yield = AnyOutputNonEmpty(*this);
+  result.storage_stall = TakeStorageStall();
   return result;
 }
 
 void MultiWayJoin::SaveState(StateWriter& w) const {
   IwpOperator::SaveState(w);
-  w.U32(static_cast<uint32_t>(windows_.size()));
-  for (const std::deque<Tuple>& window : windows_) {
-    w.U32(static_cast<uint32_t>(window.size()));
-    for (const Tuple& tuple : window) w.Tup(tuple);
-  }
+  w.U32(static_cast<uint32_t>(tables_.size()));
+  for (const StateTable& table : tables_) table.SaveState(w);
+  // The adaptive probe schedule is execution state: restoring it keeps
+  // post-recovery match-enumeration order identical to an uninterrupted
+  // run.
+  for (int input : probe_order_) w.I64(input);
+  for (uint64_t uses : probe_uses_) w.U64(uses);
+  for (uint64_t rows : probe_rows_) w.U64(rows);
+  w.U64(puncts_seen_);
   w.U64(matches_emitted_);
   w.I64(next_unordered_input_);
 }
@@ -229,12 +298,25 @@ void MultiWayJoin::SaveState(StateWriter& w) const {
 void MultiWayJoin::LoadState(StateReader& r) {
   IwpOperator::LoadState(r);
   uint32_t count = r.U32();
-  for (uint32_t i = 0; i < count && r.ok(); ++i) {
-    std::deque<Tuple> window;
-    uint32_t n = r.U32();
-    for (uint32_t j = 0; j < n && r.ok(); ++j) window.push_back(r.Tup());
-    if (i < windows_.size()) windows_[i] = std::move(window);
+  if (!r.ok()) return;
+  // Checkpoint/plan mismatch: a different input count means different
+  // window configuration — fail stop rather than silently dropping state.
+  DSMS_CHECK_EQ(count, tables_.size());
+  for (StateTable& table : tables_) {
+    table.LoadState(r);
+    if (!r.ok()) return;
   }
+  for (size_t i = 0; i < tables_.size() && r.ok(); ++i) {
+    probe_order_[i] = static_cast<int>(r.I64());
+  }
+  for (size_t i = 0; i < tables_.size() && r.ok(); ++i) {
+    probe_uses_[i] = r.U64();
+  }
+  for (size_t i = 0; i < tables_.size() && r.ok(); ++i) {
+    probe_rows_[i] = r.U64();
+  }
+  if (!r.ok()) return;
+  puncts_seen_ = r.U64();
   matches_emitted_ = r.U64();
   next_unordered_input_ = static_cast<int>(r.I64());
 }

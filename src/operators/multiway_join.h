@@ -11,6 +11,7 @@
 #include "core/tuple.h"
 #include "operators/iwp_operator.h"
 #include "operators/operator.h"
+#include "storage/state_store.h"
 
 namespace dsms {
 
@@ -39,6 +40,21 @@ namespace dsms {
 /// lifted to N inputs. Output payload: concatenation of all matched tuples'
 /// values in input order. Unordered (latent) mode stamps on consumption
 /// like the binary join.
+///
+/// Window state lives in per-input time-partitioned StateTables
+/// (storage/state_store.h): a declared equi field hash-indexes every window
+/// so probes visit only same-key rows, and a configured StateStore spills
+/// cold window blocks to disk under memory pressure.
+///
+/// Probe order is chosen at runtime: the join tracks, per input, the
+/// average number of rows each probe of that input's window delivers, and
+/// every 16 absorbed punctuations re-sorts the probe order most-selective
+/// (fewest rows per probe) first, shrinking the intermediate-match fan-out
+/// the way MJoin reorders probe sequences by selectivity. The schedule is a
+/// pure function of consumed input, so runs stay deterministic; per-match
+/// output (slot order, payload) is unaffected — only the enumeration order
+/// of distinct match combinations can change. set_adaptive(false) pins the
+/// static input order 0..N−1 (baseline for benchmarks).
 class MultiWayJoin : public IwpOperator {
  public:
   using Predicate =
@@ -52,9 +68,14 @@ class MultiWayJoin : public IwpOperator {
   /// All inputs carry the same value at position `field`.
   static Predicate EquiJoin(int field);
 
-  /// Optional typing contract for an EquiJoin predicate: declares the key
-  /// field so QueryGraph::Validate can check it on every input schema.
-  void set_equi_field(int field) { equi_field_ = field; }
+  /// Typing contract for an EquiJoin predicate: declares the key field so
+  /// QueryGraph::Validate can check it on every input schema and the window
+  /// tables can hash-index it. Must be called before any tuple is
+  /// processed.
+  void set_equi_field(int field);
+
+  /// Runtime probe-order adaptation (default on); see class comment.
+  void set_adaptive(bool adaptive) { adaptive_ = adaptive; }
 
   /// Output schema = concatenation of all input schemas (Concat pairwise);
   /// validates the declared key field against every known input schema.
@@ -69,11 +90,20 @@ class MultiWayJoin : public IwpOperator {
   }
   bool stamps_latent() const override { return !ordered(); }
 
+  /// Attaches the graph's spill-capable state store to every window table.
+  void BindStateStore(StateStore* store) override;
+
   StepResult Step(ExecContext& ctx) override;
 
   size_t window_size(int input) const;
   size_t total_window_size() const;
   uint64_t matches_emitted() const { return matches_emitted_; }
+
+  /// Window state table of `input`, for tests and metrics.
+  const StateTable& state_table(int input) const;
+
+  /// Current probe order (input indexes, probed first to last).
+  const std::vector<int>& probe_order() const { return probe_order_; }
 
   void SaveState(StateWriter& w) const override;
   void LoadState(StateReader& r) override;
@@ -82,22 +112,31 @@ class MultiWayJoin : public IwpOperator {
   StepResult StepUnordered(ExecContext& ctx);
 
   void ProcessData(int input, Tuple tuple);
-  /// Recursively extends `match` across inputs != `fresh_input`; emits on
-  /// completion.
-  void ProbeRecursive(int input, int fresh_input, const Tuple& fresh,
+  /// Recursively extends `match` across probe_order_[depth..]; the fresh
+  /// input's slot is filled directly; emits on completion.
+  void ProbeRecursive(size_t depth, int fresh_input, const Tuple& fresh,
                       std::vector<const Tuple*>* match);
   void EmitMatch(const std::vector<const Tuple*>& match, const Tuple& fresh);
   /// Drops tuples of window `input` older than bound − w_input, where
   /// `bound` is a lower bound on every future fresh tuple's timestamp.
   void ExpireWindow(int input, Timestamp bound);
   void ExpireAllWindows(Timestamp bound);
-  bool PairJoinable(int fresh_input, Timestamp fresh_ts, int stored_input,
-                    Timestamp stored_ts) const;
+  /// Re-sorts probe_order_ by observed rows-per-probe, cheapest first.
+  void MaybeReorderProbes();
+  Duration TakeStorageStall();
 
   std::vector<Duration> window_durations_;
   Predicate predicate_;
+  StateStore* store_ = nullptr;
   int equi_field_ = -1;
-  std::vector<std::deque<Tuple>> windows_;
+  bool adaptive_ = true;
+  /// deque: StateTable is neither copyable nor movable.
+  std::deque<StateTable> tables_;
+  std::vector<int> probe_order_;
+  /// Probe-cost observations driving the adaptive order.
+  std::vector<uint64_t> probe_uses_;
+  std::vector<uint64_t> probe_rows_;
+  uint64_t puncts_seen_ = 0;
   uint64_t matches_emitted_ = 0;
   int next_unordered_input_ = 0;
 };

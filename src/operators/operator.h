@@ -16,6 +16,7 @@ namespace dsms {
 
 class ColumnBatch;
 class StateReader;
+class StateStore;
 class StateWriter;
 class Tracer;
 
@@ -71,6 +72,12 @@ struct StepResult {
   /// empty). The modified Backtrack rule of Section 3.2 backtracks to the
   /// predecessor feeding this input. -1 when not applicable.
   int blocked_input = -1;
+
+  /// Extra virtual time this step lost to state-store disk work under an
+  /// injected disk_stall fault (storage/state_store.h). The executor adds
+  /// it to the step's charged cost, so degraded-disk latency shows up in
+  /// every timing metric deterministically.
+  Duration storage_stall = 0;
 };
 
 /// Lifetime counters kept by every operator.
@@ -202,6 +209,12 @@ class Operator {
   /// state it already decoded — the enclosing checkpoint CRC has already
   /// vouched the bytes, so this cannot be hit by corruption.
   virtual void LoadState(StateReader& r);
+
+  /// Attaches the graph's spillable state store (QueryGraph::
+  /// ConfigureStateStore). Stateful operators that keep their windows in
+  /// StateTables override this to bind them; the default ignores it. Called
+  /// before execution and before LoadState, never mid-run.
+  virtual void BindStateStore(StateStore* store) { (void)store; }
 
   const OperatorStats& stats() const { return stats_; }
 

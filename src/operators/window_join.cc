@@ -24,6 +24,8 @@ WindowJoin::WindowJoin(std::string name, Duration left_window,
   DSMS_CHECK_GE(right_window, 0);
   window_duration_[0] = left_window;
   window_duration_[1] = right_window;
+  table_[0].set_name(this->name() + ".left");
+  table_[1].set_name(this->name() + ".right");
 }
 
 WindowJoin::Predicate WindowJoin::EquiJoin(int left_field, int right_field) {
@@ -56,25 +58,35 @@ Result<std::optional<Schema>> WindowJoin::DeriveSchema(
   return std::optional<Schema>(left.Concat(right));
 }
 
+void WindowJoin::BindStateStore(StateStore* store) {
+  table_[0].Bind(store, this);
+  table_[1].Bind(store, this);
+}
+
 size_t WindowJoin::window_size(int side) const {
   DSMS_CHECK(side == 0 || side == 1);
-  return window_[side].size();
+  return table_[side].size();
+}
+
+const StateTable& WindowJoin::state_table(int side) const {
+  DSMS_CHECK(side == 0 || side == 1);
+  return table_[side];
 }
 
 void WindowJoin::NotePeak() {
   peak_window_size_ =
-      std::max(peak_window_size_, window_[0].size() + window_[1].size());
+      std::max(peak_window_size_, table_[0].size() + table_[1].size());
+}
+
+Duration WindowJoin::TakeStorageStall() {
+  return table_[0].TakeStall() + table_[1].TakeStall();
 }
 
 void WindowJoin::ExpireWindow(int side, Timestamp bound) {
   // A stored `side` tuple t remains joinable with future opposite tuples
   // (all >= bound) while opposite.ts − t.ts <= w(side); expire the rest.
   if (bound == kMinTimestamp) return;
-  std::deque<Tuple>& window = window_[side];
-  Timestamp cutoff = bound - window_duration_[side];
-  while (!window.empty() && window.front().timestamp() < cutoff) {
-    window.pop_front();
-  }
+  table_[side].Expire(bound - window_duration_[side]);
 }
 
 void WindowJoin::ProcessData(int side, Tuple tuple) {
@@ -84,46 +96,54 @@ void WindowJoin::ProcessData(int side, Tuple tuple) {
   // Future `side` tuples have ts >= tau, so prune the opposite window first.
   ExpireWindow(other, tau);
 
-  for (const Tuple& stored : window_[other]) {
-    Timestamp stored_ts = stored.timestamp();
-    bool joinable;
-    if (stored_ts <= tau) {
-      joinable = (tau - stored_ts) <= window_duration_[other];
-    } else {
-      joinable = (stored_ts - tau) <= window_duration_[side];
-    }
-    if (!joinable) continue;
-    const Tuple& left = (side == 0) ? tuple : stored;
-    const Tuple& right = (side == 0) ? stored : tuple;
-    if (predicate_ && !predicate_(left, right)) continue;
+  // A stored other-side tuple at ts is joinable with tau iff
+  //   ts <= tau: tau − ts <= w(other);  ts > tau: ts − tau <= w(side)
+  // i.e. ts ∈ [tau − w(other), tau + w(side)] (Figure 1's band, both sides).
+  // With declared equi fields the fresh tuple's own field keys the probe, so
+  // only same-key rows are visited (verified by the predicate below).
+  const int own_field = (side == 0) ? equi_left_field_ : equi_right_field_;
+  const Value* key =
+      own_field >= 0 && own_field < static_cast<int>(tuple.values().size())
+          ? &tuple.value(own_field)
+          : nullptr;
+  table_[other].Probe(
+      tau - window_duration_[other], tau + window_duration_[side], key,
+      [&](const Tuple& stored) {
+        const Tuple& left = (side == 0) ? tuple : stored;
+        const Tuple& right = (side == 0) ? stored : tuple;
+        if (predicate_ && !predicate_(left, right)) return;
 
-    std::vector<Value> combined;
-    combined.reserve(left.values().size() + right.values().size());
-    combined.insert(combined.end(), left.values().begin(),
-                    left.values().end());
-    combined.insert(combined.end(), right.values().begin(),
-                    right.values().end());
-    // Result tuples "take their timestamps from the tuple in A" (Figure 1):
-    // the newly consumed tuple defines timestamp and latency lineage.
-    Tuple result = Tuple::MakeData(tau, std::move(combined),
-                                   tuple.timestamp_kind() ==
-                                           TimestampKind::kLatent
-                                       ? TimestampKind::kInternal
-                                       : tuple.timestamp_kind());
-    result.set_arrival_time(tuple.arrival_time());
-    result.set_source_id(tuple.source_id());
-    result.set_sequence(tuple.sequence());
-    NoteDataEmitted(tau);
-    ++matches_emitted_;
-    Emit(std::move(result));
-  }
+        std::vector<Value> combined;
+        combined.reserve(left.values().size() + right.values().size());
+        combined.insert(combined.end(), left.values().begin(),
+                        left.values().end());
+        combined.insert(combined.end(), right.values().begin(),
+                        right.values().end());
+        // Result tuples "take their timestamps from the tuple in A"
+        // (Figure 1): the newly consumed tuple defines timestamp and
+        // latency lineage.
+        Tuple result = Tuple::MakeData(tau, std::move(combined),
+                                       tuple.timestamp_kind() ==
+                                               TimestampKind::kLatent
+                                           ? TimestampKind::kInternal
+                                           : tuple.timestamp_kind());
+        result.set_arrival_time(tuple.arrival_time());
+        result.set_source_id(tuple.source_id());
+        result.set_sequence(tuple.sequence());
+        NoteDataEmitted(tau);
+        ++matches_emitted_;
+        Emit(std::move(result));
+      });
 
-  window_[side].push_back(std::move(tuple));
+  table_[side].Append(std::move(tuple));
+  table_[side].MaybeEvict();
   NotePeak();
 }
 
 StepResult WindowJoin::Step(ExecContext& ctx) {
   ++stats_.steps;
+  table_[0].BeginStep(ctx.now());
+  table_[1].BeginStep(ctx.now());
   if (!ordered()) return StepUnordered(ctx);
 
   StepResult result;
@@ -133,6 +153,7 @@ StepResult WindowJoin::Step(ExecContext& ctx) {
   if (ready < 0) {
     FillBlockedResult(&result);
     result.yield = AnyOutputNonEmpty(*this);
+    result.storage_stall = TakeStorageStall();
     return result;
   }
 
@@ -159,6 +180,7 @@ StepResult WindowJoin::Step(ExecContext& ctx) {
     result.blocked_input = BlockedInput();
   }
   result.yield = AnyOutputNonEmpty(*this);
+  result.storage_stall = TakeStorageStall();
   return result;
 }
 
@@ -188,14 +210,18 @@ StepResult WindowJoin::StepUnordered(ExecContext& ctx) {
   }
   result.more = Operator::HasWork();
   result.yield = AnyOutputNonEmpty(*this);
+  result.storage_stall = TakeStorageStall();
   return result;
 }
 
 void WindowJoin::SaveState(StateWriter& w) const {
   IwpOperator::SaveState(w);
   for (int side = 0; side < 2; ++side) {
-    w.U32(static_cast<uint32_t>(window_[side].size()));
-    for (const Tuple& tuple : window_[side]) w.Tup(tuple);
+    // The window duration is configuration, not state, but writing it lets
+    // restore fail fast when a checkpoint is replayed into a join built
+    // from a different plan.
+    w.Ts(window_duration_[side]);
+    table_[side].SaveState(w);
   }
   w.U64(peak_window_size_);
   w.U64(matches_emitted_);
@@ -205,12 +231,15 @@ void WindowJoin::SaveState(StateWriter& w) const {
 void WindowJoin::LoadState(StateReader& r) {
   IwpOperator::LoadState(r);
   for (int side = 0; side < 2; ++side) {
-    window_[side].clear();
-    uint32_t n = r.U32();
-    for (uint32_t i = 0; i < n && r.ok(); ++i) {
-      window_[side].push_back(r.Tup());
-    }
+    if (!r.ok()) return;
+    const Duration saved_window = r.Ts();
+    if (!r.ok()) return;
+    // Checkpoint/plan mismatch: restoring window state into a join with a
+    // different window duration silently changes results — fail stop.
+    DSMS_CHECK_EQ(saved_window, window_duration_[side]);
+    table_[side].LoadState(r);
   }
+  if (!r.ok()) return;
   peak_window_size_ = static_cast<size_t>(r.U64());
   matches_emitted_ = r.U64();
   next_unordered_input_ = static_cast<int>(r.I64());

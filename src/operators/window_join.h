@@ -2,7 +2,6 @@
 #define DSMS_OPERATORS_WINDOW_JOIN_H_
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <string>
 
@@ -10,6 +9,7 @@
 #include "core/tuple.h"
 #include "operators/iwp_operator.h"
 #include "operators/operator.h"
+#include "storage/state_store.h"
 
 namespace dsms {
 
@@ -36,6 +36,14 @@ namespace dsms {
 /// current virtual time on consumption — latent tuples are "timestamped
 /// on-the-fly by individual query operators that require timestamps"
 /// (Section 5) — and never idle-waits.
+///
+/// Window state lives in two time-partitioned StateTables
+/// (storage/state_store.h). Declared equi fields double as the tables' hash
+/// keys, so probes touch only same-key rows instead of scanning the whole
+/// window; when the graph configures a StateStore with a memory budget, cold
+/// blocks of window state spill to disk and the join transparently works
+/// over larger-than-memory windows. Probe results preserve insertion order,
+/// so output is byte-identical to the historical linear-scan implementation.
 class WindowJoin : public IwpOperator {
  public:
   using Predicate = std::function<bool(const Tuple& left, const Tuple& right)>;
@@ -50,12 +58,16 @@ class WindowJoin : public IwpOperator {
   /// field `right_field`.
   static Predicate EquiJoin(int left_field, int right_field);
 
-  /// Optional typing contract for an equi-join predicate (predicates are
-  /// opaque std::functions): declares which fields the predicate compares,
-  /// so QueryGraph::Validate can bounds- and type-check them.
+  /// Typing contract for an equi-join predicate (predicates are opaque
+  /// std::functions): declares which fields the predicate compares, so
+  /// QueryGraph::Validate can bounds- and type-check them — and so the
+  /// window tables can hash-index stored tuples on those fields. Must be
+  /// called before any tuple is processed.
   void set_equi_fields(int left_field, int right_field) {
     equi_left_field_ = left_field;
     equi_right_field_ = right_field;
+    table_[0].set_key_field(left_field);
+    table_[1].set_key_field(right_field);
   }
 
   /// Output schema = left schema ++ right schema (duplicate names prefixed
@@ -68,11 +80,17 @@ class WindowJoin : public IwpOperator {
   /// Unordered joins stamp latent tuples with virtual time on consumption.
   bool stamps_latent() const override { return !ordered(); }
 
+  /// Attaches the graph's spill-capable state store to both window tables.
+  void BindStateStore(StateStore* store) override;
+
   StepResult Step(ExecContext& ctx) override;
 
   size_t window_size(int side) const;
   size_t peak_window_size() const { return peak_window_size_; }
   uint64_t matches_emitted() const { return matches_emitted_; }
+
+  /// Window state table of `side` (0 left, 1 right), for tests and metrics.
+  const StateTable& state_table(int side) const;
 
   void SaveState(StateWriter& w) const override;
   void LoadState(StateReader& r) override;
@@ -89,11 +107,14 @@ class WindowJoin : public IwpOperator {
 
   void NotePeak();
 
+  /// Accumulated disk-stall time from both tables since the last step.
+  Duration TakeStorageStall();
+
   Duration window_duration_[2];
   Predicate predicate_;
   int equi_left_field_ = -1;
   int equi_right_field_ = -1;
-  std::deque<Tuple> window_[2];
+  StateTable table_[2];
   size_t peak_window_size_ = 0;
   uint64_t matches_emitted_ = 0;
   int next_unordered_input_ = 0;

@@ -77,6 +77,7 @@ std::string SerializeImage(const CheckpointImage& image) {
   }
   w.Blob(image.executor_blob);
   w.Blob(image.net_blob);
+  w.Blob(image.storage_blob);
   w.U32(static_cast<uint32_t>(image.durable_seqs.size()));
   for (const auto& [stream, seq] : image.durable_seqs) {
     w.I64(stream);
@@ -110,6 +111,7 @@ bool DeserializeImage(const std::string& body, CheckpointImage* image) {
   }
   image->executor_blob = r.Blob();
   image->net_blob = r.Blob();
+  image->storage_blob = r.Blob();
   n = r.U32();
   image->durable_seqs.clear();
   for (uint32_t i = 0; i < n && r.ok(); ++i) {

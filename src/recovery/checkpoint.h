@@ -32,6 +32,10 @@ struct CheckpointImage {
   std::string executor_blob;
   /// IngestServer state (connection reports, skew trackers, validator).
   std::string net_blob;
+  /// StateStore manifest (block-id allocator; spilled block *contents* are
+  /// referenced by id from operator blobs, not copied — see
+  /// docs/state_store.md). Empty when no state store is configured.
+  std::string storage_blob;
   /// Frames made durable per wire stream id (the resume protocol's acks).
   std::vector<std::pair<int32_t, uint64_t>> durable_seqs;
   /// Durable sink byte offsets keyed by sink name.

@@ -8,6 +8,7 @@
 #include "obs/metrics_registry.h"
 #include "obs/tracer.h"
 #include "recovery/state_codec.h"
+#include "storage/state_store.h"
 
 namespace dsms {
 namespace {
@@ -92,12 +93,29 @@ Status RecoveryManager::Open() {
 }
 
 void RecoveryManager::RestoreGraph(QueryGraph* graph, VirtualClock* clock) {
-  if (!has_image_) return;
+  StateStore* store = graph->state_store();
+  if (!has_image_) {
+    // Fresh start: whatever spill files a previous incarnation left behind
+    // are unreferenced — nothing will ever load them.
+    if (store != nullptr) store->GcOrphanFiles();
+    return;
+  }
+  // The manifest must land before operator LoadState: restored spilled-block
+  // descriptors claim their files against it.
+  if (store != nullptr && !image_.storage_blob.empty()) {
+    StateReader r(image_.storage_blob);
+    store->RestoreManifest(r);
+  }
   for (const auto& [id, blob] : image_.operator_blobs) {
     if (id < 0 || id >= graph->num_operators()) continue;
     StateReader r(blob);
     graph->op(id)->LoadState(r);
   }
+  // Spill files not claimed by any restored descriptor belong to blocks the
+  // checkpoint never saw (written after the cut, or already expired): GC.
+  // Committing to this image may unlink files an older retained checkpoint
+  // references — the fallback chain ends at the image we restored.
+  if (store != nullptr) store->GcOrphanFiles();
   for (const auto& [id, blob] : image_.buffer_blobs) {
     if (id < 0 || id >= graph->num_buffers()) continue;
     RestoreBuffer(graph->buffer(id), blob);
@@ -178,6 +196,11 @@ Status RecoveryManager::Checkpoint(QueryGraph* graph, Executor* executor,
     image.executor_blob = w.Take();
   }
   image.net_blob = net_blob;
+  if (graph->state_store() != nullptr) {
+    StateWriter w;
+    graph->state_store()->SaveManifest(w);
+    image.storage_blob = w.Take();
+  }
   for (const auto& [stream, seq] : durable_seqs_) {
     image.durable_seqs.emplace_back(stream, seq);
   }
@@ -188,6 +211,11 @@ Status RecoveryManager::Checkpoint(QueryGraph* graph, Executor* executor,
   DSMS_RETURN_IF_ERROR(
       WriteCheckpointFile(options_.dir, image, options_.keep));
   DSMS_RETURN_IF_ERROR(wal_->TrimBelow(image.wal_replay_from));
+  if (graph->state_store() != nullptr) {
+    // The image is durable: pin its spilled blocks, release pins of pruned
+    // checkpoints, and unlink files no retained checkpoint references.
+    graph->state_store()->OnCheckpoint(image.checkpoint_id, options_.keep);
+  }
 
   ++next_checkpoint_id_;
   ++checkpoints_written_;

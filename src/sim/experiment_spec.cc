@@ -405,6 +405,52 @@ Status ParseCheckpoint(const ExpStatement& s, RecoverySpec* recovery) {
   return OkStatus();
 }
 
+/// Parses "4096", "64k", "16m", "2g" (binary multiples, suffix
+/// case-insensitive) into bytes.
+bool ParseByteSize(const std::string& text, uint64_t* out) {
+  if (text.empty()) return false;
+  std::string digits = text;
+  uint64_t multiplier = 1;
+  const char last = digits.back();
+  if (last == 'k' || last == 'K') {
+    multiplier = 1024;
+  } else if (last == 'm' || last == 'M') {
+    multiplier = 1024 * 1024;
+  } else if (last == 'g' || last == 'G') {
+    multiplier = 1024 * 1024 * 1024;
+  }
+  if (multiplier != 1) digits.pop_back();
+  int64_t value = 0;
+  if (!ParseInt64(digits, &value) || value < 0) return false;
+  *out = static_cast<uint64_t>(value) * multiplier;
+  return true;
+}
+
+Status ParseState(const ExpStatement& s, StorageSpec* storage) {
+  storage->enabled = true;
+  auto budget = s.args.find("mem_budget");
+  if (budget == s.args.end() ||
+      !ParseByteSize(budget->second, &storage->mem_budget) ||
+      storage->mem_budget == 0) {
+    return InvalidArgumentError(StrFormat(
+        "line %d: missing or bad mem_budget= (bytes, k/m/g suffix ok)",
+        s.line));
+  }
+  auto dir = s.args.find("spill_dir");
+  if (dir == s.args.end() || dir->second.empty()) {
+    return InvalidArgumentError(
+        StrFormat("line %d: missing spill_dir=", s.line));
+  }
+  storage->spill_dir = dir->second;
+  DSMS_RETURN_IF_ERROR(
+      GetArgDuration(s, "granularity", kSecond, &storage->granularity));
+  if (storage->granularity <= 0) {
+    return InvalidArgumentError(
+        StrFormat("line %d: granularity must be positive", s.line));
+  }
+  return OkStatus();
+}
+
 Status ParseCrash(const ExpStatement& s, RecoverySpec* recovery) {
   Duration at = 0;
   DSMS_RETURN_IF_ERROR(GetArgDuration(s, "at", 0, &at));
@@ -482,6 +528,7 @@ Result<Experiment> ParseExperiment(std::string_view text,
   std::vector<ExpStatement> wals;
   std::vector<ExpStatement> checkpoints;
   std::vector<ExpStatement> crashes;
+  std::vector<ExpStatement> states;
 
   int line_number = 0;
   for (const std::string& raw_line : StrSplit(text, '\n')) {
@@ -541,6 +588,11 @@ Result<Experiment> ParseExperiment(std::string_view text,
                                         /*has_name=*/false, &statement);
       if (!status.ok()) return status;
       crashes.push_back(std::move(statement));
+    } else if (stripped == "state" || StartsWith(stripped, "state ")) {
+      Status status = ParseExpStatement(line_number, stripped,
+                                        /*has_name=*/false, &statement);
+      if (!status.ok()) return status;
+      states.push_back(std::move(statement));
     } else {
       plan_lines.push_back(raw_line);
     }
@@ -569,6 +621,10 @@ Result<Experiment> ParseExperiment(std::string_view text,
   if (crashes.size() > 1) {
     return InvalidArgumentError(
         StrFormat("line %d: duplicate crash statement", crashes[1].line));
+  }
+  if (states.size() > 1) {
+    return InvalidArgumentError(
+        StrFormat("line %d: duplicate state statement", states[1].line));
   }
 
   Result<ParsedPlan> plan = ParsePlan(StrJoin(plan_lines, "\n"));
@@ -636,6 +692,9 @@ Result<Experiment> ParseExperiment(std::string_view text,
   if (!crashes.empty()) {
     DSMS_RETURN_IF_ERROR(ParseCrash(crashes[0], &experiment.recovery));
   }
+  if (!states.empty()) {
+    DSMS_RETURN_IF_ERROR(ParseState(states[0], &experiment.storage));
+  }
   if (require_feeds && experiment.feeds.empty()) {
     return InvalidArgumentError("experiment declares no feeds");
   }
@@ -671,6 +730,14 @@ Result<ExperimentReport> RunExperiment(Experiment* experiment) {
   }
   config.shards = experiment->run.shards;
   config.shard_mode = experiment->run.shard_mode;
+  if (experiment->storage.enabled && graph->state_store() == nullptr) {
+    StorageConfig storage_config;
+    storage_config.mem_budget = experiment->storage.mem_budget;
+    storage_config.spill_dir = experiment->storage.spill_dir;
+    storage_config.granularity = experiment->storage.granularity;
+    storage_config.overload = experiment->run.overload;
+    DSMS_RETURN_IF_ERROR(graph->ConfigureStateStore(storage_config));
+  }
   std::unique_ptr<Executor> executor;
   switch (experiment->run.executor) {
     case ExecutorKind::kDfs:
@@ -712,6 +779,10 @@ Result<ExperimentReport> RunExperiment(Experiment* experiment) {
     auto* source =
         dynamic_cast<Source*>(experiment->plan.Find(fault.source));
     DSMS_CHECK(source != nullptr);
+    if (IsDiskFault(fault.spec.kind) && graph->state_store() == nullptr) {
+      return InvalidArgumentError(
+          "disk faults require a state statement (no state store configured)");
+    }
     sim.InjectFault(source, fault.spec);
   }
 
@@ -743,6 +814,9 @@ Result<ExperimentReport> RunExperiment(Experiment* experiment) {
     report.shards_used = static_cast<uint64_t>(sharded->num_shards());
     report.shard_hops = sharded->shard_hops();
     report.shard_epochs = sharded->epochs();
+  }
+  if (graph->state_store() != nullptr) {
+    report.storage = graph->state_store()->stats();
   }
   report.exec = executor->stats();
   report.operator_stats = OperatorStatsString(*graph);
@@ -787,6 +861,7 @@ void ExperimentReport::PublishTo(MetricsRegistry* registry) const {
   registry->SetGauge("exec.shard.shards", static_cast<double>(shards_used));
   registry->SetCounter("exec.shard.hops", shard_hops);
   registry->SetCounter("exec.shard.epochs", shard_epochs);
+  storage.PublishTo(registry, "storage");
   // The `--metrics` JSON output keeps the deprecated `exec.watchdog_ets`
   // alias; aggregation paths (ScenarioResult) omit it.
   exec.PublishTo(registry, "exec", /*include_deprecated=*/true);

@@ -16,6 +16,7 @@
 #include "sim/arrival_process.h"
 #include "sim/scenario.h"
 #include "sim/simulation.h"
+#include "storage/state_store.h"
 
 namespace dsms {
 
@@ -38,6 +39,7 @@ namespace dsms {
 ///       [lease=DUR] [buffer_cap=N] [overload=grow|block|shed]
 ///       [violations=count|drop|quarantine]
 ///   batch size=N
+///   state mem_budget=SIZE spill_dir=PATH [granularity=DUR]
 ///   trace path=/tmp/run.trace.json [capacity=262144]
 ///   wal dir=/path/to/waldir [sync=none|interval|every_frame]
 ///       [sync_interval_bytes=N] [segment_bytes=N]
@@ -107,6 +109,23 @@ struct RunSpec {
   ShardMode shard_mode = ShardMode::kDeterministic;
 };
 
+/// Spillable state store configuration (`state` statement; see
+/// docs/state_store.md):
+///
+///   state mem_budget=SIZE spill_dir=PATH [granularity=DUR]
+///
+/// SIZE accepts a plain byte count or a k/m/g suffix (e.g. 64k, 16m).
+/// Window/join state beyond `mem_budget` hot bytes spills to block files
+/// under `spill_dir`; `granularity` is the time-bucket width of state
+/// blocks. Disk-overload behaviour follows the run statement's `overload=`
+/// policy. Without this statement all state stays in memory, unbudgeted.
+struct StorageSpec {
+  bool enabled = false;
+  uint64_t mem_budget = 0;
+  std::string spill_dir;
+  Duration granularity = kSecond;
+};
+
 /// Execution-trace output of a run (`trace` statement); empty path = off.
 struct TraceSpec {
   std::string path;
@@ -144,6 +163,7 @@ struct Experiment {
   RunSpec run;
   TraceSpec trace;
   RecoverySpec recovery;
+  StorageSpec storage;
 };
 
 /// Parses a combined plan + experiment text. Feed/heartbeat source names
@@ -198,6 +218,8 @@ struct ExperimentReport {
   uint64_t shards_used = 0;
   uint64_t shard_hops = 0;
   uint64_t shard_epochs = 0;
+  /// State-store activity (zeros when no `state` statement configured one).
+  StorageStats storage;
   ExecStats exec;
   /// Per-operator counters (metrics/stats_report.h), pre-rendered.
   std::string operator_stats;

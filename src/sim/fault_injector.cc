@@ -26,6 +26,10 @@ const char* FaultKindToString(FaultKind kind) {
       return "regress-punct";
     case FaultKind::kFlap:
       return "flap";
+    case FaultKind::kDiskStall:
+      return "disk-stall";
+    case FaultKind::kDiskFail:
+      return "disk-fail";
   }
   return "unknown";
 }
@@ -40,9 +44,14 @@ Result<FaultKind> ParseFaultKind(const std::string& text) {
   if (text == "dup-punct") return FaultKind::kDuplicatePunct;
   if (text == "regress-punct") return FaultKind::kRegressingPunct;
   if (text == "flap") return FaultKind::kFlap;
+  if (text == "disk-stall" || text == "disk_stall") {
+    return FaultKind::kDiskStall;
+  }
+  if (text == "disk-fail" || text == "disk_fail") return FaultKind::kDiskFail;
   return InvalidArgumentError(
       StrFormat("unknown fault kind '%s' (expected none|stall|death|burst|"
-                "disorder|skew|dup-punct|regress-punct|flap)",
+                "disorder|skew|dup-punct|regress-punct|flap|disk-stall|"
+                "disk-fail)",
                 text.c_str()));
 }
 

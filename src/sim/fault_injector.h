@@ -45,13 +45,30 @@ enum class FaultKind {
   /// reviving — the pattern that must be absorbed by the frontier tracker's
   /// quarantine/re-admission lifecycle without ETS regression.
   kFlap = 8,
+  /// Degraded disk under the state store (storage/): every spilled-block
+  /// write and load inside the window costs an extra `magnitude` of
+  /// virtual time, charged to the step that triggered the I/O. Routed to
+  /// StateStore::ArmFault, not to a source wrapper.
+  kDiskStall = 9,
+  /// Failing disk under the state store: spill writes inside the window
+  /// fail with probability `probability`; the store sheds the victim
+  /// block's rows (OverloadPolicy::kShedOldest) or keeps it hot over
+  /// budget (any other policy). Loads stay fail-stop (CRC-guarded).
+  kDiskFail = 10,
 };
 
 const char* FaultKindToString(FaultKind kind);
 
 /// Parses the spelling used by experiment plans:
-/// none|stall|death|burst|disorder|skew|dup-punct|regress-punct|flap.
+/// none|stall|death|burst|disorder|skew|dup-punct|regress-punct|flap|
+/// disk-stall|disk-fail (underscore aliases accepted for the disk kinds).
 Result<FaultKind> ParseFaultKind(const std::string& text);
+
+/// True for kinds that target the storage tier instead of a source's input
+/// wrapper (Simulation routes these to the graph's StateStore).
+inline bool IsDiskFault(FaultKind kind) {
+  return kind == FaultKind::kDiskStall || kind == FaultKind::kDiskFail;
+}
 
 /// One fault, aimed at one source of the scenario graph. All fields have
 /// usable defaults so plan text only names what it changes. Deterministic:

@@ -281,6 +281,14 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
   if (config.buffer_capacity > 0) {
     graph->SetBufferBound(config.buffer_capacity, config.overload);
   }
+  if (!config.state_spill_dir.empty() || config.state_mem_budget > 0) {
+    StorageConfig storage_config;
+    storage_config.mem_budget = config.state_mem_budget;
+    storage_config.spill_dir = config.state_spill_dir;
+    storage_config.granularity = config.state_granularity;
+    storage_config.overload = config.overload;
+    DSMS_CHECK_OK(graph->ConfigureStateStore(storage_config));
+  }
 
   ExecConfig exec_config;
   exec_config.costs = config.costs;
@@ -445,6 +453,9 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
   result.trace_hash = trace.hash();
   result.trace_events = trace.events();
   result.sink_digest = sink_digest->hash();
+  if (graph->state_store() != nullptr) {
+    result.storage = graph->state_store()->stats();
+  }
   result.exec = executor->stats();
 
   if (tracer != nullptr) {
@@ -505,6 +516,7 @@ void ScenarioResult::PublishTo(MetricsRegistry* registry,
                      static_cast<double>(shards_used));
   registry->SetCounter(prefix + ".exec.shard.hops", shard_hops);
   registry->SetCounter(prefix + ".exec.shard.epochs", shard_epochs);
+  storage.PublishTo(registry, prefix + ".storage");
   exec.PublishTo(registry, prefix + ".exec");
 }
 

@@ -12,6 +12,7 @@
 #include "exec/executor.h"
 #include "metrics/order_validator.h"
 #include "sim/fault_injector.h"
+#include "storage/state_store.h"
 
 namespace dsms {
 
@@ -156,6 +157,17 @@ struct ScenarioConfig {
   int shards = 1;
   ShardMode shard_mode = ShardMode::kDeterministic;
 
+  /// Spillable state store (storage/state_store.h): with a non-empty spill
+  /// dir the graph gets a StateStore and window/join state beyond
+  /// `state_mem_budget` hot bytes spills to block files there (budget 0 =
+  /// store attached but never spills). Empty dir (the default) keeps all
+  /// state in memory, unbudgeted — byte-identical to the pre-storage
+  /// engine. Disk-fault injection (kDiskStall/kDiskFail) requires the
+  /// store.
+  std::string state_spill_dir;
+  uint64_t state_mem_budget = 0;
+  Duration state_granularity = kSecond;
+
   uint64_t seed = 42;
   Duration horizon = 600 * kSecond;
   Duration warmup = 30 * kSecond;
@@ -230,6 +242,9 @@ struct ScenarioResult {
   /// virtual delivery time). Equal digests mean byte-identical sink output;
   /// the oracle of tests/batch_exec_test.cc.
   uint64_t sink_digest = 0;
+
+  /// State-store activity (all zero when no store was configured).
+  StorageStats storage;
 
   ExecStats exec;
 

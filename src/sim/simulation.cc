@@ -9,6 +9,7 @@
 #include "core/tuple.h"
 #include "obs/trace_wiring.h"
 #include "operators/sink.h"
+#include "storage/state_store.h"
 
 namespace dsms {
 
@@ -153,6 +154,14 @@ void Simulation::IngestOne(Feed* feed, Timestamp now) {
 void Simulation::InjectFault(Source* source, const FaultSpec& spec,
                              uint64_t run_seed) {
   DSMS_CHECK(source != nullptr);
+  if (IsDiskFault(spec.kind)) {
+    // Disk faults perturb the state store's spill/load path, not a source's
+    // arrival process; `source` only names the fault for reporting.
+    StateStore* store = graph_->state_store();
+    DSMS_CHECK(store != nullptr);  // disk faults need a configured store
+    store->ArmFault(spec, run_seed);
+    return;
+  }
   auto injector = std::make_unique<FaultInjector>(spec, run_seed);
   FaultInjector* raw = injector.get();
   faults_[source] = std::move(injector);
@@ -194,6 +203,9 @@ const FaultStats* Simulation::fault_stats(const Source* source) const {
 uint64_t Simulation::fault_events() const {
   uint64_t total = 0;
   for (const auto& entry : faults_) total += entry.second->stats().total();
+  if (graph_->state_store() != nullptr) {
+    total += graph_->state_store()->fault_events();
+  }
   return total;
 }
 

@@ -1,0 +1,183 @@
+#include "storage/block_file.h"
+
+#include <dirent.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <string.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <utility>
+
+#include "common/strings.h"
+#include "recovery/crc32.h"
+#include "recovery/state_codec.h"
+
+namespace dsms {
+namespace {
+
+constexpr char kBlockMagic[8] = {'D', 'S', 'M', 'S', 'B', 'L', 'K', '1'};
+
+std::string SerializeBlock(const BlockFileContents& block) {
+  StateWriter w;
+  w.U64(block.block_id);
+  w.Ts(block.bucket_start);
+  w.Ts(block.bucket_end);
+  w.Ts(block.min_ts);
+  w.Ts(block.max_ts);
+  w.U32(static_cast<uint32_t>(block.rows.size()));
+  for (const Tuple& row : block.rows) w.Tup(row);
+  return w.Take();
+}
+
+bool DeserializeBlock(const std::string& body, BlockFileContents* block) {
+  StateReader r(body);
+  block->block_id = r.U64();
+  block->bucket_start = r.Ts();
+  block->bucket_end = r.Ts();
+  block->min_ts = r.Ts();
+  block->max_ts = r.Ts();
+  uint32_t n = r.U32();
+  block->rows.clear();
+  block->rows.reserve(n);
+  for (uint32_t i = 0; i < n && r.ok(); ++i) block->rows.push_back(r.Tup());
+  return r.ok() && r.remaining() == 0;
+}
+
+}  // namespace
+
+std::string BlockFilePath(const std::string& dir, uint64_t block_id) {
+  return StrFormat("%s/block-%020llu.blk", dir.c_str(),
+                   static_cast<unsigned long long>(block_id));
+}
+
+bool ParseBlockFileName(const std::string& name, uint64_t* block_id) {
+  // "block-" + 20 digits + ".blk"
+  if (name.size() != 6 + 20 + 4) return false;
+  if (name.compare(0, 6, "block-") != 0) return false;
+  if (name.compare(26, 4, ".blk") != 0) return false;
+  uint64_t v = 0;
+  for (size_t i = 6; i < 26; ++i) {
+    char c = name[i];
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *block_id = v;
+  return true;
+}
+
+Status WriteBlockFile(const std::string& dir, const BlockFileContents& block) {
+  if (::mkdir(dir.c_str(), 0777) != 0 && errno != EEXIST) {
+    return InternalError(
+        StrFormat("mkdir %s: %s", dir.c_str(), strerror(errno)));
+  }
+  const std::string body = SerializeBlock(block);
+  std::string bytes(kBlockMagic, sizeof(kBlockMagic));
+  StateWriter header;
+  header.U64(body.size());
+  header.U32(Crc32(body.data(), body.size()));
+  bytes += header.data();
+  bytes += body;
+
+  const std::string final_path = BlockFilePath(dir, block.block_id);
+  const std::string tmp_path = final_path + ".tmp";
+  int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0666);
+  if (fd < 0) {
+    return InternalError(
+        StrFormat("open %s: %s", tmp_path.c_str(), strerror(errno)));
+  }
+  size_t written = 0;
+  while (written < bytes.size()) {
+    ssize_t n = ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp_path.c_str());
+      return InternalError(
+          StrFormat("write %s: %s", tmp_path.c_str(), strerror(errno)));
+    }
+    written += static_cast<size_t>(n);
+  }
+  // The block must be durable before the rename publishes it: checkpoints
+  // reference spilled blocks by id, so a visible-but-unflushed block would
+  // break the kill -9 recovery contract the same way a torn checkpoint
+  // would.
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp_path.c_str());
+    return InternalError(StrFormat("fsync: %s", strerror(errno)));
+  }
+  ::close(fd);
+  if (::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    ::unlink(tmp_path.c_str());
+    return InternalError(
+        StrFormat("rename %s: %s", final_path.c_str(), strerror(errno)));
+  }
+  return OkStatus();
+}
+
+Result<BlockFileContents> ReadBlockFile(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return InternalError(
+        StrFormat("open %s: %s", path.c_str(), strerror(errno)));
+  }
+  std::string bytes;
+  char buf[64 * 1024];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n > 0) {
+      bytes.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) {
+      ::close(fd);
+      return InternalError(
+          StrFormat("read %s: %s", path.c_str(), strerror(errno)));
+    }
+    break;
+  }
+  ::close(fd);
+  if (bytes.size() < 20 ||
+      memcmp(bytes.data(), kBlockMagic, sizeof(kBlockMagic)) != 0) {
+    return InternalError(StrFormat("%s: not a block file", path.c_str()));
+  }
+  StateReader header(bytes.data() + 8, 12);
+  uint64_t body_len = header.U64();
+  uint32_t crc = header.U32();
+  if (bytes.size() != 20 + body_len) {
+    return InternalError(StrFormat("%s: truncated block", path.c_str()));
+  }
+  if (Crc32(bytes.data() + 20, body_len) != crc) {
+    return InternalError(StrFormat("%s: block crc mismatch", path.c_str()));
+  }
+  BlockFileContents block;
+  if (!DeserializeBlock(bytes.substr(20), &block)) {
+    return InternalError(StrFormat("%s: malformed block body", path.c_str()));
+  }
+  return block;
+}
+
+Status ListBlockFiles(const std::string& dir,
+                      std::vector<std::pair<uint64_t, std::string>>* out) {
+  out->clear();
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    if (errno == ENOENT) return OkStatus();
+    return InternalError(
+        StrFormat("opendir %s: %s", dir.c_str(), strerror(errno)));
+  }
+  while (dirent* entry = ::readdir(d)) {
+    uint64_t id = 0;
+    if (ParseBlockFileName(entry->d_name, &id)) {
+      out->emplace_back(id, dir + "/" + entry->d_name);
+    }
+  }
+  ::closedir(d);
+  std::sort(out->begin(), out->end());
+  return OkStatus();
+}
+
+}  // namespace dsms

@@ -1,0 +1,54 @@
+#ifndef DSMS_STORAGE_BLOCK_FILE_H_
+#define DSMS_STORAGE_BLOCK_FILE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+#include "core/tuple.h"
+
+namespace dsms {
+
+/// Payload of one spilled state block: the full insertion sequence of the
+/// block's bucket. Files are immutable — a block is only ever written once
+/// (when first evicted), reloaded verbatim, and unlinked whole; the live
+/// expiry prefix is operator metadata kept outside the file, so load/evict
+/// cycles never rewrite it.
+struct BlockFileContents {
+  uint64_t block_id = 0;
+  Timestamp bucket_start = 0;
+  Timestamp bucket_end = 0;
+  Timestamp min_ts = kMaxTimestamp;
+  Timestamp max_ts = kMinTimestamp;
+  std::vector<Tuple> rows;
+};
+
+/// "<dir>/block-<id 20 digits>.blk".
+std::string BlockFilePath(const std::string& dir, uint64_t block_id);
+
+/// Parses a directory entry name of the layout above; false for foreign
+/// files (orphan GC uses this to skip anything it does not own).
+bool ParseBlockFileName(const std::string& name, uint64_t* block_id);
+
+/// Atomically writes `block` as its canonical file in `dir` (write-temp +
+/// fsync + rename, same discipline as checkpoints): a crash mid-write leaves
+/// only an ignored .tmp file, never a half block under the final name.
+/// File layout: magic "DSMSBLK1", u64 body length, u32 crc32(body), body.
+Status WriteBlockFile(const std::string& dir, const BlockFileContents& block);
+
+/// Reads and CRC-validates one block file. Loads are fail-stop: a corrupt
+/// block means the durable tier lied, and no graceful answer exists that
+/// preserves byte-identical replay.
+Result<BlockFileContents> ReadBlockFile(const std::string& path);
+
+/// All block files in `dir` as (id, full path), sorted by id. Missing
+/// directory is an empty listing, not an error.
+Status ListBlockFiles(const std::string& dir,
+                      std::vector<std::pair<uint64_t, std::string>>* out);
+
+}  // namespace dsms
+
+#endif  // DSMS_STORAGE_BLOCK_FILE_H_

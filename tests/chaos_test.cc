@@ -4,6 +4,10 @@
 // injected faults are visible in the stats (never silent), and with the
 // injectors off the engine is byte-identical to the fault-free build.
 
+#include <dirent.h>
+#include <unistd.h>
+
+#include <cstdio>
 #include <string>
 #include <tuple>
 
@@ -299,6 +303,138 @@ TEST(ChaosTraceTest, InjectorsOffIsByteIdenticalToDefaults) {
   EXPECT_EQ(a.tuples_delivered, b.tuples_delivered);
   EXPECT_EQ(b.fault_events, 0u);
   EXPECT_EQ(b.watchdog_ets, 0u);
+}
+
+// --- Disk faults against the state store -------------------------------------
+
+/// A per-test scratch spill directory, wiped before use.
+std::string FreshSpillDir(const std::string& tag) {
+  std::string dir = ::testing::TempDir() + "/dsms_chaos_spill_" + tag;
+  DIR* d = ::opendir(dir.c_str());
+  if (d != nullptr) {
+    while (dirent* entry = ::readdir(d)) {
+      std::string name = entry->d_name;
+      if (name != "." && name != "..") {
+        std::remove((dir + "/" + name).c_str());
+      }
+    }
+    ::closedir(d);
+  }
+  ::rmdir(dir.c_str());
+  return dir;
+}
+
+/// Join scenario over a state store: `spill` gives a tiny hot budget so
+/// most window state lives in block files; otherwise the budget is huge
+/// and the store never touches disk.
+ScenarioConfig DiskChaosConfig(FaultKind kind, bool spill,
+                               const std::string& dir, uint64_t seed) {
+  ScenarioConfig config;
+  config.kind = ScenarioKind::kOnDemandEts;
+  config.shape = QueryShape::kJoin;
+  config.horizon = 60 * kSecond;
+  config.warmup = 0;
+  config.seed = seed;
+  config.join_window = 4 * kSecond;
+  config.state_spill_dir = dir;
+  config.state_mem_budget = spill ? 2048 : (1ull << 30);
+  config.overload = OverloadPolicy::kShedOldest;
+  config.fault.kind = kind;
+  config.fault.start = 10 * kSecond;
+  config.fault.duration = 30 * kSecond;
+  config.fault.probability = 1.0;
+  config.fault.magnitude = kMillisecond;
+  return config;
+}
+
+class ChaosDiskTest
+    : public ::testing::TestWithParam<std::tuple<int /*kind*/,
+                                                 int /*spill*/>> {};
+
+TEST_P(ChaosDiskTest, TerminatesOrderedAndVisible) {
+  auto [kind_index, spill] = GetParam();
+  const FaultKind kind = static_cast<FaultKind>(kind_index);
+  const uint64_t seed = test::TestSeedOr(42);
+  DSMS_TRACE_SEED(seed);
+
+  std::string dir = FreshSpillDir(
+      std::to_string(kind_index) + "_" + std::to_string(spill));
+  ScenarioResult result =
+      RunScenario(DiskChaosConfig(kind, spill != 0, dir, seed));
+
+  EXPECT_EQ(result.order_violations, 0u);
+  EXPECT_GT(result.tuples_delivered, 0u);
+  if (spill != 0) {
+    // The tiny budget forced real disk traffic, so the armed fault fired
+    // and is visible in the stats — never silent.
+    EXPECT_GT(result.storage.spills + result.storage.spill_failures, 0u);
+    EXPECT_GT(result.fault_events, 0u);
+    if (kind == FaultKind::kDiskStall) {
+      EXPECT_GT(result.storage.stalls, 0u);
+      EXPECT_GT(result.storage.stall_time, 0);
+    } else {
+      EXPECT_GT(result.storage.spill_failures, 0u);
+    }
+  } else {
+    // All state fits the huge budget: no disk work, nothing to fault.
+    EXPECT_EQ(result.storage.spills, 0u);
+    EXPECT_EQ(result.storage.loads, 0u);
+    EXPECT_EQ(result.fault_events, 0u);
+  }
+}
+
+std::string DiskChaosName(
+    const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+  std::string kind = std::get<0>(info.param) == 9 ? "DiskStall" : "DiskFail";
+  return kind + (std::get<1>(info.param) != 0 ? "Spill" : "InMemory");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DiskFaults, ChaosDiskTest,
+    ::testing::Combine(::testing::Values(9, 10),  // kDiskStall, kDiskFail
+                       ::testing::Values(0, 1)),
+    DiskChaosName);
+
+/// With the injectors off, a spilling run must be byte-identical at the
+/// sink to an unlimited-memory one: spilling changes where state lives,
+/// never what the query produces.
+TEST(ChaosDiskTest, SpillByteIdenticalToInMemoryWithFaultsOff) {
+  const uint64_t seed = test::TestSeedOr(42);
+  DSMS_TRACE_SEED(seed);
+
+  ScenarioConfig in_memory = DiskChaosConfig(
+      FaultKind::kNone, /*spill=*/false, FreshSpillDir("id_mem"), seed);
+  ScenarioConfig spilling = DiskChaosConfig(
+      FaultKind::kNone, /*spill=*/true, FreshSpillDir("id_spill"), seed);
+
+  ScenarioResult a = RunScenario(in_memory);
+  ScenarioResult b = RunScenario(spilling);
+
+  EXPECT_EQ(a.storage.spills, 0u);
+  EXPECT_GT(b.storage.spills, 0u);  // the comparison is real
+  EXPECT_EQ(b.sink_digest, a.sink_digest);
+  EXPECT_EQ(b.tuples_delivered, a.tuples_delivered);
+  EXPECT_EQ(b.order_violations, 0u);
+}
+
+/// Deterministic sharded execution with the state store active must still
+/// replicate the scalar schedule byte for byte, spilling and all.
+TEST(ChaosDiskTest, SpillingShardedRunMatchesScalarOracle) {
+  const uint64_t seed = test::TestSeedOr(42);
+  DSMS_TRACE_SEED(seed);
+
+  ScenarioConfig config = DiskChaosConfig(
+      FaultKind::kNone, /*spill=*/true, FreshSpillDir("sharded"), seed);
+  ScenarioResult oracle = RunScenario(config);
+
+  config.state_spill_dir = FreshSpillDir("sharded4");
+  config.shards = 4;
+  ScenarioResult sharded = RunScenario(config);
+
+  EXPECT_GT(oracle.storage.spills, 0u);
+  EXPECT_EQ(sharded.sink_digest, oracle.sink_digest);
+  EXPECT_EQ(sharded.tuples_delivered, oracle.tuples_delivered);
+  EXPECT_EQ(sharded.shards_used, 4u);
 }
 
 // --- Violation reporting -----------------------------------------------------

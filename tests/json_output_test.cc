@@ -141,6 +141,32 @@ TEST(PublishToJsonTest, ScenarioResultSnapshotIsStrictJson) {
   EXPECT_TRUE(ValidateJson(json, &error)) << error << "\n" << json;
 }
 
+// A spilling join scenario must surface the storage tier's gauges under
+// the same snapshot prefix, and the snapshot must stay strict JSON with
+// them present.
+TEST(PublishToJsonTest, StorageGaugesRideTheSnapshot) {
+  ScenarioConfig config;
+  config.shape = QueryShape::kJoin;
+  config.horizon = 20 * kSecond;
+  config.warmup = 0;
+  config.join_window = 4 * kSecond;
+  config.state_spill_dir =
+      ::testing::TempDir() + "/dsms_json_storage_blocks";
+  config.state_mem_budget = 2048;
+  ScenarioResult result = RunScenario(config);
+  EXPECT_GT(result.storage.spills, 0u);
+  MetricsRegistry registry;
+  result.PublishTo(&registry, "scenario");
+  EXPECT_TRUE(registry.Contains("scenario.storage.hot_bytes"));
+  EXPECT_TRUE(registry.Contains("scenario.storage.spills"));
+  EXPECT_TRUE(registry.Contains("scenario.storage.loads"));
+  EXPECT_TRUE(registry.Contains("scenario.storage.purged_blocks"));
+  EXPECT_TRUE(registry.Contains("scenario.storage.index_probes"));
+  std::string json = Render(registry);
+  std::string error;
+  EXPECT_TRUE(ValidateJson(json, &error)) << error << "\n" << json;
+}
+
 TEST(PublishToJsonTest, ExperimentReportSnapshotIsStrictJson) {
   ExperimentReport report;
   report.end_time = 120 * kSecond;

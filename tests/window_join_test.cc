@@ -11,6 +11,7 @@
 #include "core/value.h"
 #include "operators/operator.h"
 #include "operators/window_join.h"
+#include "recovery/state_codec.h"
 
 namespace dsms {
 namespace {
@@ -302,6 +303,119 @@ TEST(WindowJoinTest, OutputTimestampsNondecreasing) {
 
 TEST(WindowJoinTest, RejectsNegativeWindows) {
   EXPECT_DEATH(WindowJoin("j", -1, 0, nullptr), "");
+}
+
+// --- state-store integration: indexed probes, save/load, restore guard ---
+
+TEST(WindowJoinTest, EquiFieldsEnableIndexedProbes) {
+  JoinRig rig(1000, 1000, WindowJoin::EquiJoin(0, 0));
+  rig.op.set_equi_fields(0, 0);
+  ManualExecContext ctx;
+  for (int i = 0; i < 50; ++i) {
+    rig.left.Push(DataTuple(10 * i, i % 3));
+    rig.right.Push(DataTuple(10 * i + 5, i % 3));
+  }
+  rig.left.Push(Tuple::MakePunctuation(2000));
+  rig.right.Push(Tuple::MakePunctuation(2000));
+  uint64_t matches = 0;
+  for (const Tuple& t : rig.Drain(ctx)) {
+    if (t.is_data()) {
+      ++matches;
+      EXPECT_EQ(t.value(0).int64_value(), t.value(1).int64_value());
+    }
+  }
+  EXPECT_GT(matches, 0u);
+  // Probes went through the hash indexes, not a linear scan.
+  EXPECT_GT(rig.op.state_table(0).index_probes(), 0u);
+  EXPECT_GT(rig.op.state_table(1).index_probes(), 0u);
+  EXPECT_GT(rig.op.state_table(0).index_hits(), 0u);
+}
+
+TEST(WindowJoinTest, IndexedOutputMatchesUnindexed) {
+  // Same input with and without declared equi fields: the keyed index path
+  // must emit byte-identical results in identical order.
+  auto run = [](bool declare_fields) {
+    JoinRig rig(500, 500, WindowJoin::EquiJoin(0, 0));
+    if (declare_fields) rig.op.set_equi_fields(0, 0);
+    ManualExecContext ctx;
+    Pcg32 rng(7);
+    Timestamp lt = 0;
+    Timestamp rt = 0;
+    for (int i = 0; i < 200; ++i) {
+      lt += rng.NextInt(1, 20);
+      rig.left.Push(Tuple::MakeData(lt, {Value(rng.NextInt(0, 5))}));
+      rt += rng.NextInt(1, 20);
+      rig.right.Push(Tuple::MakeData(rt, {Value(rng.NextInt(0, 5))}));
+    }
+    rig.left.Push(Tuple::MakePunctuation(100000));
+    rig.right.Push(Tuple::MakePunctuation(100000));
+    std::vector<std::string> lines;
+    for (const Tuple& t : rig.Drain(ctx)) lines.push_back(t.ToString());
+    return lines;
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
+TEST(WindowJoinTest, SaveLoadRoundTripContinuesIdentically) {
+  // Feed a prefix to two rigs, checkpoint one into the other, then feed
+  // the same suffix to both: emissions must match exactly.
+  // The closing punctuation lies past every prefix tuple so the input
+  // buffers drain completely: a checkpoint snapshots operator state, and
+  // in-flight buffer contents are restored separately (RestoreGraph).
+  auto feed_prefix = [](JoinRig& rig, ManualExecContext& ctx) {
+    for (int i = 0; i < 30; ++i) {
+      rig.left.Push(DataTuple(10 * i, i % 4));
+      rig.right.Push(DataTuple(10 * i + 3, i % 4));
+    }
+    rig.left.Push(Tuple::MakePunctuation(300));
+    rig.right.Push(Tuple::MakePunctuation(300));
+    (void)rig.Drain(ctx);
+  };
+  JoinRig a(400, 400, WindowJoin::EquiJoin(0, 0));
+  a.op.set_equi_fields(0, 0);
+  ManualExecContext actx;
+  feed_prefix(a, actx);
+
+  StateWriter w;
+  a.op.SaveState(w);
+  JoinRig b(400, 400, WindowJoin::EquiJoin(0, 0));
+  b.op.set_equi_fields(0, 0);
+  StateReader r(w.data());
+  b.op.LoadState(r);
+  EXPECT_EQ(b.op.window_size(0), a.op.window_size(0));
+  EXPECT_EQ(b.op.window_size(1), a.op.window_size(1));
+  EXPECT_EQ(b.op.matches_emitted(), a.op.matches_emitted());
+
+  ManualExecContext bctx;
+  auto feed_suffix = [](JoinRig& rig, ManualExecContext& ctx) {
+    for (int i = 30; i < 60; ++i) {
+      rig.left.Push(DataTuple(10 * i, i % 4));
+      rig.right.Push(DataTuple(10 * i + 3, i % 4));
+    }
+    rig.left.Push(Tuple::MakePunctuation(100000));
+    rig.right.Push(Tuple::MakePunctuation(100000));
+    std::vector<std::string> lines;
+    for (const Tuple& t : rig.Drain(ctx)) lines.push_back(t.ToString());
+    return lines;
+  };
+  EXPECT_EQ(feed_suffix(b, bctx), feed_suffix(a, actx));
+}
+
+TEST(WindowJoinTest, RestoreWithMismatchedWindowDies) {
+  JoinRig a(400, 400, nullptr);
+  ManualExecContext ctx;
+  a.left.Push(DataTuple(10, 1));
+  a.left.Push(Tuple::MakePunctuation(100));
+  a.right.Push(Tuple::MakePunctuation(100));
+  (void)a.Drain(ctx);
+  StateWriter w;
+  a.op.SaveState(w);
+
+  // A checkpoint taken under one window duration cannot be restored into a
+  // differently configured join: silent acceptance would corrupt replay.
+  JoinRig b(500, 400, nullptr);
+  StateReader r(w.data());
+  EXPECT_DEATH(b.op.LoadState(r), "");
 }
 
 }  // namespace
