@@ -111,6 +111,12 @@ void RecoveryManager::RestoreGraph(QueryGraph* graph, VirtualClock* clock) {
     StateReader r(blob);
     graph->op(id)->LoadState(r);
   }
+  // The restored image stays the durable fallback until the next checkpoint
+  // is written: pin its spilled-block files so post-restore expiry defers
+  // their unlink. Otherwise a second crash before that checkpoint would
+  // restore descriptors whose files are gone and fail-stop on every
+  // restart. Must precede GcOrphanFiles, which consumes the claim set.
+  if (store != nullptr) store->PinRestoredClaims(image_.checkpoint_id);
   // Spill files not claimed by any restored descriptor belong to blocks the
   // checkpoint never saw (written after the cut, or already expired): GC.
   // Committing to this image may unlink files an older retained checkpoint

@@ -178,19 +178,21 @@ void StateTable::Probe(Timestamp lo, Timestamp hi, const Value* key,
     // Time pruning on metadata only: disjoint blocks are skipped without
     // loading them — the point of partitioning state by time.
     if (block.max_ts < lo || block.min_ts > hi) continue;
+    const bool loaded_here = block.spilled;
     EnsureResident(block);
     if (keyed) {
       ++index_probes_;
       auto it = block.index.find(key_hash);
-      if (it == block.index.end()) continue;
-      for (uint32_t row : it->second) {
-        if (row < block.expired_prefix) continue;
-        const Tuple& stored = block.rows[row];
-        Timestamp sts = stored.timestamp();
-        if (sts < lo || sts > hi) continue;
-        if (!(stored.value(key_field_) == *key)) continue;  // hash collision
-        ++index_hits_;
-        fn(stored);
+      if (it != block.index.end()) {
+        for (uint32_t row : it->second) {
+          if (row < block.expired_prefix) continue;
+          const Tuple& stored = block.rows[row];
+          Timestamp sts = stored.timestamp();
+          if (sts < lo || sts > hi) continue;
+          if (!(stored.value(key_field_) == *key)) continue;  // collision
+          ++index_hits_;
+          fn(stored);
+        }
       }
     } else {
       for (uint32_t row = block.expired_prefix; row < block.rows.size();
@@ -201,6 +203,11 @@ void StateTable::Probe(Timestamp lo, Timestamp hi, const Value* key,
         fn(stored);
       }
     }
+    // Evict-behind: a block this probe had to load back is done delivering
+    // (every fn call above returned, so no caller holds pointers into it);
+    // if the load pushed the store over budget, drop it again now rather
+    // than letting a window-spanning probe accumulate the whole window hot.
+    if (loaded_here) store_->EvictBehind(this, block);
   }
 }
 
@@ -422,11 +429,12 @@ void StateStore::LoadBlock(StateTable* table, StateTable::Block& block) {
   }
 }
 
-bool StateStore::EvictBlock(StateTable* table, StateTable::Block& block) {
+bool StateStore::EvictBlock(StateTable* caller, StateTable* table,
+                            StateTable::Block& block) {
   DSMS_CHECK(!block.spilled);
   DSMS_CHECK(block.sealed);
   if (!block.disk_valid) {
-    if (FaultFires(FaultKind::kDiskFail, table->now_)) {
+    if (FaultFires(FaultKind::kDiskFail, caller->now_)) {
       ++spill_failures_;
       if (config_.overload == OverloadPolicy::kShedOldest) {
         // Disk unwritable and memory over budget: shed the victim's rows,
@@ -459,7 +467,10 @@ bool StateStore::EvictBlock(StateTable* table, StateTable::Block& block) {
     block.rows.clear();
     block.disk_valid = true;
     ++spills_;
-    ChargeStallIfFaulted(table);
+    // The penalty lands on the caller — the step actually running — even
+    // when the victim belongs to another operator: the victim's
+    // now_/pending_stall_ are owned by its own (possibly concurrent) step.
+    ChargeStallIfFaulted(caller);
     if (table->owner_ != nullptr && table->owner_->tracer() != nullptr) {
       table->owner_->tracer()->RecordStateSpill(
           table->owner_->id(), static_cast<int64_t>(block.id), block.nrows);
@@ -475,7 +486,6 @@ bool StateStore::EvictBlock(StateTable* table, StateTable::Block& block) {
 }
 
 void StateStore::EnforceBudget(StateTable* caller) {
-  (void)caller;
   if (!spill_enabled()) return;
   std::lock_guard<std::recursive_mutex> lock(mu_);
   for (;;) {
@@ -499,8 +509,27 @@ void StateStore::EnforceBudget(StateTable* caller) {
       }
     }
     if (victim == nullptr) return;  // everything evictable already is
-    if (!EvictBlock(victim_table, *victim)) return;  // disk_fail: hold hot
+    if (!EvictBlock(caller, victim_table, *victim)) {
+      return;  // disk_fail: hold hot
+    }
   }
+}
+
+void StateStore::EvictBehind(StateTable* table, StateTable::Block& block) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  if (!spill_enabled()) return;
+  // Only a sealed block with a still-valid file qualifies — exactly what a
+  // load leaves behind — so the drop is free and fault-free.
+  if (block.spilled || !block.sealed || !block.disk_valid) return;
+  uint64_t hot = 0;
+  for (StateTable* t : tables_) hot += t->hot_bytes_;
+  if (hot <= config_.mem_budget) return;
+  block.rows.clear();
+  block.rows.shrink_to_fit();
+  block.index.clear();
+  block.spilled = true;
+  table->hot_bytes_ -= block.bytes;
+  ++evictions_;
 }
 
 void StateStore::ReleaseBlockFile(uint64_t block_id) {
@@ -519,6 +548,18 @@ void StateStore::ReleaseBlockFile(uint64_t block_id) {
 void StateStore::ClaimRestoredFile(uint64_t block_id) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
   restored_claims_.insert(block_id);
+}
+
+void StateStore::PinRestoredClaims(uint64_t checkpoint_id) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  if (restored_claims_.empty()) return;
+  // The restored image is the only durable fallback until the next
+  // checkpoint lands: treat it like any retained checkpoint so a restored
+  // block that expires defers unlink (ReleaseBlockFile) instead of deleting
+  // a file that image still references. OnCheckpoint's keep-N prune
+  // releases the pin on the same schedule as the on-disk image itself.
+  checkpoint_refs_[checkpoint_id].insert(restored_claims_.begin(),
+                                         restored_claims_.end());
 }
 
 void StateStore::SaveManifest(StateWriter& w) const {

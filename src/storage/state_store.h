@@ -128,10 +128,17 @@ class StateTable {
   /// insertion order. With `key` non-null and a declared key field, only
   /// rows whose key equals `*key` are delivered (via the per-block hash
   /// indexes). Spilled blocks overlapping the band are loaded back first
-  /// (counted, traced, and stall-charged under an active disk_stall fault).
-  /// Rows delivered by one Probe stay valid until the next Append / Expire /
-  /// MaybeEvict on this store — nested probes on sibling tables (multi-way
-  /// join) never move them.
+  /// (counted, traced, and stall-charged under an active disk_stall fault),
+  /// and — when the store is over budget — dropped again as soon as their
+  /// rows have been delivered (evict-behind: the file is still valid, so
+  /// the drop is free), keeping the peak residency of a band that spans the
+  /// whole window near the budget instead of the window size.
+  /// Row lifetime: a delivered row stays valid for the duration of the
+  /// `fn` callback, including nested probes on sibling tables (multi-way
+  /// join) — eviction never touches the block currently being delivered or
+  /// any block another in-flight probe is pointing at (blocks already
+  /// resident before this probe are only moved by Append / Expire /
+  /// MaybeEvict, never mid-probe).
   void Probe(Timestamp lo, Timestamp hi, const Value* key,
              const std::function<void(const Tuple&)>& fn);
 
@@ -300,6 +307,16 @@ class StateStore {
   /// clears stale files from a previous incarnation).
   void GcOrphanFiles();
 
+  /// Pins every file claimed by LoadState since the last GcOrphanFiles under
+  /// `checkpoint_id` (the restored image's id) in the per-checkpoint
+  /// reference map. Until keep-N pruning drops that entry, a restored block
+  /// that fully expires defers its unlink instead of deleting a file the
+  /// restored image still references — without this, a second crash before
+  /// the next durable checkpoint would restore descriptors pointing at
+  /// missing files and fail-stop on every restart. Call after the LoadState
+  /// pass and before GcOrphanFiles (which clears the claim set).
+  void PinRestoredClaims(uint64_t checkpoint_id);
+
  private:
   friend class StateTable;
 
@@ -315,8 +332,20 @@ class StateStore {
 
   /// Writes `block` of `table` out (or drops it when its file is already
   /// valid). Returns false when a disk_fail fault swallowed the write and
-  /// the policy kept the block hot.
-  bool EvictBlock(StateTable* table, StateTable::Block& block);
+  /// the policy kept the block hot. Fault windows and stall penalties are
+  /// evaluated against `caller` — the table whose operator is actually
+  /// stepping — not the victim: the victim's now_/pending_stall_ belong to
+  /// its own operator's step, which may be running concurrently on another
+  /// shard without the store lock.
+  bool EvictBlock(StateTable* caller, StateTable* table,
+                  StateTable::Block& block);
+
+  /// Evict-behind for a wide probe: `block` was loaded back by the running
+  /// probe of `table` and its rows have all been delivered. When the store
+  /// is over budget, drop it again — its file is still valid, so this is a
+  /// free drop, never a write (and thus never a disk fault). Keeps a
+  /// probe's peak residency near the budget instead of the full window.
+  void EvictBehind(StateTable* table, StateTable::Block& block);
 
   /// Loads `block` of `table` back into memory. Fail-stop on I/O or CRC
   /// errors.

@@ -394,6 +394,58 @@ TEST(StateStoreTest, CheckpointPinsFilesUntilPruned) {
   EXPECT_TRUE(ListDir(rig.config.spill_dir).empty());
 }
 
+TEST(StateStoreTest, RestoredClaimsStayPinnedUntilNextCheckpoint) {
+  SpillRig rig("restorepin");
+  rig.Fill(20);
+  ASSERT_GT(rig.table.num_spilled_blocks(), 0u);
+  StateWriter manifest_w;
+  rig.store->SaveManifest(manifest_w);
+  StateWriter table_w;
+  rig.table.SaveState(table_w);
+
+  // Incarnation 2 restores the image, then everything it restored expires
+  // before any new checkpoint is written. The image on disk still
+  // references those block files, so they must survive: incarnation 3
+  // (a second crash) restores the same image again.
+  StateStore store2(rig.config);
+  ASSERT_TRUE(store2.Init().ok());
+  StateReader manifest_r(manifest_w.data());
+  store2.RestoreManifest(manifest_r);
+  StateTable restored;
+  restored.set_key_field(0);
+  restored.Bind(&store2, nullptr);
+  StateReader table_r(table_w.data());
+  restored.LoadState(table_r);
+  store2.PinRestoredClaims(/*checkpoint_id=*/7);
+  store2.GcOrphanFiles();
+  const size_t files_after_restore = ListDir(rig.config.spill_dir).size();
+  ASSERT_GT(files_after_restore, 0u);
+
+  restored.Expire(100 * kSecond);
+  EXPECT_EQ(restored.size(), 0u);
+  EXPECT_EQ(ListDir(rig.config.spill_dir).size(), files_after_restore);
+
+  {
+    StateStore store3(rig.config);
+    ASSERT_TRUE(store3.Init().ok());
+    StateReader mr(manifest_w.data());
+    store3.RestoreManifest(mr);
+    StateTable again;
+    again.set_key_field(0);
+    again.Bind(&store3, nullptr);
+    StateReader tr(table_w.data());
+    again.LoadState(tr);
+    store3.PinRestoredClaims(7);
+    store3.GcOrphanFiles();
+    EXPECT_EQ(ProbeAll(again, 0, 100 * kSecond).size(), 20u);
+  }
+
+  // Once the next checkpoint lands and keep-N prunes the restored image's
+  // pin, the deferred unlinks finally run.
+  store2.OnCheckpoint(/*checkpoint_id=*/8, /*keep=*/1);
+  EXPECT_TRUE(ListDir(rig.config.spill_dir).empty());
+}
+
 // --- disk faults ---
 
 TEST(StateStoreTest, DiskStallChargesVirtualTime) {
@@ -417,6 +469,60 @@ TEST(StateStoreTest, DiskStallChargesVirtualTime) {
   EXPECT_EQ(rig.table.TakeStall(), 0);  // drained
   EXPECT_GT(rig.store->fault_events(), 0u);
   EXPECT_GT(rig.store->stats().stalls, 0u);
+}
+
+TEST(StateStoreTest, EvictionStallIsChargedToCallerNotVictim) {
+  SpillRig rig("stallcaller");
+  // A second table holding the oldest (and therefore first-evicted) blocks,
+  // all hot: no MaybeEvict between appends.
+  StateTable victim;
+  victim.set_name("victim");
+  victim.set_key_field(0);
+  victim.Bind(rig.store.get(), nullptr);
+  for (int i = 0; i < 10; ++i) victim.Append(Row(i * kSecond + 1, i));
+
+  FaultSpec fault;
+  fault.kind = FaultKind::kDiskStall;
+  fault.start = kSecond;
+  fault.duration = 1000 * kSecond;
+  fault.magnitude = 5 * kMillisecond;
+  rig.store->ArmFault(fault, /*run_seed=*/42);
+
+  // Only the caller's step is inside the fault window; the victim table
+  // never begins a step (its now_ stays 0, outside the window). The spill
+  // penalties must land on the caller — the step actually running — not on
+  // the table that happened to own the evicted blocks.
+  rig.table.BeginStep(/*now=*/2 * kSecond);
+  for (int i = 0; i < 10; ++i) {
+    rig.table.Append(Row(100 * kSecond + i, i));
+    rig.table.MaybeEvict();
+  }
+  EXPECT_GT(rig.store->stats().spills, 0u);
+  EXPECT_GT(rig.table.TakeStall(), 0);
+  EXPECT_EQ(victim.TakeStall(), 0);
+}
+
+TEST(StateStoreTest, WideProbeEvictsBehindToStayNearBudget) {
+  SpillRig rig("evictbehind");
+  rig.Fill(50);
+  ASSERT_GT(rig.table.num_spilled_blocks(), 0u);
+
+  // A probe spanning the whole window loads every spilled block, but must
+  // not accumulate them: each is dropped again once delivered (its file is
+  // still valid, so the re-drop is free), bounding peak residency by the
+  // budget plus the block in flight.
+  std::vector<Tuple> rows = ProbeAll(rig.table, 0, 100 * kSecond);
+  ASSERT_EQ(rows.size(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(rows[i].value(1).int64_value(), i);
+  }
+  const uint64_t one_row = EstimateTupleBytes(Row(0, 0, 0));
+  EXPECT_LE(rig.table.hot_bytes(), rig.config.mem_budget + one_row);
+
+  // The blocks are reloadable: a second pass delivers everything again.
+  rows = ProbeAll(rig.table, 0, 100 * kSecond);
+  EXPECT_EQ(rows.size(), 50u);
+  EXPECT_LE(rig.table.hot_bytes(), rig.config.mem_budget + one_row);
 }
 
 TEST(StateStoreTest, DiskFailShedsUnderShedPolicy) {
