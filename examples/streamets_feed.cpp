@@ -21,6 +21,7 @@
 #include "common/strings.h"
 #include "net/feed_client.h"
 #include "net/feed_schedule.h"
+#include "net/net_fault.h"
 #include "sim/experiment_spec.h"
 
 namespace {
@@ -54,6 +55,14 @@ const std::vector<dsms::FlagHelp> kFlags = {
      "wall-clock cap on one connect attempt (default: OS)"},
     {"--write-timeout", "DUR",
      "wall-clock cap on one blocking send/recv (default: none)"},
+    {"--fallback", "HOST:PORT",
+     "extra server address tried round-robin on connect failure "
+     "(repeatable)"},
+    {"--chaos", "",
+     "replay through the wire-fault injector armed by the file's netfault "
+     "statement (kinds that kill the connection also require --resume)"},
+    {"--chaos-seed", "N",
+     "extra run seed XORed into the netfault seed (default 0)"},
     {"--help", "", "show this message and exit"},
 };
 
@@ -78,6 +87,8 @@ int main(int argc, char** argv) {
   std::string connect;
   Duration duration = 0;
   double rate_scale = 1.0;
+  bool chaos = false;
+  uint64_t chaos_seed = 0;
   FeedClientOptions options;
 
   auto value_of = [&](int* i) -> const char* {
@@ -161,6 +172,13 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "bad --write-timeout value\n");
         return 2;
       }
+    } else if (std::strcmp(argv[i], "--fallback") == 0) {
+      options.fallback_addresses.emplace_back(value_of(&i));
+    } else if (std::strcmp(argv[i], "--chaos") == 0) {
+      chaos = true;
+    } else if (std::strcmp(argv[i], "--chaos-seed") == 0) {
+      chaos_seed = static_cast<uint64_t>(
+          std::strtoull(value_of(&i), nullptr, 10));
     } else if (std::strcmp(argv[i], "--help") == 0) {
       PrintFlagHelp(stdout, argv[0],
                     "replay an experiment file's feeds into a "
@@ -222,6 +240,42 @@ int main(int argc, char** argv) {
   if (options.resume && options.connections != 1) {
     std::fprintf(stderr, "--resume requires --connections 1\n");
     return 2;
+  }
+
+  if (chaos) {
+    if (experiment->netfaults.empty()) {
+      std::fprintf(stderr,
+                   "--chaos needs a netfault statement in %s (e.g. "
+                   "'netfault kind=split seed=7')\n",
+                   input.c_str());
+      return 2;
+    }
+    if (experiment->netfaults.size() > 1) {
+      std::fprintf(stderr,
+                   "--chaos supports exactly one netfault statement "
+                   "(%zu found)\n",
+                   experiment->netfaults.size());
+      return 2;
+    }
+    ChaosFeeder feeder(options, experiment->netfaults[0], chaos_seed);
+    Result<ChaosFeedReport> report = feeder.Run(*schedule);
+    if (!report.ok()) {
+      std::fprintf(stderr, "chaos run error: %s\n",
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("chaos timeline:\n%s", report->timeline.c_str());
+    std::printf(
+        "chaos: sent %llu frames, %d reconnects, %d stale rejects, "
+        "%d rst aborts, %d garbage injections, %d duplicate hellos, "
+        "%d half-open peers, %d split frames, %d coalesced writes, "
+        "%d slow-dripped frames\n",
+        static_cast<unsigned long long>(report->frames_sent),
+        report->reconnects, report->stale_rejects, report->rst_aborts,
+        report->garbage_injections, report->duplicate_hellos,
+        report->half_open_peers, report->split_frames,
+        report->coalesced_writes, report->slow_dripped_frames);
+    return 0;
   }
 
   FeedClient client(options);

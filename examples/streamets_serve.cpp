@@ -57,6 +57,18 @@ const std::vector<dsms::FlagHelp> kFlags = {
     {"--no-crash", "",
      "ignore the file's `crash at=` statement (the restarted run of a "
      "kill-and-recover exercise)"},
+    {"--max-connections", "N",
+     "admission control: reject connection N+1 with a reason frame "
+     "(default 0 = unlimited)"},
+    {"--memory-budget", "BYTES",
+     "global ingest budget (decode buffers + pending + outboxes); at or "
+     "over it new connections are rejected (default 0 = unbudgeted)"},
+    {"--handshake-deadline", "DUR",
+     "close accepted connections that send nothing for DUR (half-open "
+     "peers; default 0 = only the idle timeout applies)"},
+    {"--min-rate", "BYTES_PER_SEC",
+     "slow-peer floor: connections under it degrade shed -> quarantine -> "
+     "close (default 0 = off)"},
     {"--help", "", "show this message and exit"},
 };
 
@@ -96,6 +108,10 @@ int main(int argc, char** argv) {
   Duration wall_limit = 0;
   bool frame_clock = false;
   bool no_crash = false;
+  int max_connections = 0;
+  uint64_t memory_budget = 0;
+  Duration handshake_deadline = 0;
+  uint64_t min_rate = 0;
 
   auto value_of = [&](int* i) -> const char* {
     if (*i + 1 >= argc) {
@@ -130,6 +146,25 @@ int main(int argc, char** argv) {
       wal_dir = value_of(&i);
     } else if (std::strcmp(argv[i], "--no-crash") == 0) {
       no_crash = true;
+    } else if (std::strcmp(argv[i], "--max-connections") == 0) {
+      max_connections =
+          static_cast<int>(std::strtol(value_of(&i), nullptr, 10));
+      if (max_connections < 0) {
+        std::fprintf(stderr, "bad --max-connections value\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--memory-budget") == 0) {
+      memory_budget = static_cast<uint64_t>(
+          std::strtoull(value_of(&i), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--handshake-deadline") == 0) {
+      if (!ParseDuration(value_of(&i), &handshake_deadline).ok() ||
+          handshake_deadline <= 0) {
+        std::fprintf(stderr, "bad --handshake-deadline value\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--min-rate") == 0) {
+      min_rate = static_cast<uint64_t>(
+          std::strtoull(value_of(&i), nullptr, 10));
     } else if (std::strcmp(argv[i], "--help") == 0) {
       PrintFlagHelp(stdout, argv[0],
                     "serve a query plan over the wire-protocol ingest port",
@@ -174,6 +209,10 @@ int main(int argc, char** argv) {
   }
   options.clock_mode = frame_clock ? IngestClock::Mode::kFrameDriven
                                    : IngestClock::Mode::kWallClock;
+  options.max_connections = max_connections;
+  options.ingest_memory_budget = memory_budget;
+  options.handshake_deadline = handshake_deadline;
+  options.min_bytes_per_second = min_rate;
   options.horizon =
       duration > 0 ? duration : experiment->run.horizon;
   if (!no_crash) options.crash_at = experiment->recovery.crash_at;

@@ -36,6 +36,8 @@ const char* FrontierViolationToString(FrontierViolation violation) {
       return "disorder";
     case FrontierViolation::kFlappingRevival:
       return "flap-revival";
+    case FrontierViolation::kPeerMisbehavior:
+      return "peer-misbehavior";
   }
   return "unknown";
 }

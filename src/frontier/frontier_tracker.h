@@ -50,6 +50,10 @@ enum class FrontierViolation : uint8_t {
   /// The source went silent past its lease, was aged out, then came back —
   /// one death/revive cycle of a flapping producer.
   kFlappingRevival = 3,
+  /// Wire-level misbehavior by the peer feeding the stream: a stale resume
+  /// token replayed after the server advanced its durable watermark, or a
+  /// slow-drip connection that fell below the ingest byte-rate floor.
+  kPeerMisbehavior = 4,
 };
 
 const char* FrontierViolationToString(FrontierViolation violation);

@@ -29,15 +29,36 @@ void SetSocketTimeout(int fd, int optname, Duration timeout) {
   ::setsockopt(fd, SOL_SOCKET, optname, &tv, sizeof(tv));
 }
 
+/// Splits "host:port" into its parts. Returns false on a missing colon or
+/// an unparseable port.
+bool ParseHostPort(const std::string& address, std::string* host,
+                   uint16_t* port) {
+  size_t colon = address.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= address.size()) {
+    return false;
+  }
+  long parsed = 0;
+  for (size_t i = colon + 1; i < address.size(); ++i) {
+    char c = address[i];
+    if (c < '0' || c > '9') return false;
+    parsed = parsed * 10 + (c - '0');
+    if (parsed > 65535) return false;
+  }
+  if (parsed <= 0) return false;
+  *host = address.substr(0, colon);
+  *port = static_cast<uint16_t>(parsed);
+  return true;
+}
+
 /// connect(2) with a wall-clock cap: non-blocking connect, poll for
 /// writability, then read back SO_ERROR. With `timeout` 0 this is a plain
 /// blocking connect.
 Status ConnectFd(int fd, const sockaddr_in& addr, Duration timeout,
-                 const FeedClientOptions& options) {
-  auto error = [&options](const char* what, int err) {
-    return InternalError(StrFormat("%s %s:%u: %s", what,
-                                   options.host.c_str(), options.port,
-                                   strerror(err)));
+                 const std::string& host, uint16_t port) {
+  auto error = [&host, port](const char* what, int err) {
+    return InternalError(
+        StrFormat("%s %s:%u: %s", what, host.c_str(), port, strerror(err)));
   };
   if (timeout <= 0) {
     int rc;
@@ -102,14 +123,13 @@ FeedClient::FeedClient(FeedClientOptions options)
 
 FeedClient::~FeedClient() { Close(); }
 
-Status FeedClient::TryConnect() {
+Status FeedClient::TryConnect(const std::string& host, uint16_t port) {
   sockaddr_in addr;
   std::memset(&addr, 0, sizeof(addr));
   addr.sin_family = AF_INET;
-  addr.sin_port = htons(options_.port);
-  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
-    return InvalidArgumentError(
-        StrFormat("bad host '%s'", options_.host.c_str()));
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return InvalidArgumentError(StrFormat("bad host '%s'", host.c_str()));
   }
   for (int i = 0; i < options_.connections; ++i) {
     int fd = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -117,7 +137,8 @@ Status FeedClient::TryConnect() {
       Close();
       return InternalError(StrFormat("socket: %s", strerror(errno)));
     }
-    Status connected = ConnectFd(fd, addr, options_.connect_timeout, options_);
+    Status connected =
+        ConnectFd(fd, addr, options_.connect_timeout, host, port);
     if (!connected.ok()) {
       ::close(fd);
       Close();
@@ -125,6 +146,13 @@ Status FeedClient::TryConnect() {
     }
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (options_.send_buffer_bytes > 0) {
+      // Cap SO_SNDBUF before any traffic: TCP autotuning would otherwise
+      // grow the kernel buffer to megabytes, letting a slow reader absorb
+      // whole frames without the feeder ever noticing a stall.
+      int sndbuf = options_.send_buffer_bytes;
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &sndbuf, sizeof(sndbuf));
+    }
     SetSocketTimeout(fd, SO_SNDTIMEO, options_.write_timeout);
     SetSocketTimeout(fd, SO_RCVTIMEO, options_.write_timeout);
     fds_.push_back(fd);
@@ -135,13 +163,30 @@ Status FeedClient::TryConnect() {
 Status FeedClient::Connect() {
   if (!fds_.empty()) return FailedPreconditionError("already connected");
   Pcg32 rng(options_.backoff_seed);
+  // The dial plan: primary address first, then each fallback, repeating
+  // round-robin across retries so a dead primary still converges on a
+  // healthy replica within fallback_addresses.size() attempts.
+  std::vector<std::pair<std::string, uint16_t>> addresses;
+  addresses.emplace_back(options_.host, options_.port);
+  for (const std::string& fallback : options_.fallback_addresses) {
+    std::string host;
+    uint16_t port = 0;
+    if (!ParseHostPort(fallback, &host, &port)) {
+      return InvalidArgumentError(
+          StrFormat("bad fallback address '%s' (want host:port)",
+                    fallback.c_str()));
+    }
+    addresses.emplace_back(std::move(host), port);
+  }
   Status last = OkStatus();
   for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
     if (attempt > 0) {
       std::this_thread::sleep_for(std::chrono::microseconds(
           ComputeBackoffDelay(attempt - 1, options_, rng)));
     }
-    last = TryConnect();
+    const auto& [host, port] = addresses[static_cast<size_t>(attempt) %
+                                         addresses.size()];
+    last = TryConnect(host, port);
     if (last.ok()) return OkStatus();
   }
   return last;
@@ -209,18 +254,52 @@ void FeedClient::Close() {
 }
 
 Status FeedClient::WriteAll(int fd, const char* data, size_t size) {
+  // write_timeout bounds the WHOLE buffer, not each send: SO_SNDTIMEO only
+  // caps one blocking send(2), so a peer draining a byte per interval would
+  // otherwise stretch a single frame indefinitely while every individual
+  // send "succeeds" in time.
+  const bool bounded = options_.write_timeout > 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::microseconds(bounded ? options_.write_timeout : 0);
   size_t sent = 0;
   while (sent < size) {
+    if (bounded && sent > 0 && std::chrono::steady_clock::now() >= deadline) {
+      return DeadlineExceededError(StrFormat(
+          "send stalled: %zu of %zu bytes after write_timeout", sent, size));
+    }
     // MSG_NOSIGNAL: a server that died mid-run must surface as an EPIPE
     // error the retry logic can handle, not a SIGPIPE killing the feeder.
     ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_SNDTIMEO expired with the socket buffer still full.
+        return DeadlineExceededError(StrFormat(
+            "send stalled: %zu of %zu bytes after write_timeout", sent,
+            size));
+      }
       return InternalError(StrFormat("send: %s", strerror(errno)));
     }
     sent += static_cast<size_t>(n);
   }
   bytes_sent_ += size;
+  return OkStatus();
+}
+
+Status FeedClient::AbortConnection(int index) {
+  if (index < 0 || index >= static_cast<int>(fds_.size())) {
+    return InvalidArgumentError("no such connection");
+  }
+  // SO_LINGER with zero timeout turns close(2) into an abortive release:
+  // the kernel discards anything still queued and sends RST, which is
+  // exactly the mid-frame truncation the chaos tests need.
+  linger lg;
+  lg.l_onoff = 1;
+  lg.l_linger = 0;
+  ::setsockopt(fds_[index], SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+  ::close(fds_[index]);
+  fds_.erase(fds_.begin() + index);
   return OkStatus();
 }
 

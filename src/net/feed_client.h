@@ -17,6 +17,11 @@ namespace dsms {
 struct FeedClientOptions {
   std::string host = "127.0.0.1";
   uint16_t port = 0;
+  /// Fallback "host:port" addresses tried round-robin (after `host:port`)
+  /// when a connect attempt fails — multi-address failover for feeders
+  /// pointed at a replicated ingest tier. Retry `attempt` dials address
+  /// `attempt % (1 + fallback_addresses.size())`.
+  std::vector<std::string> fallback_addresses;
   /// Parallel connections; schedule frames are dealt round-robin across
   /// them. More than one trades the single-socket global ordering (and with
   /// it exact Simulation equivalence) for a concurrency workout.
@@ -35,6 +40,10 @@ struct FeedClientOptions {
   /// Strip arrival hints before sending (wall-clock servers ignore them
   /// anyway; stripping saves 8 bytes per frame).
   bool strip_hints = false;
+  /// SO_SNDBUF per connection (0 = kernel default with autotuning). Bounds
+  /// feeder-side kernel buffering so a stalled server surfaces as a
+  /// write_timeout instead of megabytes of silently queued frames.
+  int send_buffer_bytes = 0;
 
   // --- reconnection / exactly-once resume (recovery; docs/recovery.md) ---
   /// Extra connect attempts after the first failure (0 = fail fast). Each
@@ -50,8 +59,10 @@ struct FeedClientOptions {
   uint64_t backoff_seed = 1;
   /// Wall-clock cap on one connect attempt (0 = OS default).
   Duration connect_timeout = 0;
-  /// Wall-clock cap on one blocking send/recv (0 = none). A stalled server
-  /// turns into an error instead of a hung feeder.
+  /// Wall-clock cap on writing one complete frame (0 = none). The deadline
+  /// spans every partial send of the frame — a server draining one byte per
+  /// timeout interval cannot stretch a single frame forever — and a stalled
+  /// server turns into an error instead of a hung feeder.
   Duration write_timeout = 0;
   /// Perform the HELLO/RESUME handshake after connecting and skip the
   /// frames the server already holds durably (requires connections == 1:
@@ -105,13 +116,19 @@ class FeedClient {
 
   void Close();
 
+  /// Tears down connection `index` with an abrupt TCP RST (SO_LINGER 0 +
+  /// close): unsent kernel-buffered bytes are discarded and the server sees
+  /// ECONNRESET, possibly mid-frame. The chaos harness's rst-mid-frame
+  /// fault; after this the client may Connect() again.
+  Status AbortConnection(int index = 0);
+
   uint64_t frames_sent() const { return frames_sent_; }
   uint64_t bytes_sent() const { return bytes_sent_; }
 
  private:
   Status WriteAll(int fd, const char* data, size_t size);
-  /// One pass over all sockets (no retry/backoff).
-  Status TryConnect();
+  /// One pass over all sockets against one address (no retry/backoff).
+  Status TryConnect(const std::string& host, uint16_t port);
   /// Blocking read of one complete frame from connection `index`.
   Result<WireFrame> ReadFrame(int index);
 

@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 #include <utility>
 
 #include "common/check.h"
@@ -135,10 +136,47 @@ Status IngestServer::Start() {
   return OkStatus();
 }
 
+void IngestServer::RejectConnection(int fd, const std::string& reason) {
+  ++admission_rejects_;
+  DSMS_LOG(Warning) << "rejecting connection: " << reason;
+  WireFrame reject;
+  reject.type = WireFrame::Type::kReject;
+  reject.values.emplace_back(reason);
+  std::string encoded;
+  if (EncodeFrame(reject, &encoded).ok()) {
+    // Best-effort single write on the still-blocking fresh socket: its send
+    // buffer is empty so this never blocks meaningfully, and a peer that
+    // cannot even take these bytes learns nothing worse from a bare close.
+    ::send(fd, encoded.data(), encoded.size(), MSG_NOSIGNAL);
+  }
+  ::close(fd);
+}
+
 void IngestServer::AcceptPending() {
   for (;;) {
     int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) return;  // EAGAIN, or a transient error: retry next round.
+    // Admission control runs before the fd ever becomes a Connection: an
+    // overloaded server says WHY it refuses (kReject) instead of letting
+    // the peer discover a silent close and retry into the same wall.
+    if (options_.max_connections > 0) {
+      int open_count = 0;
+      for (const auto& c : connections_) {
+        if (c->open) ++open_count;
+      }
+      if (open_count >= options_.max_connections) {
+        RejectConnection(fd, StrFormat("connection limit %d reached",
+                                       options_.max_connections));
+        continue;
+      }
+    }
+    if (options_.ingest_memory_budget > 0 &&
+        MemoryFootprint() >= options_.ingest_memory_budget) {
+      RejectConnection(
+          fd, StrFormat("ingest memory budget %zu bytes exhausted",
+                        options_.ingest_memory_budget));
+      continue;
+    }
     if (!SetNonBlocking(fd).ok()) {
       ::close(fd);
       continue;
@@ -154,6 +192,8 @@ void IngestServer::AcceptPending() {
     // The idle clock starts at accept: a peer that connects and never even
     // sends its HELLO is exactly what the sweep exists to shed.
     conn->last_activity = clock_->now();
+    conn->accepted_at = clock_->now();
+    conn->window_start = clock_->now();
     ++connections_accepted_;
     ++connections_this_process_;
     connections_.push_back(std::move(conn));
@@ -183,6 +223,22 @@ void IngestServer::CloseConnection(Connection* conn) {
 }
 
 void IngestServer::SweepIdle(Timestamp now) {
+  // Handshake deadline: a peer that connected and never sent a single byte
+  // is reaped well before the (usually much longer) idle timeout — the
+  // half-open connection a crashed NAT or a SYN-only scanner leaves behind.
+  if (options_.handshake_deadline > 0) {
+    for (auto& conn : connections_) {
+      if (!conn->open || conn->report.bytes > 0) continue;
+      if (now - conn->accepted_at < options_.handshake_deadline) continue;
+      conn->report.handshake_timed_out = true;
+      ++handshake_timeouts_;
+      DSMS_LOG(Warning) << "connection " << conn->id
+                        << " sent nothing within the handshake deadline; "
+                        << "closing";
+      CloseConnection(conn.get());
+    }
+  }
+  SweepSlowPeers(now);
   if (options_.idle_timeout <= 0) return;
   for (auto& conn : connections_) {
     if (!conn->open) continue;
@@ -197,6 +253,86 @@ void IngestServer::SweepIdle(Timestamp now) {
   }
 }
 
+void IngestServer::StrikeSlowPeer(Connection* conn) {
+  ++conn->report.slow_strikes;
+  ++conn->report.degradation;
+  conn->report.degradation = std::min(conn->report.degradation, 3);
+  switch (conn->report.degradation) {
+    case 1:
+      // Tier 1 — shed: whatever it already queued is dropped and further
+      // frames are discarded on arrival; the peer costs decode cycles only.
+      ++slow_peer_sheds_;
+      conn->report.degraded_shed_frames += conn->pending.size();
+      degraded_shed_frames_ += conn->pending.size();
+      conn->pending.clear();
+      conn->pending_bytes = 0;
+      DSMS_LOG(Warning) << "connection " << conn->id
+                        << " below byte-rate floor; shedding";
+      break;
+    case 2:
+      // Tier 2 — quarantine: the frontier is told the peer misbehaves, so
+      // its streams' promises are revoked and the participant enters the
+      // quarantine lifecycle (hysteresis and re-admission live there).
+      ++slow_peer_quarantines_;
+      DSMS_LOG(Warning) << "connection " << conn->id
+                        << " still below floor; quarantining its streams";
+      for (int32_t stream : conn->streams_fed) {
+        executor_->frontier()->ReportViolation(
+            stream, FrontierViolation::kPeerMisbehavior);
+        bool still_fed = false;
+        for (const auto& other : connections_) {
+          if (other.get() != conn && other->open &&
+              other->streams_fed.count(stream) > 0) {
+            still_fed = true;
+            break;
+          }
+        }
+        if (!still_fed) executor_->frontier()->Revoke(stream);
+      }
+      break;
+    default:
+      // Tier 3 — close: three consecutive starved windows is a dead or
+      // hostile peer, not a slow network.
+      ++slow_peer_closes_;
+      DSMS_LOG(Warning) << "connection " << conn->id
+                        << " starved three windows; closing";
+      CloseConnection(conn);
+      break;
+  }
+}
+
+void IngestServer::SweepSlowPeers(Timestamp now) {
+  if (options_.min_bytes_per_second == 0) return;
+  const Duration window = options_.slow_peer_window > 0
+                              ? options_.slow_peer_window
+                              : kSecond;
+  const uint64_t floor_bytes =
+      options_.min_bytes_per_second * static_cast<uint64_t>(window) /
+      static_cast<uint64_t>(kSecond);
+  for (auto& conn : connections_) {
+    if (!conn->open) continue;
+    if (conn->window_start == kMinTimestamp) {
+      conn->window_start = now;
+      conn->window_bytes = 0;
+      continue;
+    }
+    if (now - conn->window_start < window) continue;
+    if (conn->window_bytes < floor_bytes) {
+      StrikeSlowPeer(conn.get());
+    } else if (conn->report.degradation > 0) {
+      // Hysteresis: one clean window steps down exactly one tier, so a
+      // peer flapping around the floor cannot oscillate shed/unshed every
+      // sweep.
+      --conn->report.degradation;
+      DSMS_LOG(Info) << "connection " << conn->id
+                     << " back above floor; degradation now "
+                     << conn->report.degradation;
+    }
+    conn->window_start = now;
+    conn->window_bytes = 0;
+  }
+}
+
 void IngestServer::ReadFrom(Connection* conn) {
   char buf[64 * 1024];
   for (;;) {
@@ -204,6 +340,7 @@ void IngestServer::ReadFrom(Connection* conn) {
     if (n > 0) {
       conn->last_activity = clock_->now();
       conn->report.bytes += static_cast<uint64_t>(n);
+      conn->window_bytes += static_cast<uint64_t>(n);
       bytes_received_ += static_cast<uint64_t>(n);
       conn->decoder.Feed(buf, static_cast<size_t>(n));
       if (static_cast<size_t>(n) < sizeof(buf)) break;
@@ -218,6 +355,7 @@ void IngestServer::ReadFrom(Connection* conn) {
   }
   // Carve out complete frames now so NextPendingTime sees their hints.
   for (;;) {
+    const size_t buffered_before = conn->decoder.buffered_bytes();
     WireFrame frame;
     Result<bool> got = conn->decoder.Next(&frame);
     if (!got.ok()) {
@@ -229,45 +367,124 @@ void IngestServer::ReadFrom(Connection* conn) {
       break;
     }
     if (!*got) break;
+    const size_t wire_bytes = buffered_before - conn->decoder.buffered_bytes();
     if (IsControlFrame(frame.type)) {
       HandleControl(conn, frame);
       if (!conn->open) break;
       continue;
     }
-    conn->pending.push_back(std::move(frame));
+    if (conn->report.degradation >= 1) {
+      // Tier >= 1: the slow-peer ladder is shedding this connection; its
+      // frames are decoded (so the byte-rate window stays honest) and then
+      // dropped before they can touch the engine.
+      ++conn->report.degraded_shed_frames;
+      ++degraded_shed_frames_;
+      continue;
+    }
+    conn->pending_bytes += wire_bytes;
+    conn->pending.push_back(
+        PendingFrame{std::move(frame), static_cast<uint32_t>(wire_bytes)});
+  }
+  // Fail-stop on a decode-buffer overrun: a peer dripping an eternal
+  // partial frame (or announcing a length it never finishes) is holding
+  // memory hostage, and the only safe answer is to drop it.
+  if (conn->open) {
+    const size_t cap = options_.max_decode_buffer_bytes > 0
+                           ? options_.max_decode_buffer_bytes
+                           : 2 * options_.max_frame_bytes;
+    if (conn->decoder.buffered_bytes() > cap) {
+      CloseForOverrun(conn, "decode buffer", conn->decoder.buffered_bytes(),
+                      cap);
+    }
+  }
+}
+
+void IngestServer::CloseForOverrun(Connection* conn, const char* what,
+                                   size_t used, size_t cap) {
+  conn->report.overrun_closed = true;
+  ++overrun_closes_;
+  DSMS_LOG(Warning) << "connection " << conn->id << " overran its " << what
+                    << " (" << used << " > " << cap << " bytes); closing";
+  CloseConnection(conn);
+}
+
+void IngestServer::SendResumeState(Connection* conn) {
+  // Answer with the durable watermark. Without recovery attached the
+  // watermark is legitimately empty: "nothing durable, send everything".
+  WireFrame reply;
+  reply.type = WireFrame::Type::kResumeState;
+  if (recovery_ != nullptr) {
+    for (const auto& [stream, seq] : recovery_->durable_seqs()) {
+      reply.values.emplace_back(static_cast<int64_t>(stream));
+      reply.values.emplace_back(static_cast<int64_t>(seq));
+    }
+  }
+  Status encoded = EncodeFrame(reply, &conn->outbox);
+  if (!encoded.ok()) {
+    ++conn->report.protocol_errors;
+    DSMS_LOG(Warning) << "connection " << conn->id
+                      << " resume-state encode: " << encoded.message();
+    CloseConnection(conn);
+    return;
+  }
+  if (options_.max_outbox_bytes > 0 &&
+      conn->outbox.size() > options_.max_outbox_bytes) {
+    // The peer HELLOed but never drained earlier replies: a half-open
+    // reader. Fail-stop before the outbox becomes their memory lease.
+    CloseForOverrun(conn, "outbox", conn->outbox.size(),
+                    options_.max_outbox_bytes);
+    return;
+  }
+  FlushOutbox(conn);
+}
+
+bool IngestServer::AnyClosedConnectionPending() const {
+  for (const auto& conn : connections_) {
+    if (!conn->open && !conn->pending.empty()) return true;
+  }
+  return false;
+}
+
+void IngestServer::AnswerDeferredHellos() {
+  if (AnyClosedConnectionPending()) return;
+  for (auto& conn : connections_) {
+    if (conn->open && conn->hello_deferred) {
+      conn->hello_deferred = false;
+      SendResumeState(conn.get());
+    }
   }
 }
 
 void IngestServer::HandleControl(Connection* conn, const WireFrame& frame) {
   switch (frame.type) {
     case WireFrame::Type::kHello: {
-      conn->report.helloed = true;
-      // Answer with the durable watermark. Without recovery attached the
-      // watermark is legitimately empty: "nothing durable, send everything".
-      WireFrame reply;
-      reply.type = WireFrame::Type::kResumeState;
-      if (recovery_ != nullptr) {
-        for (const auto& [stream, seq] : recovery_->durable_seqs()) {
-          reply.values.emplace_back(static_cast<int64_t>(stream));
-          reply.values.emplace_back(static_cast<int64_t>(seq));
-        }
-      }
-      Status encoded = EncodeFrame(reply, &conn->outbox);
-      if (!encoded.ok()) {
+      if (conn->report.helloed) {
+        // A second HELLO mid-stream is a confused (or hostile) peer; the
+        // resume accounting cannot be renegotiated on a live connection.
         ++conn->report.protocol_errors;
         DSMS_LOG(Warning) << "connection " << conn->id
-                          << " resume-state encode: " << encoded.message();
+                          << " sent a duplicate hello; closing";
         CloseConnection(conn);
         return;
       }
-      FlushOutbox(conn);
+      conn->report.helloed = true;
+      // Drain-before-ack: while a dead predecessor still has decoded
+      // frames on the ingest runway, the durable watermark is about to
+      // move. Answering now would hand the resuming feeder a stale count
+      // and it would re-send frames that are already on their way in —
+      // duplicates at the sink. Hold the reply until the runway is clear.
+      if (recovery_ != nullptr && AnyClosedConnectionPending()) {
+        conn->hello_deferred = true;
+        return;
+      }
+      SendResumeState(conn);
       return;
     }
     case WireFrame::Type::kResume: {
       // The client echoes the (stream, seq) pairs it resumes from; a stale
       // token (e.g. from a server whose recovery directory was wiped) must
       // be refused loudly or the exactly-once accounting silently skews.
-      bool match = true;
+      std::vector<int32_t> mismatched;
       for (size_t i = 0; i + 1 < frame.values.size(); i += 2) {
         const int32_t stream =
             static_cast<int32_t>(frame.values[i].int64_value());
@@ -278,25 +495,31 @@ void IngestServer::HandleControl(Connection* conn, const WireFrame& frame) {
           auto it = recovery_->durable_seqs().find(stream);
           if (it != recovery_->durable_seqs().end()) durable = it->second;
         }
-        if (seq != durable) {
-          match = false;
-          break;
-        }
+        if (seq != durable) mismatched.push_back(stream);
       }
-      if (!match) {
+      if (!mismatched.empty()) {
         ++resume_rejects_;
         ++conn->report.protocol_errors;
         DSMS_LOG(Warning) << "connection " << conn->id
                           << " presented a stale resume token; dropping";
+        // Stale tokens are wire-level evidence against the streams they
+        // claim: route them through the frontier's one validation funnel
+        // so a storm of replays drives the quarantine lifecycle.
+        for (int32_t stream : mismatched) {
+          executor_->frontier()->ReportViolation(
+              stream, FrontierViolation::kPeerMisbehavior);
+        }
         CloseConnection(conn);
       }
       return;
     }
     case WireFrame::Type::kResumeState:
-      // Server-to-client only; a client sending it is confused.
+    case WireFrame::Type::kReject:
+      // Server-to-client only; a client sending them is confused.
       ++conn->report.protocol_errors;
       DSMS_LOG(Warning) << "connection " << conn->id
-                        << " sent a server-side resume-state frame";
+                        << " sent a server-side "
+                        << WireFrameTypeToString(frame.type) << " frame";
       CloseConnection(conn);
       return;
     default:
@@ -306,16 +529,27 @@ void IngestServer::HandleControl(Connection* conn, const WireFrame& frame) {
 
 void IngestServer::FlushOutbox(Connection* conn) {
   while (conn->open && !conn->outbox.empty()) {
-    ssize_t n =
-        ::send(conn->fd, conn->outbox.data(), conn->outbox.size(), MSG_NOSIGNAL);
+    size_t chunk = conn->outbox.size();
+    // Test shim: cap the bytes offered to one send so the partial-write
+    // resume path (queued remainder + POLLOUT) is exercised on loopback
+    // sockets whose buffers would otherwise swallow everything at once.
+    if (options_.max_write_bytes > 0) {
+      chunk = std::min(chunk, options_.max_write_bytes);
+    }
+    ssize_t n = ::send(conn->fd, conn->outbox.data(), chunk, MSG_NOSIGNAL);
     if (n > 0) {
       conn->outbox.erase(0, static_cast<size_t>(n));
+      if (options_.max_write_bytes > 0) {
+        return;  // one capped write per flush; POLLOUT drives the rest
+      }
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
       return;  // POLLOUT in PollOnce resumes the flush.
     }
+    // EPIPE/ECONNRESET and friends: the peer is gone; everything decoded
+    // so far still delivers, the socket is done.
     CloseConnection(conn);
     return;
   }
@@ -416,7 +650,7 @@ bool IngestServer::DeliverDue() {
       conn->retry_at = kMinTimestamp;
     }
     while (!conn->pending.empty()) {
-      WireFrame& frame = conn->pending.front();
+      WireFrame& frame = conn->pending.front().frame;
       if (ingest_clock_.mode() == IngestClock::Mode::kFrameDriven &&
           frame.arrival_hint.has_value() &&
           *frame.arrival_hint > clock_->now()) {
@@ -439,6 +673,7 @@ bool IngestServer::DeliverDue() {
       }
       Timestamp now = ingest_clock_.OnFrameArrival(frame.arrival_hint);
       WireFrame taken = std::move(frame);
+      conn->pending_bytes -= conn->pending.front().wire_bytes;
       conn->pending.pop_front();
       delivered = true;
       if (recovery_ != nullptr && recovery_->wal_enabled()) {
@@ -473,8 +708,8 @@ Timestamp IngestServer::NextPendingTime() const {
     if (conn->retry_at != kMinTimestamp) {
       t = conn->retry_at;
     } else if (ingest_clock_.mode() == IngestClock::Mode::kFrameDriven &&
-               conn->pending.front().arrival_hint.has_value()) {
-      t = *conn->pending.front().arrival_hint;
+               conn->pending.front().frame.arrival_hint.has_value()) {
+      t = *conn->pending.front().frame.arrival_hint;
     } else {
       t = clock_->now();
     }
@@ -495,6 +730,16 @@ bool IngestServer::AnyPendingFrame() const {
     if (!conn->pending.empty()) return true;
   }
   return false;
+}
+
+size_t IngestServer::MemoryFootprint() const {
+  size_t total = 0;
+  for (const auto& conn : connections_) {
+    total += conn->decoder.buffered_bytes();
+    total += conn->pending_bytes;
+    total += conn->outbox.size();
+  }
+  return total;
 }
 
 Status IngestServer::PollOnce(int timeout_ms) {
@@ -550,6 +795,9 @@ Status IngestServer::Run() {
   };
 
   Status result = OkStatus();
+  // Armed when the last connection closes; see the reconnect-grace exit.
+  constexpr auto kNoPeerUnarmed = std::chrono::steady_clock::time_point::min();
+  auto no_peer_since = kNoPeerUnarmed;
   while (!stop_ && clock_->now() < horizon) {
     if (options_.crash_at > 0 && clock_->now() >= options_.crash_at) {
       return AbortedError(StrFormat(
@@ -568,6 +816,9 @@ Status IngestServer::Run() {
     SweepIdle(clock_->now());
     DeliverDue();
     if (!wal_error_.ok()) break;
+    // Deferred HELLO replies go out once dead connections' runways are
+    // empty and the durable watermark is final (drain-before-ack).
+    AnswerDeferredHellos();
     if (executor_->RunStep()) continue;
 
     // Engine idle: every source frontier is current, so this is the
@@ -586,7 +837,19 @@ Status IngestServer::Run() {
     // time, not a busy loop, carries the clock toward the horizon.
     if (ingest_clock_.mode() == IngestClock::Mode::kFrameDriven &&
         connections_this_process_ > 0 && !AnyOpenConnection()) {
-      break;
+      // But not the instant the last socket closes: a resuming feeder
+      // (chaos reconnect, rolling restart) is often mid-dial right now.
+      // Linger for the reconnect grace; a new accept clears the timer.
+      if (no_peer_since == kNoPeerUnarmed) {
+        no_peer_since = std::chrono::steady_clock::now();
+      }
+      const auto lingered =
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - no_peer_since)
+              .count();
+      if (lingered >= options_.reconnect_grace) break;
+    } else {
+      no_peer_since = kNoPeerUnarmed;
     }
     DSMS_RETURN_IF_ERROR(PollOnce(options_.poll_granularity_ms));
     ingest_clock_.Tick();
@@ -638,6 +901,14 @@ std::string IngestServer::SaveNetState() const {
   w.U64(bytes_received_);
   w.U64(decode_errors_);
   w.U64(resume_rejects_);
+  w.U64(idle_closes_);
+  w.U64(handshake_timeouts_);
+  w.U64(admission_rejects_);
+  w.U64(overrun_closes_);
+  w.U64(slow_peer_sheds_);
+  w.U64(slow_peer_quarantines_);
+  w.U64(slow_peer_closes_);
+  w.U64(degraded_shed_frames_);
   w.U32(static_cast<uint32_t>(connections_.size()));
   for (const auto& conn : connections_) {
     const ConnectionReport& r = conn->report;
@@ -651,6 +922,9 @@ std::string IngestServer::SaveNetState() const {
     w.U64(r.skew_violations);
     w.U64(r.shed_tuples);
     w.Ts(r.max_skew);
+    w.U64(r.slow_strikes);
+    w.U64(r.degraded_shed_frames);
+    w.U32(static_cast<uint32_t>(r.degradation));
     w.U64(conn->skew.observed());
     w.U64(conn->skew.violations());
     w.Ts(conn->skew.raw_max_skew());
@@ -680,6 +954,14 @@ Status IngestServer::RestoreNetState(const std::string& blob) {
   bytes_received_ = r.U64();
   decode_errors_ = r.U64();
   resume_rejects_ = r.U64();
+  idle_closes_ = r.U64();
+  handshake_timeouts_ = r.U64();
+  admission_rejects_ = r.U64();
+  overrun_closes_ = r.U64();
+  slow_peer_sheds_ = r.U64();
+  slow_peer_quarantines_ = r.U64();
+  slow_peer_closes_ = r.U64();
+  degraded_shed_frames_ = r.U64();
   const uint32_t conn_count = r.U32();
   for (uint32_t i = 0; i < conn_count && r.ok(); ++i) {
     // Pre-crash connections come back as closed history: their sockets died
@@ -699,6 +981,9 @@ Status IngestServer::RestoreNetState(const std::string& blob) {
     conn->report.skew_violations = r.U64();
     conn->report.shed_tuples = r.U64();
     conn->report.max_skew = r.Ts();
+    conn->report.slow_strikes = r.U64();
+    conn->report.degraded_shed_frames = r.U64();
+    conn->report.degradation = static_cast<int>(r.U32());
     const uint64_t observed = r.U64();
     const uint64_t violations = r.U64();
     const Duration max_skew = r.Ts();
@@ -822,8 +1107,22 @@ void IngestServer::PublishTo(MetricsRegistry* registry) const {
                        static_cast<double>(r.max_skew));
     registry->SetGauge(prefix + "helloed", r.helloed ? 1.0 : 0.0);
     registry->SetGauge(prefix + "idle_closed", r.idle_closed ? 1.0 : 0.0);
+    registry->SetGauge(prefix + "degradation",
+                       static_cast<double>(r.degradation));
+    registry->SetCounter(prefix + "slow_strikes", r.slow_strikes);
+    registry->SetCounter(prefix + "degraded_shed_frames",
+                         r.degraded_shed_frames);
   }
   registry->SetCounter("net.idle_closes", idle_closes_);
+  registry->SetCounter("net.handshake_timeouts", handshake_timeouts_);
+  registry->SetCounter("net.admission_rejects", admission_rejects_);
+  registry->SetCounter("net.overrun_closes", overrun_closes_);
+  registry->SetCounter("net.slow_peer_sheds", slow_peer_sheds_);
+  registry->SetCounter("net.slow_peer_quarantines", slow_peer_quarantines_);
+  registry->SetCounter("net.slow_peer_closes", slow_peer_closes_);
+  registry->SetCounter("net.degraded_shed_frames", degraded_shed_frames_);
+  registry->SetGauge("net.memory_footprint_bytes",
+                     static_cast<double>(MemoryFootprint()));
   registry->SetCounter("net.protocol_errors", protocol_errors);
   registry->SetCounter("net.skew_violations", skew_violations);
   registry->SetCounter("net.shed_tuples", shed);

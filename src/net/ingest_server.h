@@ -60,6 +60,50 @@ struct IngestServerOptions {
   /// net.idle_closes / net.conn.<id>.idle_closed. Its streams' promises
   /// are revoked from the checkpoint frontier like any disconnect.
   Duration idle_timeout = 0;
+
+  // --- ingest-plane hardening (wire-level chaos; docs/network_ingest.md) ---
+
+  /// Virtual-time deadline for a brand-new connection to show signs of life
+  /// (0 = off). Distinct from idle_timeout: this one reaps half-open peers
+  /// that connect and never send a single byte — the classic port-scanner /
+  /// dead-NAT connection — long before the idle sweep would bother.
+  Duration handshake_deadline = 0;
+  /// Cap on bytes a connection may hold in its decoder buffer (partial
+  /// frames awaiting completion). 0 = 2 * max_frame_bytes. Exceeding it is
+  /// a fail-stop close: a peer dripping an endless "almost frame" cannot
+  /// pin memory.
+  size_t max_decode_buffer_bytes = 0;
+  /// Cap on bytes queued toward the peer (handshake replies in the outbox).
+  /// A peer that HELLOs and then never reads its reply trips this and is
+  /// closed (fail-stop) instead of growing the outbox without bound.
+  size_t max_outbox_bytes = 256 * 1024;
+  /// Admission control: maximum simultaneously open connections (0 = no
+  /// cap). Excess peers get a best-effort kReject frame with a reason, then
+  /// close; counted in net.admission_rejects.
+  int max_connections = 0;
+  /// Global ingest memory budget in bytes across every connection's decoder
+  /// buffer, undelivered pending frames, and outbox (0 = no cap). While the
+  /// footprint sits at or above the budget, new connections are rejected
+  /// (kReject) rather than admitted into an OOM.
+  size_t ingest_memory_budget = 0;
+  /// Slow-peer floor (0 = off): minimum bytes per virtual second every open
+  /// connection must sustain, measured over slow_peer_window. Falling below
+  /// climbs the degradation ladder: shed -> frontier quarantine -> close; a
+  /// clean window steps back down one tier (hysteresis).
+  uint64_t min_bytes_per_second = 0;
+  /// Measurement window for the slow-peer floor (virtual time).
+  Duration slow_peer_window = kSecond;
+  /// Frame-driven only: wall-clock grace after the last peer disconnects
+  /// before the "every peer came and went" run exit fires. A resuming
+  /// feeder mid-reconnect (chaos storms, rolling restarts) briefly leaves
+  /// the server with zero open connections; without the grace the server
+  /// would declare the run over and the reconnect would dial into a dead
+  /// loop. 0 = exit immediately (the pre-hardening behaviour).
+  Duration reconnect_grace = 200 * kMillisecond;
+  /// Test shim: cap on bytes handed to one send(2) per FlushOutbox call
+  /// (0 = unlimited). Forces the partial-write paths deterministically —
+  /// loopback sockets otherwise accept whole handshake replies at once.
+  size_t max_write_bytes = 0;
 };
 
 /// Per-connection ingest counters, exposed for metrics and tests.
@@ -79,6 +123,17 @@ struct ConnectionReport {
   bool helloed = false;
   /// Closed by the idle sweep, not by the peer (see options.idle_timeout).
   bool idle_closed = false;
+  /// Closed by the handshake deadline: connected and never sent a byte.
+  bool handshake_timed_out = false;
+  /// Closed fail-stop for overrunning the decode-buffer or outbox cap.
+  bool overrun_closed = false;
+  /// Slow-peer windows below the byte-rate floor (ladder strikes).
+  uint64_t slow_strikes = 0;
+  /// Current degradation tier: 0 healthy, 1 shedding, 2 quarantined,
+  /// 3 closed.
+  int degradation = 0;
+  /// Frames dropped because the connection sat at tier >= 1.
+  uint64_t degraded_shed_frames = 0;
 };
 
 /// Non-blocking poll(2) event-loop server feeding a query graph from live
@@ -179,6 +234,16 @@ class IngestServer {
   uint64_t resume_rejects() const { return resume_rejects_; }
   /// Connections closed by the idle sweep (options.idle_timeout).
   uint64_t idle_closes() const { return idle_closes_; }
+  /// Connections reaped by the handshake deadline (never sent a byte).
+  uint64_t handshake_timeouts() const { return handshake_timeouts_; }
+  /// Connections turned away at accept (connection cap / memory budget).
+  uint64_t admission_rejects() const { return admission_rejects_; }
+  /// Fail-stop closes for decode-buffer or outbox cap overruns.
+  uint64_t overrun_closes() const { return overrun_closes_; }
+  uint64_t slow_peer_sheds() const { return slow_peer_sheds_; }
+  uint64_t slow_peer_quarantines() const { return slow_peer_quarantines_; }
+  uint64_t slow_peer_closes() const { return slow_peer_closes_; }
+  uint64_t degraded_shed_frames() const { return degraded_shed_frames_; }
 
   /// Snapshot of every connection ever accepted (closed ones included).
   std::vector<ConnectionReport> connection_reports() const;
@@ -188,6 +253,13 @@ class IngestServer {
   void PublishTo(MetricsRegistry* registry) const;
 
  private:
+  /// One decoded-but-undelivered frame plus its wire footprint, so the
+  /// ingest memory accounting can subtract exactly what delivery releases.
+  struct PendingFrame {
+    WireFrame frame;
+    uint32_t wire_bytes = 0;
+  };
+
   struct Connection {
     int fd = -1;
     int64_t id = 0;
@@ -197,11 +269,23 @@ class IngestServer {
     Timestamp retry_at = kMinTimestamp;
     FrameDecoder decoder;
     SkewTracker skew;
-    std::deque<WireFrame> pending;
+    std::deque<PendingFrame> pending;
+    /// Sum of pending[i].wire_bytes (part of the ingest memory footprint).
+    size_t pending_bytes = 0;
     ConnectionReport report;
     /// Virtual time of the last bytes read (or delivery); the idle sweep
     /// compares against options.idle_timeout.
     Timestamp last_activity = kMinTimestamp;
+    /// Virtual accept time — the handshake deadline anchor.
+    Timestamp accepted_at = kMinTimestamp;
+    /// HELLO arrived while closed connections still had undelivered frames:
+    /// the resume-state reply is held back until they drain, or the durable
+    /// watermark would miss frames already on the ingest runway and the
+    /// resuming feeder would double-send them.
+    bool hello_deferred = false;
+    /// Slow-peer byte-rate window (virtual time; see min_bytes_per_second).
+    Timestamp window_start = kMinTimestamp;
+    uint64_t window_bytes = 0;
     /// Streams this connection delivered frames for — the promises to
     /// revoke from the frontier when the connection drops.
     std::set<int32_t> streams_fed;
@@ -222,6 +306,29 @@ class IngestServer {
   /// Consumes one handshake frame (kHello/kResume) at decode time — control
   /// frames never enter `pending`, the WAL, or the ingest path.
   void HandleControl(Connection* conn, const WireFrame& frame);
+  /// Queues the durable-watermark (resume-state) reply and flushes it.
+  void SendResumeState(Connection* conn);
+  /// True while any CLOSED connection still has undelivered pending frames
+  /// — the drain-before-ack gate for answering HELLOs.
+  bool AnyClosedConnectionPending() const;
+  /// Answers HELLOs deferred behind the drain-before-ack gate once the
+  /// closed connections' runways are empty.
+  void AnswerDeferredHellos();
+  /// Best-effort kReject(reason) on a just-accepted fd, then close. The fd
+  /// never becomes a Connection.
+  void RejectConnection(int fd, const std::string& reason);
+  /// Bytes currently pinned by ingest: decoder buffers + pending frames +
+  /// outboxes, across all connections.
+  size_t MemoryFootprint() const;
+  /// One slow-peer strike: climbs the degradation ladder (shed ->
+  /// quarantine -> close) one tier.
+  void StrikeSlowPeer(Connection* conn);
+  /// Slow-peer byte-rate windows: strike peers below the floor, relax clean
+  /// ones one tier (hysteresis). Runs from SweepIdle.
+  void SweepSlowPeers(Timestamp now);
+  /// Fail-stop close for a resource-cap overrun.
+  void CloseForOverrun(Connection* conn, const char* what, size_t used,
+                       size_t cap);
   /// Writes as much of `conn->outbox` as the socket accepts (EINTR/EAGAIN
   /// aware); a hard error closes the connection.
   void FlushOutbox(Connection* conn);
@@ -264,6 +371,13 @@ class IngestServer {
   /// First WAL append failure; Run stops and surfaces it.
   Status wal_error_;
 
+  uint64_t handshake_timeouts_ = 0;
+  uint64_t admission_rejects_ = 0;
+  uint64_t overrun_closes_ = 0;
+  uint64_t slow_peer_sheds_ = 0;
+  uint64_t slow_peer_quarantines_ = 0;
+  uint64_t slow_peer_closes_ = 0;
+  uint64_t degraded_shed_frames_ = 0;
   uint64_t connections_accepted_ = 0;
   /// Connections accepted by *this* process — excludes counts restored
   /// from a checkpoint. The frame-driven "every peer came and went" run

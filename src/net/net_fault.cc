@@ -1,0 +1,736 @@
+#include "net/net_fault.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace dsms {
+namespace {
+
+/// Blocking TCP connect used for the harness's side-channel sockets (stale
+/// handshakes, half-open peers, proxy upstreams). `recv_timeout` bounds
+/// blocking reads so a misbehaving test can never hang the suite.
+Result<int> RawConnect(const std::string& host, uint16_t port,
+                       Duration recv_timeout) {
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return InvalidArgumentError(StrFormat("bad host '%s'", host.c_str()));
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return InternalError(StrFormat("socket: %s", strerror(errno)));
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    Status status = InternalError(StrFormat("connect %s:%u: %s", host.c_str(),
+                                            port, strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (recv_timeout > 0) {
+    timeval tv;
+    tv.tv_sec = static_cast<time_t>(recv_timeout / 1000000);
+    tv.tv_usec = static_cast<suseconds_t>(recv_timeout % 1000000);
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  return fd;
+}
+
+Status SendAllRaw(int fd, const char* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return InternalError(StrFormat("send: %s", strerror(errno)));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+const char* NetFaultKindToString(NetFaultKind kind) {
+  switch (kind) {
+    case NetFaultKind::kNone:
+      return "none";
+    case NetFaultKind::kSplit:
+      return "split";
+    case NetFaultKind::kCoalesce:
+      return "coalesce";
+    case NetFaultKind::kSlowloris:
+      return "slowloris";
+    case NetFaultKind::kRstMidFrame:
+      return "rst";
+    case NetFaultKind::kHalfOpen:
+      return "half-open";
+    case NetFaultKind::kReconnectStorm:
+      return "reconnect-storm";
+    case NetFaultKind::kDuplicateHello:
+      return "dup-hello";
+    case NetFaultKind::kGarbage:
+      return "garbage";
+  }
+  return "unknown";
+}
+
+std::optional<NetFaultKind> ParseNetFaultKind(const std::string& text) {
+  if (text == "none") return NetFaultKind::kNone;
+  if (text == "split") return NetFaultKind::kSplit;
+  if (text == "coalesce") return NetFaultKind::kCoalesce;
+  if (text == "slowloris") return NetFaultKind::kSlowloris;
+  if (text == "rst") return NetFaultKind::kRstMidFrame;
+  if (text == "half-open") return NetFaultKind::kHalfOpen;
+  if (text == "reconnect-storm") return NetFaultKind::kReconnectStorm;
+  if (text == "dup-hello") return NetFaultKind::kDuplicateHello;
+  if (text == "garbage") return NetFaultKind::kGarbage;
+  return std::nullopt;
+}
+
+NetFaultInjector::NetFaultInjector(const NetFaultSpec& spec,
+                                   uint64_t run_seed)
+    : spec_(spec),
+      rng_(spec.seed ^ run_seed,
+           /*stream=*/static_cast<uint64_t>(spec.kind) + 1) {}
+
+void NetFaultInjector::Prepare(const std::vector<ScheduledFrame>& schedule) {
+  triggers_.clear();
+  consumed_.clear();
+  if (spec_.kind == NetFaultKind::kNone || spec_.count <= 0) {
+    Note(StrFormat("prepare kind=%s triggers=0",
+                   NetFaultKindToString(spec_.kind)));
+    return;
+  }
+  // The eligible suffix: frames delivered at or after spec.at.
+  size_t first = schedule.size();
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    if (schedule[i].time >= spec_.at) {
+      first = i;
+      break;
+    }
+  }
+  const size_t eligible = schedule.size() - first;
+  const size_t fires =
+      std::min<size_t>(static_cast<size_t>(spec_.count), eligible);
+  // Spread evenly so faults land across the whole tail, not in one burst.
+  for (size_t k = 0; k < fires; ++k) {
+    triggers_.push_back(first + k * eligible / fires);
+  }
+  triggers_.erase(std::unique(triggers_.begin(), triggers_.end()),
+                  triggers_.end());
+  consumed_.assign(triggers_.size(), false);
+  std::string indices;
+  for (size_t t : triggers_) {
+    if (!indices.empty()) indices += ",";
+    indices += StrFormat("%zu", t);
+  }
+  Note(StrFormat("prepare kind=%s at=%lld triggers=[%s]",
+                 NetFaultKindToString(spec_.kind),
+                 static_cast<long long>(spec_.at), indices.c_str()));
+}
+
+bool NetFaultInjector::ConsumeTrigger(size_t frame_index) {
+  for (size_t i = 0; i < triggers_.size(); ++i) {
+    if (triggers_[i] == frame_index && !consumed_[i]) {
+      consumed_[i] = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t NetFaultInjector::pending_triggers() const {
+  size_t pending = 0;
+  for (bool used : consumed_) {
+    if (!used) ++pending;
+  }
+  return pending;
+}
+
+std::vector<size_t> NetFaultInjector::PlanChunks(size_t size) {
+  std::vector<size_t> chunks;
+  if (size == 0) return chunks;
+  if (spec_.kind == NetFaultKind::kSlowloris || spec_.chunk > 0) {
+    // Fixed-width drip (default 1-4 bytes for slowloris).
+    size_t width = spec_.chunk;
+    if (width == 0) width = 1 + rng_.NextBelow(4);
+    for (size_t off = 0; off < size; off += width) {
+      chunks.push_back(std::min(width, size - off));
+    }
+  } else {
+    // Random cuts; the first guarantees at least two chunks for size >= 2.
+    size_t remaining = size;
+    if (size >= 2) {
+      size_t head = 1 + rng_.NextBelow(static_cast<uint32_t>(size - 1));
+      chunks.push_back(head);
+      remaining -= head;
+    }
+    while (remaining > 0) {
+      size_t piece = 1 + rng_.NextBelow(static_cast<uint32_t>(remaining));
+      chunks.push_back(piece);
+      remaining -= piece;
+    }
+  }
+  std::string sizes;
+  for (size_t c : chunks) {
+    if (!sizes.empty()) sizes += ",";
+    sizes += StrFormat("%zu", c);
+  }
+  Note(StrFormat("chunks bytes=%zu plan=[%s]", size, sizes.c_str()));
+  return chunks;
+}
+
+size_t NetFaultInjector::PlanCoalesce(size_t remaining) {
+  if (remaining <= 1) return remaining;
+  size_t batch =
+      2 + rng_.NextBelow(static_cast<uint32_t>(std::min<size_t>(
+              remaining - 1, 7)));
+  batch = std::min(batch, remaining);
+  Note(StrFormat("coalesce frames=%zu", batch));
+  return batch;
+}
+
+size_t NetFaultInjector::PlanRstOffset(size_t size) {
+  if (size < 2) return 0;
+  size_t offset = 1 + rng_.NextBelow(static_cast<uint32_t>(size - 1));
+  Note(StrFormat("rst offset=%zu of=%zu", offset, size));
+  return offset;
+}
+
+std::string NetFaultInjector::GarbageBytes() {
+  // Four 0xff bytes first: the full little-endian length prefix is ~4GiB,
+  // far past kMaxFrameBytes, so the decoder poisons the moment it reads the
+  // prefix instead of waiting for a plausible frame to "complete". (A
+  // single 0xff would only be the LOW byte — the remaining random bytes
+  // could still form a believable length.)
+  const size_t size = spec_.bytes < 4 ? 4 : spec_.bytes;
+  std::string garbage;
+  garbage.reserve(size);
+  for (size_t i = 0; i < size; ++i) {
+    garbage.push_back(i < 4 ? static_cast<char>(0xff)
+                            : static_cast<char>(rng_.NextBelow(256)));
+  }
+  Note(StrFormat("garbage bytes=%zu", garbage.size()));
+  return garbage;
+}
+
+void NetFaultInjector::Note(const std::string& line) {
+  timeline_ += line;
+  timeline_ += '\n';
+}
+
+ChaosFeeder::ChaosFeeder(FeedClientOptions options, NetFaultSpec spec,
+                         uint64_t run_seed)
+    : options_(std::move(options)),
+      injector_(spec, run_seed),
+      client_((options_.connections = 1, options_)) {}
+
+Status ChaosFeeder::ConnectAndResume(bool initial) {
+  if (!initial) {
+    ++report_.reconnects;
+    injector_.Note(StrFormat("reconnect #%d", report_.reconnects));
+  }
+  DSMS_RETURN_IF_ERROR(client_.Connect());
+  if (options_.resume) return client_.Handshake();
+  return OkStatus();
+}
+
+Status ChaosFeeder::ReplayStaleToken(int cycle, int attempt) {
+  Result<int> fd = RawConnect(options_.host, options_.port, 5 * kSecond);
+  if (!fd.ok()) return fd.status();
+  auto fail = [&fd](Status status) {
+    ::close(*fd);
+    return status;
+  };
+  WireFrame hello;
+  hello.type = WireFrame::Type::kHello;
+  std::string bytes;
+  DSMS_RETURN_IF_ERROR(EncodeFrame(hello, &bytes));
+  Status sent = SendAllRaw(*fd, bytes.data(), bytes.size());
+  if (!sent.ok()) return fail(sent);
+  // Read the server's resume-state, then echo back a DIFFERENT watermark:
+  // seqs bumped past anything durable (and a fabricated stream when the
+  // server holds nothing), which the resume verification must refuse.
+  FrameDecoder decoder;
+  WireFrame reply;
+  char buf[4096];
+  for (;;) {
+    Result<bool> got = decoder.Next(&reply);
+    if (!got.ok()) return fail(got.status());
+    if (*got) break;
+    ssize_t n = ::recv(*fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      decoder.Feed(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return fail(InternalError("server closed before resume-state"));
+  }
+  if (reply.type != WireFrame::Type::kResumeState) {
+    return fail(InternalError(StrFormat("expected resume-state, got %s",
+                                        WireFrameTypeToString(reply.type))));
+  }
+  WireFrame stale;
+  stale.type = WireFrame::Type::kResume;
+  stale.values = reply.values;
+  for (size_t i = 1; i < stale.values.size(); i += 2) {
+    stale.values[i] =
+        Value(stale.values[i].int64_value() + 1000 + cycle * 10 + attempt);
+  }
+  if (stale.values.empty()) {
+    stale.values.push_back(Value(static_cast<int64_t>(1)));
+    stale.values.push_back(
+        Value(static_cast<int64_t>(999 + cycle * 10 + attempt)));
+  }
+  bytes.clear();
+  DSMS_RETURN_IF_ERROR(EncodeFrame(stale, &bytes));
+  sent = SendAllRaw(*fd, bytes.data(), bytes.size());
+  if (!sent.ok()) return fail(sent);
+  // The server must drop us: wait for EOF/RST (bounded by SO_RCVTIMEO).
+  for (;;) {
+    ssize_t n = ::recv(*fd, buf, sizeof(buf), 0);
+    if (n > 0) continue;
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return fail(DeadlineExceededError(
+          "server kept a stale resume token alive"));
+    }
+    break;  // EOF or RST: the reject we wanted.
+  }
+  ::close(*fd);
+  ++report_.stale_rejects;
+  injector_.Note(StrFormat("stale-token cycle=%d attempt=%d rejected", cycle,
+                           attempt));
+  return OkStatus();
+}
+
+Status ChaosFeeder::SendChunked(const std::string& encoded, bool drip) {
+  std::vector<size_t> chunks = injector_.PlanChunks(encoded.size());
+  size_t offset = 0;
+  for (size_t i = 0; i < chunks.size(); ++i) {
+    if (drip && i > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(injector_.spec().gap));
+    }
+    DSMS_RETURN_IF_ERROR(
+        client_.SendBytes(encoded.substr(offset, chunks[i])));
+    offset += chunks[i];
+  }
+  return OkStatus();
+}
+
+Result<ChaosFeedReport> ChaosFeeder::Run(
+    const std::vector<ScheduledFrame>& schedule) {
+  const NetFaultKind kind = injector_.spec().kind;
+  const bool needs_resume = kind == NetFaultKind::kRstMidFrame ||
+                            kind == NetFaultKind::kReconnectStorm ||
+                            kind == NetFaultKind::kDuplicateHello ||
+                            kind == NetFaultKind::kGarbage;
+  if (needs_resume && !options_.resume) {
+    return FailedPreconditionError(StrFormat(
+        "netfault kind=%s loses the connection mid-stream; it needs "
+        "--resume (and a server WAL) to preserve exactly-once delivery",
+        NetFaultKindToString(kind)));
+  }
+  injector_.Prepare(schedule);
+  DSMS_RETURN_IF_ERROR(ConnectAndResume(/*initial=*/true));
+  // Same pacing contract as FeedClient::Send: wall seconds per virtual
+  // second, anchored once — restarts after a reconnect never replay the
+  // elapsed wall time.
+  const auto wall_start = std::chrono::steady_clock::now();
+  auto pace_to = [this, wall_start](Timestamp when) {
+    if (options_.pace <= 0.0) return;
+    auto target = wall_start + std::chrono::microseconds(static_cast<int64_t>(
+                                   static_cast<double>(when) * options_.pace));
+    std::this_thread::sleep_until(target);
+  };
+  auto encode_entry = [this](const ScheduledFrame& entry,
+                             std::string* out) -> Status {
+    WireFrame frame = entry.frame;
+    if (options_.extra_skew > 0 && frame.type == WireFrame::Type::kData &&
+        frame.timestamp.has_value()) {
+      *frame.timestamp -= options_.extra_skew;
+    }
+    if (options_.strip_hints) frame.arrival_hint.reset();
+    return EncodeFrame(frame, out);
+  };
+  // Each pass replays the schedule minus the server's durable watermark.
+  // Faults that kill the connection reconnect, re-handshake, and restart
+  // the pass; triggers are consumed, so every restart makes progress and
+  // the loop is bounded by the trigger count.
+  bool done = false;
+  while (!done) {
+    std::map<int32_t, uint64_t> skip = client_.acked();
+    bool restart = false;
+    size_t i = 0;
+    while (i < schedule.size() && !restart) {
+      const ScheduledFrame& entry = schedule[i];
+      if (!skip.empty()) {
+        auto it = skip.find(entry.frame.stream_id);
+        if (it != skip.end() && it->second > 0) {
+          --it->second;
+          ++i;
+          continue;
+        }
+      }
+      pace_to(entry.time);
+      const bool fire = injector_.ConsumeTrigger(i);
+      std::string encoded;
+      DSMS_RETURN_IF_ERROR(encode_entry(entry, &encoded));
+      if (!fire) {
+        DSMS_RETURN_IF_ERROR(client_.SendBytes(encoded));
+        ++report_.frames_sent;
+        ++i;
+        continue;
+      }
+      switch (kind) {
+        case NetFaultKind::kNone:
+          DSMS_RETURN_IF_ERROR(client_.SendBytes(encoded));
+          ++report_.frames_sent;
+          ++i;
+          break;
+        case NetFaultKind::kSplit: {
+          injector_.Note(StrFormat("split frame=%zu", i));
+          DSMS_RETURN_IF_ERROR(SendChunked(encoded, /*drip=*/false));
+          ++report_.split_frames;
+          ++report_.frames_sent;
+          ++i;
+          break;
+        }
+        case NetFaultKind::kSlowloris: {
+          injector_.Note(StrFormat("slow-drip frame=%zu", i));
+          DSMS_RETURN_IF_ERROR(SendChunked(encoded, /*drip=*/true));
+          ++report_.slow_dripped_frames;
+          ++report_.frames_sent;
+          ++i;
+          break;
+        }
+        case NetFaultKind::kCoalesce: {
+          // Batch this frame and the next few into one send(2).
+          size_t batch = injector_.PlanCoalesce(schedule.size() - i);
+          injector_.Note(StrFormat("coalesce start=%zu frames=%zu", i,
+                                   batch));
+          std::string buffer;
+          size_t taken = 0;
+          while (taken < batch && i < schedule.size()) {
+            const ScheduledFrame& next = schedule[i];
+            if (!skip.empty()) {
+              auto it = skip.find(next.frame.stream_id);
+              if (it != skip.end() && it->second > 0) {
+                --it->second;
+                ++i;
+                continue;
+              }
+            }
+            injector_.ConsumeTrigger(i);  // swallowed by this batch
+            DSMS_RETURN_IF_ERROR(encode_entry(next, &buffer));
+            ++report_.frames_sent;
+            ++taken;
+            ++i;
+          }
+          DSMS_RETURN_IF_ERROR(client_.SendBytes(buffer));
+          ++report_.coalesced_writes;
+          break;
+        }
+        case NetFaultKind::kRstMidFrame: {
+          size_t cut = injector_.PlanRstOffset(encoded.size());
+          injector_.Note(StrFormat("rst frame=%zu", i));
+          if (cut > 0) {
+            DSMS_RETURN_IF_ERROR(
+                client_.SendBytes(encoded.substr(0, cut)));
+          }
+          DSMS_RETURN_IF_ERROR(client_.AbortConnection(0));
+          ++report_.rst_aborts;
+          DSMS_RETURN_IF_ERROR(ConnectAndResume(/*initial=*/false));
+          restart = true;
+          break;
+        }
+        case NetFaultKind::kHalfOpen: {
+          // Park a mute companion: it never HELLOs, never reads, never
+          // closes. The schedule itself continues on the live socket.
+          Result<int> parked =
+              RawConnect(options_.host, options_.port, 0);
+          if (!parked.ok()) return parked.status();
+          parked_fds_.push_back(*parked);
+          ++report_.half_open_peers;
+          injector_.Note(StrFormat("half-open peer at frame=%zu", i));
+          DSMS_RETURN_IF_ERROR(client_.SendBytes(encoded));
+          ++report_.frames_sent;
+          ++i;
+          break;
+        }
+        case NetFaultKind::kReconnectStorm: {
+          DSMS_RETURN_IF_ERROR(client_.SendBytes(encoded));
+          ++report_.frames_sent;
+          ++i;
+          injector_.Note(StrFormat("storm cycle at frame=%zu", i));
+          client_.Close();  // clean FIN: nothing in flight is lost
+          for (int s = 0; s < injector_.spec().stale; ++s) {
+            DSMS_RETURN_IF_ERROR(
+                ReplayStaleToken(report_.reconnects + 1, s));
+          }
+          DSMS_RETURN_IF_ERROR(ConnectAndResume(/*initial=*/false));
+          restart = true;
+          break;
+        }
+        case NetFaultKind::kDuplicateHello: {
+          DSMS_RETURN_IF_ERROR(client_.SendBytes(encoded));
+          ++report_.frames_sent;
+          ++i;
+          injector_.Note(StrFormat("dup-hello after frame=%zu", i));
+          WireFrame hello;
+          hello.type = WireFrame::Type::kHello;
+          std::string dup;
+          DSMS_RETURN_IF_ERROR(EncodeFrame(hello, &dup));
+          DSMS_RETURN_IF_ERROR(client_.SendBytes(dup));
+          ++report_.duplicate_hellos;
+          // The server treats a mid-stream HELLO as a protocol violation
+          // and closes; drop our side and resume honestly.
+          client_.Close();
+          DSMS_RETURN_IF_ERROR(ConnectAndResume(/*initial=*/false));
+          restart = true;
+          break;
+        }
+        case NetFaultKind::kGarbage: {
+          DSMS_RETURN_IF_ERROR(client_.SendBytes(encoded));
+          ++report_.frames_sent;
+          ++i;
+          injector_.Note(StrFormat("garbage after frame=%zu", i));
+          DSMS_RETURN_IF_ERROR(client_.SendBytes(injector_.GarbageBytes()));
+          ++report_.garbage_injections;
+          // Our decoder is now poisoned server-side; the connection is
+          // dead the moment the server reads those bytes.
+          client_.Close();
+          DSMS_RETURN_IF_ERROR(ConnectAndResume(/*initial=*/false));
+          restart = true;
+          break;
+        }
+      }
+    }
+    if (!restart) done = true;
+  }
+  for (int fd : parked_fds_) ::close(fd);
+  parked_fds_.clear();
+  client_.Close();
+  report_.timeline = injector_.timeline();
+  return report_;
+}
+
+ChaosProxy::ChaosProxy(std::string target_host, uint16_t target_port,
+                       NetFaultSpec spec, uint64_t run_seed)
+    : target_host_(std::move(target_host)),
+      target_port_(target_port),
+      spec_(spec),
+      run_seed_(run_seed) {}
+
+ChaosProxy::~ChaosProxy() { Stop(); }
+
+Status ChaosProxy::Start() {
+  if (listen_fd_ >= 0) return FailedPreconditionError("already started");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return InternalError(StrFormat("socket: %s", strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // ephemeral
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    Status status = InternalError(StrFormat("bind: %s", strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, 16) < 0) {
+    Status status = InternalError(StrFormat("listen: %s", strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  stopping_.store(false, std::memory_order_relaxed);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return OkStatus();
+}
+
+void ChaosProxy::Stop() {
+  if (listen_fd_ < 0 && !accept_thread_.joinable()) return;
+  stopping_.store(true, std::memory_order_relaxed);
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (std::thread& t : relay_threads_) {
+    if (t.joinable()) t.join();
+  }
+  relay_threads_.clear();
+}
+
+void ChaosProxy::AcceptLoop() {
+  for (;;) {
+    int client_fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (client_fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed by Stop()
+    }
+    uint64_t relay_id =
+        connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    relay_threads_.emplace_back(
+        [this, client_fd, relay_id] { Relay(client_fd, relay_id); });
+  }
+}
+
+void ChaosProxy::Relay(int client_fd, uint64_t relay_id) {
+  int one = 1;
+  ::setsockopt(client_fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  // Bounded reads so Stop() can always reclaim this thread.
+  timeval tv;
+  tv.tv_sec = 0;
+  tv.tv_usec = 100 * 1000;
+  ::setsockopt(client_fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  Result<int> upstream =
+      RawConnect(target_host_, target_port_, 100 * kMillisecond);
+  if (!upstream.ok()) {
+    ::close(client_fd);
+    return;
+  }
+  const int server_fd = *upstream;
+  // Both fds stay open until after back.join(): the reverse thread may be
+  // blocked in recv/send on either one, and closing a live fd under it
+  // would race with fd reuse elsewhere in the process.
+  std::atomic<bool> abort_flag{false};
+  // Replies pass through untouched; the shim only attacks client->server.
+  std::thread back([this, client_fd, server_fd, &abort_flag] {
+    char buf[4096];
+    for (;;) {
+      ssize_t n = ::recv(server_fd, buf, sizeof(buf), 0);
+      if (n > 0) {
+        if (!SendAllRaw(client_fd, buf, static_cast<size_t>(n)).ok()) return;
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        if (stopping_.load(std::memory_order_relaxed) ||
+            abort_flag.load(std::memory_order_relaxed)) {
+          return;
+        }
+        continue;
+      }
+      if (!abort_flag.load(std::memory_order_relaxed)) {
+        ::shutdown(client_fd, SHUT_WR);  // propagate server close
+      }
+      return;
+    }
+  });
+  NetFaultInjector injector(spec_, run_seed_ ^ (relay_id + 1));
+  uint64_t forwarded = 0;
+  // Byte-offset trigger schedule: fire every spec.bytes forwarded bytes,
+  // spec.count times per connection.
+  const uint64_t stride = spec_.bytes > 0 ? spec_.bytes : 4096;
+  uint64_t next_fault = stride;
+  int fires_left =
+      spec_.kind == NetFaultKind::kNone ? 0 : std::max(spec_.count, 0);
+  bool aborted = false;
+  char buf[4096];
+  for (;;) {
+    ssize_t n = ::recv(client_fd, buf, sizeof(buf), 0);
+    if (n == 0) break;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (stopping_.load(std::memory_order_relaxed)) break;
+        continue;
+      }
+      break;
+    }
+    const size_t size = static_cast<size_t>(n);
+    const bool fire = fires_left > 0 && forwarded + size >= next_fault;
+    if (fire) {
+      --fires_left;
+      next_fault += stride;
+      faults_injected_.fetch_add(1, std::memory_order_relaxed);
+    }
+    switch (spec_.kind) {
+      case NetFaultKind::kRstMidFrame:
+        if (fire) {
+          // Arm abortive close on both sides; the close(2)s after
+          // back.join() below turn into RSTs.
+          abort_flag.store(true, std::memory_order_relaxed);
+          linger lg;
+          lg.l_onoff = 1;
+          lg.l_linger = 0;
+          ::setsockopt(server_fd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+          ::setsockopt(client_fd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+          ::shutdown(server_fd, SHUT_RD);  // wakes the reverse thread only
+          aborted = true;
+          break;
+        }
+        [[fallthrough]];
+      case NetFaultKind::kGarbage:
+        if (fire && spec_.kind == NetFaultKind::kGarbage) {
+          std::string garbage = injector.GarbageBytes();
+          if (!SendAllRaw(server_fd, buf, size).ok() ||
+              !SendAllRaw(server_fd, garbage.data(), garbage.size()).ok()) {
+            aborted = true;
+          }
+          break;
+        }
+        [[fallthrough]];
+      default: {
+        if (spec_.kind == NetFaultKind::kSplit ||
+            spec_.kind == NetFaultKind::kSlowloris) {
+          std::vector<size_t> chunks = injector.PlanChunks(size);
+          size_t offset = 0;
+          for (size_t i = 0; i < chunks.size() && !aborted; ++i) {
+            if (spec_.kind == NetFaultKind::kSlowloris && i > 0) {
+              std::this_thread::sleep_for(
+                  std::chrono::microseconds(spec_.gap));
+            }
+            if (!SendAllRaw(server_fd, buf + offset, chunks[i]).ok()) {
+              aborted = true;
+            }
+            offset += chunks[i];
+          }
+        } else if (!SendAllRaw(server_fd, buf, size).ok()) {
+          aborted = true;
+        }
+        break;
+      }
+    }
+    if (aborted) break;
+    forwarded += size;
+    bytes_forwarded_.fetch_add(size, std::memory_order_relaxed);
+  }
+  if (!aborted) ::shutdown(server_fd, SHUT_WR);
+  back.join();
+  ::close(server_fd);
+  ::close(client_fd);
+}
+
+}  // namespace dsms

@@ -1,0 +1,176 @@
+#ifndef DSMS_NET_NET_FAULT_H_
+#define DSMS_NET_NET_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "common/time.h"
+#include "net/feed_client.h"
+#include "net/feed_schedule.h"
+#include "net/net_fault_spec.h"
+
+namespace dsms {
+
+/// Deterministic decision engine behind the chaos feeder and proxy: all
+/// randomness (cut offsets, coalesce widths, garbage payloads) comes from
+/// one PCG32 stream, and every decision appends one line to a human-readable
+/// timeline, so two runs with the same (spec, run_seed, schedule) produce a
+/// byte-identical timeline AND byte-identical wire behaviour.
+class NetFaultInjector {
+ public:
+  explicit NetFaultInjector(const NetFaultSpec& spec, uint64_t run_seed = 0);
+
+  const NetFaultSpec& spec() const { return spec_; }
+
+  /// Precomputes the trigger frame indices: `spec.count` of them, spread
+  /// evenly over the schedule suffix whose virtual time is >= `spec.at`.
+  void Prepare(const std::vector<ScheduledFrame>& schedule);
+
+  /// True exactly once per trigger index: the caller consumes the trigger
+  /// when it injects the fault, so a restarted schedule pass (after a chaos
+  /// reconnect) does not re-fire it.
+  bool ConsumeTrigger(size_t frame_index);
+
+  /// Remaining (unconsumed) trigger count.
+  size_t pending_triggers() const;
+
+  /// Chunk sizes (each >= 1, summing to `size`) for writing one frame of
+  /// `size` bytes under kSplit/kSlowloris.
+  std::vector<size_t> PlanChunks(size_t size);
+
+  /// Number of schedule frames (>= 1, <= remaining) to coalesce into one
+  /// write under kCoalesce.
+  size_t PlanCoalesce(size_t remaining);
+
+  /// Byte offset in [1, size-1] at which kRstMidFrame truncates a frame
+  /// (for size < 2, returns 0: abort before any byte).
+  size_t PlanRstOffset(size_t size);
+
+  /// `spec.bytes` (minimum 4) of deterministic garbage. The first four
+  /// bytes are 0xff, so the fake little-endian length prefix is ~4GiB and
+  /// the receiving decoder poisons immediately instead of waiting for a
+  /// plausible frame to complete.
+  std::string GarbageBytes();
+
+  /// Appends one line to the fault timeline (the injector's own decisions
+  /// are recorded automatically; harness code adds lifecycle notes).
+  void Note(const std::string& line);
+
+  const std::string& timeline() const { return timeline_; }
+
+ private:
+  NetFaultSpec spec_;
+  Pcg32 rng_;
+  std::vector<size_t> triggers_;  // sorted; consumed entries flipped on
+  std::vector<bool> consumed_;
+  std::string timeline_;
+};
+
+/// What one chaos feed run did, for assertions and --chaos reporting.
+struct ChaosFeedReport {
+  uint64_t frames_sent = 0;
+  int reconnects = 0;
+  /// Stale resume tokens the server refused (each costs one reconnect).
+  int stale_rejects = 0;
+  int garbage_injections = 0;
+  int rst_aborts = 0;
+  int duplicate_hellos = 0;
+  int half_open_peers = 0;
+  int split_frames = 0;
+  int coalesced_writes = 0;
+  int slow_dripped_frames = 0;
+  /// The injector's deterministic fault timeline.
+  std::string timeline;
+};
+
+/// Feeder-side write shim: replays a feed schedule like FeedClient but
+/// routes every frame through a NetFaultInjector, injecting the configured
+/// wire faults while preserving exactly-once delivery (kinds that lose or
+/// poison the connection reconnect and resume via the HELLO/RESUME
+/// handshake, so `options.resume` is required for those kinds and the
+/// server must run with a WAL).
+class ChaosFeeder {
+ public:
+  /// `options.connections` is forced to 1: chaos scheduling reasons about a
+  /// single byte stream.
+  ChaosFeeder(FeedClientOptions options, NetFaultSpec spec,
+              uint64_t run_seed = 0);
+
+  /// Replays `schedule` with faults injected. On success the report's
+  /// timeline is the full deterministic fault log.
+  Result<ChaosFeedReport> Run(const std::vector<ScheduledFrame>& schedule);
+
+ private:
+  /// (Re)connects and, when resuming, performs the handshake. Counts a
+  /// reconnect when this is not the first connection.
+  Status ConnectAndResume(bool initial);
+  /// Opens a throwaway connection, performs HELLO, then replays a
+  /// fabricated resume token the server must reject.
+  Status ReplayStaleToken(int cycle, int attempt);
+  Status SendChunked(const std::string& encoded, bool drip);
+
+  FeedClientOptions options_;
+  NetFaultInjector injector_;
+  FeedClient client_;
+  ChaosFeedReport report_;
+  /// Half-open companion sockets kept open (unserviced) until Run returns.
+  std::vector<int> parked_fds_;
+};
+
+/// In-process chaos proxy: listens on an ephemeral port, forwards every
+/// accepted connection to `target`, and applies the write shim to the
+/// client->server byte stream (server->client replies pass through
+/// untouched). Lets tests torture a real server without teaching the feeder
+/// about faults: point any FeedClient at proxy.port().
+///
+/// Proxy-mode faults are byte-offset driven: every `spec.bytes` forwarded
+/// bytes, kGarbage injects garbage and kRstMidFrame aborts both sides;
+/// kSplit/kSlowloris re-chunk every forwarded buffer.
+class ChaosProxy {
+ public:
+  ChaosProxy(std::string target_host, uint16_t target_port, NetFaultSpec spec,
+             uint64_t run_seed = 0);
+  ~ChaosProxy();
+
+  ChaosProxy(const ChaosProxy&) = delete;
+  ChaosProxy& operator=(const ChaosProxy&) = delete;
+
+  /// Binds the listener (ephemeral port) and starts the accept thread.
+  Status Start();
+
+  /// The port feeders should dial. Valid after Start().
+  uint16_t port() const { return port_; }
+
+  /// Stops accepting, severs every live relay, and joins all threads.
+  void Stop();
+
+  uint64_t connections_accepted() const { return connections_accepted_; }
+  uint64_t bytes_forwarded() const { return bytes_forwarded_; }
+  uint64_t faults_injected() const { return faults_injected_; }
+
+ private:
+  void AcceptLoop();
+  void Relay(int client_fd, uint64_t relay_id);
+
+  const std::string target_host_;
+  const uint16_t target_port_;
+  const NetFaultSpec spec_;
+  const uint64_t run_seed_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::vector<std::thread> relay_threads_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> bytes_forwarded_{0};
+  std::atomic<uint64_t> faults_injected_{0};
+};
+
+}  // namespace dsms
+
+#endif  // DSMS_NET_NET_FAULT_H_

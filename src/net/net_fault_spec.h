@@ -1,0 +1,90 @@
+#ifndef DSMS_NET_NET_FAULT_SPEC_H_
+#define DSMS_NET_NET_FAULT_SPEC_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/time.h"
+
+// Wire-fault kind + spec only: a leaf header the plan parser
+// (sim/experiment_spec.h) can include without pulling in the socket-level
+// harness. The injector/feeder/proxy machinery lives in net/net_fault.h,
+// which depends on feed_schedule.h and therefore on the parser itself.
+
+namespace dsms {
+
+/// Wire-level fault kinds the chaos harness can inject between a feeder and
+/// an IngestServer. The engine-side analogue is sim/fault_injector.h; this
+/// layer attacks the socket path instead of the operator graph. Each kind
+/// maps to a server defense (DESIGN.md wire-fault matrix):
+enum class NetFaultKind : uint8_t {
+  kNone = 0,
+  /// Frames written in several send(2) calls cut at arbitrary byte offsets —
+  /// stresses FrameDecoder reassembly. Semantics-preserving: the server's
+  /// sink output must stay byte-identical to a fault-free run.
+  kSplit = 1,
+  /// Several frames coalesced into one send — stresses multi-frame carving
+  /// from a single recv. Semantics-preserving.
+  kCoalesce = 2,
+  /// Slow-drip peer: a frame trickles out in tiny chunks separated by wall
+  /// gaps (a cooperative slowloris). Semantics-preserving for the stream;
+  /// the server-side byte-rate floor exists for the uncooperative version.
+  kSlowloris = 3,
+  /// Abrupt TCP RST partway through an encoded frame (SO_LINGER 0 close).
+  /// Kernel-buffered bytes may be lost, so the feeder must resume with the
+  /// HELLO/RESUME handshake to preserve exactly-once.
+  kRstMidFrame = 4,
+  /// A half-open companion connection that sends nothing and never closes —
+  /// the classic dead peer the handshake deadline / idle timeout must reap.
+  /// The primary schedule keeps flowing, so output stays byte-identical.
+  kHalfOpen = 5,
+  /// Reconnect storm: repeatedly drop the connection, replay `stale`
+  /// fabricated (wrong) resume tokens that the server must reject, then
+  /// resume honestly. Exactly-once must survive every cycle.
+  kReconnectStorm = 6,
+  /// A second HELLO sent mid-stream on an established connection — a
+  /// protocol violation the server answers by closing; the feeder then
+  /// resumes honestly.
+  kDuplicateHello = 7,
+  /// Garbage bytes injected after valid frames — poisons that connection's
+  /// decoder (sticky), which must isolate to the connection; the feeder
+  /// reconnects and resumes.
+  kGarbage = 8,
+};
+
+const char* NetFaultKindToString(NetFaultKind kind);
+
+/// Parses the DSL spelling ("split", "coalesce", "slowloris", "rst",
+/// "half-open", "reconnect-storm", "dup-hello", "garbage").
+std::optional<NetFaultKind> ParseNetFaultKind(const std::string& text);
+
+/// One `netfault kind=... seed=... at=...` statement. Defaults follow
+/// sim/FaultSpec: every knob has a value that makes the kind do something
+/// sensible without further tuning.
+struct NetFaultSpec {
+  NetFaultKind kind = NetFaultKind::kNone;
+  /// Virtual time (schedule time) at or after which the fault starts firing.
+  Timestamp at = 0;
+  /// Seed of the injector RNG: one seed reproduces the full fault timeline
+  /// byte for byte.
+  uint64_t seed = 1;
+  /// How many schedule frames the fault fires on (reconnect cycles for
+  /// kReconnectStorm, affected frames otherwise), spread evenly across the
+  /// schedule tail from `at`.
+  int count = 3;
+  /// Max bytes per chunk for kSplit/kSlowloris writes (0 = kind default:
+  /// random cuts for split, 1-4 byte drips for slowloris).
+  size_t chunk = 0;
+  /// Wall-clock gap between slowloris drips.
+  Duration gap = kMillisecond;
+  /// Garbage byte count per injection (kGarbage), and the client->server
+  /// byte offset between proxy-mode fault firings.
+  size_t bytes = 64;
+  /// Stale resume tokens replayed per reconnect cycle (kReconnectStorm).
+  int stale = 1;
+};
+
+}  // namespace dsms
+
+#endif  // DSMS_NET_NET_FAULT_SPEC_H_

@@ -150,7 +150,7 @@ Status DecodeBody(const char* data, size_t size, WireFrame* out) {
         StrFormat("unsupported wire version %u (want %u)", version,
                   kWireVersion));
   }
-  if (type > static_cast<uint8_t>(WireFrame::Type::kResume)) {
+  if (type > static_cast<uint8_t>(WireFrame::Type::kReject)) {
     return InvalidArgumentError(StrFormat("unknown frame type %u", type));
   }
   if ((flags & ~kKnownFlags) != 0) {
@@ -192,6 +192,9 @@ Status DecodeBody(const char* data, size_t size, WireFrame* out) {
     if (out->type == WireFrame::Type::kHello && value_count != 0) {
       return InvalidArgumentError("hello frame with a payload");
     }
+    if (out->type == WireFrame::Type::kReject && value_count != 1) {
+      return InvalidArgumentError("reject frame needs exactly one reason");
+    }
   }
   out->values.reserve(value_count);
   for (uint8_t i = 0; i < value_count; ++i) {
@@ -203,6 +206,10 @@ Status DecodeBody(const char* data, size_t size, WireFrame* out) {
     return InvalidArgumentError(StrFormat(
         "frame has %zu trailing bytes after %u values",
         reader.remaining(), value_count));
+  }
+  if (out->type == WireFrame::Type::kReject &&
+      out->values[0].type() != ValueType::kString) {
+    return InvalidArgumentError("reject frame reason must be a string");
   }
   if (out->type == WireFrame::Type::kResumeState ||
       out->type == WireFrame::Type::kResume) {
@@ -236,6 +243,8 @@ const char* WireFrameTypeToString(WireFrame::Type type) {
       return "resume-state";
     case WireFrame::Type::kResume:
       return "resume";
+    case WireFrame::Type::kReject:
+      return "reject";
   }
   return "unknown";
 }
@@ -263,7 +272,14 @@ Status EncodeFrame(const WireFrame& frame, std::string* out) {
     if (frame.type == WireFrame::Type::kHello && !frame.values.empty()) {
       return InvalidArgumentError("hello frame cannot carry values");
     }
-    if (frame.type != WireFrame::Type::kHello) {
+    if (frame.type == WireFrame::Type::kReject &&
+        (frame.values.size() != 1 ||
+         frame.values[0].type() != ValueType::kString)) {
+      return InvalidArgumentError(
+          "reject frame needs exactly one string reason");
+    }
+    if (frame.type == WireFrame::Type::kResumeState ||
+        frame.type == WireFrame::Type::kResume) {
       if (frame.values.size() % 2 != 0) {
         return InvalidArgumentError(StrFormat(
             "%s frame needs (stream, seq) pairs",

@@ -63,6 +63,11 @@ struct WireFrame {
     kHello = 2,
     kResumeState = 3,
     kResume = 4,
+    ///  - kReject (server -> client): admission control turned the
+    ///    connection away (connection cap or ingest memory budget). Carries
+    ///    one string value with the human-readable reason, then the server
+    ///    closes. Best-effort: a client must treat a bare close the same.
+    kReject = 5,
   };
 
   Type type = Type::kData;
@@ -79,12 +84,14 @@ struct WireFrame {
 /// Smallest legal frame body: version, type, flags, value_count, stream_id.
 inline constexpr size_t kMinFrameBody = 8;
 
-/// True for handshake frames (kHello/kResumeState/kResume) that are consumed
-/// by the connection layer and never enter the ingest path or the WAL.
+/// True for handshake/admission frames (kHello/kResumeState/kResume/kReject)
+/// that are consumed by the connection layer and never enter the ingest path
+/// or the WAL.
 inline constexpr bool IsControlFrame(WireFrame::Type type) {
   return type == WireFrame::Type::kHello ||
          type == WireFrame::Type::kResumeState ||
-         type == WireFrame::Type::kResume;
+         type == WireFrame::Type::kResume ||
+         type == WireFrame::Type::kReject;
 }
 
 /// Serializes `frame` and appends it (length prefix included) to `*out`.

@@ -462,6 +462,66 @@ Status ParseCrash(const ExpStatement& s, RecoverySpec* recovery) {
   return OkStatus();
 }
 
+Status ParseNetFault(const ExpStatement& s, NetFaultSpec* fault) {
+  auto kind = s.args.find("kind");
+  if (kind == s.args.end()) {
+    return InvalidArgumentError(
+        StrFormat("line %d: missing kind=", s.line));
+  }
+  std::optional<NetFaultKind> parsed = ParseNetFaultKind(kind->second);
+  if (!parsed.has_value() || *parsed == NetFaultKind::kNone) {
+    return InvalidArgumentError(StrFormat(
+        "line %d: bad kind= '%s' (expected split|coalesce|slowloris|rst|"
+        "half-open|reconnect-storm|dup-hello|garbage)",
+        s.line, kind->second.c_str()));
+  }
+  fault->kind = *parsed;
+  Duration at = 0;
+  DSMS_RETURN_IF_ERROR(GetArgDuration(s, "at", 0, &at));
+  if (at < 0) {
+    return InvalidArgumentError(
+        StrFormat("line %d: at must be non-negative", s.line));
+  }
+  fault->at = at;
+  int64_t seed = static_cast<int64_t>(fault->seed);
+  DSMS_RETURN_IF_ERROR(GetArgInt(s, "seed", seed, &seed));
+  fault->seed = static_cast<uint64_t>(seed);
+  int64_t count = fault->count;
+  DSMS_RETURN_IF_ERROR(GetArgInt(s, "count", count, &count));
+  if (count < 1) {
+    return InvalidArgumentError(
+        StrFormat("line %d: count must be >= 1", s.line));
+  }
+  fault->count = static_cast<int>(count);
+  int64_t chunk = static_cast<int64_t>(fault->chunk);
+  DSMS_RETURN_IF_ERROR(GetArgInt(s, "chunk", chunk, &chunk));
+  if (chunk < 0) {
+    return InvalidArgumentError(
+        StrFormat("line %d: chunk must be non-negative", s.line));
+  }
+  fault->chunk = static_cast<size_t>(chunk);
+  DSMS_RETURN_IF_ERROR(GetArgDuration(s, "gap", fault->gap, &fault->gap));
+  if (fault->gap < 0) {
+    return InvalidArgumentError(
+        StrFormat("line %d: gap must be non-negative", s.line));
+  }
+  int64_t bytes = static_cast<int64_t>(fault->bytes);
+  DSMS_RETURN_IF_ERROR(GetArgInt(s, "bytes", bytes, &bytes));
+  if (bytes < 1) {
+    return InvalidArgumentError(
+        StrFormat("line %d: bytes must be >= 1", s.line));
+  }
+  fault->bytes = static_cast<size_t>(bytes);
+  int64_t stale = fault->stale;
+  DSMS_RETURN_IF_ERROR(GetArgInt(s, "stale", stale, &stale));
+  if (stale < 0) {
+    return InvalidArgumentError(
+        StrFormat("line %d: stale must be non-negative", s.line));
+  }
+  fault->stale = static_cast<int>(stale);
+  return OkStatus();
+}
+
 }  // namespace
 
 Simulation::PayloadFn MakeFeedPayload(const FeedSpec& feed) {
@@ -529,6 +589,7 @@ Result<Experiment> ParseExperiment(std::string_view text,
   std::vector<ExpStatement> checkpoints;
   std::vector<ExpStatement> crashes;
   std::vector<ExpStatement> states;
+  std::vector<ExpStatement> netfaults;
 
   int line_number = 0;
   for (const std::string& raw_line : StrSplit(text, '\n')) {
@@ -593,6 +654,11 @@ Result<Experiment> ParseExperiment(std::string_view text,
                                         /*has_name=*/false, &statement);
       if (!status.ok()) return status;
       states.push_back(std::move(statement));
+    } else if (stripped == "netfault" || StartsWith(stripped, "netfault ")) {
+      Status status = ParseExpStatement(line_number, stripped,
+                                        /*has_name=*/false, &statement);
+      if (!status.ok()) return status;
+      netfaults.push_back(std::move(statement));
     } else {
       plan_lines.push_back(raw_line);
     }
@@ -694,6 +760,11 @@ Result<Experiment> ParseExperiment(std::string_view text,
   }
   if (!states.empty()) {
     DSMS_RETURN_IF_ERROR(ParseState(states[0], &experiment.storage));
+  }
+  for (const ExpStatement& s : netfaults) {
+    NetFaultSpec fault;
+    DSMS_RETURN_IF_ERROR(ParseNetFault(s, &fault));
+    experiment.netfaults.push_back(fault);
   }
   if (require_feeds && experiment.feeds.empty()) {
     return InvalidArgumentError("experiment declares no feeds");

@@ -12,6 +12,7 @@
 #include "exec/ets_policy.h"
 #include "exec/exec_stats.h"
 #include "graph/plan_parser.h"
+#include "net/net_fault_spec.h"
 #include "recovery/wal.h"
 #include "sim/arrival_process.h"
 #include "sim/scenario.h"
@@ -45,10 +46,17 @@ namespace dsms {
 ///       [sync_interval_bytes=N] [segment_bytes=N]
 ///   checkpoint horizon=5s [keep=2]
 ///   crash at=30s
+///   netfault kind=split|coalesce|slowloris|rst|half-open|reconnect-storm|
+///       dup-hello|garbage
+///       [at=1s] [seed=N] [count=3] [chunk=BYTES] [gap=1ms] [bytes=64]
+///       [stale=1]
 ///
 /// `feed`, `heartbeat` and `fault` reference `stream` operators declared in
 /// the plan; `run` and `trace` may appear at most once (defaults apply
-/// otherwise). `trace` records an execution trace of the run and writes it
+/// otherwise). `netfault` arms a wire-level fault (net/net_fault_spec.h)
+/// against the feeder-server socket path; it is consumed by
+/// `streamets_feed --chaos` and the chaos tests, not by the in-process
+/// Simulation (which has no sockets to corrupt). `trace` records an execution trace of the run and writes it
 /// to `path` as Chrome trace-event JSON (open in Perfetto). This is what
 /// the `streamets_run` example binary executes.
 struct FeedSpec {
@@ -164,6 +172,10 @@ struct Experiment {
   TraceSpec trace;
   RecoverySpec recovery;
   StorageSpec storage;
+  /// Wire-level faults armed against the socket path (`netfault`
+  /// statements); applied by the chaos feeder/proxy, ignored by the
+  /// in-process simulation.
+  std::vector<NetFaultSpec> netfaults;
 };
 
 /// Parses a combined plan + experiment text. Feed/heartbeat source names

@@ -1,0 +1,263 @@
+// Unit tests for the wire-level chaos machinery (net/net_fault.h): the
+// NetFaultInjector's headline property is determinism — one (spec, seed,
+// schedule) triple produces a byte-identical fault timeline and identical
+// chunk/offset/garbage decisions across runs — plus spelling round-trips
+// and the `netfault` plan-DSL statement.
+
+#include "net/net_fault.h"
+
+#include <string>
+#include <vector>
+
+#include <gmock/gmock.h>
+#include <gtest/gtest.h>
+
+#include "net/feed_schedule.h"
+#include "sim/experiment_spec.h"
+
+namespace dsms {
+namespace {
+
+using ::testing::HasSubstr;
+
+std::vector<ScheduledFrame> FakeSchedule(size_t frames, Duration step) {
+  std::vector<ScheduledFrame> schedule;
+  for (size_t i = 0; i < frames; ++i) {
+    ScheduledFrame entry;
+    entry.time = static_cast<Timestamp>(i) * step;
+    entry.frame.stream_id = 0;
+    entry.frame.values.emplace_back(static_cast<int64_t>(i));
+    schedule.push_back(entry);
+  }
+  return schedule;
+}
+
+TEST(NetFaultKindTest, SpellingsRoundTrip) {
+  const NetFaultKind kinds[] = {
+      NetFaultKind::kNone,           NetFaultKind::kSplit,
+      NetFaultKind::kCoalesce,       NetFaultKind::kSlowloris,
+      NetFaultKind::kRstMidFrame,    NetFaultKind::kHalfOpen,
+      NetFaultKind::kReconnectStorm, NetFaultKind::kDuplicateHello,
+      NetFaultKind::kGarbage,
+  };
+  for (NetFaultKind kind : kinds) {
+    auto parsed = ParseNetFaultKind(NetFaultKindToString(kind));
+    ASSERT_TRUE(parsed.has_value()) << NetFaultKindToString(kind);
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(ParseNetFaultKind("tsunami").has_value());
+  EXPECT_FALSE(ParseNetFaultKind("").has_value());
+}
+
+TEST(NetFaultInjectorTest, SameSeedSameScheduleByteIdenticalTimeline) {
+  NetFaultSpec spec;
+  spec.kind = NetFaultKind::kSplit;
+  spec.seed = 42;
+  spec.count = 4;
+  const std::vector<ScheduledFrame> schedule = FakeSchedule(100, kMillisecond);
+
+  auto run = [&](uint64_t run_seed) {
+    NetFaultInjector injector(spec, run_seed);
+    injector.Prepare(schedule);
+    std::vector<std::vector<size_t>> plans;
+    for (size_t i = 0; i < schedule.size(); ++i) {
+      if (injector.ConsumeTrigger(i)) {
+        plans.push_back(injector.PlanChunks(64 + i));
+      }
+    }
+    return std::make_pair(injector.timeline(), plans);
+  };
+
+  auto [timeline_a, plans_a] = run(7);
+  auto [timeline_b, plans_b] = run(7);
+  EXPECT_EQ(timeline_a, timeline_b);
+  EXPECT_EQ(plans_a, plans_b);
+  ASSERT_EQ(plans_a.size(), 4u);
+
+  // A different run seed is a genuinely different (but still deterministic)
+  // fault sequence: the chunk RNG diverges even though triggers stay put.
+  auto [timeline_c, plans_c] = run(8);
+  EXPECT_NE(timeline_a, timeline_c);
+  EXPECT_NE(plans_a, plans_c);
+}
+
+TEST(NetFaultInjectorTest, TriggersSpreadOverTheEligibleSuffix) {
+  NetFaultSpec spec;
+  spec.kind = NetFaultKind::kGarbage;
+  spec.count = 3;
+  spec.at = 50 * kMillisecond;  // first eligible frame: index 50
+  const std::vector<ScheduledFrame> schedule = FakeSchedule(100, kMillisecond);
+
+  NetFaultInjector injector(spec, 0);
+  injector.Prepare(schedule);
+  EXPECT_EQ(injector.pending_triggers(), 3u);
+
+  std::vector<size_t> fired;
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    if (injector.ConsumeTrigger(i)) fired.push_back(i);
+  }
+  ASSERT_EQ(fired.size(), 3u);
+  EXPECT_GE(fired.front(), 50u);
+  EXPECT_LT(fired.back(), 100u);
+  // Consume-once: a restarted schedule pass must not re-fire.
+  for (size_t i : fired) EXPECT_FALSE(injector.ConsumeTrigger(i));
+  EXPECT_EQ(injector.pending_triggers(), 0u);
+  EXPECT_THAT(injector.timeline(), HasSubstr("prepare kind=garbage"));
+}
+
+TEST(NetFaultInjectorTest, ChunkPlansCoverTheFrameExactly) {
+  NetFaultSpec split;
+  split.kind = NetFaultKind::kSplit;
+  split.seed = 9;
+  NetFaultInjector injector(split, 0);
+  for (size_t size : {1u, 2u, 3u, 64u, 1000u}) {
+    std::vector<size_t> chunks = injector.PlanChunks(size);
+    size_t total = 0;
+    for (size_t c : chunks) {
+      EXPECT_GE(c, 1u);
+      total += c;
+    }
+    EXPECT_EQ(total, size) << "size " << size;
+    if (size >= 2) {
+      EXPECT_GE(chunks.size(), 2u) << "size " << size;
+    }
+  }
+
+  NetFaultSpec drip;
+  drip.kind = NetFaultKind::kSlowloris;
+  drip.chunk = 3;
+  NetFaultInjector dripper(drip, 0);
+  std::vector<size_t> chunks = dripper.PlanChunks(10);
+  ASSERT_EQ(chunks.size(), 4u);  // 3+3+3+1
+  EXPECT_EQ(chunks.back(), 1u);
+}
+
+TEST(NetFaultInjectorTest, RstOffsetAlwaysInsideTheFrame) {
+  NetFaultSpec spec;
+  spec.kind = NetFaultKind::kRstMidFrame;
+  NetFaultInjector injector(spec, 0);
+  EXPECT_EQ(injector.PlanRstOffset(0), 0u);
+  EXPECT_EQ(injector.PlanRstOffset(1), 0u);
+  for (int i = 0; i < 50; ++i) {
+    size_t offset = injector.PlanRstOffset(40);
+    EXPECT_GE(offset, 1u);
+    EXPECT_LE(offset, 39u);
+  }
+}
+
+TEST(NetFaultInjectorTest, GarbageLeadsWithAnImpossibleLengthPrefix) {
+  NetFaultSpec spec;
+  spec.kind = NetFaultKind::kGarbage;
+  spec.bytes = 32;
+  NetFaultInjector a(spec, 3);
+  NetFaultInjector b(spec, 3);
+  std::string garbage_a = a.GarbageBytes();
+  EXPECT_EQ(garbage_a.size(), 32u);
+  // The whole 4-byte fake length prefix must be 0xff: a lone 0xff is only
+  // the little-endian LOW byte and could still form a plausible length.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(static_cast<uint8_t>(garbage_a[i]), 0xffu) << "byte " << i;
+  }
+  EXPECT_EQ(garbage_a, b.GarbageBytes());
+}
+
+TEST(NetFaultInjectorTest, CoalesceNeverOvershootsRemaining) {
+  NetFaultSpec spec;
+  spec.kind = NetFaultKind::kCoalesce;
+  NetFaultInjector injector(spec, 0);
+  EXPECT_EQ(injector.PlanCoalesce(0), 0u);
+  EXPECT_EQ(injector.PlanCoalesce(1), 1u);
+  for (int i = 0; i < 50; ++i) {
+    size_t batch = injector.PlanCoalesce(5);
+    EXPECT_GE(batch, 2u);
+    EXPECT_LE(batch, 5u);
+  }
+}
+
+// --- plan-DSL statement ----------------------------------------------------
+
+constexpr char kPlanPrefix[] = R"(
+stream A ts=internal
+sink OUT in=A
+feed A process=constant rate=10
+run horizon=1s
+)";
+
+TEST(NetFaultDslTest, ParsesAllKnobs) {
+  std::string text = std::string(kPlanPrefix) +
+                     "netfault kind=slowloris at=250ms seed=77 count=9 "
+                     "chunk=2 gap=5ms bytes=128 stale=4\n";
+  Result<Experiment> experiment = ParseExperiment(text);
+  ASSERT_TRUE(experiment.ok()) << experiment.status().ToString();
+  ASSERT_EQ(experiment->netfaults.size(), 1u);
+  const NetFaultSpec& spec = experiment->netfaults[0];
+  EXPECT_EQ(spec.kind, NetFaultKind::kSlowloris);
+  EXPECT_EQ(spec.at, 250 * kMillisecond);
+  EXPECT_EQ(spec.seed, 77u);
+  EXPECT_EQ(spec.count, 9);
+  EXPECT_EQ(spec.chunk, 2u);
+  EXPECT_EQ(spec.gap, 5 * kMillisecond);
+  EXPECT_EQ(spec.bytes, 128u);
+  EXPECT_EQ(spec.stale, 4);
+}
+
+TEST(NetFaultDslTest, DefaultsMatchTheSpecStruct) {
+  std::string text =
+      std::string(kPlanPrefix) + "netfault kind=reconnect-storm\n";
+  Result<Experiment> experiment = ParseExperiment(text);
+  ASSERT_TRUE(experiment.ok()) << experiment.status().ToString();
+  ASSERT_EQ(experiment->netfaults.size(), 1u);
+  const NetFaultSpec defaults;
+  const NetFaultSpec& spec = experiment->netfaults[0];
+  EXPECT_EQ(spec.kind, NetFaultKind::kReconnectStorm);
+  EXPECT_EQ(spec.at, defaults.at);
+  EXPECT_EQ(spec.seed, defaults.seed);
+  EXPECT_EQ(spec.count, defaults.count);
+  EXPECT_EQ(spec.chunk, defaults.chunk);
+  EXPECT_EQ(spec.gap, defaults.gap);
+  EXPECT_EQ(spec.bytes, defaults.bytes);
+  EXPECT_EQ(spec.stale, defaults.stale);
+}
+
+TEST(NetFaultDslTest, MultipleStatementsAccumulate) {
+  std::string text = std::string(kPlanPrefix) +
+                     "netfault kind=split seed=1\n"
+                     "netfault kind=garbage seed=2\n";
+  Result<Experiment> experiment = ParseExperiment(text);
+  ASSERT_TRUE(experiment.ok()) << experiment.status().ToString();
+  ASSERT_EQ(experiment->netfaults.size(), 2u);
+  EXPECT_EQ(experiment->netfaults[0].kind, NetFaultKind::kSplit);
+  EXPECT_EQ(experiment->netfaults[1].kind, NetFaultKind::kGarbage);
+}
+
+TEST(NetFaultDslTest, RejectsMissingOrUnknownKind) {
+  Result<Experiment> missing =
+      ParseExperiment(std::string(kPlanPrefix) + "netfault seed=3\n");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_THAT(missing.status().message(), HasSubstr("kind="));
+
+  Result<Experiment> unknown =
+      ParseExperiment(std::string(kPlanPrefix) + "netfault kind=tsunami\n");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_THAT(unknown.status().message(), HasSubstr("tsunami"));
+
+  // kind=none is a spelling, but arming a no-op fault is a config error.
+  Result<Experiment> none =
+      ParseExperiment(std::string(kPlanPrefix) + "netfault kind=none\n");
+  ASSERT_FALSE(none.ok());
+}
+
+TEST(NetFaultDslTest, RejectsBadKnobValues) {
+  EXPECT_FALSE(ParseExperiment(std::string(kPlanPrefix) +
+                               "netfault kind=split count=0\n")
+                   .ok());
+  EXPECT_FALSE(ParseExperiment(std::string(kPlanPrefix) +
+                               "netfault kind=garbage bytes=0\n")
+                   .ok());
+  EXPECT_FALSE(ParseExperiment(std::string(kPlanPrefix) +
+                               "netfault kind=reconnect-storm stale=-1\n")
+                   .ok());
+}
+
+}  // namespace
+}  // namespace dsms

@@ -486,10 +486,103 @@ TEST(WireFormatTest, SeededGarbageNeverCrashes) {
   }
 }
 
+// Mid-stream corruption after an arbitrary run of valid frames — the
+// feeder-betrays-you-later shape the chaos harness injects after a
+// successful RESUME handshake. Exactly the clean prefix decodes; the first
+// corrupt byte poisons the decoder stickily (per-connection isolation is
+// the loopback suite's half of this property).
+TEST(WireFormatTest, SeededMidStreamCorruptionDecodesExactlyThePrefix) {
+  const uint64_t seed = test::TestSeedOr(0x51ab);
+  DSMS_TRACE_SEED(seed);
+  Pcg32 rng(seed, 0xc0ffee);
+  for (int round = 0; round < 50; ++round) {
+    const int clean = static_cast<int>(rng.NextInt(1, 8));
+    std::string stream;
+    for (int i = 0; i < clean; ++i) {
+      WireFrame frame;
+      frame.stream_id = i;
+      frame.timestamp = (i + 1) * 1000;
+      frame.values.emplace_back(static_cast<int64_t>(round));
+      ASSERT_TRUE(EncodeFrame(frame, &stream).ok());
+    }
+    // Garbage led by a full 0xff length prefix (~4GiB): the decoder cannot
+    // mistake it for a pending frame and must poison on the spot.
+    for (int i = 0; i < 4; ++i) stream.push_back(static_cast<char>(0xff));
+    int64_t extra = rng.NextInt(0, 64);
+    for (int64_t i = 0; i < extra; ++i) {
+      stream.push_back(static_cast<char>(rng.NextInt(0, 255)));
+    }
+
+    FrameDecoder decoder;
+    decoder.Feed(stream.data(), stream.size());
+    WireFrame out;
+    int decoded = 0;
+    Status error = OkStatus();
+    for (int i = 0; i < clean + 10; ++i) {
+      Result<bool> got = decoder.Next(&out);
+      if (!got.ok()) {
+        error = got.status();
+        break;
+      }
+      ASSERT_TRUE(*got) << "decoder stalled before the corruption";
+      EXPECT_EQ(out.stream_id, decoded);
+      ++decoded;
+    }
+    EXPECT_EQ(decoded, clean) << "round " << round;
+    ASSERT_FALSE(error.ok());
+    // Sticky: the poison outlives further Feed/Next cycles.
+    WireFrame good;
+    good.stream_id = 99;
+    std::string good_bytes;
+    ASSERT_TRUE(EncodeFrame(good, &good_bytes).ok());
+    decoder.Feed(good_bytes.data(), good_bytes.size());
+    Result<bool> after = decoder.Next(&out);
+    ASSERT_FALSE(after.ok());
+    EXPECT_EQ(after.status().code(), error.code());
+  }
+}
+
+TEST(WireFormatTest, RoundTripReject) {
+  WireFrame frame;
+  frame.type = WireFrame::Type::kReject;
+  frame.values.emplace_back(std::string("ingest memory budget exhausted"));
+
+  std::string bytes;
+  ASSERT_TRUE(EncodeFrame(frame, &bytes).ok());
+  WireFrame back;
+  ASSERT_TRUE(DecodeOne(bytes, &back).ok());
+  EXPECT_EQ(back.type, WireFrame::Type::kReject);
+  ASSERT_EQ(back.values.size(), 1u);
+  EXPECT_EQ(back.values[0].string_value(), "ingest memory budget exhausted");
+}
+
+TEST(WireFormatTest, EncodeRejectsRejectWithoutReason) {
+  WireFrame frame;
+  frame.type = WireFrame::Type::kReject;
+  std::string bytes;
+  Status status = EncodeFrame(frame, &bytes);
+  ASSERT_FALSE(status.ok());
+  EXPECT_THAT(status.message(), HasSubstr("reason"));
+}
+
+TEST(WireFormatTest, RejectsRejectFrameWithNonStringReasonOnTheWire) {
+  std::string body;
+  PutU8(&body, kWireVersion);
+  PutU8(&body, 5);  // reject
+  PutU8(&body, 0);  // no flags
+  PutU8(&body, 1);  // one value
+  PutI32(&body, 0);
+  PutU8(&body, 0);  // int64 tag
+  PutI64(&body, 42);
+  Status status = DecodeError(Framed(body));
+  EXPECT_THAT(status.message(), HasSubstr("string"));
+}
+
 TEST(WireFormatTest, TypeNames) {
   EXPECT_STREQ(WireFrameTypeToString(WireFrame::Type::kData), "data");
   EXPECT_STREQ(WireFrameTypeToString(WireFrame::Type::kPunctuation),
                "punctuation");
+  EXPECT_STREQ(WireFrameTypeToString(WireFrame::Type::kReject), "reject");
 }
 
 }  // namespace
